@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: how the write-path overhead and the Janus recovery
+ * change with the set of integrated BMOs — from a bare system
+ * through the paper's default three (encryption + integrity +
+ * deduplication) to the extended five (plus BDI compression and
+ * Start-Gap wear leveling). The BMO graph makes each mix pure
+ * registration; this bench demonstrates exactly that extensibility
+ * claim and quantifies each BMO's cost.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace janus;
+using namespace janus::bench;
+
+struct Mix
+{
+    const char *name;
+    bool enc, dedup, bmt, bdi, wear;
+};
+
+ExperimentResult
+runMix(const Mix &mix, WritePathMode mode, Instrumentation instr)
+{
+    ExperimentConfig config;
+    config.workloadName = "tatp";
+    config.workload.txnsPerCore = 200;
+    config.sys.mode = mode;
+    config.instr = instr;
+    config.sys.bmo.encryption = mix.enc;
+    config.sys.bmo.deduplication = mix.dedup;
+    config.sys.bmo.integrity = mix.bmt;
+    config.sys.bmo.compression = mix.bdi;
+    config.sys.bmo.wearLeveling = mix.wear;
+    return runExperiment(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const Mix mixes[] = {
+        {"none", false, false, false, false, false},
+        {"enc", true, false, false, false, false},
+        {"enc+bmt", true, false, true, false, false},
+        {"enc+bmt+dedup (paper)", true, true, true, false, false},
+        {"+compression", true, true, true, true, false},
+        {"+wear-leveling", true, true, true, true, true},
+    };
+
+    std::printf("=== Ablation: BMO mix vs write latency and Janus "
+                "recovery (TATP) ===\n");
+    std::printf("%-24s %12s %12s %10s\n", "BMO mix",
+                "serial w(ns)", "janus w(ns)", "speedup");
+    for (const Mix &mix : mixes) {
+        ExperimentResult serial =
+            runMix(mix, WritePathMode::Serialized,
+                   Instrumentation::None);
+        ExperimentResult janus_r = runMix(
+            mix, WritePathMode::Janus, Instrumentation::Manual);
+        std::printf("%-24s %12.0f %12.0f %9.2fx\n", mix.name,
+                    serial.avgWriteLatencyNs,
+                    janus_r.avgWriteLatencyNs,
+                    ratio(serial, janus_r));
+    }
+
+    std::printf("\nEach row adds one BMO by flipping a config flag — "
+                "the sub-operation graph, the scheduling and the\n"
+                "pre-execution categorization all re-derive "
+                "automatically (Section 3.1's generic rules).\n");
+    return 0;
+}

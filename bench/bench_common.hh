@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: a
+ * one-call experiment runner plus consistent table printing. Each
+ * bench binary regenerates the rows/series of one paper figure or
+ * table; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef JANUS_BENCH_BENCH_COMMON_HH
+#define JANUS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+
+namespace janus::bench
+{
+
+/** Knobs one figure point needs. */
+struct RunSpec
+{
+    std::string workload = "array_swap";
+    WritePathMode mode = WritePathMode::Serialized;
+    Instrumentation instr = Instrumentation::None;
+    unsigned cores = 1;
+    unsigned txnsPerCore = 200;
+    std::uint64_t valueBytes = 64;
+    double dupRatio = 0.5;
+    DedupHash dedupHash = DedupHash::Md5;
+    unsigned resourceScale = 1;
+    bool unlimitedResources = false;
+    bool nonBlockingWriteback = false;
+    std::uint64_t seed = 1;
+};
+
+inline ExperimentResult
+run(const RunSpec &spec)
+{
+    ExperimentConfig config;
+    config.workloadName = spec.workload;
+    config.sys.mode = spec.mode;
+    config.sys.cores = spec.cores;
+    config.sys.bmo.dedupHash = spec.dedupHash;
+    config.sys.resourceScale = spec.resourceScale;
+    config.sys.unlimitedResources = spec.unlimitedResources;
+    config.sys.core.nonBlockingWriteback = spec.nonBlockingWriteback;
+    config.instr = spec.instr;
+    config.workload.txnsPerCore = spec.txnsPerCore;
+    config.workload.valueBytes = spec.valueBytes;
+    config.workload.dupRatio = spec.dupRatio;
+    config.workload.seed = spec.seed;
+    return runExperiment(config);
+}
+
+/** makespan(a) / makespan(b). */
+inline double
+ratio(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return static_cast<double>(a.makespan) /
+           static_cast<double>(b.makespan);
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x);
+    return xs.empty() ? 0 : std::exp(acc / xs.size());
+}
+
+/** Print a header row then rule. */
+inline void
+printHeader(const char *title, const std::vector<std::string> &cols)
+{
+    std::printf("\n=== %s ===\n%-12s", title, "workload");
+    for (const auto &c : cols)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < 13 + 11 * cols.size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &vals,
+         const char *fmt = " %10.2f")
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // namespace janus::bench
+
+#endif // JANUS_BENCH_BENCH_COMMON_HH

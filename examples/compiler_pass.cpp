@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The automated instrumentation pass, visibly: disassemble a
+ * transaction kernel before and after the Section 4.5 compiler pass
+ * injects PRE_* calls, print the pass's report for every Table 4
+ * workload, and show the resulting speedups.
+ *
+ * Build & run:   ./build/examples/compiler_pass
+ */
+
+#include <cstdio>
+
+#include "compiler/auto_instrument.hh"
+#include "compiler/misuse_check.hh"
+#include "harness/experiment.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+using namespace janus;
+
+namespace
+{
+
+/** The paper's Figure 4 kernel, uninstrumented. */
+Module
+figure4Kernel()
+{
+    Module module;
+    buildTxnLibrary(module);
+    IrBuilder b(module);
+    b.beginFunction("array_update", 3); // (ctx, index, src)
+    int ctx_reg = b.arg(0);
+    int index = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int addr = b.add(heap, b.mulI(index, lineBytes));
+    b.call("undo_append", {ctx_reg, addr, b.constI(lineBytes)});
+    b.sfence();
+    b.memCpy(addr, src, lineBytes); // in-place update
+    b.clwb(addr, lineBytes);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+    verify(module);
+    return module;
+}
+
+} // namespace
+
+int
+main()
+{
+    Module module = figure4Kernel();
+    std::printf("=== before the pass "
+                "===============================\n%s\n",
+                toString(module.fn("array_update")).c_str());
+
+    InstrumentReport report = autoInstrument(module);
+    std::printf("=== after the pass "
+                "================================\n%s\n",
+                toString(module.fn("array_update")).c_str());
+    std::printf("pass report: %s\n\n", report.toString().c_str());
+
+    std::printf("=== pass reports and speedups per workload "
+                "========\n");
+    std::printf("%-12s %8s %8s   %s\n", "workload", "manual", "auto",
+                "report");
+    for (const std::string &w : allWorkloadNames()) {
+        ExperimentConfig config;
+        config.workloadName = w;
+        config.workload.txnsPerCore = 150;
+        config.sys.mode = WritePathMode::Serialized;
+        config.instr = Instrumentation::None;
+        ExperimentResult serial = runExperiment(config);
+        config.sys.mode = WritePathMode::Janus;
+        config.instr = Instrumentation::Manual;
+        ExperimentResult manual = runExperiment(config);
+        config.instr = Instrumentation::Auto;
+        ExperimentResult automatic = runExperiment(config);
+        std::printf("%-12s %7.2fx %7.2fx   %s\n", w.c_str(),
+                    static_cast<double>(serial.makespan) /
+                        manual.makespan,
+                    static_cast<double>(serial.makespan) /
+                        automatic.makespan,
+                    automatic.instrReport.toString().c_str());
+    }
+    std::printf("\nQueue and RB-Tree persist inside loops and chase "
+                "pointers, which the static pass skips\n"
+                "(Section 4.5.2) — exactly the paper's Figure 11 "
+                "story.\n");
+
+    // The Section 6 misuse linter on a deliberately sloppy kernel.
+    std::printf("\n=== misuse linter (Section 6 tooling) "
+                "=============\n");
+    Module sloppy;
+    IrBuilder b(sloppy);
+    b.beginFunction("sloppy", 2);
+    int p1 = b.preInit();
+    b.preBothVal(p1, b.arg(0), b.arg(1)); // too close to the write
+    b.store(b.arg(0), b.arg(1), 0);
+    b.store(b.arg(0), b.arg(1), 8); // second update: stale snapshot
+    b.clwb(b.arg(0), 16);
+    b.sfence();
+    int p2 = b.preInit();
+    b.preAddr(p2, b.arg(1), 64); // never written back
+    b.ret();
+    b.endFunction();
+    verify(sloppy);
+    std::printf("%s", toString(checkMisuse(sloppy)).c_str());
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Crash recovery, end to end: run durable TPC-C New-Order
+ * transactions with the persist journal enabled, "pull the plug" at
+ * an arbitrary durable-write boundary, reconstruct the NVM image,
+ * run undo-log recovery, and verify the database — plus a tour of
+ * the secure backend (encryption round-trip, dedup accounting,
+ * Merkle audit and tamper detection).
+ *
+ * Build & run:   ./build/examples/crash_recovery
+ */
+
+#include <cstdio>
+
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+using namespace janus;
+
+int
+main()
+{
+    WorkloadParams params;
+    params.txnsPerCore = 50;
+    auto workload = makeWorkload("tpcc", params);
+
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+
+    SystemConfig config;
+    config.mode = WritePathMode::Janus;
+    NvmSystem system(config, module);
+    system.mc().enableJournal();
+    workload->setupCore(0, system);
+
+    SparseMemory initial;
+    initial.copyFrom(system.mem());
+
+    std::vector<TxnSource> sources;
+    sources.push_back(workload->source(0, system));
+    Tick makespan = system.run(std::move(sources));
+    const auto &journal = system.mc().journal();
+    std::printf("ran %u New-Order transactions in %.1f us; %zu "
+                "durable line writes journaled\n\n",
+                params.txnsPerCore, makespan / 1e6, journal.size());
+
+    // Crash two thirds of the way through the durable write stream.
+    std::size_t cut = journal.size() * 2 / 3;
+    SparseMemory image;
+    image.copyFrom(initial);
+    for (std::size_t i = 0; i < cut; ++i)
+        image.writeLine(journal[i].lineAddr, journal[i].data);
+    std::printf("simulated power failure after durable write %zu "
+                "(tick %.1f us)\n",
+                cut, journal[cut - 1].persisted / 1e6);
+
+    Addr heap = system.mem().readWord(workload->ctxAddr(0) +
+                                      ctx::heap);
+    unsigned rolled = recoverUndoLog(image, workload->logBase(0));
+    std::printf("recovery rolled back %u undo entries; district "
+                "next_o_id = %llu of %u orders survive\n",
+                rolled,
+                static_cast<unsigned long long>(
+                    image.readWord(heap)),
+                params.txnsPerCore);
+    workload->validateRecovered(image, 0);
+    std::printf("recovered image passed all consistency checks "
+                "(order prefix intact, nothing torn)\n\n");
+
+    // The secure-memory backend under the same system.
+    BmoBackendState &backend = system.mc().backend();
+    std::printf("backend: %llu line writes, %.0f%% deduplicated, "
+                "%llu live physical lines\n",
+                static_cast<unsigned long long>(backend.writes()),
+                100 * backend.dupRatio(),
+                static_cast<unsigned long long>(
+                    backend.physLinesLive()));
+    std::printf("Merkle root audit (recompute from all leaves): %s\n",
+                backend.auditIntegrity() ? "PASS" : "FAIL");
+
+    backend.corruptStoredLine(heap); // the district line
+    ReadOutcome out = backend.readLine(heap);
+    std::printf("after flipping one stored ciphertext byte: MAC "
+                "check %s (tamper detected)\n",
+                out.macOk ? "PASSED (?!)" : "FAILED as expected");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A persistent key-value store on the simulated secure NVM system —
+ * the motivating scenario of the paper's introduction. Uses the
+ * Hash Table workload (chained buckets, undo-logged in-place
+ * updates) and compares the four write-path designs, then inspects
+ * what the backend actually stored: dedup savings, encryption
+ * round-trips, Merkle integrity.
+ *
+ * Build & run:   ./build/examples/kv_store
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+using namespace janus;
+
+int
+main()
+{
+    std::printf("Persistent KV store: 500 updates, 64 B values, "
+                "0.5 duplicate ratio\n\n");
+
+    ExperimentConfig config;
+    config.workloadName = "hash_table";
+    config.workload.txnsPerCore = 500;
+    config.workload.dupRatio = 0.5;
+
+    struct ModeRow
+    {
+        const char *name;
+        WritePathMode mode;
+        Instrumentation instr;
+    } rows[] = {
+        {"no BMOs (insecure)", WritePathMode::NoBmo,
+         Instrumentation::None},
+        {"serialized BMOs", WritePathMode::Serialized,
+         Instrumentation::None},
+        {"parallelized BMOs", WritePathMode::Parallel,
+         Instrumentation::None},
+        {"Janus (manual PRE)", WritePathMode::Janus,
+         Instrumentation::Manual},
+        {"Janus (compiler pass)", WritePathMode::Janus,
+         Instrumentation::Auto},
+    };
+
+    Tick serial_makespan = 0;
+    std::printf("%-24s %10s %12s %10s %10s\n", "design", "time(us)",
+                "write(ns)", "dup%", "fullpre%");
+    for (const ModeRow &row : rows) {
+        config.sys.mode = row.mode;
+        config.instr = row.instr;
+        ExperimentResult r = runExperiment(config);
+        if (row.mode == WritePathMode::Serialized)
+            serial_makespan = r.makespan;
+        std::printf("%-24s %10.1f %12.0f %9.0f%% %9.0f%%\n",
+                    row.name, r.makespan / 1e6, r.avgWriteLatencyNs,
+                    100 * r.measuredDupRatio,
+                    100 * r.fullyPreExecutedFrac);
+        if (row.mode == WritePathMode::Janus &&
+            row.instr == Instrumentation::Manual && serial_makespan)
+            std::printf("%56s speedup over serialized: %.2fx\n", "",
+                        static_cast<double>(serial_makespan) /
+                            r.makespan);
+    }
+
+    std::printf("\nEvery run validates the full table against a "
+                "native mirror (keys, chains, values), and every\n"
+                "value round-trips through AES counter-mode "
+                "encryption, MD5 deduplication with reference\n"
+                "counting, and a 9-level Bonsai Merkle tree.\n");
+    return 0;
+}

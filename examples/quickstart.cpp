@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end Janus program.
+ *
+ * We write a tiny crash-consistent transaction in PmIR — back up a
+ * record, update it in place, commit — instrument it with the Janus
+ * software interface (paper Table 2), and run it on the simulated
+ * NVM system in three configurations: serialized BMOs, parallelized
+ * BMOs, and Janus pre-execution. The program prints the critical
+ * write latency and end-to-end time of each.
+ *
+ * Build & run:   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "harness/system.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+using namespace janus;
+
+namespace
+{
+
+/**
+ * update_record(ctx, record, src): undo-log a 64-byte record, then
+ * durably overwrite it — the paper's Figure 4 skeleton. The manual
+ * flavor pre-executes the update and the commit.
+ */
+Module
+buildProgram(bool manual)
+{
+    Module module;
+    buildTxnLibrary(module); // undo_append + tx_finish
+    IrBuilder b(module);
+    b.beginFunction("update_record", 3);
+    int ctx_reg = b.arg(0);
+    int record = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    if (manual) {
+        // Address and data are known at entry: pre-execute the
+        // in-place update before the backup step even starts.
+        int p = b.preInit();
+        b.preBoth(p, record, src, lineBytes);
+    }
+    b.call("undo_append", {ctx_reg, record, b.constI(lineBytes)});
+    if (manual)
+        emitCommitPre(b, ctx_reg); // pre-execute the commit too
+    b.sfence();                    // backup is durable
+    b.memCpy(record, src, lineBytes); // in-place update
+    b.clwb(record, lineBytes);
+    b.sfence();                    // update is durable
+    b.call("tx_finish", {ctx_reg}); // commit
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+    verify(module);
+    return module;
+}
+
+Tick
+runMode(WritePathMode mode, bool manual, double *write_ns)
+{
+    Module module = buildProgram(manual);
+    SystemConfig config;
+    config.mode = mode;
+    NvmSystem system(config, module);
+
+    // Carve out a context, a log and one record; stage the payload.
+    RegionAllocator &alloc = system.allocator();
+    Addr ctx_addr = alloc.alloc(ctx::size);
+    Addr log = alloc.alloc(logRegionBytes);
+    Addr record = alloc.alloc(lineBytes);
+    Addr payload = alloc.alloc(lineBytes);
+    system.mem().writeWord(ctx_addr + ctx::logBase, log);
+    system.mem().writeLine(record, CacheLine::fromSeed(1));
+
+    unsigned remaining = 100;
+    std::vector<TxnSource> sources;
+    sources.push_back([&](std::string &fn,
+                          std::vector<std::uint64_t> &args) {
+        if (remaining == 0)
+            return false;
+        system.mem().writeLine(payload,
+                               CacheLine::fromSeed(1000 + remaining));
+        --remaining;
+        fn = "update_record";
+        args = {ctx_addr, record, payload};
+        return true;
+    });
+    Tick makespan = system.run(std::move(sources));
+    *write_ns = system.mc().avgWriteLatencyNs();
+
+    // The record really is what we last wrote — through encryption,
+    // dedup and the Merkle tree.
+    ReadOutcome out = system.mc().backend().readLine(record);
+    janus_assert(out.data == CacheLine::fromSeed(1001) && out.macOk &&
+                     out.treeOk,
+                 "record round-trip failed");
+    return makespan;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Janus quickstart: 100 undo-log transactions, one "
+                "64 B record update each\n\n");
+    double wlat;
+    Tick serial = runMode(WritePathMode::Serialized, false, &wlat);
+    std::printf("%-28s %8.1f us   avg write latency %6.0f ns\n",
+                "serialized BMOs", serial / 1e6, wlat);
+    Tick parallel = runMode(WritePathMode::Parallel, false, &wlat);
+    std::printf("%-28s %8.1f us   avg write latency %6.0f ns\n",
+                "parallelized BMOs", parallel / 1e6, wlat);
+    Tick janus = runMode(WritePathMode::Janus, true, &wlat);
+    std::printf("%-28s %8.1f us   avg write latency %6.0f ns\n",
+                "Janus (pre-executed)", janus / 1e6, wlat);
+    std::printf("\nspeedup: parallelization %.2fx, Janus %.2fx\n",
+                static_cast<double>(serial) / parallel,
+                static_cast<double>(serial) / janus);
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "bmo/bmo_config.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+BmoGraph
+buildStandardGraph(const BmoConfig &config)
+{
+    BmoGraph graph;
+
+    SubOpId e1 = 0, e2 = 0, e3 = 0, e4 = 0;
+    SubOpId d1 = 0, d2 = 0;
+    SubOpId c1 = 0;
+
+    if (config.compression) {
+        c1 = graph.addSubOp("C1", BmoKind::Compression,
+                            config.compressLatency, ExternalInput::Data);
+    }
+
+    if (config.wearLeveling) {
+        // W1 is address-dependent and independent of every other
+        // BMO: the Start-Gap translation needs only the address.
+        graph.addSubOp("W1", BmoKind::Other, config.wearLevelLatency,
+                       ExternalInput::Addr);
+    }
+
+    if (config.encryption) {
+        e1 = graph.addSubOp("E1", BmoKind::Encryption,
+                            config.counterBumpLatency,
+                            ExternalInput::Addr);
+        e2 = graph.addSubOp("E2", BmoKind::Encryption, config.aesLatency);
+        e3 = graph.addSubOp("E3", BmoKind::Encryption, config.xorLatency,
+                            ExternalInput::Data);
+        graph.addEdge(e1, e2);
+        graph.addEdge(e2, e3);
+        if (config.integrity) {
+            e4 = graph.addSubOp("E4", BmoKind::Encryption,
+                                config.macLatency);
+            graph.addEdge(e3, e4);
+        }
+        if (config.compression)
+            graph.addEdge(c1, e3);
+    }
+
+    if (config.deduplication) {
+        d1 = graph.addSubOp("D1", BmoKind::Deduplication,
+                            config.dedupHashLatency(),
+                            ExternalInput::Data);
+        d2 = graph.addSubOp("D2", BmoKind::Deduplication,
+                            config.dedupLookupLatency);
+        SubOpId d3 = graph.addSubOp("D3", BmoKind::Deduplication,
+                                    config.remapUpdateLatency,
+                                    ExternalInput::Addr);
+        SubOpId d4 = graph.addSubOp("D4", BmoKind::Deduplication,
+                                    config.metaEncryptLatency);
+        graph.addEdge(d1, d2);
+        graph.addEdge(d2, d3);
+        graph.addEdge(d3, d4);
+        if (config.encryption) {
+            // Duplicates are cancelled before encrypting the data,
+            // and the remap entry co-locates with the counter.
+            graph.addEdge(d2, e3);
+            graph.addEdge(e1, d4);
+        }
+    }
+
+    if (config.integrity) {
+        janus_assert(config.merkleLevels >= 1, "need at least one level");
+        SubOpId prev = 0;
+        for (unsigned level = 1; level <= config.merkleLevels; ++level) {
+            SubOpId node = graph.addSubOp(
+                "I" + std::to_string(level), BmoKind::Integrity,
+                config.merkleHashLatency,
+                // With neither encryption nor dedup enabled the tree
+                // hashes the raw line, making I1 data-dependent.
+                (level == 1 && !config.encryption &&
+                 !config.deduplication)
+                    ? ExternalInput::Data
+                    : ExternalInput::None);
+            if (level == 1) {
+                if (config.encryption)
+                    graph.addEdge(e1, node);
+                if (config.deduplication)
+                    graph.addEdge(d2, node);
+            } else {
+                graph.addEdge(prev, node);
+            }
+            prev = node;
+        }
+    }
+
+    graph.finalize();
+    return graph;
+}
+
+} // namespace janus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Configuration of the backend memory operations and construction of
+ * the standard three-BMO dependency graph evaluated in the paper
+ * (Figure 6: counter-mode encryption E1-E4, deduplication D1-D4 and
+ * Bonsai-Merkle-tree integrity verification I1..I_h).
+ */
+
+#ifndef JANUS_BMO_BMO_CONFIG_HH
+#define JANUS_BMO_BMO_CONFIG_HH
+
+#include "bmo/bmo_graph.hh"
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Deduplication fingerprint algorithm (paper Figure 12). */
+enum class DedupHash : std::uint8_t
+{
+    Md5,
+    Crc32,
+};
+
+/** Which BMOs are integrated and their sub-operation latencies. */
+struct BmoConfig
+{
+    bool encryption = true;
+    bool deduplication = true;
+    bool integrity = true;
+    /** Extension BMO (not in the paper's default system). */
+    bool compression = false;
+    /** Extension BMO: Start-Gap wear leveling (Table 1, ~1 ns). */
+    bool wearLeveling = false;
+
+    DedupHash dedupHash = DedupHash::Md5;
+
+    /** Merkle-tree height: 9 levels for 4 GB NVM (Table 1/§4.2). */
+    unsigned merkleLevels = 9;
+
+    // Sub-operation latencies (Table 1 / Table 3).
+    Tick counterBumpLatency = 2 * ticks::ns;    ///< E1, counter-cache hit
+    Tick counterMissLatency = 63 * ticks::ns;   ///< E1 on a cache miss
+    Tick aesLatency = 40 * ticks::ns;           ///< E2 (AES-128)
+    Tick xorLatency = 1 * ticks::ns;            ///< E3
+    Tick macLatency = 40 * ticks::ns;           ///< E4 (SHA-1)
+    Tick md5Latency = 321 * ticks::ns;          ///< D1 with MD5
+    Tick crc32Latency = 80 * ticks::ns;         ///< D1 with CRC-32
+    Tick dedupLookupLatency = 10 * ticks::ns;   ///< D2
+    Tick remapUpdateLatency = 5 * ticks::ns;    ///< D3
+    Tick metaEncryptLatency = 40 * ticks::ns;   ///< D4
+    Tick merkleHashLatency = 40 * ticks::ns;    ///< per-level SHA-1
+    Tick compressLatency = 20 * ticks::ns;      ///< C1 (BDI-style)
+    Tick wearLevelLatency = 1 * ticks::ns;      ///< W1 (Start-Gap)
+    /** Writes between Start-Gap movements. */
+    unsigned gapWriteInterval = 100;
+
+    /** D1 latency under the configured fingerprint. */
+    Tick
+    dedupHashLatency() const
+    {
+        return dedupHash == DedupHash::Md5 ? md5Latency : crc32Latency;
+    }
+};
+
+/**
+ * Build the write-path dependency graph for the enabled BMOs:
+ *
+ *   E1 -> E2 -> E3 -> E4        (counter, OTP, XOR, MAC)
+ *   D1 -> D2 -> D3 -> D4        (hash, lookup, remap, meta writeback)
+ *   I1 -> I2 -> ... -> I_h      (Merkle levels, leaf to root)
+ *   D2 -> E3   (duplicate writes are cancelled before encryption)
+ *   E1 -> D4   (remap co-locates with the counter, DeWrite-style)
+ *   E1 -> I1, D2 -> I1  (tree protects latest counter / remap)
+ *   [compression] C1 -> E3, C1 -> D1 is NOT added: compression runs
+ *   on raw data, so C1 gains only a data dependence and feeds E3.
+ *
+ * External inputs: E1 <- Addr; D1 <- Data; E3 <- Data; D3 <- Addr;
+ * C1 <- Data.
+ */
+BmoGraph buildStandardGraph(const BmoConfig &config);
+
+} // namespace janus
+
+#endif // JANUS_BMO_BMO_CONFIG_HH

@@ -1,0 +1,168 @@
+#include "bmo/bmo_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+bool
+BmoExecState::allDone() const
+{
+    return std::all_of(done_.begin(), done_.end(),
+                       [](char d) { return d != 0; });
+}
+
+Tick
+BmoExecState::lastFinish() const
+{
+    Tick last = 0;
+    for (std::size_t i = 0; i < done_.size(); ++i)
+        if (done_[i])
+            last = std::max(last, finish_[i]);
+    return last;
+}
+
+unsigned
+BmoExecState::completedCount() const
+{
+    return static_cast<unsigned>(
+        std::count_if(done_.begin(), done_.end(),
+                      [](char d) { return d != 0; }));
+}
+
+BmoEngine::BmoEngine(const BmoGraph &graph, unsigned units)
+    : graph_(graph), units_(units), unitState_(units)
+{
+    janus_assert(graph.finalized(), "engine needs a finalized graph");
+}
+
+Tick
+BmoEngine::fitInto(const Unit &unit, Tick start, Tick latency)
+{
+    Tick begin = start;
+    for (const auto &[b, e] : unit.busy) {
+        if (begin + latency <= b)
+            break; // fits in the gap before this interval
+        if (e > begin)
+            begin = e;
+    }
+    return begin;
+}
+
+Tick
+BmoEngine::claimUnit(Tick start, Tick latency)
+{
+    busyTicks_ += latency;
+    if (units_ == 0)
+        return start; // unlimited units
+
+    Unit *best_unit = nullptr;
+    Tick best_begin = maxTick;
+    for (Unit &unit : unitState_) {
+        Tick begin = fitInto(unit, start, latency);
+        if (begin < best_begin) {
+            best_begin = begin;
+            best_unit = &unit;
+        }
+    }
+    janus_assert(best_unit != nullptr, "no units");
+
+    // Insert the reservation, keeping intervals sorted; drop
+    // intervals that ended before the current query horizon (all
+    // future queries have ready times at or near `start`).
+    auto &busy = best_unit->busy;
+    std::erase_if(busy, [start](const std::pair<Tick, Tick> &iv) {
+        return iv.second + 100 * ticks::us < start;
+    });
+    auto pos = std::lower_bound(
+        busy.begin(), busy.end(),
+        std::make_pair(best_begin, best_begin + latency));
+    busy.insert(pos, {best_begin, best_begin + latency});
+    return best_begin;
+}
+
+Tick
+BmoEngine::execute(BmoExecState &state, ExternalInput available,
+                   Tick ready, BmoExecMode mode,
+                   const std::vector<Tick> *latency_override)
+{
+    auto node_latency = [&](SubOpId id) {
+        Tick latency = graph_.subOp(id).latency;
+        if (latency_override && (*latency_override)[id] != maxTick)
+            latency = (*latency_override)[id];
+        return latency;
+    };
+
+    // Collect the newly runnable nodes in topological order.
+    std::vector<SubOpId> runnable;
+    for (SubOpId id : graph_.topoOrder()) {
+        if (state.done(id))
+            continue;
+        if (!hasInput(available, graph_.required(id)))
+            continue;
+        runnable.push_back(id);
+    }
+    if (runnable.empty())
+        return ready;
+
+    // A unit is one BMO processing pipeline (Figure 7d): it hosts
+    // one request at a time; within it, each sub-operation has its
+    // own logic, so independent sub-ops overlap in Parallel mode
+    // while Serialized mode chains them monolithically.
+    //
+    // Pass 1: dependency-only schedule anchored at `ready` to learn
+    // the occupancy this request needs.
+    Tick duration = 0;
+    if (mode == BmoExecMode::Serialized) {
+        for (SubOpId id : runnable)
+            duration += node_latency(id);
+    } else {
+        std::vector<Tick> tmp(graph_.size(), 0);
+        Tick end = ready;
+        for (SubOpId id : runnable) {
+            Tick start = ready;
+            for (SubOpId p : graph_.preds(id)) {
+                Tick pf = state.done(p) ? state.finish(p) : tmp[p];
+                start = std::max(start, pf);
+            }
+            tmp[id] = start + node_latency(id);
+            end = std::max(end, tmp[id]);
+        }
+        duration = end - ready;
+    }
+
+    Tick begin = claimUnit(ready, duration);
+
+    // Pass 2: real schedule anchored at the unit grant.
+    Tick last = begin;
+    if (mode == BmoExecMode::Serialized) {
+        Tick cursor = begin;
+        for (SubOpId id : runnable) {
+            for (SubOpId p : graph_.preds(id))
+                if (state.done(p))
+                    cursor = std::max(cursor, state.finish(p));
+            cursor += node_latency(id);
+            state.complete(id, cursor);
+            ++subOpsExecuted_;
+        }
+        return cursor;
+    }
+    for (SubOpId id : runnable) {
+        Tick start = begin;
+        for (SubOpId p : graph_.preds(id)) {
+            janus_assert(state.done(p), "pred %s of %s not complete",
+                         graph_.subOp(p).name.c_str(),
+                         graph_.subOp(id).name.c_str());
+            start = std::max(start, state.finish(p));
+        }
+        Tick finish = start + node_latency(id);
+        state.complete(id, finish);
+        ++subOpsExecuted_;
+        last = std::max(last, finish);
+    }
+    return last;
+}
+
+} // namespace janus

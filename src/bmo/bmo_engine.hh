@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The BMO processing engine: schedules sub-operation DAG instances
+ * onto a shared pool of BMO units (Table 3: 4 units per core,
+ * shared). One engine instance is shared by the whole memory
+ * controller, so concurrent writes and pre-execution requests
+ * contend for units — the effect behind the paper's Figures 13/14.
+ */
+
+#ifndef JANUS_BMO_BMO_ENGINE_HH
+#define JANUS_BMO_BMO_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bmo/bmo_graph.hh"
+#include "common/types.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** How the engine orders a request's sub-operations. */
+enum class BmoExecMode : std::uint8_t
+{
+    /** One sub-op at a time, in topological order (baseline). */
+    Serialized,
+    /** Independent sub-ops run concurrently (Janus parallelization). */
+    Parallel,
+};
+
+/**
+ * Per-write execution state of a graph instance: which nodes have
+ * completed and when. Pre-execution fills this in incrementally; the
+ * arriving write completes whatever remains.
+ */
+class BmoExecState
+{
+  public:
+    explicit BmoExecState(const BmoGraph &graph)
+        : done_(graph.size(), false), finish_(graph.size(), 0)
+    {}
+
+    bool done(SubOpId id) const { return done_[id]; }
+    Tick finish(SubOpId id) const { return finish_[id]; }
+
+    void
+    complete(SubOpId id, Tick at)
+    {
+        done_[id] = true;
+        finish_[id] = at;
+    }
+
+    /** Forget a completed node (stale-input invalidation). */
+    void
+    invalidate(SubOpId id)
+    {
+        done_[id] = false;
+        finish_[id] = 0;
+    }
+
+    /** @return true if every node of the graph has completed. */
+    bool allDone() const;
+
+    /** Latest finish tick among completed nodes. */
+    Tick lastFinish() const;
+
+    /** Number of completed nodes. */
+    unsigned completedCount() const;
+
+  private:
+    std::vector<char> done_;
+    std::vector<Tick> finish_;
+};
+
+/**
+ * The shared unit pool + list scheduler. Queries must be issued in
+ * nondecreasing ready-time order (guaranteed by the event queue).
+ */
+class BmoEngine
+{
+  public:
+    /**
+     * @param graph  the system's BMO graph
+     * @param units  number of shared BMO units; 0 means unlimited
+     */
+    BmoEngine(const BmoGraph &graph, unsigned units);
+
+    /**
+     * Execute every not-yet-done node whose transitive external
+     * requirements are covered by @p available, respecting
+     * dependencies and unit occupancy.
+     *
+     * @param state      per-write execution state (updated)
+     * @param available  which external inputs are known
+     * @param ready      earliest tick any new node may start
+     * @param mode       serialized or parallel ordering
+     * @param latency_override  optional per-node latency vector
+     *        (e.g., E1 costs more on a counter-cache miss); nodes
+     *        with maxTick entries use the graph default
+     * @return latest finish tick among nodes runnable now (or
+     *         @p ready if nothing new was runnable)
+     */
+    Tick execute(BmoExecState &state, ExternalInput available,
+                 Tick ready, BmoExecMode mode,
+                 const std::vector<Tick> *latency_override = nullptr);
+
+    const BmoGraph &graph() const { return graph_; }
+    unsigned units() const { return units_; }
+
+    std::uint64_t subOpsExecuted() const { return subOpsExecuted_; }
+    Tick busyTicks() const { return busyTicks_; }
+
+  private:
+    /** A unit's reserved busy intervals (future ones only). */
+    struct Unit
+    {
+        std::vector<std::pair<Tick, Tick>> busy; ///< sorted [b, e)
+    };
+
+    /**
+     * Reserve the earliest [begin, begin+latency) with begin >= start
+     * on any unit (gap backfilling). @return begin.
+     */
+    Tick claimUnit(Tick start, Tick latency);
+
+    /** Earliest begin >= start where the unit has a free gap. */
+    static Tick fitInto(const Unit &unit, Tick start, Tick latency);
+
+    const BmoGraph &graph_;
+    unsigned units_;
+    std::vector<Unit> unitState_;
+    std::uint64_t subOpsExecuted_ = 0;
+    Tick busyTicks_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_BMO_BMO_ENGINE_HH

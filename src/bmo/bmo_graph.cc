@@ -1,0 +1,171 @@
+#include "bmo/bmo_graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+SubOpId
+BmoGraph::addSubOp(std::string name, BmoKind kind, Tick latency,
+                   ExternalInput direct)
+{
+    janus_assert(!finalized_, "graph already finalized");
+    janus_assert(subOps_.size() < 0xFFFF, "too many sub-operations");
+    subOps_.push_back(SubOp{std::move(name), kind, latency, direct});
+    preds_.emplace_back();
+    return static_cast<SubOpId>(subOps_.size() - 1);
+}
+
+void
+BmoGraph::addEdge(SubOpId from, SubOpId to)
+{
+    janus_assert(!finalized_, "graph already finalized");
+    janus_assert(from < subOps_.size() && to < subOps_.size(),
+                 "edge references unknown sub-op");
+    janus_assert(from != to, "self edge on %s",
+                 subOps_[from].name.c_str());
+    preds_[to].push_back(from);
+}
+
+void
+BmoGraph::finalize()
+{
+    janus_assert(!finalized_, "graph already finalized");
+    const std::size_t n = subOps_.size();
+
+    // Kahn topological sort; preserves insertion order among ready
+    // nodes for determinism.
+    std::vector<unsigned> indeg(n, 0);
+    std::vector<std::vector<SubOpId>> succs(n);
+    for (SubOpId to = 0; to < n; ++to) {
+        for (SubOpId from : preds_[to]) {
+            succs[from].push_back(to);
+            ++indeg[to];
+        }
+    }
+    std::vector<SubOpId> ready;
+    for (SubOpId id = 0; id < n; ++id)
+        if (indeg[id] == 0)
+            ready.push_back(id);
+    topo_.clear();
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        SubOpId id = ready[head];
+        topo_.push_back(id);
+        for (SubOpId s : succs[id])
+            if (--indeg[s] == 0)
+                ready.push_back(s);
+    }
+    janus_assert(topo_.size() == n, "BMO graph has a cycle");
+
+    // Transitive external requirements (the paper's merge rule).
+    required_.assign(n, ExternalInput::None);
+    for (SubOpId id : topo_) {
+        ExternalInput req = subOps_[id].direct;
+        for (SubOpId p : preds_[id])
+            req = req | required_[p];
+        required_[id] = req;
+    }
+
+    finalized_ = true;
+}
+
+SubOpId
+BmoGraph::idOf(const std::string &name) const
+{
+    for (SubOpId id = 0; id < subOps_.size(); ++id)
+        if (subOps_[id].name == name)
+            return id;
+    panic("unknown sub-op '%s'", name.c_str());
+}
+
+bool
+BmoGraph::hasSubOp(const std::string &name) const
+{
+    for (const SubOp &op : subOps_)
+        if (op.name == name)
+            return true;
+    return false;
+}
+
+std::vector<SubOpId>
+BmoGraph::dependentsOf(SubOpId id) const
+{
+    janus_assert(finalized_, "finalize() the graph first");
+    std::vector<char> in_set(subOps_.size(), 0);
+    in_set[id] = 1;
+    for (SubOpId node : topo_) {
+        if (in_set[node])
+            continue;
+        for (SubOpId p : preds_[node]) {
+            if (in_set[p]) {
+                in_set[node] = 1;
+                break;
+            }
+        }
+    }
+    std::vector<SubOpId> out;
+    for (SubOpId node = 0; node < subOps_.size(); ++node)
+        if (in_set[node])
+            out.push_back(node);
+    return out;
+}
+
+Tick
+BmoGraph::serializedLatency() const
+{
+    Tick total = 0;
+    for (const SubOp &op : subOps_)
+        total += op.latency;
+    return total;
+}
+
+Tick
+BmoGraph::criticalPath() const
+{
+    janus_assert(finalized_, "finalize() the graph first");
+    std::vector<Tick> finish(subOps_.size(), 0);
+    Tick makespan = 0;
+    for (SubOpId id : topo_) {
+        Tick start = 0;
+        for (SubOpId p : preds_[id])
+            start = std::max(start, finish[p]);
+        finish[id] = start + subOps_[id].latency;
+        makespan = std::max(makespan, finish[id]);
+    }
+    return makespan;
+}
+
+std::string
+BmoGraph::toString() const
+{
+    std::ostringstream os;
+    auto input_name = [](ExternalInput in) {
+        switch (in) {
+          case ExternalInput::None: return "none";
+          case ExternalInput::Addr: return "addr";
+          case ExternalInput::Data: return "data";
+          case ExternalInput::Both: return "addr+data";
+        }
+        return "?";
+    };
+    for (SubOpId id = 0; id < subOps_.size(); ++id) {
+        const SubOp &op = subOps_[id];
+        os << op.name << " (" << ticks::toNsF(op.latency) << " ns, needs "
+           << input_name(finalized_ ? required_[id] : op.direct) << ")";
+        if (!preds_[id].empty()) {
+            os << " <- ";
+            for (std::size_t i = 0; i < preds_[id].size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << subOps_[preds_[id][i]].name;
+            }
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace janus

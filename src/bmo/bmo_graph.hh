@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The backend-memory-operation (BMO) dependency graph: the paper's
+ * central abstraction (Section 3.1, Figures 2 and 6). Each BMO is
+ * decomposed into sub-operations; intra-/inter-operation edges order
+ * sub-operations, and *external* edges from the write's address and
+ * data determine which sub-operations can be pre-executed once only
+ * the address and/or only the data is known.
+ *
+ * The graph is data, not code: BMOs register nodes and edges, and the
+ * engine schedules any graph, so adding a new BMO (compression,
+ * wear-leveling, ...) is pure registration.
+ */
+
+#ifndef JANUS_BMO_BMO_GRAPH_HH
+#define JANUS_BMO_BMO_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Which BMO a sub-operation belongs to (for reporting). */
+enum class BmoKind : std::uint8_t
+{
+    Encryption,
+    Deduplication,
+    Integrity,
+    Compression, ///< extension BMO (Section 6 / ablation bench)
+    Other,
+};
+
+/** External inputs of a write access (paper Section 3.1). */
+enum class ExternalInput : std::uint8_t
+{
+    None = 0,
+    Addr = 1,
+    Data = 2,
+    Both = 3,
+};
+
+/** Bitwise helpers over ExternalInput. */
+constexpr ExternalInput
+operator|(ExternalInput a, ExternalInput b)
+{
+    return static_cast<ExternalInput>(static_cast<std::uint8_t>(a) |
+                                      static_cast<std::uint8_t>(b));
+}
+
+constexpr bool
+hasInput(ExternalInput set, ExternalInput in)
+{
+    return (static_cast<std::uint8_t>(set) &
+            static_cast<std::uint8_t>(in)) ==
+           static_cast<std::uint8_t>(in);
+}
+
+/** A sub-operation node. */
+struct SubOp
+{
+    std::string name;       ///< e.g. "E2"
+    BmoKind kind;
+    Tick latency;           ///< occupancy of one BMO unit
+    /** Direct external-dependency edges (yellow edges in Fig. 2). */
+    ExternalInput direct;
+};
+
+/** Index of a sub-operation within its graph. */
+using SubOpId = std::uint16_t;
+
+/**
+ * An immutable DAG of sub-operations. Built once per system
+ * configuration; per-write execution state lives elsewhere.
+ */
+class BmoGraph
+{
+  public:
+    /** Add a node; @return its id. */
+    SubOpId addSubOp(std::string name, BmoKind kind, Tick latency,
+                     ExternalInput direct = ExternalInput::None);
+
+    /** Add a dependency edge from -> to (from must finish first). */
+    void addEdge(SubOpId from, SubOpId to);
+
+    /**
+     * Validate (acyclic, ids in range) and precompute the
+     * topological order and per-node transitive external
+     * dependencies (the paper's merge rule: a node needs input In iff
+     * a path In ~> node exists).
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+    std::size_t size() const { return subOps_.size(); }
+    const SubOp &subOp(SubOpId id) const { return subOps_.at(id); }
+    const std::vector<SubOpId> &preds(SubOpId id) const
+    {
+        return preds_.at(id);
+    }
+    const std::vector<SubOpId> &topoOrder() const { return topo_; }
+
+    /**
+     * The external inputs a node transitively requires; a node may
+     * only execute (pre-execute) once all of them are known.
+     */
+    ExternalInput required(SubOpId id) const { return required_.at(id); }
+
+    /** Find a node id by name (panics if absent). */
+    SubOpId idOf(const std::string &name) const;
+
+    /** @return true if a node with this name exists. */
+    bool hasSubOp(const std::string &name) const;
+
+    /**
+     * The node plus all its transitive successors: everything whose
+     * result is stale once the node's output is invalidated.
+     */
+    std::vector<SubOpId> dependentsOf(SubOpId id) const;
+
+    /** Sum of all latencies: the serialized cost (Fig. 1b). */
+    Tick serializedLatency() const;
+
+    /**
+     * Makespan with unlimited units and all inputs available at t=0:
+     * the DAG critical path (best case for parallelization only).
+     */
+    Tick criticalPath() const;
+
+    /** Human-readable dump (nodes, edges, categories). */
+    std::string toString() const;
+
+  private:
+    std::vector<SubOp> subOps_;
+    std::vector<std::vector<SubOpId>> preds_;
+    std::vector<SubOpId> topo_;
+    std::vector<ExternalInput> required_;
+    bool finalized_ = false;
+};
+
+} // namespace janus
+
+#endif // JANUS_BMO_BMO_GRAPH_HH

@@ -1,0 +1,187 @@
+#include "bmo/compress.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/**
+ * Try base+delta with the given base width (bytes) and delta width:
+ * every base-sized word must be within a signed delta of the first
+ * word. @return true and fill payload on success.
+ */
+template <typename BaseT, typename DeltaT>
+bool
+tryBaseDelta(const CacheLine &line, std::vector<std::uint8_t> &payload)
+{
+    constexpr unsigned words = lineBytes / sizeof(BaseT);
+    BaseT base;
+    line.read(0, &base, sizeof(BaseT));
+    DeltaT deltas[words];
+    for (unsigned w = 0; w < words; ++w) {
+        BaseT value;
+        line.read(w * sizeof(BaseT), &value, sizeof(BaseT));
+        auto wide = static_cast<std::int64_t>(value) -
+                    static_cast<std::int64_t>(base);
+        auto narrow = static_cast<DeltaT>(wide);
+        if (static_cast<std::int64_t>(narrow) != wide)
+            return false;
+        deltas[w] = narrow;
+    }
+    payload.resize(sizeof(BaseT) + sizeof(deltas));
+    std::memcpy(payload.data(), &base, sizeof(BaseT));
+    std::memcpy(payload.data() + sizeof(BaseT), deltas,
+                sizeof(deltas));
+    return true;
+}
+
+template <typename BaseT, typename DeltaT>
+CacheLine
+expandBaseDelta(const std::vector<std::uint8_t> &payload)
+{
+    constexpr unsigned words = lineBytes / sizeof(BaseT);
+    janus_assert(payload.size() ==
+                     sizeof(BaseT) + words * sizeof(DeltaT),
+                 "bad BDI payload size %zu", payload.size());
+    BaseT base;
+    std::memcpy(&base, payload.data(), sizeof(BaseT));
+    CacheLine line;
+    for (unsigned w = 0; w < words; ++w) {
+        DeltaT delta;
+        std::memcpy(&delta, payload.data() + sizeof(BaseT) +
+                                w * sizeof(DeltaT),
+                    sizeof(DeltaT));
+        auto value = static_cast<BaseT>(
+            static_cast<std::int64_t>(base) +
+            static_cast<std::int64_t>(delta));
+        line.write(w * sizeof(BaseT), &value, sizeof(BaseT));
+    }
+    return line;
+}
+
+} // namespace
+
+BdiCompressed
+bdiCompress(const CacheLine &line)
+{
+    BdiCompressed out;
+
+    bool zero = true;
+    for (unsigned off = 0; off < lineBytes && zero; off += 8)
+        zero = line.word(off) == 0;
+    if (zero) {
+        out.encoding = BdiEncoding::Zero;
+        return out;
+    }
+
+    bool repeat = true;
+    std::uint64_t first = line.word(0);
+    for (unsigned off = 8; off < lineBytes && repeat; off += 8)
+        repeat = line.word(off) == first;
+    if (repeat) {
+        out.encoding = BdiEncoding::Repeat8;
+        out.payload.resize(8);
+        std::memcpy(out.payload.data(), &first, 8);
+        return out;
+    }
+
+    // Smallest encodings first.
+    if (tryBaseDelta<std::uint64_t, std::int8_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base8Delta1;
+        return out;
+    }
+    if (tryBaseDelta<std::uint32_t, std::int8_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base4Delta1;
+        return out;
+    }
+    if (tryBaseDelta<std::uint64_t, std::int16_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base8Delta2;
+        return out;
+    }
+    if (tryBaseDelta<std::uint16_t, std::int8_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base2Delta1;
+        return out;
+    }
+    if (tryBaseDelta<std::uint32_t, std::int16_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base4Delta2;
+        return out;
+    }
+    if (tryBaseDelta<std::uint64_t, std::int32_t>(line, out.payload)) {
+        out.encoding = BdiEncoding::Base8Delta4;
+        return out;
+    }
+
+    out.encoding = BdiEncoding::Uncompressed;
+    out.payload.resize(lineBytes);
+    std::memcpy(out.payload.data(), line.data(), lineBytes);
+    return out;
+}
+
+CacheLine
+bdiDecompress(const BdiCompressed &compressed)
+{
+    switch (compressed.encoding) {
+      case BdiEncoding::Zero:
+        return CacheLine();
+      case BdiEncoding::Repeat8: {
+          janus_assert(compressed.payload.size() == 8, "bad payload");
+          CacheLine line;
+          std::uint64_t value;
+          std::memcpy(&value, compressed.payload.data(), 8);
+          for (unsigned off = 0; off < lineBytes; off += 8)
+              line.setWord(off, value);
+          return line;
+      }
+      case BdiEncoding::Base8Delta1:
+        return expandBaseDelta<std::uint64_t, std::int8_t>(
+            compressed.payload);
+      case BdiEncoding::Base8Delta2:
+        return expandBaseDelta<std::uint64_t, std::int16_t>(
+            compressed.payload);
+      case BdiEncoding::Base8Delta4:
+        return expandBaseDelta<std::uint64_t, std::int32_t>(
+            compressed.payload);
+      case BdiEncoding::Base4Delta1:
+        return expandBaseDelta<std::uint32_t, std::int8_t>(
+            compressed.payload);
+      case BdiEncoding::Base4Delta2:
+        return expandBaseDelta<std::uint32_t, std::int16_t>(
+            compressed.payload);
+      case BdiEncoding::Base2Delta1:
+        return expandBaseDelta<std::uint16_t, std::int8_t>(
+            compressed.payload);
+      case BdiEncoding::Uncompressed: {
+          janus_assert(compressed.payload.size() == lineBytes,
+                       "bad payload");
+          CacheLine line;
+          std::memcpy(line.data(), compressed.payload.data(),
+                      lineBytes);
+          return line;
+      }
+    }
+    panic("unknown BDI encoding");
+}
+
+const char *
+bdiEncodingName(BdiEncoding encoding)
+{
+    switch (encoding) {
+      case BdiEncoding::Zero: return "zero";
+      case BdiEncoding::Repeat8: return "repeat8";
+      case BdiEncoding::Base8Delta1: return "b8d1";
+      case BdiEncoding::Base8Delta2: return "b8d2";
+      case BdiEncoding::Base8Delta4: return "b8d4";
+      case BdiEncoding::Base4Delta1: return "b4d1";
+      case BdiEncoding::Base4Delta2: return "b4d2";
+      case BdiEncoding::Base2Delta1: return "b2d1";
+      case BdiEncoding::Uncompressed: return "raw";
+    }
+    return "?";
+}
+
+} // namespace janus

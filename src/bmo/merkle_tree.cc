@@ -1,0 +1,120 @@
+#include "bmo/merkle_tree.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+MerkleTree::MerkleTree(unsigned levels, unsigned leaf_bytes)
+    : levels_(levels), leafBytes_(leaf_bytes), nodes_(levels + 1),
+      defaults_(levels + 1)
+{
+    janus_assert(levels >= 1 && levels <= 21, "bad tree height %u",
+                 levels);
+    // Default leaf digest: hash of an all-zero entry.
+    std::vector<std::uint8_t> zero(leafBytes_, 0);
+    defaults_[0] = Sha1::hash(zero.data(), zero.size());
+    for (unsigned level = 1; level <= levels_; ++level) {
+        Sha1 hasher;
+        for (unsigned c = 0; c < fanout; ++c)
+            hasher.update(defaults_[level - 1].bytes.data(),
+                          defaults_[level - 1].bytes.size());
+        defaults_[level] = hasher.finish();
+    }
+    root_ = defaults_[levels_];
+}
+
+const Sha1Digest &
+MerkleTree::node(unsigned level, std::uint64_t index) const
+{
+    const auto &map = nodes_[level];
+    auto it = map.find(index);
+    return it == map.end() ? defaults_[level] : it->second;
+}
+
+Sha1Digest
+MerkleTree::hashChildren(unsigned level, std::uint64_t index) const
+{
+    janus_assert(level >= 1, "leaves have no children");
+    Sha1 hasher;
+    for (unsigned c = 0; c < fanout; ++c) {
+        const Sha1Digest &child =
+            node(level - 1, index * fanout + c);
+        hasher.update(child.bytes.data(), child.bytes.size());
+    }
+    return hasher.finish();
+}
+
+void
+MerkleTree::update(std::uint64_t leaf_index, const void *leaf_data)
+{
+    janus_assert(leaf_index < capacity(), "leaf index out of range");
+    nodes_[0][leaf_index] = Sha1::hash(leaf_data, leafBytes_);
+    std::uint64_t index = leaf_index;
+    for (unsigned level = 1; level <= levels_; ++level) {
+        index >>= fanoutShift;
+        nodes_[level][index] = hashChildren(level, index);
+    }
+    root_ = node(levels_, 0);
+}
+
+Sha1Digest
+MerkleTree::recomputeRoot() const
+{
+    // Rebuild bottom-up over only the materialized indices.
+    std::unordered_map<std::uint64_t, Sha1Digest> current = nodes_[0];
+    for (unsigned level = 1; level <= levels_; ++level) {
+        std::unordered_map<std::uint64_t, Sha1Digest> next;
+        for (const auto &[index, digest] : current) {
+            std::uint64_t parent = index >> fanoutShift;
+            if (next.count(parent))
+                continue;
+            Sha1 hasher;
+            for (unsigned c = 0; c < fanout; ++c) {
+                std::uint64_t child = parent * fanout + c;
+                auto it = current.find(child);
+                const Sha1Digest &d =
+                    it == current.end() ? defaults_[level - 1]
+                                        : it->second;
+                hasher.update(d.bytes.data(), d.bytes.size());
+            }
+            next[parent] = hasher.finish();
+        }
+        current = std::move(next);
+    }
+    auto it = current.find(0);
+    return it == current.end() ? defaults_[levels_] : it->second;
+}
+
+bool
+MerkleTree::verifyLeaf(std::uint64_t leaf_index,
+                       const void *leaf_data) const
+{
+    if (leaf_index >= capacity())
+        return false;
+    Sha1Digest leaf = Sha1::hash(leaf_data, leafBytes_);
+    if (!(leaf == node(0, leaf_index)))
+        return false;
+    // Walk the path to the root, re-deriving each parent.
+    std::uint64_t index = leaf_index;
+    for (unsigned level = 1; level <= levels_; ++level) {
+        index >>= fanoutShift;
+        Sha1Digest derived = hashChildren(level, index);
+        if (!(derived == node(level, index)))
+            return false;
+    }
+    return node(levels_, 0) == root_;
+}
+
+std::size_t
+MerkleTree::materializedNodes() const
+{
+    std::size_t total = 0;
+    for (const auto &map : nodes_)
+        total += map.size();
+    return total;
+}
+
+} // namespace janus

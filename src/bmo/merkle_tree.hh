@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sparse Bonsai Merkle tree (Rogers et al. [76], as configured in the
+ * paper): a fixed-height SHA-1 hash tree over the per-line metadata
+ * entries (co-located counter / dedup remap, DeWrite-style). The
+ * root lives in a secure non-volatile register. The tree is sparse:
+ * untouched subtrees use precomputed default digests, so covering a
+ * 4 GB device (height 9, fanout 8) costs only what is written.
+ */
+
+#ifndef JANUS_BMO_MERKLE_TREE_HH
+#define JANUS_BMO_MERKLE_TREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/sha1.hh"
+
+namespace janus
+{
+
+/** Fixed-height sparse Merkle tree with fanout 8. */
+class MerkleTree
+{
+  public:
+    static constexpr unsigned fanout = 8;
+    static constexpr unsigned fanoutShift = 3;
+
+    /**
+     * @param levels      number of hashing levels above the leaves
+     *                    (level `levels` holds the single root)
+     * @param leaf_bytes  size of each serialized leaf entry
+     */
+    explicit MerkleTree(unsigned levels, unsigned leaf_bytes = 16);
+
+    /** Install/overwrite a leaf and propagate hashes to the root. */
+    void update(std::uint64_t leaf_index, const void *leaf_data);
+
+    /** The current root digest (the secure NV register's content). */
+    const Sha1Digest &root() const { return root_; }
+
+    /**
+     * Recompute the root from all materialized leaves from scratch.
+     * Used to audit incremental maintenance and to detect tampering.
+     */
+    Sha1Digest recomputeRoot() const;
+
+    /**
+     * @return true iff the leaf's stored hash matches the given
+     * content and its path to the root is consistent.
+     */
+    bool verifyLeaf(std::uint64_t leaf_index, const void *leaf_data) const;
+
+    unsigned levels() const { return levels_; }
+    std::size_t materializedNodes() const;
+
+    /** Max leaf index + 1 representable by this height. */
+    std::uint64_t capacity() const
+    {
+        return std::uint64_t(1) << (fanoutShift * levels_);
+    }
+
+  private:
+    /** Digest of a node from its eight children at level - 1. */
+    Sha1Digest hashChildren(unsigned level, std::uint64_t index) const;
+
+    /** Stored digest of (level, index), or the level default. */
+    const Sha1Digest &node(unsigned level, std::uint64_t index) const;
+
+    unsigned levels_;
+    unsigned leafBytes_;
+    /** levels_ + 1 maps: [0] leaf hashes ... [levels_] the root. */
+    std::vector<std::unordered_map<std::uint64_t, Sha1Digest>> nodes_;
+    /** Default digest per level for untouched subtrees. */
+    std::vector<Sha1Digest> defaults_;
+    Sha1Digest root_;
+};
+
+} // namespace janus
+
+#endif // JANUS_BMO_MERKLE_TREE_HH

@@ -1,0 +1,113 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+SetAssocCache::SetAssocCache(const std::string &name,
+                             std::uint64_t size_bytes, unsigned assoc,
+                             unsigned line_bytes)
+    : name_(name), lineBytes_(line_bytes), assoc_(assoc)
+{
+    janus_assert(line_bytes != 0 && std::has_single_bit(line_bytes),
+                 "line size must be a power of two");
+    janus_assert(assoc > 0, "associativity must be positive");
+    std::uint64_t lines = size_bytes / line_bytes;
+    janus_assert(lines >= assoc, "cache smaller than one set");
+    numSets_ = static_cast<unsigned>(lines / assoc);
+    janus_assert(std::has_single_bit(numSets_),
+                 "set count must be a power of two (got %u)", numSets_);
+    lineShift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+    ways_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> lineShift_) & (numSets_ - 1));
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool write)
+{
+    Addr tag = tagOf(addr);
+    Way *set = &ways_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+
+    Way *invalid_way = nullptr;
+    Way *lru_way = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.tag == tag) {
+            way.lruStamp = ++stamp_;
+            way.dirty = way.dirty || write;
+            ++hits_;
+            return {true, std::nullopt};
+        }
+        if (!way.valid) {
+            if (!invalid_way)
+                invalid_way = &way;
+        } else if (!lru_way || way.lruStamp < lru_way->lruStamp) {
+            lru_way = &way;
+        }
+    }
+    Way *victim = invalid_way ? invalid_way : lru_way;
+
+    ++misses_;
+    std::optional<Addr> writeback;
+    if (victim->valid && victim->dirty)
+        writeback = victim->tag << lineShift_;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return {false, writeback};
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    Addr tag = tagOf(addr);
+    const Way *set =
+        &ways_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    Addr tag = tagOf(addr);
+    Way *set = &ways_[static_cast<std::size_t>(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.tag == tag) {
+            bool was_dirty = way.dirty;
+            way.valid = false;
+            way.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+} // namespace janus

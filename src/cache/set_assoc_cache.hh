@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Generic set-associative tag array with LRU replacement. Used for
+ * the core-side data caches, the encryption counter cache and the
+ * Merkle-tree cache; only tags and dirty bits are modeled (data lives
+ * in the functional memory).
+ */
+
+#ifndef JANUS_CACHE_SET_ASSOC_CACHE_HH
+#define JANUS_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit;
+    /** Line address of a dirty line evicted by this fill, if any. */
+    std::optional<Addr> writeback;
+};
+
+/** A set-associative, write-allocate tag array with true-LRU. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name        stat-group name
+     * @param size_bytes  total capacity
+     * @param assoc       associativity (ways)
+     * @param line_bytes  block size (defaults to the global line size)
+     */
+    SetAssocCache(const std::string &name, std::uint64_t size_bytes,
+                  unsigned assoc, unsigned line_bytes = lineBytes);
+
+    /**
+     * Access a line; fills on miss.
+     * @param addr   any address inside the line
+     * @param write  whether to mark the line dirty
+     */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** @return true if the line is present (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line if present; @return true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything (e.g., on simulated crash). */
+    void invalidateAll();
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Hit ratio over all accesses so far. */
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    std::string name_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    unsigned numSets_;
+    unsigned assoc_;
+    std::vector<Way> ways_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_CACHE_SET_ASSOC_CACHE_HH

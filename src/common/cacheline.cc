@@ -1,0 +1,87 @@
+#include "common/cacheline.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+CacheLine
+CacheLine::filled(std::uint8_t value)
+{
+    CacheLine line;
+    line.bytes_.fill(value);
+    return line;
+}
+
+CacheLine
+CacheLine::fromSeed(std::uint64_t seed)
+{
+    CacheLine line;
+    std::uint64_t x = seed;
+    for (unsigned off = 0; off < lineBytes; off += 8) {
+        // splitmix64 step; cheap and well mixed.
+        x += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        line.setWord(off, z ^ (z >> 31));
+    }
+    return line;
+}
+
+std::uint64_t
+CacheLine::word(unsigned offset) const
+{
+    janus_assert(offset % 8 == 0 && offset + 8 <= lineBytes,
+                 "bad word offset %u", offset);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + offset, 8);
+    return v;
+}
+
+void
+CacheLine::setWord(unsigned offset, std::uint64_t value)
+{
+    janus_assert(offset % 8 == 0 && offset + 8 <= lineBytes,
+                 "bad word offset %u", offset);
+    std::memcpy(bytes_.data() + offset, &value, 8);
+}
+
+void
+CacheLine::write(unsigned offset, const void *src, unsigned size)
+{
+    janus_assert(offset + size <= lineBytes,
+                 "line write overflow: off %u size %u", offset, size);
+    std::memcpy(bytes_.data() + offset, src, size);
+}
+
+void
+CacheLine::read(unsigned offset, void *dst, unsigned size) const
+{
+    janus_assert(offset + size <= lineBytes,
+                 "line read overflow: off %u size %u", offset, size);
+    std::memcpy(dst, bytes_.data() + offset, size);
+}
+
+CacheLine &
+CacheLine::operator^=(const CacheLine &other)
+{
+    for (unsigned i = 0; i < lineBytes; ++i)
+        bytes_[i] ^= other.bytes_[i];
+    return *this;
+}
+
+std::string
+CacheLine::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(2 * lineBytes);
+    for (std::uint8_t b : bytes_) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 0xF]);
+    }
+    return s;
+}
+
+} // namespace janus

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CacheLine: the 64-byte value type every backend memory operation
+ * (encryption, hashing, deduplication) works on. The functional
+ * memory stores real bytes so that BMO behaviour (duplicate
+ * detection, OTP round-trips, Merkle hashes) is computed from real
+ * data rather than synthesized flags.
+ */
+
+#ifndef JANUS_COMMON_CACHELINE_HH
+#define JANUS_COMMON_CACHELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** A 64-byte cache line value. */
+class CacheLine
+{
+  public:
+    /** Zero-filled line. */
+    CacheLine() { bytes_.fill(0); }
+
+    /** Line with every byte set to the given value. */
+    static CacheLine filled(std::uint8_t value);
+
+    /** Line whose eight 64-bit words are derived from a seed. */
+    static CacheLine fromSeed(std::uint64_t seed);
+
+    /** Raw byte access. */
+    const std::uint8_t *data() const { return bytes_.data(); }
+    /** Raw byte access. */
+    std::uint8_t *data() { return bytes_.data(); }
+
+    /** Number of bytes in a line. */
+    static constexpr unsigned size() { return lineBytes; }
+
+    /** Read a little-endian 64-bit word at byte offset (aligned). */
+    std::uint64_t word(unsigned offset) const;
+
+    /** Write a little-endian 64-bit word at byte offset (aligned). */
+    void setWord(unsigned offset, std::uint64_t value);
+
+    /** Copy size bytes in at offset. */
+    void write(unsigned offset, const void *src, unsigned size);
+
+    /** Copy size bytes out from offset. */
+    void read(unsigned offset, void *dst, unsigned size) const;
+
+    /** XOR with another line (used by counter-mode encryption). */
+    CacheLine &operator^=(const CacheLine &other);
+
+    bool operator==(const CacheLine &other) const
+    {
+        return bytes_ == other.bytes_;
+    }
+
+    /** Hex dump (for debugging and golden tests). */
+    std::string toHex() const;
+
+  private:
+    std::array<std::uint8_t, lineBytes> bytes_;
+};
+
+} // namespace janus
+
+#endif // JANUS_COMMON_CACHELINE_HH

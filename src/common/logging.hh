@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-flavored status and error reporting. panic() flags simulator
+ * bugs (aborts); fatal() flags user/configuration errors (clean exit);
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef JANUS_COMMON_LOGGING_HH
+#define JANUS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace janus
+{
+
+/** Printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * can never legally arise regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() are currently silenced. */
+bool quiet();
+
+/** panic() unless the condition holds. */
+#define janus_assert(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::janus::panic("assertion '%s' failed: %s", #cond,            \
+                           ::janus::strprintf(__VA_ARGS__).c_str());      \
+    } while (0)
+
+} // namespace janus
+
+#endif // JANUS_COMMON_LOGGING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ * Every stochastic choice in the simulator and the workload
+ * generators draws from an explicitly-seeded Rng so that experiments
+ * are exactly reproducible run to run.
+ */
+
+#ifndef JANUS_COMMON_RANDOM_HH
+#define JANUS_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace janus
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * algorithm), seeded via splitmix64 so that any 64-bit seed yields a
+ * well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace janus
+
+#endif // JANUS_COMMON_RANDOM_HH

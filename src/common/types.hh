@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental scalar types and time literals used across the
+ * simulator. Ticks are picoseconds so that every latency in the
+ * paper's Table 3 (4 GHz core cycles, DDR timing parameters,
+ * nanosecond BMO latencies) is exactly representable.
+ */
+
+#ifndef JANUS_COMMON_TYPES_HH
+#define JANUS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace janus
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical (processor-visible) memory address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no such tick"; sorts after every real tick. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Cache line size in bytes. All BMOs operate at this granularity. */
+constexpr unsigned lineBytes = 64;
+
+/** log2(lineBytes); used for address/line conversions. */
+constexpr unsigned lineShift = 6;
+
+/** Align an address down to its cache line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr(lineBytes - 1);
+}
+
+/** Offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (lineBytes - 1));
+}
+
+/** Number of cache lines covered by [addr, addr + size). */
+constexpr unsigned
+lineSpan(Addr addr, unsigned size)
+{
+    if (size == 0)
+        return 0;
+    Addr first = lineAlign(addr);
+    Addr last = lineAlign(addr + size - 1);
+    return static_cast<unsigned>(((last - first) >> lineShift) + 1);
+}
+
+namespace ticks
+{
+
+/** One picosecond (the base tick). */
+constexpr Tick ps = 1;
+/** One nanosecond. */
+constexpr Tick ns = 1000 * ps;
+/** One microsecond. */
+constexpr Tick us = 1000 * ns;
+/** One millisecond. */
+constexpr Tick ms = 1000 * us;
+/** One second. */
+constexpr Tick s = 1000 * ms;
+
+/** Convert ticks to (truncated) nanoseconds. */
+constexpr Tick toNs(Tick t) { return t / ns; }
+
+/** Convert ticks to floating-point nanoseconds (for reporting). */
+constexpr double toNsF(Tick t) { return static_cast<double>(t) / ns; }
+
+} // namespace ticks
+
+} // namespace janus
+
+#endif // JANUS_COMMON_TYPES_HH

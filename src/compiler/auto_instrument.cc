@@ -1,0 +1,432 @@
+#include "compiler/auto_instrument.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "ir/analysis.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/** A position in a function: (block, instruction index). Index -1
+ *  denotes "at function entry" (used for argument definitions). */
+struct Pos
+{
+    unsigned block = 0;
+    int index = -1;
+};
+
+/** Planned insertion: instructions to splice in before (block, at). */
+struct Insertion
+{
+    unsigned block;
+    int at; ///< insert before this index
+    std::vector<Instr> instrs;
+};
+
+class FunctionInstrumenter
+{
+  public:
+    FunctionInstrumenter(Function &fn, InstrumentReport &report)
+        : fn_(fn), cfg_(fn), report_(report)
+    {
+        collectDefs();
+        nextSlot_ = maxSlot() + 1;
+    }
+
+    void run();
+
+  private:
+    void collectDefs();
+    int maxSlot() const;
+
+    /** The unique def position of a register, if it has one. */
+    std::optional<Pos> defOf(int reg) const;
+
+    /** Follow Mov/AddI/Add-with-const chains to a root register. */
+    int baseOf(int reg) const;
+
+    /** True if pos1 is at-or-after pos2 in dominance program order. */
+    bool laterOrEqual(const Pos &p1, const Pos &p2) const;
+
+    /** Latest of the given defs; nullopt if any reg lacks one. */
+    std::optional<Pos> latestDef(const std::vector<int> &regs) const;
+
+    /** Last Store/MemCpy writing through `base` strictly before
+     *  @p before (same block or dominating blocks). */
+    std::optional<Pos> lastWriteTo(int base, const Pos &before) const;
+
+    /**
+     * Where to insert a PRE op whose operands are defined at
+     * @p earliest, guarding a writeback at @p wb: right after the
+     * defs when their block legally dominates the writeback,
+     * otherwise at the top of the writeback's block.
+     */
+    Pos placementFor(const Pos &earliest, const Pos &wb) const;
+
+    void plan(const Pos &pos, std::vector<Instr> instrs);
+    void apply();
+
+    void instrumentWriteback(const Pos &wb);
+
+    Function &fn_;
+    CfgInfo cfg_;
+    InstrumentReport &report_;
+    /** reg -> def position; absent if multiply defined. */
+    std::map<int, Pos> defs_;
+    std::vector<int> multiDef_;
+    std::vector<Insertion> insertions_;
+    int nextSlot_ = 0;
+};
+
+void
+FunctionInstrumenter::collectDefs()
+{
+    for (unsigned a = 0; a < fn_.numArgs; ++a)
+        defs_[static_cast<int>(a)] = Pos{0, -1};
+    for (unsigned b = 0; b < fn_.blocks.size(); ++b) {
+        const auto &instrs = fn_.blocks[b].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); ++i) {
+            const Instr &instr = instrs[static_cast<unsigned>(i)];
+            // PRE ops reuse dst as a size-register operand, and
+            // MemCpy's dst is an address operand; neither defines it.
+            if (instr.dst < 0 || isPreOp(instr.op) ||
+                instr.op == Opcode::MemCpy)
+                continue;
+            if (defs_.count(instr.dst)) {
+                multiDef_.push_back(instr.dst);
+                defs_.erase(instr.dst);
+            } else if (std::find(multiDef_.begin(), multiDef_.end(),
+                                 instr.dst) == multiDef_.end()) {
+                defs_[instr.dst] = Pos{b, i};
+            }
+        }
+    }
+}
+
+int
+FunctionInstrumenter::maxSlot() const
+{
+    int max_slot = -1;
+    for (const auto &bb : fn_.blocks)
+        for (const Instr &instr : bb.instrs)
+            max_slot = std::max(max_slot, instr.slot);
+    return max_slot;
+}
+
+std::optional<Pos>
+FunctionInstrumenter::defOf(int reg) const
+{
+    auto it = defs_.find(reg);
+    if (it == defs_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+int
+FunctionInstrumenter::baseOf(int reg) const
+{
+    int cur = reg;
+    for (int depth = 0; depth < 16; ++depth) {
+        auto pos = defOf(cur);
+        if (!pos || pos->index < 0)
+            return cur;
+        const Instr &def =
+            fn_.blocks[pos->block].instrs[static_cast<unsigned>(
+                pos->index)];
+        switch (def.op) {
+          case Opcode::Mov:
+          case Opcode::AddI:
+            cur = def.a;
+            break;
+          case Opcode::Add: {
+              // Follow through add-with-constant (either side).
+              auto is_const = [&](int r) {
+                  auto p = defOf(r);
+                  if (!p || p->index < 0)
+                      return false;
+                  return fn_.blocks[p->block]
+                             .instrs[static_cast<unsigned>(p->index)]
+                             .op == Opcode::Const;
+              };
+              if (is_const(def.b)) {
+                  cur = def.a;
+              } else if (is_const(def.a)) {
+                  cur = def.b;
+              } else {
+                  return cur;
+              }
+              break;
+          }
+          default:
+            return cur;
+        }
+    }
+    return cur;
+}
+
+bool
+FunctionInstrumenter::laterOrEqual(const Pos &p1, const Pos &p2) const
+{
+    if (p1.block == p2.block)
+        return p1.index >= p2.index;
+    return cfg_.dominates(p2.block, p1.block);
+}
+
+std::optional<Pos>
+FunctionInstrumenter::latestDef(const std::vector<int> &regs) const
+{
+    std::optional<Pos> latest;
+    for (int reg : regs) {
+        if (reg < 0)
+            continue;
+        auto pos = defOf(reg);
+        if (!pos)
+            return std::nullopt; // multiply defined: give up
+        if (!latest || laterOrEqual(*pos, *latest))
+            latest = pos;
+    }
+    if (!latest)
+        latest = Pos{0, -1};
+    return latest;
+}
+
+std::optional<Pos>
+FunctionInstrumenter::lastWriteTo(int base, const Pos &before) const
+{
+    std::optional<Pos> last;
+    for (unsigned b = 0; b < fn_.blocks.size(); ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        bool dominating =
+            b != before.block && cfg_.dominates(b, before.block);
+        if (!dominating && b != before.block)
+            continue;
+        const auto &instrs = fn_.blocks[b].instrs;
+        int limit = b == before.block
+                        ? before.index
+                        : static_cast<int>(instrs.size());
+        for (int i = 0; i < limit; ++i) {
+            const Instr &u = instrs[static_cast<unsigned>(i)];
+            bool writes =
+                (u.op == Opcode::Store && baseOf(u.a) == base) ||
+                (u.op == Opcode::MemCpy && baseOf(u.dst) == base);
+            if (!writes)
+                continue;
+            Pos pos{b, i};
+            if (!last || laterOrEqual(pos, *last))
+                last = pos;
+        }
+    }
+    return last;
+}
+
+Pos
+FunctionInstrumenter::placementFor(const Pos &earliest,
+                                   const Pos &wb) const
+{
+    Pos pos{earliest.block, earliest.index + 1};
+    // Conservative placement (Section 4.5.1): stay inside the
+    // writeback's own block so the pre-execution runs exactly when
+    // the writeback will — hoisting across a conditional could
+    // issue useless requests on paths that never write back.
+    bool legal = pos.block == wb.block && pos.index <= wb.index &&
+                 cfg_.reachable(pos.block);
+    if (!legal) {
+        // Defs live in a dominating block (or out of order): fall
+        // back to the top of the writeback's block.
+        return Pos{wb.block, 0};
+    }
+    return pos;
+}
+
+void
+FunctionInstrumenter::plan(const Pos &pos, std::vector<Instr> instrs)
+{
+    insertions_.push_back(
+        Insertion{pos.block, std::max(pos.index, 0),
+                  std::move(instrs)});
+}
+
+void
+FunctionInstrumenter::instrumentWriteback(const Pos &wb)
+{
+    const Instr &clwb =
+        fn_.blocks[wb.block].instrs[static_cast<unsigned>(wb.index)];
+    ++report_.writebacksFound;
+    if (cfg_.inLoop(wb.block)) {
+        ++report_.writebacksInLoop;
+        return;
+    }
+
+    int addr_reg = clwb.a;
+    int size_reg = clwb.b; // -1 when the size is immediate
+
+    // --- PRE_ADDR -------------------------------------------------
+    {
+        std::vector<int> needed{addr_reg};
+        if (size_reg >= 0)
+            needed.push_back(size_reg);
+        if (auto earliest = latestDef(needed)) {
+            Pos pos = placementFor(*earliest, wb);
+            int slot = nextSlot_++;
+            Instr init{.op = Opcode::PreInit, .slot = slot};
+            Instr pre{.op = Opcode::PreAddr, .dst = size_reg,
+                      .a = addr_reg, .imm = clwb.imm, .slot = slot};
+            plan(pos, {init, pre});
+            ++report_.addrInjected;
+        }
+    }
+
+    // --- data: last updates to the written object ------------------
+    int wb_base = baseOf(addr_reg);
+    bool found_update = false;
+    for (unsigned b = 0; b < fn_.blocks.size(); ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        bool dominating = b != wb.block && cfg_.dominates(b, wb.block);
+        if (!dominating && b != wb.block)
+            continue;
+        const auto &instrs = fn_.blocks[b].instrs;
+        int limit = b == wb.block ? wb.index
+                                  : static_cast<int>(instrs.size());
+        for (int i = 0; i < limit; ++i) {
+            const Instr &u = instrs[static_cast<unsigned>(i)];
+            if (u.op == Opcode::Store) {
+                if (baseOf(u.a) != wb_base)
+                    continue;
+                found_update = true;
+                if (cfg_.inLoop(b)) {
+                    ++report_.dataUnresolved;
+                    continue;
+                }
+                auto earliest = latestDef({u.a, u.b});
+                if (!earliest) {
+                    ++report_.dataUnresolved;
+                    continue;
+                }
+                Pos pos = placementFor(*earliest, Pos{b, i});
+                int slot = nextSlot_++;
+                std::vector<Instr> seq;
+                seq.push_back(
+                    Instr{.op = Opcode::PreInit, .slot = slot});
+                int target = u.a;
+                if (u.imm != 0) {
+                    int tmp = static_cast<int>(fn_.numRegs++);
+                    seq.push_back(Instr{.op = Opcode::AddI,
+                                        .dst = tmp, .a = u.a,
+                                        .imm = u.imm});
+                    target = tmp;
+                }
+                seq.push_back(Instr{.op = Opcode::PreBothVal,
+                                    .a = target, .b = u.b,
+                                    .slot = slot});
+                plan(pos, std::move(seq));
+                ++report_.dataInjected;
+            } else if (u.op == Opcode::MemCpy) {
+                if (baseOf(u.dst) != wb_base)
+                    continue;
+                found_update = true;
+                if (cfg_.inLoop(b)) {
+                    ++report_.dataUnresolved;
+                    continue;
+                }
+                // The data source is ready after its own last
+                // modification before the copy; the pre-execution
+                // can be hoisted up to that point (or the operand
+                // definitions, whichever is later).
+                auto earliest = latestDef({u.dst, u.a, u.b});
+                if (!earliest) {
+                    ++report_.dataUnresolved;
+                    continue;
+                }
+                if (auto lsw = lastWriteTo(baseOf(u.a), Pos{b, i}))
+                    if (laterOrEqual(*lsw, *earliest))
+                        earliest = lsw;
+                Pos pos = placementFor(*earliest, Pos{b, i});
+                // Never place past the copy itself.
+                if (pos.block == b && pos.index > i)
+                    pos = Pos{b, i};
+                int slot = nextSlot_++;
+                Instr init{.op = Opcode::PreInit, .slot = slot};
+                Instr pre{.op = Opcode::PreBoth, .dst = u.b,
+                          .a = u.dst, .b = u.a, .imm = u.imm,
+                          .slot = slot};
+                plan(pos, {init, pre});
+                ++report_.dataInjected;
+            }
+        }
+    }
+    if (!found_update)
+        ++report_.dataUnresolved;
+}
+
+void
+FunctionInstrumenter::apply()
+{
+    // Splice per block, back to front so indices stay valid.
+    std::stable_sort(insertions_.begin(), insertions_.end(),
+                     [](const Insertion &x, const Insertion &y) {
+                         if (x.block != y.block)
+                             return x.block < y.block;
+                         return x.at > y.at;
+                     });
+    for (const Insertion &ins : insertions_) {
+        auto &instrs = fn_.blocks[ins.block].instrs;
+        instrs.insert(instrs.begin() + ins.at, ins.instrs.begin(),
+                      ins.instrs.end());
+    }
+}
+
+void
+FunctionInstrumenter::run()
+{
+    // Snapshot writeback positions before any mutation.
+    std::vector<Pos> writebacks;
+    for (unsigned b = 0; b < fn_.blocks.size(); ++b) {
+        if (!cfg_.reachable(b))
+            continue;
+        const auto &instrs = fn_.blocks[b].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); ++i)
+            if (instrs[static_cast<unsigned>(i)].op == Opcode::Clwb)
+                writebacks.push_back(Pos{b, i});
+    }
+    for (const Pos &wb : writebacks)
+        instrumentWriteback(wb);
+    apply();
+}
+
+} // namespace
+
+std::string
+InstrumentReport::toString() const
+{
+    std::ostringstream os;
+    os << "writebacks " << writebacksFound << " (in-loop skipped "
+       << writebacksInLoop << "), PRE_ADDR " << addrInjected
+       << ", data PRE " << dataInjected << ", unresolved "
+       << dataUnresolved;
+    return os.str();
+}
+
+InstrumentReport
+autoInstrument(Module &module, const std::vector<std::string> &skip)
+{
+    InstrumentReport report;
+    for (auto &[name, fn] : module.functions) {
+        if (std::find(skip.begin(), skip.end(), name) != skip.end())
+            continue;
+        FunctionInstrumenter pass(fn, report);
+        pass.run();
+    }
+    verify(module);
+    return report;
+}
+
+} // namespace janus

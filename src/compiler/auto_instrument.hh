@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The automated instrumentation pass (paper Section 4.5): analyzes
+ * PmIR and injects Janus pre-execution calls for every blocking
+ * writeback it can prove safe, mirroring the paper's LLVM pass:
+ *
+ *  1. locate blocking writebacks (Clwb ... Sfence);
+ *  2. dependence analysis: the writeback's address generation
+ *     (use-def chain) and the last updates to the written object
+ *     (Store / MemCpy with the same base register);
+ *  3. inject PRE_* as early as legal: at the latest definition of
+ *     the operands, in a block that dominates the writeback, never
+ *     inside a loop relative to the writeback, falling back to the
+ *     writeback's own block under a conditional.
+ *
+ * Limitations, matching Section 4.5.2 by construction:
+ *  - intra-procedural only (library calls are opaque);
+ *  - writebacks inside loops are skipped (no runtime trip counts);
+ *  - no cache-line-sharing analysis: multi-field updates to one
+ *    line yield per-field predictions that the hardware detects and
+ *    repairs at consume time (a performance, never correctness,
+ *    matter).
+ */
+
+#ifndef JANUS_COMPILER_AUTO_INSTRUMENT_HH
+#define JANUS_COMPILER_AUTO_INSTRUMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace janus
+{
+
+/** Aggregate outcome of a pass run (printed by the examples). */
+struct InstrumentReport
+{
+    unsigned writebacksFound = 0;
+    unsigned writebacksInLoop = 0; ///< skipped: loop-carried
+    unsigned addrInjected = 0;     ///< PRE_ADDR calls added
+    unsigned dataInjected = 0;     ///< PRE_BOTH/PRE_BOTH_VAL added
+    unsigned dataUnresolved = 0;   ///< object updates not analyzable
+
+    std::string toString() const;
+};
+
+/**
+ * Instrument every function of the module except those named in
+ * @p skip (precompiled runtime code the pass cannot see into).
+ */
+InstrumentReport autoInstrument(
+    Module &module,
+    const std::vector<std::string> &skip = {"undo_append", "tx_finish"});
+
+} // namespace janus
+
+#endif // JANUS_COMPILER_AUTO_INSTRUMENT_HH

@@ -1,0 +1,228 @@
+#include "compiler/misuse_check.hh"
+
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+const char *
+kindName(MisuseFinding::Kind kind)
+{
+    switch (kind) {
+      case MisuseFinding::Kind::ModifiedBeforeWrite:
+        return "modified-before-write";
+      case MisuseFinding::Kind::UselessPreExecution:
+        return "useless-pre-execution";
+      case MisuseFinding::Kind::InsufficientWindow:
+        return "insufficient-window";
+    }
+    return "?";
+}
+
+/** A flat (block, index) cursor over the function in layout order —
+ *  an approximation of program order adequate for a linter. */
+struct Cursor
+{
+    unsigned block;
+    unsigned index;
+};
+
+class FunctionChecker
+{
+  public:
+    FunctionChecker(const Function &fn, const MisuseCheckConfig &config,
+                    std::vector<MisuseFinding> &out)
+        : fn_(fn), config_(config), out_(out)
+    {
+        collectDefs();
+    }
+
+    void
+    run()
+    {
+        for (unsigned b = 0; b < fn_.blocks.size(); ++b) {
+            const auto &instrs = fn_.blocks[b].instrs;
+            for (unsigned i = 0; i < instrs.size(); ++i) {
+                const Instr &instr = instrs[i];
+                switch (instr.op) {
+                  case Opcode::PreAddr:
+                  case Opcode::PreBoth:
+                  case Opcode::PreBothVal:
+                    checkAddressed(instr, Cursor{b, i});
+                    break;
+                  case Opcode::PreData:
+                    checkDataOnly(instr, Cursor{b, i});
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+  private:
+    void
+    collectDefs()
+    {
+        defs_.assign(fn_.numRegs, nullptr);
+        for (const auto &bb : fn_.blocks)
+            for (const Instr &instr : bb.instrs)
+                if (instr.dst >= 0 && !isPreOp(instr.op) &&
+                    instr.op != Opcode::MemCpy &&
+                    !defs_[static_cast<unsigned>(instr.dst)])
+                    defs_[static_cast<unsigned>(instr.dst)] = &instr;
+    }
+
+    /** Follow Mov/AddI chains to a root register. */
+    int
+    baseOf(int reg) const
+    {
+        int cur = reg;
+        for (int depth = 0; depth < 16 && cur >= 0; ++depth) {
+            const Instr *def =
+                static_cast<unsigned>(cur) < defs_.size()
+                    ? defs_[static_cast<unsigned>(cur)]
+                    : nullptr;
+            if (!def)
+                return cur;
+            if (def->op == Opcode::Mov || def->op == Opcode::AddI)
+                cur = def->a;
+            else
+                return cur;
+        }
+        return cur;
+    }
+
+    /** Advance a cursor one instruction in layout order. */
+    bool
+    next(Cursor &c) const
+    {
+        if (c.index + 1 < fn_.blocks[c.block].instrs.size()) {
+            ++c.index;
+            return true;
+        }
+        for (unsigned b = c.block + 1; b < fn_.blocks.size(); ++b) {
+            if (!fn_.blocks[b].instrs.empty()) {
+                c = Cursor{b, 0};
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const Instr &
+    at(const Cursor &c) const
+    {
+        return fn_.blocks[c.block].instrs[c.index];
+    }
+
+    void
+    report(MisuseFinding::Kind kind, const Cursor &where,
+           const std::string &detail)
+    {
+        MisuseFinding finding;
+        finding.kind = kind;
+        finding.function = fn_.name;
+        finding.block = where.block;
+        finding.index = where.index;
+        finding.message = std::string(kindName(kind)) + " in @" +
+                          fn_.name + " bb" +
+                          std::to_string(where.block) + ":" +
+                          std::to_string(where.index) + ": " + detail;
+        out_.push_back(std::move(finding));
+    }
+
+    void
+    checkAddressed(const Instr &pre, Cursor start)
+    {
+        int base = baseOf(pre.a);
+        bool carries_data = pre.op != Opcode::PreAddr;
+        unsigned window = 0;
+        unsigned writes_between = 0;
+        Cursor c = start;
+        while (next(c)) {
+            const Instr &instr = at(c);
+            window += instr.op == Opcode::Call ? config_.callWeight : 1;
+            if (instr.op == Opcode::Clwb && baseOf(instr.a) == base) {
+                if (carries_data && writes_between > 1)
+                    report(MisuseFinding::Kind::ModifiedBeforeWrite,
+                           start,
+                           "pre-executed line updated " +
+                               std::to_string(writes_between) +
+                               " times before its writeback; the "
+                               "snapshot will mismatch");
+                if (window < config_.minWindowInstructions)
+                    report(
+                        MisuseFinding::Kind::InsufficientWindow, start,
+                        "only ~" + std::to_string(window) +
+                            " instructions before the writeback; "
+                            "BMOs are unlikely to finish");
+                return;
+            }
+            if ((instr.op == Opcode::Store &&
+                 baseOf(instr.a) == base) ||
+                (instr.op == Opcode::MemCpy &&
+                 baseOf(instr.dst) == base))
+                ++writes_between;
+        }
+        report(MisuseFinding::Kind::UselessPreExecution, start,
+               "no subsequent writeback covers the pre-executed "
+               "object");
+    }
+
+    void
+    checkDataOnly(const Instr &pre, Cursor start)
+    {
+        // For PRE_DATA the hazard is the *source* changing before
+        // the write consumes the snapshot.
+        int src_base = baseOf(pre.a);
+        Cursor c = start;
+        while (next(c)) {
+            const Instr &instr = at(c);
+            if ((instr.op == Opcode::Store &&
+                 baseOf(instr.a) == src_base) ||
+                (instr.op == Opcode::MemCpy &&
+                 baseOf(instr.dst) == src_base)) {
+                report(MisuseFinding::Kind::ModifiedBeforeWrite, start,
+                       "the PRE_DATA source buffer is modified after "
+                       "the snapshot");
+                return;
+            }
+        }
+    }
+
+    const Function &fn_;
+    const MisuseCheckConfig &config_;
+    std::vector<MisuseFinding> &out_;
+    std::vector<const Instr *> defs_;
+};
+
+} // namespace
+
+std::vector<MisuseFinding>
+checkMisuse(const Module &module, const MisuseCheckConfig &config)
+{
+    std::vector<MisuseFinding> findings;
+    for (const auto &[name, fn] : module.functions) {
+        FunctionChecker checker(fn, config, findings);
+        checker.run();
+    }
+    return findings;
+}
+
+std::string
+toString(const std::vector<MisuseFinding> &findings)
+{
+    std::ostringstream os;
+    for (const MisuseFinding &f : findings)
+        os << f.message << '\n';
+    return os.str();
+}
+
+} // namespace janus

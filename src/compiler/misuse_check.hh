@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static misuse detection for the Janus software interface — the
+ * tooling the paper sketches as future work (Section 6). Scans an
+ * instrumented PmIR module for the three misuse classes of the
+ * Section 4.4 guidelines:
+ *
+ *  1. modified pre-execution object: the pre-executed location is
+ *     stored to between the PRE_* call and the consuming writeback
+ *     (the hardware will detect and repair this, at a cost);
+ *  2. useless pre-execution: no subsequent blocking writeback ever
+ *     covers the pre-executed object;
+ *  3. insufficient window: too few instructions between the PRE_*
+ *     call and the writeback for the BMOs to complete.
+ *
+ * All three are performance hazards, never correctness bugs — which
+ * is exactly why a linter, not the hardware, should flag them.
+ */
+
+#ifndef JANUS_COMPILER_MISUSE_CHECK_HH
+#define JANUS_COMPILER_MISUSE_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace janus
+{
+
+/** One diagnostic. */
+struct MisuseFinding
+{
+    enum class Kind
+    {
+        ModifiedBeforeWrite,
+        UselessPreExecution,
+        InsufficientWindow,
+    };
+
+    Kind kind;
+    std::string function;
+    unsigned block;
+    unsigned index; ///< instruction index of the offending PRE_*
+    std::string message;
+};
+
+/** Tuning knobs for the window estimate. */
+struct MisuseCheckConfig
+{
+    /**
+     * Minimum number of instructions between a PRE_* call and its
+     * writeback for the ~700 ns BMO chain to plausibly complete.
+     * Calls are weighted by this many instructions each.
+     */
+    unsigned minWindowInstructions = 8;
+    unsigned callWeight = 16;
+};
+
+/** Scan every function; findings are ordered by position. */
+std::vector<MisuseFinding> checkMisuse(
+    const Module &module,
+    const MisuseCheckConfig &config = MisuseCheckConfig());
+
+/** Render findings one per line (for the example/CLI). */
+std::string toString(const std::vector<MisuseFinding> &findings);
+
+} // namespace janus
+
+#endif // JANUS_COMPILER_MISUSE_CHECK_HH

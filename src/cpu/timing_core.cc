@@ -1,0 +1,484 @@
+#include "cpu/timing_core.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+TimingCore::TimingCore(const std::string &name, EventQueue &eq,
+                       unsigned core_id, const Module &module,
+                       SparseMemory &mem, MemoryController &mc,
+                       const CoreConfig &config)
+    : SimObject(name, eq), coreId_(core_id), module_(module), mem_(mem),
+      mc_(mc), config_(config),
+      l1_(name + ".l1", config.l1Bytes, config.l1Assoc),
+      l2_(name + ".l2", config.l2Bytes, config.l2Assoc)
+{
+}
+
+void
+TimingCore::run(TxnSource source, std::function<void()> on_done)
+{
+    janus_assert(!running_, "core %s already running", name().c_str());
+    source_ = std::move(source);
+    onDone_ = std::move(on_done);
+    running_ = true;
+    time_ = curTick();
+    schedule(0, [this] { step(); });
+}
+
+bool
+TimingCore::nextJob()
+{
+    std::string fn_name;
+    std::vector<std::uint64_t> args;
+    if (!source_ || !source_(fn_name, args))
+        return false;
+    const Function &fn = module_.fn(fn_name);
+    janus_assert(args.size() == fn.numArgs,
+                 "%s: %zu args to %s (wants %u)", name().c_str(),
+                 args.size(), fn_name.c_str(), fn.numArgs);
+    Frame frame;
+    frame.fn = &fn;
+    frame.regs.assign(fn.numRegs, 0);
+    std::copy(args.begin(), args.end(), frame.regs.begin());
+    frames_.clear();
+    frames_.push_back(std::move(frame));
+    preObjs_.clear();
+    return true;
+}
+
+std::uint64_t &
+TimingCore::reg(Frame &frame, int idx)
+{
+    janus_assert(idx >= 0 && static_cast<unsigned>(idx) <
+                                 frame.regs.size(),
+                 "register %d out of range", idx);
+    return frame.regs[static_cast<unsigned>(idx)];
+}
+
+std::uint64_t
+TimingCore::regVal(const Frame &frame, int idx) const
+{
+    janus_assert(idx >= 0 && static_cast<unsigned>(idx) <
+                                 frame.regs.size(),
+                 "register %d out of range", idx);
+    return frame.regs[static_cast<unsigned>(idx)];
+}
+
+void
+TimingCore::accessData(Addr ea, bool write, bool full_line)
+{
+    if (l1_.access(ea, write).hit) {
+        time_ += config_.l1HitLatency;
+        return;
+    }
+    if (l2_.access(ea, write).hit) {
+        time_ += config_.l2HitLatency;
+        return;
+    }
+    if (write && full_line) {
+        // A full-line overwrite needs no fetch (write-combining /
+        // non-temporal fill); the tag install was done above.
+        time_ += config_.l2HitLatency;
+        return;
+    }
+    // Miss all the way to the NVM (timing only; the functional value
+    // lives in the volatile view).
+    time_ = mc_.readLine(lineAlign(ea), time_ + config_.l2HitLatency);
+}
+
+void
+TimingCore::doClwb(Addr addr, std::uint64_t size, bool meta_atomic)
+{
+    Addr first = lineAlign(addr);
+    Addr last = lineAlign(addr + (size ? size - 1 : 0));
+    for (Addr line = first; line <= last; line += lineBytes) {
+        CacheLine data = mem_.readLine(line);
+        time_ += config_.clwbIssueCost;
+        PersistResult res = mc_.persistWrite(
+            line, data, time_ + config_.writebackLatency, meta_atomic,
+            coreId_);
+        outstanding_.push_back(res.persisted);
+        ++persists_;
+    }
+}
+
+CacheLine
+TimingCore::predictLine(Addr dst_line, Addr dst_addr, const void *src,
+                        unsigned size) const
+{
+    CacheLine line = mem_.readLine(dst_line);
+    // Overlay the bytes of [dst_addr, dst_addr+size) that fall into
+    // this line.
+    Addr begin = std::max(dst_addr, dst_line);
+    Addr end = std::min<Addr>(dst_addr + size, dst_line + lineBytes);
+    if (begin < end) {
+        const auto *bytes = static_cast<const std::uint8_t *>(src);
+        line.write(lineOffset(begin), bytes + (begin - dst_addr),
+                   static_cast<unsigned>(end - begin));
+    }
+    return line;
+}
+
+void
+TimingCore::doPreOp(const Instr &instr, const Frame &frame)
+{
+    time_ += config_.preOpCost;
+    if (instr.op == Opcode::PreInit) {
+        preObjs_[instr.slot] =
+            PreObjId{++preIdCounter_, static_cast<std::uint16_t>(coreId_),
+                     txnCounter_};
+        return;
+    }
+    if (mc_.mode() != WritePathMode::Janus)
+        return; // baselines run the PRE ops as cheap no-ops
+
+    auto obj_it = preObjs_.find(instr.slot);
+    janus_assert(obj_it != preObjs_.end(),
+                 "PRE_* before PRE_INIT (slot %d)", instr.slot);
+    const PreObjId &obj = obj_it->second;
+    JanusFrontend &fe = mc_.frontend();
+    Tick issue = time_ + config_.preReqLatency;
+    ++preRequests_;
+
+    std::vector<PreChunk> chunks;
+    auto add_addr_chunks = [&](Addr addr, std::uint64_t size) {
+        Addr first = lineAlign(addr);
+        Addr last = lineAlign(addr + (size ? size - 1 : 0));
+        for (Addr line = first; line <= last; line += lineBytes)
+            chunks.push_back(PreChunk{line, std::nullopt});
+    };
+    auto add_data_chunks = [&](Addr src, std::uint64_t size) {
+        Addr first = lineAlign(src);
+        Addr last = lineAlign(src + (size ? size - 1 : 0));
+        for (Addr line = first; line <= last; line += lineBytes)
+            chunks.push_back(
+                PreChunk{std::nullopt, mem_.readLine(line)});
+    };
+    auto add_both_chunks = [&](Addr dst, Addr src, std::uint64_t size) {
+        std::vector<std::uint8_t> bytes(size);
+        mem_.read(src, bytes.data(), static_cast<unsigned>(size));
+        Addr first = lineAlign(dst);
+        Addr last = lineAlign(dst + (size ? size - 1 : 0));
+        for (Addr line = first; line <= last; line += lineBytes) {
+            PreChunk chunk{line,
+                           predictLine(line, dst, bytes.data(),
+                                       static_cast<unsigned>(size))};
+            Addr begin = std::max(dst, line);
+            Addr end = std::min<Addr>(dst + size, line + lineBytes);
+            chunk.patchOffset = lineOffset(begin);
+            chunk.patchSize = static_cast<unsigned>(end - begin);
+            chunks.push_back(chunk);
+        }
+    };
+
+    // PRE size: from the register named by dst if set, else imm.
+    std::uint64_t pre_size =
+        instr.dst >= 0 ? regVal(frame, instr.dst)
+                       : static_cast<std::uint64_t>(instr.imm);
+
+    switch (instr.op) {
+      case Opcode::PreAddr:
+      case Opcode::PreAddrBuf:
+        add_addr_chunks(regVal(frame, instr.a), pre_size);
+        break;
+      case Opcode::PreData:
+      case Opcode::PreDataBuf:
+        add_data_chunks(regVal(frame, instr.a), pre_size);
+        break;
+      case Opcode::PreBoth:
+      case Opcode::PreBothBuf:
+        add_both_chunks(regVal(frame, instr.a), regVal(frame, instr.b),
+                        pre_size);
+        break;
+      case Opcode::PreBothVal: {
+          Addr dst = regVal(frame, instr.a);
+          std::uint64_t value = regVal(frame, instr.b);
+          PreChunk chunk{lineAlign(dst),
+                         predictLine(lineAlign(dst), dst, &value, 8)};
+          chunk.patchOffset = lineOffset(dst);
+          chunk.patchSize = 8;
+          chunks.push_back(chunk);
+          break;
+      }
+      case Opcode::PreStartBuf:
+        fe.startBuffered(obj, issue);
+        return;
+      default:
+        panic("not a pre op");
+    }
+
+    switch (instr.op) {
+      case Opcode::PreAddrBuf:
+      case Opcode::PreDataBuf:
+      case Opcode::PreBothBuf:
+        fe.buffer(obj, chunks, issue);
+        break;
+      default:
+        fe.issueImmediate(obj, chunks, issue);
+        break;
+    }
+}
+
+bool
+TimingCore::execute(const Instr &instr)
+{
+    Frame &frame = frames_.back();
+    time_ += config_.cycle;
+    ++instructions_;
+
+    auto advance = [&] { ++frames_.back().index; };
+
+    switch (instr.op) {
+      case Opcode::Const:
+        reg(frame, instr.dst) = static_cast<std::uint64_t>(instr.imm);
+        advance();
+        return true;
+      case Opcode::Mov:
+        reg(frame, instr.dst) = regVal(frame, instr.a);
+        advance();
+        return true;
+      case Opcode::Add:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) + regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::AddI:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) + static_cast<std::uint64_t>(instr.imm);
+        advance();
+        return true;
+      case Opcode::Sub:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) - regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::Mul:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) * regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::MulI:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) * static_cast<std::uint64_t>(instr.imm);
+        advance();
+        return true;
+      case Opcode::And:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) & regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::Or:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) | regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::Xor:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) ^ regVal(frame, instr.b);
+        advance();
+        return true;
+      case Opcode::ShlI:
+        reg(frame, instr.dst) = regVal(frame, instr.a)
+                                << static_cast<unsigned>(instr.imm);
+        advance();
+        return true;
+      case Opcode::ShrI:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) >> static_cast<unsigned>(instr.imm);
+        advance();
+        return true;
+      case Opcode::CmpEq:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) == regVal(frame, instr.b) ? 1 : 0;
+        advance();
+        return true;
+      case Opcode::CmpNe:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) != regVal(frame, instr.b) ? 1 : 0;
+        advance();
+        return true;
+      case Opcode::CmpLt:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) < regVal(frame, instr.b) ? 1 : 0;
+        advance();
+        return true;
+      case Opcode::CmpLe:
+        reg(frame, instr.dst) =
+            regVal(frame, instr.a) <= regVal(frame, instr.b) ? 1 : 0;
+        advance();
+        return true;
+
+      case Opcode::Load: {
+          Addr ea = regVal(frame, instr.a) +
+                    static_cast<std::uint64_t>(instr.imm);
+          ++loads_;
+          accessData(ea, false);
+          reg(frame, instr.dst) = mem_.readWord(ea);
+          advance();
+          return true;
+      }
+      case Opcode::Store: {
+          Addr ea = regVal(frame, instr.a) +
+                    static_cast<std::uint64_t>(instr.imm);
+          ++stores_;
+          accessData(ea, true);
+          mem_.writeWord(ea, regVal(frame, instr.b));
+          advance();
+          return true;
+      }
+      case Opcode::MemCpy: {
+          Addr dst = regVal(frame, instr.dst);
+          Addr src = regVal(frame, instr.a);
+          std::uint64_t bytes =
+              instr.b >= 0 ? regVal(frame, instr.b)
+                           : static_cast<std::uint64_t>(instr.imm);
+          std::vector<std::uint8_t> buf(bytes);
+          mem_.read(src, buf.data(), static_cast<unsigned>(bytes));
+          mem_.write(dst, buf.data(), static_cast<unsigned>(bytes));
+          // Touch both streams through the cache, line by line.
+          for (Addr off = 0; off < bytes; off += lineBytes) {
+              accessData(src + off, false);
+              // Does this iteration overwrite its whole line?
+              Addr line = lineAlign(dst + off);
+              bool full = dst + off <= line &&
+                          dst + bytes >= line + lineBytes;
+              accessData(dst + off, true, full);
+              time_ += 4 * config_.cycle;
+          }
+          loads_ += (bytes + lineBytes - 1) / lineBytes;
+          stores_ += (bytes + lineBytes - 1) / lineBytes;
+          advance();
+          return true;
+      }
+
+      case Opcode::Br:
+        frame.block = static_cast<unsigned>(instr.imm);
+        frame.index = 0;
+        return true;
+      case Opcode::BrCond:
+        frame.block = regVal(frame, instr.a)
+                          ? static_cast<unsigned>(instr.imm)
+                          : static_cast<unsigned>(instr.imm2);
+        frame.index = 0;
+        return true;
+      case Opcode::Call: {
+          const Function &callee = module_.fn(instr.callee);
+          Frame next;
+          next.fn = &callee;
+          next.regs.assign(callee.numRegs, 0);
+          for (unsigned i = 0; i < instr.args.size(); ++i)
+              next.regs[i] = regVal(frame, instr.args[i]);
+          next.retDst = instr.dst;
+          advance(); // resume past the call on return
+          frames_.push_back(std::move(next));
+          return true;
+      }
+      case Opcode::Ret: {
+          std::uint64_t value =
+              instr.a >= 0 ? regVal(frame, instr.a) : 0;
+          int ret_dst = frame.retDst;
+          frames_.pop_back();
+          if (frames_.empty()) {
+              // Outermost return: transaction done.
+              ++transactions_;
+              return true;
+          }
+          if (ret_dst >= 0)
+              reg(frames_.back(), ret_dst) = value;
+          return true;
+      }
+      case Opcode::Halt:
+        frames_.clear();
+        ++transactions_;
+        return true;
+
+      case Opcode::Clwb:
+        doClwb(regVal(frame, instr.a),
+               instr.b >= 0 ? regVal(frame, instr.b)
+                            : static_cast<std::uint64_t>(instr.imm),
+               instr.flag);
+        advance();
+        return true;
+      case Opcode::Sfence: {
+          advance();
+          if (!outstanding_.empty()) {
+              Tick latest = *std::max_element(outstanding_.begin(),
+                                              outstanding_.end());
+              outstanding_.clear();
+              if (!config_.nonBlockingWriteback && latest > time_) {
+                  fenceStall_ += latest - time_;
+                  time_ = latest;
+                  // Long waits end the batch to preserve cross-core
+                  // event ordering.
+                  return false;
+              }
+          }
+          return true;
+      }
+      case Opcode::TxBegin:
+        ++txnCounter_;
+        advance();
+        return true;
+      case Opcode::TxEnd:
+        advance();
+        return true;
+
+      case Opcode::PreInit:
+      case Opcode::PreAddr:
+      case Opcode::PreData:
+      case Opcode::PreBoth:
+      case Opcode::PreBothVal:
+      case Opcode::PreAddrBuf:
+      case Opcode::PreDataBuf:
+      case Opcode::PreBothBuf:
+      case Opcode::PreStartBuf:
+        doPreOp(instr, frame);
+        advance();
+        return true;
+
+      case Opcode::Nop:
+        advance();
+        return true;
+    }
+    panic("unhandled opcode");
+}
+
+void
+TimingCore::step()
+{
+    janus_assert(time_ >= curTick(), "core clock behind event clock");
+    unsigned batch = 0;
+    while (true) {
+        if (frames_.empty()) {
+            if (!nextJob()) {
+                running_ = false;
+                finishTick_ = time_;
+                if (onDone_)
+                    onDone_();
+                return;
+            }
+        }
+        Frame &frame = frames_.back();
+        janus_assert(frame.block < frame.fn->blocks.size(),
+                     "bad block in %s", frame.fn->name.c_str());
+        const BasicBlock &bb = frame.fn->blocks[frame.block];
+        janus_assert(frame.index < bb.instrs.size(),
+                     "fell off block %u of %s", frame.block,
+                     frame.fn->name.c_str());
+        const Instr &instr = bb.instrs[frame.index];
+
+        bool keep_going = execute(instr);
+        ++batch;
+        if (!keep_going || batch >= config_.maxBatch) {
+            schedule(time_ - curTick(), [this] { step(); });
+            return;
+        }
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * TimingCore: an in-order hart that interprets PmIR with a batched
+ * timing model. Straight-line compute accrues cycle cost without
+ * event-queue traffic; events are created at yield points (persist
+ * barriers, cache misses, fairness quanta), which keeps multi-core
+ * runs fast while preserving cross-core interleaving at the memory
+ * controller.
+ *
+ * Persistence follows the paper's Figure 1: a clwb snapshots the
+ * volatile line and sends it to the memory controller after the
+ * cache-writeback latency (~15 ns); the write is durable once
+ * accepted into the ADR write queue (after its BMOs complete).
+ * An sfence stalls the core until every outstanding persist is
+ * durable — unless the ideal non-blocking-writeback mode of the
+ * paper's Figure 10 is enabled.
+ */
+
+#ifndef JANUS_CPU_TIMING_CORE_HH
+#define JANUS_CPU_TIMING_CORE_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/types.hh"
+#include "ir/ir.hh"
+#include "janus/janus_hw.hh"
+#include "mem/sparse_memory.hh"
+#include "memctrl/memory_controller.hh"
+#include "sim/eventq.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** Core timing parameters. Table 3's core is a 4 GHz out-of-order
+ *  processor; this interpreter approximates it with an effective
+ *  2.5 IPC (100 ps per instruction) and pipelined L1 hits, since
+ *  the studied effects are persist-bound, not compute-bound. */
+struct CoreConfig
+{
+    Tick cycle = 100;                        ///< ps (4 GHz, ~2.5 IPC)
+    Tick l1HitLatency = 500;                 ///< ps, mostly hidden
+    Tick l2HitLatency = 4 * ticks::ns;
+    Tick writebackLatency = 15 * ticks::ns;  ///< clwb to controller
+    Tick clwbIssueCost = 1 * ticks::ns;      ///< per line, core side
+    Tick preOpCost = 1 * ticks::ns;          ///< PRE_* call overhead
+    Tick preReqLatency = 10 * ticks::ns;     ///< request to controller
+    std::uint64_t l1Bytes = 64 * 1024;
+    unsigned l1Assoc = 8;
+    std::uint64_t l2Bytes = 2 * 1024 * 1024;
+    unsigned l2Assoc = 8;
+    /** Figure 10 ideal: persists never block the core. */
+    bool nonBlockingWriteback = false;
+    /** Fairness quantum (instructions per event). */
+    unsigned maxBatch = 512;
+};
+
+/**
+ * Supplies the core with successive transaction invocations.
+ * @return false when the workload is exhausted.
+ */
+using TxnSource =
+    std::function<bool(std::string &fn, std::vector<std::uint64_t> &args)>;
+
+/** An interpreting, timing-annotated hart. */
+class TimingCore : public SimObject
+{
+  public:
+    TimingCore(const std::string &name, EventQueue &eq, unsigned core_id,
+               const Module &module, SparseMemory &mem,
+               MemoryController &mc, const CoreConfig &config);
+
+    /** Begin pulling transactions from the source; on_done fires when
+     *  the source is exhausted and all persists have drained. */
+    void run(TxnSource source, std::function<void()> on_done);
+
+    /** Tick at which this core retired its last transaction. */
+    Tick finishTick() const { return finishTick_; }
+
+    bool running() const { return running_; }
+
+    // --- statistics -------------------------------------------------
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t transactions() const { return transactions_; }
+    std::uint64_t persists() const { return persists_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t preRequests() const { return preRequests_; }
+    /** Total ticks spent stalled on sfence. */
+    Tick fenceStallTicks() const { return fenceStall_; }
+    SetAssocCache &l1() { return l1_; }
+    SetAssocCache &l2() { return l2_; }
+
+  private:
+    struct Frame
+    {
+        const Function *fn;
+        unsigned block = 0;
+        unsigned index = 0;
+        std::vector<std::uint64_t> regs;
+        int retDst = -1;
+    };
+
+    /** The interpreter event body. */
+    void step();
+
+    /** Fetch the next transaction; @return false when exhausted. */
+    bool nextJob();
+
+    /** Execute one instruction. @return false to end this batch
+     *  (the core has rescheduled itself or finished). */
+    bool execute(const Instr &instr);
+
+    /** Charge a data-cache access; may consult the controller.
+     *  full_line marks a whole-line overwrite (no fetch on miss). */
+    void accessData(Addr ea, bool write, bool full_line = false);
+
+    /** Issue the persists of a clwb. */
+    void doClwb(Addr addr, std::uint64_t size, bool meta_atomic);
+
+    /** Build and issue a pre-execution request. */
+    void doPreOp(const Instr &instr, const Frame &frame);
+
+    /** Predicted post-write content of a destination line. */
+    CacheLine predictLine(Addr dst_line, Addr dst_addr,
+                          const void *src, unsigned size) const;
+
+    std::uint64_t &reg(Frame &frame, int idx);
+    std::uint64_t regVal(const Frame &frame, int idx) const;
+
+    unsigned coreId_;
+    const Module &module_;
+    SparseMemory &mem_;
+    MemoryController &mc_;
+    CoreConfig config_;
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+
+    std::vector<Frame> frames_;
+    TxnSource source_;
+    std::function<void()> onDone_;
+    bool running_ = false;
+    Tick time_ = 0;
+    Tick finishTick_ = 0;
+
+    /** Completion ticks of outstanding (not yet fenced) persists. */
+    std::vector<Tick> outstanding_;
+    /** Pre-object slots of the current invocation. */
+    std::unordered_map<int, PreObjId> preObjs_;
+    std::uint16_t preIdCounter_ = 0;
+    std::uint16_t txnCounter_ = 0;
+
+    std::uint64_t instructions_ = 0;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t persists_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t preRequests_ = 0;
+    Tick fenceStall_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_CPU_TIMING_CORE_HH

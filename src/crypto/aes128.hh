@@ -1,0 +1,51 @@
+/**
+ * @file
+ * From-scratch AES-128 block cipher (FIPS-197) plus the counter-mode
+ * one-time-pad (OTP) generation used by the encryption BMO. The
+ * memory controller encrypts a cache line by XORing it with
+ * OTP = AES_k(counter ‖ line address ‖ block index), one 16-byte AES
+ * block per line quarter.
+ */
+
+#ifndef JANUS_CRYPTO_AES128_HH
+#define JANUS_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/cacheline.hh"
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** AES-128 with a precomputed key schedule. */
+class Aes128
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    /** Expand the given 128-bit key. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block. */
+    Block encryptBlock(const Block &in) const;
+
+    /** Decrypt one 16-byte block. */
+    Block decryptBlock(const Block &in) const;
+
+    /**
+     * Generate the 64-byte counter-mode one-time pad for a cache
+     * line: four AES blocks over (counter, lineAddr, blockIdx).
+     */
+    CacheLine otp(std::uint64_t counter, Addr line_addr) const;
+
+  private:
+    /** 11 round keys x 16 bytes. */
+    std::array<std::uint8_t, 176> roundKeys_;
+};
+
+} // namespace janus
+
+#endif // JANUS_CRYPTO_AES128_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table-driven CRC-32 (IEEE 802.3 polynomial), the lightweight
+ * deduplication fingerprint alternative evaluated in the paper's
+ * Figure 12 (roughly 4x cheaper than MD5).
+ */
+
+#ifndef JANUS_CRYPTO_CRC32_HH
+#define JANUS_CRYPTO_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace janus
+{
+
+/** One-shot CRC-32 over a buffer (init/final xor 0xFFFFFFFF). */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Incremental form: feed the previous return value back in. */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t size);
+
+} // namespace janus
+
+#endif // JANUS_CRYPTO_CRC32_HH

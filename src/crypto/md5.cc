@@ -1,0 +1,169 @@
+#include "crypto/md5.hh"
+
+#include <cstring>
+
+namespace janus
+{
+
+namespace
+{
+
+std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+// Per-round shift amounts (RFC 1321).
+const int shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+const std::uint32_t sines[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+} // namespace
+
+std::uint64_t
+Md5Digest::prefix64() const
+{
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), 8);
+    return v;
+}
+
+std::string
+Md5Digest::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(32);
+    for (std::uint8_t b : bytes) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 0xF]);
+    }
+    return s;
+}
+
+Md5::Md5() : totalBytes_(0), bufferLen_(0)
+{
+    state_[0] = 0x67452301;
+    state_[1] = 0xefcdab89;
+    state_[2] = 0x98badcfe;
+    state_[3] = 0x10325476;
+}
+
+void
+Md5::update(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    totalBytes_ += size;
+    while (size > 0) {
+        std::size_t take = std::min<std::size_t>(size, 64 - bufferLen_);
+        std::memcpy(buffer_ + bufferLen_, p, take);
+        bufferLen_ += take;
+        p += take;
+        size -= take;
+        if (bufferLen_ == 64) {
+            processBlock(buffer_);
+            bufferLen_ = 0;
+        }
+    }
+}
+
+Md5Digest
+Md5::finish()
+{
+    std::uint64_t bit_len = totalBytes_ * 8;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (bufferLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_le[8];
+    for (int i = 0; i < 8; ++i)
+        len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    std::memcpy(buffer_ + bufferLen_, len_le, 8);
+    processBlock(buffer_);
+    bufferLen_ = 0;
+
+    Md5Digest digest;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            digest.bytes[4 * i + j] =
+                static_cast<std::uint8_t>(state_[i] >> (8 * j));
+    return digest;
+}
+
+Md5Digest
+Md5::hash(const void *data, std::size_t size)
+{
+    Md5 hasher;
+    hasher.update(data, size);
+    return hasher.finish();
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+        m[i] = std::uint32_t(block[4 * i]) |
+               (std::uint32_t(block[4 * i + 1]) << 8) |
+               (std::uint32_t(block[4 * i + 2]) << 16) |
+               (std::uint32_t(block[4 * i + 3]) << 24);
+    }
+
+    std::uint32_t a = state_[0], b = state_[1];
+    std::uint32_t c = state_[2], d = state_[3];
+
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        std::uint32_t temp = d;
+        d = c;
+        c = b;
+        b = b + rotl32(a + f + sines[i] + m[g], shifts[i]);
+        a = temp;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+}
+
+} // namespace janus

@@ -1,0 +1,143 @@
+#include "crypto/sha1.hh"
+
+#include <cstring>
+
+namespace janus
+{
+
+namespace
+{
+
+std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+} // namespace
+
+std::uint64_t
+Sha1Digest::prefix64() const
+{
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), 8);
+    return v;
+}
+
+std::string
+Sha1Digest::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    s.reserve(40);
+    for (std::uint8_t b : bytes) {
+        s.push_back(digits[b >> 4]);
+        s.push_back(digits[b & 0xF]);
+    }
+    return s;
+}
+
+Sha1::Sha1() : totalBytes_(0), bufferLen_(0)
+{
+    h_[0] = 0x67452301;
+    h_[1] = 0xEFCDAB89;
+    h_[2] = 0x98BADCFE;
+    h_[3] = 0x10325476;
+    h_[4] = 0xC3D2E1F0;
+}
+
+void
+Sha1::update(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    totalBytes_ += size;
+    while (size > 0) {
+        std::size_t take = std::min<std::size_t>(size, 64 - bufferLen_);
+        std::memcpy(buffer_ + bufferLen_, p, take);
+        bufferLen_ += take;
+        p += take;
+        size -= take;
+        if (bufferLen_ == 64) {
+            processBlock(buffer_);
+            bufferLen_ = 0;
+        }
+    }
+}
+
+Sha1Digest
+Sha1::finish()
+{
+    std::uint64_t bit_len = totalBytes_ * 8;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (bufferLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    // Bypass totalBytes_ accounting for the length field itself.
+    std::memcpy(buffer_ + bufferLen_, len_be, 8);
+    processBlock(buffer_);
+    bufferLen_ = 0;
+
+    Sha1Digest digest;
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 4; ++j)
+            digest.bytes[4 * i + j] =
+                static_cast<std::uint8_t>(h_[i] >> (24 - 8 * j));
+    return digest;
+}
+
+Sha1Digest
+Sha1::hash(const void *data, std::size_t size)
+{
+    Sha1 hasher;
+    hasher.update(data, size);
+    return hasher.finish();
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(block[4 * i]) << 24) |
+               (std::uint32_t(block[4 * i + 1]) << 16) |
+               (std::uint32_t(block[4 * i + 2]) << 8) |
+               std::uint32_t(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDC;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6;
+        }
+        std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+} // namespace janus

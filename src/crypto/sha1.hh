@@ -1,0 +1,59 @@
+/**
+ * @file
+ * From-scratch SHA-1 (FIPS-180) used by the integrity-verification
+ * BMO for Merkle-tree nodes and per-line MACs, matching the paper's
+ * configuration (SHA-1 at 40 ns per hash unit).
+ */
+
+#ifndef JANUS_CRYPTO_SHA1_HH
+#define JANUS_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace janus
+{
+
+/** A 160-bit SHA-1 digest. */
+struct Sha1Digest
+{
+    std::array<std::uint8_t, 20> bytes{};
+
+    bool operator==(const Sha1Digest &o) const { return bytes == o.bytes; }
+
+    /** First 8 bytes as a little-endian word (for table keys). */
+    std::uint64_t prefix64() const;
+
+    /** Lowercase hex string. */
+    std::string toHex() const;
+};
+
+/** Incremental SHA-1 hasher. */
+class Sha1
+{
+  public:
+    Sha1();
+
+    /** Absorb size bytes. */
+    void update(const void *data, std::size_t size);
+
+    /** Finalize and return the digest. The hasher must not be reused. */
+    Sha1Digest finish();
+
+    /** One-shot convenience. */
+    static Sha1Digest hash(const void *data, std::size_t size);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t h_[5];
+    std::uint64_t totalBytes_;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+};
+
+} // namespace janus
+
+#endif // JANUS_CRYPTO_SHA1_HH

@@ -1,0 +1,70 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    auto workload = makeWorkload(config.workloadName, config.workload);
+
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module,
+                           config.instr == Instrumentation::Manual);
+    ExperimentResult result;
+    if (config.instr == Instrumentation::Auto)
+        result.instrReport = autoInstrument(module);
+    verify(module);
+
+    NvmSystem system(config.sys, module);
+    std::vector<TxnSource> sources;
+    for (unsigned c = 0; c < config.sys.cores; ++c) {
+        workload->setupCore(c, system);
+        sources.push_back(workload->source(c, system));
+    }
+    result.makespan = system.run(std::move(sources));
+
+    if (config.validate)
+        for (unsigned c = 0; c < config.sys.cores; ++c)
+            workload->validate(system.mem(), c);
+
+    MemoryController &mc = system.mc();
+    result.avgWriteLatencyNs = mc.avgWriteLatencyNs();
+    result.measuredDupRatio = mc.backend().dupRatio();
+    if (config.sys.mode == WritePathMode::Janus) {
+        const JanusFrontend &fe = mc.frontend();
+        std::uint64_t total = mc.writes();
+        result.fullyPreExecutedFrac =
+            total ? static_cast<double>(fe.consumedFullyPreExecuted()) /
+                        static_cast<double>(total)
+                  : 0.0;
+    }
+    for (unsigned c = 0; c < config.sys.cores; ++c) {
+        TimingCore &core = system.core(c);
+        result.instructions += core.instructions();
+        result.transactions += core.transactions();
+        result.persists += core.persists();
+        result.preRequests += core.preRequests();
+        result.fenceStallTicks += core.fenceStallTicks();
+    }
+    return result;
+}
+
+double
+speedupOverSerialized(const ExperimentConfig &config)
+{
+    ExperimentConfig serial = config;
+    serial.sys.mode = WritePathMode::Serialized;
+    serial.instr = Instrumentation::None;
+    ExperimentResult base = runExperiment(serial);
+    ExperimentResult opt = runExperiment(config);
+    janus_assert(opt.makespan > 0, "empty run");
+    return static_cast<double>(base.makespan) /
+           static_cast<double>(opt.makespan);
+}
+
+} // namespace janus

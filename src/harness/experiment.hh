@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment runner: builds a module (kernels + txn runtime +
+ * optional automated instrumentation), assembles a system, runs one
+ * workload on every core, validates the resulting data structures,
+ * and collects the statistics the paper's figures are built from.
+ */
+
+#ifndef JANUS_HARNESS_EXPERIMENT_HH
+#define JANUS_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "compiler/auto_instrument.hh"
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** How PRE_* calls get into the program (paper Section 5.2.3). */
+enum class Instrumentation : std::uint8_t
+{
+    None,   ///< original program (baselines)
+    Manual, ///< hand-placed PRE_* calls
+    Auto,   ///< compiler-pass-injected PRE_* calls
+};
+
+/** Everything one run needs. */
+struct ExperimentConfig
+{
+    std::string workloadName = "array_swap";
+    SystemConfig sys;
+    WorkloadParams workload;
+    Instrumentation instr = Instrumentation::Manual;
+    bool validate = true;
+};
+
+/** Digest of one run. */
+struct ExperimentResult
+{
+    Tick makespan = 0;
+    double avgWriteLatencyNs = 0;
+    double measuredDupRatio = 0;
+    /** Fraction of consumed writes whose BMOs were fully done. */
+    double fullyPreExecutedFrac = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t persists = 0;
+    std::uint64_t preRequests = 0;
+    Tick fenceStallTicks = 0;
+    InstrumentReport instrReport;
+};
+
+/** Run one experiment to completion. */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Convenience for the figures: run @p config as-is, then re-run it
+ * with the serialized baseline (Instrumentation::None), and return
+ * makespan(serialized) / makespan(config).
+ */
+double speedupOverSerialized(const ExperimentConfig &config);
+
+} // namespace janus
+
+#endif // JANUS_HARNESS_EXPERIMENT_HH

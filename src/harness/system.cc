@@ -1,0 +1,154 @@
+#include "harness/system.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+MemCtrlConfig
+makeMcConfig(const SystemConfig &sys)
+{
+    MemCtrlConfig mc;
+    mc.mode = sys.mode;
+    mc.bmo = sys.bmo;
+    mc.nvm = sys.nvm;
+    unsigned scale = sys.cores * sys.resourceScale;
+    if (sys.unlimitedResources) {
+        mc.bmoUnits = 0;
+        mc.janusHw = sys.janusHwPerCore;
+        mc.janusHw.requestQueueEntries = 1u << 20;
+        mc.janusHw.opQueueEntries = 1u << 20;
+        mc.janusHw.irbEntries = 1u << 20;
+    } else {
+        mc.bmoUnits = sys.bmoUnitsPerCore * scale;
+        mc.janusHw = sys.janusHwPerCore;
+        mc.janusHw.requestQueueEntries *= scale;
+        mc.janusHw.opQueueEntries *= scale;
+        mc.janusHw.irbEntries *= scale;
+    }
+    return mc;
+}
+
+} // namespace
+
+NvmSystem::NvmSystem(const SystemConfig &config, const Module &module)
+    : config_(config), alloc_(config.heapBase, config.heapBytes)
+{
+    janus_assert(config.cores >= 1, "need at least one core");
+    mc_ = std::make_unique<MemoryController>(makeMcConfig(config));
+    for (unsigned i = 0; i < config.cores; ++i) {
+        cores_.push_back(std::make_unique<TimingCore>(
+            "core" + std::to_string(i), eventq_, i, module, mem_,
+            *mc_, config.core));
+    }
+}
+
+Tick
+NvmSystem::run(std::vector<TxnSource> sources)
+{
+    janus_assert(sources.size() == cores_.size(),
+                 "need one transaction source per core (%zu vs %zu)",
+                 sources.size(), cores_.size());
+    unsigned live = static_cast<unsigned>(cores_.size());
+    for (unsigned i = 0; i < cores_.size(); ++i)
+        cores_[i]->run(std::move(sources[i]), [&live] { --live; });
+    eventq_.run();
+    janus_assert(live == 0, "deadlock: %u cores never finished", live);
+
+    Tick makespan = 0;
+    for (const auto &core : cores_)
+        makespan = std::max(makespan, core->finishTick());
+    return makespan;
+}
+
+void
+NvmSystem::dumpStats(std::ostream &os)
+{
+    for (const auto &core : cores_) {
+        StatGroup group(core->name());
+        group.scalar("instructions")
+            .set(static_cast<double>(core->instructions()));
+        group.scalar("transactions")
+            .set(static_cast<double>(core->transactions()));
+        group.scalar("loads").set(static_cast<double>(core->loads()));
+        group.scalar("stores")
+            .set(static_cast<double>(core->stores()));
+        group.scalar("persists")
+            .set(static_cast<double>(core->persists()));
+        group.scalar("preRequests")
+            .set(static_cast<double>(core->preRequests()));
+        group.scalar("fenceStallNs")
+            .set(ticks::toNsF(core->fenceStallTicks()));
+        group.scalar("l1HitRate").set(core->l1().hitRate());
+        group.scalar("l2HitRate").set(core->l2().hitRate());
+        group.dump(os);
+    }
+
+    StatGroup mc_group("mc");
+    mc_group.scalar("writes").set(static_cast<double>(mc_->writes()));
+    mc_group.scalar("avgWriteLatencyNs").set(mc_->avgWriteLatencyNs());
+    mc_group.scalar("metaAtomicWrites")
+        .set(static_cast<double>(mc_->metaAtomicWrites()));
+    mc_group.scalar("counterCacheHitRate")
+        .set(mc_->counterCache().hitRate());
+    mc_group.dump(os);
+
+    StatGroup dev_group("nvm");
+    dev_group.scalar("writesAccepted")
+        .set(static_cast<double>(mc_->device().writesAccepted()));
+    dev_group.scalar("readsIssued")
+        .set(static_cast<double>(mc_->device().readsIssued()));
+    dev_group.scalar("avgAcceptStallNs")
+        .set(mc_->device().avgAcceptStall());
+    dev_group.dump(os);
+
+    StatGroup engine_group("bmoEngine");
+    engine_group.scalar("subOpsExecuted")
+        .set(static_cast<double>(mc_->engine().subOpsExecuted()));
+    engine_group.scalar("busyNs")
+        .set(ticks::toNsF(mc_->engine().busyTicks()));
+    engine_group.dump(os);
+
+    StatGroup backend_group("backend");
+    backend_group.scalar("writes")
+        .set(static_cast<double>(mc_->backend().writes()));
+    backend_group.scalar("dupRatio").set(mc_->backend().dupRatio());
+    backend_group.scalar("physLinesLive")
+        .set(static_cast<double>(mc_->backend().physLinesLive()));
+    if (mc_->backend().config().compression)
+        backend_group.scalar("compressionRatio")
+            .set(mc_->backend().compressionRatio());
+    backend_group.dump(os);
+
+    if (config_.mode == WritePathMode::Janus) {
+        const JanusFrontend &fe = mc_->frontend();
+        StatGroup fe_group("janus");
+        fe_group.scalar("requestsIssued")
+            .set(static_cast<double>(fe.requestsIssued()));
+        fe_group.scalar("chunksPreExecuted")
+            .set(static_cast<double>(fe.chunksPreExecuted()));
+        fe_group.scalar("consumedWithEntry")
+            .set(static_cast<double>(fe.consumedWithEntry()));
+        fe_group.scalar("consumedFullyPreExecuted")
+            .set(static_cast<double>(fe.consumedFullyPreExecuted()));
+        fe_group.scalar("dataMismatches")
+            .set(static_cast<double>(fe.dataMismatches()));
+        fe_group.scalar("metadataInvalidations")
+            .set(static_cast<double>(fe.metadataInvalidations()));
+        fe_group.scalar("droppedIrb")
+            .set(static_cast<double>(fe.droppedIrb()));
+        fe_group.scalar("droppedOpQueue")
+            .set(static_cast<double>(fe.droppedOpQueue()));
+        fe_group.scalar("agedOut")
+            .set(static_cast<double>(fe.agedOut()));
+        fe_group.dump(os);
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NvmSystem: assembles a complete simulated machine — event queue,
+ * functional memory, memory controller (with BMOs / Janus), and N
+ * timing cores — from a single SystemConfig mirroring the paper's
+ * Table 3.
+ */
+
+#ifndef JANUS_HARNESS_SYSTEM_HH
+#define JANUS_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/timing_core.hh"
+#include "ir/ir.hh"
+#include "mem/sparse_memory.hh"
+#include "memctrl/memory_controller.hh"
+#include "sim/eventq.hh"
+
+namespace janus
+{
+
+/** Whole-system configuration (Table 3 defaults). */
+struct SystemConfig
+{
+    unsigned cores = 1;
+    WritePathMode mode = WritePathMode::Janus;
+    BmoConfig bmo;
+    NvmConfig nvm;
+    CoreConfig core;
+    /** Per-core Janus queue/buffer sizes (scaled by cores). */
+    JanusHwConfig janusHwPerCore;
+    /** BMO units per core (Table 3: 4, shared). */
+    unsigned bmoUnitsPerCore = 4;
+    /** Figure 14: multiply units and Janus buffers by this factor. */
+    unsigned resourceScale = 1;
+    /** Figure 14 "unlimited" point. */
+    bool unlimitedResources = false;
+    /** Base/extent of the persistent heap handed to workloads. */
+    Addr heapBase = 1 * 1024 * 1024;
+    Addr heapBytes = Addr(2) * 1024 * 1024 * 1024;
+};
+
+/** A fully assembled simulated NVM machine. */
+class NvmSystem
+{
+  public:
+    NvmSystem(const SystemConfig &config, const Module &module);
+
+    EventQueue &eventq() { return eventq_; }
+    SparseMemory &mem() { return mem_; }
+    MemoryController &mc() { return *mc_; }
+    TimingCore &core(unsigned i) { return *cores_.at(i); }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    RegionAllocator &allocator() { return alloc_; }
+    const SystemConfig &config() const { return config_; }
+
+    /**
+     * Run one transaction source per core to exhaustion.
+     * @return the makespan tick (last core's finish).
+     */
+    Tick run(std::vector<TxnSource> sources);
+
+    /**
+     * Dump every component's statistics (gem5-style
+     * "component.stat value" lines) to the stream.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SystemConfig config_;
+    EventQueue eventq_;
+    SparseMemory mem_;
+    std::unique_ptr<MemoryController> mc_;
+    std::vector<std::unique_ptr<TimingCore>> cores_;
+    RegionAllocator alloc_;
+};
+
+} // namespace janus
+
+#endif // JANUS_HARNESS_SYSTEM_HH

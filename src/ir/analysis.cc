@@ -1,0 +1,113 @@
+#include "ir/analysis.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+CfgInfo::CfgInfo(const Function &fn)
+{
+    const unsigned n = static_cast<unsigned>(fn.blocks.size());
+    preds_.resize(n);
+    rpoIndex_.assign(n, -1);
+    idom_.assign(n, -1);
+    inLoop_.assign(n, false);
+
+    for (unsigned b = 0; b < n; ++b)
+        for (unsigned s : fn.successors(b))
+            preds_[s].push_back(b);
+
+    // Postorder DFS from the entry, then reverse.
+    std::vector<unsigned> postorder;
+    std::vector<char> visited(n, 0);
+    std::function<void(unsigned)> dfs = [&](unsigned b) {
+        visited[b] = 1;
+        for (unsigned s : fn.successors(b))
+            if (!visited[s])
+                dfs(s);
+        postorder.push_back(b);
+    };
+    dfs(0);
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (unsigned i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy iterative dominators.
+    idom_[0] = 0;
+    auto intersect = [&](int b1, int b2) {
+        while (b1 != b2) {
+            while (rpoIndex_[b1] > rpoIndex_[b2])
+                b1 = idom_[b1];
+            while (rpoIndex_[b2] > rpoIndex_[b1])
+                b2 = idom_[b2];
+        }
+        return b1;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned b : rpo_) {
+            if (b == 0)
+                continue;
+            int new_idom = -1;
+            for (unsigned p : preds_[b]) {
+                if (rpoIndex_[p] < 0 || idom_[p] < 0)
+                    continue;
+                new_idom = new_idom < 0
+                               ? static_cast<int>(p)
+                               : intersect(new_idom,
+                                           static_cast<int>(p));
+            }
+            if (new_idom >= 0 && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Natural loops: a back edge u -> v exists when v dominates u.
+    for (unsigned u = 0; u < n; ++u) {
+        if (rpoIndex_[u] < 0)
+            continue;
+        for (unsigned v : fn.successors(u)) {
+            if (!dominates(v, u))
+                continue;
+            ++numLoops_;
+            // Loop body: v plus everything that reaches u without
+            // passing through v.
+            inLoop_[v] = true;
+            std::vector<unsigned> work{u};
+            while (!work.empty()) {
+                unsigned b = work.back();
+                work.pop_back();
+                if (inLoop_[b])
+                    continue;
+                inLoop_[b] = true;
+                for (unsigned p : preds_[b])
+                    if (!inLoop_[p])
+                        work.push_back(p);
+            }
+        }
+    }
+}
+
+bool
+CfgInfo::dominates(unsigned a, unsigned b) const
+{
+    janus_assert(rpoIndex_.at(a) >= 0 && rpoIndex_.at(b) >= 0,
+                 "dominance query on unreachable block");
+    // Walk the dominator tree upward from b.
+    unsigned cur = b;
+    for (;;) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return false;
+        cur = static_cast<unsigned>(idom_.at(cur));
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CFG analyses over PmIR functions: predecessors, reverse postorder,
+ * dominator tree (Cooper-Harvey-Kennedy) and natural-loop membership.
+ * The automated instrumentation pass uses these to (a) refuse to
+ * instrument writebacks inside loops and (b) place injected calls
+ * only at points that dominate the writeback.
+ */
+
+#ifndef JANUS_IR_ANALYSIS_HH
+#define JANUS_IR_ANALYSIS_HH
+
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace janus
+{
+
+/** Immutable CFG facts about one function. */
+class CfgInfo
+{
+  public:
+    explicit CfgInfo(const Function &fn);
+
+    const std::vector<unsigned> &preds(unsigned block) const
+    {
+        return preds_.at(block);
+    }
+
+    /** Reverse postorder over reachable blocks (entry first). */
+    const std::vector<unsigned> &rpo() const { return rpo_; }
+
+    /** @return true iff block a dominates block b. */
+    bool dominates(unsigned a, unsigned b) const;
+
+    /** Immediate dominator (entry's idom is itself). */
+    unsigned idom(unsigned block) const
+    {
+        return static_cast<unsigned>(idom_.at(block));
+    }
+
+    /** @return true iff the block is inside a natural loop. */
+    bool inLoop(unsigned block) const { return inLoop_.at(block); }
+
+    /** @return true iff the block is reachable from the entry. */
+    bool reachable(unsigned block) const
+    {
+        return rpoIndex_.at(block) >= 0;
+    }
+
+    /** Number of natural loops (back edges) found. */
+    unsigned numLoops() const { return numLoops_; }
+
+  private:
+    std::vector<std::vector<unsigned>> preds_;
+    std::vector<unsigned> rpo_;
+    std::vector<int> rpoIndex_;
+    std::vector<int> idom_;
+    std::vector<bool> inLoop_;
+    unsigned numLoops_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_IR_ANALYSIS_HH

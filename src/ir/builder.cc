@@ -1,0 +1,312 @@
+#include "ir/builder.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+void
+IrBuilder::beginFunction(const std::string &name, unsigned num_args)
+{
+    janus_assert(fn_ == nullptr, "beginFunction while building '%s'",
+                 fn_ ? fn_->name.c_str() : "?");
+    janus_assert(!module_.has(name), "duplicate function '%s'",
+                 name.c_str());
+    Function fn;
+    fn.name = name;
+    fn.numArgs = num_args;
+    fn.numRegs = num_args;
+    fn.blocks.emplace_back();
+    auto [it, ok] = module_.functions.emplace(name, std::move(fn));
+    janus_assert(ok, "emplace failed");
+    fn_ = &it->second;
+    curBlock_ = 0;
+    nextSlot_ = 0;
+}
+
+void
+IrBuilder::endFunction()
+{
+    janus_assert(fn_ != nullptr, "endFunction without beginFunction");
+    fn_ = nullptr;
+}
+
+int
+IrBuilder::arg(unsigned i) const
+{
+    janus_assert(fn_ && i < fn_->numArgs, "bad argument index %u", i);
+    return static_cast<int>(i);
+}
+
+int
+IrBuilder::newReg()
+{
+    janus_assert(fn_ != nullptr, "no function under construction");
+    return static_cast<int>(fn_->numRegs++);
+}
+
+unsigned
+IrBuilder::newBlock()
+{
+    janus_assert(fn_ != nullptr, "no function under construction");
+    fn_->blocks.emplace_back();
+    return static_cast<unsigned>(fn_->blocks.size() - 1);
+}
+
+Instr &
+IrBuilder::emit(Instr instr)
+{
+    janus_assert(fn_ != nullptr, "no function under construction");
+    BasicBlock &bb = fn_->blocks.at(curBlock_);
+    janus_assert(bb.instrs.empty() ||
+                     !Function::isTerminator(bb.instrs.back().op),
+                 "%s: emitting past terminator in bb%u",
+                 fn_->name.c_str(), curBlock_);
+    bb.instrs.push_back(std::move(instr));
+    return bb.instrs.back();
+}
+
+int
+IrBuilder::constI(std::int64_t value)
+{
+    int dst = newReg();
+    emit({.op = Opcode::Const, .dst = dst, .imm = value});
+    return dst;
+}
+
+int
+IrBuilder::mov(int a)
+{
+    int dst = newReg();
+    emit({.op = Opcode::Mov, .dst = dst, .a = a});
+    return dst;
+}
+
+void
+IrBuilder::movTo(int dst, int src)
+{
+    emit({.op = Opcode::Mov, .dst = dst, .a = src});
+}
+
+void
+IrBuilder::constTo(int dst, std::int64_t value)
+{
+    emit({.op = Opcode::Const, .dst = dst, .imm = value});
+}
+
+#define JANUS_BINOP(method, opcode)                                       \
+    int IrBuilder::method(int a, int b)                                   \
+    {                                                                     \
+        int dst = newReg();                                               \
+        emit({.op = Opcode::opcode, .dst = dst, .a = a, .b = b});         \
+        return dst;                                                       \
+    }
+
+JANUS_BINOP(add, Add)
+JANUS_BINOP(sub, Sub)
+JANUS_BINOP(mul, Mul)
+JANUS_BINOP(andOp, And)
+JANUS_BINOP(orOp, Or)
+JANUS_BINOP(xorOp, Xor)
+JANUS_BINOP(cmpEq, CmpEq)
+JANUS_BINOP(cmpNe, CmpNe)
+JANUS_BINOP(cmpLt, CmpLt)
+JANUS_BINOP(cmpLe, CmpLe)
+
+#undef JANUS_BINOP
+
+#define JANUS_IMMOP(method, opcode)                                       \
+    int IrBuilder::method(int a, std::int64_t imm)                        \
+    {                                                                     \
+        int dst = newReg();                                               \
+        emit({.op = Opcode::opcode, .dst = dst, .a = a, .imm = imm});     \
+        return dst;                                                       \
+    }
+
+JANUS_IMMOP(addI, AddI)
+JANUS_IMMOP(mulI, MulI)
+JANUS_IMMOP(shlI, ShlI)
+JANUS_IMMOP(shrI, ShrI)
+
+#undef JANUS_IMMOP
+
+int
+IrBuilder::load(int addr, std::int64_t offset)
+{
+    int dst = newReg();
+    emit({.op = Opcode::Load, .dst = dst, .a = addr, .imm = offset});
+    return dst;
+}
+
+void
+IrBuilder::store(int addr, int value, std::int64_t offset)
+{
+    emit({.op = Opcode::Store, .a = addr, .b = value, .imm = offset});
+}
+
+void
+IrBuilder::memCpy(int dst_addr, int src_addr, std::int64_t bytes)
+{
+    emit({.op = Opcode::MemCpy, .dst = dst_addr, .a = src_addr,
+          .imm = bytes});
+}
+
+void
+IrBuilder::memCpyR(int dst_addr, int src_addr, int bytes_reg)
+{
+    emit({.op = Opcode::MemCpy, .dst = dst_addr, .a = src_addr,
+          .b = bytes_reg});
+}
+
+void
+IrBuilder::br(unsigned block)
+{
+    emit({.op = Opcode::Br, .imm = block});
+}
+
+void
+IrBuilder::brCond(int cond, unsigned if_true, unsigned if_false)
+{
+    emit({.op = Opcode::BrCond, .a = cond, .imm = if_true,
+          .imm2 = if_false});
+}
+
+int
+IrBuilder::call(const std::string &callee, const std::vector<int> &args)
+{
+    int dst = newReg();
+    Instr instr{.op = Opcode::Call, .dst = dst, .callee = callee,
+                .args = args};
+    emit(std::move(instr));
+    return dst;
+}
+
+void
+IrBuilder::ret(int value)
+{
+    emit({.op = Opcode::Ret, .a = value});
+}
+
+void
+IrBuilder::halt()
+{
+    emit({.op = Opcode::Halt});
+}
+
+void
+IrBuilder::clwb(int addr, std::int64_t size, bool meta_atomic)
+{
+    emit({.op = Opcode::Clwb, .a = addr, .imm = size,
+          .flag = meta_atomic});
+}
+
+void
+IrBuilder::clwbR(int addr, int size_reg, bool meta_atomic)
+{
+    emit({.op = Opcode::Clwb, .a = addr, .b = size_reg,
+          .flag = meta_atomic});
+}
+
+void
+IrBuilder::sfence()
+{
+    emit({.op = Opcode::Sfence});
+}
+
+void
+IrBuilder::txBegin()
+{
+    emit({.op = Opcode::TxBegin});
+}
+
+void
+IrBuilder::txEnd()
+{
+    emit({.op = Opcode::TxEnd});
+}
+
+int
+IrBuilder::preInit()
+{
+    int slot = nextSlot_++;
+    emit({.op = Opcode::PreInit, .slot = slot});
+    return slot;
+}
+
+void
+IrBuilder::preAddr(int slot, int addr, std::int64_t size)
+{
+    emit({.op = Opcode::PreAddr, .a = addr, .imm = size, .slot = slot});
+}
+
+void
+IrBuilder::preData(int slot, int data_addr, std::int64_t size)
+{
+    emit({.op = Opcode::PreData, .a = data_addr, .imm = size,
+          .slot = slot});
+}
+
+void
+IrBuilder::preBoth(int slot, int addr, int data_addr, std::int64_t size)
+{
+    emit({.op = Opcode::PreBoth, .a = addr, .b = data_addr, .imm = size,
+          .slot = slot});
+}
+
+void
+IrBuilder::preAddrR(int slot, int addr, int size_reg)
+{
+    emit({.op = Opcode::PreAddr, .dst = size_reg, .a = addr,
+          .slot = slot});
+}
+
+void
+IrBuilder::preDataR(int slot, int data_addr, int size_reg)
+{
+    emit({.op = Opcode::PreData, .dst = size_reg, .a = data_addr,
+          .slot = slot});
+}
+
+void
+IrBuilder::preBothR(int slot, int addr, int data_addr, int size_reg)
+{
+    emit({.op = Opcode::PreBoth, .dst = size_reg, .a = addr,
+          .b = data_addr, .slot = slot});
+}
+
+void
+IrBuilder::preBothVal(int slot, int addr, int value)
+{
+    emit({.op = Opcode::PreBothVal, .a = addr, .b = value,
+          .slot = slot});
+}
+
+void
+IrBuilder::preAddrBuf(int slot, int addr, std::int64_t size)
+{
+    emit({.op = Opcode::PreAddrBuf, .a = addr, .imm = size,
+          .slot = slot});
+}
+
+void
+IrBuilder::preDataBuf(int slot, int data_addr, std::int64_t size)
+{
+    emit({.op = Opcode::PreDataBuf, .a = data_addr, .imm = size,
+          .slot = slot});
+}
+
+void
+IrBuilder::preBothBuf(int slot, int addr, int data_addr,
+                      std::int64_t size)
+{
+    emit({.op = Opcode::PreBothBuf, .a = addr, .b = data_addr,
+          .imm = size, .slot = slot});
+}
+
+void
+IrBuilder::preStartBuf(int slot)
+{
+    emit({.op = Opcode::PreStartBuf, .slot = slot});
+}
+
+} // namespace janus

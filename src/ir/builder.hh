@@ -1,0 +1,111 @@
+/**
+ * @file
+ * IrBuilder: a small EDSL for constructing PmIR functions, in the
+ * spirit of LLVM's IRBuilder. Workload kernels and the transaction
+ * runtime library are written against this interface.
+ */
+
+#ifndef JANUS_IR_BUILDER_HH
+#define JANUS_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace janus
+{
+
+/** Builds one function at a time into a Module. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(Module &module) : module_(module) {}
+
+    /** Start a function; the entry block 0 is created and selected. */
+    void beginFunction(const std::string &name, unsigned num_args);
+
+    /** Finish the current function (verifies single ownership). */
+    void endFunction();
+
+    /** Register holding argument i. */
+    int arg(unsigned i) const;
+
+    /** Allocate a fresh virtual register. */
+    int newReg();
+
+    /** Create a new basic block; returns its id. */
+    unsigned newBlock();
+
+    /** Select the insertion block. */
+    void setBlock(unsigned id) { curBlock_ = id; }
+    unsigned currentBlock() const { return curBlock_; }
+
+    // --- instruction emitters (return the dst register) -----------
+    int constI(std::int64_t value);
+    int mov(int a);
+    /** Assign into an existing register (loop-carried variables). */
+    void movTo(int dst, int src);
+    /** Load an immediate into an existing register. */
+    void constTo(int dst, std::int64_t value);
+    int add(int a, int b);
+    int addI(int a, std::int64_t imm);
+    int sub(int a, int b);
+    int mul(int a, int b);
+    int mulI(int a, std::int64_t imm);
+    int andOp(int a, int b);
+    int orOp(int a, int b);
+    int xorOp(int a, int b);
+    int shlI(int a, std::int64_t imm);
+    int shrI(int a, std::int64_t imm);
+    int cmpEq(int a, int b);
+    int cmpNe(int a, int b);
+    int cmpLt(int a, int b);
+    int cmpLe(int a, int b);
+    int load(int addr, std::int64_t offset = 0);
+    void store(int addr, int value, std::int64_t offset = 0);
+    void memCpy(int dst_addr, int src_addr, std::int64_t bytes);
+    /** MemCpy with the byte count taken from a register. */
+    void memCpyR(int dst_addr, int src_addr, int bytes_reg);
+    void br(unsigned block);
+    void brCond(int cond, unsigned if_true, unsigned if_false);
+    int call(const std::string &callee, const std::vector<int> &args);
+    void ret(int value = -1);
+    void halt();
+    void clwb(int addr, std::int64_t size, bool meta_atomic = false);
+    /** Clwb with the byte count taken from a register. */
+    void clwbR(int addr, int size_reg, bool meta_atomic = false);
+    void sfence();
+    void txBegin();
+    void txEnd();
+
+    // --- Janus interface -------------------------------------------
+    /** PRE_INIT: allocate a pre-object slot. */
+    int preInit();
+    void preAddr(int slot, int addr, std::int64_t size);
+    void preData(int slot, int data_addr, std::int64_t size);
+    void preBoth(int slot, int addr, int data_addr, std::int64_t size);
+    /** Variants with the byte count taken from a register (the size
+     *  register is carried in the instruction's dst field). */
+    void preAddrR(int slot, int addr, int size_reg);
+    void preDataR(int slot, int data_addr, int size_reg);
+    void preBothR(int slot, int addr, int data_addr, int size_reg);
+    void preBothVal(int slot, int addr, int value);
+    void preAddrBuf(int slot, int addr, std::int64_t size);
+    void preDataBuf(int slot, int data_addr, std::int64_t size);
+    void preBothBuf(int slot, int addr, int data_addr,
+                    std::int64_t size);
+    void preStartBuf(int slot);
+
+  private:
+    Instr &emit(Instr instr);
+
+    Module &module_;
+    Function *fn_ = nullptr;
+    unsigned curBlock_ = 0;
+    int nextSlot_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_IR_BUILDER_HH

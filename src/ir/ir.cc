@@ -1,0 +1,282 @@
+#include "ir/ir.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+bool
+Function::isTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Br:
+      case Opcode::BrCond:
+      case Opcode::Ret:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<unsigned>
+Function::successors(unsigned block) const
+{
+    const BasicBlock &bb = blocks.at(block);
+    janus_assert(!bb.instrs.empty(), "empty block %u in %s", block,
+                 name.c_str());
+    const Instr &term = bb.instrs.back();
+    switch (term.op) {
+      case Opcode::Br:
+        return {static_cast<unsigned>(term.imm)};
+      case Opcode::BrCond:
+        return {static_cast<unsigned>(term.imm),
+                static_cast<unsigned>(term.imm2)};
+      default:
+        return {};
+    }
+}
+
+const Function &
+Module::fn(const std::string &name) const
+{
+    auto it = functions.find(name);
+    janus_assert(it != functions.end(), "unknown function '%s'",
+                 name.c_str());
+    return it->second;
+}
+
+Function &
+Module::fn(const std::string &name)
+{
+    auto it = functions.find(name);
+    janus_assert(it != functions.end(), "unknown function '%s'",
+                 name.c_str());
+    return it->second;
+}
+
+bool
+isPreOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::PreInit:
+      case Opcode::PreAddr:
+      case Opcode::PreData:
+      case Opcode::PreBoth:
+      case Opcode::PreBothVal:
+      case Opcode::PreAddrBuf:
+      case Opcode::PreDataBuf:
+      case Opcode::PreBothBuf:
+      case Opcode::PreStartBuf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+void
+checkReg(const Function &fn, int reg, const char *what)
+{
+    janus_assert(reg >= 0 && static_cast<unsigned>(reg) < fn.numRegs,
+                 "%s: %s register %d out of range (numRegs %u)",
+                 fn.name.c_str(), what, reg, fn.numRegs);
+}
+
+void
+checkBlock(const Function &fn, std::int64_t block)
+{
+    janus_assert(block >= 0 &&
+                     static_cast<std::size_t>(block) < fn.blocks.size(),
+                 "%s: branch to unknown block %lld", fn.name.c_str(),
+                 static_cast<long long>(block));
+}
+
+void
+verifyFunction(const Module &module, const Function &fn)
+{
+    janus_assert(!fn.blocks.empty(), "%s has no blocks",
+                 fn.name.c_str());
+    janus_assert(fn.numArgs <= fn.numRegs,
+                 "%s: more args than registers", fn.name.c_str());
+    for (unsigned bi = 0; bi < fn.blocks.size(); ++bi) {
+        const BasicBlock &bb = fn.blocks[bi];
+        janus_assert(!bb.instrs.empty(), "%s: empty block %u",
+                     fn.name.c_str(), bi);
+        for (std::size_t ii = 0; ii < bb.instrs.size(); ++ii) {
+            const Instr &instr = bb.instrs[ii];
+            bool last = ii + 1 == bb.instrs.size();
+            janus_assert(Function::isTerminator(instr.op) == last,
+                         "%s block %u: terminator placement at %zu",
+                         fn.name.c_str(), bi, ii);
+            if (instr.dst >= 0)
+                checkReg(fn, instr.dst, "dst");
+            if (instr.a >= 0)
+                checkReg(fn, instr.a, "a");
+            if (instr.b >= 0)
+                checkReg(fn, instr.b, "b");
+            for (int arg : instr.args)
+                checkReg(fn, arg, "call arg");
+            switch (instr.op) {
+              case Opcode::Br:
+                checkBlock(fn, instr.imm);
+                break;
+              case Opcode::BrCond:
+                checkBlock(fn, instr.imm);
+                checkBlock(fn, instr.imm2);
+                break;
+              case Opcode::Call: {
+                  janus_assert(module.has(instr.callee),
+                               "%s calls unknown '%s'",
+                               fn.name.c_str(), instr.callee.c_str());
+                  const Function &callee = module.fn(instr.callee);
+                  janus_assert(instr.args.size() == callee.numArgs,
+                               "%s: call to %s with %zu args, wants %u",
+                               fn.name.c_str(), instr.callee.c_str(),
+                               instr.args.size(), callee.numArgs);
+                  break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+}
+
+const char *
+opName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::AddI: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulI: return "muli";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::MemCpy: return "memcpy";
+      case Opcode::Br: return "br";
+      case Opcode::BrCond: return "brcond";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+      case Opcode::Clwb: return "clwb";
+      case Opcode::Sfence: return "sfence";
+      case Opcode::TxBegin: return "txbegin";
+      case Opcode::TxEnd: return "txend";
+      case Opcode::PreInit: return "pre_init";
+      case Opcode::PreAddr: return "pre_addr";
+      case Opcode::PreData: return "pre_data";
+      case Opcode::PreBoth: return "pre_both";
+      case Opcode::PreBothVal: return "pre_both_val";
+      case Opcode::PreAddrBuf: return "pre_addr_buf";
+      case Opcode::PreDataBuf: return "pre_data_buf";
+      case Opcode::PreBothBuf: return "pre_both_buf";
+      case Opcode::PreStartBuf: return "pre_start_buf";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+verify(const Module &module)
+{
+    for (const auto &[name, fn] : module.functions) {
+        janus_assert(name == fn.name, "function name mismatch: %s",
+                     name.c_str());
+        verifyFunction(module, fn);
+    }
+}
+
+std::string
+toString(const Instr &instr)
+{
+    std::ostringstream os;
+    os << opName(instr.op);
+    if (instr.dst >= 0)
+        os << " %" << instr.dst << " <-";
+    if (instr.a >= 0)
+        os << " %" << instr.a;
+    if (instr.b >= 0)
+        os << " %" << instr.b;
+    if (instr.op == Opcode::Call) {
+        os << " @" << instr.callee << "(";
+        for (std::size_t i = 0; i < instr.args.size(); ++i)
+            os << (i ? ", %" : "%") << instr.args[i];
+        os << ")";
+    }
+    switch (instr.op) {
+      case Opcode::Const:
+      case Opcode::AddI:
+      case Opcode::MulI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::MemCpy:
+      case Opcode::Clwb:
+      case Opcode::PreAddr:
+      case Opcode::PreData:
+      case Opcode::PreBoth:
+      case Opcode::PreAddrBuf:
+      case Opcode::PreDataBuf:
+      case Opcode::PreBothBuf:
+        os << " #" << instr.imm;
+        break;
+      case Opcode::Br:
+        os << " bb" << instr.imm;
+        break;
+      case Opcode::BrCond:
+        os << " bb" << instr.imm << " bb" << instr.imm2;
+        break;
+      default:
+        break;
+    }
+    if (instr.slot >= 0)
+        os << " slot" << instr.slot;
+    if (instr.flag)
+        os << " [meta-atomic]";
+    return os.str();
+}
+
+std::string
+toString(const Function &fn)
+{
+    std::ostringstream os;
+    os << "fn @" << fn.name << " (args " << fn.numArgs << ", regs "
+       << fn.numRegs << ")\n";
+    for (unsigned bi = 0; bi < fn.blocks.size(); ++bi) {
+        os << "  bb" << bi << ":\n";
+        for (const Instr &instr : fn.blocks[bi].instrs)
+            os << "    " << toString(instr) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+toString(const Module &module)
+{
+    std::string out;
+    for (const auto &[name, fn] : module.functions)
+        out += toString(fn) + "\n";
+    return out;
+}
+
+} // namespace janus

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * PmIR: the small persistent-memory IR the workloads are written in.
+ * It plays the role LLVM IR plays in the paper: the timing cores
+ * interpret it, and the automated instrumentation pass (Section 4.5)
+ * analyzes and rewrites it to inject Janus pre-execution calls.
+ *
+ * The IR is register-based (64-bit virtual registers), organized as
+ * functions of basic blocks. Memory instructions operate on the
+ * simulated byte-accurate address space. Persistence primitives
+ * (Clwb/Sfence) and the Janus software interface (Table 2) are
+ * first-class instructions.
+ */
+
+#ifndef JANUS_IR_IR_HH
+#define JANUS_IR_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** PmIR opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Data movement / arithmetic (dst, a, b, imm as documented).
+    Const,     ///< dst = imm
+    Mov,       ///< dst = r[a]
+    Add,       ///< dst = r[a] + r[b]
+    AddI,      ///< dst = r[a] + imm
+    Sub,       ///< dst = r[a] - r[b]
+    Mul,       ///< dst = r[a] * r[b]
+    MulI,      ///< dst = r[a] * imm
+    And,       ///< dst = r[a] & r[b]
+    Or,        ///< dst = r[a] | r[b]
+    Xor,       ///< dst = r[a] ^ r[b]
+    ShlI,      ///< dst = r[a] << imm
+    ShrI,      ///< dst = r[a] >> imm
+    CmpEq,     ///< dst = r[a] == r[b]
+    CmpNe,     ///< dst = r[a] != r[b]
+    CmpLt,     ///< dst = r[a] < r[b] (unsigned)
+    CmpLe,     ///< dst = r[a] <= r[b] (unsigned)
+
+    // Memory.
+    Load,      ///< dst = mem64[r[a] + imm]
+    Store,     ///< mem64[r[a] + imm] = r[b]
+    MemCpy,    ///< mem[r[dst]..] = mem[r[a]..]; size r[b] (or imm)
+
+    // Control flow.
+    Br,        ///< goto block imm
+    BrCond,    ///< if r[a] goto block imm else block imm2
+    Call,      ///< dst = callee(args...)
+    Ret,       ///< return r[a] (a == -1: void)
+    Halt,      ///< stop the hart
+
+    // Persistence (x86 clwb/sfence analogues, ADR semantics).
+    Clwb,      ///< write back lines [r[a], r[a]+size); size r[b] or
+               ///< imm; flag requests metadata atomicity
+    Sfence,    ///< stall until all outstanding persists are durable
+    TxBegin,   ///< open a durable transaction (bumps TransactionID)
+    TxEnd,     ///< close it
+
+    // Janus software interface (paper Table 2).
+    PreInit,     ///< initialize pre-object `slot`
+    PreAddr,     ///< pre-execute addr-dependent: (slot, r[a], imm)
+    PreData,     ///< pre-execute data-dependent: (slot, r[a], imm)
+    PreBoth,     ///< both: (slot, addr r[a], data r[b], imm)
+    PreBothVal,  ///< both, 64-bit value: (slot, addr r[a], val r[b])
+    PreAddrBuf,  ///< deferred variants of the above three
+    PreDataBuf,
+    PreBothBuf,
+    PreStartBuf, ///< launch buffered requests of `slot`
+
+    Nop,
+};
+
+/** One PmIR instruction. Field use depends on the opcode. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    std::int64_t imm = 0;
+    std::int64_t imm2 = 0;
+    /** Pre-object slot for PRE_* ops. */
+    int slot = -1;
+    /** Clwb: request metadata atomicity (commit writes). */
+    bool flag = false;
+    std::string callee;
+    std::vector<int> args;
+};
+
+/** A basic block: straight-line code ending in a terminator. */
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+};
+
+/** A PmIR function. Arguments arrive in registers 0..numArgs-1. */
+struct Function
+{
+    std::string name;
+    unsigned numArgs = 0;
+    unsigned numRegs = 0;
+    std::vector<BasicBlock> blocks;
+
+    /** @return true if the given opcode ends a basic block. */
+    static bool isTerminator(Opcode op);
+
+    /** Successor block ids of a block (from its terminator). */
+    std::vector<unsigned> successors(unsigned block) const;
+};
+
+/** A compilation module: a set of functions. */
+struct Module
+{
+    std::map<std::string, Function> functions;
+
+    const Function &fn(const std::string &name) const;
+    Function &fn(const std::string &name);
+    bool has(const std::string &name) const
+    {
+        return functions.count(name) != 0;
+    }
+};
+
+/**
+ * Structural validation: register/block indices in range, blocks
+ * properly terminated, callees resolvable. Panics on violation.
+ */
+void verify(const Module &module);
+
+/** Disassemble for debugging and the compiler-pass example. */
+std::string toString(const Instr &instr);
+std::string toString(const Function &fn);
+std::string toString(const Module &module);
+
+/** @return true for PRE_* opcodes. */
+bool isPreOp(Opcode op);
+
+} // namespace janus
+
+#endif // JANUS_IR_IR_HH

@@ -1,0 +1,335 @@
+#include "janus/janus_hw.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+JanusFrontend::JanusFrontend(const JanusHwConfig &config,
+                             BmoEngine &engine,
+                             const BmoBackendState &backend)
+    : config_(config), engine_(engine), backend_(backend)
+{
+    janus_assert(config.opQueueEntries > 0 && config.irbEntries > 0 &&
+                     config.requestQueueEntries > 0,
+                 "Janus queues need nonzero capacity");
+}
+
+void
+JanusFrontend::purgeOpQueue(Tick now)
+{
+    std::erase_if(opQueue_, [now](Tick done) { return done <= now; });
+}
+
+void
+JanusFrontend::expireEntries(Tick now)
+{
+    while (!entries_.empty() &&
+           entries_.front().created + config_.maxEntryAge < now) {
+        ++agedOut_;
+        eraseEntry(entries_.begin());
+    }
+}
+
+JanusFrontend::EntryList::iterator
+JanusFrontend::findByObj(const PreObjId &obj, unsigned chunk)
+{
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const IrbEntry &e) {
+                            return e.obj == obj && e.chunk == chunk;
+                        });
+}
+
+void
+JanusFrontend::eraseEntry(EntryList::iterator it)
+{
+    if (it->lineAddr) {
+        auto addr_it = byAddr_.find(*it->lineAddr);
+        if (addr_it != byAddr_.end() && addr_it->second == it)
+            byAddr_.erase(addr_it);
+    }
+    entries_.erase(it);
+}
+
+void
+JanusFrontend::executeEligible(IrbEntry &entry, Tick now)
+{
+    ExternalInput avail = ExternalInput::None;
+    if (entry.lineAddr)
+        avail = avail | ExternalInput::Addr;
+    if (entry.data)
+        avail = avail | ExternalInput::Data;
+
+    unsigned before = entry.exec.completedCount();
+    Tick done = engine_.execute(entry.exec, avail, now,
+                                BmoExecMode::Parallel);
+    if (entry.exec.completedCount() > before) {
+        // The launched sub-ops occupy an operation-queue slot until
+        // they complete.
+        opQueue_.push_back(done);
+    }
+}
+
+void
+JanusFrontend::launchChunk(const PreObjId &obj, unsigned chunk_index,
+                           const PreChunk &chunk, Tick now)
+{
+    purgeOpQueue(now);
+    expireEntries(now);
+
+    auto it = findByObj(obj, chunk_index);
+    if (it == entries_.end()) {
+        if (entries_.size() >= config_.irbEntries) {
+            ++droppedIrb_;
+            return;
+        }
+        if (opQueue_.size() >= config_.opQueueEntries) {
+            ++droppedOpQueue_;
+            return;
+        }
+        entries_.push_back(IrbEntry{obj, chunk_index, std::nullopt,
+                                    std::nullopt, std::nullopt, false,
+                                    BmoExecState(engine_.graph()), now});
+        it = std::prev(entries_.end());
+    } else if (opQueue_.size() >= config_.opQueueEntries) {
+        // Existing entry but no room to launch more sub-ops now; the
+        // merge of inputs alone is not worth modeling.
+        ++droppedOpQueue_;
+        return;
+    }
+
+    IrbEntry &entry = *it;
+    if (chunk.lineAddr && !entry.lineAddr) {
+        entry.lineAddr = chunk.lineAddr;
+        byAddr_[*chunk.lineAddr] = it;
+    }
+    if (chunk.data)
+        entry.data = chunk.data;
+
+    // Probe the dedup metadata once so that a later metadata change
+    // can be detected at consume time (Section 4.3.1, case 2).
+    if (entry.data && !entry.dedupProbed) {
+        entry.dedupPeek = backend_.peekDedup(*entry.data);
+        entry.dedupProbed = true;
+    }
+
+    ++chunksPreExecuted_;
+    executeEligible(entry, now + config_.decodeLatency);
+}
+
+void
+JanusFrontend::issueImmediate(const PreObjId &obj,
+                              const std::vector<PreChunk> &chunks,
+                              Tick now)
+{
+    ++requestsIssued_;
+    for (unsigned i = 0; i < chunks.size(); ++i)
+        launchChunk(obj, i, chunks[i], now);
+}
+
+void
+JanusFrontend::buffer(const PreObjId &obj,
+                      const std::vector<PreChunk> &chunks, Tick now)
+{
+    (void)now;
+    ++requestsIssued_;
+    auto it = std::find_if(bufferedChunks_.begin(), bufferedChunks_.end(),
+                           [&](const auto &kv) {
+                               return kv.first == obj;
+                           });
+    if (it == bufferedChunks_.end()) {
+        bufferedChunks_.emplace_back(obj, std::vector<PreChunk>());
+        it = std::prev(bufferedChunks_.end());
+    }
+    for (const PreChunk &chunk : chunks) {
+        // Coalesce with an already-buffered chunk for the same line.
+        auto same_line =
+            chunk.lineAddr
+                ? std::find_if(it->second.begin(), it->second.end(),
+                               [&](const PreChunk &c) {
+                                   return c.lineAddr == chunk.lineAddr;
+                               })
+                : it->second.end();
+        if (same_line != it->second.end()) {
+            if (chunk.data) {
+                if (chunk.patchSize > 0 && same_line->data) {
+                    // Overlay only the bytes this request contributes.
+                    std::uint8_t patch[lineBytes];
+                    chunk.data->read(chunk.patchOffset, patch,
+                                     chunk.patchSize);
+                    same_line->data->write(chunk.patchOffset, patch,
+                                           chunk.patchSize);
+                } else {
+                    same_line->data = chunk.data;
+                }
+            }
+            continue;
+        }
+        it->second.push_back(chunk);
+        ++bufferedCount_;
+        // FIFO drop from the head when the request queue overflows.
+        while (bufferedCount_ > config_.requestQueueEntries) {
+            auto &oldest = bufferedChunks_.front();
+            oldest.second.erase(oldest.second.begin());
+            --bufferedCount_;
+            ++droppedRequestQueue_;
+            if (oldest.second.empty())
+                bufferedChunks_.pop_front();
+        }
+    }
+}
+
+void
+JanusFrontend::startBuffered(const PreObjId &obj, Tick now)
+{
+    auto it = std::find_if(bufferedChunks_.begin(), bufferedChunks_.end(),
+                           [&](const auto &kv) {
+                               return kv.first == obj;
+                           });
+    if (it == bufferedChunks_.end())
+        return; // everything was dropped; performance-only effect
+    std::vector<PreChunk> chunks = std::move(it->second);
+    bufferedCount_ -= static_cast<unsigned>(chunks.size());
+    bufferedChunks_.erase(it);
+    for (unsigned i = 0; i < chunks.size(); ++i)
+        launchChunk(obj, i, chunks[i], now);
+}
+
+JanusFrontend::EntryList::iterator
+JanusFrontend::findForWrite(Addr line_addr, const CacheLine &data)
+{
+    auto addr_it = byAddr_.find(line_addr);
+    if (addr_it != byAddr_.end()) {
+        // Several pre-executions may target the same line (separate
+        // pre-objects covering overlapping ranges, or a flag toggled
+        // twice in one transaction). Prefer a snapshot that matches
+        // the data actually written, then the most-complete entry.
+        EntryList::iterator best = addr_it->second;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->lineAddr || *it->lineAddr != line_addr)
+                continue;
+            bool it_match = it->data && *it->data == data;
+            bool best_match = best->data && *best->data == data;
+            if (it_match != best_match) {
+                if (it_match)
+                    best = it;
+                continue;
+            }
+            if (it->exec.completedCount() >
+                best->exec.completedCount())
+                best = it;
+        }
+        return best;
+    }
+    // Address-less data-only entries are matched by content (a CAM
+    // over the Data field at line granularity).
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const IrbEntry &e) {
+                            return !e.lineAddr && e.data &&
+                                   *e.data == data;
+                        });
+}
+
+ConsumeResult
+JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
+{
+    purgeOpQueue(now);
+    expireEntries(now);
+
+    ConsumeResult result;
+    auto it = findForWrite(line_addr, data);
+    if (it == entries_.end()) {
+        result.ready = now;
+        return result;
+    }
+
+    IrbEntry &entry = *it;
+    result.hadEntry = true;
+    ++consumedWithEntry_;
+
+    Tick ready = now + config_.irbLookupLatency;
+
+    // Rule 2a: stale data snapshot -> data-dependent results invalid.
+    if (entry.data && !(*entry.data == data)) {
+        ++dataMismatches_;
+        result.dataMismatch = true;
+        for (SubOpId id = 0; id < engine_.graph().size(); ++id)
+            if (hasInput(engine_.graph().required(id),
+                         ExternalInput::Data))
+                entry.exec.invalidate(id);
+        entry.data = data;
+    } else if (entry.dedupProbed &&
+               backend_.peekDedup(entry.data ? *entry.data : data) !=
+                   entry.dedupPeek) {
+        // Rule 2b: the metadata the dedup lookup observed changed
+        // underneath the pre-executed result. Only the lookup's
+        // dependents are stale — the fingerprint (D1) is a pure
+        // function of the data and stays valid.
+        ++metadataInvalidations_;
+        result.metadataInvalidated = true;
+        const BmoGraph &graph = engine_.graph();
+        if (graph.hasSubOp("D2"))
+            for (SubOpId id : graph.dependentsOf(graph.idOf("D2")))
+                entry.exec.invalidate(id);
+    }
+
+    entry.lineAddr = line_addr;
+    entry.data = data;
+
+    bool fully = entry.exec.allDone() && entry.exec.lastFinish() <= now;
+    result.fullyPreExecuted = fully;
+    if (fully)
+        ++consumedFullyPreExecuted_;
+
+    Tick exec_done = engine_.execute(entry.exec, ExternalInput::Both,
+                                     ready, BmoExecMode::Parallel);
+    result.ready = std::max(exec_done, entry.exec.lastFinish());
+    result.ready = std::max(result.ready, ready);
+
+    eraseEntry(it);
+    // Any other entry targeting this line is now dead: the write it
+    // anticipated has happened.
+    for (auto stale = entries_.begin(); stale != entries_.end();) {
+        auto next_it = std::next(stale);
+        if (stale->lineAddr && *stale->lineAddr == line_addr)
+            eraseEntry(stale);
+        stale = next_it;
+    }
+    return result;
+}
+
+void
+JanusFrontend::flushThread(std::uint16_t thread_id)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        auto next = std::next(it);
+        if (it->obj.threadId == thread_id)
+            eraseEntry(it);
+        it = next;
+    }
+    for (auto it = bufferedChunks_.begin();
+         it != bufferedChunks_.end();) {
+        if (it->first.threadId == thread_id) {
+            bufferedCount_ -= static_cast<unsigned>(it->second.size());
+            it = bufferedChunks_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+JanusFrontend::flushRange(Addr base, Addr size)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        auto next = std::next(it);
+        if (it->lineAddr && *it->lineAddr >= base &&
+            *it->lineAddr < base + size)
+            eraseEntry(it);
+        it = next;
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The Janus hardware front-end at the memory controller (paper
+ * Section 4.3, Figure 7): the Pre-execution Request Queue, the
+ * decoder to cache-line-sized operations, the Pre-execution
+ * Operation Queue, the Intermediate Result Buffer (IRB) and the
+ * glue that drives the optimized (parallelized) BMO processing
+ * logic for pre-execution requests.
+ *
+ * Correctness rules implemented exactly as required by Section 3.2:
+ *  1. pre-execution never touches processor/memory state — results
+ *     live only in the IRB (functional effects happen at persist);
+ *  2. stale results are invalidated — by data-snapshot comparison
+ *     when the real write arrives, and by re-probing the dedup
+ *     metadata (a metadata change between pre-execution and consume
+ *     invalidates the data-dependent sub-operations).
+ * Queue/buffer overflow and entry aging drop requests, which is
+ * always performance-neutral-or-worse but never incorrect.
+ */
+
+#ifndef JANUS_JANUS_JANUS_HW_HH
+#define JANUS_JANUS_JANUS_HW_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bmo/backend_state.hh"
+#include "bmo/bmo_engine.hh"
+#include "common/cacheline.hh"
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Software-assigned identity of a pre-execution object (Table 2). */
+struct PreObjId
+{
+    std::uint16_t preId = 0;
+    std::uint16_t threadId = 0;
+    std::uint16_t transactionId = 0;
+
+    bool
+    operator==(const PreObjId &o) const
+    {
+        return preId == o.preId && threadId == o.threadId &&
+               transactionId == o.transactionId;
+    }
+
+    bool
+    operator<(const PreObjId &o) const
+    {
+        if (preId != o.preId)
+            return preId < o.preId;
+        if (threadId != o.threadId)
+            return threadId < o.threadId;
+        return transactionId < o.transactionId;
+    }
+};
+
+/**
+ * One decoded cache-line-granularity pre-execution operation: an
+ * optional destination line and an optional snapshot of the line's
+ * expected content.
+ */
+struct PreChunk
+{
+    std::optional<Addr> lineAddr;
+    std::optional<CacheLine> data;
+    /**
+     * For deferred (buffered) requests: which bytes of @ref data are
+     * the new bytes this request contributes. Coalescing overlays
+     * these ranges so multiple buffered field updates to one line
+     * merge into a single correct prediction (paper Figure 8b).
+     * patchSize == 0 means the whole line is authoritative.
+     */
+    unsigned patchOffset = 0;
+    unsigned patchSize = 0;
+};
+
+/** Sizing and latency parameters (Table 3 defaults, per core). */
+struct JanusHwConfig
+{
+    unsigned requestQueueEntries = 16;
+    unsigned opQueueEntries = 64;
+    unsigned irbEntries = 64;
+    Tick decodeLatency = 2 * ticks::ns;
+    Tick irbLookupLatency = 2 * ticks::ns;
+    /** Age limit after which an unused IRB entry is discarded. */
+    Tick maxEntryAge = 100 * ticks::us;
+};
+
+/** What the memory controller learns when a real write consumes
+ *  pre-execution state. */
+struct ConsumeResult
+{
+    /** Tick at which all BMO results for this write are available. */
+    Tick ready = 0;
+    /** An IRB entry matched this write. */
+    bool hadEntry = false;
+    /** All sub-ops were complete before the write arrived. */
+    bool fullyPreExecuted = false;
+    /** The data snapshot mismatched the written data. */
+    bool dataMismatch = false;
+    /** A metadata change invalidated the dedup pre-execution. */
+    bool metadataInvalidated = false;
+};
+
+/**
+ * The Janus hardware front-end. Shared by all cores of a memory
+ * controller; per-core capacity is multiplied in by the system
+ * builder.
+ */
+class JanusFrontend
+{
+  public:
+    JanusFrontend(const JanusHwConfig &config, BmoEngine &engine,
+                  const BmoBackendState &backend);
+
+    /**
+     * Immediate-execution request (PRE_BOTH / PRE_ADDR / PRE_DATA /
+     * PRE_BOTH_VAL after API-level decode): decode chunks and start
+     * their eligible sub-operations right away.
+     */
+    void issueImmediate(const PreObjId &obj,
+                        const std::vector<PreChunk> &chunks, Tick now);
+
+    /**
+     * Deferred-execution request (PRE_*_BUF): park chunks in the
+     * request queue; chunks addressed to the same line coalesce.
+     */
+    void buffer(const PreObjId &obj, const std::vector<PreChunk> &chunks,
+                Tick now);
+
+    /** PRE_START_BUF: decode and launch everything buffered for obj. */
+    void startBuffered(const PreObjId &obj, Tick now);
+
+    /**
+     * A real write for line_addr with the given data arrived at the
+     * memory controller. Matches an IRB entry (by address, or by
+     * content for address-less data-only entries), validates
+     * freshness, schedules whatever still needs to run, and retires
+     * the entry.
+     */
+    ConsumeResult consume(Addr line_addr, const CacheLine &data,
+                          Tick now);
+
+    /** Discard all entries belonging to a terminated thread. */
+    void flushThread(std::uint16_t thread_id);
+
+    /** Discard entries in [base, base+size) (e.g., page swap-out). */
+    void flushRange(Addr base, Addr size);
+
+    unsigned irbOccupancy() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+    // --- statistics -----------------------------------------------
+    std::uint64_t requestsIssued() const { return requestsIssued_; }
+    std::uint64_t chunksPreExecuted() const { return chunksPreExecuted_; }
+    std::uint64_t droppedOpQueue() const { return droppedOpQueue_; }
+    std::uint64_t droppedIrb() const { return droppedIrb_; }
+    std::uint64_t droppedRequestQueue() const
+    {
+        return droppedRequestQueue_;
+    }
+    std::uint64_t dataMismatches() const { return dataMismatches_; }
+    std::uint64_t metadataInvalidations() const
+    {
+        return metadataInvalidations_;
+    }
+    std::uint64_t agedOut() const { return agedOut_; }
+    std::uint64_t consumedWithEntry() const { return consumedWithEntry_; }
+    std::uint64_t consumedFullyPreExecuted() const
+    {
+        return consumedFullyPreExecuted_;
+    }
+
+    const JanusHwConfig &config() const { return config_; }
+
+  private:
+    struct IrbEntry
+    {
+        PreObjId obj;
+        unsigned chunk = 0;
+        std::optional<Addr> lineAddr;
+        std::optional<CacheLine> data;
+        /** Dedup target observed at pre-execution time, if probed. */
+        std::optional<std::uint64_t> dedupPeek;
+        bool dedupProbed = false;
+        BmoExecState exec;
+        Tick created = 0;
+    };
+
+    using EntryList = std::list<IrbEntry>;
+
+    /** Launch eligible sub-ops for one chunk; allocates/updates IRB. */
+    void launchChunk(const PreObjId &obj, unsigned chunk_index,
+                     const PreChunk &chunk, Tick now);
+
+    /** Run whatever newly became eligible for an entry. */
+    void executeEligible(IrbEntry &entry, Tick now);
+
+    /** Reclaim op-queue slots whose sub-ops have finished. */
+    void purgeOpQueue(Tick now);
+
+    /** Drop entries older than the age limit. */
+    void expireEntries(Tick now);
+
+    /** Locate the IRB entry matching a write. */
+    EntryList::iterator findForWrite(Addr line_addr,
+                                     const CacheLine &data);
+
+    /** Locate an entry by (obj, chunk). */
+    EntryList::iterator findByObj(const PreObjId &obj, unsigned chunk);
+
+    void eraseEntry(EntryList::iterator it);
+
+    JanusHwConfig config_;
+    BmoEngine &engine_;
+    const BmoBackendState &backend_;
+
+    EntryList entries_;
+    std::unordered_map<Addr, EntryList::iterator> byAddr_;
+    /** Completion ticks of decoded ops occupying the op queue. */
+    std::vector<Tick> opQueue_;
+    /** Buffered (deferred) chunks per object, oldest object first. */
+    std::list<std::pair<PreObjId, std::vector<PreChunk>>>
+        bufferedChunks_;
+    unsigned bufferedCount_ = 0;
+
+    std::uint64_t requestsIssued_ = 0;
+    std::uint64_t chunksPreExecuted_ = 0;
+    std::uint64_t droppedOpQueue_ = 0;
+    std::uint64_t droppedIrb_ = 0;
+    std::uint64_t droppedRequestQueue_ = 0;
+    std::uint64_t dataMismatches_ = 0;
+    std::uint64_t metadataInvalidations_ = 0;
+    std::uint64_t agedOut_ = 0;
+    std::uint64_t consumedWithEntry_ = 0;
+    std::uint64_t consumedFullyPreExecuted_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_JANUS_JANUS_HW_HH

@@ -1,0 +1,149 @@
+#include "mem/sparse_memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    auto &slot = pages_[addr / pageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+SparseMemory::read(Addr addr, void *dst, unsigned size) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        Addr off = addr % pageBytes;
+        unsigned take = static_cast<unsigned>(
+            std::min<Addr>(size, pageBytes - off));
+        const Page *page = findPage(addr);
+        if (page)
+            std::memcpy(out, page->data() + off, take);
+        else
+            std::memset(out, 0, take);
+        addr += take;
+        out += take;
+        size -= take;
+    }
+}
+
+void
+SparseMemory::write(Addr addr, const void *src, unsigned size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        Addr off = addr % pageBytes;
+        unsigned take = static_cast<unsigned>(
+            std::min<Addr>(size, pageBytes - off));
+        Page &page = getPage(addr);
+        std::memcpy(page.data() + off, in, take);
+        addr += take;
+        in += take;
+        size -= take;
+    }
+}
+
+CacheLine
+SparseMemory::readLine(Addr line_addr) const
+{
+    janus_assert(lineOffset(line_addr) == 0,
+                 "unaligned line read at %#llx",
+                 static_cast<unsigned long long>(line_addr));
+    CacheLine line;
+    read(line_addr, line.data(), lineBytes);
+    return line;
+}
+
+void
+SparseMemory::writeLine(Addr line_addr, const CacheLine &line)
+{
+    janus_assert(lineOffset(line_addr) == 0,
+                 "unaligned line write at %#llx",
+                 static_cast<unsigned long long>(line_addr));
+    write(line_addr, line.data(), lineBytes);
+}
+
+std::uint64_t
+SparseMemory::readWord(Addr addr) const
+{
+    std::uint64_t v;
+    read(addr, &v, 8);
+    return v;
+}
+
+void
+SparseMemory::writeWord(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, 8);
+}
+
+void
+SparseMemory::clear()
+{
+    pages_.clear();
+}
+
+void
+SparseMemory::copyFrom(const SparseMemory &other)
+{
+    pages_.clear();
+    for (const auto &[page_no, page] : other.pages_) {
+        auto copy = std::make_unique<Page>(*page);
+        pages_.emplace(page_no, std::move(copy));
+    }
+}
+
+std::uint64_t
+SparseMemory::contentHash() const
+{
+    // FNV-1a per page, keyed by the page number, XOR-combined so the
+    // map's iteration order is irrelevant. All-zero pages hash as if
+    // absent (unbacked reads are zero).
+    std::uint64_t combined = 0;
+    for (const auto &[page_no, page] : pages_) {
+        bool all_zero = true;
+        for (std::uint8_t byte : *page)
+            all_zero &= byte == 0;
+        if (all_zero)
+            continue;
+        std::uint64_t h = 1469598103934665603ull ^ page_no;
+        for (std::uint8_t byte : *page) {
+            h ^= byte;
+            h *= 1099511628211ull;
+        }
+        combined ^= h;
+    }
+    return combined;
+}
+
+Addr
+RegionAllocator::alloc(Addr size, Addr align)
+{
+    janus_assert(align != 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    Addr addr = (next_ + align - 1) & ~(align - 1);
+    if (addr + size > end_)
+        fatal("RegionAllocator exhausted: need %llu bytes",
+              static_cast<unsigned long long>(size));
+    next_ = addr + size;
+    return addr;
+}
+
+} // namespace janus

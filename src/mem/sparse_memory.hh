@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Byte-accurate sparse memory. Backs both the program-visible
+ * (volatile) view of NVM and the persisted NVM image, using a 4 KB
+ * page map so a simulated 4 GB device costs only what is touched.
+ */
+
+#ifndef JANUS_MEM_SPARSE_MEMORY_HH
+#define JANUS_MEM_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/cacheline.hh"
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Sparse, zero-initialized, byte-addressable memory. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    SparseMemory() = default;
+
+    /** Read size bytes at addr into dst. Unbacked bytes read as 0. */
+    void read(Addr addr, void *dst, unsigned size) const;
+
+    /** Write size bytes from src at addr. */
+    void write(Addr addr, const void *src, unsigned size);
+
+    /** Read a full aligned cache line. */
+    CacheLine readLine(Addr line_addr) const;
+
+    /** Write a full aligned cache line. */
+    void writeLine(Addr line_addr, const CacheLine &line);
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t readWord(Addr addr) const;
+
+    /** Write a little-endian 64-bit word. */
+    void writeWord(Addr addr, std::uint64_t value);
+
+    /** Drop all contents (simulates volatile state loss on crash). */
+    void clear();
+
+    /** Number of materialized pages (for accounting). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Deep copy the contents of another memory. */
+    void copyFrom(const SparseMemory &other);
+
+    /**
+     * Order-independent digest of the full contents (all-zero pages
+     * contribute nothing). Used by equivalence properties: two
+     * memories holding the same bytes hash equal.
+     */
+    std::uint64_t contentHash() const;
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    /** @return the page containing addr, or nullptr if unbacked. */
+    const Page *findPage(Addr addr) const;
+
+    /** @return the page containing addr, creating it if needed. */
+    Page &getPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * A bump allocator handing out cache-line-aligned chunks from a
+ * persistent address region; workloads use it as their NVM heap.
+ */
+class RegionAllocator
+{
+  public:
+    RegionAllocator(Addr base, Addr size) : base_(base), end_(base + size),
+                                            next_(base)
+    {}
+
+    /** Allocate size bytes with the given alignment (power of two). */
+    Addr alloc(Addr size, Addr align = lineBytes);
+
+    /** First address never handed out. */
+    Addr watermark() const { return next_; }
+
+    /** Base address of the region. */
+    Addr base() const { return base_; }
+
+    /** Bytes remaining. */
+    Addr remaining() const { return end_ - next_; }
+
+  private:
+    Addr base_;
+    Addr end_;
+    Addr next_;
+};
+
+} // namespace janus
+
+#endif // JANUS_MEM_SPARSE_MEMORY_HH

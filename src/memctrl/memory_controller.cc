@@ -1,0 +1,218 @@
+#include "memctrl/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+BmoConfig
+effectiveBmoConfig(const MemCtrlConfig &config)
+{
+    if (config.mode == WritePathMode::NoBmo) {
+        BmoConfig none = config.bmo;
+        none.encryption = false;
+        none.deduplication = false;
+        none.integrity = false;
+        none.compression = false;
+        return none;
+    }
+    return config.bmo;
+}
+
+} // namespace
+
+MemoryController::MemoryController(const MemCtrlConfig &config)
+    : config_(config), graph_(buildStandardGraph(effectiveBmoConfig(config))),
+      engine_(graph_, config.bmoUnits),
+      backend_(effectiveBmoConfig(config)), device_(config.nvm),
+      counterCache_("counterCache", config.counterCacheBytes,
+                    config.counterCacheAssoc)
+{
+    if (config_.mode == WritePathMode::Janus)
+        frontend_ = std::make_unique<JanusFrontend>(config.janusHw,
+                                                    engine_, backend_);
+    if (effectiveBmoConfig(config).wearLeveling)
+        wearLeveler_ = std::make_unique<StartGapWearLeveler>(
+            0, config.wearRegionLines, config.bmo.gapWriteInterval);
+    latencyOverride_.assign(graph_.size(), maxTick);
+    for (SubOpId id = 0; id < graph_.size(); ++id) {
+        if (graph_.subOp(id).name == "E1") {
+            hasE1_ = true;
+            e1Id_ = id;
+        }
+    }
+}
+
+JanusFrontend &
+MemoryController::frontend()
+{
+    janus_assert(frontend_ != nullptr,
+                 "Janus front-end only exists in Janus mode");
+    return *frontend_;
+}
+
+StartGapWearLeveler &
+MemoryController::wearLeveler()
+{
+    janus_assert(wearLeveler_ != nullptr,
+                 "wear leveling is not enabled");
+    return *wearLeveler_;
+}
+
+Addr
+MemoryController::deviceAddrOf(Addr line_addr)
+{
+    if (wearLeveler_ &&
+        line_addr < (config_.wearRegionLines << lineShift))
+        return wearLeveler_->translate(line_addr);
+    return line_addr;
+}
+
+Addr
+MemoryController::metaLineOf(Addr line_addr) const
+{
+    // 16-byte metadata entries, four per metadata cache line.
+    Addr entry_addr =
+        config_.metaBase + (line_addr >> lineShift) * 16;
+    return lineAlign(entry_addr);
+}
+
+void
+MemoryController::applyCounterCache(Addr line_addr)
+{
+    if (!hasE1_)
+        return;
+    bool hit = counterCache_.access(metaLineOf(line_addr), true).hit;
+    latencyOverride_[e1Id_] = hit ? config_.bmo.counterBumpLatency
+                                  : config_.bmo.counterMissLatency;
+}
+
+PersistResult
+MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
+                               Tick arrival, bool meta_atomic,
+                               unsigned stream)
+{
+    janus_assert(lineOffset(line_addr) == 0,
+                 "persist of unaligned line %#llx",
+                 static_cast<unsigned long long>(line_addr));
+    ++writes_;
+    applyCounterCache(line_addr);
+
+    PersistResult result;
+
+    // 1. Backend memory operations (the critical-path extension).
+    Tick bmo_done = arrival;
+    switch (config_.mode) {
+      case WritePathMode::NoBmo:
+        break;
+      case WritePathMode::Serialized: {
+          BmoExecState state(graph_);
+          bmo_done = engine_.execute(state, ExternalInput::Both,
+                                     arrival, BmoExecMode::Serialized,
+                                     &latencyOverride_);
+          break;
+      }
+      case WritePathMode::Parallel: {
+          BmoExecState state(graph_);
+          bmo_done = engine_.execute(state, ExternalInput::Both,
+                                     arrival, BmoExecMode::Parallel,
+                                     &latencyOverride_);
+          break;
+      }
+      case WritePathMode::Janus: {
+          ConsumeResult consume =
+              frontend_->consume(line_addr, data, arrival);
+          if (consume.hadEntry) {
+              bmo_done = consume.ready;
+              result.fullyPreExecuted = consume.fullyPreExecuted;
+          } else {
+              BmoExecState state(graph_);
+              bmo_done = engine_.execute(
+                  state, ExternalInput::Both,
+                  arrival + config_.janusHw.irbLookupLatency,
+                  BmoExecMode::Parallel, &latencyOverride_);
+          }
+          break;
+      }
+    }
+
+    // 2. Functional effects (what ends up in NVM).
+    WriteOutcome outcome = backend_.writeLine(line_addr, data);
+    result.duplicate = outcome.duplicate;
+
+    // 3. Persist-domain acceptance. Duplicate writes are cancelled:
+    //    only their metadata update reaches the device.
+    Tick persisted;
+    if (outcome.duplicate && config_.bmo.deduplication) {
+        persisted = bmo_done;
+    } else {
+        Addr frame = deviceAddrOf(line_addr);
+        persisted = device_.acceptWrite(frame, bmo_done);
+        if (wearLeveler_ &&
+            line_addr < (config_.wearRegionLines << lineShift)) {
+            wearLeveler_->recordFrameWrite(frame);
+            if (wearLeveler_->onWrite()) {
+                // The gap move copies one line into the vacated
+                // frame: one extra (background) device write.
+                device_.acceptWrite(frame, persisted);
+            }
+        }
+    }
+
+    // 4. Selective metadata atomicity: the co-located counter/remap
+    //    entry must persist together with the data (extended
+    //    counter-atomicity, Section 4.3).
+    if (meta_atomic && config_.mode != WritePathMode::NoBmo &&
+        (config_.bmo.encryption || config_.bmo.deduplication)) {
+        ++metaAtomicWrites_;
+        Tick meta_done =
+            device_.acceptWrite(metaLineOf(line_addr), bmo_done);
+        persisted = std::max(persisted, meta_done);
+    }
+
+    // 5. The persist domain preserves per-stream (per-core) order: a
+    //    write becomes durable only once every earlier write from the
+    //    same core is durable. Crash-consistent software depends on
+    //    this ("a durable undo-log header implies a durable
+    //    payload"); it is what an ADR write queue with per-thread
+    //    FIFO ordering provides.
+    if (lastPersist_.size() <= stream)
+        lastPersist_.resize(stream + 1, 0);
+    persisted = std::max(persisted, lastPersist_[stream]);
+    lastPersist_[stream] = persisted;
+
+    result.persisted = persisted;
+    writeLatency_.sample(ticks::toNsF(persisted - arrival));
+    if (journalEnabled_)
+        journal_.push_back(JournalEntry{persisted, line_addr, data});
+    return result;
+}
+
+Tick
+MemoryController::readLine(Addr line_addr, Tick start)
+{
+    Tick data_done = device_.read(deviceAddrOf(line_addr), start);
+    if (config_.mode == WritePathMode::NoBmo ||
+        !config_.bmo.encryption)
+        return data_done;
+
+    // Counter-mode decrypt: with a counter-cache hit the OTP is
+    // generated while the data is fetched; a miss first fetches the
+    // metadata line from the device.
+    bool hit = counterCache_.access(metaLineOf(line_addr), false).hit;
+    Tick otp_done;
+    if (hit) {
+        otp_done = start + config_.bmo.aesLatency;
+    } else {
+        Tick meta_done = device_.read(metaLineOf(line_addr), start);
+        otp_done = meta_done + config_.bmo.aesLatency;
+    }
+    return std::max(data_done, otp_done) + config_.bmo.xorLatency;
+}
+
+} // namespace janus

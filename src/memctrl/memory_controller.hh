@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The NVM memory controller: integrates the BMO engine (serialized,
+ * parallelized or Janus pre-executed), the Janus front-end, the
+ * counter cache, the functional backend state and the NVM device.
+ * This is where the paper's Figure 1 critical path lives: a
+ * persistent write is durable only once its BMOs are complete and it
+ * is accepted into the ADR write queue.
+ */
+
+#ifndef JANUS_MEMCTRL_MEMORY_CONTROLLER_HH
+#define JANUS_MEMCTRL_MEMORY_CONTROLLER_HH
+
+#include <memory>
+#include <string>
+
+#include "bmo/backend_state.hh"
+#include "bmo/bmo_config.hh"
+#include "bmo/bmo_engine.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/types.hh"
+#include "janus/janus_hw.hh"
+#include "nvm/nvm_device.hh"
+#include "nvm/wear_level.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** System design points compared in the evaluation. */
+enum class WritePathMode : std::uint8_t
+{
+    /** BMOs disabled entirely (Figure 1a). */
+    NoBmo,
+    /** Monolithic BMOs executed back to back (the paper baseline). */
+    Serialized,
+    /** Decomposed sub-ops, parallelized at write arrival only. */
+    Parallel,
+    /** Parallelized + pre-executed via the Janus front-end. */
+    Janus,
+};
+
+/** Memory-controller configuration (Table 3 defaults). */
+struct MemCtrlConfig
+{
+    WritePathMode mode = WritePathMode::Janus;
+    BmoConfig bmo;
+    NvmConfig nvm;
+    JanusHwConfig janusHw;
+    /** Shared BMO units; 0 = unlimited (Figure 14). */
+    unsigned bmoUnits = 4;
+    /** Counter / metadata cache (512 KB, 16-way in Table 3). */
+    std::uint64_t counterCacheBytes = 512 * 1024;
+    unsigned counterCacheAssoc = 16;
+    /** Base of the metadata region in the physical address map. */
+    Addr metaBase = Addr(1) << 40;
+    /** Extent of the Start-Gap region (when wear leveling is on). */
+    std::uint64_t wearRegionLines = std::uint64_t(1) << 24;
+};
+
+/** Outcome of a persisted write (timing + functional digest). */
+struct PersistResult
+{
+    /** Tick at which the line is durable (in the persist domain). */
+    Tick persisted = 0;
+    bool duplicate = false;
+    bool fullyPreExecuted = false;
+};
+
+/** One journaled durable write (crash-consistency testing). */
+struct JournalEntry
+{
+    Tick persisted;
+    Addr lineAddr;
+    CacheLine data;
+};
+
+/** The memory controller. One instance serves all cores. */
+class MemoryController
+{
+  public:
+    explicit MemoryController(const MemCtrlConfig &config);
+
+    /**
+     * A blocking persistent write (clwb'd line) arrives from the
+     * cache hierarchy.
+     *
+     * @param line_addr    aligned line address
+     * @param data         line content being persisted
+     * @param arrival      tick the write reaches the controller
+     * @param meta_atomic  this write requires metadata atomicity
+     *                     (selective, e.g. transaction commits)
+     */
+    PersistResult persistWrite(Addr line_addr, const CacheLine &data,
+                               Tick arrival, bool meta_atomic,
+                               unsigned stream = 0);
+
+    /**
+     * Timing of a demand read miss serviced by the NVM: device
+     * access overlapped with OTP generation, plus decrypt.
+     */
+    Tick readLine(Addr line_addr, Tick start);
+
+    WritePathMode mode() const { return config_.mode; }
+    const MemCtrlConfig &config() const { return config_; }
+
+    BmoEngine &engine() { return engine_; }
+    const BmoGraph &graph() const { return graph_; }
+    BmoBackendState &backend() { return backend_; }
+    NvmDevice &device() { return device_; }
+    /** Janus front-end; valid only in Janus mode. */
+    JanusFrontend &frontend();
+    /** Wear leveler; valid only when the BMO is enabled. */
+    StartGapWearLeveler &wearLeveler();
+    SetAssocCache &counterCache() { return counterCache_; }
+
+    /** Metadata line address holding a data line's meta entry. */
+    Addr metaLineOf(Addr line_addr) const;
+
+    /**
+     * Record every durable data write (tick + content). The journal
+     * replayed up to a crash tick reconstructs the durable image at
+     * that instant (ADR: acceptance order is durability order).
+     */
+    void enableJournal() { journalEnabled_ = true; }
+    const std::vector<JournalEntry> &journal() const
+    {
+        return journal_;
+    }
+
+    // --- statistics -------------------------------------------------
+    std::uint64_t writes() const { return writes_; }
+    /** Mean critical write latency (arrival -> durable), ns. */
+    double avgWriteLatencyNs() const { return writeLatency_.mean(); }
+    const Average &writeLatency() const { return writeLatency_; }
+    std::uint64_t metaAtomicWrites() const { return metaAtomicWrites_; }
+
+  private:
+    /** Per-write E1 latency from the counter-cache outcome. */
+    void applyCounterCache(Addr line_addr);
+
+    /** Start-Gap translation for addresses inside the region. */
+    Addr deviceAddrOf(Addr line_addr);
+
+    MemCtrlConfig config_;
+    BmoGraph graph_;
+    BmoEngine engine_;
+    BmoBackendState backend_;
+    NvmDevice device_;
+    SetAssocCache counterCache_;
+    std::unique_ptr<JanusFrontend> frontend_;
+    std::unique_ptr<StartGapWearLeveler> wearLeveler_;
+    /** Reused per-write latency override (E1 hit/miss). */
+    std::vector<Tick> latencyOverride_;
+    bool hasE1_ = false;
+    SubOpId e1Id_ = 0;
+
+    /** Per-stream (per-core) FIFO durability horizons. */
+    std::vector<Tick> lastPersist_;
+    std::uint64_t writes_ = 0;
+    std::uint64_t metaAtomicWrites_ = 0;
+    Average writeLatency_;
+    bool journalEnabled_ = false;
+    std::vector<JournalEntry> journal_;
+};
+
+} // namespace janus
+
+#endif // JANUS_MEMCTRL_MEMORY_CONTROLLER_HH

@@ -1,0 +1,95 @@
+#include "nvm/nvm_device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+NvmDevice::NvmDevice(const NvmConfig &config)
+    : config_(config), bankFree_(config.banks, 0)
+{
+    janus_assert(config.banks > 0, "NVM needs at least one bank");
+    janus_assert(config.writeQueueEntries > 0,
+                 "NVM needs a persist-domain write queue");
+}
+
+unsigned
+NvmDevice::bankOf(Addr addr) const
+{
+    // Hashed bank interleaving (XOR-fold the line index) so that
+    // power-of-two strides — log lanes, fixed-size records — do not
+    // all collapse onto one bank.
+    Addr line = addr >> lineShift;
+    Addr hash = line ^ (line >> 3) ^ (line >> 7) ^ (line >> 13);
+    return static_cast<unsigned>(hash % config_.banks);
+}
+
+Tick
+NvmDevice::acceptWrite(Addr addr, Tick arrival)
+{
+    // Retire drains that completed before this write arrives.
+    auto first_live = std::upper_bound(drains_.begin(), drains_.end(),
+                                       arrival);
+    drains_.erase(drains_.begin(), first_live);
+
+    // If the queue is full, the write is accepted only when enough
+    // drains have completed to free a slot.
+    Tick accepted = arrival;
+    if (drains_.size() >= config_.writeQueueEntries) {
+        std::size_t freeing =
+            drains_.size() - config_.writeQueueEntries;
+        accepted = std::max(arrival, drains_[freeing]);
+        auto done_by = std::upper_bound(drains_.begin(),
+                                        drains_.end(), accepted);
+        drains_.erase(drains_.begin(), done_by);
+    }
+    acceptStall_.sample(ticks::toNsF(accepted - arrival));
+
+    // Schedule this write's drain FR-FCFS style: once its bank and
+    // the channel are free, independent of older drains to other
+    // banks.
+    unsigned bank = bankOf(addr);
+    Tick start = std::max({accepted, bankFree_[bank], channelFree_});
+    channelFree_ = start + config_.tBurst;
+    Tick done = start + config_.tCwd + config_.tBurst + config_.tWr;
+    bankFree_[bank] = done;
+    drains_.insert(std::lower_bound(drains_.begin(), drains_.end(),
+                                    done),
+                   done);
+    ++writesAccepted_;
+    return accepted;
+}
+
+Tick
+NvmDevice::read(Addr addr, Tick start)
+{
+    ++readsIssued_;
+    unsigned bank = bankOf(addr);
+    // Demand reads have priority over queued writes (write pausing /
+    // read-first scheduling, standard in PCM controllers [69]): a
+    // read never waits for the whole drain backlog, only for the
+    // channel plus a bounded interference penalty when its bank is
+    // mid-write (the in-flight cell write must finish).
+    Tick issue = std::max(start, channelFree_);
+    if (bankFree_[bank] > issue)
+        issue += std::min(bankFree_[bank] - issue,
+                          config_.tWr + config_.tWtr);
+    Tick done = issue + config_.tRcd + config_.tCl + config_.tBurst;
+    channelFree_ = issue + config_.tRcd + config_.tCl + config_.tBurst;
+    // Reads do not extend bankFree_: PCM reads are non-destructive
+    // and much shorter than writes; modeling their bank occupancy
+    // would double-count the channel serialization above.
+    return done;
+}
+
+unsigned
+NvmDevice::queueOccupancy(Tick at) const
+{
+    return static_cast<unsigned>(
+        std::count_if(drains_.begin(), drains_.end(),
+                      [at](Tick t) { return t > at; }));
+}
+
+} // namespace janus

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * PCM device timing model with banks, a shared data channel and an
+ * ADR-protected write queue (the persist domain). Timing parameters
+ * follow Table 3 of the paper (533 MHz PCM,
+ * tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns).
+ *
+ * The model is analytic rather than event-driven: the device keeps
+ * per-bank and channel horizons plus a FIFO of outstanding write
+ * drains, and answers "when is this write accepted into the persist
+ * domain" / "when does this read complete" queries in order of
+ * simulated time. This captures write-queue back-pressure and
+ * bandwidth contention, which drive the multi-core trends in the
+ * paper's Figure 9.
+ */
+
+#ifndef JANUS_NVM_NVM_DEVICE_HH
+#define JANUS_NVM_NVM_DEVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** Timing and geometry parameters of the NVM device. */
+struct NvmConfig
+{
+    /** Bank-level parallelism (3D-XPoint-class devices expose 16+
+     *  concurrently writable partitions). */
+    unsigned banks = 32;
+    unsigned writeQueueEntries = 64;
+    Tick tRcd = 48 * ticks::ns;    ///< activate to read
+    Tick tCl = 15 * ticks::ns;     ///< read latency
+    Tick tCwd = 13 * ticks::ns;    ///< write command to data
+    Tick tWr = 300 * ticks::ns;    ///< cell write (PCM program) time
+    Tick tBurst = 8 * ticks::ns;   ///< 64 B transfer on the channel
+    Tick tWtr = 8 * ticks::ns;     ///< write-to-read turnaround
+};
+
+/**
+ * The NVM device. Writes handed to the device are persistent as soon
+ * as they are *accepted* into the write queue (Intel ADR semantics);
+ * acceptance stalls when the queue is full, which is how device
+ * bandwidth back-pressures the memory controller.
+ */
+class NvmDevice
+{
+  public:
+    explicit NvmDevice(const NvmConfig &config = NvmConfig());
+
+    /**
+     * Offer a line write to the persist domain.
+     *
+     * @param addr     line address (selects the bank)
+     * @param arrival  tick the write reaches the queue head
+     * @return tick at which the write occupies a queue slot and is
+     *         therefore persistent.
+     */
+    Tick acceptWrite(Addr addr, Tick arrival);
+
+    /**
+     * Issue a line read.
+     *
+     * @param addr   line address
+     * @param start  earliest issue tick
+     * @return completion tick of the read data.
+     */
+    Tick read(Addr addr, Tick start);
+
+    /** Queue occupancy if inspected at the given tick. */
+    unsigned queueOccupancy(Tick at) const;
+
+    const NvmConfig &config() const { return config_; }
+
+    std::uint64_t writesAccepted() const { return writesAccepted_; }
+    std::uint64_t readsIssued() const { return readsIssued_; }
+
+    /** Mean ticks a write waited for a free queue slot. */
+    double avgAcceptStall() const { return acceptStall_.mean(); }
+
+  private:
+    unsigned bankOf(Addr addr) const;
+
+    NvmConfig config_;
+    std::vector<Tick> bankFree_;
+    Tick channelFree_ = 0;
+    /** Drain-completion ticks of queued writes, sorted ascending.
+     *  Drains are scheduled FR-FCFS style (no head-of-line blocking
+     *  across banks); a queue slot frees when any drain finishes. */
+    std::vector<Tick> drains_;
+    std::uint64_t writesAccepted_ = 0;
+    std::uint64_t readsIssued_ = 0;
+    Average acceptStall_;
+};
+
+} // namespace janus
+
+#endif // JANUS_NVM_NVM_DEVICE_HH

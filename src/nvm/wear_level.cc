@@ -1,0 +1,58 @@
+#include "nvm/wear_level.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+StartGapWearLeveler::StartGapWearLeveler(Addr region_base,
+                                         std::uint64_t lines,
+                                         unsigned gap_interval)
+    : base_(region_base), lines_(lines), interval_(gap_interval),
+      gap_(lines)
+{
+    janus_assert(lineOffset(region_base) == 0,
+                 "wear-level region must be line aligned");
+    janus_assert(lines >= 2, "wear-level region too small");
+    janus_assert(gap_interval >= 1, "gap interval must be positive");
+}
+
+Addr
+StartGapWearLeveler::translate(Addr line_addr) const
+{
+    std::uint64_t logical = (line_addr - base_) >> lineShift;
+    janus_assert(logical < lines_,
+                 "address %#llx outside the wear-leveled region",
+                 static_cast<unsigned long long>(line_addr));
+    // Rotate by the completed laps, then skip the gap frame.
+    std::uint64_t frame = (logical + start_) % lines_;
+    if (frame >= gap_)
+        ++frame;
+    return base_ + (frame << lineShift);
+}
+
+bool
+StartGapWearLeveler::onWrite()
+{
+    if (++sinceMove_ < interval_)
+        return false;
+    sinceMove_ = 0;
+    ++rotations_;
+    if (gap_ == 0) {
+        // The gap completed a lap: the whole region has rotated by
+        // one frame.
+        gap_ = lines_;
+        start_ = (start_ + 1) % lines_;
+    } else {
+        --gap_;
+    }
+    return true; // one line was copied into the vacated frame
+}
+
+void
+StartGapWearLeveler::recordFrameWrite(Addr frame_addr)
+{
+    ++frameWrites_[(frame_addr - base_) >> lineShift];
+}
+
+} // namespace janus

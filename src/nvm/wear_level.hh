@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO'09 — reference 70
+ * of the paper; Table 1 lists it at ~1 ns per write). N logical
+ * lines live in N+1 physical frames; one frame is a roving gap.
+ * Every `gapWriteInterval` writes the gap moves one frame, and after
+ * a full lap the start pointer advances — so a pathological
+ * single-line hotspot is smeared over every frame of the region.
+ */
+
+#ifndef JANUS_NVM_WEAR_LEVEL_HH
+#define JANUS_NVM_WEAR_LEVEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** The Start-Gap address rotation. */
+class StartGapWearLeveler
+{
+  public:
+    /**
+     * @param region_base   first line of the leveled region
+     * @param lines         logical lines in the region
+     * @param gap_interval  writes between gap movements (psi)
+     */
+    StartGapWearLeveler(Addr region_base, std::uint64_t lines,
+                        unsigned gap_interval = 100);
+
+    /** Logical line address -> device frame address. */
+    Addr translate(Addr line_addr) const;
+
+    /**
+     * Account one serviced write; occasionally rotates the gap.
+     * @return true when this write triggered a gap move (one extra
+     *         device write: the line copied into the old gap).
+     */
+    bool onWrite();
+
+    std::uint64_t rotations() const { return rotations_; }
+    std::uint64_t fullLaps() const { return start_; }
+    std::uint64_t gap() const { return gap_; }
+
+    /** Device-frame write counts (wear histogram, for tests). */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    frameWrites() const
+    {
+        return frameWrites_;
+    }
+
+    /** Record a write landing on a device frame (stats only). */
+    void recordFrameWrite(Addr frame_addr);
+
+  private:
+    Addr base_;
+    std::uint64_t lines_;
+    unsigned interval_;
+    std::uint64_t sinceMove_ = 0;
+    /** Gap frame index in [0, lines]. */
+    std::uint64_t gap_;
+    /** Completed laps = rotation offset of the whole region. */
+    std::uint64_t start_ = 0;
+    std::uint64_t rotations_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> frameWrites_;
+};
+
+} // namespace janus
+
+#endif // JANUS_NVM_WEAR_LEVEL_HH

@@ -1,0 +1,50 @@
+#include "sim/eventq.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    janus_assert(when >= curTick_,
+                 "scheduling into the past: %llu < %llu",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(curTick_));
+    events_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!events_.empty() && events_.top().when <= limit) {
+        // Moving out of a priority_queue top requires a const_cast;
+        // the element is popped immediately afterwards.
+        Event ev = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        curTick_ = ev.when;
+        ++executed_;
+        ++count;
+        ev.fn();
+    }
+    if (curTick_ < limit && limit != maxTick)
+        curTick_ = limit;
+    return count;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    curTick_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+} // namespace janus

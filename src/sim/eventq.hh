@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. A single EventQueue orders all
+ * simulated activity; components schedule closures at absolute ticks
+ * and the queue executes them in (tick, insertion-order) order, which
+ * makes simulations fully deterministic.
+ */
+
+#ifndef JANUS_SIM_EVENTQ_HH
+#define JANUS_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/**
+ * The central event queue. Events are one-shot closures; recurring
+ * behaviour is expressed by rescheduling from inside the closure.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule a closure at an absolute tick (>= curTick). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule a closure after a relative delay. */
+    void
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        schedule(curTick_ + delay, std::move(fn));
+    }
+
+    /** @return true if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run events until the queue drains or the (absolute) limit tick
+     * is passed. Events scheduled exactly at the limit still run.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /**
+     * Execute exactly one event if any is pending.
+     * @return true if an event ran.
+     */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * Base class for named simulated components that live on an event
+ * queue.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eventq_(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Component instance name (used in stats and logs). */
+    const std::string &name() const { return name_; }
+
+    /** The event queue this object lives on. */
+    EventQueue &eventq() { return eventq_; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eventq_.curTick(); }
+
+  protected:
+    /** Schedule a member-closure after a relative delay. */
+    void
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        eventq_.scheduleIn(delay, std::move(fn));
+    }
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+};
+
+} // namespace janus
+
+#endif // JANUS_SIM_EVENTQ_HH

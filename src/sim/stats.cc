@@ -1,0 +1,94 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    sum_ = min_ = max_ = 0;
+    count_ = 0;
+}
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    janus_assert(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < lo_) {
+        ++under_;
+    } else if (v >= hi_) {
+        ++over_;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - lo_) / (hi_ - lo_) * buckets_.size());
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    under_ = over_ = count_ = 0;
+    sum_ = 0;
+}
+
+Scalar &
+StatGroup::scalar(const std::string &stat)
+{
+    return scalars_[stat];
+}
+
+Average &
+StatGroup::average(const std::string &stat)
+{
+    return averages_[stat];
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat, s] : scalars_)
+        os << name_ << '.' << stat << ' ' << s.value() << '\n';
+    for (const auto &[stat, a] : averages_) {
+        os << name_ << '.' << stat << ".mean " << a.mean() << '\n';
+        os << name_ << '.' << stat << ".count " << a.count() << '\n';
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[stat, s] : scalars_)
+        s.reset();
+    for (auto &[stat, a] : averages_)
+        a.reset();
+}
+
+} // namespace janus

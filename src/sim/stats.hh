@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics package. Components register named Scalar /
+ * Average / Histogram stats with a StatGroup; the harness dumps all
+ * groups after a run. Modeled after the shape of gem5's stats but
+ * kept minimal.
+ */
+
+#ifndef JANUS_SIM_STATS_HH
+#define JANUS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace janus
+{
+
+/** A monotonically accumulated counter (doubles to hold tick sums). */
+class Scalar
+{
+  public:
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean/min/max over a stream of samples. */
+class Average
+{
+  public:
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    double min() const { return count_ ? min_ : 0; }
+    double max() const { return count_ ? max_ : 0; }
+    double sum() const { return sum_; }
+    void reset();
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo = 0, double hi = 1, unsigned buckets = 10);
+
+    void sample(double v);
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    std::uint64_t underflows() const { return under_; }
+    std::uint64_t overflows() const { return over_; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    void reset();
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t under_ = 0, over_ = 0, count_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * A named collection of stats belonging to one component. Groups are
+ * registered with a StatRegistry for dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    Scalar &scalar(const std::string &stat);
+    Average &average(const std::string &stat);
+
+    /** Dump all stats of this group, one "group.stat value" per line. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in the group. */
+    void reset();
+
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace janus
+
+#endif // JANUS_SIM_STATS_HH

@@ -1,0 +1,162 @@
+#include "txn/undo_log.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+
+namespace janus
+{
+
+void
+buildTxnLibrary(Module &module)
+{
+    IrBuilder b(module);
+
+    // undo_append(ctx, addr, size): append a backup entry; the
+    // caller fences before mutating [addr, addr+size).
+    //
+    // Writeback order is the crash-consistency invariant: payload
+    // first, then the next slot's terminator zero, then this entry's
+    // header. The write queue accepts lines in issue order, so a
+    // durable header implies a durable payload and a durable scan
+    // terminator behind it.
+    {
+        b.beginFunction("undo_append", 3);
+        int ctx_reg = b.arg(0);
+        int addr = b.arg(1);
+        int sz = b.arg(2);
+
+        int log = b.load(ctx_reg, ctx::logBase);
+        int tail = b.load(ctx_reg, ctx::logTail);
+        int entry = b.addI(b.add(log, tail), logHeaderBytes);
+        b.store(entry, addr, 0);
+        b.store(entry, sz, 8);
+        int payload = b.addI(entry, logEntryHeaderBytes);
+        b.memCpyR(payload, addr, sz);
+
+        // footprint = header line + line-aligned payload.
+        int rounded = b.addI(sz, lineBytes - 1);
+        int mask = b.constI(
+            static_cast<std::int64_t>(~Addr(lineBytes - 1)));
+        rounded = b.andOp(rounded, mask);
+        int footprint = b.addI(rounded, logEntryHeaderBytes);
+
+        b.clwbR(payload, rounded); // payload lines first
+
+        // Scan terminator: zero the next header's addr word so
+        // recovery never walks into stale entries. Skipped when the
+        // slot is already (durably, by induction) zero.
+        int next = b.add(entry, footprint);
+        int stale = b.load(next, 0);
+        int zero = b.constI(0);
+        unsigned zero_block = b.newBlock();
+        unsigned hdr_block = b.newBlock();
+        int need = b.cmpNe(stale, zero);
+        b.brCond(need, zero_block, hdr_block);
+
+        b.setBlock(zero_block);
+        b.store(next, zero, 0);
+        b.clwb(next, 8);
+        b.br(hdr_block);
+
+        b.setBlock(hdr_block);
+        b.clwb(entry, 8); // header line last
+
+        int new_tail = b.add(tail, footprint);
+        b.store(ctx_reg, new_tail, ctx::logTail);
+        b.ret();
+        b.endFunction();
+    }
+
+    // tx_finish(ctx): commit by cutting the scan short — zero the
+    // current lane's first header addr word. This immediately
+    // changes crash-consistency status, so it uses the selective
+    // metadata-atomic persist (Section 4.3). Then rotate lanes.
+    {
+        b.beginFunction("tx_finish", 1);
+        int ctx_reg = b.arg(0);
+        int log = b.load(ctx_reg, ctx::logBase);
+        int lane = b.load(ctx_reg, ctx::logLane);
+        int first = b.add(
+            log, b.addI(b.mulI(lane, logLaneBytes), logHeaderBytes));
+        int zero = b.constI(0);
+        b.store(first, zero, 0);
+        b.clwb(first, 8, /*meta_atomic=*/true);
+        b.sfence();
+        int next_lane = b.andOp(b.addI(lane, 1),
+                                b.constI(logLanes - 1));
+        b.store(ctx_reg, next_lane, ctx::logLane);
+        b.store(ctx_reg, b.mulI(next_lane, logLaneBytes),
+                ctx::logTail);
+        b.ret();
+        b.endFunction();
+    }
+}
+
+int
+emitLaneFirstEntry(IrBuilder &b, int ctx_reg)
+{
+    int log = b.load(ctx_reg, ctx::logBase);
+    int lane = b.load(ctx_reg, ctx::logLane);
+    return b.add(log, b.addI(b.mulI(lane, logLaneBytes),
+                             logHeaderBytes));
+}
+
+void
+emitCommitPre(IrBuilder &b, int ctx_reg)
+{
+    int pc = b.preInit();
+    b.preBothVal(pc, emitLaneFirstEntry(b, ctx_reg), b.constI(0));
+}
+
+std::vector<UndoEntry>
+parseUndoLog(const SparseMemory &image, Addr log_base)
+{
+    // At most one lane can be non-empty: tx_finish durably zeroes a
+    // lane's first header before the next transaction begins.
+    std::vector<UndoEntry> entries;
+    unsigned live_lanes = 0;
+    for (unsigned lane = 0; lane < logLanes; ++lane) {
+        Addr offset = logHeaderBytes + lane * logLaneBytes;
+        bool lane_live = false;
+        for (;;) {
+            Addr entry = log_base + offset;
+            Addr dest = image.readWord(entry);
+            if (dest == 0)
+                break;
+            if (!lane_live) {
+                lane_live = true;
+                janus_assert(++live_lanes == 1,
+                             "two uncommitted log lanes");
+            }
+            UndoEntry e;
+            e.dest = dest;
+            e.size = image.readWord(entry + 8);
+            janus_assert(e.size > 0 && e.size <= (1u << 20),
+                         "implausible undo entry size %llu",
+                         static_cast<unsigned long long>(e.size));
+            e.oldData.resize(e.size);
+            image.read(entry + logEntryHeaderBytes, e.oldData.data(),
+                       static_cast<unsigned>(e.size));
+            entries.push_back(std::move(e));
+            offset += logEntryFootprint(e.size);
+        }
+    }
+    return entries;
+}
+
+unsigned
+recoverUndoLog(SparseMemory &image, Addr log_base)
+{
+    std::vector<UndoEntry> entries = parseUndoLog(image, log_base);
+    // Newest first: later entries may shadow earlier ones.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        image.write(it->dest, it->oldData.data(),
+                    static_cast<unsigned>(it->size));
+    for (unsigned lane = 0; lane < logLanes; ++lane)
+        image.writeWord(log_base + logHeaderBytes +
+                            lane * logLaneBytes,
+                        0);
+    return static_cast<unsigned>(entries.size());
+}
+
+} // namespace janus

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Undo-log transaction runtime (paper Section 2.1): PmIR library
+ * functions every workload kernel links against, plus the native
+ * recovery procedure used by the crash-consistency tests.
+ *
+ * Log layout (one region per hart) — scan-based, no persistent tail:
+ *   line 0      reserved
+ *   from +64    entries, each: one header line { destAddr(8) |
+ *               size(8) | pad } followed by line-aligned old data
+ *
+ * Protocol per transaction:
+ *   1. undo_append(ctx, addr, size) for every region about to
+ *      change: append an entry, zero the *next* header's addr word
+ *      (the scan terminator), clwb — then ONE sfence in the caller
+ *      closes the backup step;
+ *   2. in-place updates + clwb + sfence          (update step);
+ *   3. tx_finish(ctx): zero the first entry's addr word with a
+ *      metadata-atomic persist                   (commit step).
+ *
+ * Recovery scans entries while the header addr word is nonzero; a
+ * nonempty scan means the transaction did not commit, and every
+ * logged entry is copied back, newest first. The volatile append
+ * cursor lives in the context block (ctx::logTail); it is never
+ * needed for recovery.
+ *
+ * The commit write touches a line whose content is stable after the
+ * last undo_log call, which is what makes it pre-executable with
+ * PRE_BOTH_VAL (paper Figure 4: "the address and data for the
+ * commit are known before the commit step").
+ */
+
+#ifndef JANUS_TXN_UNDO_LOG_HH
+#define JANUS_TXN_UNDO_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/ir.hh"
+#include "mem/sparse_memory.hh"
+
+namespace janus
+{
+
+/** Offsets inside the per-hart context block (arg0 of kernels). */
+namespace ctx
+{
+constexpr Addr logBase = 0;   ///< address of the hart's log region
+constexpr Addr heap = 8;      ///< workload structure base
+constexpr Addr scratch = 16;  ///< volatile staging area
+constexpr Addr param1 = 24;   ///< workload parameter (e.g. item size)
+constexpr Addr param2 = 32;   ///< workload parameter
+constexpr Addr pool = 40;     ///< value-pool base
+constexpr Addr aux = 48;      ///< workload-specific block
+constexpr Addr logTail = 56;  ///< volatile log append cursor
+constexpr Addr logLane = 64;  ///< volatile current log lane
+constexpr Addr size = 128;    ///< bytes to allocate for a context
+} // namespace ctx
+
+/** Offset of the first lane inside a log region. */
+constexpr Addr logHeaderBytes = 64;
+
+/**
+ * The log is striped over lanes used round-robin, one transaction
+ * per lane. This spreads the per-transaction header/commit lines
+ * over the NVM banks (a single fixed header line would otherwise
+ * hotspot one bank at two writes per transaction).
+ */
+constexpr unsigned logLanes = 8;
+constexpr Addr logLaneBytes = 32 * 1024;
+
+/** Total bytes to allocate for one hart's log region. */
+constexpr Addr logRegionBytes = logHeaderBytes +
+                                logLanes * logLaneBytes;
+
+/** Offset of the payload within one entry (after its header line). */
+constexpr Addr logEntryHeaderBytes = 64;
+
+/** Line-aligned footprint of an entry backing `size` bytes. */
+constexpr Addr
+logEntryFootprint(Addr size)
+{
+    return logEntryHeaderBytes +
+           ((size + lineBytes - 1) & ~Addr(lineBytes - 1));
+}
+
+/**
+ * Emit the transaction runtime into a module:
+ *   undo_append(ctx, addr, size)  — fence-free backup append;
+ *   tx_finish(ctx)                — commit (truncate the scan) and
+ *                                   advance to the next lane.
+ * Callers issue one sfence after their last undo_append to close
+ * the backup step.
+ */
+void buildTxnLibrary(Module &module);
+
+class IrBuilder;
+
+/**
+ * Emit the manual pre-execution of the upcoming commit write (the
+ * zeroing of the current lane's first header word), valid once the
+ * transaction's last undo_append has run (paper Figure 4).
+ */
+void emitCommitPre(IrBuilder &b, int ctx_reg);
+
+/** Emit a register holding the current lane's first-entry address. */
+int emitLaneFirstEntry(IrBuilder &b, int ctx_reg);
+
+/** One decoded undo-log entry (used by recovery and tests). */
+struct UndoEntry
+{
+    Addr dest;
+    std::uint64_t size;
+    std::vector<std::uint8_t> oldData;
+};
+
+/** Parse the live entries of a log region inside an image. */
+std::vector<UndoEntry> parseUndoLog(const SparseMemory &image,
+                                    Addr log_base);
+
+/**
+ * Roll back an uncommitted transaction in a crash image: apply the
+ * logged old values newest-first and truncate the log.
+ *
+ * @return number of entries rolled back (0 if the log was clean).
+ */
+unsigned recoverUndoLog(SparseMemory &image, Addr log_base);
+
+} // namespace janus
+
+#endif // JANUS_TXN_UNDO_LOG_HH

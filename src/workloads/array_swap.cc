@@ -1,0 +1,160 @@
+#include "workloads/array_swap.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+void
+ArraySwapWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    // array_swap(ctx, i, j): durably swap items i and j.
+    b.beginFunction("array_swap", 3);
+    int ctx_reg = b.arg(0);
+    int i = b.arg(1);
+    int j = b.arg(2);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int size = b.load(ctx_reg, ctx::param1);
+    int a = b.add(heap, b.mul(i, size));
+    int c = b.add(heap, b.mul(j, size));
+    int tmp = b.load(ctx_reg, ctx::scratch);
+    b.memCpyR(tmp, a, size); // volatile staging of old item i
+    if (manual) {
+        // Both addresses and both data sources are already known:
+        // pre-execute everything before the backup step (Fig. 3c).
+        int p1 = b.preInit();
+        b.preBothR(p1, a, c, size);   // item i := old item j
+        int p2 = b.preInit();
+        b.preBothR(p2, c, tmp, size); // item j := old item i
+        // The undo-log payload lines are copies of the old items at
+        // statically-known log offsets (the append cursor is always
+        // zero at transaction start): pre-execute them as well.
+        int entry1 = emitLaneFirstEntry(b, ctx_reg);
+        int pay1 = b.addI(entry1, logEntryHeaderBytes);
+        int pl1 = b.preInit();
+        b.preBothR(pl1, pay1, a, size);
+        int rounded = b.addI(size, lineBytes - 1);
+        int mask = b.constI(
+            static_cast<std::int64_t>(~Addr(lineBytes - 1)));
+        rounded = b.andOp(rounded, mask);
+        int footprint = b.addI(rounded, logEntryHeaderBytes);
+        int pay2 = b.add(pay1, footprint);
+        int pl2 = b.preInit();
+        b.preBothR(pl2, pay2, c, size);
+    }
+    b.call("undo_append", {ctx_reg, a, size});
+    b.call("undo_append", {ctx_reg, c, size});
+    if (manual) {
+        // The commit write (tx_finish zeroes the first entry's
+        // header word) is fully determined once the last backup is
+        // appended: pre-execute it across the backup fence and the
+        // update step (Fig. 4).
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+    b.memCpyR(a, c, size);
+    b.memCpyR(c, tmp, size);
+    b.clwbR(a, size);
+    b.clwbR(c, size);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+void
+ArraySwapWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr item_bytes = params_.valueBytes;
+    CoreState &cs =
+        allocCommon(core, system, items_ * item_bytes, item_bytes,
+                    item_bytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, item_bytes);
+
+    if (seeds_.size() <= core) {
+        seeds_.resize(core + 1);
+        seedsInitial_.resize(core + 1);
+    }
+    auto &seeds = seeds_[core];
+    seeds.assign(items_, 0);
+    for (unsigned n = 0; n < items_; ++n) {
+        // Honor the duplicate ratio in the initial contents.
+        std::uint64_t seed;
+        if (n > 0 && cs.rng.chance(params_.dupRatio))
+            seed = seeds[cs.rng.below(n)];
+        else
+            seed = (std::uint64_t(core + 1) << 40) |
+                   ++cs.uniqueCounter;
+        seeds[n] = seed;
+        writeValue(mem, cs.heap + n * item_bytes, seed);
+    }
+    seedsInitial_[core] = seeds;
+}
+
+bool
+ArraySwapWorkload::next(unsigned core, SparseMemory &mem,
+                        std::string &fn,
+                        std::vector<std::uint64_t> &args)
+{
+    (void)mem;
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    std::uint64_t i = cs.rng.below(items_);
+    std::uint64_t j = cs.rng.below(items_ - 1);
+    if (j >= i)
+        ++j;
+    std::swap(seeds_[core][i], seeds_[core][j]);
+    fn = "array_swap";
+    args = {cs.ctx, i, j};
+    return true;
+}
+
+void
+ArraySwapWorkload::validateRecovered(const SparseMemory &mem,
+                                     unsigned core) const
+{
+    // Swaps permute the array: at every transaction boundary the
+    // multiset of item contents equals the initial multiset.
+    const CoreState &cs = cores_.at(core);
+    std::multiset<std::string> expect, found;
+    for (unsigned n = 0; n < items_; ++n) {
+        std::string item;
+        for (Addr off = 0; off < params_.valueBytes; off += lineBytes) {
+            expect.insert(CacheLine::fromSeed(
+                              seedsInitial_[core][n] * 1000003 + off)
+                              .toHex());
+            found.insert(
+                mem.readLine(cs.heap + n * params_.valueBytes + off)
+                    .toHex());
+        }
+        (void)item;
+    }
+    janus_assert(expect == found,
+                 "array_swap core %u: recovered image is not a "
+                 "permutation of the initial items", core);
+}
+
+void
+ArraySwapWorkload::validate(const SparseMemory &mem,
+                            unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    for (unsigned n = 0; n < items_; ++n) {
+        janus_assert(
+            checkValue(mem, cs.heap + n * params_.valueBytes,
+                       seeds_[core][n]),
+            "array_swap core %u: item %u has wrong value", core, n);
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Array Swap (Table 4): each transaction durably swaps two random
+ * items of a persistent array under undo logging. Addresses and
+ * data are both known at transaction entry, giving Janus its widest
+ * pre-execution window.
+ */
+
+#ifndef JANUS_WORKLOADS_ARRAY_SWAP_HH
+#define JANUS_WORKLOADS_ARRAY_SWAP_HH
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class ArraySwapWorkload : public Workload
+{
+  public:
+    explicit ArraySwapWorkload(const WorkloadParams &params,
+                               unsigned items = 128)
+        : Workload(params), items_(items)
+    {}
+
+    std::string name() const override { return "array_swap"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+  private:
+    unsigned items_;
+    /** Expected item seed per slot, per core. */
+    std::vector<std::vector<std::uint64_t>> seeds_;
+    /** Initial seeds (crash validation compares multisets). */
+    std::vector<std::vector<std::uint64_t>> seedsInitial_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_ARRAY_SWAP_HH

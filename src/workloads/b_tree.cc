@@ -1,0 +1,366 @@
+#include "workloads/b_tree.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/** Keys per leaf key-range (one more than the capacity). */
+constexpr unsigned keysPerRange = 8;
+
+} // namespace
+
+void
+BTreeWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    // btree_upsert(ctx, key, src): descend two internal levels,
+    // then update in place or shift-insert into the leaf.
+    b.beginFunction("btree_upsert", 3);
+    int ctx_reg = b.arg(0);
+    int key = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    int size = b.load(ctx_reg, ctx::param1);
+    int zero = b.constI(0);
+
+    int pd = -1;
+    if (manual) {
+        pd = b.preInit();
+        b.preDataR(pd, src, size); // payload known at entry
+    }
+
+    // Two-level descent; each internal node holds 7 separators at
+    // +8.. and 8 children at +64...
+    int node = b.newReg();
+    b.movTo(node, b.load(ctx_reg, ctx::aux)); // root
+    int lvl = b.newReg();
+    b.constTo(lvl, 0);
+    unsigned descend = b.newBlock();
+    unsigned scan_init = b.newBlock();
+    unsigned scan_head = b.newBlock();
+    unsigned scan_body = b.newBlock();
+    unsigned scan_take = b.newBlock();
+    unsigned scan_next = b.newBlock();
+    unsigned scan_done = b.newBlock();
+    unsigned at_leaf = b.newBlock();
+    int idx = b.newReg();
+    int i = b.newReg();
+    b.br(descend);
+
+    b.setBlock(descend);
+    int deeper = b.cmpLt(lvl, b.constI(2));
+    b.brCond(deeper, scan_init, at_leaf);
+    b.setBlock(scan_init);
+    b.constTo(idx, 0);
+    b.constTo(i, 1);
+    b.br(scan_head);
+    b.setBlock(scan_head);
+    int more = b.cmpLe(i, b.constI(7));
+    b.brCond(more, scan_body, scan_done);
+    b.setBlock(scan_body);
+    int sep = b.load(b.add(node, b.shlI(i, 3)), 0);
+    int ge = b.cmpLe(sep, key);
+    b.brCond(ge, scan_take, scan_next);
+    b.setBlock(scan_take);
+    b.movTo(idx, i);
+    b.br(scan_next);
+    b.setBlock(scan_next);
+    b.movTo(i, b.addI(i, 1));
+    b.br(scan_head);
+    b.setBlock(scan_done);
+    int child_slot = b.add(node, b.shlI(idx, 3));
+    b.movTo(node, b.load(child_slot, lineBytes));
+    b.movTo(lvl, b.addI(lvl, 1));
+    b.br(descend);
+
+    // Leaf: find the insertion position.
+    b.setBlock(at_leaf);
+    int leaf = node;
+    int cnt = b.load(leaf, 0);
+    int pos = b.newReg();
+    b.constTo(pos, 0);
+    unsigned pos_head = b.newBlock();
+    unsigned pos_body = b.newBlock();
+    unsigned pos_step = b.newBlock();
+    unsigned pos_done = b.newBlock();
+    b.br(pos_head);
+    b.setBlock(pos_head);
+    int in_range = b.cmpLt(pos, cnt);
+    b.brCond(in_range, pos_body, pos_done);
+    b.setBlock(pos_body);
+    int k_at = b.load(b.add(leaf, b.shlI(pos, 3)), 8);
+    int smaller = b.cmpLt(k_at, key);
+    b.brCond(smaller, pos_step, pos_done);
+    b.setBlock(pos_step);
+    b.movTo(pos, b.addI(pos, 1));
+    b.br(pos_head);
+    b.setBlock(pos_done);
+
+    unsigned check_hit = b.newBlock();
+    unsigned do_update = b.newBlock();
+    unsigned do_insert = b.newBlock();
+    int have_slot = b.cmpLt(pos, cnt);
+    b.brCond(have_slot, check_hit, do_insert);
+    b.setBlock(check_hit);
+    int k_here = b.load(b.add(leaf, b.shlI(pos, 3)), 8);
+    int is_hit = b.cmpEq(k_here, key);
+    b.brCond(is_hit, do_update, do_insert);
+
+    // Update in place: log only the value slot.
+    b.setBlock(do_update);
+    int vslot_u = b.add(b.addI(leaf, lineBytes), b.mul(pos, size));
+    if (manual)
+        b.preAddrR(pd, vslot_u, size);
+    b.call("undo_append", {ctx_reg, vslot_u, size});
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence();
+    b.memCpyR(vslot_u, src, size);
+    b.clwbR(vslot_u, size);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+
+    // Insert: prepare the post-insert images (key line, affected
+    // value range) in scratch, log only the affected pre-images,
+    // then publish with two copies. The publish copies are fully
+    // determined once scratch is assembled, so both the manual and
+    // the automated instrumentation can pre-execute them.
+    b.setBlock(do_insert);
+    int nshift = b.sub(cnt, pos);
+    int scr = b.load(ctx_reg, ctx::scratch);
+    int scr_vals = b.addI(scr, lineBytes);
+
+    // scratch line 0: the new key line.
+    b.memCpy(scr, leaf, lineBytes);
+    int scr_keys = b.add(scr, b.shlI(pos, 3));
+    unsigned shift_keys = b.newBlock();
+    unsigned build_vals = b.newBlock();
+    int any = b.cmpLt(zero, nshift);
+    b.brCond(any, shift_keys, build_vals);
+    b.setBlock(shift_keys);
+    b.memCpyR(b.addI(scr_keys, 16), b.addI(scr_keys, 8),
+              b.shlI(nshift, 3));
+    b.br(build_vals);
+    b.setBlock(build_vals);
+    b.store(scr_keys, key, 8);
+    b.store(scr, b.addI(cnt, 1), 0);
+
+    // scratch values: [new value][old values pos..cnt).
+    int vslot_i = b.add(b.addI(leaf, lineBytes), b.mul(pos, size));
+    b.memCpyR(scr_vals, src, size);
+    int tail_bytes = b.mul(nshift, size);
+    b.memCpyR(b.add(scr_vals, size), vslot_i, tail_bytes);
+    int region_bytes = b.add(tail_bytes, size);
+
+    if (manual) {
+        int pk = b.preInit();
+        b.preBoth(pk, leaf, scr, lineBytes);
+        int pv2 = b.preInit();
+        b.preBothR(pv2, vslot_i, scr_vals, region_bytes);
+    }
+    b.call("undo_append", {ctx_reg, leaf, b.constI(lineBytes)});
+    unsigned log_vals = b.newBlock();
+    unsigned seal = b.newBlock();
+    int any2 = b.cmpLt(zero, nshift);
+    b.brCond(any2, log_vals, seal);
+    b.setBlock(log_vals);
+    b.call("undo_append", {ctx_reg, vslot_i, tail_bytes});
+    b.br(seal);
+    b.setBlock(seal);
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+
+    b.memCpy(leaf, scr, lineBytes);
+    b.memCpyR(vslot_i, scr_vals, region_bytes);
+    b.clwb(leaf, lineBytes);
+    b.clwbR(vslot_i, region_bytes);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+Addr
+BTreeWorkload::leafAddr(unsigned core, unsigned leaf) const
+{
+    const Addr leaf_bytes = lineBytes + leafCap * params_.valueBytes;
+    return trees_.at(core).leaves + leaf * leaf_bytes;
+}
+
+void
+BTreeWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr leaf_bytes = lineBytes + leafCap * params_.valueBytes;
+    // Scratch holds a staged key line plus a full value region.
+    CoreState &cs = allocCommon(core, system, lineBytes,
+                                lineBytes + 8 * params_.valueBytes,
+                                params_.valueBytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
+    mem.writeWord(cs.ctx + ctx::param2, leaf_bytes);
+
+    if (trees_.size() <= core)
+        trees_.resize(core + 1);
+    CoreTree &tree = trees_[core];
+    tree.mirror.clear();
+    tree.history.clear();
+    tree.occupancy.assign(numLeaves, 0);
+
+    RegionAllocator &alloc = system.allocator();
+    tree.root = alloc.alloc(2 * lineBytes);
+    tree.mids = alloc.alloc(fanout * 2 * lineBytes);
+    tree.leaves = alloc.alloc(numLeaves * leaf_bytes);
+    warmRegion(system, core, tree.root, 2 * lineBytes);
+    warmRegion(system, core, tree.mids, fanout * 2 * lineBytes);
+    warmRegion(system, core, tree.leaves, numLeaves * leaf_bytes);
+    mem.writeWord(cs.ctx + ctx::aux, tree.root);
+
+    // Root separators/children over 8 mid nodes; each mid covers 64
+    // consecutive keys split across 8 leaves of 8-key ranges.
+    for (unsigned i = 1; i < fanout; ++i)
+        mem.writeWord(tree.root + i * 8,
+                      i * fanout * keysPerRange);
+    for (unsigned i = 0; i < fanout; ++i)
+        mem.writeWord(tree.root + lineBytes + i * 8,
+                      tree.mids + i * 2 * lineBytes);
+    for (unsigned j = 0; j < fanout; ++j) {
+        Addr mid = tree.mids + j * 2 * lineBytes;
+        for (unsigned i = 1; i < fanout; ++i)
+            mem.writeWord(mid + i * 8,
+                          (j * fanout + i) * keysPerRange);
+        for (unsigned i = 0; i < fanout; ++i)
+            mem.writeWord(mid + lineBytes + i * 8,
+                          leafAddr(core, j * fanout + i));
+    }
+
+    // Pre-seed two keys per leaf so traversals and shifts are real.
+    for (unsigned leaf = 0; leaf < numLeaves; ++leaf) {
+        Addr la = leafAddr(core, leaf);
+        mem.writeWord(la, 2);
+        for (unsigned s = 0; s < 2; ++s) {
+            std::uint64_t key = leaf * keysPerRange + 2 * s + 1;
+            std::uint64_t seed = (std::uint64_t(core + 1) << 40) |
+                                 ++cs.uniqueCounter;
+            mem.writeWord(la + 8 + s * 8, key);
+            writeValue(mem, la + lineBytes + s * params_.valueBytes,
+                       seed);
+            tree.mirror[key] = seed;
+            tree.history[key].push_back(seed);
+        }
+        tree.occupancy[leaf] = 2;
+    }
+}
+
+bool
+BTreeWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
+                    std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    CoreTree &tree = trees_[core];
+    std::uint64_t key;
+    for (;;) {
+        key = cs.rng.below(numLeaves * keysPerRange);
+        unsigned leaf = static_cast<unsigned>(key / keysPerRange);
+        if (tree.mirror.count(key))
+            break; // update path
+        if (tree.occupancy[leaf] < leafCap) {
+            ++tree.occupancy[leaf]; // insert path
+            break;
+        }
+    }
+    Addr src = stageValue(core, mem);
+    tree.mirror[key] = lastValueSeed(core);
+    tree.history[key].push_back(lastValueSeed(core));
+    fn = "btree_upsert";
+    args = {cs.ctx, key, src};
+    return true;
+}
+
+void
+BTreeWorkload::validateRecovered(const SparseMemory &mem,
+                                 unsigned core) const
+{
+    const CoreTree &tree = trees_[core];
+    for (unsigned leaf = 0; leaf < numLeaves; ++leaf) {
+        Addr la = leafAddr(core, leaf);
+        std::uint64_t cnt = mem.readWord(la);
+        janus_assert(cnt <= leafCap,
+                     "btree core %u: recovered leaf %u count", core,
+                     leaf);
+        std::uint64_t prev = 0;
+        for (unsigned s = 0; s < cnt; ++s) {
+            std::uint64_t key = mem.readWord(la + 8 + s * 8);
+            janus_assert(s == 0 || key > prev,
+                         "btree core %u: recovered leaf %u unsorted",
+                         core, leaf);
+            prev = key;
+            auto it = tree.history.find(key);
+            janus_assert(it != tree.history.end(),
+                         "btree core %u: recovered key %llu unknown",
+                         core, static_cast<unsigned long long>(key));
+            bool ok = false;
+            for (std::uint64_t seed : it->second)
+                ok = ok ||
+                     checkValue(mem,
+                                la + lineBytes +
+                                    s * params_.valueBytes,
+                                seed);
+            janus_assert(ok,
+                         "btree core %u: recovered key %llu holds a "
+                         "value it never had", core,
+                         static_cast<unsigned long long>(key));
+        }
+    }
+}
+
+void
+BTreeWorkload::validate(const SparseMemory &mem, unsigned core) const
+{
+    const CoreTree &tree = trees_[core];
+    unsigned total = 0;
+    for (unsigned leaf = 0; leaf < numLeaves; ++leaf) {
+        Addr la = leafAddr(core, leaf);
+        std::uint64_t cnt = mem.readWord(la);
+        janus_assert(cnt <= leafCap, "btree core %u: leaf %u count",
+                     core, leaf);
+        std::uint64_t prev = 0;
+        for (unsigned s = 0; s < cnt; ++s) {
+            std::uint64_t key = mem.readWord(la + 8 + s * 8);
+            janus_assert(s == 0 || key > prev,
+                         "btree core %u: leaf %u unsorted", core,
+                         leaf);
+            prev = key;
+            auto it = tree.mirror.find(key);
+            janus_assert(it != tree.mirror.end(),
+                         "btree core %u: unexpected key %llu", core,
+                         static_cast<unsigned long long>(key));
+            janus_assert(
+                checkValue(mem,
+                           la + lineBytes + s * params_.valueBytes,
+                           it->second),
+                "btree core %u: key %llu wrong value", core,
+                static_cast<unsigned long long>(key));
+            ++total;
+        }
+    }
+    janus_assert(total == tree.mirror.size(),
+                 "btree core %u: %u keys vs %zu expected", core,
+                 total, tree.mirror.size());
+}
+
+} // namespace janus

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * B-Tree (Table 4): a fixed-shape B-tree (two internal levels, 64
+ * leaves of up to 7 keys) with durable leaf upserts. Inserts shift
+ * the leaf's key/value arrays, so each transaction moves a larger
+ * update payload than the pointer workloads — the reason B-Tree
+ * gains more from pre-execution in the paper's Figure 9 and keeps
+ * scaling with BMO resources in Figure 14.
+ */
+
+#ifndef JANUS_WORKLOADS_B_TREE_HH
+#define JANUS_WORKLOADS_B_TREE_HH
+
+#include <unordered_map>
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class BTreeWorkload : public Workload
+{
+  public:
+    explicit BTreeWorkload(const WorkloadParams &params)
+        : Workload(params)
+    {}
+
+    std::string name() const override { return "b_tree"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+    static constexpr unsigned fanout = 8;     ///< children per inner
+    static constexpr unsigned leafCap = 7;    ///< keys per leaf
+    static constexpr unsigned numLeaves = 64; ///< fanout^2
+
+  private:
+    Addr leafAddr(unsigned core, unsigned leaf) const;
+
+    struct CoreTree
+    {
+        Addr root = 0;
+        Addr mids = 0;
+        Addr leaves = 0;
+        std::unordered_map<std::uint64_t, std::uint64_t> mirror;
+        std::unordered_map<std::uint64_t,
+                           std::vector<std::uint64_t>> history;
+        std::vector<unsigned> occupancy;
+    };
+    std::vector<CoreTree> trees_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_B_TREE_HH

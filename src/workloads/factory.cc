@@ -1,0 +1,45 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/array_swap.hh"
+#include "workloads/b_tree.hh"
+#include "workloads/hash_table.hh"
+#include "workloads/queue.hh"
+#include "workloads/rb_tree.hh"
+#include "workloads/tatp.hh"
+#include "workloads/tpcc.hh"
+
+namespace janus
+{
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "array_swap", "queue", "hash_table", "rb_tree",
+        "b_tree", "tatp", "tpcc",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "array_swap")
+        return std::make_unique<ArraySwapWorkload>(params);
+    if (name == "queue")
+        return std::make_unique<QueueWorkload>(params);
+    if (name == "hash_table")
+        return std::make_unique<HashTableWorkload>(params);
+    if (name == "rb_tree")
+        return std::make_unique<RbTreeWorkload>(params);
+    if (name == "b_tree")
+        return std::make_unique<BTreeWorkload>(params);
+    if (name == "tatp")
+        return std::make_unique<TatpWorkload>(params);
+    if (name == "tpcc")
+        return std::make_unique<TpccWorkload>(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace janus

@@ -1,0 +1,198 @@
+#include "workloads/hash_table.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/** The mixing the kernel applies (mirrored natively for setup). */
+std::uint64_t
+mixKey(std::uint64_t key)
+{
+    std::uint64_t h = key ^ (key >> 33);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 29;
+    return h;
+}
+
+constexpr std::int64_t mixMul =
+    static_cast<std::int64_t>(0xFF51AFD7ED558CCDull);
+
+} // namespace
+
+void
+HashTableWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    // hash_update(ctx, key, src): find the key's node by chain walk
+    // and durably replace its value.
+    b.beginFunction("hash_update", 3);
+    int ctx_reg = b.arg(0);
+    int key = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int size = b.load(ctx_reg, ctx::param1);
+    int mask = b.load(ctx_reg, ctx::param2);
+
+    int pre = -1;
+    if (manual) {
+        // Fig. 8a: the data is known before the lookup resolves the
+        // address; issue PRE_DATA now, PRE_ADDR once found.
+        pre = b.preInit();
+        b.preDataR(pre, src, size);
+    }
+
+    // h = mix(key); bucket = &heads[h & mask].
+    int h = b.xorOp(key, b.shrI(key, 33));
+    h = b.mul(h, b.constI(mixMul));
+    h = b.xorOp(h, b.shrI(h, 29));
+    int bucket = b.add(heap, b.shlI(b.andOp(h, mask), 3));
+
+    int node = b.newReg();
+    b.movTo(node, b.load(bucket, 0));
+    unsigned walk = b.newBlock();
+    unsigned step = b.newBlock();
+    unsigned found = b.newBlock();
+    unsigned missing = b.newBlock();
+    b.br(walk);
+    b.setBlock(walk);
+    int is_null = b.cmpEq(node, b.constI(0));
+    b.brCond(is_null, missing, step);
+    b.setBlock(step);
+    int k = b.load(node, 0);
+    int hit = b.cmpEq(k, key);
+    unsigned advance = b.newBlock();
+    b.brCond(hit, found, advance);
+    b.setBlock(advance);
+    b.movTo(node, b.load(node, 8));
+    b.br(walk);
+
+    b.setBlock(missing);
+    b.txEnd();
+    b.ret(); // driver guarantees presence; tolerate gracefully
+
+    b.setBlock(found);
+    int val = b.addI(node, lineBytes);
+    if (manual)
+        b.preAddrR(pre, val, size);
+    b.call("undo_append", {ctx_reg, val, size});
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+    b.memCpyR(val, src, size);
+    b.clwbR(val, size);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+void
+HashTableWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    janus_assert((buckets_ & (buckets_ - 1)) == 0,
+                 "bucket count must be a power of two");
+    const Addr node_bytes = lineBytes + params_.valueBytes;
+    CoreState &cs = allocCommon(core, system, buckets_ * 8,
+                                lineBytes, params_.valueBytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
+    mem.writeWord(cs.ctx + ctx::param2, buckets_ - 1);
+
+    Addr nodes = system.allocator().alloc(keys_ * node_bytes);
+    warmRegion(system, core, nodes, keys_ * node_bytes);
+    if (mirror_.size() <= core) {
+        mirror_.resize(core + 1);
+        keyList_.resize(core + 1);
+        history_.resize(core + 1);
+    }
+    mirror_[core].clear();
+    keyList_[core].clear();
+    history_[core].clear();
+
+    for (unsigned n = 0; n < keys_; ++n) {
+        std::uint64_t k =
+            (std::uint64_t(core + 1) << 48) | (n * 2654435761u + 1);
+        std::uint64_t seed =
+            (std::uint64_t(core + 1) << 40) | ++cs.uniqueCounter;
+        Addr node = nodes + n * node_bytes;
+        Addr bucket =
+            cs.heap + (mixKey(k) & (buckets_ - 1)) * 8;
+        mem.writeWord(node + 0, k);
+        mem.writeWord(node + 8, mem.readWord(bucket)); // chain head
+        writeValue(mem, node + lineBytes, seed);
+        mem.writeWord(bucket, node);
+        mirror_[core][k] = seed;
+        history_[core][k].push_back(seed);
+        keyList_[core].push_back(k);
+    }
+}
+
+bool
+HashTableWorkload::next(unsigned core, SparseMemory &mem,
+                        std::string &fn,
+                        std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    std::uint64_t key =
+        keyList_[core][cs.rng.below(keyList_[core].size())];
+    Addr src = stageValue(core, mem);
+    mirror_[core][key] = lastValueSeed(core);
+    history_[core][key].push_back(lastValueSeed(core));
+    fn = "hash_update";
+    args = {cs.ctx, key, src};
+    return true;
+}
+
+void
+HashTableWorkload::validateRecovered(const SparseMemory &mem,
+                                     unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    for (const auto &[key, hist] : history_[core]) {
+        Addr bucket = cs.heap + (mixKey(key) & (buckets_ - 1)) * 8;
+        Addr node = mem.readWord(bucket);
+        while (node != 0 && mem.readWord(node) != key)
+            node = mem.readWord(node + 8);
+        janus_assert(node != 0,
+                     "hash core %u: key %llx missing after recovery",
+                     core, static_cast<unsigned long long>(key));
+        bool ok = false;
+        for (std::uint64_t seed : hist)
+            ok = ok || checkValue(mem, node + lineBytes, seed);
+        janus_assert(ok, "hash core %u: key %llx holds a value it "
+                         "never had", core,
+                     static_cast<unsigned long long>(key));
+    }
+}
+
+void
+HashTableWorkload::validate(const SparseMemory &mem,
+                            unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    for (const auto &[key, seed] : mirror_[core]) {
+        Addr bucket = cs.heap + (mixKey(key) & (buckets_ - 1)) * 8;
+        Addr node = mem.readWord(bucket);
+        while (node != 0 && mem.readWord(node) != key)
+            node = mem.readWord(node + 8);
+        janus_assert(node != 0, "hash core %u: key %llx missing",
+                     core, static_cast<unsigned long long>(key));
+        janus_assert(checkValue(mem, node + lineBytes, seed),
+                     "hash core %u: key %llx wrong value", core,
+                     static_cast<unsigned long long>(key));
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hash Table (Table 4): chained buckets; each transaction updates
+ * the value of an existing key in place under undo logging. The
+ * update location comes from a pointer-chasing chain walk, so the
+ * address-dependent pre-execution window is short (the effect behind
+ * Hash Table's lower gain in the paper's Figure 9), while the value
+ * is known at entry (classic PRE_DATA-then-PRE_ADDR usage, Fig. 8a).
+ */
+
+#ifndef JANUS_WORKLOADS_HASH_TABLE_HH
+#define JANUS_WORKLOADS_HASH_TABLE_HH
+
+#include <unordered_map>
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class HashTableWorkload : public Workload
+{
+  public:
+    explicit HashTableWorkload(const WorkloadParams &params,
+                               unsigned buckets = 4096,
+                               unsigned keys = 16384)
+        : Workload(params), buckets_(buckets), keys_(keys)
+    {}
+
+    std::string name() const override { return "hash_table"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+  private:
+    unsigned buckets_; ///< power of two
+    unsigned keys_;
+    /** key -> expected value seed, per core. */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        mirror_;
+    /** key -> every seed it ever held, per core. */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint64_t>>>
+        history_;
+    /** insertion-ordered key list for random picks, per core. */
+    std::vector<std::vector<std::uint64_t>> keyList_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_HASH_TABLE_HH

@@ -1,0 +1,222 @@
+#include "workloads/queue.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+void
+QueueWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+
+    // queue_enqueue(ctx, src): copy an item into the tail slot
+    // (per-line loop), then durably bump the tail.
+    {
+        b.beginFunction("queue_enqueue", 2);
+        int ctx_reg = b.arg(0);
+        int src = b.arg(1);
+        b.txBegin();
+        int heap = b.load(ctx_reg, ctx::heap);
+        int size = b.load(ctx_reg, ctx::param1);
+        int mask = b.load(ctx_reg, ctx::param2);
+        int tail = b.load(heap, 8);
+        int slot_idx = b.andOp(tail, mask);
+        int slot = b.add(b.addI(heap, lineBytes),
+                         b.mul(slot_idx, size));
+        int new_tail = b.addI(tail, 1);
+        if (manual) {
+            // Item data and slot address are known here; the tail
+            // bump and the commit are fully determined too.
+            int pi = b.preInit();
+            b.preBothR(pi, slot, src, size);
+            int pt = b.preInit();
+            int tail_addr = b.addI(heap, 8);
+            b.preBothVal(pt, tail_addr, new_tail);
+        }
+        b.call("undo_append", {ctx_reg, heap, b.constI(16)});
+        if (manual) {
+            emitCommitPre(b, ctx_reg);
+        }
+        b.sfence(); // backup step complete
+
+        // Per-line copy loop (defeats the static pass, Fig. 11).
+        int offset = b.newReg();
+        b.constTo(offset, 0);
+        unsigned loop_head = b.newBlock();
+        unsigned loop_body = b.newBlock();
+        unsigned loop_done = b.newBlock();
+        b.br(loop_head);
+        b.setBlock(loop_head);
+        int more = b.cmpLt(offset, size);
+        b.brCond(more, loop_body, loop_done);
+        b.setBlock(loop_body);
+        int dst_line = b.add(slot, offset);
+        int src_line = b.add(src, offset);
+        b.memCpy(dst_line, src_line, lineBytes);
+        b.clwb(dst_line, lineBytes);
+        int next_off = b.addI(offset, lineBytes);
+        b.movTo(offset, next_off);
+        b.br(loop_head);
+        b.setBlock(loop_done);
+
+        // Item lines precede the tail bump in the write queue, so a
+        // single fence after the bump is the commit of the enqueue.
+        b.store(heap, new_tail, 8);
+        b.clwb(heap, 16);
+        b.sfence();
+        b.call("tx_finish", {ctx_reg});
+        b.txEnd();
+        b.ret();
+        b.endFunction();
+    }
+
+    // queue_dequeue(ctx): read the head item and durably bump head.
+    {
+        b.beginFunction("queue_dequeue", 1);
+        int ctx_reg = b.arg(0);
+        b.txBegin();
+        int heap = b.load(ctx_reg, ctx::heap);
+        int size = b.load(ctx_reg, ctx::param1);
+        int mask = b.load(ctx_reg, ctx::param2);
+        int head = b.load(heap, 0);
+        int slot_idx = b.andOp(head, mask);
+        int slot = b.add(b.addI(heap, lineBytes),
+                         b.mul(slot_idx, size));
+        int new_head = b.addI(head, 1);
+        if (manual) {
+            int ph = b.preInit();
+            b.preBothVal(ph, heap, new_head);
+        }
+        // Consume the item (one load per line).
+        int offset = b.newReg();
+        b.constTo(offset, 0);
+        unsigned loop_head = b.newBlock();
+        unsigned loop_body = b.newBlock();
+        unsigned loop_done = b.newBlock();
+        b.br(loop_head);
+        b.setBlock(loop_head);
+        int more = b.cmpLt(offset, size);
+        b.brCond(more, loop_body, loop_done);
+        b.setBlock(loop_body);
+        int line = b.add(slot, offset);
+        b.load(line, 0);
+        int next_off = b.addI(offset, lineBytes);
+        b.movTo(offset, next_off);
+        b.br(loop_head);
+        b.setBlock(loop_done);
+
+        b.call("undo_append", {ctx_reg, heap, b.constI(16)});
+        if (manual) {
+            emitCommitPre(b, ctx_reg);
+        }
+        b.sfence();
+        b.store(heap, new_head, 0);
+        b.clwb(heap, 8);
+        b.sfence();
+        b.call("tx_finish", {ctx_reg});
+        b.txEnd();
+        b.ret();
+        b.endFunction();
+    }
+}
+
+void
+QueueWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    janus_assert((capacity_ & (capacity_ - 1)) == 0,
+                 "queue capacity must be a power of two");
+    const Addr item_bytes = params_.valueBytes;
+    CoreState &cs = allocCommon(core, system,
+                                lineBytes + capacity_ * item_bytes,
+                                lineBytes, item_bytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, item_bytes);
+    mem.writeWord(cs.ctx + ctx::param2, capacity_ - 1);
+    mem.writeWord(cs.heap + 0, 0); // head
+    mem.writeWord(cs.heap + 8, 0); // tail
+    if (mirror_.size() <= core) {
+        mirror_.resize(core + 1);
+        slotHistory_.resize(core + 1);
+    }
+    mirror_[core].clear();
+    slotHistory_[core].assign(capacity_, {});
+    if (enqueues_.size() <= core)
+        enqueues_.resize(core + 1);
+    enqueues_[core] = 0;
+}
+
+bool
+QueueWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
+                    std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    auto &mirror = mirror_[core];
+    bool can_enqueue = mirror.size() < capacity_ - 1;
+    bool do_enqueue =
+        can_enqueue && (mirror.empty() || cs.rng.chance(0.55));
+    if (do_enqueue) {
+        Addr src = stageValue(core, mem);
+        // The slot this enqueue lands in: the kernel's tail counter
+        // equals the number of enqueues issued so far.
+        slotHistory_[core][enqueues_[core] & (capacity_ - 1)]
+            .push_back(lastValueSeed(core));
+        ++enqueues_[core];
+        mirror.push_back(lastValueSeed(core));
+        fn = "queue_enqueue";
+        args = {cs.ctx, src};
+    } else {
+        mirror.pop_front();
+        fn = "queue_dequeue";
+        args = {cs.ctx};
+    }
+    return true;
+}
+
+void
+QueueWorkload::validateRecovered(const SparseMemory &mem,
+                                 unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    std::uint64_t head = mem.readWord(cs.heap + 0);
+    std::uint64_t tail = mem.readWord(cs.heap + 8);
+    janus_assert(head <= tail && tail - head < capacity_,
+                 "queue core %u: recovered indices invalid", core);
+    for (std::uint64_t k = head; k < tail; ++k) {
+        unsigned slot = static_cast<unsigned>(k & (capacity_ - 1));
+        Addr addr = cs.heap + lineBytes + slot * params_.valueBytes;
+        const auto &hist = slotHistory_[core][slot];
+        bool ok = false;
+        for (std::uint64_t seed : hist)
+            ok = ok || checkValue(mem, addr, seed);
+        janus_assert(ok, "queue core %u: recovered slot %u holds a "
+                         "value never enqueued", core, slot);
+    }
+}
+
+void
+QueueWorkload::validate(const SparseMemory &mem, unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    std::uint64_t head = mem.readWord(cs.heap + 0);
+    std::uint64_t tail = mem.readWord(cs.heap + 8);
+    const auto &mirror = mirror_[core];
+    janus_assert(tail - head == mirror.size(),
+                 "queue core %u: occupancy %llu vs mirror %zu", core,
+                 static_cast<unsigned long long>(tail - head),
+                 mirror.size());
+    for (std::size_t k = 0; k < mirror.size(); ++k) {
+        Addr slot = cs.heap + lineBytes +
+                    ((head + k) & (capacity_ - 1)) *
+                        params_.valueBytes;
+        janus_assert(checkValue(mem, slot, mirror[k]),
+                     "queue core %u: element %zu mismatch", core, k);
+    }
+}
+
+} // namespace janus

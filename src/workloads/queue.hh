@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Queue (Table 4): a persistent ring buffer; transactions randomly
+ * enqueue or dequeue items. The item copy runs in a per-line loop
+ * and the slot address comes from a pointer load, which is exactly
+ * the combination the paper's Section 5.2.3 reports defeats the
+ * static compiler pass (Figure 11's Queue bar).
+ */
+
+#ifndef JANUS_WORKLOADS_QUEUE_HH
+#define JANUS_WORKLOADS_QUEUE_HH
+
+#include <deque>
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class QueueWorkload : public Workload
+{
+  public:
+    explicit QueueWorkload(const WorkloadParams &params,
+                           unsigned capacity = 64)
+        : Workload(params), capacity_(capacity)
+    {}
+
+    std::string name() const override { return "queue"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+  private:
+    unsigned capacity_; ///< ring slots (power of two)
+    /** Expected queue contents (front first), per core. */
+    std::vector<std::deque<std::uint64_t>> mirror_;
+    /** Seeds ever enqueued into each physical slot, per core. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> slotHistory_;
+    /** Total enqueues issued per core (slot assignment mirror). */
+    std::vector<std::uint64_t> enqueues_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_QUEUE_HH

@@ -1,0 +1,473 @@
+#include "workloads/rb_tree.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+// Node header layout (one line; value payload at +64):
+constexpr std::int64_t offKey = 0;
+constexpr std::int64_t offLeft = 8;
+constexpr std::int64_t offRight = 16;
+constexpr std::int64_t offParent = 24;
+constexpr std::int64_t offColor = 32; // 1 = red, 0 = black
+
+/**
+ * Emit rb_log(ctx, node): undo-log a node header exactly once per
+ * transaction. The per-transaction logged set lives in the scratch
+ * area ([0] count, then addresses).
+ */
+void
+buildRbLog(IrBuilder &b)
+{
+    b.beginFunction("rb_log", 2);
+    int ctx_reg = b.arg(0);
+    int node = b.arg(1);
+    int scr = b.load(ctx_reg, ctx::scratch);
+    int cnt = b.load(scr, 0);
+    int i = b.newReg();
+    b.constTo(i, 0);
+
+    unsigned head = b.newBlock();
+    unsigned body = b.newBlock();
+    unsigned step = b.newBlock();
+    unsigned miss = b.newBlock();
+    unsigned done = b.newBlock();
+    b.br(head);
+
+    b.setBlock(head);
+    int more = b.cmpLt(i, cnt);
+    b.brCond(more, body, miss);
+
+    b.setBlock(body);
+    int slot = b.add(scr, b.shlI(i, 3));
+    int logged = b.load(slot, 8);
+    int same = b.cmpEq(logged, node);
+    b.brCond(same, done, step);
+
+    b.setBlock(step);
+    b.movTo(i, b.addI(i, 1));
+    b.br(head);
+
+    b.setBlock(miss);
+    int free_slot = b.add(scr, b.shlI(cnt, 3));
+    b.store(free_slot, node, 8);
+    b.store(scr, b.addI(cnt, 1), 0);
+    b.call("undo_append", {ctx_reg, node, b.constI(lineBytes)});
+    b.br(done);
+
+    b.setBlock(done);
+    b.ret();
+    b.endFunction();
+}
+
+/** Emit a rotation. @p left selects rotate-left vs rotate-right. */
+void
+buildRotate(IrBuilder &b, bool left)
+{
+    const std::int64_t toward = left ? offLeft : offRight;
+    const std::int64_t away = left ? offRight : offLeft;
+
+    b.beginFunction(left ? "rb_rotl" : "rb_rotr", 2);
+    int ctx_reg = b.arg(0);
+    int x = b.arg(1);
+    int heap = b.load(ctx_reg, ctx::heap);
+    int y = b.load(x, away);
+    b.call("rb_log", {ctx_reg, x});
+    b.call("rb_log", {ctx_reg, y});
+    int y_inner = b.load(y, toward);
+    b.store(x, y_inner, away); // x.away = y.toward
+    int zero = b.constI(0);
+
+    unsigned fix_child = b.newBlock();
+    unsigned parent_link = b.newBlock();
+    int has_inner = b.cmpNe(y_inner, zero);
+    b.brCond(has_inner, fix_child, parent_link);
+    b.setBlock(fix_child);
+    b.call("rb_log", {ctx_reg, y_inner});
+    b.store(y_inner, x, offParent);
+    b.br(parent_link);
+
+    b.setBlock(parent_link);
+    int xp = b.load(x, offParent);
+    b.store(y, xp, offParent);
+    unsigned at_root = b.newBlock();
+    unsigned not_root = b.newBlock();
+    unsigned relink = b.newBlock();
+    int is_root = b.cmpEq(xp, zero);
+    b.brCond(is_root, at_root, not_root);
+
+    b.setBlock(at_root);
+    b.call("rb_log", {ctx_reg, heap}); // root-pointer line
+    b.store(heap, y, 0);
+    b.br(relink);
+
+    b.setBlock(not_root);
+    b.call("rb_log", {ctx_reg, xp});
+    int xp_left = b.load(xp, offLeft);
+    unsigned was_left = b.newBlock();
+    unsigned was_right = b.newBlock();
+    int on_left = b.cmpEq(xp_left, x);
+    b.brCond(on_left, was_left, was_right);
+    b.setBlock(was_left);
+    b.store(xp, y, offLeft);
+    b.br(relink);
+    b.setBlock(was_right);
+    b.store(xp, y, offRight);
+    b.br(relink);
+
+    b.setBlock(relink);
+    b.store(y, x, toward); // y.toward = x
+    b.store(x, y, offParent);
+    b.ret();
+    b.endFunction();
+}
+
+} // namespace
+
+void
+RbTreeWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    buildRbLog(b);
+    buildRotate(b, true);
+    buildRotate(b, false);
+
+    // rb_insert(ctx, key, src): CLRS insertion with fixup.
+    b.beginFunction("rb_insert", 3);
+    int ctx_reg = b.arg(0);
+    int key = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int size = b.load(ctx_reg, ctx::param1);
+    int node_bytes = b.load(ctx_reg, ctx::param2);
+    int scr = b.load(ctx_reg, ctx::scratch);
+    int zero = b.constI(0);
+    int one = b.constI(1);
+    b.store(scr, zero, 0); // reset the logged set
+
+    // Allocate the new node from the bump pool.
+    int node = b.load(ctx_reg, ctx::aux);
+    b.store(ctx_reg, b.add(node, node_bytes), ctx::aux);
+    int val = b.addI(node, lineBytes);
+    if (manual) {
+        // The node address comes straight off the bump pointer and
+        // the payload is an argument: pre-execute the value lines
+        // before any of the tree work.
+        int pv = b.preInit();
+        b.preBothR(pv, val, src, size);
+    }
+    b.store(node, key, offKey);
+    b.store(node, zero, offLeft);
+    b.store(node, zero, offRight);
+    b.store(node, zero, offParent);
+    b.store(node, one, offColor); // new nodes are red
+    b.memCpyR(val, src, size);
+
+    // BST descent.
+    int y = b.newReg();
+    b.constTo(y, 0);
+    int x = b.newReg();
+    b.movTo(x, b.load(heap, 0));
+    unsigned walk = b.newBlock();
+    unsigned walk_body = b.newBlock();
+    unsigned go_left = b.newBlock();
+    unsigned go_right = b.newBlock();
+    unsigned place = b.newBlock();
+    b.br(walk);
+    b.setBlock(walk);
+    int x_null = b.cmpEq(x, zero);
+    b.brCond(x_null, place, walk_body);
+    b.setBlock(walk_body);
+    b.movTo(y, x);
+    int xk = b.load(x, offKey);
+    int lt = b.cmpLt(key, xk);
+    b.brCond(lt, go_left, go_right);
+    b.setBlock(go_left);
+    b.movTo(x, b.load(x, offLeft));
+    b.br(walk);
+    b.setBlock(go_right);
+    b.movTo(x, b.load(x, offRight));
+    b.br(walk);
+
+    b.setBlock(place);
+    b.store(node, y, offParent);
+    unsigned empty_tree = b.newBlock();
+    unsigned has_parent = b.newBlock();
+    unsigned child_left = b.newBlock();
+    unsigned child_right = b.newBlock();
+    unsigned fix_entry = b.newBlock();
+    int y_null = b.cmpEq(y, zero);
+    b.brCond(y_null, empty_tree, has_parent);
+    b.setBlock(empty_tree);
+    b.call("rb_log", {ctx_reg, heap});
+    b.store(heap, node, 0);
+    b.br(fix_entry);
+    b.setBlock(has_parent);
+    b.call("rb_log", {ctx_reg, y});
+    int yk = b.load(y, offKey);
+    int lt2 = b.cmpLt(key, yk);
+    b.brCond(lt2, child_left, child_right);
+    b.setBlock(child_left);
+    b.store(y, node, offLeft);
+    b.br(fix_entry);
+    b.setBlock(child_right);
+    b.store(y, node, offRight);
+    b.br(fix_entry);
+
+    // Fixup loop.
+    b.setBlock(fix_entry);
+    int z = b.newReg();
+    b.movTo(z, node);
+    unsigned fix_head = b.newBlock();
+    unsigned fix_check = b.newBlock();
+    unsigned fix_body = b.newBlock();
+    unsigned fix_done = b.newBlock();
+    b.br(fix_head);
+
+    b.setBlock(fix_head);
+    int zp0 = b.load(z, offParent);
+    int zp_null = b.cmpEq(zp0, zero);
+    b.brCond(zp_null, fix_done, fix_check);
+    b.setBlock(fix_check);
+    int zpc = b.load(zp0, offColor);
+    int zp_red = b.cmpEq(zpc, one);
+    b.brCond(zp_red, fix_body, fix_done);
+
+    b.setBlock(fix_body);
+    int zp = b.load(z, offParent);
+    int zpp = b.load(zp, offParent);
+    unsigned have_gp = b.newBlock();
+    int gp_null = b.cmpEq(zpp, zero);
+    b.brCond(gp_null, fix_done, have_gp);
+    b.setBlock(have_gp);
+    int zpp_left = b.load(zpp, offLeft);
+    unsigned left_side = b.newBlock();
+    unsigned right_side = b.newBlock();
+    int parent_is_left = b.cmpEq(zp, zpp_left);
+    b.brCond(parent_is_left, left_side, right_side);
+
+    // Emit one side of the fixup; mirrored by `left`.
+    auto emit_side = [&](unsigned entry, bool left) {
+        const std::int64_t away = left ? offRight : offLeft;
+        const char *rot_in = left ? "rb_rotl" : "rb_rotr";
+        const char *rot_out = left ? "rb_rotr" : "rb_rotl";
+
+        b.setBlock(entry);
+        int uncle = b.load(zpp, away);
+        unsigned uncle_check = b.newBlock();
+        unsigned recolor = b.newBlock();
+        unsigned restructure = b.newBlock();
+        unsigned inner_case = b.newBlock();
+        unsigned outer_case = b.newBlock();
+        int u_null = b.cmpEq(uncle, zero);
+        b.brCond(u_null, restructure, uncle_check);
+
+        b.setBlock(uncle_check);
+        int ucolor = b.load(uncle, offColor);
+        int u_red = b.cmpEq(ucolor, one);
+        b.brCond(u_red, recolor, restructure);
+
+        // Case 1: red uncle — recolor and move up.
+        b.setBlock(recolor);
+        b.call("rb_log", {ctx_reg, zp});
+        b.call("rb_log", {ctx_reg, uncle});
+        b.call("rb_log", {ctx_reg, zpp});
+        b.store(zp, zero, offColor);
+        b.store(uncle, zero, offColor);
+        b.store(zpp, one, offColor);
+        b.movTo(z, zpp);
+        b.br(fix_head);
+
+        // Cases 2/3: black uncle — rotate.
+        b.setBlock(restructure);
+        int z_away = b.load(zp, away);
+        int is_inner = b.cmpEq(z, z_away);
+        b.brCond(is_inner, inner_case, outer_case);
+        b.setBlock(inner_case);
+        b.movTo(z, zp);
+        b.call(rot_in, {ctx_reg, z});
+        b.br(outer_case);
+        b.setBlock(outer_case);
+        int zp2 = b.load(z, offParent);
+        int zpp2 = b.load(zp2, offParent);
+        b.call("rb_log", {ctx_reg, zp2});
+        b.call("rb_log", {ctx_reg, zpp2});
+        b.store(zp2, zero, offColor);
+        b.store(zpp2, one, offColor);
+        b.call(rot_out, {ctx_reg, zpp2});
+        b.br(fix_head);
+    };
+    emit_side(left_side, true);
+    emit_side(right_side, false);
+
+    b.setBlock(fix_done);
+    int root = b.load(heap, 0);
+    int rcolor = b.load(root, offColor);
+    unsigned blacken = b.newBlock();
+    unsigned persist = b.newBlock();
+    int r_red = b.cmpEq(rcolor, one);
+    b.brCond(r_red, blacken, persist);
+    b.setBlock(blacken);
+    b.call("rb_log", {ctx_reg, root});
+    b.store(root, zero, offColor);
+    b.br(persist);
+
+    // Persist phase: backup seal, then the new node and every
+    // logged (potentially modified) header line.
+    b.setBlock(persist);
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+    b.clwbR(node, node_bytes);
+    int cnt = b.load(scr, 0);
+    int i = b.newReg();
+    b.constTo(i, 0);
+    unsigned ploop = b.newBlock();
+    unsigned pbody = b.newBlock();
+    unsigned pdone = b.newBlock();
+    b.br(ploop);
+    b.setBlock(ploop);
+    int more = b.cmpLt(i, cnt);
+    b.brCond(more, pbody, pdone);
+    b.setBlock(pbody);
+    int slot = b.add(scr, b.shlI(i, 3));
+    int addr = b.load(slot, 8);
+    b.clwb(addr, lineBytes);
+    b.movTo(i, b.addI(i, 1));
+    b.br(ploop);
+    b.setBlock(pdone);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+void
+RbTreeWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr node_bytes = lineBytes + params_.valueBytes;
+    // heap line 0 holds the root pointer. The scratch area hosts the
+    // per-transaction logged set (up to 127 node addresses; a fixup
+    // touches at most ~3 nodes per level) and the log must hold as
+    // many 128-byte entries.
+    CoreState &cs = allocCommon(core, system, lineBytes,
+                                lineBytes * 16, params_.valueBytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
+    mem.writeWord(cs.ctx + ctx::param2, node_bytes);
+    Addr pool = system.allocator().alloc(
+        (params_.txnsPerCore + 4) * node_bytes);
+    warmRegion(system, core, pool,
+               (params_.txnsPerCore + 4) * node_bytes);
+    mem.writeWord(cs.ctx + ctx::aux, pool);
+    mem.writeWord(cs.heap, 0); // empty tree
+    if (mirror_.size() <= core)
+        mirror_.resize(core + 1);
+    mirror_[core].clear();
+}
+
+bool
+RbTreeWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
+                     std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    std::uint64_t key;
+    do {
+        key = cs.rng.next() >> 16;
+    } while (mirror_[core].count(key));
+    Addr src = stageValue(core, mem);
+    mirror_[core][key] = lastValueSeed(core);
+    fn = "rb_insert";
+    args = {cs.ctx, key, src};
+    return true;
+}
+
+unsigned
+RbTreeWorkload::checkSubtree(const SparseMemory &mem, Addr node,
+                             Addr parent, std::uint64_t lo,
+                             std::uint64_t hi, unsigned core,
+                             unsigned *count) const
+{
+    if (node == 0)
+        return 1; // null leaves are black
+    std::uint64_t key = mem.readWord(node + offKey);
+    std::uint64_t color = mem.readWord(node + offColor);
+    janus_assert(mem.readWord(node + offParent) == parent,
+                 "rb core %u: bad parent link at %llx", core,
+                 static_cast<unsigned long long>(node));
+    janus_assert(key >= lo && key <= hi,
+                 "rb core %u: BST violation at key %llx", core,
+                 static_cast<unsigned long long>(key));
+    auto it = mirror_[core].find(key);
+    janus_assert(it != mirror_[core].end(),
+                 "rb core %u: unexpected key %llx", core,
+                 static_cast<unsigned long long>(key));
+    janus_assert(checkValue(mem, node + lineBytes, it->second),
+                 "rb core %u: key %llx wrong value", core,
+                 static_cast<unsigned long long>(key));
+    Addr left = mem.readWord(node + offLeft);
+    Addr right = mem.readWord(node + offRight);
+    if (color == 1) {
+        for (Addr child : {left, right})
+            janus_assert(child == 0 ||
+                             mem.readWord(child + offColor) == 0,
+                         "rb core %u: red-red violation", core);
+    }
+    ++*count;
+    unsigned bh_left =
+        checkSubtree(mem, left, node, lo, key ? key - 1 : 0, core,
+                     count);
+    unsigned bh_right =
+        checkSubtree(mem, right, node, key + 1, hi, core, count);
+    janus_assert(bh_left == bh_right,
+                 "rb core %u: black-height mismatch at %llx", core,
+                 static_cast<unsigned long long>(node));
+    return bh_left + (color == 0 ? 1 : 0);
+}
+
+void
+RbTreeWorkload::validate(const SparseMemory &mem, unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    Addr root = mem.readWord(cs.heap);
+    if (root != 0)
+        janus_assert(mem.readWord(root + offColor) == 0,
+                     "rb core %u: red root", core);
+    unsigned count = 0;
+    checkSubtree(mem, root, 0, 0, ~std::uint64_t(0), core, &count);
+    janus_assert(count == mirror_[core].size(),
+                 "rb core %u: %u nodes vs %zu expected", core, count,
+                 mirror_[core].size());
+}
+
+void
+RbTreeWorkload::validateRecovered(const SparseMemory &mem,
+                                  unsigned core) const
+{
+    // A recovered tree holds a committed prefix of the inserted
+    // keys; every red-black/BST invariant must still hold, and every
+    // present key must carry its (immutable) value.
+    const CoreState &cs = cores_.at(core);
+    Addr root = mem.readWord(cs.heap);
+    if (root != 0)
+        janus_assert(mem.readWord(root + offColor) == 0,
+                     "rb core %u: recovered red root", core);
+    unsigned count = 0;
+    checkSubtree(mem, root, 0, 0, ~std::uint64_t(0), core, &count);
+    janus_assert(count <= mirror_[core].size(),
+                 "rb core %u: recovered tree has extra nodes", core);
+}
+
+} // namespace janus

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * RB-Tree (Table 4): a real red-black tree (CLRS insert with
+ * recolorings and rotations) maintained crash-consistently. The
+ * structural writes happen inside the fixup loop through chased
+ * pointers, so neither the static compiler pass (Figure 11) nor
+ * address pre-execution (Figure 9) has much room — exactly the
+ * behaviour the paper reports for RB-Tree.
+ */
+
+#ifndef JANUS_WORKLOADS_RB_TREE_HH
+#define JANUS_WORKLOADS_RB_TREE_HH
+
+#include <map>
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class RbTreeWorkload : public Workload
+{
+  public:
+    explicit RbTreeWorkload(const WorkloadParams &params)
+        : Workload(params)
+    {}
+
+    std::string name() const override { return "rb_tree"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+  private:
+    /** Native invariant check; returns the subtree's black height. */
+    unsigned checkSubtree(const SparseMemory &mem, Addr node,
+                          Addr parent, std::uint64_t lo,
+                          std::uint64_t hi, unsigned core,
+                          unsigned *count) const;
+
+    /** key -> value seed, per core. */
+    std::vector<std::map<std::uint64_t, std::uint64_t>> mirror_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_RB_TREE_HH

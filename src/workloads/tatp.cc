@@ -1,0 +1,137 @@
+#include "workloads/tatp.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+void
+TatpWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    // tatp_update(ctx, sid, bits, src): UPDATE_SUBSCRIBER — set the
+    // subscriber's flag word and replace its profile payload.
+    b.beginFunction("tatp_update", 4);
+    int ctx_reg = b.arg(0);
+    int sid = b.arg(1);
+    int bits = b.arg(2);
+    int src = b.arg(3);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int size = b.load(ctx_reg, ctx::param1);
+    int row_bytes = b.load(ctx_reg, ctx::param2);
+    int row = b.add(heap, b.mul(sid, row_bytes));
+    int bits_addr = b.addI(row, 8);
+    int val = b.addI(row, lineBytes);
+    if (manual) {
+        // Direct-indexed row: everything is known at entry.
+        int pb = b.preInit();
+        b.preBothVal(pb, bits_addr, bits);
+        int pv = b.preInit();
+        b.preBothR(pv, val, src, size);
+    }
+    b.call("undo_append", {ctx_reg, row, row_bytes});
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+    b.store(row, bits, 8);
+    b.memCpyR(val, src, size);
+    b.clwbR(row, row_bytes);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+void
+TatpWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr row_bytes = lineBytes + params_.valueBytes;
+    CoreState &cs = allocCommon(core, system,
+                                subscribers_ * row_bytes, lineBytes,
+                                params_.valueBytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
+    mem.writeWord(cs.ctx + ctx::param2, row_bytes);
+
+    if (mirror_.size() <= core) {
+        mirror_.resize(core + 1);
+        history_.resize(core + 1);
+    }
+    mirror_[core].assign(subscribers_, Row{});
+    history_[core].assign(subscribers_, {});
+    for (unsigned s = 0; s < subscribers_; ++s) {
+        Addr row = cs.heap + s * row_bytes;
+        std::uint64_t seed =
+            (std::uint64_t(core + 1) << 40) | ++cs.uniqueCounter;
+        mem.writeWord(row + 0, s);     // s_id
+        mem.writeWord(row + 8, 0);     // bit/hex flags
+        writeValue(mem, row + lineBytes, seed);
+        mirror_[core][s] = Row{0, seed};
+        history_[core][s].push_back(Row{0, seed});
+    }
+}
+
+bool
+TatpWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
+                   std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    std::uint64_t sid = cs.rng.below(subscribers_);
+    std::uint64_t bits = cs.rng.next();
+    Addr src = stageValue(core, mem);
+    mirror_[core][sid] = Row{bits, lastValueSeed(core)};
+    history_[core][sid].push_back(Row{bits, lastValueSeed(core)});
+    fn = "tatp_update";
+    args = {cs.ctx, sid, bits, src};
+    return true;
+}
+
+void
+TatpWorkload::validateRecovered(const SparseMemory &mem,
+                                unsigned core) const
+{
+    // Each row must hold one of the (flags, payload) pairs it was
+    // ever assigned — flags and payload from the SAME update, since
+    // the transaction replaces them atomically.
+    const CoreState &cs = cores_.at(core);
+    const Addr row_bytes = lineBytes + params_.valueBytes;
+    for (unsigned s = 0; s < subscribers_; ++s) {
+        Addr row = cs.heap + s * row_bytes;
+        janus_assert(mem.readWord(row) == s,
+                     "tatp core %u: recovered row %u id", core, s);
+        std::uint64_t bits = mem.readWord(row + 8);
+        bool ok = false;
+        for (const Row &r : history_[core][s])
+            ok = ok || (r.bits == bits &&
+                        checkValue(mem, row + lineBytes, r.seed));
+        janus_assert(ok, "tatp core %u: recovered row %u torn", core,
+                     s);
+    }
+}
+
+void
+TatpWorkload::validate(const SparseMemory &mem, unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    const Addr row_bytes = lineBytes + params_.valueBytes;
+    for (unsigned s = 0; s < subscribers_; ++s) {
+        Addr row = cs.heap + s * row_bytes;
+        janus_assert(mem.readWord(row) == s,
+                     "tatp core %u: row %u id", core, s);
+        janus_assert(mem.readWord(row + 8) == mirror_[core][s].bits,
+                     "tatp core %u: row %u flags", core, s);
+        janus_assert(checkValue(mem, row + lineBytes,
+                                mirror_[core][s].seed),
+                     "tatp core %u: row %u payload", core, s);
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * TATP (Table 4): the UPDATE_SUBSCRIBER transaction of the telecom
+ * benchmark [64] — update flag and value fields of a random
+ * subscriber row. The row address is a direct index computation, so
+ * both pre-execution inputs are available at transaction entry; TATP
+ * is among the biggest winners in the paper's Figure 9.
+ */
+
+#ifndef JANUS_WORKLOADS_TATP_HH
+#define JANUS_WORKLOADS_TATP_HH
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class TatpWorkload : public Workload
+{
+  public:
+    explicit TatpWorkload(const WorkloadParams &params,
+                          unsigned subscribers = 4096)
+        : Workload(params), subscribers_(subscribers)
+    {}
+
+    std::string name() const override { return "tatp"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+  private:
+    unsigned subscribers_;
+    struct Row
+    {
+        std::uint64_t bits = 0;
+        std::uint64_t seed = 0;
+    };
+    std::vector<std::vector<Row>> mirror_;
+    /** Every (bits, seed) pair each row ever held, per core. */
+    std::vector<std::vector<std::vector<Row>>> history_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_TATP_HH

@@ -1,0 +1,163 @@
+#include "workloads/tpcc.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+void
+TpccWorkload::buildKernels(Module &module, bool manual) const
+{
+    IrBuilder b(module);
+    // tpcc_neworder(ctx, cust, src): append the order header and
+    // orderLines payload lines, then durably bump next_o_id.
+    b.beginFunction("tpcc_neworder", 3);
+    int ctx_reg = b.arg(0);
+    int cust = b.arg(1);
+    int src = b.arg(2);
+    b.txBegin();
+    int heap = b.load(ctx_reg, ctx::heap);
+    int ol_bytes = b.load(ctx_reg, ctx::param2); // orderLines * S
+    int order_bytes = b.addI(ol_bytes, lineBytes);
+    int scr = b.load(ctx_reg, ctx::scratch);
+
+    // district line is heap[0]; orders follow.
+    int oid = b.load(heap, 0);
+    int order = b.add(b.addI(heap, lineBytes),
+                      b.mul(oid, order_bytes));
+    int new_oid = b.addI(oid, 1);
+
+    // Assemble the order header in scratch (volatile), then publish
+    // with a copy — data is complete before the copy.
+    b.store(scr, oid, 0);
+    b.store(scr, cust, 8);
+    b.store(scr, b.constI(orderLines), 16);
+
+    if (manual) {
+        int ph = b.preInit();
+        b.preBoth(ph, order, scr, lineBytes);
+        int pl = b.preInit();
+        b.preBothR(pl, b.addI(order, lineBytes), src, ol_bytes);
+        int pd = b.preInit();
+        b.preBothVal(pd, heap, new_oid);
+    }
+    b.call("undo_append", {ctx_reg, heap, b.constI(8)});
+    if (manual) {
+        emitCommitPre(b, ctx_reg);
+    }
+    b.sfence(); // backup step complete
+
+    b.memCpy(order, scr, lineBytes);
+    b.memCpyR(b.addI(order, lineBytes), src, ol_bytes);
+    b.clwbR(order, order_bytes);
+    // The order block precedes the district bump in the write queue,
+    // so one fence commits the append atomically with the bump's
+    // undo protection.
+    b.store(heap, new_oid, 0);
+    b.clwb(heap, 8);
+    b.sfence();
+    b.call("tx_finish", {ctx_reg});
+    b.txEnd();
+    b.ret();
+    b.endFunction();
+}
+
+void
+TpccWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr order_bytes =
+        lineBytes + orderLines * params_.valueBytes;
+    CoreState &cs = allocCommon(
+        core, system,
+        lineBytes + (params_.txnsPerCore + 2) * order_bytes,
+        lineBytes, orderLines * params_.valueBytes);
+    SparseMemory &mem = system.mem();
+    mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
+    mem.writeWord(cs.ctx + ctx::param2,
+                  orderLines * params_.valueBytes);
+    mem.writeWord(cs.heap, 0); // next_o_id
+    if (mirror_.size() <= core)
+        mirror_.resize(core + 1);
+    mirror_[core].clear();
+}
+
+bool
+TpccWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
+                   std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    std::uint64_t cust = cs.rng.below(3000);
+    Addr src = stageValues(core, mem, orderLines);
+    mirror_[core].push_back(Order{cust, lastValueSeeds()});
+    fn = "tpcc_neworder";
+    args = {cs.ctx, cust, src};
+    return true;
+}
+
+void
+TpccWorkload::validateRecovered(const SparseMemory &mem,
+                                unsigned core) const
+{
+    // next_o_id = k must expose exactly the first k orders with the
+    // contents they were created with.
+    const CoreState &cs = cores_.at(core);
+    const Addr order_bytes =
+        lineBytes + orderLines * params_.valueBytes;
+    std::uint64_t k = mem.readWord(cs.heap);
+    janus_assert(k <= mirror_[core].size(),
+                 "tpcc core %u: recovered next_o_id too large", core);
+    for (std::uint64_t o = 0; o < k; ++o) {
+        Addr block = cs.heap + lineBytes + o * order_bytes;
+        janus_assert(mem.readWord(block) == o &&
+                         mem.readWord(block + 8) ==
+                             mirror_[core][o].customer &&
+                         mem.readWord(block + 16) == orderLines,
+                     "tpcc core %u: recovered order %llu header torn",
+                     core, static_cast<unsigned long long>(o));
+        for (unsigned l = 0; l < orderLines; ++l)
+            janus_assert(
+                checkValue(mem,
+                           block + lineBytes +
+                               l * params_.valueBytes,
+                           mirror_[core][o].lineSeeds[l]),
+                "tpcc core %u: recovered order %llu line %u torn",
+                core, static_cast<unsigned long long>(o), l);
+    }
+}
+
+void
+TpccWorkload::validate(const SparseMemory &mem, unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    const Addr order_bytes =
+        lineBytes + orderLines * params_.valueBytes;
+    const auto &orders = mirror_[core];
+    janus_assert(mem.readWord(cs.heap) == orders.size(),
+                 "tpcc core %u: next_o_id %llu vs %zu", core,
+                 static_cast<unsigned long long>(
+                     mem.readWord(cs.heap)),
+                 orders.size());
+    for (std::size_t o = 0; o < orders.size(); ++o) {
+        Addr block = cs.heap + lineBytes + o * order_bytes;
+        janus_assert(mem.readWord(block) == o,
+                     "tpcc core %u: order %zu id", core, o);
+        janus_assert(mem.readWord(block + 8) == orders[o].customer,
+                     "tpcc core %u: order %zu customer", core, o);
+        janus_assert(mem.readWord(block + 16) == orderLines,
+                     "tpcc core %u: order %zu ol count", core, o);
+        for (unsigned l = 0; l < orderLines; ++l)
+            janus_assert(
+                checkValue(mem,
+                           block + lineBytes +
+                               l * params_.valueBytes,
+                           orders[o].lineSeeds[l]),
+                "tpcc core %u: order %zu line %u", core, o, l);
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * TPC-C New-Order (Table 4): append an order record with four order
+ * lines and durably advance the district's next-order id [92]. The
+ * order id comes from one load at entry, so addresses and data are
+ * known early and the transaction writes a sizable payload — the
+ * profile behind TPCC's strong Janus gains in the paper's Figure 9.
+ */
+
+#ifndef JANUS_WORKLOADS_TPCC_HH
+#define JANUS_WORKLOADS_TPCC_HH
+
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class TpccWorkload : public Workload
+{
+  public:
+    explicit TpccWorkload(const WorkloadParams &params)
+        : Workload(params)
+    {}
+
+    std::string name() const override { return "tpcc"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+    static constexpr unsigned orderLines = 4;
+
+  private:
+    struct Order
+    {
+        std::uint64_t customer;
+        std::vector<std::uint64_t> lineSeeds;
+    };
+    std::vector<std::vector<Order>> mirror_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_TPCC_HH

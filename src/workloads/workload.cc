@@ -1,0 +1,134 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+TxnSource
+Workload::source(unsigned core, NvmSystem &system)
+{
+    SparseMemory *mem = &system.mem();
+    return [this, core, mem](std::string &fn,
+                             std::vector<std::uint64_t> &args) {
+        return next(core, *mem, fn, args);
+    };
+}
+
+Workload::CoreState &
+Workload::allocCommon(unsigned core, NvmSystem &system, Addr heap_bytes,
+                      Addr scratch_bytes, Addr pool_bytes,
+                      Addr log_bytes)
+{
+    if (cores_.size() <= core)
+        cores_.resize(core + 1);
+    CoreState &cs = cores_[core];
+    RegionAllocator &alloc = system.allocator();
+    SparseMemory &mem = system.mem();
+
+    if (log_bytes == 0)
+        log_bytes = logRegionBytes;
+    janus_assert(log_bytes >= logRegionBytes,
+                 "log region smaller than the lane layout");
+    cs.ctx = alloc.alloc(ctx::size);
+    cs.log = alloc.alloc(log_bytes);
+    cs.heap = alloc.alloc(heap_bytes);
+    cs.scratch = alloc.alloc(scratch_bytes ? scratch_bytes : lineBytes);
+    cs.pool = alloc.alloc(pool_bytes ? pool_bytes : lineBytes);
+    cs.rng = Rng(params_.seed * 7919 + core * 104729 + 13);
+    cs.txnsLeft = params_.txnsPerCore;
+    cs.uniqueCounter = 0;
+    cs.history.clear();
+
+    mem.writeWord(cs.ctx + ctx::logBase, cs.log);
+    mem.writeWord(cs.ctx + ctx::heap, cs.heap);
+    mem.writeWord(cs.ctx + ctx::scratch, cs.scratch);
+    mem.writeWord(cs.ctx + ctx::pool, cs.pool);
+    mem.writeWord(cs.log, 0); // empty log
+
+    // Short measurement runs start with warm tags (see warmRegion).
+    warmRegion(system, core, cs.ctx, ctx::size);
+    warmRegion(system, core, cs.log, log_bytes);
+    warmRegion(system, core, cs.heap, heap_bytes);
+    warmRegion(system, core, cs.scratch,
+               scratch_bytes ? scratch_bytes : lineBytes);
+    warmRegion(system, core, cs.pool,
+               pool_bytes ? pool_bytes : lineBytes);
+    return cs;
+}
+
+void
+Workload::writeValue(SparseMemory &mem, Addr addr,
+                     std::uint64_t seed) const
+{
+    janus_assert(lineOffset(addr) == 0, "values are line-aligned");
+    for (Addr off = 0; off < params_.valueBytes; off += lineBytes)
+        mem.writeLine(addr + off,
+                      CacheLine::fromSeed(seed * 1000003 + off));
+}
+
+bool
+Workload::checkValue(const SparseMemory &mem, Addr addr,
+                     std::uint64_t seed) const
+{
+    for (Addr off = 0; off < params_.valueBytes; off += lineBytes) {
+        if (!(mem.readLine(addr + off) ==
+              CacheLine::fromSeed(seed * 1000003 + off)))
+            return false;
+    }
+    return true;
+}
+
+void
+Workload::warmRegion(NvmSystem &system, unsigned core, Addr base,
+                     Addr bytes) const
+{
+    SetAssocCache &l2 = system.core(core).l2();
+    // Warming more than half the L2 is self-defeating (a region
+    // larger than the cache cannot be resident anyway).
+    Addr limit = std::min<Addr>(
+        bytes, system.config().core.l2Bytes / 2);
+    for (Addr line = lineAlign(base); line < base + limit;
+         line += lineBytes)
+        l2.access(line, false);
+}
+
+std::uint64_t
+Workload::nextSeed(unsigned core)
+{
+    CoreState &cs = cores_.at(core);
+    std::uint64_t seed;
+    if (!cs.history.empty() && cs.rng.chance(params_.dupRatio)) {
+        seed = cs.history[cs.rng.below(cs.history.size())];
+    } else {
+        seed = (std::uint64_t(core + 1) << 40) | ++cs.uniqueCounter;
+    }
+    cs.history.push_back(seed);
+    if (cs.history.size() > 64)
+        cs.history.erase(cs.history.begin());
+    return seed;
+}
+
+Addr
+Workload::stageValues(unsigned core, SparseMemory &mem, unsigned count)
+{
+    CoreState &cs = cores_.at(core);
+    lastSeeds_.clear();
+    for (unsigned i = 0; i < count; ++i) {
+        std::uint64_t seed = nextSeed(core);
+        writeValue(mem, cs.pool + i * params_.valueBytes, seed);
+        lastSeeds_.push_back(seed);
+    }
+    return cs.pool;
+}
+
+Addr
+Workload::stageValue(unsigned core, SparseMemory &mem)
+{
+    CoreState &cs = cores_.at(core);
+    writeValue(mem, cs.pool, nextSeed(core));
+    return cs.pool;
+}
+
+} // namespace janus

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Workload framework: the seven crash-consistent NVM applications of
+ * the paper's Table 4, each consisting of (a) PmIR transaction
+ * kernels in uninstrumented and manually-instrumented flavors, (b) a
+ * native driver that prepares per-core state and per-transaction
+ * arguments, and (c) a native validator that checks the data
+ * structure's invariants after a run.
+ */
+
+#ifndef JANUS_WORKLOADS_WORKLOAD_HH
+#define JANUS_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "harness/system.hh"
+#include "ir/ir.hh"
+
+namespace janus
+{
+
+/** Workload knobs shared by all seven applications. */
+struct WorkloadParams
+{
+    /** Per-transaction update payload (Figure 13 sweeps this). */
+    std::uint64_t valueBytes = 64;
+    /** Probability that a staged value repeats an earlier one. */
+    double dupRatio = 0.5;
+    /** Transactions each core executes. */
+    unsigned txnsPerCore = 200;
+    std::uint64_t seed = 1;
+};
+
+/** Base class for the seven applications. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : params_(params) {}
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Emit this workload's kernels (the txn library is added by the
+     *  harness). @p manual selects hand-placed PRE_* calls. */
+    virtual void buildKernels(Module &module, bool manual) const = 0;
+
+    /** Allocate and initialize this core's structures. */
+    virtual void setupCore(unsigned core, NvmSystem &system) = 0;
+
+    /**
+     * Produce the next transaction for a core.
+     * @return false when the core's quota is exhausted.
+     */
+    virtual bool next(unsigned core, SparseMemory &mem,
+                      std::string &fn,
+                      std::vector<std::uint64_t> &args) = 0;
+
+    /** Panics if the core's structure violates its invariants. */
+    virtual void validate(const SparseMemory &mem,
+                          unsigned core) const = 0;
+
+    /**
+     * Panics unless the (crash-recovered) image is a state this
+     * workload could legally expose at *some* transaction boundary:
+     * structural invariants hold and every value is one this slot
+     * legitimately held at some point. Called by the crash tests
+     * after undo-log rollback.
+     */
+    virtual void validateRecovered(const SparseMemory &mem,
+                                   unsigned core) const = 0;
+
+    /** Convenience: a TxnSource bound to one core. */
+    TxnSource source(unsigned core, NvmSystem &system);
+
+    /** This core's undo-log region (crash tests parse it). */
+    Addr logBase(unsigned core) const { return cores_.at(core).log; }
+    /** This core's context block. */
+    Addr ctxAddr(unsigned core) const { return cores_.at(core).ctx; }
+
+    const WorkloadParams &params() const { return params_; }
+
+  protected:
+    /** Per-core plumbing common to every workload. */
+    struct CoreState
+    {
+        Addr ctx = 0;
+        Addr log = 0;
+        Addr heap = 0;
+        Addr scratch = 0;
+        Addr pool = 0;
+        Rng rng{1};
+        unsigned txnsLeft = 0;
+        /** Recently staged value seeds (duplication source). */
+        std::vector<std::uint64_t> history;
+        std::uint64_t uniqueCounter = 0;
+    };
+
+    /**
+     * Allocate log/heap/scratch/pool regions plus the context block
+     * and fill the context fields. Returns the new core state.
+     */
+    CoreState &allocCommon(unsigned core, NvmSystem &system,
+                           Addr heap_bytes, Addr scratch_bytes,
+                           Addr pool_bytes, Addr log_bytes = 0);
+
+    /**
+     * Stage the next value payload (valueBytes) into the core's
+     * pool slot, honoring the configured duplicate ratio.
+     * @return the pool slot address.
+     */
+    Addr stageValue(unsigned core, SparseMemory &mem);
+
+    /** The seed most recently used by stageValue. */
+    std::uint64_t lastValueSeed(unsigned core) const
+    {
+        return cores_.at(core).history.back();
+    }
+
+    /**
+     * Stage @p count consecutive value payloads into the pool slot
+     * (the pool region must be sized accordingly).
+     * @return the pool base; seeds are in lastValueSeeds().
+     */
+    Addr stageValues(unsigned core, SparseMemory &mem, unsigned count);
+
+    /** Seeds staged by the last stageValues() call. */
+    const std::vector<std::uint64_t> &lastValueSeeds() const
+    {
+        return lastSeeds_;
+    }
+
+    /** Draw the next value seed (honors the duplicate ratio). */
+    std::uint64_t nextSeed(unsigned core);
+
+    /**
+     * Pre-warm a core's L2 tags over a region, so short measurement
+     * runs see the steady-state locality a long-running service
+     * would (the paper's multi-million-instruction runs are warm).
+     */
+    void warmRegion(NvmSystem &system, unsigned core, Addr base,
+                    Addr bytes) const;
+
+    /** Write valueBytes derived from a seed at an address. */
+    void writeValue(SparseMemory &mem, Addr addr,
+                    std::uint64_t seed) const;
+
+    /** Check valueBytes at an address against a seed. */
+    bool checkValue(const SparseMemory &mem, Addr addr,
+                    std::uint64_t seed) const;
+
+    WorkloadParams params_;
+    std::vector<CoreState> cores_;
+    std::vector<std::uint64_t> lastSeeds_;
+};
+
+/** Factory: build one of the seven workloads by Table 4 name
+ *  ("array_swap", "queue", "hash_table", "rb_tree", "b_tree",
+ *  "tatp", "tpcc"). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/** All Table 4 workload names, in the paper's order. */
+const std::vector<std::string> &allWorkloadNames();
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end tests of the functional BMO backend: encryption
+ * round-trips, dedup reference counting, MAC/Merkle integrity and
+ * tamper detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/backend_state.hh"
+#include "common/random.hh"
+
+namespace janus
+{
+namespace
+{
+
+class BackendStateTest : public ::testing::Test
+{
+  protected:
+    BmoConfig config_;
+};
+
+TEST_F(BackendStateTest, ReadBackEqualsWritten)
+{
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(123);
+    state.writeLine(0x1000, line);
+    ReadOutcome out = state.readLine(0x1000);
+    EXPECT_TRUE(out.data == line);
+    EXPECT_TRUE(out.macOk);
+    EXPECT_TRUE(out.treeOk);
+}
+
+TEST_F(BackendStateTest, UnwrittenLineReadsZero)
+{
+    BmoBackendState state(config_);
+    ReadOutcome out = state.readLine(0x2000);
+    EXPECT_TRUE(out.data == CacheLine());
+    EXPECT_TRUE(out.macOk);
+}
+
+TEST_F(BackendStateTest, CiphertextDiffersFromPlaintext)
+{
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(5);
+    WriteOutcome w = state.writeLine(0x40, line);
+    // Unique first write gets counter 1 on a fresh physical line.
+    EXPECT_FALSE(w.duplicate);
+    EXPECT_TRUE(w.newPhysLine);
+    EXPECT_EQ(w.counter, 1u);
+}
+
+TEST_F(BackendStateTest, OverwriteBumpsCounter)
+{
+    BmoBackendState state(config_);
+    state.writeLine(0x40, CacheLine::fromSeed(1));
+    WriteOutcome w = state.writeLine(0x40, CacheLine::fromSeed(2));
+    EXPECT_FALSE(w.duplicate);
+    EXPECT_FALSE(w.newPhysLine); // reused in place
+    EXPECT_EQ(w.counter, 2u);
+    EXPECT_TRUE(state.readLine(0x40).data == CacheLine::fromSeed(2));
+}
+
+TEST_F(BackendStateTest, DuplicateDetected)
+{
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(9);
+    WriteOutcome w1 = state.writeLine(0x000, line);
+    WriteOutcome w2 = state.writeLine(0x100, line);
+    EXPECT_FALSE(w1.duplicate);
+    EXPECT_TRUE(w2.duplicate);
+    EXPECT_EQ(w2.phys, w1.phys);
+    EXPECT_TRUE(state.readLine(0x100).data == line);
+    EXPECT_EQ(state.dupWrites(), 1u);
+    EXPECT_EQ(state.physLinesLive(), 1u);
+}
+
+TEST_F(BackendStateTest, SameValueRewriteIsDuplicate)
+{
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(9);
+    state.writeLine(0x000, line);
+    WriteOutcome w = state.writeLine(0x000, line);
+    EXPECT_TRUE(w.duplicate);
+    EXPECT_TRUE(state.readLine(0x000).data == line);
+}
+
+TEST_F(BackendStateTest, DupSourceOverwritePreservesSharers)
+{
+    // A overwritten while B still references the shared physical
+    // line: B must keep reading the old value.
+    BmoBackendState state(config_);
+    CacheLine shared = CacheLine::fromSeed(10);
+    state.writeLine(0x000, shared); // A owns phys P
+    state.writeLine(0x100, shared); // B dups onto P
+    state.writeLine(0x000, CacheLine::fromSeed(11)); // overwrite A
+    EXPECT_TRUE(state.readLine(0x100).data == shared);
+    EXPECT_TRUE(state.readLine(0x000).data == CacheLine::fromSeed(11));
+    EXPECT_TRUE(state.readLine(0x100).macOk);
+    EXPECT_TRUE(state.readLine(0x100).treeOk);
+}
+
+TEST_F(BackendStateTest, RefcountFreesPhysLine)
+{
+    BmoBackendState state(config_);
+    CacheLine shared = CacheLine::fromSeed(20);
+    state.writeLine(0x000, shared);
+    state.writeLine(0x100, shared);
+    EXPECT_EQ(state.physLinesLive(), 1u);
+    state.writeLine(0x000, CacheLine::fromSeed(21));
+    state.writeLine(0x100, CacheLine::fromSeed(22));
+    // The shared line has no more referents and must be freed.
+    EXPECT_EQ(state.physLinesLive(), 2u);
+}
+
+TEST_F(BackendStateTest, DupRatioStat)
+{
+    BmoBackendState state(config_);
+    CacheLine v = CacheLine::fromSeed(1);
+    state.writeLine(0x000, v);
+    state.writeLine(0x100, v);
+    state.writeLine(0x200, v);
+    state.writeLine(0x300, CacheLine::fromSeed(2));
+    EXPECT_DOUBLE_EQ(state.dupRatio(), 0.5);
+}
+
+TEST_F(BackendStateTest, MerkleAuditPassesAfterManyWrites)
+{
+    BmoBackendState state(config_);
+    for (int i = 0; i < 100; ++i)
+        state.writeLine(static_cast<Addr>(i % 32) * lineBytes,
+                        CacheLine::fromSeed(i % 7));
+    EXPECT_TRUE(state.auditIntegrity());
+}
+
+TEST_F(BackendStateTest, TamperDetectedByMac)
+{
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(3);
+    state.writeLine(0x40, line);
+    state.corruptStoredLine(0x40);
+    ReadOutcome out = state.readLine(0x40);
+    EXPECT_FALSE(out.macOk);
+    EXPECT_FALSE(out.data == line);
+}
+
+TEST_F(BackendStateTest, MetaEntryReflectsState)
+{
+    BmoBackendState state(config_);
+    CacheLine v = CacheLine::fromSeed(8);
+    state.writeLine(0x000, v);
+    state.writeLine(0x100, v);
+    MetaEntry owner = state.metaEntry(0x000);
+    MetaEntry dup = state.metaEntry(0x100);
+    EXPECT_TRUE(owner.valid);
+    EXPECT_FALSE(owner.dup);
+    EXPECT_TRUE(dup.dup);
+    EXPECT_EQ(dup.phys, owner.phys);
+    EXPECT_FALSE(state.metaEntry(0x999940).valid);
+}
+
+TEST_F(BackendStateTest, NoEncryptionStoresPlaintext)
+{
+    config_.encryption = false;
+    BmoBackendState state(config_);
+    CacheLine line = CacheLine::fromSeed(4);
+    state.writeLine(0x80, line);
+    EXPECT_TRUE(state.readLine(0x80).data == line);
+}
+
+TEST_F(BackendStateTest, NoDedupEveryWriteUnique)
+{
+    config_.deduplication = false;
+    BmoBackendState state(config_);
+    CacheLine v = CacheLine::fromSeed(6);
+    state.writeLine(0x000, v);
+    WriteOutcome w = state.writeLine(0x100, v);
+    EXPECT_FALSE(w.duplicate);
+    EXPECT_EQ(state.physLinesLive(), 2u);
+}
+
+TEST_F(BackendStateTest, Crc32FingerprintWorks)
+{
+    config_.dedupHash = DedupHash::Crc32;
+    BmoBackendState state(config_);
+    CacheLine v = CacheLine::fromSeed(12);
+    state.writeLine(0x000, v);
+    WriteOutcome w = state.writeLine(0x100, v);
+    EXPECT_TRUE(w.duplicate);
+    EXPECT_TRUE(state.readLine(0x100).data == v);
+}
+
+TEST_F(BackendStateTest, ManyLinesRoundTripUnderDedupChurn)
+{
+    BmoBackendState state(config_);
+    Rng rng(31);
+    std::vector<CacheLine> truth(64);
+    for (int round = 0; round < 6; ++round) {
+        for (unsigned i = 0; i < truth.size(); ++i) {
+            // Small value pool forces heavy duplication.
+            truth[i] = CacheLine::fromSeed(rng.below(8));
+            state.writeLine(static_cast<Addr>(i) * lineBytes, truth[i]);
+        }
+    }
+    for (unsigned i = 0; i < truth.size(); ++i) {
+        ReadOutcome out =
+            state.readLine(static_cast<Addr>(i) * lineBytes);
+        EXPECT_TRUE(out.data == truth[i]) << "line " << i;
+        EXPECT_TRUE(out.macOk);
+        EXPECT_TRUE(out.treeOk);
+    }
+    EXPECT_TRUE(state.auditIntegrity());
+}
+
+} // namespace
+} // namespace janus

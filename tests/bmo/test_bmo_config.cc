@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests that the standard three-BMO graph matches the paper's
+ * Figure 6: structure, external-dependency categorization and the
+ * headline latencies (~800 ns serialized, 40/321/360 ns components).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/bmo_config.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(StandardGraph, NodeCountWithAllBmos)
+{
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    // E1-E4, D1-D4, I1-I9.
+    EXPECT_EQ(g.size(), 4u + 4u + 9u);
+}
+
+TEST(StandardGraph, PaperCategorization)
+{
+    // Paper Section 4.2: "E1-E2 are address-dependent, D1-D2 are
+    // data-dependent, and the rest are both".
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.required(g.idOf("E1")), ExternalInput::Addr);
+    EXPECT_EQ(g.required(g.idOf("E2")), ExternalInput::Addr);
+    EXPECT_EQ(g.required(g.idOf("D1")), ExternalInput::Data);
+    EXPECT_EQ(g.required(g.idOf("D2")), ExternalInput::Data);
+    for (const char *name : {"E3", "E4", "D3", "D4", "I1", "I5", "I9"})
+        EXPECT_EQ(g.required(g.idOf(name)), ExternalInput::Both)
+            << name;
+}
+
+TEST(StandardGraph, SerializedLatencyAround800ns)
+{
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    Tick total = g.serializedLatency();
+    // 2+40+1+40 (E) + 321+10+5+40 (D) + 9*40 (I) = 819 ns.
+    EXPECT_EQ(total, 819 * ticks::ns);
+    // Paper Figure 1: BMOs push critical latency >10x the ~15 ns
+    // writeback.
+    EXPECT_GT(total, 10 * 15 * ticks::ns);
+}
+
+TEST(StandardGraph, CriticalPathThroughDedupAndTree)
+{
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    // D1 -> D2 -> I1..I9: 321 + 10 + 360 = 691 ns.
+    EXPECT_EQ(g.criticalPath(), 691 * ticks::ns);
+}
+
+TEST(StandardGraph, CrcConfigurationShortensD1)
+{
+    BmoConfig config;
+    config.dedupHash = DedupHash::Crc32;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.subOp(g.idOf("D1")).latency, config.crc32Latency);
+}
+
+TEST(StandardGraph, MerkleHeightConfigurable)
+{
+    BmoConfig config;
+    config.merkleLevels = 3;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), 4u + 4u + 3u);
+    EXPECT_EQ(g.required(g.idOf("I3")), ExternalInput::Both);
+}
+
+TEST(StandardGraph, EncryptionOnly)
+{
+    BmoConfig config;
+    config.deduplication = false;
+    config.integrity = false;
+    BmoGraph g = buildStandardGraph(config);
+    // Without integrity there is no MAC step E4.
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.required(g.idOf("E3")), ExternalInput::Both);
+}
+
+TEST(StandardGraph, DedupOnly)
+{
+    BmoConfig config;
+    config.encryption = false;
+    config.integrity = false;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), 4u);
+    // Without co-located counters D3 still needs the address.
+    EXPECT_EQ(g.required(g.idOf("D3")), ExternalInput::Both);
+}
+
+TEST(StandardGraph, IntegrityOnlyLeafIsDataDependent)
+{
+    BmoConfig config;
+    config.encryption = false;
+    config.deduplication = false;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), config.merkleLevels);
+    EXPECT_EQ(g.required(g.idOf("I1")), ExternalInput::Data);
+}
+
+TEST(StandardGraph, CompressionExtension)
+{
+    BmoConfig config;
+    config.compression = true;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), 1u + 4u + 4u + 9u);
+    EXPECT_EQ(g.required(g.idOf("C1")), ExternalInput::Data);
+    // E3 waits on C1 (compress before encrypting).
+    const auto &preds = g.preds(g.idOf("E3"));
+    bool found = false;
+    for (SubOpId p : preds)
+        found |= g.subOp(p).name == "C1";
+    EXPECT_TRUE(found);
+}
+
+TEST(StandardGraph, WearLevelingExtension)
+{
+    BmoConfig config;
+    config.wearLeveling = true;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), 1u + 4u + 4u + 9u);
+    // W1 needs only the address and blocks nothing else: it is
+    // pre-executable with PRE_ADDR alone and adds ~nothing to the
+    // critical path.
+    EXPECT_EQ(g.required(g.idOf("W1")), ExternalInput::Addr);
+    EXPECT_TRUE(g.preds(g.idOf("W1")).empty());
+    EXPECT_EQ(g.criticalPath(), 691 * ticks::ns);
+}
+
+TEST(StandardGraph, FullFiveBmoSystem)
+{
+    BmoConfig config;
+    config.compression = true;
+    config.wearLeveling = true;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_EQ(g.size(), 2u + 4u + 4u + 9u);
+    EXPECT_EQ(g.serializedLatency(),
+              (819 + 20 + 1) * ticks::ns);
+}
+
+TEST(StandardGraph, ParallelizationWinsOverSerialization)
+{
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    EXPECT_LT(g.criticalPath(), g.serializedLatency());
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the BMO unit-pool scheduler: serialized vs
+ * parallel ordering, partial (pre-)execution by available inputs,
+ * unit contention and latency overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/bmo_config.hh"
+#include "bmo/bmo_engine.hh"
+
+namespace janus
+{
+namespace
+{
+
+/** diamond: a(10) -> b(20), c(30); b,c -> d(5); c needs data. */
+BmoGraph
+diamond()
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 10,
+                           ExternalInput::Addr);
+    SubOpId b = g.addSubOp("b", BmoKind::Other, 20);
+    SubOpId c = g.addSubOp("c", BmoKind::Other, 30,
+                           ExternalInput::Data);
+    SubOpId d = g.addSubOp("d", BmoKind::Other, 5);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.finalize();
+    return g;
+}
+
+TEST(BmoEngine, SerializedSumsLatencies)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    Tick done = engine.execute(st, ExternalInput::Both, 100,
+                               BmoExecMode::Serialized);
+    EXPECT_EQ(done, 100 + 10 + 20 + 30 + 5);
+    EXPECT_TRUE(st.allDone());
+}
+
+TEST(BmoEngine, ParallelFollowsCriticalPath)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    Tick done = engine.execute(st, ExternalInput::Both, 100,
+                               BmoExecMode::Parallel);
+    EXPECT_EQ(done, 100 + 10 + 30 + 5); // a -> c -> d
+}
+
+TEST(BmoEngine, PartialExecutionAddrOnly)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    Tick done = engine.execute(st, ExternalInput::Addr, 0,
+                               BmoExecMode::Parallel);
+    // Only a (addr) and b (addr-transitive) may run.
+    EXPECT_TRUE(st.done(g.idOf("a")));
+    EXPECT_TRUE(st.done(g.idOf("b")));
+    EXPECT_FALSE(st.done(g.idOf("c")));
+    EXPECT_FALSE(st.done(g.idOf("d")));
+    EXPECT_EQ(done, 30u); // a then b
+}
+
+TEST(BmoEngine, ResumeAfterPreExecution)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    engine.execute(st, ExternalInput::Addr, 0, BmoExecMode::Parallel);
+    // The write arrives at t=1000 with data; only c and d remain.
+    Tick done = engine.execute(st, ExternalInput::Both, 1000,
+                               BmoExecMode::Parallel);
+    EXPECT_EQ(done, 1000 + 30 + 5);
+    EXPECT_TRUE(st.allDone());
+}
+
+TEST(BmoEngine, PreExecutionResultsRespectedInFinishTimes)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    engine.execute(st, ExternalInput::Addr, 0, BmoExecMode::Parallel);
+    EXPECT_EQ(st.finish(g.idOf("b")), 30u);
+    engine.execute(st, ExternalInput::Both, 10, BmoExecMode::Parallel);
+    // c starts at max(ready=10, a.finish=10) = 10.
+    EXPECT_EQ(st.finish(g.idOf("c")), 40u);
+    // d waits for both b (30) and c (40).
+    EXPECT_EQ(st.finish(g.idOf("d")), 45u);
+}
+
+TEST(BmoEngine, OnePipelineStillOverlapsWithinRequest)
+{
+    // A unit is a whole BMO pipeline (Figure 7d): even with a single
+    // unit, one request's independent sub-ops overlap.
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 1);
+    BmoExecState st(g);
+    Tick done = engine.execute(st, ExternalInput::Both, 0,
+                               BmoExecMode::Parallel);
+    EXPECT_EQ(done, 10 + 30 + 5);
+}
+
+TEST(BmoEngine, TwoUnitsOverlapIndependentOps)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 2);
+    BmoExecState st(g);
+    Tick done = engine.execute(st, ExternalInput::Both, 0,
+                               BmoExecMode::Parallel);
+    // b and c overlap after a: 10 + max(20,30) + 5.
+    EXPECT_EQ(done, 45u);
+}
+
+TEST(BmoEngine, UnitsContendAcrossRequests)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 1);
+    BmoExecState st1(g), st2(g);
+    Tick d1 = engine.execute(st1, ExternalInput::Both, 0,
+                             BmoExecMode::Parallel);
+    Tick d2 = engine.execute(st2, ExternalInput::Both, 0,
+                             BmoExecMode::Parallel);
+    EXPECT_EQ(d1, 45u);
+    EXPECT_EQ(d2, 90u); // queued behind request 1 on the only unit
+}
+
+TEST(BmoEngine, TwoPipelinesServeTwoRequestsConcurrently)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 2);
+    BmoExecState st1(g), st2(g);
+    Tick d1 = engine.execute(st1, ExternalInput::Both, 0,
+                             BmoExecMode::Parallel);
+    Tick d2 = engine.execute(st2, ExternalInput::Both, 0,
+                             BmoExecMode::Parallel);
+    EXPECT_EQ(d1, 45u);
+    EXPECT_EQ(d2, 45u);
+}
+
+TEST(BmoEngine, BackfillUsesGapsLeftByFutureReservations)
+{
+    // Request 1 reserves [100, 145) (its ready time is in the
+    // future); request 2 arriving at 0 with a short job fits before
+    // it on the same unit.
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 1);
+    BmoExecState st1(g), st2(g);
+    Tick d1 = engine.execute(st1, ExternalInput::Both, 100,
+                             BmoExecMode::Parallel);
+    EXPECT_EQ(d1, 145u);
+    Tick d2 = engine.execute(st2, ExternalInput::Addr, 0,
+                             BmoExecMode::Parallel);
+    EXPECT_EQ(d2, 30u); // a(10)+b(20) fit in the gap before t=100
+}
+
+TEST(BmoEngine, LatencyOverrideApplies)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    std::vector<Tick> override_lat(g.size(), maxTick);
+    override_lat[g.idOf("a")] = 100;
+    Tick done = engine.execute(st, ExternalInput::Both, 0,
+                               BmoExecMode::Parallel, &override_lat);
+    EXPECT_EQ(done, 100 + 30 + 5);
+}
+
+TEST(BmoEngine, StatsTrackWork)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 2);
+    BmoExecState st(g);
+    engine.execute(st, ExternalInput::Both, 0, BmoExecMode::Parallel);
+    EXPECT_EQ(engine.subOpsExecuted(), 4u);
+    // busyTicks counts pipeline occupancy: the request's makespan.
+    EXPECT_EQ(engine.busyTicks(), 45u);
+}
+
+TEST(BmoEngine, InvalidationForcesReexecution)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    engine.execute(st, ExternalInput::Both, 0, BmoExecMode::Parallel);
+    st.invalidate(g.idOf("c"));
+    st.invalidate(g.idOf("d"));
+    EXPECT_FALSE(st.allDone());
+    Tick done = engine.execute(st, ExternalInput::Both, 500,
+                               BmoExecMode::Parallel);
+    EXPECT_EQ(done, 500 + 30 + 5);
+    EXPECT_TRUE(st.allDone());
+}
+
+TEST(BmoEngine, StandardGraphSerializedVsParallelGap)
+{
+    BmoConfig config;
+    BmoGraph g = buildStandardGraph(config);
+    BmoEngine serial_engine(g, 4);
+    BmoEngine parallel_engine(g, 4);
+    BmoExecState s1(g), s2(g);
+    Tick ts = serial_engine.execute(s1, ExternalInput::Both, 0,
+                                    BmoExecMode::Serialized);
+    Tick tp = parallel_engine.execute(s2, ExternalInput::Both, 0,
+                                      BmoExecMode::Parallel);
+    EXPECT_EQ(ts, 819 * ticks::ns);
+    EXPECT_EQ(tp, 691 * ticks::ns); // 4 units suffice for the DAG
+}
+
+TEST(BmoEngine, CompletedCount)
+{
+    BmoGraph g = diamond();
+    BmoEngine engine(g, 0);
+    BmoExecState st(g);
+    EXPECT_EQ(st.completedCount(), 0u);
+    engine.execute(st, ExternalInput::Addr, 0, BmoExecMode::Parallel);
+    EXPECT_EQ(st.completedCount(), 2u);
+}
+
+} // namespace
+} // namespace janus

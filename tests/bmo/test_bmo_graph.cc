@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the sub-operation dependency graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/bmo_graph.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(BmoGraph, TopologicalOrderRespectsEdges)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 10);
+    SubOpId b = g.addSubOp("b", BmoKind::Other, 10);
+    SubOpId c = g.addSubOp("c", BmoKind::Other, 10);
+    g.addEdge(c, b); // c before b
+    g.addEdge(a, c); // a before c
+    g.finalize();
+    const auto &topo = g.topoOrder();
+    auto pos = [&](SubOpId id) {
+        return std::find(topo.begin(), topo.end(), id) - topo.begin();
+    };
+    EXPECT_LT(pos(a), pos(c));
+    EXPECT_LT(pos(c), pos(b));
+}
+
+TEST(BmoGraph, CycleDetected)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 1);
+    SubOpId b = g.addSubOp("b", BmoKind::Other, 1);
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    EXPECT_DEATH(g.finalize(), "cycle");
+}
+
+TEST(BmoGraph, SelfEdgeRejected)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 1);
+    EXPECT_DEATH(g.addEdge(a, a), "self edge");
+}
+
+TEST(BmoGraph, ExternalDependencyPropagates)
+{
+    // addr -> a -> b;  data -> c;  b,c -> d
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 1, ExternalInput::Addr);
+    SubOpId b = g.addSubOp("b", BmoKind::Other, 1);
+    SubOpId c = g.addSubOp("c", BmoKind::Other, 1, ExternalInput::Data);
+    SubOpId d = g.addSubOp("d", BmoKind::Other, 1);
+    g.addEdge(a, b);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.finalize();
+    EXPECT_EQ(g.required(a), ExternalInput::Addr);
+    EXPECT_EQ(g.required(b), ExternalInput::Addr);
+    EXPECT_EQ(g.required(c), ExternalInput::Data);
+    EXPECT_EQ(g.required(d), ExternalInput::Both);
+}
+
+TEST(BmoGraph, NoExternalInputMeansAlwaysRunnable)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 1);
+    g.finalize();
+    EXPECT_EQ(g.required(a), ExternalInput::None);
+    EXPECT_TRUE(hasInput(ExternalInput::None, g.required(a)));
+}
+
+TEST(BmoGraph, SerializedLatencyIsSum)
+{
+    BmoGraph g;
+    g.addSubOp("a", BmoKind::Other, 10);
+    g.addSubOp("b", BmoKind::Other, 20);
+    g.addSubOp("c", BmoKind::Other, 30);
+    g.finalize();
+    EXPECT_EQ(g.serializedLatency(), 60u);
+}
+
+TEST(BmoGraph, CriticalPathOfChainAndFork)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("a", BmoKind::Other, 10);
+    SubOpId b = g.addSubOp("b", BmoKind::Other, 20);
+    SubOpId c = g.addSubOp("c", BmoKind::Other, 5);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.finalize();
+    EXPECT_EQ(g.criticalPath(), 30u); // a -> b
+}
+
+TEST(BmoGraph, IdOfByName)
+{
+    BmoGraph g;
+    g.addSubOp("x", BmoKind::Other, 1);
+    SubOpId y = g.addSubOp("y", BmoKind::Other, 1);
+    g.finalize();
+    EXPECT_EQ(g.idOf("y"), y);
+    EXPECT_DEATH(g.idOf("nope"), "unknown");
+}
+
+TEST(BmoGraph, HasInputSemantics)
+{
+    EXPECT_TRUE(hasInput(ExternalInput::Both, ExternalInput::Addr));
+    EXPECT_TRUE(hasInput(ExternalInput::Both, ExternalInput::Data));
+    EXPECT_TRUE(hasInput(ExternalInput::Both, ExternalInput::Both));
+    EXPECT_FALSE(hasInput(ExternalInput::Addr, ExternalInput::Both));
+    EXPECT_FALSE(hasInput(ExternalInput::Addr, ExternalInput::Data));
+    EXPECT_TRUE(hasInput(ExternalInput::Addr, ExternalInput::None));
+}
+
+TEST(BmoGraph, ToStringMentionsNodes)
+{
+    BmoGraph g;
+    SubOpId a = g.addSubOp("alpha", BmoKind::Other, 1000);
+    SubOpId b = g.addSubOp("beta", BmoKind::Other, 1000);
+    g.addEdge(a, b);
+    g.finalize();
+    std::string s = g.toString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+    EXPECT_NE(s.find("<- alpha"), std::string::npos);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit and property tests for the Base-Delta-Immediate compressor
+ * (the compression extension BMO).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/compress.hh"
+#include "common/random.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Bdi, ZeroLine)
+{
+    BdiCompressed c = bdiCompress(CacheLine());
+    EXPECT_EQ(c.encoding, BdiEncoding::Zero);
+    EXPECT_EQ(c.sizeBytes(), 0u); // the tag lives in metadata
+    EXPECT_TRUE(bdiDecompress(c) == CacheLine());
+}
+
+TEST(Bdi, RepeatedWord)
+{
+    CacheLine line;
+    for (unsigned off = 0; off < lineBytes; off += 8)
+        line.setWord(off, 0xABCDEF0123456789ull);
+    BdiCompressed c = bdiCompress(line);
+    EXPECT_EQ(c.encoding, BdiEncoding::Repeat8);
+    EXPECT_EQ(c.sizeBytes(), 8u);
+    EXPECT_TRUE(bdiDecompress(c) == line);
+}
+
+TEST(Bdi, Base8SmallDeltas)
+{
+    // Pointer-array-like content: one 64-bit base, tiny offsets.
+    CacheLine line;
+    for (unsigned w = 0; w < 8; ++w)
+        line.setWord(w * 8, 0x7000000000ull + w * 3);
+    BdiCompressed c = bdiCompress(line);
+    EXPECT_EQ(c.encoding, BdiEncoding::Base8Delta1);
+    EXPECT_EQ(c.sizeBytes(), 16u); // 8 base + 8 deltas
+    EXPECT_TRUE(bdiDecompress(c) == line);
+}
+
+TEST(Bdi, Base4SmallDeltas)
+{
+    // Int-array-like content.
+    CacheLine line;
+    for (unsigned w = 0; w < 16; ++w) {
+        std::uint32_t v = 1000000 + (w % 5);
+        line.write(w * 4, &v, 4);
+    }
+    BdiCompressed c = bdiCompress(line);
+    EXPECT_EQ(c.encoding, BdiEncoding::Base4Delta1);
+    EXPECT_TRUE(bdiDecompress(c) == line);
+}
+
+TEST(Bdi, NegativeDeltasRoundTrip)
+{
+    CacheLine line;
+    for (unsigned w = 0; w < 8; ++w)
+        line.setWord(w * 8, 0x8000ull - w * 7);
+    BdiCompressed c = bdiCompress(line);
+    EXPECT_NE(c.encoding, BdiEncoding::Uncompressed);
+    EXPECT_TRUE(bdiDecompress(c) == line);
+}
+
+TEST(Bdi, RandomDataStaysUncompressed)
+{
+    BdiCompressed c = bdiCompress(CacheLine::fromSeed(0xDECAF));
+    EXPECT_EQ(c.encoding, BdiEncoding::Uncompressed);
+    EXPECT_EQ(c.sizeBytes(), lineBytes);
+}
+
+TEST(Bdi, CompressedIsNeverLargerThanRaw)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        CacheLine line = CacheLine::fromSeed(rng.next());
+        EXPECT_LE(bdiCompress(line).sizeBytes(), lineBytes);
+    }
+}
+
+TEST(Bdi, RoundTripProperty)
+{
+    // Mixed population: zero, repeated, base+delta and random lines.
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        CacheLine line;
+        switch (rng.below(5)) {
+          case 0:
+            break; // zero
+          case 1: {
+              std::uint64_t v = rng.next();
+              for (unsigned off = 0; off < lineBytes; off += 8)
+                  line.setWord(off, v);
+              break;
+          }
+          case 2: {
+              std::uint64_t base = rng.next();
+              for (unsigned w = 0; w < 8; ++w)
+                  line.setWord(w * 8, base + rng.below(100));
+              break;
+          }
+          case 3: {
+              std::uint32_t base =
+                  static_cast<std::uint32_t>(rng.next());
+              for (unsigned w = 0; w < 16; ++w) {
+                  std::uint32_t v =
+                      base + static_cast<std::uint32_t>(
+                                 rng.below(200));
+                  line.write(w * 4, &v, 4);
+              }
+              break;
+          }
+          default:
+            line = CacheLine::fromSeed(rng.next());
+        }
+        BdiCompressed c = bdiCompress(line);
+        EXPECT_TRUE(bdiDecompress(c) == line)
+            << "encoding " << bdiEncodingName(c.encoding);
+    }
+}
+
+TEST(Bdi, EncodingNamesAreDistinct)
+{
+    EXPECT_STRNE(bdiEncodingName(BdiEncoding::Zero),
+                 bdiEncodingName(BdiEncoding::Repeat8));
+    EXPECT_STRNE(bdiEncodingName(BdiEncoding::Base8Delta1),
+                 bdiEncodingName(BdiEncoding::Base4Delta1));
+}
+
+} // namespace
+} // namespace janus

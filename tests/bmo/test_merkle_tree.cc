@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the sparse Bonsai Merkle tree.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "bmo/merkle_tree.hh"
+
+namespace janus
+{
+namespace
+{
+
+void
+makeLeaf(std::uint8_t out[16], std::uint64_t a, std::uint64_t b)
+{
+    std::memcpy(out, &a, 8);
+    std::memcpy(out + 8, &b, 8);
+}
+
+TEST(MerkleTree, EmptyTreeHasDefaultRoot)
+{
+    MerkleTree t1(4), t2(4);
+    EXPECT_TRUE(t1.root() == t2.root());
+    EXPECT_TRUE(t1.root() == t1.recomputeRoot());
+}
+
+TEST(MerkleTree, DifferentHeightsDifferentDefaultRoots)
+{
+    MerkleTree t1(3), t2(4);
+    EXPECT_FALSE(t1.root() == t2.root());
+}
+
+TEST(MerkleTree, UpdateChangesRoot)
+{
+    MerkleTree tree(4);
+    Sha1Digest before = tree.root();
+    std::uint8_t leaf[16];
+    makeLeaf(leaf, 1, 2);
+    tree.update(0, leaf);
+    EXPECT_FALSE(tree.root() == before);
+}
+
+TEST(MerkleTree, IncrementalMatchesRecompute)
+{
+    MerkleTree tree(5);
+    std::uint8_t leaf[16];
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        makeLeaf(leaf, i, i * 31);
+        tree.update(i * 7 % 1000, leaf);
+    }
+    EXPECT_TRUE(tree.recomputeRoot() == tree.root());
+}
+
+TEST(MerkleTree, OrderIndependentForDistinctLeaves)
+{
+    MerkleTree a(4), b(4);
+    std::uint8_t l1[16], l2[16];
+    makeLeaf(l1, 10, 11);
+    makeLeaf(l2, 20, 21);
+    a.update(3, l1);
+    a.update(77, l2);
+    b.update(77, l2);
+    b.update(3, l1);
+    EXPECT_TRUE(a.root() == b.root());
+}
+
+TEST(MerkleTree, LastWriteWins)
+{
+    MerkleTree a(4), b(4);
+    std::uint8_t l1[16], l2[16];
+    makeLeaf(l1, 1, 1);
+    makeLeaf(l2, 2, 2);
+    a.update(5, l1);
+    a.update(5, l2);
+    b.update(5, l2);
+    EXPECT_TRUE(a.root() == b.root());
+}
+
+TEST(MerkleTree, VerifyLeafAcceptsTrueContent)
+{
+    MerkleTree tree(4);
+    std::uint8_t leaf[16];
+    makeLeaf(leaf, 42, 43);
+    tree.update(9, leaf);
+    EXPECT_TRUE(tree.verifyLeaf(9, leaf));
+}
+
+TEST(MerkleTree, VerifyLeafRejectsWrongContent)
+{
+    MerkleTree tree(4);
+    std::uint8_t leaf[16], bogus[16];
+    makeLeaf(leaf, 42, 43);
+    makeLeaf(bogus, 42, 44);
+    tree.update(9, leaf);
+    EXPECT_FALSE(tree.verifyLeaf(9, bogus));
+}
+
+TEST(MerkleTree, VerifyUntouchedDefaultLeaf)
+{
+    MerkleTree tree(4);
+    std::uint8_t zero[16] = {};
+    EXPECT_TRUE(tree.verifyLeaf(123, zero));
+}
+
+TEST(MerkleTree, CapacityMatchesHeight)
+{
+    MerkleTree tree(3);
+    EXPECT_EQ(tree.capacity(), 512u); // 8^3
+    std::uint8_t leaf[16] = {};
+    tree.update(511, leaf);
+    EXPECT_DEATH(tree.update(512, leaf), "range");
+}
+
+TEST(MerkleTree, Height9Covers4GB)
+{
+    MerkleTree tree(9);
+    // 4 GB / 64 B = 2^26 lines must fit.
+    EXPECT_GE(tree.capacity(), std::uint64_t(1) << 26);
+}
+
+TEST(MerkleTree, SparseMaterialization)
+{
+    MerkleTree tree(9);
+    std::uint8_t leaf[16];
+    makeLeaf(leaf, 1, 2);
+    tree.update(0, leaf);
+    // One leaf materializes exactly one node per level + the leaf.
+    EXPECT_EQ(tree.materializedNodes(), 10u);
+}
+
+TEST(MerkleTree, SiblingSubtreesIsolated)
+{
+    // Updating one leaf must not disturb verification of another.
+    MerkleTree tree(4);
+    std::uint8_t l1[16], l2[16];
+    makeLeaf(l1, 7, 8);
+    makeLeaf(l2, 9, 10);
+    tree.update(0, l1);
+    tree.update(4095, l2);
+    EXPECT_TRUE(tree.verifyLeaf(0, l1));
+    EXPECT_TRUE(tree.verifyLeaf(4095, l2));
+}
+
+} // namespace
+} // namespace janus

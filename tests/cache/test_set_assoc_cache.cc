@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache cache("c", 1024, 2); // 16 lines, 8 sets
+    EXPECT_FALSE(cache.access(0x100, false).hit);
+    EXPECT_TRUE(cache.access(0x100, false).hit);
+    EXPECT_TRUE(cache.access(0x13F, false).hit); // same line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache cache("c", 2 * 64, 2); // a single 2-way set
+    cache.access(0x000, false);
+    cache.access(0x040, false);
+    cache.access(0x000, false);          // touch A; B becomes LRU
+    cache.access(0x080, false);          // evicts B
+    EXPECT_TRUE(cache.access(0x000, false).hit);
+    EXPECT_FALSE(cache.access(0x040, false).hit);
+}
+
+TEST(SetAssocCache, DirtyEvictionReportsWriteback)
+{
+    SetAssocCache cache("c", 2 * 64, 2);
+    cache.access(0x000, true);  // dirty
+    cache.access(0x040, false);
+    auto res = cache.access(0x080, false); // evicts dirty 0x000
+    ASSERT_TRUE(res.writeback.has_value());
+    EXPECT_EQ(*res.writeback, 0x000u);
+}
+
+TEST(SetAssocCache, CleanEvictionHasNoWriteback)
+{
+    SetAssocCache cache("c", 2 * 64, 2);
+    cache.access(0x000, false);
+    cache.access(0x040, false);
+    auto res = cache.access(0x080, false);
+    EXPECT_FALSE(res.writeback.has_value());
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty)
+{
+    SetAssocCache cache("c", 2 * 64, 2);
+    cache.access(0x000, false);
+    cache.access(0x000, true); // dirty via hit
+    cache.access(0x040, false);
+    auto res = cache.access(0x080, false);
+    ASSERT_TRUE(res.writeback.has_value());
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness)
+{
+    SetAssocCache cache("c", 1024, 4);
+    cache.access(0x200, true);
+    cache.access(0x240, false);
+    EXPECT_TRUE(cache.invalidate(0x200));
+    EXPECT_FALSE(cache.invalidate(0x240));
+    EXPECT_FALSE(cache.invalidate(0x280)); // absent
+    EXPECT_FALSE(cache.probe(0x200));
+}
+
+TEST(SetAssocCache, SetsAreIndependent)
+{
+    SetAssocCache cache("c", 4 * 64, 2); // 2 sets x 2 ways
+    // These addresses map to set 0 (line index even).
+    cache.access(0x000, false);
+    cache.access(0x080, false);
+    cache.access(0x100, false); // evicts within set 0 only
+    // Set 1 untouched.
+    EXPECT_FALSE(cache.probe(0x040));
+    cache.access(0x040, false);
+    EXPECT_TRUE(cache.probe(0x040));
+}
+
+TEST(SetAssocCache, InvalidateAll)
+{
+    SetAssocCache cache("c", 1024, 4);
+    cache.access(0x100, true);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.probe(0x100));
+    // Refill does not report a stale writeback.
+    EXPECT_FALSE(cache.access(0x100, false).writeback.has_value());
+}
+
+TEST(SetAssocCache, HitRate)
+{
+    SetAssocCache cache("c", 1024, 4);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x40, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(SetAssocCache, FullyAssociativeBehaves)
+{
+    SetAssocCache cache("c", 4 * 64, 4); // one set, 4 ways
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        cache.access(a, false);
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        EXPECT_TRUE(cache.probe(a));
+    cache.access(0x400, false); // evicts LRU = line 0
+    EXPECT_FALSE(cache.probe(0x000));
+    EXPECT_TRUE(cache.probe(0x040));
+}
+
+TEST(SetAssocCache, RejectsBadGeometry)
+{
+    EXPECT_DEATH(SetAssocCache("bad", 63, 1), "");
+    EXPECT_DEATH(SetAssocCache("bad", 64, 0), "");
+    EXPECT_DEATH(SetAssocCache("bad", 64 * 3, 1), "power of two");
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the 64-byte CacheLine value type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cacheline.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(CacheLine, DefaultIsZero)
+{
+    CacheLine line;
+    for (unsigned i = 0; i < CacheLine::size(); ++i)
+        EXPECT_EQ(line.data()[i], 0);
+}
+
+TEST(CacheLine, Filled)
+{
+    CacheLine line = CacheLine::filled(0xAB);
+    for (unsigned i = 0; i < CacheLine::size(); ++i)
+        EXPECT_EQ(line.data()[i], 0xAB);
+}
+
+TEST(CacheLine, WordRoundTrip)
+{
+    CacheLine line;
+    line.setWord(8, 0x1122334455667788ull);
+    EXPECT_EQ(line.word(8), 0x1122334455667788ull);
+    EXPECT_EQ(line.word(0), 0u);
+    EXPECT_EQ(line.word(16), 0u);
+}
+
+TEST(CacheLine, WriteReadSubrange)
+{
+    CacheLine line;
+    const char msg[] = "janus";
+    line.write(3, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    line.read(3, out, sizeof(msg));
+    EXPECT_STREQ(out, "janus");
+}
+
+TEST(CacheLine, XorIsInvolution)
+{
+    CacheLine a = CacheLine::fromSeed(1);
+    CacheLine b = CacheLine::fromSeed(2);
+    CacheLine c = a;
+    c ^= b;
+    EXPECT_FALSE(c == a);
+    c ^= b;
+    EXPECT_TRUE(c == a);
+}
+
+TEST(CacheLine, FromSeedDeterministic)
+{
+    EXPECT_TRUE(CacheLine::fromSeed(99) == CacheLine::fromSeed(99));
+    EXPECT_FALSE(CacheLine::fromSeed(99) == CacheLine::fromSeed(100));
+}
+
+TEST(CacheLine, EqualityComparesBytes)
+{
+    CacheLine a, b;
+    EXPECT_TRUE(a == b);
+    b.setWord(56, 1);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(CacheLine, HexDump)
+{
+    CacheLine line;
+    line.data()[0] = 0x0F;
+    line.data()[63] = 0xA0;
+    std::string hex = line.toHex();
+    ASSERT_EQ(hex.size(), 128u);
+    EXPECT_EQ(hex.substr(0, 2), "0f");
+    EXPECT_EQ(hex.substr(126, 2), "a0");
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the fundamental address/line helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Types, LineAlignRoundsDown)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(1), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+}
+
+TEST(Types, LineOffset)
+{
+    EXPECT_EQ(lineOffset(0), 0u);
+    EXPECT_EQ(lineOffset(63), 63u);
+    EXPECT_EQ(lineOffset(64), 0u);
+    EXPECT_EQ(lineOffset(0x1001), 1u);
+}
+
+TEST(Types, LineSpanZeroSize)
+{
+    EXPECT_EQ(lineSpan(0x100, 0), 0u);
+}
+
+TEST(Types, LineSpanWithinOneLine)
+{
+    EXPECT_EQ(lineSpan(0, 1), 1u);
+    EXPECT_EQ(lineSpan(0, 64), 1u);
+    EXPECT_EQ(lineSpan(10, 54), 1u);
+}
+
+TEST(Types, LineSpanCrossesBoundary)
+{
+    EXPECT_EQ(lineSpan(10, 55), 2u);
+    EXPECT_EQ(lineSpan(0, 65), 2u);
+    EXPECT_EQ(lineSpan(63, 2), 2u);
+    EXPECT_EQ(lineSpan(0, 64 * 8), 8u);
+    EXPECT_EQ(lineSpan(1, 64 * 8), 9u);
+}
+
+TEST(Types, TickLiterals)
+{
+    EXPECT_EQ(ticks::ns, 1000u);
+    EXPECT_EQ(ticks::us, 1000u * 1000u);
+    EXPECT_EQ(ticks::toNs(2500), 2u);
+    EXPECT_DOUBLE_EQ(ticks::toNsF(2500), 2.5);
+}
+
+TEST(Types, LineShiftConsistent)
+{
+    EXPECT_EQ(1u << lineShift, lineBytes);
+}
+
+} // namespace
+} // namespace janus

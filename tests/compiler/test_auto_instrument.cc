@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the automated instrumentation pass (Section 4.5):
+ * injection of PRE_ADDR / PRE_BOTH_VAL / PRE_BOTH, placement rules,
+ * loop and conditional conservatism, and the library skip list.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "compiler/auto_instrument.hh"
+#include "ir/builder.hh"
+
+namespace janus
+{
+namespace
+{
+
+unsigned
+countOps(const Function &fn, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &bb : fn.blocks)
+        for (const Instr &i : bb.instrs)
+            n += i.op == op ? 1 : 0;
+    return n;
+}
+
+/** Index of the first occurrence of op in the given block. */
+int
+firstIndex(const Function &fn, unsigned block, Opcode op)
+{
+    const auto &instrs = fn.blocks[block].instrs;
+    for (unsigned i = 0; i < instrs.size(); ++i)
+        if (instrs[i].op == op)
+            return static_cast<int>(i);
+    return -1;
+}
+
+TEST(AutoInstrument, InjectsAddrAndDataForSimpleStore)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2); // (addr, value)
+    b.store(b.arg(0), b.arg(1), 0);
+    b.clwb(b.arg(0), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+
+    InstrumentReport rep = autoInstrument(m, {});
+    EXPECT_EQ(rep.writebacksFound, 1u);
+    EXPECT_EQ(rep.addrInjected, 1u);
+    EXPECT_EQ(rep.dataInjected, 1u);
+    const Function &k = m.fn("k");
+    EXPECT_EQ(countOps(k, Opcode::PreAddr), 1u);
+    EXPECT_EQ(countOps(k, Opcode::PreBothVal), 1u);
+    EXPECT_EQ(countOps(k, Opcode::PreInit), 2u);
+    // Everything injected before the store (operands are args).
+    EXPECT_LT(firstIndex(k, 0, Opcode::PreBothVal),
+              firstIndex(k, 0, Opcode::Store));
+    verify(m);
+}
+
+TEST(AutoInstrument, StoreWithOffsetGetsAddressMaterialized)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    b.store(b.arg(0), b.arg(1), 24);
+    b.clwb(b.arg(0), 32);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    autoInstrument(m, {});
+    const Function &k = m.fn("k");
+    // An AddI materializes addr+24 for the injected PRE_BOTH_VAL.
+    int addi = firstIndex(k, 0, Opcode::AddI);
+    int pre = firstIndex(k, 0, Opcode::PreBothVal);
+    ASSERT_GE(addi, 0);
+    EXPECT_LT(addi, pre);
+    verify(m);
+}
+
+TEST(AutoInstrument, MemCpyBecomesPreBoth)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2); // (dst, src)
+    b.memCpy(b.arg(0), b.arg(1), 128);
+    b.clwb(b.arg(0), 128);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    InstrumentReport rep = autoInstrument(m, {});
+    EXPECT_EQ(rep.dataInjected, 1u);
+    EXPECT_EQ(countOps(m.fn("k"), Opcode::PreBoth), 1u);
+    verify(m);
+}
+
+TEST(AutoInstrument, MemCpyHoistedOnlyPastSourceWrites)
+{
+    // scratch is written, then copied into the persistent object:
+    // the injected PRE_BOTH must sit after the scratch write.
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 3); // (dst, scratch, value)
+    b.store(b.arg(1), b.arg(2), 0); // fill scratch
+    b.memCpy(b.arg(0), b.arg(1), 64);
+    b.clwb(b.arg(0), 64);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    autoInstrument(m, {});
+    const Function &k = m.fn("k");
+    int scratch_write = firstIndex(k, 0, Opcode::Store);
+    int pre = firstIndex(k, 0, Opcode::PreBoth);
+    ASSERT_GE(pre, 0);
+    EXPECT_GT(pre, scratch_write);
+    verify(m);
+}
+
+TEST(AutoInstrument, WritebackInLoopSkipped)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int i = b.newReg();
+    b.constTo(i, 0);
+    unsigned head = b.newBlock();
+    unsigned body = b.newBlock();
+    unsigned done = b.newBlock();
+    b.br(head);
+    b.setBlock(head);
+    int more = b.cmpLt(i, b.arg(1));
+    b.brCond(more, body, done);
+    b.setBlock(body);
+    int addr = b.add(b.arg(0), i);
+    b.store(addr, i, 0);
+    b.clwb(addr, 8);
+    b.movTo(i, b.addI(i, 64));
+    b.br(head);
+    b.setBlock(done);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+
+    InstrumentReport rep = autoInstrument(m, {});
+    EXPECT_EQ(rep.writebacksFound, 1u);
+    EXPECT_EQ(rep.writebacksInLoop, 1u);
+    EXPECT_EQ(rep.addrInjected, 0u);
+    EXPECT_EQ(rep.dataInjected, 0u);
+}
+
+TEST(AutoInstrument, ConditionalWritebackStaysGuarded)
+{
+    // The writeback sits under a condition; the injected calls must
+    // not land in the always-executed entry block.
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 3); // (cond, addr, val)
+    unsigned wb = b.newBlock();
+    unsigned out = b.newBlock();
+    b.brCond(b.arg(0), wb, out);
+    b.setBlock(wb);
+    b.store(b.arg(1), b.arg(2), 0);
+    b.clwb(b.arg(1), 8);
+    b.sfence();
+    b.br(out);
+    b.setBlock(out);
+    b.ret();
+    b.endFunction();
+
+    autoInstrument(m, {});
+    const Function &k = m.fn("k");
+    EXPECT_EQ(countOps(k, Opcode::PreAddr) +
+                  countOps(k, Opcode::PreBothVal),
+              2u);
+    // Nothing in the entry block.
+    EXPECT_EQ(firstIndex(k, 0, Opcode::PreAddr), -1);
+    EXPECT_EQ(firstIndex(k, 0, Opcode::PreBothVal), -1);
+    EXPECT_GE(firstIndex(k, wb, Opcode::PreAddr), 0);
+    verify(m);
+}
+
+TEST(AutoInstrument, SkipListRespected)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("runtime_helper", 2);
+    b.store(b.arg(0), b.arg(1), 0);
+    b.clwb(b.arg(0), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    InstrumentReport rep = autoInstrument(m, {"runtime_helper"});
+    EXPECT_EQ(rep.writebacksFound, 0u);
+    EXPECT_EQ(countOps(m.fn("runtime_helper"), Opcode::PreAddr), 0u);
+}
+
+TEST(AutoInstrument, RegisterSizedClwbKeepsSizeRegister)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 3); // (addr, src, size)
+    const int size_reg = b.arg(2);
+    b.memCpyR(b.arg(0), b.arg(1), size_reg);
+    b.clwbR(b.arg(0), size_reg);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    autoInstrument(m, {});
+    const Function &k = m.fn("k");
+    bool found = false;
+    for (const Instr &i : k.blocks[0].instrs) {
+        if (i.op == Opcode::PreAddr) {
+            found = true;
+            EXPECT_EQ(i.dst, size_reg); // size register carried over
+        }
+    }
+    EXPECT_TRUE(found);
+    verify(m);
+}
+
+TEST(AutoInstrument, UnrelatedStoreNotTreatedAsUpdate)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 3); // (addr, other, val)
+    b.store(b.arg(1), b.arg(2), 0); // different object
+    b.clwb(b.arg(0), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    InstrumentReport rep = autoInstrument(m, {});
+    EXPECT_EQ(rep.dataInjected, 0u);
+    EXPECT_EQ(rep.dataUnresolved, 1u);
+    EXPECT_EQ(rep.addrInjected, 1u); // address still pre-executable
+}
+
+TEST(AutoInstrument, DerivedBaseRegistersMatch)
+{
+    // Store through addr+16 computed into a new register.
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int field = b.addI(b.arg(0), 16);
+    b.store(field, b.arg(1), 0);
+    b.clwb(b.arg(0), 64);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    InstrumentReport rep = autoInstrument(m, {});
+    EXPECT_EQ(rep.dataInjected, 1u);
+    verify(m);
+}
+
+TEST(AutoInstrument, ReportToStringMentionsCounts)
+{
+    InstrumentReport rep;
+    rep.writebacksFound = 3;
+    rep.addrInjected = 2;
+    std::string s = rep.toString();
+    EXPECT_NE(s.find("writebacks 3"), std::string::npos);
+    EXPECT_NE(s.find("PRE_ADDR 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace janus

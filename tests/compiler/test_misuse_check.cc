@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the Janus-interface misuse detector (the tooling
+ * the paper sketches in Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/misuse_check.hh"
+#include "ir/builder.hh"
+
+namespace janus
+{
+namespace
+{
+
+unsigned
+countKind(const std::vector<MisuseFinding> &fs,
+          MisuseFinding::Kind kind)
+{
+    unsigned n = 0;
+    for (const auto &f : fs)
+        n += f.kind == kind ? 1 : 0;
+    return n;
+}
+
+/** Pad with arithmetic so windows are comfortable. */
+void
+pad(IrBuilder &b, unsigned n)
+{
+    int r = b.constI(1);
+    for (unsigned i = 0; i < n; ++i)
+        r = b.addI(r, 1);
+}
+
+TEST(MisuseCheck, CleanProgramHasNoFindings)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preBothVal(p, b.arg(0), b.arg(1));
+    pad(b, 12);
+    b.store(b.arg(0), b.arg(1), 0);
+    b.clwb(b.arg(0), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    EXPECT_TRUE(checkMisuse(m).empty());
+}
+
+TEST(MisuseCheck, DoubleUpdateFlagged)
+{
+    // Two stores to the pre-executed line before the writeback: the
+    // snapshot will mismatch (guideline 1).
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preBothVal(p, b.arg(0), b.arg(1));
+    pad(b, 12);
+    b.store(b.arg(0), b.arg(1), 0);
+    b.store(b.arg(0), b.arg(1), 8);
+    b.clwb(b.arg(0), 16);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    EXPECT_EQ(countKind(findings,
+                        MisuseFinding::Kind::ModifiedBeforeWrite),
+              1u);
+}
+
+TEST(MisuseCheck, UselessPreExecutionFlagged)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preAddr(p, b.arg(0), 64);
+    // No clwb of arg(0) anywhere.
+    b.store(b.arg(1), b.arg(0), 0);
+    b.clwb(b.arg(1), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    EXPECT_EQ(countKind(findings,
+                        MisuseFinding::Kind::UselessPreExecution),
+              1u);
+}
+
+TEST(MisuseCheck, TightWindowFlagged)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preBothVal(p, b.arg(0), b.arg(1));
+    b.store(b.arg(0), b.arg(1), 0);
+    b.clwb(b.arg(0), 8); // two instructions after the PRE
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    EXPECT_EQ(countKind(findings,
+                        MisuseFinding::Kind::InsufficientWindow),
+              1u);
+}
+
+TEST(MisuseCheck, CallsWidenTheWindowEstimate)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("helper", 0);
+    b.ret();
+    b.endFunction();
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preBothVal(p, b.arg(0), b.arg(1));
+    b.call("helper", {}); // weighted as many instructions
+    b.store(b.arg(0), b.arg(1), 0);
+    b.clwb(b.arg(0), 8);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    EXPECT_EQ(countKind(findings,
+                        MisuseFinding::Kind::InsufficientWindow),
+              0u);
+}
+
+TEST(MisuseCheck, PreDataSourceMutationFlagged)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2); // (dst, src)
+    int p = b.preInit();
+    b.preData(p, b.arg(1), 64);
+    b.store(b.arg(1), b.arg(0), 0); // clobber the snapshot source
+    b.memCpy(b.arg(0), b.arg(1), 64);
+    b.clwb(b.arg(0), 64);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    EXPECT_EQ(countKind(findings,
+                        MisuseFinding::Kind::ModifiedBeforeWrite),
+              1u);
+}
+
+TEST(MisuseCheck, FindingsCarryLocation)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("k", 2);
+    int p = b.preInit();
+    b.preAddr(p, b.arg(0), 64);
+    b.ret();
+    b.endFunction();
+    auto findings = checkMisuse(m);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].function, "k");
+    EXPECT_NE(findings[0].message.find("@k"), std::string::npos);
+    EXPECT_FALSE(toString(findings).empty());
+}
+
+} // namespace
+} // namespace janus

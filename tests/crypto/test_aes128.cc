@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AES-128 verified against FIPS-197 / NIST test vectors, plus the
+ * counter-mode OTP properties the encryption BMO relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hh"
+
+namespace janus
+{
+namespace
+{
+
+Aes128::Key
+keyFromBytes(std::initializer_list<unsigned> bytes)
+{
+    Aes128::Key key{};
+    unsigned i = 0;
+    for (unsigned b : bytes)
+        key[i++] = static_cast<std::uint8_t>(b);
+    return key;
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    // FIPS-197 Appendix C.1: AES-128 example vector.
+    Aes128::Key key = keyFromBytes({0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                    0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                    0x0c, 0x0d, 0x0e, 0x0f});
+    Aes128::Block plain = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+                           0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                           0xee, 0xff};
+    Aes128::Block expect = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04,
+                            0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                            0xc5, 0x5a};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+}
+
+TEST(Aes128, NistSp800_38aEcbVector)
+{
+    // SP 800-38A F.1.1 ECB-AES128 block #1.
+    Aes128::Key key = keyFromBytes({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                    0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                    0x09, 0xcf, 0x4f, 0x3c});
+    Aes128::Block plain = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f,
+                           0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+                           0x17, 0x2a};
+    Aes128::Block expect = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36,
+                            0x60, 0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66,
+                            0xef, 0x97};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    Aes128 aes(keyFromBytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                             14, 15, 16}));
+    for (std::uint8_t seed = 0; seed < 16; ++seed) {
+        Aes128::Block plain;
+        for (unsigned i = 0; i < 16; ++i)
+            plain[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(plain)), plain);
+    }
+}
+
+TEST(Aes128, OtpDeterministic)
+{
+    Aes128 aes(keyFromBytes({9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9,
+                             9, 9}));
+    EXPECT_TRUE(aes.otp(7, 0x1000) == aes.otp(7, 0x1000));
+}
+
+TEST(Aes128, OtpDependsOnCounter)
+{
+    Aes128 aes(Aes128::Key{});
+    EXPECT_FALSE(aes.otp(1, 0x1000) == aes.otp(2, 0x1000));
+}
+
+TEST(Aes128, OtpDependsOnAddress)
+{
+    Aes128 aes(Aes128::Key{});
+    EXPECT_FALSE(aes.otp(1, 0x1000) == aes.otp(1, 0x1040));
+}
+
+TEST(Aes128, OtpBlocksDiffer)
+{
+    // The four 16-byte quarters of the pad must not repeat.
+    Aes128 aes(Aes128::Key{});
+    CacheLine pad = aes.otp(5, 0x2000);
+    for (unsigned i = 0; i < 4; ++i)
+        for (unsigned j = i + 1; j < 4; ++j) {
+            bool same = true;
+            for (unsigned b = 0; b < 16; ++b)
+                same &= pad.data()[16 * i + b] == pad.data()[16 * j + b];
+            EXPECT_FALSE(same) << "quarters " << i << "," << j;
+        }
+}
+
+TEST(Aes128, CounterModeRoundTrip)
+{
+    Aes128 aes(keyFromBytes({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7,
+                             9, 3}));
+    CacheLine plain = CacheLine::fromSeed(0xDEADBEEF);
+    CacheLine cipher = plain;
+    cipher ^= aes.otp(42, 0x40);
+    EXPECT_FALSE(cipher == plain);
+    cipher ^= aes.otp(42, 0x40);
+    EXPECT_TRUE(cipher == plain);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext)
+{
+    Aes128 a(keyFromBytes({1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                           0}));
+    Aes128 b(keyFromBytes({2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                           0}));
+    Aes128::Block plain{};
+    EXPECT_NE(a.encryptBlock(plain), b.encryptBlock(plain));
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CRC-32 (IEEE) verified against the standard check value.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crypto/crc32.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Crc32, StandardCheckValue)
+{
+    // The canonical CRC-32/IEEE check: crc32("123456789").
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string msg = "backend memory operations";
+    std::uint32_t whole = crc32(msg.data(), msg.size());
+    std::uint32_t part = crc32(msg.data(), 10);
+    part = crc32Update(part, msg.data() + 10, msg.size() - 10);
+    EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, SensitiveToSingleBit)
+{
+    std::string a(64, '\0');
+    std::string b = a;
+    b[63] = '\x01';
+    EXPECT_NE(crc32(a.data(), a.size()), crc32(b.data(), b.size()));
+}
+
+TEST(Crc32, KnownVectorAllZeros)
+{
+    // 32 zero bytes, cross-checked against zlib's crc32().
+    std::string zeros(32, '\0');
+    EXPECT_EQ(crc32(zeros.data(), zeros.size()), 0x190A55ADu);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MD5 verified against the RFC 1321 test suite.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crypto/md5.hh"
+
+namespace janus
+{
+namespace
+{
+
+std::string
+md5Hex(const std::string &msg)
+{
+    return Md5::hash(msg.data(), msg.size()).toHex();
+}
+
+TEST(Md5, Rfc1321Suite)
+{
+    EXPECT_EQ(md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(md5Hex("message digest"),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(md5Hex("abcdefghijklmnopqrstuvwxyz"),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                     "wxyz0123456789"),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(md5Hex("1234567890123456789012345678901234567890"
+                     "1234567890123456789012345678901234567890"),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot)
+{
+    std::string msg(500, '\0');
+    for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<char>(i * 13);
+    Md5 hasher;
+    hasher.update(msg.data(), 100);
+    hasher.update(msg.data() + 100, 400);
+    EXPECT_EQ(hasher.finish().toHex(), md5Hex(msg));
+}
+
+TEST(Md5, PaddingBoundaries)
+{
+    for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+        std::string a(len, 'q');
+        std::string b(len, 'q');
+        b[0] = 'r';
+        EXPECT_EQ(md5Hex(a), md5Hex(a));
+        EXPECT_NE(md5Hex(a), md5Hex(b)) << "len " << len;
+    }
+}
+
+TEST(Md5, CacheLineSizedInput)
+{
+    // The dedup BMO hashes 64-byte lines; make sure equal lines agree
+    // and one flipped bit changes the fingerprint.
+    std::string line(64, '\x5A');
+    std::string flipped = line;
+    flipped[32] ^= 1;
+    EXPECT_EQ(md5Hex(line), md5Hex(line));
+    EXPECT_NE(md5Hex(line), md5Hex(flipped));
+}
+
+} // namespace
+} // namespace janus

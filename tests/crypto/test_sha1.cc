@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SHA-1 verified against FIPS-180 test vectors.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hh"
+
+namespace janus
+{
+namespace
+{
+
+std::string
+sha1Hex(const std::string &msg)
+{
+    return Sha1::hash(msg.data(), msg.size()).toHex();
+}
+
+TEST(Sha1, EmptyString)
+{
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc)
+{
+    EXPECT_EQ(sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage)
+{
+    EXPECT_EQ(sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlm"
+                      "nomnopnopq"),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs)
+{
+    Sha1 hasher;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        hasher.update(chunk.data(), chunk.size());
+    EXPECT_EQ(hasher.finish().toHex(),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    Sha1 hasher;
+    for (char c : msg)
+        hasher.update(&c, 1);
+    EXPECT_EQ(hasher.finish().toHex(), sha1Hex(msg));
+}
+
+TEST(Sha1, LengthBoundaryCases)
+{
+    // Messages of exactly 55, 56, 63, 64, 65 bytes exercise padding.
+    for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+        std::string a(len, 'x');
+        std::string b(len, 'x');
+        b[len - 1] = 'y';
+        EXPECT_EQ(sha1Hex(a), sha1Hex(a));
+        EXPECT_NE(sha1Hex(a), sha1Hex(b)) << "len " << len;
+    }
+}
+
+TEST(Sha1, Prefix64Differs)
+{
+    Sha1Digest a = Sha1::hash("aaa", 3);
+    Sha1Digest b = Sha1::hash("bbb", 3);
+    EXPECT_NE(a.prefix64(), b.prefix64());
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the experiment harness: configuration plumbing
+ * (resource scaling, dedup hash, core counts), the speedup helper,
+ * and negative checks that the crash validators actually reject
+ * corrupted images (so the green crash tests mean something).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Experiment, ResourceScalePlumbsThrough)
+{
+    Module empty;
+    SystemConfig config;
+    config.cores = 2;
+    config.resourceScale = 4;
+    NvmSystem system(config, empty);
+    // 4 units/core x 2 cores x 4 scale.
+    EXPECT_EQ(system.mc().engine().units(), 32u);
+    EXPECT_EQ(system.mc().config().janusHw.irbEntries, 8 * 64u);
+}
+
+TEST(Experiment, UnlimitedResources)
+{
+    Module empty;
+    SystemConfig config;
+    config.unlimitedResources = true;
+    NvmSystem system(config, empty);
+    EXPECT_EQ(system.mc().engine().units(), 0u); // 0 = unlimited
+    EXPECT_GE(system.mc().config().janusHw.irbEntries, 1u << 20);
+}
+
+TEST(Experiment, DedupHashPlumbsThrough)
+{
+    ExperimentConfig config;
+    config.workloadName = "array_swap";
+    config.workload.txnsPerCore = 10;
+    config.sys.bmo.dedupHash = DedupHash::Crc32;
+    config.sys.mode = WritePathMode::Serialized;
+    config.instr = Instrumentation::None;
+    ExperimentResult crc = runExperiment(config);
+    config.sys.bmo.dedupHash = DedupHash::Md5;
+    ExperimentResult md5 = runExperiment(config);
+    // MD5's D1 is ~4x CRC's: the serialized path must be slower.
+    EXPECT_GT(md5.avgWriteLatencyNs, crc.avgWriteLatencyNs + 200);
+}
+
+TEST(Experiment, SpeedupHelperConsistent)
+{
+    ExperimentConfig config;
+    config.workloadName = "tatp";
+    config.workload.txnsPerCore = 60;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    double speedup = speedupOverSerialized(config);
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 4.0);
+}
+
+TEST(Experiment, MoreCoresMoreTransactions)
+{
+    ExperimentConfig config;
+    config.workloadName = "queue";
+    config.workload.txnsPerCore = 30;
+    config.sys.cores = 3;
+    config.sys.mode = WritePathMode::Parallel;
+    config.instr = Instrumentation::None;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_EQ(r.transactions, 90u);
+}
+
+/** Run a workload with journaling and hand back system + workload. */
+struct CrashRig
+{
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NvmSystem> system;
+    SparseMemory finalImage;
+};
+
+CrashRig
+runForImage(const std::string &name)
+{
+    CrashRig rig;
+    WorkloadParams params;
+    params.txnsPerCore = 15;
+    rig.workload = makeWorkload(name, params);
+    Module module;
+    buildTxnLibrary(module);
+    rig.workload->buildKernels(module, false);
+    SystemConfig config;
+    config.mode = WritePathMode::Serialized;
+    rig.system = std::make_unique<NvmSystem>(config, module);
+    rig.system->mc().enableJournal();
+    rig.workload->setupCore(0, *rig.system);
+    SparseMemory initial;
+    initial.copyFrom(rig.system->mem());
+    std::vector<TxnSource> sources;
+    sources.push_back(rig.workload->source(0, *rig.system));
+    rig.system->run(std::move(sources));
+    rig.finalImage.copyFrom(initial);
+    for (const JournalEntry &e : rig.system->mc().journal())
+        rig.finalImage.writeLine(e.lineAddr, e.data);
+    recoverUndoLog(rig.finalImage, rig.workload->logBase(0));
+    return rig;
+}
+
+TEST(CrashValidators, TpccDetectsTornOrder)
+{
+    CrashRig rig = runForImage("tpcc");
+    rig.workload->validateRecovered(rig.finalImage, 0); // clean
+    // Corrupt a committed order line: the validator must object.
+    Addr heap = rig.system->mem().readWord(
+        rig.workload->ctxAddr(0) + ctx::heap);
+    Addr order0 = heap + lineBytes;
+    rig.finalImage.writeWord(order0 + lineBytes, 0xBAD);
+    EXPECT_DEATH(rig.workload->validateRecovered(rig.finalImage, 0),
+                 "torn");
+}
+
+TEST(CrashValidators, QueueDetectsBogusIndices)
+{
+    CrashRig rig = runForImage("queue");
+    rig.workload->validateRecovered(rig.finalImage, 0);
+    Addr heap = rig.system->mem().readWord(
+        rig.workload->ctxAddr(0) + ctx::heap);
+    rig.finalImage.writeWord(heap + 8,
+                             rig.finalImage.readWord(heap) + 1000);
+    EXPECT_DEATH(rig.workload->validateRecovered(rig.finalImage, 0),
+                 "indices");
+}
+
+TEST(CrashValidators, TatpDetectsForeignValue)
+{
+    CrashRig rig = runForImage("tatp");
+    rig.workload->validateRecovered(rig.finalImage, 0);
+    Addr heap = rig.system->mem().readWord(
+        rig.workload->ctxAddr(0) + ctx::heap);
+    rig.finalImage.writeWord(heap + lineBytes, 0xDEAD);
+    EXPECT_DEATH(rig.workload->validateRecovered(rig.finalImage, 0),
+                 "torn");
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * End-to-end integration tests: the full stack (IR kernels, txn
+ * runtime, timing cores, memory controller, BMOs, Janus) running the
+ * Array Swap workload, checking both functional correctness and the
+ * paper's headline performance ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace janus
+{
+namespace
+{
+
+ExperimentConfig
+baseConfig()
+{
+    ExperimentConfig config;
+    config.workloadName = "array_swap";
+    config.workload.txnsPerCore = 40;
+    config.workload.valueBytes = 64;
+    config.workload.dupRatio = 0.5;
+    return config;
+}
+
+ExperimentResult
+runMode(WritePathMode mode, Instrumentation instr,
+        unsigned cores = 1)
+{
+    ExperimentConfig config = baseConfig();
+    config.sys.mode = mode;
+    config.sys.cores = cores;
+    config.instr = instr;
+    return runExperiment(config);
+}
+
+TEST(EndToEnd, SerializedRunsAndValidates)
+{
+    ExperimentResult r =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    EXPECT_EQ(r.transactions, 40u);
+    EXPECT_GT(r.persists, 0u);
+    EXPECT_GT(r.makespan, 0u);
+}
+
+TEST(EndToEnd, SerializedWriteLatencyFarAboveNoBmo)
+{
+    ExperimentResult serial =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    ExperimentResult nobmo =
+        runMode(WritePathMode::NoBmo, Instrumentation::None);
+    // Figure 1: BMOs raise critical write latency by >10x over the
+    // bare persist path.
+    EXPECT_GT(serial.avgWriteLatencyNs, 500.0);
+    EXPECT_GT(serial.avgWriteLatencyNs,
+              5 * nobmo.avgWriteLatencyNs);
+    EXPECT_GT(serial.makespan, nobmo.makespan);
+}
+
+TEST(EndToEnd, ParallelBeatsSerialized)
+{
+    ExperimentResult serial =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    ExperimentResult parallel =
+        runMode(WritePathMode::Parallel, Instrumentation::None);
+    EXPECT_LT(parallel.makespan, serial.makespan);
+}
+
+TEST(EndToEnd, JanusManualBeatsParallel)
+{
+    ExperimentResult parallel =
+        runMode(WritePathMode::Parallel, Instrumentation::None);
+    ExperimentResult manual =
+        runMode(WritePathMode::Janus, Instrumentation::Manual);
+    EXPECT_LT(manual.makespan, parallel.makespan);
+    EXPECT_GT(manual.fullyPreExecutedFrac, 0.1);
+    EXPECT_GT(manual.preRequests, 0u);
+}
+
+TEST(EndToEnd, AutoInstrumentationWorksAndIsOrdered)
+{
+    ExperimentResult serial =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    ExperimentResult manual =
+        runMode(WritePathMode::Janus, Instrumentation::Manual);
+    ExperimentResult automatic =
+        runMode(WritePathMode::Janus, Instrumentation::Auto);
+    EXPECT_GT(automatic.instrReport.writebacksFound, 0u);
+    EXPECT_GT(automatic.instrReport.dataInjected, 0u);
+    // Auto must beat the serialized baseline and not beat manual by
+    // more than noise.
+    EXPECT_LT(automatic.makespan, serial.makespan);
+    EXPECT_LE(manual.makespan, automatic.makespan * 1.20);
+}
+
+TEST(EndToEnd, MultiCoreScalesWork)
+{
+    ExperimentResult one =
+        runMode(WritePathMode::Janus, Instrumentation::Manual, 1);
+    ExperimentResult four =
+        runMode(WritePathMode::Janus, Instrumentation::Manual, 4);
+    EXPECT_EQ(four.transactions, 4 * one.transactions);
+    // Four cores contend: makespan grows, but far less than 4x work
+    // serialized onto one core would.
+    EXPECT_GT(four.makespan, one.makespan / 2);
+}
+
+TEST(EndToEnd, SpeedupHelperMatchesPaperDirection)
+{
+    ExperimentConfig config = baseConfig();
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    double speedup = speedupOverSerialized(config);
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST(EndToEnd, DuplicatesObservedAtConfiguredRatio)
+{
+    ExperimentResult r =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    // Swaps re-write existing values and log entries duplicate old
+    // data, so the measured ratio should be clearly nonzero.
+    EXPECT_GT(r.measuredDupRatio, 0.1);
+}
+
+TEST(EndToEnd, NonBlockingWritebackIsFastest)
+{
+    ExperimentConfig config = baseConfig();
+    config.sys.mode = WritePathMode::Serialized;
+    config.sys.core.nonBlockingWriteback = true;
+    ExperimentResult ideal = runExperiment(config);
+    ExperimentResult janus =
+        runMode(WritePathMode::Janus, Instrumentation::Manual);
+    ExperimentResult serial =
+        runMode(WritePathMode::Serialized, Instrumentation::None);
+    // Figure 10 ordering: ideal < Janus < serialized.
+    EXPECT_LT(ideal.makespan, janus.makespan);
+    EXPECT_LT(janus.makespan, serial.makespan);
+    EXPECT_EQ(ideal.fenceStallTicks, 0u);
+}
+
+} // namespace
+} // namespace janus

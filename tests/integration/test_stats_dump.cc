@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Integration test for the system-wide statistics dump.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(StatsDump, CoversEveryComponent)
+{
+    WorkloadParams params;
+    params.txnsPerCore = 20;
+    auto workload = makeWorkload("tatp", params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+
+    SystemConfig config;
+    config.mode = WritePathMode::Janus;
+    config.cores = 2;
+    NvmSystem system(config, module);
+    for (unsigned c = 0; c < 2; ++c)
+        workload->setupCore(c, system);
+    std::vector<TxnSource> sources;
+    for (unsigned c = 0; c < 2; ++c)
+        sources.push_back(workload->source(c, system));
+    system.run(std::move(sources));
+
+    std::ostringstream os;
+    system.dumpStats(os);
+    std::string stats = os.str();
+
+    for (const char *line :
+         {"core0.instructions", "core1.instructions",
+          "core0.transactions", "core0.l1HitRate", "mc.writes",
+          "mc.avgWriteLatencyNs", "mc.counterCacheHitRate",
+          "nvm.writesAccepted", "bmoEngine.subOpsExecuted",
+          "backend.dupRatio", "janus.requestsIssued",
+          "janus.consumedFullyPreExecuted"})
+        EXPECT_NE(stats.find(line), std::string::npos) << line;
+
+    // Values are real, not placeholders.
+    EXPECT_EQ(stats.find("core0.transactions 0\n"),
+              std::string::npos);
+}
+
+TEST(StatsDump, NoJanusGroupInBaselineModes)
+{
+    WorkloadParams params;
+    params.txnsPerCore = 5;
+    auto workload = makeWorkload("array_swap", params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, false);
+
+    SystemConfig config;
+    config.mode = WritePathMode::Serialized;
+    NvmSystem system(config, module);
+    workload->setupCore(0, system);
+    std::vector<TxnSource> sources;
+    sources.push_back(workload->source(0, system));
+    system.run(std::move(sources));
+
+    std::ostringstream os;
+    system.dumpStats(os);
+    EXPECT_EQ(os.str().find("janus."), std::string::npos);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parameterized functional sweep: every Table 4 workload runs to
+ * completion and passes its native invariant validator under every
+ * write-path mode and instrumentation flavor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace janus
+{
+namespace
+{
+
+struct Case
+{
+    const char *workload;
+    WritePathMode mode;
+    Instrumentation instr;
+};
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    const Case &c = info.param;
+    std::string mode;
+    switch (c.mode) {
+      case WritePathMode::NoBmo: mode = "NoBmo"; break;
+      case WritePathMode::Serialized: mode = "Serialized"; break;
+      case WritePathMode::Parallel: mode = "Parallel"; break;
+      case WritePathMode::Janus: mode = "Janus"; break;
+    }
+    std::string instr;
+    switch (c.instr) {
+      case Instrumentation::None: instr = "None"; break;
+      case Instrumentation::Manual: instr = "Manual"; break;
+      case Instrumentation::Auto: instr = "Auto"; break;
+    }
+    return std::string(c.workload) + "_" + mode + "_" + instr;
+}
+
+class WorkloadSweep : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadSweep, RunsAndValidates)
+{
+    const Case &c = GetParam();
+    ExperimentConfig config;
+    config.workloadName = c.workload;
+    config.workload.txnsPerCore = 60;
+    config.sys.mode = c.mode;
+    config.instr = c.instr;
+    ExperimentResult r = runExperiment(config); // validates inside
+    EXPECT_EQ(r.transactions, 60u);
+    EXPECT_GT(r.persists, 0u);
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const std::string &w : allWorkloadNames()) {
+        cases.push_back({w.c_str(), WritePathMode::Serialized,
+                         Instrumentation::None});
+        cases.push_back({w.c_str(), WritePathMode::Parallel,
+                         Instrumentation::None});
+        cases.push_back({w.c_str(), WritePathMode::Janus,
+                         Instrumentation::Manual});
+        cases.push_back({w.c_str(), WritePathMode::Janus,
+                         Instrumentation::Auto});
+        cases.push_back({w.c_str(), WritePathMode::NoBmo,
+                         Instrumentation::None});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         testing::ValuesIn(allCases()), caseName);
+
+class WorkloadMultiCore : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadMultiCore, FourCoresValidate)
+{
+    ExperimentConfig config;
+    config.workloadName = GetParam();
+    config.workload.txnsPerCore = 25;
+    config.sys.cores = 4;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_EQ(r.transactions, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadMultiCore,
+    testing::Values("array_swap", "queue", "hash_table", "rb_tree",
+                    "b_tree", "tatp", "tpcc"));
+
+class WorkloadLargeValues : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadLargeValues, ValidatesWith512ByteValues)
+{
+    ExperimentConfig config;
+    config.workloadName = GetParam();
+    config.workload.txnsPerCore = 20;
+    config.workload.valueBytes = 512;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_EQ(r.transactions, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalableWorkloads, WorkloadLargeValues,
+    testing::Values("array_swap", "queue", "hash_table", "rb_tree",
+                    "b_tree"));
+
+} // namespace
+} // namespace janus

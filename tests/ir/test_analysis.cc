@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the CFG analyses (dominators, natural loops).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/analysis.hh"
+#include "ir/builder.hh"
+
+namespace janus
+{
+namespace
+{
+
+/** entry -> {then, else} -> merge; a loop hangs off `then`. */
+Module
+diamondWithLoop(unsigned &then_b, unsigned &else_b, unsigned &merge_b,
+                unsigned &loop_b)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 1);
+    then_b = b.newBlock();
+    else_b = b.newBlock();
+    merge_b = b.newBlock();
+    loop_b = b.newBlock();
+    b.brCond(b.arg(0), then_b, else_b);
+    b.setBlock(then_b);
+    b.br(loop_b);
+    b.setBlock(loop_b);
+    int cond = b.load(b.arg(0), 0);
+    b.brCond(cond, loop_b, merge_b); // self loop
+    b.setBlock(else_b);
+    b.br(merge_b);
+    b.setBlock(merge_b);
+    b.ret();
+    b.endFunction();
+    verify(m);
+    return m;
+}
+
+TEST(CfgInfo, DominatorsOfDiamond)
+{
+    unsigned t, e, mg, lp;
+    Module m = diamondWithLoop(t, e, mg, lp);
+    CfgInfo cfg(m.fn("f"));
+    EXPECT_TRUE(cfg.dominates(0, t));
+    EXPECT_TRUE(cfg.dominates(0, mg));
+    EXPECT_FALSE(cfg.dominates(t, mg)); // else path bypasses
+    EXPECT_FALSE(cfg.dominates(e, mg));
+    EXPECT_TRUE(cfg.dominates(t, lp));
+    EXPECT_TRUE(cfg.dominates(0, 0));
+}
+
+TEST(CfgInfo, LoopDetection)
+{
+    unsigned t, e, mg, lp;
+    Module m = diamondWithLoop(t, e, mg, lp);
+    CfgInfo cfg(m.fn("f"));
+    EXPECT_TRUE(cfg.inLoop(lp));
+    EXPECT_FALSE(cfg.inLoop(0));
+    EXPECT_FALSE(cfg.inLoop(t));
+    EXPECT_FALSE(cfg.inLoop(mg));
+    EXPECT_EQ(cfg.numLoops(), 1u);
+}
+
+TEST(CfgInfo, MultiBlockLoopBody)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 1);
+    unsigned head = b.newBlock();
+    unsigned body = b.newBlock();
+    unsigned exit_b = b.newBlock();
+    b.br(head);
+    b.setBlock(head);
+    b.brCond(b.arg(0), body, exit_b);
+    b.setBlock(body);
+    b.br(head); // back edge
+    b.setBlock(exit_b);
+    b.ret();
+    b.endFunction();
+    CfgInfo cfg(m.fn("f"));
+    EXPECT_TRUE(cfg.inLoop(head));
+    EXPECT_TRUE(cfg.inLoop(body));
+    EXPECT_FALSE(cfg.inLoop(exit_b));
+}
+
+TEST(CfgInfo, StraightLineHasNoLoops)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 0);
+    unsigned next = b.newBlock();
+    b.br(next);
+    b.setBlock(next);
+    b.ret();
+    b.endFunction();
+    CfgInfo cfg(m.fn("f"));
+    EXPECT_EQ(cfg.numLoops(), 0u);
+    EXPECT_TRUE(cfg.dominates(0, next));
+    EXPECT_EQ(cfg.idom(next), 0u);
+}
+
+TEST(CfgInfo, RpoStartsAtEntry)
+{
+    unsigned t, e, mg, lp;
+    Module m = diamondWithLoop(t, e, mg, lp);
+    CfgInfo cfg(m.fn("f"));
+    ASSERT_FALSE(cfg.rpo().empty());
+    EXPECT_EQ(cfg.rpo().front(), 0u);
+    EXPECT_TRUE(cfg.reachable(mg));
+}
+
+TEST(CfgInfo, PredsComputed)
+{
+    unsigned t, e, mg, lp;
+    Module m = diamondWithLoop(t, e, mg, lp);
+    CfgInfo cfg(m.fn("f"));
+    EXPECT_EQ(cfg.preds(mg).size(), 2u); // loop and else
+    EXPECT_EQ(cfg.preds(0).size(), 0u);
+}
+
+} // namespace
+} // namespace janus

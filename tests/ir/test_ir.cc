@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the PmIR structures, builder and verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/ir.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Ir, BuilderProducesVerifiableModule)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 2);
+    int sum = b.add(b.arg(0), b.arg(1));
+    b.ret(sum);
+    b.endFunction();
+    verify(m);
+    EXPECT_EQ(m.fn("f").numArgs, 2u);
+    EXPECT_EQ(m.fn("f").blocks.size(), 1u);
+}
+
+TEST(Ir, TerminatorsDefineSuccessors)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 1);
+    unsigned yes = b.newBlock();
+    unsigned no = b.newBlock();
+    b.brCond(b.arg(0), yes, no);
+    b.setBlock(yes);
+    b.ret();
+    b.setBlock(no);
+    unsigned merge = b.newBlock();
+    b.br(merge);
+    b.setBlock(merge);
+    b.ret();
+    b.endFunction();
+    verify(m);
+    const Function &f = m.fn("f");
+    EXPECT_EQ(f.successors(0), (std::vector<unsigned>{yes, no}));
+    EXPECT_EQ(f.successors(no), (std::vector<unsigned>{merge}));
+    EXPECT_TRUE(f.successors(yes).empty());
+}
+
+TEST(Ir, EmittingPastTerminatorPanics)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 0);
+    b.ret();
+    EXPECT_DEATH(b.constI(1), "terminator");
+}
+
+TEST(Ir, VerifierCatchesBadBranchTarget)
+{
+    Module m;
+    Function f;
+    f.name = "bad";
+    f.numRegs = 1;
+    f.blocks.emplace_back();
+    f.blocks[0].instrs.push_back({.op = Opcode::Br, .imm = 7});
+    m.functions.emplace("bad", f);
+    EXPECT_DEATH(verify(m), "unknown block");
+}
+
+TEST(Ir, VerifierCatchesBadRegister)
+{
+    Module m;
+    Function f;
+    f.name = "bad";
+    f.numRegs = 1;
+    f.blocks.emplace_back();
+    f.blocks[0].instrs.push_back(
+        {.op = Opcode::Mov, .dst = 5, .a = 0});
+    f.blocks[0].instrs.push_back({.op = Opcode::Ret, .a = -1});
+    m.functions.emplace("bad", f);
+    EXPECT_DEATH(verify(m), "out of range");
+}
+
+TEST(Ir, VerifierCatchesUnknownCallee)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 0);
+    b.call("ghost", {});
+    b.ret();
+    b.endFunction();
+    EXPECT_DEATH(verify(m), "unknown");
+}
+
+TEST(Ir, VerifierChecksCallArity)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("callee", 2);
+    b.ret();
+    b.endFunction();
+    b.beginFunction("caller", 1);
+    b.call("callee", {b.arg(0)}); // wants 2 args
+    b.ret();
+    b.endFunction();
+    EXPECT_DEATH(verify(m), "wants 2");
+}
+
+TEST(Ir, PreOpsRecognized)
+{
+    EXPECT_TRUE(isPreOp(Opcode::PreInit));
+    EXPECT_TRUE(isPreOp(Opcode::PreBothVal));
+    EXPECT_TRUE(isPreOp(Opcode::PreStartBuf));
+    EXPECT_FALSE(isPreOp(Opcode::Clwb));
+    EXPECT_FALSE(isPreOp(Opcode::Store));
+}
+
+TEST(Ir, DisassemblyIsReadable)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 1);
+    int v = b.constI(42);
+    b.store(b.arg(0), v, 8);
+    b.clwb(b.arg(0), 64, true);
+    b.sfence();
+    b.ret();
+    b.endFunction();
+    std::string s = toString(m.fn("f"));
+    EXPECT_NE(s.find("const"), std::string::npos);
+    EXPECT_NE(s.find("[meta-atomic]"), std::string::npos);
+    EXPECT_NE(s.find("sfence"), std::string::npos);
+}
+
+TEST(Ir, SlotAllocationPerFunction)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 0);
+    EXPECT_EQ(b.preInit(), 0);
+    EXPECT_EQ(b.preInit(), 1);
+    b.ret();
+    b.endFunction();
+    b.beginFunction("g", 0);
+    EXPECT_EQ(b.preInit(), 0); // resets per function
+    b.ret();
+    b.endFunction();
+}
+
+TEST(Ir, DuplicateFunctionNamePanics)
+{
+    Module m;
+    IrBuilder b(m);
+    b.beginFunction("f", 0);
+    b.ret();
+    b.endFunction();
+    EXPECT_DEATH(b.beginFunction("f", 0), "duplicate");
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the Janus hardware front-end: IRB matching, the
+ * Section 4.3.1 invalidation rules, queue capacities and drops,
+ * entry aging and thread flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmo/bmo_config.hh"
+#include "janus/janus_hw.hh"
+
+namespace janus
+{
+namespace
+{
+
+class JanusHwTest : public ::testing::Test
+{
+  protected:
+    JanusHwTest()
+        : graph_(buildStandardGraph(bmo_)), engine_(graph_, 0),
+          backend_(bmo_), frontend_(cfg_, engine_, backend_)
+    {}
+
+    PreObjId
+    obj(std::uint16_t id)
+    {
+        return PreObjId{id, 0, 0};
+    }
+
+    PreChunk
+    both(Addr line, const CacheLine &data)
+    {
+        return PreChunk{line, data};
+    }
+
+    BmoConfig bmo_;
+    JanusHwConfig cfg_;
+    BmoGraph graph_;
+    BmoEngine engine_;
+    BmoBackendState backend_;
+    JanusFrontend frontend_;
+};
+
+TEST_F(JanusHwTest, FullPreExecutionConsumedComplete)
+{
+    CacheLine data = CacheLine::fromSeed(1);
+    frontend_.issueImmediate(obj(1), {both(0x1000, data)}, 0);
+    // The write arrives long after the BMOs completed.
+    ConsumeResult r = frontend_.consume(0x1000, data, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_TRUE(r.fullyPreExecuted);
+    EXPECT_FALSE(r.dataMismatch);
+    EXPECT_LE(r.ready, 10 * ticks::us + cfg_.irbLookupLatency);
+    EXPECT_EQ(frontend_.irbOccupancy(), 0u);
+}
+
+TEST_F(JanusHwTest, EarlyWriteWaitsForInFlightPreExecution)
+{
+    CacheLine data = CacheLine::fromSeed(2);
+    frontend_.issueImmediate(obj(1), {both(0x1000, data)}, 0);
+    // Write arrives 100 ns later; the ~691 ns BMO chain is mid-way.
+    ConsumeResult r = frontend_.consume(0x1000, data, 100 * ticks::ns);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_FALSE(r.fullyPreExecuted);
+    EXPECT_GT(r.ready, 100 * ticks::ns);
+    EXPECT_LT(r.ready, 800 * ticks::ns); // far less than restarting
+}
+
+TEST_F(JanusHwTest, NoEntryMeansNoResult)
+{
+    ConsumeResult r =
+        frontend_.consume(0x2000, CacheLine::fromSeed(3), 1000);
+    EXPECT_FALSE(r.hadEntry);
+    EXPECT_EQ(r.ready, 1000u);
+}
+
+TEST_F(JanusHwTest, DataMismatchInvalidatesDataDependentWork)
+{
+    CacheLine predicted = CacheLine::fromSeed(4);
+    CacheLine actual = CacheLine::fromSeed(5);
+    frontend_.issueImmediate(obj(1), {both(0x1000, predicted)}, 0);
+    ConsumeResult r =
+        frontend_.consume(0x1000, actual, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_TRUE(r.dataMismatch);
+    EXPECT_FALSE(r.fullyPreExecuted);
+    // Data-dependent work (D1's 321 ns at least) must be redone.
+    EXPECT_GE(r.ready, 10 * ticks::us + 300 * ticks::ns);
+    EXPECT_EQ(frontend_.dataMismatches(), 1u);
+}
+
+TEST_F(JanusHwTest, AddrOnlyThenDataMergesIntoOneEntry)
+{
+    // Fig. 8a: PRE_DATA then PRE_ADDR under one pre-object.
+    CacheLine data = CacheLine::fromSeed(6);
+    frontend_.issueImmediate(obj(1),
+                             {PreChunk{std::nullopt, data}}, 0);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+    frontend_.issueImmediate(obj(1),
+                             {PreChunk{Addr(0x3000), std::nullopt}},
+                             100 * ticks::ns);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u); // merged, not new
+    ConsumeResult r = frontend_.consume(0x3000, data, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_TRUE(r.fullyPreExecuted);
+}
+
+TEST_F(JanusHwTest, DataOnlyEntryMatchedByContent)
+{
+    CacheLine data = CacheLine::fromSeed(7);
+    frontend_.issueImmediate(obj(1),
+                             {PreChunk{std::nullopt, data}}, 0);
+    ConsumeResult r = frontend_.consume(0x4000, data, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+}
+
+TEST_F(JanusHwTest, MetadataChangeInvalidatesDedupDependents)
+{
+    // Pre-execute against an empty dedup table, then make the data a
+    // duplicate before the write arrives.
+    CacheLine data = CacheLine::fromSeed(8);
+    frontend_.issueImmediate(obj(1), {both(0x1000, data)}, 0);
+    backend_.writeLine(0x9000, data); // now a dup target exists
+    ConsumeResult r = frontend_.consume(0x1000, data, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_TRUE(r.metadataInvalidated);
+    EXPECT_FALSE(r.fullyPreExecuted);
+    EXPECT_EQ(frontend_.metadataInvalidations(), 1u);
+}
+
+TEST_F(JanusHwTest, PreferMatchingSnapshotAmongSameLineEntries)
+{
+    // Two pre-executions of the same line (e.g. a flag toggled):
+    // the consuming write picks the snapshot that matches.
+    CacheLine v1 = CacheLine::fromSeed(9);
+    CacheLine v2 = CacheLine::fromSeed(10);
+    frontend_.issueImmediate(obj(1), {both(0x5000, v1)}, 0);
+    frontend_.issueImmediate(obj(2), {both(0x5000, v2)}, 0);
+    ConsumeResult r = frontend_.consume(0x5000, v1, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_FALSE(r.dataMismatch);
+    EXPECT_TRUE(r.fullyPreExecuted);
+    // Both entries are retired by the write.
+    EXPECT_EQ(frontend_.irbOccupancy(), 0u);
+}
+
+TEST_F(JanusHwTest, IrbCapacityDropsNewRequests)
+{
+    for (unsigned i = 0; i < cfg_.irbEntries + 8; ++i)
+        frontend_.issueImmediate(
+            obj(static_cast<std::uint16_t>(i + 1)),
+            {both(0x10000 + Addr(i) * lineBytes,
+                  CacheLine::fromSeed(i))},
+            0);
+    EXPECT_EQ(frontend_.irbOccupancy(), cfg_.irbEntries);
+    EXPECT_EQ(frontend_.droppedIrb(), 8u);
+}
+
+TEST_F(JanusHwTest, OpQueueLimitsInFlightWork)
+{
+    JanusHwConfig tiny = cfg_;
+    tiny.opQueueEntries = 2;
+    JanusFrontend fe(tiny, engine_, backend_);
+    for (unsigned i = 0; i < 5; ++i)
+        fe.issueImmediate(obj(static_cast<std::uint16_t>(i + 1)),
+                          {both(0x20000 + Addr(i) * lineBytes,
+                                CacheLine::fromSeed(i))},
+                          0);
+    EXPECT_EQ(fe.droppedOpQueue(), 3u);
+    // Once earlier sub-ops complete, new requests go through again.
+    fe.issueImmediate(obj(99), {both(0x30000, CacheLine::fromSeed(9))},
+                      10 * ticks::us);
+    EXPECT_EQ(fe.droppedOpQueue(), 3u);
+}
+
+TEST_F(JanusHwTest, AgedEntriesExpire)
+{
+    frontend_.issueImmediate(obj(1),
+                             {both(0x6000, CacheLine::fromSeed(1))},
+                             0);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+    // Issue far beyond the age limit; the stale entry is discarded.
+    frontend_.issueImmediate(obj(2),
+                             {both(0x7000, CacheLine::fromSeed(2))},
+                             cfg_.maxEntryAge + ticks::ms);
+    EXPECT_EQ(frontend_.agedOut(), 1u);
+    ConsumeResult r = frontend_.consume(
+        0x6000, CacheLine::fromSeed(1),
+        cfg_.maxEntryAge + 2 * ticks::ms);
+    EXPECT_FALSE(r.hadEntry);
+}
+
+TEST_F(JanusHwTest, ThreadFlushDropsOnlyThatThread)
+{
+    frontend_.issueImmediate(PreObjId{1, 7, 0},
+                             {both(0x8000, CacheLine::fromSeed(1))},
+                             0);
+    frontend_.issueImmediate(PreObjId{1, 8, 0},
+                             {both(0x8040, CacheLine::fromSeed(2))},
+                             0);
+    frontend_.flushThread(7);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+    EXPECT_FALSE(
+        frontend_.consume(0x8000, CacheLine::fromSeed(1), 1000)
+            .hadEntry);
+    EXPECT_TRUE(
+        frontend_.consume(0x8040, CacheLine::fromSeed(2), 2000)
+            .hadEntry);
+}
+
+TEST_F(JanusHwTest, FlushRangeForSwapOut)
+{
+    frontend_.issueImmediate(obj(1),
+                             {both(0x9000, CacheLine::fromSeed(1))},
+                             0);
+    frontend_.issueImmediate(obj(2),
+                             {both(0xA000, CacheLine::fromSeed(2))},
+                             0);
+    frontend_.flushRange(0x9000, 0x1000);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+}
+
+TEST_F(JanusHwTest, BufferedRequestsCoalesceFieldUpdates)
+{
+    // Fig. 8b: two buffered field updates to one line merge into a
+    // single prediction.
+    CacheLine base; // line starts zeroed
+    CacheLine patch1 = base;
+    patch1.setWord(0, 111);
+    PreChunk c1{Addr(0xB000), patch1};
+    c1.patchOffset = 0;
+    c1.patchSize = 8;
+    CacheLine patch2 = base;
+    patch2.setWord(8, 222);
+    PreChunk c2{Addr(0xB000), patch2};
+    c2.patchOffset = 8;
+    c2.patchSize = 8;
+    frontend_.buffer(obj(1), {c1}, 0);
+    frontend_.buffer(obj(1), {c2}, 0);
+    EXPECT_EQ(frontend_.irbOccupancy(), 0u); // still parked
+    frontend_.startBuffered(obj(1), 0);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+    CacheLine merged = base;
+    merged.setWord(0, 111);
+    merged.setWord(8, 222);
+    ConsumeResult r = frontend_.consume(0xB000, merged, 10 * ticks::us);
+    EXPECT_TRUE(r.hadEntry);
+    EXPECT_FALSE(r.dataMismatch);
+    EXPECT_TRUE(r.fullyPreExecuted);
+}
+
+TEST_F(JanusHwTest, RequestQueueOverflowDropsOldestBuffered)
+{
+    JanusHwConfig tiny = cfg_;
+    tiny.requestQueueEntries = 2;
+    JanusFrontend fe(tiny, engine_, backend_);
+    for (unsigned i = 0; i < 4; ++i)
+        fe.buffer(obj(1),
+                  {both(0xC000 + Addr(i) * lineBytes,
+                        CacheLine::fromSeed(i))},
+                  0);
+    EXPECT_EQ(fe.droppedRequestQueue(), 2u);
+    fe.startBuffered(obj(1), 0);
+    EXPECT_EQ(fe.irbOccupancy(), 2u); // only the survivors launch
+}
+
+TEST_F(JanusHwTest, StartBufferedUnknownObjectIsHarmless)
+{
+    frontend_.startBuffered(obj(42), 0);
+    EXPECT_EQ(frontend_.irbOccupancy(), 0u);
+}
+
+} // namespace
+} // namespace janus

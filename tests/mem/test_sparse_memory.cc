@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory and region allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/sparse_memory.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(SparseMemory, ReadsZeroWhenUnbacked)
+{
+    SparseMemory mem;
+    std::uint8_t buf[16];
+    std::fill(std::begin(buf), std::end(buf), 0xFF);
+    mem.read(0x123456, buf, sizeof(buf));
+    for (std::uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(SparseMemory, WordRoundTrip)
+{
+    SparseMemory mem;
+    mem.writeWord(0x1000, 0xCAFEBABEDEADBEEFull);
+    EXPECT_EQ(mem.readWord(0x1000), 0xCAFEBABEDEADBEEFull);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    std::string msg = "crossing a 4K page boundary";
+    Addr addr = SparseMemory::pageBytes - 5;
+    mem.write(addr, msg.data(), static_cast<unsigned>(msg.size()));
+    std::string out(msg.size(), '\0');
+    mem.read(addr, out.data(), static_cast<unsigned>(out.size()));
+    EXPECT_EQ(out, msg);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SparseMemory, LineRoundTrip)
+{
+    SparseMemory mem;
+    CacheLine line = CacheLine::fromSeed(77);
+    mem.writeLine(0x4000, line);
+    EXPECT_TRUE(mem.readLine(0x4000) == line);
+    EXPECT_TRUE(mem.readLine(0x4040) == CacheLine());
+}
+
+TEST(SparseMemory, UnalignedLineAccessPanics)
+{
+    SparseMemory mem;
+    EXPECT_DEATH(mem.readLine(0x4001), "unaligned");
+}
+
+TEST(SparseMemory, ClearDropsContents)
+{
+    SparseMemory mem;
+    mem.writeWord(64, 42);
+    mem.clear();
+    EXPECT_EQ(mem.readWord(64), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(SparseMemory, CopyFromDeepCopies)
+{
+    SparseMemory a, b;
+    a.writeWord(0, 11);
+    b.copyFrom(a);
+    a.writeWord(0, 22);
+    EXPECT_EQ(b.readWord(0), 11u);
+    EXPECT_EQ(a.readWord(0), 22u);
+}
+
+TEST(SparseMemory, PartialOverwrite)
+{
+    SparseMemory mem;
+    mem.writeWord(0x100, 0x1111111111111111ull);
+    std::uint8_t byte = 0xAB;
+    mem.write(0x104, &byte, 1);
+    EXPECT_EQ(mem.readWord(0x100), 0x111111AB11111111ull);
+}
+
+TEST(RegionAllocator, AlignsAndAdvances)
+{
+    RegionAllocator alloc(0x1000, 0x1000);
+    Addr a = alloc.alloc(10);
+    Addr b = alloc.alloc(10);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(b % lineBytes, 0u);
+    EXPECT_GT(b, a);
+}
+
+TEST(RegionAllocator, CustomAlignment)
+{
+    RegionAllocator alloc(0x1000, 0x10000);
+    alloc.alloc(1);
+    Addr a = alloc.alloc(8, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(RegionAllocator, ExhaustionIsFatal)
+{
+    RegionAllocator alloc(0, 128);
+    alloc.alloc(64);
+    EXPECT_EXIT(alloc.alloc(128), testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(RegionAllocator, WatermarkTracksUse)
+{
+    RegionAllocator alloc(0x2000, 0x1000);
+    EXPECT_EQ(alloc.watermark(), 0x2000u);
+    alloc.alloc(100);
+    EXPECT_EQ(alloc.watermark(), 0x2064u);
+}
+
+} // namespace
+} // namespace janus

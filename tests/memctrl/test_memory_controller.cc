@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the memory controller: per-mode write latency,
+ * duplicate cancellation, metadata atomicity, counter-cache effect,
+ * FIFO persist-domain ordering and the read path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/memory_controller.hh"
+
+namespace janus
+{
+namespace
+{
+
+MemCtrlConfig
+config(WritePathMode mode)
+{
+    MemCtrlConfig c;
+    c.mode = mode;
+    return c;
+}
+
+TEST(MemoryController, SerializedLatencyMatchesTableOne)
+{
+    MemoryController mc(config(WritePathMode::Serialized));
+    PersistResult r = mc.persistWrite(0x1000, CacheLine::fromSeed(1),
+                                      ticks::us, false);
+    // 819 ns of BMOs + the counter-cache cold miss extra (61 ns).
+    EXPECT_EQ(r.persisted - ticks::us, 880 * ticks::ns);
+}
+
+TEST(MemoryController, ParallelLatencyIsCriticalPath)
+{
+    MemoryController mc(config(WritePathMode::Parallel));
+    PersistResult r = mc.persistWrite(0x1000, CacheLine::fromSeed(1),
+                                      ticks::us, false);
+    // Cold counter-cache miss adds to E1 but off the critical path.
+    EXPECT_EQ(r.persisted - ticks::us, 691 * ticks::ns);
+}
+
+TEST(MemoryController, NoBmoIsImmediate)
+{
+    MemoryController mc(config(WritePathMode::NoBmo));
+    PersistResult r = mc.persistWrite(0x1000, CacheLine::fromSeed(1),
+                                      ticks::us, false);
+    EXPECT_EQ(r.persisted, ticks::us);
+}
+
+TEST(MemoryController, CounterCacheHitShortensSerializedWrite)
+{
+    MemoryController mc(config(WritePathMode::Serialized));
+    Tick t1 = mc.persistWrite(0x1000, CacheLine::fromSeed(1),
+                              ticks::us, false)
+                  .persisted -
+              ticks::us;
+    Tick t2 = mc.persistWrite(0x1000, CacheLine::fromSeed(2),
+                              ticks::us + 10 * ticks::us, false)
+                  .persisted -
+              (ticks::us + 10 * ticks::us);
+    EXPECT_EQ(t1 - t2, 61 * ticks::ns); // miss(63) vs hit(2)
+}
+
+TEST(MemoryController, DuplicateWriteCancelled)
+{
+    MemoryController mc(config(WritePathMode::Parallel));
+    CacheLine v = CacheLine::fromSeed(9);
+    mc.persistWrite(0x1000, v, ticks::us, false);
+    std::uint64_t writes_before = mc.device().writesAccepted();
+    PersistResult r =
+        mc.persistWrite(0x2000, v, 2 * ticks::us, false);
+    EXPECT_TRUE(r.duplicate);
+    // The data write never reaches the device.
+    EXPECT_EQ(mc.device().writesAccepted(), writes_before);
+}
+
+TEST(MemoryController, MetaAtomicIssuesMetadataWrite)
+{
+    MemoryController mc(config(WritePathMode::Parallel));
+    mc.persistWrite(0x1000, CacheLine::fromSeed(1), ticks::us, true);
+    EXPECT_EQ(mc.metaAtomicWrites(), 1u);
+    EXPECT_EQ(mc.device().writesAccepted(), 2u); // data + metadata
+}
+
+TEST(MemoryController, PersistDomainIsFifo)
+{
+    // A later pre-executed (cheap) write must not become durable
+    // before an earlier expensive one.
+    MemoryController mc(config(WritePathMode::Serialized));
+    PersistResult slow = mc.persistWrite(
+        0x1000, CacheLine::fromSeed(1), ticks::us, false);
+    PersistResult fast = mc.persistWrite(
+        0x2000, CacheLine::fromSeed(1), ticks::us + 1, false);
+    // Second write is a duplicate (no device work) but still ordered.
+    EXPECT_TRUE(fast.duplicate);
+    EXPECT_GE(fast.persisted, slow.persisted);
+}
+
+TEST(MemoryController, FunctionalReadBackThroughBackend)
+{
+    MemoryController mc(config(WritePathMode::Janus));
+    CacheLine v = CacheLine::fromSeed(3);
+    mc.persistWrite(0x1000, v, ticks::us, false);
+    ReadOutcome out = mc.backend().readLine(0x1000);
+    EXPECT_TRUE(out.data == v);
+    EXPECT_TRUE(out.macOk);
+    EXPECT_TRUE(out.treeOk);
+}
+
+TEST(MemoryController, ReadLatencyCoversDeviceAndDecrypt)
+{
+    MemCtrlConfig c = config(WritePathMode::Parallel);
+    MemoryController mc(c);
+    Tick done = mc.readLine(0x1000, ticks::us);
+    Tick base = c.nvm.tRcd + c.nvm.tCl + c.nvm.tBurst;
+    EXPECT_GE(done - ticks::us, base);
+    // Cold counter-cache miss: the metadata fetch dominates.
+    EXPECT_GT(done - ticks::us, base + c.bmo.aesLatency);
+    // Warm: OTP generation overlaps the data fetch.
+    Tick done2 = mc.readLine(0x1000, 10 * ticks::us);
+    EXPECT_LT(done2 - 10 * ticks::us, done - ticks::us);
+}
+
+TEST(MemoryController, JanusModeWithoutPreExecutionStillParallel)
+{
+    MemoryController mc(config(WritePathMode::Janus));
+    PersistResult r = mc.persistWrite(0x1000, CacheLine::fromSeed(1),
+                                      ticks::us, false);
+    // IRB miss: parallel BMOs at write time plus the lookup cost.
+    EXPECT_LE(r.persisted - ticks::us,
+              (691 + 5) * ticks::ns);
+    EXPECT_FALSE(r.fullyPreExecuted);
+}
+
+TEST(MemoryController, JanusConsumesFrontendResults)
+{
+    MemoryController mc(config(WritePathMode::Janus));
+    CacheLine v = CacheLine::fromSeed(4);
+    mc.frontend().issueImmediate(PreObjId{1, 0, 0},
+                                 {PreChunk{Addr(0x1000), v}}, 0);
+    PersistResult r =
+        mc.persistWrite(0x1000, v, 10 * ticks::us, false);
+    EXPECT_TRUE(r.fullyPreExecuted);
+    EXPECT_LT(r.persisted - 10 * ticks::us, 20 * ticks::ns);
+}
+
+TEST(MemoryController, MetaLineMappingIsStable)
+{
+    MemoryController mc(config(WritePathMode::Parallel));
+    Addr m0 = mc.metaLineOf(0x0);
+    Addr m1 = mc.metaLineOf(0x40);
+    Addr m4 = mc.metaLineOf(0x100);
+    EXPECT_EQ(m0, m1); // four 16-byte entries share a line
+    EXPECT_NE(m0, m4);
+    EXPECT_EQ(lineOffset(m0), 0u);
+}
+
+TEST(MemoryController, WriteLatencyStatAccumulates)
+{
+    MemoryController mc(config(WritePathMode::Serialized));
+    mc.persistWrite(0x1000, CacheLine::fromSeed(1), ticks::us, false);
+    mc.persistWrite(0x1040, CacheLine::fromSeed(2), 2 * ticks::us,
+                    false);
+    EXPECT_EQ(mc.writes(), 2u);
+    EXPECT_GT(mc.avgWriteLatencyNs(), 800.0);
+}
+
+} // namespace
+} // namespace janus

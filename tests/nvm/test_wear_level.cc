@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit and property tests for Start-Gap wear leveling.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nvm/wear_level.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(StartGap, IdentityBeforeAnyRotation)
+{
+    StartGapWearLeveler wl(0x1000, 8, 10);
+    for (std::uint64_t l = 0; l < 8; ++l)
+        EXPECT_EQ(wl.translate(0x1000 + (l << lineShift)),
+                  0x1000 + (l << lineShift));
+}
+
+TEST(StartGap, MappingIsInjectiveAndAvoidsGap)
+{
+    StartGapWearLeveler wl(0, 16, 1);
+    for (int move = 0; move < 200; ++move) {
+        std::set<Addr> frames;
+        for (std::uint64_t l = 0; l < 16; ++l) {
+            Addr f = wl.translate(l << lineShift);
+            EXPECT_TRUE(frames.insert(f).second) << "collision";
+            EXPECT_NE(f >> lineShift, wl.gap());
+            EXPECT_LT(f >> lineShift, 17u); // N+1 frames
+        }
+        wl.onWrite();
+    }
+}
+
+TEST(StartGap, OneLineMovesPerRotation)
+{
+    StartGapWearLeveler wl(0, 16, 1);
+    for (int move = 0; move < 100; ++move) {
+        std::vector<Addr> before(16);
+        for (std::uint64_t l = 0; l < 16; ++l)
+            before[l] = wl.translate(l << lineShift);
+        std::uint64_t old_gap = wl.gap();
+        EXPECT_TRUE(wl.onWrite());
+        unsigned moved = 0;
+        for (std::uint64_t l = 0; l < 16; ++l) {
+            Addr now = wl.translate(l << lineShift);
+            if (now != before[l]) {
+                ++moved;
+                // The moving line lands in the vacated gap frame.
+                EXPECT_EQ(now >> lineShift, old_gap);
+            }
+        }
+        EXPECT_EQ(moved, 1u);
+    }
+}
+
+TEST(StartGap, GapIntervalThrottlesRotation)
+{
+    StartGapWearLeveler wl(0, 8, 10);
+    unsigned rotations = 0;
+    for (int w = 0; w < 100; ++w)
+        rotations += wl.onWrite() ? 1 : 0;
+    EXPECT_EQ(rotations, 10u);
+    EXPECT_EQ(wl.rotations(), 10u);
+}
+
+TEST(StartGap, HotLineSpreadsOverFrames)
+{
+    // A single hot logical line must visit many frames over time.
+    StartGapWearLeveler wl(0, 8, 1);
+    std::set<Addr> frames_used;
+    for (int w = 0; w < 9 * 8 + 1; ++w) {
+        Addr frame = wl.translate(0);
+        wl.recordFrameWrite(frame);
+        frames_used.insert(frame);
+        wl.onWrite();
+    }
+    // After a full lap plus, the hot line has lived in most frames.
+    EXPECT_GE(frames_used.size(), 8u);
+}
+
+TEST(StartGap, FullLapAdvancesStart)
+{
+    StartGapWearLeveler wl(0, 4, 1);
+    for (int w = 0; w < 5; ++w)
+        wl.onWrite(); // 5 moves = one full lap for N=4
+    EXPECT_EQ(wl.fullLaps(), 1u);
+}
+
+TEST(StartGap, OutOfRegionPanics)
+{
+    StartGapWearLeveler wl(0, 4, 1);
+    EXPECT_DEATH(wl.translate(4 << lineShift), "outside");
+}
+
+TEST(StartGap, FrameWriteHistogram)
+{
+    StartGapWearLeveler wl(0, 4, 1);
+    wl.recordFrameWrite(0);
+    wl.recordFrameWrite(0);
+    wl.recordFrameWrite(64);
+    EXPECT_EQ(wl.frameWrites().at(0), 2u);
+    EXPECT_EQ(wl.frameWrites().at(1), 1u);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/eventq.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, StableForSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(9, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvances)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    std::uint64_t n = eq.run(10);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 10u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, LimitBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.run(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(SimObject, NameAndTime)
+{
+    EventQueue eq;
+    struct Dummy : SimObject
+    {
+        using SimObject::SimObject;
+        void
+        kick()
+        {
+            schedule(7, [this] { fired = curTick(); }); // NOLINT
+        }
+        Tick fired = 0;
+    };
+    Dummy d("dummy", eq);
+    EXPECT_EQ(d.name(), "dummy");
+    d.kick();
+    eq.run();
+    EXPECT_EQ(d.fired, 7u);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2);
+    a.sample(4);
+    a.sample(9);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5);
+    EXPECT_DOUBLE_EQ(a.min(), 2);
+    EXPECT_DOUBLE_EQ(a.max(), 9);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0);
+    EXPECT_DOUBLE_EQ(a.min(), 0);
+    EXPECT_DOUBLE_EQ(a.max(), 0);
+}
+
+TEST(Average, NegativeSamples)
+{
+    Average a;
+    a.sample(-5);
+    a.sample(5);
+    EXPECT_DOUBLE_EQ(a.min(), -5);
+    EXPECT_DOUBLE_EQ(a.mean(), 0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0, 10, 5);
+    h.sample(-1);   // underflow
+    h.sample(0);    // bucket 0
+    h.sample(1.9);  // bucket 0
+    h.sample(5);    // bucket 2
+    h.sample(10);   // overflow (hi is exclusive)
+    h.sample(99);   // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 2u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(4), 0u);
+}
+
+TEST(StatGroup, NamedStatsPersist)
+{
+    StatGroup g("mc");
+    g.scalar("writes") += 2;
+    g.scalar("writes") += 3;
+    g.average("latency").sample(10);
+    EXPECT_DOUBLE_EQ(g.scalar("writes").value(), 5);
+    EXPECT_EQ(g.average("latency").count(), 1u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("core0");
+    g.scalar("instructions") += 100;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core0.instructions 100"),
+              std::string::npos);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g("x");
+    g.scalar("a") += 1;
+    g.average("b").sample(4);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.scalar("a").value(), 0);
+    EXPECT_EQ(g.average("b").count(), 0u);
+}
+
+} // namespace
+} // namespace janus

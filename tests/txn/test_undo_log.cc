@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the undo-log runtime: IR library emission, entry
+ * layout, lane rotation, parsing and rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(UndoLog, LibraryEmitsBothFunctions)
+{
+    Module m;
+    buildTxnLibrary(m);
+    verify(m);
+    EXPECT_TRUE(m.has("undo_append"));
+    EXPECT_TRUE(m.has("tx_finish"));
+    EXPECT_EQ(m.fn("undo_append").numArgs, 3u);
+    EXPECT_EQ(m.fn("tx_finish").numArgs, 1u);
+}
+
+TEST(UndoLog, FootprintIsLineAligned)
+{
+    EXPECT_EQ(logEntryFootprint(1), 128u);
+    EXPECT_EQ(logEntryFootprint(64), 128u);
+    EXPECT_EQ(logEntryFootprint(65), 192u);
+    EXPECT_EQ(logEntryFootprint(8192), 64u + 8192u);
+}
+
+TEST(UndoLog, ParseEmptyLog)
+{
+    SparseMemory image;
+    EXPECT_TRUE(parseUndoLog(image, 0x1000).empty());
+}
+
+/** Write an entry the way undo_append lays it out. */
+Addr
+writeEntry(SparseMemory &image, Addr log, Addr offset, Addr dest,
+           const std::vector<std::uint8_t> &old_data)
+{
+    Addr entry = log + logHeaderBytes + offset;
+    image.writeWord(entry, dest);
+    image.writeWord(entry + 8, old_data.size());
+    image.write(entry + logEntryHeaderBytes, old_data.data(),
+                static_cast<unsigned>(old_data.size()));
+    return offset + logEntryFootprint(old_data.size());
+}
+
+TEST(UndoLog, ParseAndRollbackSingleEntry)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    image.writeWord(0x4000, 0xAAAA); // current (modified) value
+    std::vector<std::uint8_t> old(8, 0x11);
+    writeEntry(image, log, 0, 0x4000, old);
+
+    auto entries = parseUndoLog(image, log);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].dest, 0x4000u);
+    EXPECT_EQ(entries[0].size, 8u);
+
+    EXPECT_EQ(recoverUndoLog(image, log), 1u);
+    EXPECT_EQ(image.readWord(0x4000), 0x1111111111111111ull);
+    // Log truncated after recovery.
+    EXPECT_TRUE(parseUndoLog(image, log).empty());
+}
+
+TEST(UndoLog, RollbackAppliesNewestFirst)
+{
+    // Two entries for the same destination: the oldest (first
+    // logged) value must win.
+    SparseMemory image;
+    Addr log = 0x10000;
+    std::vector<std::uint8_t> first(8, 0x22);
+    std::vector<std::uint8_t> second(8, 0x33);
+    Addr off = writeEntry(image, log, 0, 0x4000, first);
+    writeEntry(image, log, off, 0x4000, second);
+    recoverUndoLog(image, log);
+    EXPECT_EQ(image.readWord(0x4000), 0x2222222222222222ull);
+}
+
+TEST(UndoLog, ScanStopsAtTerminator)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    std::vector<std::uint8_t> data(8, 0x44);
+    Addr off = writeEntry(image, log, 0, 0x4000, data);
+    // Stale garbage beyond the terminator must not be scanned.
+    image.writeWord(log + logHeaderBytes + off, 0); // terminator
+    writeEntry(image, log, off + logEntryFootprint(8), 0x5000, data);
+    // The stale entry is unreachable because its predecessor slot
+    // is zero... but it lives at offset 2*footprint, which the scan
+    // never reaches.
+    auto entries = parseUndoLog(image, log);
+    EXPECT_EQ(entries.size(), 1u);
+}
+
+TEST(UndoLog, LanesAreIndependent)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    std::vector<std::uint8_t> data(8, 0x55);
+    // Entry in lane 2 only.
+    Addr lane2 = 2 * logLaneBytes;
+    writeEntry(image, log, lane2, 0x4000, data);
+    auto entries = parseUndoLog(image, log);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].dest, 0x4000u);
+}
+
+TEST(UndoLog, TwoLiveLanesPanics)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    std::vector<std::uint8_t> data(8, 0x66);
+    writeEntry(image, log, 0, 0x4000, data);
+    writeEntry(image, log, logLaneBytes, 0x5000, data);
+    EXPECT_DEATH(parseUndoLog(image, log), "two uncommitted");
+}
+
+TEST(UndoLog, ImplausibleSizeIsRejected)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    image.writeWord(log + logHeaderBytes, 0x4000);
+    image.writeWord(log + logHeaderBytes + 8, Addr(1) << 40);
+    EXPECT_DEATH(parseUndoLog(image, log), "implausible");
+}
+
+TEST(UndoLog, MultiLineEntryRoundTrips)
+{
+    SparseMemory image;
+    Addr log = 0x10000;
+    std::vector<std::uint8_t> big(300);
+    for (unsigned i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i);
+    writeEntry(image, log, 0, 0x4000, big);
+    auto entries = parseUndoLog(image, log);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].oldData, big);
+    recoverUndoLog(image, log);
+    std::vector<std::uint8_t> out(300);
+    image.read(0x4000, out.data(), 300);
+    EXPECT_EQ(out, big);
+}
+
+TEST(UndoLog, RegionConstantsAreConsistent)
+{
+    EXPECT_EQ(logRegionBytes,
+              logHeaderBytes + logLanes * logLaneBytes);
+    EXPECT_EQ(logLaneBytes % lineBytes, 0u);
+    EXPECT_GE(logLaneBytes, 2 * logEntryFootprint(8192) + lineBytes);
+}
+
+} // namespace
+} // namespace janus
