@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bmo_mix.dir/ablation_bmo_mix.cc.o"
+  "CMakeFiles/ablation_bmo_mix.dir/ablation_bmo_mix.cc.o.d"
+  "ablation_bmo_mix"
+  "ablation_bmo_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bmo_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ideal.dir/fig10_ideal.cc.o"
+  "CMakeFiles/fig10_ideal.dir/fig10_ideal.cc.o.d"
+  "fig10_ideal"
+  "fig10_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_auto.dir/fig11_auto.cc.o"
+  "CMakeFiles/fig11_auto.dir/fig11_auto.cc.o.d"
+  "fig11_auto"
+  "fig11_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

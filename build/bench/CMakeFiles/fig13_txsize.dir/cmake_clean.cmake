@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_txsize.dir/fig13_txsize.cc.o"
+  "CMakeFiles/fig13_txsize.dir/fig13_txsize.cc.o.d"
+  "fig13_txsize"
+  "fig13_txsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_txsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_units.dir/fig14_units.cc.o"
+  "CMakeFiles/fig14_units.dir/fig14_units.cc.o.d"
+  "fig14_units"
+  "fig14_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

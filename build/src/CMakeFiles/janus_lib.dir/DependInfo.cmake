@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmo/backend_state.cc" "src/CMakeFiles/janus_lib.dir/bmo/backend_state.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/backend_state.cc.o.d"
+  "/root/repo/src/bmo/bmo_config.cc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_config.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_config.cc.o.d"
+  "/root/repo/src/bmo/bmo_engine.cc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_engine.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_engine.cc.o.d"
+  "/root/repo/src/bmo/bmo_graph.cc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_graph.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/bmo_graph.cc.o.d"
+  "/root/repo/src/bmo/compress.cc" "src/CMakeFiles/janus_lib.dir/bmo/compress.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/compress.cc.o.d"
+  "/root/repo/src/bmo/merkle_tree.cc" "src/CMakeFiles/janus_lib.dir/bmo/merkle_tree.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/bmo/merkle_tree.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/CMakeFiles/janus_lib.dir/cache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/cache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/common/cacheline.cc" "src/CMakeFiles/janus_lib.dir/common/cacheline.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/common/cacheline.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/janus_lib.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/janus_lib.dir/common/random.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/common/random.cc.o.d"
+  "/root/repo/src/compiler/auto_instrument.cc" "src/CMakeFiles/janus_lib.dir/compiler/auto_instrument.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/compiler/auto_instrument.cc.o.d"
+  "/root/repo/src/compiler/misuse_check.cc" "src/CMakeFiles/janus_lib.dir/compiler/misuse_check.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/compiler/misuse_check.cc.o.d"
+  "/root/repo/src/cpu/timing_core.cc" "src/CMakeFiles/janus_lib.dir/cpu/timing_core.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/cpu/timing_core.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/janus_lib.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/crc32.cc" "src/CMakeFiles/janus_lib.dir/crypto/crc32.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/crypto/crc32.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/CMakeFiles/janus_lib.dir/crypto/md5.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/crypto/md5.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/CMakeFiles/janus_lib.dir/crypto/sha1.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/crypto/sha1.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/janus_lib.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/janus_lib.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/harness/system.cc.o.d"
+  "/root/repo/src/ir/analysis.cc" "src/CMakeFiles/janus_lib.dir/ir/analysis.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/ir/analysis.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/janus_lib.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/CMakeFiles/janus_lib.dir/ir/ir.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/ir/ir.cc.o.d"
+  "/root/repo/src/janus/janus_hw.cc" "src/CMakeFiles/janus_lib.dir/janus/janus_hw.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/janus/janus_hw.cc.o.d"
+  "/root/repo/src/mem/sparse_memory.cc" "src/CMakeFiles/janus_lib.dir/mem/sparse_memory.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/mem/sparse_memory.cc.o.d"
+  "/root/repo/src/memctrl/memory_controller.cc" "src/CMakeFiles/janus_lib.dir/memctrl/memory_controller.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/memctrl/memory_controller.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/CMakeFiles/janus_lib.dir/nvm/nvm_device.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/nvm/nvm_device.cc.o.d"
+  "/root/repo/src/nvm/wear_level.cc" "src/CMakeFiles/janus_lib.dir/nvm/wear_level.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/nvm/wear_level.cc.o.d"
+  "/root/repo/src/sim/eventq.cc" "src/CMakeFiles/janus_lib.dir/sim/eventq.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/sim/eventq.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/janus_lib.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/sim/stats.cc.o.d"
+  "/root/repo/src/txn/undo_log.cc" "src/CMakeFiles/janus_lib.dir/txn/undo_log.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/txn/undo_log.cc.o.d"
+  "/root/repo/src/workloads/array_swap.cc" "src/CMakeFiles/janus_lib.dir/workloads/array_swap.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/array_swap.cc.o.d"
+  "/root/repo/src/workloads/b_tree.cc" "src/CMakeFiles/janus_lib.dir/workloads/b_tree.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/b_tree.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/CMakeFiles/janus_lib.dir/workloads/factory.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/factory.cc.o.d"
+  "/root/repo/src/workloads/hash_table.cc" "src/CMakeFiles/janus_lib.dir/workloads/hash_table.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/hash_table.cc.o.d"
+  "/root/repo/src/workloads/queue.cc" "src/CMakeFiles/janus_lib.dir/workloads/queue.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/queue.cc.o.d"
+  "/root/repo/src/workloads/rb_tree.cc" "src/CMakeFiles/janus_lib.dir/workloads/rb_tree.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/rb_tree.cc.o.d"
+  "/root/repo/src/workloads/tatp.cc" "src/CMakeFiles/janus_lib.dir/workloads/tatp.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/tatp.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/janus_lib.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/tpcc.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/janus_lib.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/janus_lib.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

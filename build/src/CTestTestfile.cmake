@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("crypto")
+subdirs("mem")
+subdirs("cache")
+subdirs("nvm")
+subdirs("bmo")
+subdirs("janus")
+subdirs("memctrl")
+subdirs("ir")
+subdirs("cpu")
+subdirs("compiler")
+subdirs("txn")
+subdirs("workloads")
+subdirs("harness")

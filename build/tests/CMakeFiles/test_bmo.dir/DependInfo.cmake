@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bmo/test_backend_state.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_backend_state.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_backend_state.cc.o.d"
+  "/root/repo/tests/bmo/test_bmo_config.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_config.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_config.cc.o.d"
+  "/root/repo/tests/bmo/test_bmo_engine.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_engine.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_engine.cc.o.d"
+  "/root/repo/tests/bmo/test_bmo_graph.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_graph.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_bmo_graph.cc.o.d"
+  "/root/repo/tests/bmo/test_compress.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_compress.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_compress.cc.o.d"
+  "/root/repo/tests/bmo/test_merkle_tree.cc" "tests/CMakeFiles/test_bmo.dir/bmo/test_merkle_tree.cc.o" "gcc" "tests/CMakeFiles/test_bmo.dir/bmo/test_merkle_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/janus_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

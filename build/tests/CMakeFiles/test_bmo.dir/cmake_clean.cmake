@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmo.dir/bmo/test_backend_state.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_backend_state.cc.o.d"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_config.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_config.cc.o.d"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_engine.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_engine.cc.o.d"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_graph.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_bmo_graph.cc.o.d"
+  "CMakeFiles/test_bmo.dir/bmo/test_compress.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_compress.cc.o.d"
+  "CMakeFiles/test_bmo.dir/bmo/test_merkle_tree.cc.o"
+  "CMakeFiles/test_bmo.dir/bmo/test_merkle_tree.cc.o.d"
+  "test_bmo"
+  "test_bmo.pdb"
+  "test_bmo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_aes128.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "/root/repo/tests/crypto/test_crc32.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_crc32.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_crc32.cc.o.d"
+  "/root/repo/tests/crypto/test_md5.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o.d"
+  "/root/repo/tests/crypto/test_sha1.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha1.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/janus_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_crc32.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_crc32.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha1.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha1.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/test_auto_instrument.cc" "tests/CMakeFiles/test_ir.dir/compiler/test_auto_instrument.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/compiler/test_auto_instrument.cc.o.d"
+  "/root/repo/tests/compiler/test_misuse_check.cc" "tests/CMakeFiles/test_ir.dir/compiler/test_misuse_check.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/compiler/test_misuse_check.cc.o.d"
+  "/root/repo/tests/cpu/test_timing_core.cc" "tests/CMakeFiles/test_ir.dir/cpu/test_timing_core.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/cpu/test_timing_core.cc.o.d"
+  "/root/repo/tests/ir/test_analysis.cc" "tests/CMakeFiles/test_ir.dir/ir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_analysis.cc.o.d"
+  "/root/repo/tests/ir/test_ir.cc" "tests/CMakeFiles/test_ir.dir/ir/test_ir.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_ir.cc.o.d"
+  "/root/repo/tests/txn/test_undo_log.cc" "tests/CMakeFiles/test_ir.dir/txn/test_undo_log.cc.o" "gcc" "tests/CMakeFiles/test_ir.dir/txn/test_undo_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/janus_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/compiler/test_auto_instrument.cc.o"
+  "CMakeFiles/test_ir.dir/compiler/test_auto_instrument.cc.o.d"
+  "CMakeFiles/test_ir.dir/compiler/test_misuse_check.cc.o"
+  "CMakeFiles/test_ir.dir/compiler/test_misuse_check.cc.o.d"
+  "CMakeFiles/test_ir.dir/cpu/test_timing_core.cc.o"
+  "CMakeFiles/test_ir.dir/cpu/test_timing_core.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_ir.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_ir.cc.o.d"
+  "CMakeFiles/test_ir.dir/txn/test_undo_log.cc.o"
+  "CMakeFiles/test_ir.dir/txn/test_undo_log.cc.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

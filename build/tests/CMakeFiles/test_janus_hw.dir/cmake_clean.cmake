@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_janus_hw.dir/janus/test_janus_hw.cc.o"
+  "CMakeFiles/test_janus_hw.dir/janus/test_janus_hw.cc.o.d"
+  "CMakeFiles/test_janus_hw.dir/memctrl/test_memory_controller.cc.o"
+  "CMakeFiles/test_janus_hw.dir/memctrl/test_memory_controller.cc.o.d"
+  "test_janus_hw"
+  "test_janus_hw.pdb"
+  "test_janus_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_janus_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

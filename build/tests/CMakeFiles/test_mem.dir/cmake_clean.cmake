@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/cache/test_set_assoc_cache.cc.o"
+  "CMakeFiles/test_mem.dir/cache/test_set_assoc_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_sparse_memory.cc.o"
+  "CMakeFiles/test_mem.dir/mem/test_sparse_memory.cc.o.d"
+  "CMakeFiles/test_mem.dir/nvm/test_nvm_device.cc.o"
+  "CMakeFiles/test_mem.dir/nvm/test_nvm_device.cc.o.d"
+  "CMakeFiles/test_mem.dir/nvm/test_wear_level.cc.o"
+  "CMakeFiles/test_mem.dir/nvm/test_wear_level.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

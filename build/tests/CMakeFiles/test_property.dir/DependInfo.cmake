@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/test_property_backend.cc" "tests/CMakeFiles/test_property.dir/property/test_property_backend.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_property_backend.cc.o.d"
+  "/root/repo/tests/property/test_property_determinism.cc" "tests/CMakeFiles/test_property.dir/property/test_property_determinism.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_property_determinism.cc.o.d"
+  "/root/repo/tests/property/test_property_equivalence.cc" "tests/CMakeFiles/test_property.dir/property/test_property_equivalence.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_property_equivalence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/janus_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_property_backend.cc.o"
+  "CMakeFiles/test_property.dir/property/test_property_backend.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_property_determinism.cc.o"
+  "CMakeFiles/test_property.dir/property/test_property_determinism.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_property_equivalence.cc.o"
+  "CMakeFiles/test_property.dir/property/test_property_equivalence.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
