@@ -23,8 +23,8 @@ struct Mix
     bool enc, dedup, bmt, bdi, wear;
 };
 
-ExperimentResult
-runMix(const Mix &mix, WritePathMode mode, Instrumentation instr)
+ExperimentConfig
+mixConfig(const Mix &mix, WritePathMode mode, Instrumentation instr)
 {
     ExperimentConfig config;
     config.workloadName = "tatp";
@@ -36,7 +36,7 @@ runMix(const Mix &mix, WritePathMode mode, Instrumentation instr)
     config.sys.bmo.integrity = mix.bmt;
     config.sys.bmo.compression = mix.bdi;
     config.sys.bmo.wearLeveling = mix.wear;
-    return runExperiment(config);
+    return config;
 }
 
 } // namespace
@@ -54,25 +54,47 @@ main()
         {"+wear-leveling", true, true, true, true, true},
     };
 
+    BenchRunner bench("ablation_bmo_mix");
+    struct Cell
+    {
+        std::size_t serial, janus;
+    };
+    std::vector<Cell> cells;
+    for (const Mix &mix : mixes) {
+        Cell cell;
+        cell.serial = bench.add(
+            "serial/" + std::string(mix.name),
+            mixConfig(mix, WritePathMode::Serialized,
+                      Instrumentation::None));
+        cell.janus = bench.add(
+            "janus/" + std::string(mix.name),
+            mixConfig(mix, WritePathMode::Janus,
+                      Instrumentation::Manual));
+        cells.push_back(cell);
+    }
+    bench.runAll();
+
     std::printf("=== Ablation: BMO mix vs write latency and Janus "
                 "recovery (TATP) ===\n");
     std::printf("%-24s %12s %12s %10s\n", "BMO mix",
                 "serial w(ns)", "janus w(ns)", "speedup");
+    std::size_t mi = 0;
     for (const Mix &mix : mixes) {
-        ExperimentResult serial =
-            runMix(mix, WritePathMode::Serialized,
-                   Instrumentation::None);
-        ExperimentResult janus_r = runMix(
-            mix, WritePathMode::Janus, Instrumentation::Manual);
+        const ExperimentResult &serial =
+            bench.result(cells[mi].serial);
+        const ExperimentResult &janus_r =
+            bench.result(cells[mi].janus);
         std::printf("%-24s %12.0f %12.0f %9.2fx\n", mix.name,
                     serial.avgWriteLatencyNs,
                     janus_r.avgWriteLatencyNs,
                     ratio(serial, janus_r));
+        ++mi;
     }
 
     std::printf("\nEach row adds one BMO by flipping a config flag — "
                 "the sub-operation graph, the scheduling and the\n"
                 "pre-execution categorization all re-derive "
                 "automatically (Section 3.1's generic rules).\n");
+    bench.writeJson();
     return 0;
 }

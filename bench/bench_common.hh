@@ -4,18 +4,28 @@
  * one-call experiment runner plus consistent table printing. Each
  * bench binary regenerates the rows/series of one paper figure or
  * table; EXPERIMENTS.md records paper-vs-measured.
+ *
+ * Benches submit their *entire* run matrix up front through
+ * BenchRunner, which executes it on the parallel worker pool
+ * (`JANUS_BENCH_THREADS` or hardware concurrency; results are
+ * bit-identical to serial execution) and writes a machine-readable
+ * `BENCH_<name>.json` next to the binary's working directory so the
+ * perf trajectory of the suite is tracked PR over PR.
  */
 
 #ifndef JANUS_BENCH_BENCH_COMMON_HH
 #define JANUS_BENCH_BENCH_COMMON_HH
 
-#include <cstdio>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "harness/experiment.hh"
+#include "harness/runner.hh"
 
 namespace janus::bench
 {
@@ -37,8 +47,8 @@ struct RunSpec
     std::uint64_t seed = 1;
 };
 
-inline ExperimentResult
-run(const RunSpec &spec)
+inline ExperimentConfig
+toConfig(const RunSpec &spec)
 {
     ExperimentConfig config;
     config.workloadName = spec.workload;
@@ -53,7 +63,213 @@ run(const RunSpec &spec)
     config.workload.valueBytes = spec.valueBytes;
     config.workload.dupRatio = spec.dupRatio;
     config.workload.seed = spec.seed;
-    return runExperiment(config);
+    return config;
+}
+
+inline ExperimentResult
+run(const RunSpec &spec)
+{
+    return runExperiment(toConfig(spec));
+}
+
+inline const char *
+modeName(WritePathMode mode)
+{
+    switch (mode) {
+      case WritePathMode::NoBmo:
+        return "nobmo";
+      case WritePathMode::Serialized:
+        return "serialized";
+      case WritePathMode::Parallel:
+        return "parallel";
+      case WritePathMode::Janus:
+        return "janus";
+    }
+    return "?";
+}
+
+inline const char *
+instrName(Instrumentation instr)
+{
+    switch (instr) {
+      case Instrumentation::None:
+        return "none";
+      case Instrumentation::Manual:
+        return "manual";
+      case Instrumentation::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
+/**
+ * Collects a bench's full run matrix, executes it in one parallel
+ * batch, and reports wall time / events-per-second as
+ * BENCH_<name>.json.
+ */
+class BenchRunner
+{
+  public:
+    explicit BenchRunner(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    /** Queue one experiment; @return its index for result(). */
+    std::size_t
+    add(std::string label, const RunSpec &spec)
+    {
+        labels_.push_back(std::move(label));
+        specs_.push_back(spec);
+        configs_.push_back(toConfig(spec));
+        return configs_.size() - 1;
+    }
+
+    /** Queue a raw config (benches that bypass RunSpec). */
+    std::size_t
+    add(std::string label, const ExperimentConfig &config)
+    {
+        labels_.push_back(std::move(label));
+        specs_.emplace_back(); // placeholder keeps vectors aligned
+        specs_.back().workload = config.workloadName;
+        specs_.back().mode = config.sys.mode;
+        specs_.back().instr = config.instr;
+        specs_.back().cores = config.sys.cores;
+        specs_.back().txnsPerCore = config.workload.txnsPerCore;
+        specs_.back().valueBytes = config.workload.valueBytes;
+        specs_.back().dupRatio = config.workload.dupRatio;
+        specs_.back().seed = config.workload.seed;
+        configs_.push_back(config);
+        return configs_.size() - 1;
+    }
+
+    /** Execute everything queued so far on the worker pool. */
+    void
+    runAll(unsigned threads = 0)
+    {
+        threads_ = resolveThreads(threads);
+        results_ = runExperiments(configs_, threads_);
+    }
+
+    const ExperimentResult &
+    result(std::size_t i) const
+    {
+        janus_assert(i < results_.size(),
+                     "result %zu of %zu (did you call runAll?)", i,
+                     results_.size());
+        return results_[i];
+    }
+
+    std::size_t size() const { return configs_.size(); }
+    unsigned threads() const { return threads_; }
+
+    /** Write BENCH_<name>.json into the working directory. */
+    void
+    writeJson() const
+    {
+        const double wall = wallSeconds();
+        std::uint64_t events = 0;
+        for (const ExperimentResult &r : results_)
+            events += r.eventsExecuted;
+
+        std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            warn("cannot write %s", path.c_str());
+            return;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"%s\",\n"
+                     "  \"threads\": %u,\n"
+                     "  \"wall_seconds\": %.6f,\n"
+                     "  \"total_sim_events\": %llu,\n"
+                     "  \"events_per_second\": %.1f,\n"
+                     "  \"experiments\": [\n",
+                     name_.c_str(), threads_, wall,
+                     static_cast<unsigned long long>(events),
+                     wall > 0 ? static_cast<double>(events) / wall
+                              : 0.0);
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            const RunSpec &s = specs_[i];
+            const ExperimentResult &r = results_[i];
+            std::fprintf(
+                f,
+                "    {\"label\": \"%s\", \"workload\": \"%s\", "
+                "\"mode\": \"%s\", \"instr\": \"%s\", "
+                "\"cores\": %u, \"txns_per_core\": %u, "
+                "\"value_bytes\": %llu, \"seed\": %llu, "
+                "\"makespan_ticks\": %llu, \"events\": %llu, "
+                "\"wall_seconds\": %.6f, "
+                "\"avg_write_latency_ns\": %.2f}%s\n",
+                labels_[i].c_str(), s.workload.c_str(),
+                modeName(s.mode), instrName(s.instr), s.cores,
+                s.txnsPerCore,
+                static_cast<unsigned long long>(s.valueBytes),
+                static_cast<unsigned long long>(s.seed),
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(r.eventsExecuted),
+                r.wallSeconds, r.avgWriteLatencyNs,
+                i + 1 < results_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\n[%s: %zu experiments on %u threads, %.2fs "
+                    "wall, %.2fM events/s -> %s]\n",
+                    name_.c_str(), results_.size(), threads_, wall,
+                    wall > 0 ? static_cast<double>(events) / wall /
+                                   1e6
+                             : 0.0,
+                    path.c_str());
+    }
+
+    double
+    wallSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    unsigned threads_ = 0;
+    std::vector<std::string> labels_;
+    std::vector<RunSpec> specs_;
+    std::vector<ExperimentConfig> configs_;
+    std::vector<ExperimentResult> results_;
+};
+
+/**
+ * Minimal JSON for benches with no experiment matrix (latency
+ * probes, hardware-overhead arithmetic): wall time plus named
+ * scalar metrics.
+ */
+inline void
+writeSimpleJson(const std::string &name, double wall_seconds,
+                const std::vector<std::pair<std::string, double>>
+                    &metrics)
+{
+    std::string path = "BENCH_" + name + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"wall_seconds\": %.6f,\n"
+                 "  \"experiments\": [],\n"
+                 "  \"metrics\": {",
+                 name.c_str(), wall_seconds);
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %.6f",
+                     i == 0 ? "" : ", ", metrics[i].first.c_str(),
+                     metrics[i].second);
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
 }
 
 /** makespan(a) / makespan(b). */

@@ -17,10 +17,12 @@ main()
     using namespace janus::bench;
     setQuiet(true);
 
-    printHeader("Figure 10: slowdown over non-blocking writeback",
-                {"serialized", "janus", "fullpre%"});
-
-    std::vector<double> serial_col, janus_col, pre_col;
+    BenchRunner bench("fig10_ideal");
+    struct Cell
+    {
+        std::size_t ideal, serial, janus;
+    };
+    std::vector<Cell> cells;
     for (const std::string &w : allWorkloadNames()) {
         RunSpec spec;
         spec.workload = w;
@@ -28,13 +30,26 @@ main()
 
         RunSpec ideal_spec = spec;
         ideal_spec.mode = WritePathMode::NoBmo;
-        ExperimentResult ideal = run(ideal_spec);
-
-        ExperimentResult serial = run(spec);
+        Cell cell;
+        cell.ideal = bench.add("ideal/" + w, ideal_spec);
+        cell.serial = bench.add("serial/" + w, spec);
         spec.mode = WritePathMode::Janus;
         spec.instr = Instrumentation::Manual;
-        ExperimentResult janus_r = run(spec);
+        cell.janus = bench.add("janus/" + w, spec);
+        cells.push_back(cell);
+    }
+    bench.runAll();
 
+    printHeader("Figure 10: slowdown over non-blocking writeback",
+                {"serialized", "janus", "fullpre%"});
+    std::vector<double> serial_col, janus_col, pre_col;
+    std::size_t wi = 0;
+    for (const std::string &w : allWorkloadNames()) {
+        const ExperimentResult &ideal = bench.result(cells[wi].ideal);
+        const ExperimentResult &serial =
+            bench.result(cells[wi].serial);
+        const ExperimentResult &janus_r =
+            bench.result(cells[wi].janus);
         double s_slow = ratio(serial, ideal);
         double j_slow = ratio(janus_r, ideal);
         serial_col.push_back(s_slow);
@@ -42,6 +57,7 @@ main()
         pre_col.push_back(janus_r.fullyPreExecutedFrac * 100);
         printRow(w, {s_slow, j_slow,
                      janus_r.fullyPreExecutedFrac * 100});
+        ++wi;
     }
     printRow("geomean", {geomean(serial_col), geomean(janus_col),
                          geomean(pre_col)});
@@ -50,5 +66,6 @@ main()
                 "Janus recovers to ~2.09x; on average 45.13%% of\n"
                 "       writes arrive with fully pre-executed "
                 "BMOs.\n");
+    bench.writeJson();
     return 0;
 }

@@ -19,21 +19,38 @@ main()
     using namespace janus::bench;
     setQuiet(true);
 
-    printHeader("Figure 11: manual vs automated instrumentation",
-                {"manual", "auto", "auto/man%"});
-
-    std::vector<double> man_col, auto_col;
-    std::vector<std::string> reports;
+    BenchRunner bench("fig11_auto");
+    struct Cell
+    {
+        std::size_t serial, man, aut;
+    };
+    std::vector<Cell> cells;
     for (const std::string &w : allWorkloadNames()) {
         RunSpec spec;
         spec.workload = w;
         spec.txnsPerCore = 250;
-        ExperimentResult serial = run(spec);
+        Cell cell;
+        cell.serial = bench.add("serial/" + w, spec);
         spec.mode = WritePathMode::Janus;
         spec.instr = Instrumentation::Manual;
-        ExperimentResult manual = run(spec);
+        cell.man = bench.add("manual/" + w, spec);
         spec.instr = Instrumentation::Auto;
-        ExperimentResult automatic = run(spec);
+        cell.aut = bench.add("auto/" + w, spec);
+        cells.push_back(cell);
+    }
+    bench.runAll();
+
+    printHeader("Figure 11: manual vs automated instrumentation",
+                {"manual", "auto", "auto/man%"});
+    std::vector<double> man_col, auto_col;
+    std::vector<std::string> reports;
+    std::size_t wi = 0;
+    for (const std::string &w : allWorkloadNames()) {
+        const ExperimentResult &serial =
+            bench.result(cells[wi].serial);
+        const ExperimentResult &manual = bench.result(cells[wi].man);
+        const ExperimentResult &automatic =
+            bench.result(cells[wi].aut);
         double sm = ratio(serial, manual);
         double sa = ratio(serial, automatic);
         man_col.push_back(sm);
@@ -41,6 +58,7 @@ main()
         printRow(w, {sm, sa, 100 * sa / sm});
         reports.push_back(w + ": " +
                           automatic.instrReport.toString());
+        ++wi;
     }
     printRow("geomean", {geomean(man_col), geomean(auto_col),
                          100 * geomean(auto_col) /
@@ -53,5 +71,6 @@ main()
                 "(~13%% lower); Queue and RB-Tree see little "
                 "benefit from auto\n       (loops / pointer "
                 "chasing).\n");
+    bench.writeJson();
     return 0;
 }

@@ -25,12 +25,15 @@ main()
             cols.push_back(std::string(alg) + "@" +
                            (r == 0.25 ? ".25" : r == 0.5 ? ".50"
                                                          : ".75"));
-    printHeader("Figure 12: speedup vs dedup ratio and fingerprint",
-                cols);
 
-    std::vector<std::vector<double>> per_col(cols.size());
+    BenchRunner bench("fig12_dedup");
+    struct Cell
+    {
+        std::size_t serial, janus;
+    };
+    std::vector<std::vector<Cell>> cells;
     for (const std::string &w : allWorkloadNames()) {
-        std::vector<double> row;
+        cells.emplace_back();
         for (DedupHash hash : {DedupHash::Md5, DedupHash::Crc32}) {
             for (double r : ratios) {
                 RunSpec spec;
@@ -38,16 +41,34 @@ main()
                 spec.txnsPerCore = 200;
                 spec.dupRatio = r;
                 spec.dedupHash = hash;
-                ExperimentResult serial = run(spec);
+                std::string at =
+                    w + "/" +
+                    (hash == DedupHash::Md5 ? "md5" : "crc") + "@" +
+                    std::to_string(r);
+                Cell cell;
+                cell.serial = bench.add("serial/" + at, spec);
                 spec.mode = WritePathMode::Janus;
                 spec.instr = Instrumentation::Manual;
-                ExperimentResult janus_r = run(spec);
-                row.push_back(ratio(serial, janus_r));
+                cell.janus = bench.add("janus/" + at, spec);
+                cells.back().push_back(cell);
             }
         }
+    }
+    bench.runAll();
+
+    printHeader("Figure 12: speedup vs dedup ratio and fingerprint",
+                cols);
+    std::vector<std::vector<double>> per_col(cols.size());
+    std::size_t wi = 0;
+    for (const std::string &w : allWorkloadNames()) {
+        std::vector<double> row;
+        for (const Cell &cell : cells[wi])
+            row.push_back(ratio(bench.result(cell.serial),
+                                bench.result(cell.janus)));
         for (std::size_t i = 0; i < row.size(); ++i)
             per_col[i].push_back(row[i]);
         printRow(w, row);
+        ++wi;
     }
     std::vector<double> means;
     for (auto &col : per_col)
@@ -56,5 +77,6 @@ main()
 
     std::printf("\npaper: speedup nearly constant across ratios with "
                 "MD5; mildly increasing with CRC-32.\n");
+    bench.writeJson();
     return 0;
 }

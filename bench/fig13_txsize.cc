@@ -26,11 +26,15 @@ main()
         cols.push_back(std::to_string(s) + "B:pre");
     for (std::uint64_t s : sizes)
         cols.push_back(std::to_string(s) + "B:par");
-    printHeader("Figure 13: speedup vs per-transaction update size",
-                cols);
 
+    BenchRunner bench("fig13_txsize");
+    struct Cell
+    {
+        std::size_t serial, par, pre;
+    };
+    std::vector<std::vector<Cell>> cells;
     for (const char *w : workloads) {
-        std::vector<double> pre_row, par_row;
+        cells.emplace_back();
         for (std::uint64_t size : sizes) {
             RunSpec spec;
             spec.workload = w;
@@ -38,23 +42,41 @@ main()
             // Bound the simulated volume at large sizes.
             spec.txnsPerCore =
                 static_cast<unsigned>(120 / (1 + size / 2048)) + 20;
-            ExperimentResult serial = run(spec);
+            std::string at =
+                std::string(w) + "@" + std::to_string(size) + "B";
+            Cell cell;
+            cell.serial = bench.add("serial/" + at, spec);
             spec.mode = WritePathMode::Parallel;
-            ExperimentResult par = run(spec);
+            cell.par = bench.add("par/" + at, spec);
             spec.mode = WritePathMode::Janus;
             spec.instr = Instrumentation::Manual;
-            ExperimentResult pre = run(spec);
-            pre_row.push_back(ratio(serial, pre));
-            par_row.push_back(ratio(serial, par));
+            cell.pre = bench.add("pre/" + at, spec);
+            cells.back().push_back(cell);
+        }
+    }
+    bench.runAll();
+
+    printHeader("Figure 13: speedup vs per-transaction update size",
+                cols);
+    std::size_t wi = 0;
+    for (const char *w : workloads) {
+        std::vector<double> pre_row, par_row;
+        for (const Cell &cell : cells[wi]) {
+            pre_row.push_back(ratio(bench.result(cell.serial),
+                                    bench.result(cell.pre)));
+            par_row.push_back(ratio(bench.result(cell.serial),
+                                    bench.result(cell.par)));
         }
         std::vector<double> row = pre_row;
         row.insert(row.end(), par_row.begin(), par_row.end());
         printRow(w, row);
+        ++wi;
     }
 
     std::printf("\npaper: pre-execution speedup rises with size then "
                 "falls once BMO units/buffers saturate;\n"
                 "       parallelization rises slowly and "
                 "monotonically.\n");
+    bench.writeJson();
     return 0;
 }

@@ -19,22 +19,26 @@ main()
     using namespace janus::bench;
     setQuiet(true);
 
-    printHeader("Figure 14: speedup vs BMO units / buffer scale "
-                "(8 KB txns)",
-                {"1x", "2x", "4x", "unlimited"});
-
     const char *workloads[] = {"array_swap", "queue", "hash_table",
                                "rb_tree", "b_tree"};
-    std::vector<std::vector<double>> per_col(4);
+    const char *point_names[] = {"1x", "2x", "4x", "unlimited"};
+
+    BenchRunner bench("fig14_units");
+    struct Cell
+    {
+        std::size_t serial;
+        std::size_t janus[4];
+    };
+    std::vector<Cell> cells;
     for (const char *w : workloads) {
-        std::vector<double> row;
         // The baseline keeps the default resources; only Janus's
         // units and buffers scale (the paper's experiment).
         RunSpec base;
         base.workload = w;
         base.valueBytes = 8192;
         base.txnsPerCore = 40;
-        ExperimentResult serial = run(base);
+        Cell cell;
+        cell.serial = bench.add("serial/" + std::string(w), base);
         for (unsigned point = 0; point < 4; ++point) {
             RunSpec spec = base;
             spec.mode = WritePathMode::Janus;
@@ -43,11 +47,30 @@ main()
                 spec.resourceScale = 1u << point;
             else
                 spec.unlimitedResources = true;
-            ExperimentResult janus_r = run(spec);
-            row.push_back(ratio(serial, janus_r));
+            cell.janus[point] =
+                bench.add("janus/" + std::string(w) + "@" +
+                              point_names[point],
+                          spec);
+        }
+        cells.push_back(cell);
+    }
+    bench.runAll();
+
+    printHeader("Figure 14: speedup vs BMO units / buffer scale "
+                "(8 KB txns)",
+                {"1x", "2x", "4x", "unlimited"});
+    std::vector<std::vector<double>> per_col(4);
+    std::size_t wi = 0;
+    for (const char *w : workloads) {
+        std::vector<double> row;
+        for (unsigned point = 0; point < 4; ++point) {
+            row.push_back(
+                ratio(bench.result(cells[wi].serial),
+                      bench.result(cells[wi].janus[point])));
             per_col[point].push_back(row.back());
         }
         printRow(w, row);
+        ++wi;
     }
     printRow("geomean", {geomean(per_col[0]), geomean(per_col[1]),
                          geomean(per_col[2]), geomean(per_col[3])});
@@ -55,5 +78,6 @@ main()
     std::printf("\npaper: speedup increases with units/buffers and "
                 "saturates; B-Tree alone keeps gaining with\n"
                 "       unlimited resources.\n");
+    bench.writeJson();
     return 0;
 }

@@ -7,8 +7,10 @@
  * memory controller.
  */
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "cpu/timing_core.hh"
 #include "memctrl/memory_controller.hh"
 
@@ -17,6 +19,7 @@ main()
 {
     using namespace janus;
 
+    const auto wall_start = std::chrono::steady_clock::now();
     CoreConfig core; // for the writeback latency constant
     auto probe = [&](WritePathMode mode) {
         MemCtrlConfig config;
@@ -53,5 +56,16 @@ main()
                 "more than 10x -> measured %.1fx\n",
                 static_cast<double>(wb + serial) /
                     static_cast<double>(wb + none));
+    janus::bench::writeSimpleJson(
+        "fig1_write_latency",
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count(),
+        {{"writeback_only_ns", ticks::toNsF(wb + none)},
+         {"serialized_bmo_ns", ticks::toNsF(wb + serial)},
+         {"parallel_bmo_ns", ticks::toNsF(wb + parallel)},
+         {"serialized_over_writeback",
+          static_cast<double>(wb + serial) /
+              static_cast<double>(wb + none)}});
     return 0;
 }

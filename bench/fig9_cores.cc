@@ -24,30 +24,52 @@ main()
         cols.push_back("par@" + std::to_string(c));
         cols.push_back("pre@" + std::to_string(c));
     }
-    printHeader("Figure 9: speedup over Serialized vs core count",
-                cols);
 
-    std::vector<std::vector<double>> per_col(cols.size());
+    // Queue the full workload x cores x mode matrix, then run it in
+    // one parallel batch.
+    BenchRunner bench("fig9_cores");
+    struct Cell
+    {
+        std::size_t serial, par, pre;
+    };
+    std::vector<std::vector<Cell>> cells;
     for (const std::string &w : allWorkloadNames()) {
-        std::vector<double> row;
+        cells.emplace_back();
         for (unsigned cores : core_counts) {
             RunSpec spec;
             spec.workload = w;
             spec.cores = cores;
             // Keep total simulated work roughly constant.
             spec.txnsPerCore = 240 / cores + 60;
-            ExperimentResult serial = run(spec);
+            std::string at = w + "@" + std::to_string(cores);
+            Cell cell;
+            cell.serial = bench.add("serial/" + at, spec);
             spec.mode = WritePathMode::Parallel;
-            ExperimentResult par = run(spec);
+            cell.par = bench.add("par/" + at, spec);
             spec.mode = WritePathMode::Janus;
             spec.instr = Instrumentation::Manual;
-            ExperimentResult pre = run(spec);
-            row.push_back(ratio(serial, par));
-            row.push_back(ratio(serial, pre));
+            cell.pre = bench.add("pre/" + at, spec);
+            cells.back().push_back(cell);
+        }
+    }
+    bench.runAll();
+
+    printHeader("Figure 9: speedup over Serialized vs core count",
+                cols);
+    std::vector<std::vector<double>> per_col(cols.size());
+    std::size_t wi = 0;
+    for (const std::string &w : allWorkloadNames()) {
+        std::vector<double> row;
+        for (const Cell &cell : cells[wi]) {
+            row.push_back(ratio(bench.result(cell.serial),
+                                bench.result(cell.par)));
+            row.push_back(ratio(bench.result(cell.serial),
+                                bench.result(cell.pre)));
         }
         for (std::size_t i = 0; i < row.size(); ++i)
             per_col[i].push_back(row[i]);
         printRow(w, row);
+        ++wi;
     }
     std::vector<double> means;
     for (auto &col : per_col)
@@ -58,5 +80,6 @@ main()
                 "for 1..8 cores; parallelization alone far lower;\n"
                 "       speedup declines with core count "
                 "(bus/BMO-unit contention).\n");
+    bench.writeJson();
     return 0;
 }

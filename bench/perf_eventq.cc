@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Event-kernel microbenchmark: raw events/sec of the current
+ * EventQueue (SBO callbacks + calendar ring / far heap) against a
+ * faithful replica of the seed kernel (type-erased std::function in
+ * a std::priority_queue). Both kernels run identical scheduling
+ * patterns modeled on what the simulator actually produces:
+ *
+ *  - near_churn:   per-core batch reschedules at ns..100ns deltas
+ *  - same_tick:    fan-out bursts landing on one tick (FIFO path)
+ *  - far_horizon:  us-scale deltas that bypass the calendar ring
+ *  - deep_pending: thousands of outstanding events at once
+ *
+ * Writes BENCH_perf_eventq.json with per-scenario events/sec and
+ * the overall speedup (the PR's >= 2x acceptance gate).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/random.hh"
+#include "sim/eventq.hh"
+
+namespace
+{
+
+using namespace janus;
+
+/** The seed event kernel, verbatim, for before/after comparison. */
+class LegacyEventQueue
+{
+  public:
+    Tick curTick() const { return curTick_; }
+
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        events_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    void
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        schedule(curTick_ + delay, std::move(fn));
+    }
+
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t count = 0;
+        while (!events_.empty() && events_.top().when <= limit) {
+            Event ev = std::move(const_cast<Event &>(events_.top()));
+            events_.pop();
+            curTick_ = ev.when;
+            ++count;
+            ev.fn();
+        }
+        return count;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * A self-rescheduling actor: the closure captures one pointer, like
+ * the simulator's `[this] { step(); }` core events.
+ */
+template <typename Q>
+struct Actor
+{
+    Q *eq = nullptr;
+    std::uint64_t *done = nullptr;
+    std::uint64_t budget = 0;
+    Tick delta = 0;
+
+    void
+    tick()
+    {
+        ++*done;
+        if (budget-- > 0)
+            eq->scheduleIn(delta, [this] { tick(); });
+    }
+};
+
+template <typename Q>
+std::uint64_t
+nearChurn(std::uint64_t events_per_actor)
+{
+    Q eq;
+    std::uint64_t done = 0;
+    const Tick deltas[] = {250,   1000,  4000,  15000,
+                           40000, 64000, 90000, 128000};
+    std::vector<Actor<Q>> actors(8);
+    for (unsigned i = 0; i < actors.size(); ++i) {
+        actors[i] = {&eq, &done, events_per_actor, deltas[i]};
+        Actor<Q> *a = &actors[i];
+        eq.scheduleIn(deltas[i], [a] { a->tick(); });
+    }
+    eq.run();
+    return done;
+}
+
+template <typename Q>
+std::uint64_t
+sameTickFanout(std::uint64_t batches)
+{
+    Q eq;
+    std::uint64_t done = 0;
+    std::uint64_t remaining = batches;
+    // One driver per batch: 31 same-tick leaves + itself.
+    std::function<void()> driver = [&] {
+        for (int i = 0; i < 31; ++i)
+            eq.scheduleIn(100, [&done] { ++done; });
+        ++done;
+        if (--remaining > 0)
+            eq.scheduleIn(100, driver);
+    };
+    eq.scheduleIn(100, driver);
+    eq.run();
+    return done;
+}
+
+template <typename Q>
+std::uint64_t
+farHorizon(std::uint64_t events_per_actor)
+{
+    Q eq;
+    std::uint64_t done = 0;
+    // us-scale deltas: all spill past the calendar window.
+    const Tick deltas[] = {5 * ticks::us, 8 * ticks::us,
+                           13 * ticks::us, 21 * ticks::us};
+    std::vector<Actor<Q>> actors(4);
+    for (unsigned i = 0; i < actors.size(); ++i) {
+        actors[i] = {&eq, &done, events_per_actor, deltas[i]};
+        Actor<Q> *a = &actors[i];
+        eq.scheduleIn(deltas[i], [a] { a->tick(); });
+    }
+    eq.run();
+    return done;
+}
+
+template <typename Q>
+std::uint64_t
+deepPending(std::uint64_t rounds)
+{
+    Q eq;
+    std::uint64_t done = 0;
+    Rng rng(42);
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        // 4096 outstanding one-shot events at scattered near ticks.
+        Tick base = eq.curTick();
+        for (unsigned i = 0; i < 4096; ++i)
+            eq.schedule(base + rng.range(1, 2 * ticks::us),
+                        [&done] { ++done; });
+        eq.run();
+    }
+    return done;
+}
+
+struct Scenario
+{
+    const char *name;
+    std::uint64_t (*legacy)(std::uint64_t);
+    std::uint64_t (*current)(std::uint64_t);
+    std::uint64_t arg;
+};
+
+double
+eventsPerSec(std::uint64_t (*fn)(std::uint64_t), std::uint64_t arg,
+             std::uint64_t *events_out)
+{
+    // Warm up, then take the best of 3 to cut scheduler noise.
+    fn(arg / 8 ? arg / 8 : 1);
+    double best = 0;
+    std::uint64_t events = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        events = fn(arg);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        double eps = static_cast<double>(events) / secs;
+        if (eps > best)
+            best = eps;
+    }
+    *events_out = events;
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    using janus::bench::geomean;
+    using janus::bench::writeSimpleJson;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const Scenario scenarios[] = {
+        {"near_churn", &nearChurn<LegacyEventQueue>,
+         &nearChurn<EventQueue>, 250000},
+        {"same_tick", &sameTickFanout<LegacyEventQueue>,
+         &sameTickFanout<EventQueue>, 60000},
+        {"far_horizon", &farHorizon<LegacyEventQueue>,
+         &farHorizon<EventQueue>, 400000},
+        {"deep_pending", &deepPending<LegacyEventQueue>,
+         &deepPending<EventQueue>, 400},
+    };
+
+    std::printf("=== perf_eventq: kernel events/sec, seed "
+                "(std::function + priority_queue) vs current ===\n");
+    std::printf("%-14s %14s %14s %9s\n", "scenario", "seed (M/s)",
+                "current (M/s)", "speedup");
+
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<double> speedups;
+    for (const Scenario &s : scenarios) {
+        std::uint64_t ev_legacy = 0, ev_current = 0;
+        double legacy = eventsPerSec(s.legacy, s.arg, &ev_legacy);
+        double current = eventsPerSec(s.current, s.arg, &ev_current);
+        if (ev_legacy != ev_current) {
+            std::fprintf(stderr,
+                         "%s: event count mismatch %llu vs %llu\n",
+                         s.name,
+                         static_cast<unsigned long long>(ev_legacy),
+                         static_cast<unsigned long long>(
+                             ev_current));
+            return 1;
+        }
+        double speedup = current / legacy;
+        speedups.push_back(speedup);
+        std::printf("%-14s %14.2f %14.2f %8.2fx\n", s.name,
+                    legacy / 1e6, current / 1e6, speedup);
+        metrics.emplace_back(std::string(s.name) + "_seed_eps",
+                             legacy);
+        metrics.emplace_back(std::string(s.name) + "_current_eps",
+                             current);
+        metrics.emplace_back(std::string(s.name) + "_speedup",
+                             speedup);
+    }
+    double overall = geomean(speedups);
+    std::printf("%-14s %14s %14s %8.2fx\n", "geomean", "", "",
+                overall);
+    metrics.emplace_back("geomean_speedup", overall);
+
+    writeSimpleJson(
+        "perf_eventq",
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count(),
+        metrics);
+    std::printf("\n[perf_eventq: overall %.2fx events/sec vs seed "
+                "kernel -> BENCH_perf_eventq.json]\n",
+                overall);
+    return overall >= 1.0 ? 0 : 1;
+}

@@ -7,8 +7,11 @@
  * for reference — the simulator charges the Table 1/3 latencies).
  */
 
+#include <chrono>
+
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "bmo/bmo_config.hh"
 #include "common/cacheline.hh"
 #include "crypto/aes128.hh"
@@ -110,8 +113,22 @@ printTable1()
 int
 main(int argc, char **argv)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     printTable1();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    {
+        BmoConfig config;
+        BmoGraph graph = buildStandardGraph(config);
+        janus::bench::writeSimpleJson(
+            "table1_bmo_latency",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count(),
+            {{"serialized_total_ns",
+              ticks::toNsF(graph.serializedLatency())},
+             {"critical_path_ns",
+              ticks::toNsF(graph.criticalPath())}});
+    }
     return 0;
 }

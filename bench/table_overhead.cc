@@ -6,8 +6,10 @@
  * 148 B/IRB entry, 9.25 KB total, 0.51% of the LLC).
  */
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "janus/janus_hw.hh"
 #include "cpu/timing_core.hh"
 
@@ -16,6 +18,7 @@ main()
 {
     using namespace janus;
 
+    const auto wall_start = std::chrono::steady_clock::now();
     JanusHwConfig hw;
     CoreConfig core;
 
@@ -58,5 +61,14 @@ main()
                     (static_cast<double>(core.l2Bytes) * 8));
     std::printf("\npaper: 9.25 KB total, 0.51%% of the LLC; 4-wide "
                 "BMO logic ~300k gates (0.065 mm^2 at 14 nm).\n");
+    janus::bench::writeSimpleJson(
+        "table_overhead",
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count(),
+        {{"total_kib_per_core", total_kib},
+         {"llc_fraction_percent",
+          100.0 * total_kib * 1024 * 8 /
+              (static_cast<double>(core.l2Bytes) * 8)}});
     return 0;
 }

@@ -7,13 +7,6 @@
 namespace janus
 {
 
-bool
-BmoExecState::allDone() const
-{
-    return std::all_of(done_.begin(), done_.end(),
-                       [](char d) { return d != 0; });
-}
-
 Tick
 BmoExecState::lastFinish() const
 {
@@ -22,14 +15,6 @@ BmoExecState::lastFinish() const
         if (done_[i])
             last = std::max(last, finish_[i]);
     return last;
-}
-
-unsigned
-BmoExecState::completedCount() const
-{
-    return static_cast<unsigned>(
-        std::count_if(done_.begin(), done_.end(),
-                      [](char d) { return d != 0; }));
 }
 
 BmoEngine::BmoEngine(const BmoGraph &graph, unsigned units)

@@ -47,7 +47,10 @@ class BmoExecState
     void
     complete(SubOpId id, Tick at)
     {
-        done_[id] = true;
+        if (!done_[id]) {
+            done_[id] = true;
+            ++completed_;
+        }
         finish_[id] = at;
     }
 
@@ -55,22 +58,34 @@ class BmoExecState
     void
     invalidate(SubOpId id)
     {
-        done_[id] = false;
+        if (done_[id]) {
+            done_[id] = false;
+            --completed_;
+        }
         finish_[id] = 0;
     }
 
-    /** @return true if every node of the graph has completed. */
-    bool allDone() const;
+    /**
+     * @return true if every node of the graph has completed.
+     * O(1): tracked incrementally (this sits on the per-write hot
+     * path of the Janus frontend).
+     */
+    bool allDone() const { return completed_ == done_.size(); }
 
     /** Latest finish tick among completed nodes. */
     Tick lastFinish() const;
 
-    /** Number of completed nodes. */
-    unsigned completedCount() const;
+    /** Number of completed nodes. O(1), tracked incrementally. */
+    unsigned
+    completedCount() const
+    {
+        return static_cast<unsigned>(completed_);
+    }
 
   private:
     std::vector<char> done_;
     std::vector<Tick> finish_;
+    std::size_t completed_ = 0;
 };
 
 /**

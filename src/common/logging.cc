@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,9 @@ namespace janus
 
 namespace
 {
-bool quietFlag = false;
+// Atomic so parallel experiment workers can warn()/inform() while
+// another thread toggles quiet mode (the bench runner does both).
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 std::string
@@ -61,7 +64,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -73,7 +76,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -85,13 +88,13 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace janus

@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
+#include "harness/runner.hh"
 #include "txn/undo_log.hh"
 
 namespace janus
@@ -9,6 +12,7 @@ namespace janus
 ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     auto workload = makeWorkload(config.workloadName, config.workload);
 
     Module module;
@@ -51,6 +55,11 @@ runExperiment(const ExperimentConfig &config)
         result.preRequests += core.preRequests();
         result.fenceStallTicks += core.fenceStallTicks();
     }
+    result.eventsExecuted = system.eventq().executed();
+    result.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     return result;
 }
 
@@ -60,11 +69,14 @@ speedupOverSerialized(const ExperimentConfig &config)
     ExperimentConfig serial = config;
     serial.sys.mode = WritePathMode::Serialized;
     serial.instr = Instrumentation::None;
-    ExperimentResult base = runExperiment(serial);
-    ExperimentResult opt = runExperiment(config);
-    janus_assert(opt.makespan > 0, "empty run");
-    return static_cast<double>(base.makespan) /
-           static_cast<double>(opt.makespan);
+    // The baseline and the optimized run are independent systems:
+    // run them as a two-experiment batch on the worker pool.
+    ExperimentConfig configs[] = {serial, config};
+    std::vector<ExperimentResult> results =
+        runExperiments(configs, 2);
+    janus_assert(results[1].makespan > 0, "empty run");
+    return static_cast<double>(results[0].makespan) /
+           static_cast<double>(results[1].makespan);
 }
 
 } // namespace janus

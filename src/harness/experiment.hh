@@ -50,6 +50,10 @@ struct ExperimentResult
     std::uint64_t preRequests = 0;
     Tick fenceStallTicks = 0;
     InstrumentReport instrReport;
+    /** Kernel events executed by this run (deterministic). */
+    std::uint64_t eventsExecuted = 0;
+    /** Host wall-clock spent in this run (not deterministic). */
+    double wallSeconds = 0;
 };
 
 /** Run one experiment to completion. */

@@ -1,0 +1,69 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+unsigned
+resolveThreads(unsigned threads)
+{
+    if (threads != 0)
+        return threads;
+    if (const char *env = std::getenv("JANUS_BENCH_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed JANUS_BENCH_THREADS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+runExperiments(std::span<const ExperimentConfig> configs,
+               unsigned threads)
+{
+    std::vector<ExperimentResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    threads = resolveThreads(threads);
+    if (threads > configs.size())
+        threads = static_cast<unsigned>(configs.size());
+
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runExperiment(configs[i]);
+        return results;
+    }
+
+    // Dynamic work-stealing off a shared index: experiments have
+    // wildly different run times (core counts, txn sizes), so static
+    // slicing would leave workers idle.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size())
+                return;
+            results[i] = runExperiment(configs[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace janus

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Parallel experiment runner. Every experiment owns its own
+ * EventQueue / NvmSystem and shares no mutable state with any other,
+ * so a batch of experiments is embarrassingly parallel: a small
+ * worker pool pulls configs off a shared index and writes results
+ * into config-order slots. Results are bit-identical to running the
+ * same batch serially (asserted by tests/harness/test_runner.cc).
+ */
+
+#ifndef JANUS_HARNESS_RUNNER_HH
+#define JANUS_HARNESS_RUNNER_HH
+
+#include <span>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace janus
+{
+
+/**
+ * Resolve a worker-count request. 0 means "auto": the
+ * JANUS_BENCH_THREADS environment variable if set, otherwise the
+ * hardware concurrency. @return at least 1.
+ */
+unsigned resolveThreads(unsigned threads = 0);
+
+/**
+ * Run a batch of independent experiments on a worker pool.
+ *
+ * @param configs  the run matrix; results come back in this order
+ * @param threads  worker threads (0 = auto, see resolveThreads());
+ *                 capped at configs.size()
+ */
+std::vector<ExperimentResult>
+runExperiments(std::span<const ExperimentConfig> configs,
+               unsigned threads = 0);
+
+} // namespace janus
+
+#endif // JANUS_HARNESS_RUNNER_HH

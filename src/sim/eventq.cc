@@ -1,33 +1,227 @@
 #include "sim/eventq.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace janus
 {
 
 void
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::schedule(Tick when, EventFn fn)
 {
     janus_assert(when >= curTick_,
                  "scheduling into the past: %llu < %llu",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(curTick_));
-    events_.push(Event{when, nextSeq_++, std::move(fn)});
+    const std::uint64_t seq = nextSeq_++;
+    ++size_;
+    if (quantum(when) - quantum(curTick_) < numBuckets) {
+        const std::size_t s = slotOf(when);
+        Bucket &b = ring_[s];
+        if (b.prepared) {
+            // The bucket is (or was) next to drain and its suffix is
+            // sorted. This event has the largest seq so far, so it
+            // goes after every pending item with the same tick.
+            auto pos = std::lower_bound(
+                b.items.begin() +
+                    static_cast<std::ptrdiff_t>(b.head),
+                b.items.end(), when,
+                [](const Item &it, Tick w) { return it.when <= w; });
+            b.items.insert(pos, Item{when, seq, std::move(fn)});
+        } else {
+            b.items.push_back(Item{when, seq, std::move(fn)});
+        }
+        markSlot(s);
+        ++ringCount_;
+    } else {
+        std::uint32_t slot;
+        if (!farFree_.empty()) {
+            slot = farFree_.back();
+            farFree_.pop_back();
+            farSlab_[slot] = std::move(fn);
+        } else {
+            slot = static_cast<std::uint32_t>(farSlab_.size());
+            farSlab_.push_back(std::move(fn));
+        }
+        far_.push_back(FarRef{when, seq, slot});
+        std::push_heap(far_.begin(), far_.end(), Later{});
+    }
+}
+
+EventQueue::Bucket *
+EventQueue::nextRingBucket()
+{
+    if (ringCount_ == 0)
+        return nullptr;
+    const std::size_t base = slotOf(curTick_);
+    // Scan the occupancy bitmap from curTick's slot, wrapping once;
+    // every pending ring event lives within one window of curTick,
+    // so slot distance equals quantum distance and the first set bit
+    // is the earliest non-empty bucket.
+    for (std::size_t i = 0; i <= bitmapWords; ++i) {
+        const std::size_t w = ((base >> 6) + i) & (bitmapWords - 1);
+        std::uint64_t bits = occupied_[w];
+        if (i == 0)
+            bits &= ~std::uint64_t(0) << (base & 63);
+        else if (i == bitmapWords)
+            bits &= ~(~std::uint64_t(0) << (base & 63));
+        if (bits == 0)
+            continue;
+        const std::size_t s =
+            (w << 6) +
+            static_cast<std::size_t>(std::countr_zero(bits));
+        Bucket &b = ring_[s];
+        if (!b.prepared) {
+            // Appends happen in seq order, so the bucket is already
+            // (when, seq)-sorted iff the when fields are
+            // nondecreasing — the common case (single event, or a
+            // same-tick burst). Only sort when it isn't.
+            bool sorted = true;
+            for (std::size_t i = 1; i < b.items.size(); ++i) {
+                if (b.items[i].when < b.items[i - 1].when) {
+                    sorted = false;
+                    break;
+                }
+            }
+            if (!sorted)
+                std::sort(b.items.begin(), b.items.end(),
+                          [](const Item &x, const Item &y) {
+                              if (x.when != y.when)
+                                  return x.when < y.when;
+                              return x.seq < y.seq;
+                          });
+            b.prepared = true;
+        }
+        return &b;
+    }
+    panic("event ring count %zu but no occupied bucket", ringCount_);
+}
+
+bool
+EventQueue::runOne(Tick limit)
+{
+    if (size_ == 0)
+        return false;
+
+    Bucket *rb = nextRingBucket();
+    const Item *ring_next =
+        rb != nullptr ? &rb->items[rb->head] : nullptr;
+    const FarRef *far_next = far_.empty() ? nullptr : &far_.front();
+
+    // Earliest (when, seq) of the two levels goes first; seq is
+    // global, so this reproduces the single-queue order exactly.
+    bool from_far;
+    if (ring_next == nullptr)
+        from_far = true;
+    else if (far_next == nullptr)
+        from_far = false;
+    else
+        from_far = far_next->when < ring_next->when ||
+                   (far_next->when == ring_next->when &&
+                    far_next->seq < ring_next->seq);
+
+    const Tick when = from_far ? far_next->when : ring_next->when;
+    if (when > limit)
+        return false;
+
+    EventFn fn;
+    if (from_far) {
+        const std::uint32_t slot = far_next->slot;
+        std::pop_heap(far_.begin(), far_.end(), Later{});
+        far_.pop_back();
+        fn = std::move(farSlab_[slot]);
+        farFree_.push_back(slot);
+    } else {
+        fn = std::move(rb->items[rb->head].fn);
+        ++rb->head;
+        // Retire a drained bucket before invoking the closure so a
+        // reschedule into this quantum lands in a clean bucket.
+        if (rb->head == rb->items.size())
+            retireBucket(*rb, slotOf(when));
+        --ringCount_;
+    }
+    --size_;
+    ++executed_;
+    curTick_ = when;
+    fn();
+    return true;
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t count = 0;
-    while (!events_.empty() && events_.top().when <= limit) {
-        // Moving out of a priority_queue top requires a const_cast;
-        // the element is popped immediately afterwards.
-        Event ev = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        curTick_ = ev.when;
-        ++executed_;
-        ++count;
-        ev.fn();
+    bool hitLimit = false;
+    while (size_ != 0 && !hitLimit) {
+        Bucket *rb = nextRingBucket();
+        const FarRef *far_next =
+            far_.empty() ? nullptr : &far_.front();
+
+        const bool from_far =
+            rb == nullptr ||
+            (far_next != nullptr &&
+             (far_next->when < rb->items[rb->head].when ||
+              (far_next->when == rb->items[rb->head].when &&
+               far_next->seq < rb->items[rb->head].seq)));
+
+        if (from_far) {
+            const Tick when = far_next->when;
+            if (when > limit)
+                break;
+            const std::uint32_t slot = far_next->slot;
+            std::pop_heap(far_.begin(), far_.end(), Later{});
+            far_.pop_back();
+            EventFn fn = std::move(farSlab_[slot]);
+            farFree_.push_back(slot);
+            --size_;
+            ++executed_;
+            ++count;
+            curTick_ = when;
+            fn();
+            continue;
+        }
+
+        // Drain this bucket in a tight loop: no bitmap rescan per
+        // event. The far bound captured here stays valid for the
+        // whole drain — every item in one bucket shares a quantum,
+        // and a closure can only push far events at least one full
+        // window past curTick, i.e. into strictly later quanta, so
+        // nothing new can slot in ahead of the remaining items.
+        // Same-quantum reschedules order-insert into this bucket's
+        // suffix (it is prepared), which the loop picks up because
+        // it re-reads head/size every iteration.
+        const bool far_has = far_next != nullptr;
+        const Tick far_when = far_has ? far_next->when : 0;
+        const std::uint64_t far_seq = far_has ? far_next->seq : 0;
+        for (;;) {
+            Item &it = rb->items[rb->head];
+            const Tick when = it.when;
+            if (when > limit) {
+                hitLimit = true;
+                break;
+            }
+            if (far_has &&
+                (when > far_when ||
+                 (when == far_when && it.seq > far_seq)))
+                break;
+            EventFn fn = std::move(it.fn);
+            ++rb->head;
+            // Retire a drained bucket before invoking the closure
+            // so a reschedule into this quantum lands in a clean
+            // bucket.
+            const bool drained = rb->head == rb->items.size();
+            if (drained)
+                retireBucket(*rb, slotOf(when));
+            --ringCount_;
+            --size_;
+            ++executed_;
+            ++count;
+            curTick_ = when;
+            fn();
+            if (drained)
+                break;
+        }
     }
     if (curTick_ < limit && limit != maxTick)
         curTick_ = limit;
@@ -37,14 +231,7 @@ EventQueue::run(Tick limit)
 bool
 EventQueue::step()
 {
-    if (events_.empty())
-        return false;
-    Event ev = std::move(const_cast<Event &>(events_.top()));
-    events_.pop();
-    curTick_ = ev.when;
-    ++executed_;
-    ev.fn();
-    return true;
+    return runOne(maxTick);
 }
 
 } // namespace janus

@@ -4,15 +4,32 @@
  * simulated activity; components schedule closures at absolute ticks
  * and the queue executes them in (tick, insertion-order) order, which
  * makes simulations fully deterministic.
+ *
+ * The kernel is allocation-free on the hot path:
+ *
+ *  - EventFn is a small-buffer-optimized move-only callable: captures
+ *    up to EventFn::inlineBytes (48) bytes live in place; larger
+ *    closures spill to one heap allocation (like std::function, but
+ *    with a bigger buffer and no copyability requirement).
+ *
+ *  - The queue itself is two-level (a calendar queue backed by a
+ *    heap): a ring of quantum-granular FIFO buckets covers the near
+ *    future, and a conventional binary min-heap holds far-future
+ *    events. Every event carries a global sequence number, so the
+ *    exact (tick, insertion-order) contract of the original
+ *    priority-queue kernel is preserved bit-for-bit.
  */
 
 #ifndef JANUS_SIM_EVENTQ_HH
 #define JANUS_SIM_EVENTQ_HH
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -21,32 +38,208 @@ namespace janus
 {
 
 /**
+ * Move-only type-erased `void()` callable with small-buffer
+ * optimization. Closures whose captures fit in @ref inlineBytes are
+ * stored in place; larger ones cost a single heap allocation.
+ */
+class EventFn
+{
+  public:
+    /** In-place capture capacity, sized for the simulator's largest
+     *  hot-path closures (a few pointers plus a couple of scalars). */
+    static constexpr std::size_t inlineBytes = 48;
+
+    EventFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f) // NOLINT: implicit by design (drop-in for
+                   // std::function at every schedule() call site)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(f));
+            vtable_ = &inlineVTable<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(f));
+            vtable_ = &heapVTable<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const noexcept
+    {
+        return vtable_ != nullptr;
+    }
+
+    void operator()() { vtable_->invoke(storage_); }
+
+    /** @return true if the callable's state lives in the buffer. */
+    bool
+    isInline() const noexcept
+    {
+        return vtable_ != nullptr && vtable_->inlineStorage;
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool inlineStorage;
+        /** Relocation is a plain byte copy (no destroy needed). */
+        bool trivial;
+        /** Destruction is a no-op (inline trivial closures). */
+        bool trivialDestroy;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static void
+    invokeInline(void *s)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(s)))();
+    }
+
+    template <typename Fn>
+    static void
+    relocateInline(void *dst, void *src) noexcept
+    {
+        Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(void *s) noexcept
+    {
+        std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeHeap(void *s)
+    {
+        (**reinterpret_cast<Fn **>(s))();
+    }
+
+    template <typename Fn>
+    static void
+    relocateHeap(void *dst, void *src) noexcept
+    {
+        *reinterpret_cast<Fn **>(dst) =
+            *reinterpret_cast<Fn **>(src);
+    }
+
+    template <typename Fn>
+    static void
+    destroyHeap(void *s) noexcept
+    {
+        delete *reinterpret_cast<Fn **>(s);
+    }
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable{
+        &invokeInline<Fn>, &relocateInline<Fn>, &destroyInline<Fn>,
+        true, std::is_trivially_copyable_v<Fn>,
+        std::is_trivially_destructible_v<Fn>};
+
+    template <typename Fn>
+    static constexpr VTable heapVTable{
+        &invokeHeap<Fn>, &relocateHeap<Fn>, &destroyHeap<Fn>, false,
+        true /* relocating just moves the owning pointer */,
+        false /* must delete the heap object */};
+
+    void
+    moveFrom(EventFn &other) noexcept
+    {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            // Fast path for the common closures (pointer captures,
+            // or a heap pointer): a fixed-size byte copy the
+            // compiler turns into a couple of vector moves, instead
+            // of an indirect relocate call.
+            if (vtable_->trivial)
+                __builtin_memcpy(storage_, other.storage_,
+                                 inlineBytes);
+            else
+                vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (vtable_ != nullptr) {
+            if (!vtable_->trivialDestroy)
+                vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    const VTable *vtable_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[inlineBytes];
+};
+
+/**
  * The central event queue. Events are one-shot closures; recurring
  * behaviour is expressed by rescheduling from inside the closure.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() : ring_(numBuckets) {}
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
 
     /** Schedule a closure at an absolute tick (>= curTick). */
-    void schedule(Tick when, std::function<void()> fn);
+    void schedule(Tick when, EventFn fn);
 
     /** Schedule a closure after a relative delay. */
     void
-    scheduleIn(Tick delay, std::function<void()> fn)
+    scheduleIn(Tick delay, EventFn fn)
     {
         schedule(curTick_ + delay, std::move(fn));
     }
 
     /** @return true if no events are pending. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return size_; }
 
     /**
      * Run events until the queue drains or the (absolute) limit tick
@@ -66,17 +259,40 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Event
+    /**
+     * Calendar geometry. A bucket covers 2^quantumBits ticks (~4 ns
+     * at 1 tick = 1 ps); the ring covers numBuckets quanta (~4.2 us),
+     * which holds every latency the simulated machine produces on its
+     * hot path. Anything further out goes to the far heap.
+     */
+    static constexpr unsigned quantumBits = 12;
+    static constexpr std::size_t numBuckets = 1024;
+    static constexpr std::size_t slotMask = numBuckets - 1;
+    static constexpr std::size_t bitmapWords = numBuckets / 64;
+
+    struct Item
     {
         Tick when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        EventFn fn;
     };
 
+    /**
+     * Far-heap entry: the callback lives in a stable slab so the
+     * heap sifts 24-byte PODs instead of full Items.
+     */
+    struct FarRef
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    /** Heap comparator: a sorts after b (makes a min-heap). */
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const FarRef &a, const FarRef &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -84,10 +300,74 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /**
+     * One calendar bucket. Events append in insertion order while
+     * the bucket's quantum is in the future; the bucket is sorted by
+     * (when, seq) once — when it becomes the next to drain — and
+     * late arrivals (same-quantum scheduling during execution) are
+     * then order-inserted into the unexecuted suffix.
+     */
+    struct Bucket
+    {
+        std::vector<Item> items;
+        std::size_t head = 0;
+        bool prepared = false;
+    };
+
+    static std::uint64_t quantum(Tick t) { return t >> quantumBits; }
+    static std::size_t slotOf(Tick t)
+    {
+        return static_cast<std::size_t>(quantum(t)) & slotMask;
+    }
+
+    void
+    markSlot(std::size_t s)
+    {
+        occupied_[s >> 6] |= std::uint64_t(1) << (s & 63);
+    }
+
+    void
+    clearSlot(std::size_t s)
+    {
+        occupied_[s >> 6] &= ~(std::uint64_t(1) << (s & 63));
+    }
+
+    /**
+     * Find the first non-empty ring bucket at or after curTick's
+     * quantum (scanning the occupancy bitmap, wrapping once) and
+     * make sure it is prepared (sorted) for draining.
+     * @return the bucket, or nullptr if the ring is empty.
+     */
+    Bucket *nextRingBucket();
+
+    /** Reset a fully drained bucket and clear its occupancy bit. */
+    void
+    retireBucket(Bucket &b, std::size_t slot)
+    {
+        b.items.clear();
+        b.head = 0;
+        b.prepared = false;
+        clearSlot(slot);
+    }
+
+    /**
+     * Execute the earliest pending event if its tick is <= limit.
+     * @return true if an event ran.
+     */
+    bool runOne(Tick limit);
+
+    std::vector<Bucket> ring_;
+    std::uint64_t occupied_[bitmapWords] = {};
+    std::size_t ringCount_ = 0;
+
+    std::vector<FarRef> far_;        ///< min-heap by (when, seq)
+    std::vector<EventFn> farSlab_;   ///< slot -> callback
+    std::vector<std::uint32_t> farFree_; ///< recycled slab slots
+
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t size_ = 0;
 };
 
 /**
@@ -118,7 +398,7 @@ class SimObject
   protected:
     /** Schedule a member-closure after a relative delay. */
     void
-    schedule(Tick delay, std::function<void()> fn)
+    schedule(Tick delay, EventFn fn)
     {
         eventq_.scheduleIn(delay, std::move(fn));
     }

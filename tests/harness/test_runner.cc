@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: thread resolution, and
+ * the core guarantee that running a config matrix on N worker
+ * threads produces results bit-identical to running it serially
+ * (every experiment owns its event queue; nothing simulated is
+ * shared). This binary is also the target of the TSan CI job.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+
+namespace janus
+{
+namespace
+{
+
+std::vector<ExperimentConfig>
+smallMatrix()
+{
+    std::vector<ExperimentConfig> configs;
+    const char *workloads[] = {"array_swap", "queue", "tatp"};
+    const WritePathMode modes[] = {WritePathMode::Serialized,
+                                   WritePathMode::Janus};
+    for (const char *w : workloads) {
+        for (WritePathMode m : modes) {
+            ExperimentConfig c;
+            c.workloadName = w;
+            c.workload.txnsPerCore = 12;
+            c.sys.cores = 2;
+            c.sys.mode = m;
+            c.instr = m == WritePathMode::Serialized
+                          ? Instrumentation::None
+                          : Instrumentation::Manual;
+            configs.push_back(std::move(c));
+        }
+    }
+    return configs;
+}
+
+/** Compare every deterministic field (not wallSeconds). */
+void
+expectSameResults(const std::vector<ExperimentResult> &a,
+                  const std::vector<ExperimentResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].makespan, b[i].makespan) << "config " << i;
+        EXPECT_EQ(a[i].avgWriteLatencyNs, b[i].avgWriteLatencyNs)
+            << "config " << i;
+        EXPECT_EQ(a[i].measuredDupRatio, b[i].measuredDupRatio)
+            << "config " << i;
+        EXPECT_EQ(a[i].fullyPreExecutedFrac,
+                  b[i].fullyPreExecutedFrac)
+            << "config " << i;
+        EXPECT_EQ(a[i].instructions, b[i].instructions)
+            << "config " << i;
+        EXPECT_EQ(a[i].transactions, b[i].transactions)
+            << "config " << i;
+        EXPECT_EQ(a[i].persists, b[i].persists) << "config " << i;
+        EXPECT_EQ(a[i].preRequests, b[i].preRequests)
+            << "config " << i;
+        EXPECT_EQ(a[i].fenceStallTicks, b[i].fenceStallTicks)
+            << "config " << i;
+        EXPECT_EQ(a[i].eventsExecuted, b[i].eventsExecuted)
+            << "config " << i;
+    }
+}
+
+TEST(Runner, ParallelMatchesSerialBitForBit)
+{
+    std::vector<ExperimentConfig> configs = smallMatrix();
+    std::vector<ExperimentResult> serial =
+        runExperiments(configs, 1);
+    std::vector<ExperimentResult> parallel =
+        runExperiments(configs, 4);
+    expectSameResults(serial, parallel);
+}
+
+TEST(Runner, MoreThreadsThanConfigs)
+{
+    std::vector<ExperimentConfig> configs = smallMatrix();
+    configs.resize(2);
+    std::vector<ExperimentResult> serial =
+        runExperiments(configs, 1);
+    std::vector<ExperimentResult> wide =
+        runExperiments(configs, 64);
+    expectSameResults(serial, wide);
+}
+
+TEST(Runner, EmptyMatrix)
+{
+    std::vector<ExperimentConfig> configs;
+    EXPECT_TRUE(runExperiments(configs, 4).empty());
+}
+
+TEST(Runner, ResultsKeepConfigOrder)
+{
+    // Workloads with different txn counts make slot mixups visible.
+    std::vector<ExperimentConfig> configs;
+    for (unsigned cores : {1u, 2u, 3u, 4u}) {
+        ExperimentConfig c;
+        c.workloadName = "queue";
+        c.workload.txnsPerCore = 10;
+        c.sys.cores = cores;
+        c.instr = Instrumentation::None;
+        c.sys.mode = WritePathMode::Serialized;
+        configs.push_back(std::move(c));
+    }
+    std::vector<ExperimentResult> results =
+        runExperiments(configs, 4);
+    ASSERT_EQ(results.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(results[i].transactions, (i + 1) * 10u);
+}
+
+TEST(Runner, ResolveThreadsHonorsEnv)
+{
+    ::setenv("JANUS_BENCH_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreads(), 3u);
+    // An explicit request beats the environment.
+    EXPECT_EQ(resolveThreads(7), 7u);
+    ::setenv("JANUS_BENCH_THREADS", "not-a-number", 1);
+    EXPECT_GE(resolveThreads(), 1u);
+    ::unsetenv("JANUS_BENCH_THREADS");
+    EXPECT_GE(resolveThreads(), 1u);
+}
+
+} // namespace
+} // namespace janus

@@ -3,10 +3,15 @@
  * Unit tests for the discrete-event kernel.
  */
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.hh"
 #include "sim/eventq.hh"
 
 namespace janus
@@ -101,6 +106,240 @@ TEST(EventQueue, SchedulingIntoThePastPanics)
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, SameTickFifoStress)
+{
+    // Thousands of events on a handful of identical ticks must run
+    // in exact insertion order — the FIFO contract the rest of the
+    // simulator depends on for determinism.
+    EventQueue eq;
+    std::vector<int> order;
+    constexpr int perTick = 2500;
+    const Tick ticks[] = {100, 100000, 100, 5'000'000, 100000};
+    int id = 0;
+    for (Tick t : ticks)
+        for (int i = 0; i < perTick; ++i)
+            eq.schedule(t, [&order, v = id++] { order.push_back(v); });
+    ASSERT_EQ(eq.pending(), static_cast<std::size_t>(id));
+    eq.run();
+
+    // Expected order: by tick first, then insertion order. Events
+    // for tick 100 came from rounds 0 and 2, tick 100000 from rounds
+    // 1 and 4, tick 5ms from round 3.
+    std::vector<int> expect;
+    for (int round : {0, 2, 1, 4, 3})
+        for (int i = 0; i < perTick; ++i)
+            expect.push_back(round * perTick + i);
+    ASSERT_EQ(order.size(), expect.size());
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, RescheduleSameTickFromInsideClosure)
+{
+    // A closure scheduling more work at the *current* tick must see
+    // that work run immediately after it, before any later tick —
+    // including when the executing bucket has already been prepared.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(0);
+        eq.schedule(50, [&] {
+            order.push_back(1);
+            eq.schedule(50, [&] { order.push_back(2); });
+        });
+    });
+    eq.schedule(51, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 51u);
+}
+
+TEST(EventQueue, RescheduleChainAcrossTicks)
+{
+    // Self-rescheduling actor (the simulator's core pattern) across
+    // many iterations, crossing many bucket quanta.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> step = [&] {
+        if (++fired < 10000)
+            eq.scheduleIn(1337, step);
+    };
+    eq.schedule(0, step);
+    eq.run();
+    EXPECT_EQ(fired, 10000u);
+    EXPECT_EQ(eq.curTick(), 9999u * 1337u);
+}
+
+TEST(EventQueue, FarFutureAndNearInterleave)
+{
+    // Events far beyond the calendar window (heap path) must still
+    // interleave correctly with near events (ring path), including
+    // a far event and a near event landing on the same tick.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = 50 * ticks::ms; // way past the ring window
+    eq.schedule(far, [&] { order.push_back(2); });      // heap
+    eq.schedule(10, [&] {                               // ring
+        order.push_back(0);
+        // By now `far` is still outside the window; this same-tick
+        // event gets a larger seq, so it must run after the heap one.
+        eq.schedule(far, [&] { order.push_back(3); });
+        eq.schedule(far + 1, [&] { order.push_back(4); });
+    });
+    eq.schedule(20, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, LargeCaptureSpillsToHeap)
+{
+    // Closures bigger than EventFn's inline buffer must still work
+    // (heap spill path) and destruct cleanly.
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (unsigned i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(5, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    static_assert(sizeof(payload) > EventFn::inlineBytes);
+    eq.run();
+    EXPECT_EQ(sum, 16u * 0 + (0 + 15) * 16 / 2 * 3 + 16);
+}
+
+TEST(EventQueue, PendingCountsAcrossLevels)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    eq.schedule(10, [] {});                  // ring
+    eq.schedule(90 * ticks::ms, [] {});      // far heap
+    eq.schedule(10, [] {});                  // ring, same tick
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_FALSE(eq.empty());
+    eq.step();
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+/**
+ * Trivially correct reference kernel: the seed's design — a
+ * priority queue of (tick, seq, std::function). Used to check the
+ * calendar/heap kernel's execution order bit-for-bit.
+ */
+class ReferenceQueue
+{
+  public:
+    Tick curTick() const { return curTick_; }
+
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        events_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    void
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        schedule(curTick_ + delay, std::move(fn));
+    }
+
+    void
+    run()
+    {
+        while (!events_.empty()) {
+            Event ev = std::move(const_cast<Event &>(events_.top()));
+            events_.pop();
+            curTick_ = ev.when;
+            ev.fn();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * Run a randomized self-expanding workload on any queue type and
+ * record the (id, tick) execution trace. The pattern mixes bursts,
+ * same-tick reschedules, in-window and far-future deltas — all
+ * decisions come from a seeded Rng, so two deterministic kernels
+ * must produce identical traces.
+ */
+template <typename Q>
+std::vector<std::pair<std::uint64_t, Tick>>
+randomTrace(std::uint64_t seed)
+{
+    Q eq;
+    Rng rng(seed);
+    std::vector<std::pair<std::uint64_t, Tick>> trace;
+    std::uint64_t nextId = 0;
+
+    std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+        trace.emplace_back(id, eq.curTick());
+        if (trace.size() < 20000 && rng.chance(0.72)) {
+            const int kids = static_cast<int>(rng.range(1, 3));
+            for (int k = 0; k < kids; ++k) {
+                Tick delay;
+                switch (rng.range(0, 3)) {
+                case 0: delay = 0; break;                     // same tick
+                case 1: delay = rng.range(1, 4000); break;    // same quantum
+                case 2: delay = rng.range(1, 3 * ticks::us); break;
+                default: delay = rng.range(5 * ticks::us,
+                                           40 * ticks::us);   // far heap
+                }
+                const std::uint64_t kid = nextId++;
+                eq.scheduleIn(delay, [&fire, kid] { fire(kid); });
+            }
+        }
+    };
+
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t id = nextId++;
+        Tick delay = rng.range(0, 10 * ticks::us);
+        eq.scheduleIn(delay, [&fire, id] { fire(id); });
+    }
+    eq.run();
+    return trace;
+}
+
+TEST(EventQueue, RandomizedTraceMatchesReferenceKernel)
+{
+    for (std::uint64_t seed : {7u, 99u, 20260806u}) {
+        auto ref = randomTrace<ReferenceQueue>(seed);
+        auto got = randomTrace<EventQueue>(seed);
+        ASSERT_EQ(got.size(), ref.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_EQ(got[i].first, ref[i].first)
+                << "seed " << seed << " event " << i;
+            ASSERT_EQ(got[i].second, ref[i].second)
+                << "seed " << seed << " event " << i;
+        }
+    }
 }
 
 TEST(SimObject, NameAndTime)
