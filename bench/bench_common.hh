@@ -19,6 +19,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -143,10 +145,26 @@ class BenchRunner
         return configs_.size() - 1;
     }
 
-    /** Execute everything queued so far on the worker pool. */
+    /** Execute everything queued so far on the worker pool.
+     *  With JANUS_TRACE=1 one experiment (index JANUS_TRACE_EXPERIMENT,
+     *  default 0) records a persist-path trace, written by writeJson()
+     *  as TRACE_<name>.json. */
     void
     runAll(unsigned threads = 0)
     {
+        if (traceEnvEnabled() && !configs_.empty()) {
+            std::size_t idx = 0;
+            if (const char *e = std::getenv("JANUS_TRACE_EXPERIMENT"))
+                idx = static_cast<std::size_t>(std::strtoull(
+                    e, nullptr, 10));
+            if (idx >= configs_.size())
+                idx = 0;
+            traceIndex_ = idx;
+            // Mark explicitly so only this one experiment traces
+            // (traceEnvEnabled() alone would trace all of them).
+            for (std::size_t i = 0; i < configs_.size(); ++i)
+                configs_[i].sys.trace = (i == idx);
+        }
         threads_ = resolveThreads(threads);
         results_ = runExperiments(configs_, threads_);
     }
@@ -201,7 +219,11 @@ class BenchRunner
                 "\"value_bytes\": %llu, \"seed\": %llu, "
                 "\"makespan_ticks\": %llu, \"events\": %llu, "
                 "\"wall_seconds\": %.6f, "
-                "\"avg_write_latency_ns\": %.2f}%s\n",
+                "\"avg_write_latency_ns\": %.2f, "
+                "\"stage_bmo_ns\": %.2f, \"stage_queue_ns\": %.2f, "
+                "\"stage_order_ns\": %.2f, "
+                "\"persist_p50_ns\": %.2f, "
+                "\"persist_p99_ns\": %.2f}%s\n",
                 labels_[i].c_str(), s.workload.c_str(),
                 modeName(s.mode), instrName(s.instr), s.cores,
                 s.txnsPerCore,
@@ -209,11 +231,14 @@ class BenchRunner
                 static_cast<unsigned long long>(s.seed),
                 static_cast<unsigned long long>(r.makespan),
                 static_cast<unsigned long long>(r.eventsExecuted),
-                r.wallSeconds, r.avgWriteLatencyNs,
+                r.wallSeconds, r.avgWriteLatencyNs, r.stageBmoNs,
+                r.stageQueueNs, r.stageOrderNs, r.persistP50Ns,
+                r.persistP99Ns,
                 i + 1 < results_.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
+        writeTrace();
         std::printf("\n[%s: %zu experiments on %u threads, %.2fs "
                     "wall, %.2fM events/s -> %s]\n",
                     name_.c_str(), results_.size(), threads_, wall,
@@ -231,10 +256,38 @@ class BenchRunner
             .count();
     }
 
+    /** Write TRACE_<name>.json if some experiment recorded a trace
+     *  (writeJson calls this; separate for benches that don't). */
+    void
+    writeTrace() const
+    {
+        if (traceIndex_ >= results_.size() ||
+            results_[traceIndex_].traceJson.empty())
+            return;
+        const ExperimentResult &r = results_[traceIndex_];
+        std::string path = "TRACE_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write %s", path.c_str());
+            return;
+        }
+        out << r.traceJson;
+        std::printf("[%s: trace of '%s' (%llu events, %llu dropped) "
+                    "-> %s]\n",
+                    name_.c_str(), labels_[traceIndex_].c_str(),
+                    static_cast<unsigned long long>(
+                        r.traceEventsRecorded),
+                    static_cast<unsigned long long>(
+                        r.traceEventsDropped),
+                    path.c_str());
+    }
+
   private:
     std::string name_;
     std::chrono::steady_clock::time_point start_;
     unsigned threads_ = 0;
+    /** Which experiment traces when JANUS_TRACE is set. */
+    std::size_t traceIndex_ = ~std::size_t(0);
     std::vector<std::string> labels_;
     std::vector<RunSpec> specs_;
     std::vector<ExperimentConfig> configs_;

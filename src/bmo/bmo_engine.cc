@@ -36,20 +36,39 @@ BmoEngine::fitInto(const Unit &unit, Tick start, Tick latency)
     return begin;
 }
 
+void
+BmoEngine::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    unitTracks_.clear();
+    subOpLabels_.clear();
+    if (tracer_ == nullptr)
+        return;
+    unsigned tracks = units_ == 0 ? 1 : units_;
+    for (unsigned u = 0; u < tracks; ++u)
+        unitTracks_.push_back(
+            tracer_->track("bmoUnit" + std::to_string(u)));
+    for (SubOpId id = 0; id < graph_.size(); ++id)
+        subOpLabels_.push_back(tracer_->label(graph_.subOp(id).name));
+}
+
 Tick
-BmoEngine::claimUnit(Tick start, Tick latency)
+BmoEngine::claimUnit(Tick start, Tick latency, unsigned *unit_out)
 {
     busyTicks_ += latency;
+    *unit_out = 0;
     if (units_ == 0)
         return start; // unlimited units
 
     Unit *best_unit = nullptr;
     Tick best_begin = maxTick;
-    for (Unit &unit : unitState_) {
+    for (unsigned u = 0; u < units_; ++u) {
+        Unit &unit = unitState_[u];
         Tick begin = fitInto(unit, start, latency);
         if (begin < best_begin) {
             best_begin = begin;
             best_unit = &unit;
+            *unit_out = u;
         }
     }
     janus_assert(best_unit != nullptr, "no units");
@@ -118,7 +137,8 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
         duration = end - ready;
     }
 
-    Tick begin = claimUnit(ready, duration);
+    unsigned unit = 0;
+    Tick begin = claimUnit(ready, duration, &unit);
 
     // Pass 2: real schedule anchored at the unit grant.
     Tick last = begin;
@@ -128,9 +148,13 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
             for (SubOpId p : graph_.preds(id))
                 if (state.done(p))
                     cursor = std::max(cursor, state.finish(p));
-            cursor += node_latency(id);
+            Tick latency = node_latency(id);
+            cursor += latency;
             state.complete(id, cursor);
             ++subOpsExecuted_;
+            JANUS_TRACE_SPAN(tracer_, unitTracks_[unit],
+                             subOpLabels_[id], cursor - latency,
+                             cursor);
         }
         return cursor;
     }
@@ -146,6 +170,8 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
         state.complete(id, finish);
         ++subOpsExecuted_;
         last = std::max(last, finish);
+        JANUS_TRACE_SPAN(tracer_, unitTracks_[unit], subOpLabels_[id],
+                         start, finish);
     }
     return last;
 }

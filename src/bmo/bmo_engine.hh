@@ -16,6 +16,7 @@
 #include "bmo/bmo_graph.hh"
 #include "common/types.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -126,6 +127,10 @@ class BmoEngine
     std::uint64_t subOpsExecuted() const { return subOpsExecuted_; }
     Tick busyTicks() const { return busyTicks_; }
 
+    /** Attach a trace sink (null detaches). Interns one track per
+     *  BMO unit and one label per sub-op name. */
+    void setTracer(Tracer *tracer);
+
   private:
     /** A unit's reserved busy intervals (future ones only). */
     struct Unit
@@ -135,9 +140,10 @@ class BmoEngine
 
     /**
      * Reserve the earliest [begin, begin+latency) with begin >= start
-     * on any unit (gap backfilling). @return begin.
+     * on any unit (gap backfilling). @return begin; the chosen unit
+     * index goes to @p unit_out (0 when units are unlimited).
      */
-    Tick claimUnit(Tick start, Tick latency);
+    Tick claimUnit(Tick start, Tick latency, unsigned *unit_out);
 
     /** Earliest begin >= start where the unit has a free gap. */
     static Tick fitInto(const Unit &unit, Tick start, Tick latency);
@@ -147,6 +153,10 @@ class BmoEngine
     std::vector<Unit> unitState_;
     std::uint64_t subOpsExecuted_ = 0;
     Tick busyTicks_ = 0;
+
+    Tracer *tracer_ = nullptr;
+    std::vector<TraceId> unitTracks_;
+    std::vector<TraceId> subOpLabels_;
 };
 
 } // namespace janus

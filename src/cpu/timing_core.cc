@@ -20,6 +20,18 @@ TimingCore::TimingCore(const std::string &name, EventQueue &eq,
 }
 
 void
+TimingCore::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_ == nullptr)
+        return;
+    track_ = tracer_->track(name());
+    persistLabel_ = tracer_->label("persist");
+    fenceLabel_ = tracer_->label("sfenceStall");
+    preReqLabel_ = tracer_->label("preRequest");
+}
+
+void
 TimingCore::run(TxnSource source, std::function<void()> on_done)
 {
     janus_assert(!running_, "core %s already running", name().c_str());
@@ -102,6 +114,10 @@ TimingCore::doClwb(Addr addr, std::uint64_t size, bool meta_atomic)
         PersistResult res = mc_.persistWrite(
             line, data, time_ + config_.writebackLatency, meta_atomic,
             coreId_);
+        // Core-issue to durable: the whole persist lifetime as one
+        // span on the issuing core's track.
+        JANUS_TRACE_SPAN(tracer_, track_, persistLabel_, time_,
+                         res.persisted, line);
         outstanding_.push_back(res.persisted);
         ++persists_;
     }
@@ -144,6 +160,7 @@ TimingCore::doPreOp(const Instr &instr, const Frame &frame)
     JanusFrontend &fe = mc_.frontend();
     Tick issue = time_ + config_.preReqLatency;
     ++preRequests_;
+    JANUS_TRACE_INSTANT(tracer_, track_, preReqLabel_, issue);
 
     std::vector<PreChunk> chunks;
     auto add_addr_chunks = [&](Addr addr, std::uint64_t size) {
@@ -411,6 +428,8 @@ TimingCore::execute(const Instr &instr)
                                               outstanding_.end());
               outstanding_.clear();
               if (!config_.nonBlockingWriteback && latest > time_) {
+                  JANUS_TRACE_SPAN(tracer_, track_, fenceLabel_,
+                                   time_, latest);
                   fenceStall_ += latest - time_;
                   time_ = latest;
                   // Long waits end the batch to preserve cross-core

@@ -31,6 +31,7 @@
 #include "memctrl/memory_controller.hh"
 #include "sim/eventq.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -93,6 +94,9 @@ class TimingCore : public SimObject
     Tick fenceStallTicks() const { return fenceStall_; }
     SetAssocCache &l1() { return l1_; }
     SetAssocCache &l2() { return l2_; }
+
+    /** Attach a trace sink (null detaches). */
+    void setTracer(Tracer *tracer);
 
   private:
     struct Frame
@@ -160,6 +164,12 @@ class TimingCore : public SimObject
     std::uint64_t stores_ = 0;
     std::uint64_t preRequests_ = 0;
     Tick fenceStall_ = 0;
+
+    Tracer *tracer_ = nullptr;
+    TraceId track_ = 0;
+    TraceId persistLabel_ = 0;
+    TraceId fenceLabel_ = 0;
+    TraceId preReqLabel_ = 0;
 };
 
 } // namespace janus

@@ -38,6 +38,12 @@ runExperiment(const ExperimentConfig &config)
 
     MemoryController &mc = system.mc();
     result.avgWriteLatencyNs = mc.avgWriteLatencyNs();
+    const PersistBreakdown &bd = mc.breakdown();
+    result.stageBmoNs = bd.bmoNs.mean();
+    result.stageQueueNs = bd.queueNs.mean();
+    result.stageOrderNs = bd.orderNs.mean();
+    result.persistP50Ns = bd.totalHistNs.quantile(0.50);
+    result.persistP99Ns = bd.totalHistNs.quantile(0.99);
     result.measuredDupRatio = mc.backend().dupRatio();
     if (config.sys.mode == WritePathMode::Janus) {
         const JanusFrontend &fe = mc.frontend();
@@ -56,6 +62,11 @@ runExperiment(const ExperimentConfig &config)
         result.fenceStallTicks += core.fenceStallTicks();
     }
     result.eventsExecuted = system.eventq().executed();
+    if (Tracer *tracer = system.tracer()) {
+        result.traceJson = tracer->chromeJson();
+        result.traceEventsRecorded = tracer->recorded();
+        result.traceEventsDropped = tracer->dropped();
+    }
     result.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start)

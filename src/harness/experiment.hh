@@ -41,6 +41,14 @@ struct ExperimentResult
 {
     Tick makespan = 0;
     double avgWriteLatencyNs = 0;
+    /** Mean per-stage persist latency (bmo + queue + order ==
+     *  avgWriteLatencyNs tick-exactly; see PersistBreakdown). */
+    double stageBmoNs = 0;
+    double stageQueueNs = 0;
+    double stageOrderNs = 0;
+    /** Persist-latency distribution tails (ns). */
+    double persistP50Ns = 0;
+    double persistP99Ns = 0;
     double measuredDupRatio = 0;
     /** Fraction of consumed writes whose BMOs were fully done. */
     double fullyPreExecutedFrac = 0;
@@ -54,6 +62,15 @@ struct ExperimentResult
     std::uint64_t eventsExecuted = 0;
     /** Host wall-clock spent in this run (not deterministic). */
     double wallSeconds = 0;
+    /**
+     * Chrome trace-event JSON of the run (empty unless
+     * config.sys.trace was set; BenchRunner sets it from the
+     * JANUS_TRACE environment variable). Deterministic: serial and
+     * parallel runners produce identical traces.
+     */
+    std::string traceJson;
+    std::uint64_t traceEventsRecorded = 0;
+    std::uint64_t traceEventsDropped = 0;
 };
 
 /** Run one experiment to completion. */

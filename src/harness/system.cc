@@ -1,9 +1,9 @@
 #include "harness/system.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/logging.hh"
-#include "sim/stats.hh"
 
 namespace janus
 {
@@ -41,11 +41,15 @@ NvmSystem::NvmSystem(const SystemConfig &config, const Module &module)
     : config_(config), alloc_(config.heapBase, config.heapBytes)
 {
     janus_assert(config.cores >= 1, "need at least one core");
+    if (config.trace)
+        tracer_ = std::make_unique<Tracer>(config.traceCapacity);
     mc_ = std::make_unique<MemoryController>(makeMcConfig(config));
+    mc_->setTracer(tracer_.get());
     for (unsigned i = 0; i < config.cores; ++i) {
         cores_.push_back(std::make_unique<TimingCore>(
             "core" + std::to_string(i), eventq_, i, module, mem_,
             *mc_, config.core));
+        cores_.back()->setTracer(tracer_.get());
     }
 }
 
@@ -67,9 +71,11 @@ NvmSystem::run(std::vector<TxnSource> sources)
     return makespan;
 }
 
-void
-NvmSystem::dumpStats(std::ostream &os)
+std::vector<StatGroup>
+NvmSystem::collectStats()
 {
+    std::vector<StatGroup> groups;
+
     for (const auto &core : cores_) {
         StatGroup group(core->name());
         group.scalar("instructions")
@@ -87,7 +93,7 @@ NvmSystem::dumpStats(std::ostream &os)
             .set(ticks::toNsF(core->fenceStallTicks()));
         group.scalar("l1HitRate").set(core->l1().hitRate());
         group.scalar("l2HitRate").set(core->l2().hitRate());
-        group.dump(os);
+        groups.push_back(std::move(group));
     }
 
     StatGroup mc_group("mc");
@@ -97,7 +103,12 @@ NvmSystem::dumpStats(std::ostream &os)
         .set(static_cast<double>(mc_->metaAtomicWrites()));
     mc_group.scalar("counterCacheHitRate")
         .set(mc_->counterCache().hitRate());
-    mc_group.dump(os);
+    const PersistBreakdown &bd = mc_->breakdown();
+    mc_group.scalar("stageBmoNs").set(bd.bmoNs.mean());
+    mc_group.scalar("stageQueueNs").set(bd.queueNs.mean());
+    mc_group.scalar("stageOrderNs").set(bd.orderNs.mean());
+    mc_group.histogram("persistLatencyNs") = bd.totalHistNs;
+    groups.push_back(std::move(mc_group));
 
     StatGroup dev_group("nvm");
     dev_group.scalar("writesAccepted")
@@ -106,14 +117,15 @@ NvmSystem::dumpStats(std::ostream &os)
         .set(static_cast<double>(mc_->device().readsIssued()));
     dev_group.scalar("avgAcceptStallNs")
         .set(mc_->device().avgAcceptStall());
-    dev_group.dump(os);
+    dev_group.gauge("queueDepth") = mc_->device().queueDepthGauge();
+    groups.push_back(std::move(dev_group));
 
     StatGroup engine_group("bmoEngine");
     engine_group.scalar("subOpsExecuted")
         .set(static_cast<double>(mc_->engine().subOpsExecuted()));
     engine_group.scalar("busyNs")
         .set(ticks::toNsF(mc_->engine().busyTicks()));
-    engine_group.dump(os);
+    groups.push_back(std::move(engine_group));
 
     StatGroup backend_group("backend");
     backend_group.scalar("writes")
@@ -124,7 +136,7 @@ NvmSystem::dumpStats(std::ostream &os)
     if (mc_->backend().config().compression)
         backend_group.scalar("compressionRatio")
             .set(mc_->backend().compressionRatio());
-    backend_group.dump(os);
+    groups.push_back(std::move(backend_group));
 
     if (config_.mode == WritePathMode::Janus) {
         const JanusFrontend &fe = mc_->frontend();
@@ -137,6 +149,12 @@ NvmSystem::dumpStats(std::ostream &os)
             .set(static_cast<double>(fe.consumedWithEntry()));
         fe_group.scalar("consumedFullyPreExecuted")
             .set(static_cast<double>(fe.consumedFullyPreExecuted()));
+        fe_group.scalar("irb_hits")
+            .set(static_cast<double>(fe.irbHits()));
+        fe_group.scalar("irb_misses")
+            .set(static_cast<double>(fe.irbMisses()));
+        fe_group.scalar("preexec_covered_subops")
+            .set(static_cast<double>(fe.preexecCoveredSubOps()));
         fe_group.scalar("dataMismatches")
             .set(static_cast<double>(fe.dataMismatches()));
         fe_group.scalar("metadataInvalidations")
@@ -147,8 +165,35 @@ NvmSystem::dumpStats(std::ostream &os)
             .set(static_cast<double>(fe.droppedOpQueue()));
         fe_group.scalar("agedOut")
             .set(static_cast<double>(fe.agedOut()));
-        fe_group.dump(os);
+        fe_group.gauge("irbOccupancy") = fe.irbOccupancyGauge();
+        groups.push_back(std::move(fe_group));
     }
+
+    std::sort(groups.begin(), groups.end(),
+              [](const StatGroup &a, const StatGroup &b) {
+                  return a.name() < b.name();
+              });
+    return groups;
+}
+
+void
+NvmSystem::dumpStats(std::ostream &os)
+{
+    for (const StatGroup &group : collectStats())
+        group.dump(os);
+}
+
+void
+NvmSystem::dumpStatsJson(std::ostream &os)
+{
+    os << "{";
+    bool first = true;
+    for (const StatGroup &group : collectStats()) {
+        os << (first ? "\n  " : ",\n  ");
+        first = false;
+        group.dumpJson(os);
+    }
+    os << "\n}\n";
 }
 
 } // namespace janus

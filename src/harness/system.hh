@@ -17,6 +17,8 @@
 #include "mem/sparse_memory.hh"
 #include "memctrl/memory_controller.hh"
 #include "sim/eventq.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -40,6 +42,11 @@ struct SystemConfig
     /** Base/extent of the persistent heap handed to workloads. */
     Addr heapBase = 1 * 1024 * 1024;
     Addr heapBytes = Addr(2) * 1024 * 1024 * 1024;
+    /** Record a persist-path trace for this system (see sim/trace.hh;
+     *  benches turn this on when JANUS_TRACE is set). */
+    bool trace = false;
+    /** Trace ring capacity in events. */
+    std::size_t traceCapacity = 1 << 16;
 };
 
 /** A fully assembled simulated NVM machine. */
@@ -65,16 +72,34 @@ class NvmSystem
      */
     Tick run(std::vector<TxnSource> sources);
 
+    /** The persist-path tracer, or null when tracing is off. */
+    Tracer *tracer() { return tracer_.get(); }
+
     /**
-     * Dump every component's statistics (gem5-style
-     * "component.stat value" lines) to the stream.
+     * Dump every component's statistics to the stream.
+     *
+     * Format: one stat per line as "group.stat value", where `group`
+     * is the component instance ("core0", "mc", "nvm", "bmoEngine",
+     * "backend", "janus") and composite stats expand to dotted
+     * sub-stats ("mc.persistLatencyNs.p99"). Groups are emitted in
+     * lexicographic group-name order and stats sort within their
+     * group (see StatGroup::dump), so two runs of the same simulation
+     * produce byte-identical dumps.
      */
     void dumpStats(std::ostream &os);
 
+    /** The same statistics as one JSON object
+     *  `{"group": {"stat": value, ...}, ...}` (same ordering). */
+    void dumpStatsJson(std::ostream &os);
+
   private:
+    /** Build all stat groups, sorted by group name. */
+    std::vector<StatGroup> collectStats();
+
     SystemConfig config_;
     EventQueue eventq_;
     SparseMemory mem_;
+    std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<MemoryController> mc_;
     std::vector<std::unique_ptr<TimingCore>> cores_;
     RegionAllocator alloc_;

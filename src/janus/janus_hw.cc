@@ -18,6 +18,18 @@ JanusFrontend::JanusFrontend(const JanusHwConfig &config,
 }
 
 void
+JanusFrontend::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_ == nullptr)
+        return;
+    track_ = tracer_->track("janusFrontend");
+    irbHitLabel_ = tracer_->label("irbHit");
+    irbMissLabel_ = tracer_->label("irbMiss");
+    chunkLabel_ = tracer_->label("preexecChunk");
+}
+
+void
 JanusFrontend::purgeOpQueue(Tick now)
 {
     std::erase_if(opQueue_, [now](Tick done) { return done <= now; });
@@ -116,7 +128,10 @@ JanusFrontend::launchChunk(const PreObjId &obj, unsigned chunk_index,
     }
 
     ++chunksPreExecuted_;
+    JANUS_TRACE_INSTANT(tracer_, track_, chunkLabel_, now,
+                        entry.lineAddr ? *entry.lineAddr : 0);
     executeEligible(entry, now + config_.decodeLatency);
+    irbOccupancy_.set(static_cast<double>(entries_.size()), now);
 }
 
 void
@@ -241,6 +256,9 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
     ConsumeResult result;
     auto it = findForWrite(line_addr, data);
     if (it == entries_.end()) {
+        ++irbMisses_;
+        JANUS_TRACE_INSTANT(tracer_, track_, irbMissLabel_, now,
+                            line_addr);
         result.ready = now;
         return result;
     }
@@ -248,6 +266,9 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
     IrbEntry &entry = *it;
     result.hadEntry = true;
     ++consumedWithEntry_;
+    ++irbHits_;
+    JANUS_TRACE_INSTANT(tracer_, track_, irbHitLabel_, now,
+                        line_addr);
 
     Tick ready = now + config_.irbLookupLatency;
 
@@ -278,6 +299,10 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
     entry.lineAddr = line_addr;
     entry.data = data;
 
+    // Whatever survived invalidation is pre-executed work this write
+    // does not have to repeat.
+    preexecCoveredSubOps_ += entry.exec.completedCount();
+
     bool fully = entry.exec.allDone() && entry.exec.lastFinish() <= now;
     result.fullyPreExecuted = fully;
     if (fully)
@@ -297,6 +322,7 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
             eraseEntry(stale);
         stale = next_it;
     }
+    irbOccupancy_.set(static_cast<double>(entries_.size()), now);
     return result;
 }
 

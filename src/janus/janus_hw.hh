@@ -32,6 +32,8 @@
 #include "bmo/bmo_engine.hh"
 #include "common/cacheline.hh"
 #include "common/types.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -180,6 +182,26 @@ class JanusFrontend
         return consumedFullyPreExecuted_;
     }
 
+    /** Consumed writes that found a (valid-or-not) IRB entry. */
+    std::uint64_t irbHits() const { return irbHits_; }
+    /** Consumed writes with no matching IRB entry. */
+    std::uint64_t irbMisses() const { return irbMisses_; }
+    /** Sub-ops whose pre-executed result survived validation and was
+     *  reused by a consuming write (Figure-11-style coverage). */
+    std::uint64_t preexecCoveredSubOps() const
+    {
+        return preexecCoveredSubOps_;
+    }
+
+    /** IRB occupancy over time (time-weighted utilization). */
+    const TimeWeightedGauge &irbOccupancyGauge() const
+    {
+        return irbOccupancy_;
+    }
+
+    /** Attach a trace sink (null detaches). */
+    void setTracer(Tracer *tracer);
+
     const JanusHwConfig &config() const { return config_; }
 
   private:
@@ -243,6 +265,16 @@ class JanusFrontend
     std::uint64_t agedOut_ = 0;
     std::uint64_t consumedWithEntry_ = 0;
     std::uint64_t consumedFullyPreExecuted_ = 0;
+    std::uint64_t irbHits_ = 0;
+    std::uint64_t irbMisses_ = 0;
+    std::uint64_t preexecCoveredSubOps_ = 0;
+    TimeWeightedGauge irbOccupancy_;
+
+    Tracer *tracer_ = nullptr;
+    TraceId track_ = 0;
+    TraceId irbHitLabel_ = 0;
+    TraceId irbMissLabel_ = 0;
+    TraceId chunkLabel_ = 0;
 };
 
 } // namespace janus

@@ -48,6 +48,32 @@ MemoryController::MemoryController(const MemCtrlConfig &config)
     }
 }
 
+void
+MemoryController::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    streamTracks_.clear();
+    engine_.setTracer(tracer);
+    device_.setTracer(tracer);
+    if (frontend_)
+        frontend_->setTracer(tracer);
+    if (tracer_ == nullptr)
+        return;
+    bmoStageLabel_ = tracer_->label("bmo");
+    queueStageLabel_ = tracer_->label("nvmQueue");
+    orderStageLabel_ = tracer_->label("order");
+}
+
+TraceId
+MemoryController::streamTrack(unsigned stream)
+{
+    while (streamTracks_.size() <= stream)
+        streamTracks_.push_back(tracer_->track(
+            "mc.stream" +
+            std::to_string(streamTracks_.size())));
+    return streamTracks_[stream];
+}
+
 JanusFrontend &
 MemoryController::frontend()
 {
@@ -174,6 +200,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
             device_.acceptWrite(metaLineOf(line_addr), bmo_done);
         persisted = std::max(persisted, meta_done);
     }
+    Tick accepted = persisted;
 
     // 5. The persist domain preserves per-stream (per-core) order: a
     //    write becomes durable only once every earlier write from the
@@ -188,6 +215,29 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
 
     result.persisted = persisted;
     writeLatency_.sample(ticks::toNsF(persisted - arrival));
+
+    // Stage accounting: [arrival, bmo_done, accepted, persisted]
+    // partitions the end-to-end latency exactly.
+    breakdown_.bmoNs.sample(ticks::toNsF(bmo_done - arrival));
+    breakdown_.queueNs.sample(ticks::toNsF(accepted - bmo_done));
+    breakdown_.orderNs.sample(ticks::toNsF(persisted - accepted));
+    breakdown_.totalNs.sample(ticks::toNsF(persisted - arrival));
+    breakdown_.totalHistNs.sample(ticks::toNsF(persisted - arrival));
+#if JANUS_TRACING
+    if (tracer_) {
+        TraceId track = streamTrack(stream);
+        if (bmo_done > arrival)
+            tracer_->span(track, bmoStageLabel_, arrival, bmo_done,
+                          line_addr);
+        if (accepted > bmo_done)
+            tracer_->span(track, queueStageLabel_, bmo_done,
+                          accepted, line_addr);
+        if (persisted > accepted)
+            tracer_->span(track, orderStageLabel_, accepted,
+                          persisted, line_addr);
+    }
+#endif
+
     if (journalEnabled_)
         journal_.push_back(JournalEntry{persisted, line_addr, data});
     return result;

@@ -23,6 +23,7 @@
 #include "nvm/nvm_device.hh"
 #include "nvm/wear_level.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -56,6 +57,30 @@ struct MemCtrlConfig
     Addr metaBase = Addr(1) << 40;
     /** Extent of the Start-Gap region (when wear leveling is on). */
     std::uint64_t wearRegionLines = std::uint64_t(1) << 24;
+};
+
+/**
+ * Per-write decomposition of the persist latency into pipeline
+ * stages. The three stages partition [arrival, durable] exactly:
+ *
+ *   bmo    arrival -> BMO results ready (IRB lookup + sub-op
+ *          execution, or the full chain on a miss / baseline);
+ *   queue  BMO done -> accepted by the NVM persist domain (write
+ *          queue back-pressure, including the metadata co-write);
+ *   order  accepted -> durable (per-stream FIFO ordering wait).
+ *
+ * For every write bmo + queue + order == end-to-end by construction,
+ * so the stage means (and sums) reconcile against avgWriteLatencyNs
+ * tick-exactly.
+ */
+struct PersistBreakdown
+{
+    Average bmoNs;
+    Average queueNs;
+    Average orderNs;
+    Average totalNs;
+    /** Distribution of the end-to-end persist latency (ns). */
+    Histogram totalHistNs = Histogram(0, 4000, 200);
 };
 
 /** Outcome of a persisted write (timing + functional digest). */
@@ -134,8 +159,19 @@ class MemoryController
     double avgWriteLatencyNs() const { return writeLatency_.mean(); }
     const Average &writeLatency() const { return writeLatency_; }
     std::uint64_t metaAtomicWrites() const { return metaAtomicWrites_; }
+    /** Per-stage persist-latency decomposition. */
+    const PersistBreakdown &breakdown() const { return breakdown_; }
+
+    /**
+     * Attach a trace sink (null detaches) and forward it to the BMO
+     * engine, the Janus front-end and the NVM device.
+     */
+    void setTracer(Tracer *tracer);
+    Tracer *tracer() { return tracer_; }
 
   private:
+    /** Track id for a per-core persist stream (lazily interned). */
+    TraceId streamTrack(unsigned stream);
     /** Per-write E1 latency from the counter-cache outcome. */
     void applyCounterCache(Addr line_addr);
 
@@ -160,8 +196,15 @@ class MemoryController
     std::uint64_t writes_ = 0;
     std::uint64_t metaAtomicWrites_ = 0;
     Average writeLatency_;
+    PersistBreakdown breakdown_;
     bool journalEnabled_ = false;
     std::vector<JournalEntry> journal_;
+
+    Tracer *tracer_ = nullptr;
+    std::vector<TraceId> streamTracks_;
+    TraceId bmoStageLabel_ = 0;
+    TraceId queueStageLabel_ = 0;
+    TraceId orderStageLabel_ = 0;
 };
 
 } // namespace janus

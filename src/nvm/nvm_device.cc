@@ -15,6 +15,22 @@ NvmDevice::NvmDevice(const NvmConfig &config)
                  "NVM needs a persist-domain write queue");
 }
 
+void
+NvmDevice::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    bankTracks_.clear();
+    if (tracer_ == nullptr)
+        return;
+    for (unsigned b = 0; b < config_.banks; ++b)
+        bankTracks_.push_back(
+            tracer_->track("bank" + std::to_string(b)));
+    queueTrack_ = tracer_->track("nvmQueue");
+    queuedLabel_ = tracer_->label("queued");
+    writeLabel_ = tracer_->label("nvmWrite");
+    readLabel_ = tracer_->label("nvmRead");
+}
+
 unsigned
 NvmDevice::bankOf(Addr addr) const
 {
@@ -59,6 +75,13 @@ NvmDevice::acceptWrite(Addr addr, Tick arrival)
                                     done),
                    done);
     ++writesAccepted_;
+    queueDepth_.set(static_cast<double>(drains_.size()), accepted);
+    // Queue residency (entry at acceptance, exit at drain) and the
+    // bank-busy window of the cell write.
+    JANUS_TRACE_SPAN(tracer_, queueTrack_, queuedLabel_, accepted,
+                     done, addr);
+    JANUS_TRACE_SPAN(tracer_, bankTracks_[bank], writeLabel_, start,
+                     done, addr);
     return accepted;
 }
 
@@ -78,6 +101,8 @@ NvmDevice::read(Addr addr, Tick start)
                           config_.tWr + config_.tWtr);
     Tick done = issue + config_.tRcd + config_.tCl + config_.tBurst;
     channelFree_ = issue + config_.tRcd + config_.tCl + config_.tBurst;
+    JANUS_TRACE_SPAN(tracer_, bankTracks_[bank], readLabel_, issue,
+                     done, addr);
     // Reads do not extend bankFree_: PCM reads are non-destructive
     // and much shorter than writes; modeling their bank occupancy
     // would double-count the channel serialization above.

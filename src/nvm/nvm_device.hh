@@ -24,6 +24,7 @@
 
 #include "common/types.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace janus
 {
@@ -84,6 +85,16 @@ class NvmDevice
     /** Mean ticks a write waited for a free queue slot. */
     double avgAcceptStall() const { return acceptStall_.mean(); }
 
+    /** Write-queue depth sampled at every acceptance. */
+    const TimeWeightedGauge &queueDepthGauge() const
+    {
+        return queueDepth_;
+    }
+
+    /** Attach a trace sink (null detaches). Interns this device's
+     *  tracks (one per bank plus the write queue) and labels. */
+    void setTracer(Tracer *tracer);
+
   private:
     unsigned bankOf(Addr addr) const;
 
@@ -97,6 +108,14 @@ class NvmDevice
     std::uint64_t writesAccepted_ = 0;
     std::uint64_t readsIssued_ = 0;
     Average acceptStall_;
+    TimeWeightedGauge queueDepth_;
+
+    Tracer *tracer_ = nullptr;
+    std::vector<TraceId> bankTracks_;
+    TraceId queueTrack_ = 0;
+    TraceId queuedLabel_ = 0;
+    TraceId writeLabel_ = 0;
+    TraceId readLabel_ = 0;
 };
 
 } // namespace janus

@@ -51,12 +51,65 @@ Histogram::sample(double v)
     }
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(count_);
+    double seen = static_cast<double>(under_);
+    if (target <= seen)
+        return lo_;
+    const double width =
+        (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double in_bucket = static_cast<double>(buckets_[i]);
+        if (seen + in_bucket >= target && in_bucket > 0) {
+            double frac = (target - seen) / in_bucket;
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        seen += in_bucket;
+    }
+    return hi_; // target falls among the overflow samples
+}
+
 void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     under_ = over_ = count_ = 0;
     sum_ = 0;
+}
+
+void
+TimeWeightedGauge::set(double v, Tick now)
+{
+    if (now > last_) {
+        integral_ +=
+            cur_ * static_cast<double>(now - last_);
+        last_ = now;
+    }
+    cur_ = v;
+    max_ = std::max(max_, v);
+}
+
+double
+TimeWeightedGauge::timeAverage(Tick now) const
+{
+    now = std::max(now, last_);
+    if (now == 0)
+        return 0;
+    double integral =
+        integral_ + cur_ * static_cast<double>(now - last_);
+    return integral / static_cast<double>(now);
+}
+
+void
+TimeWeightedGauge::reset()
+{
+    cur_ = max_ = integral_ = 0;
+    last_ = 0;
 }
 
 Scalar &
@@ -71,15 +124,69 @@ StatGroup::average(const std::string &stat)
     return averages_[stat];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &stat, double lo, double hi,
+                     unsigned buckets)
+{
+    auto it = histograms_.find(stat);
+    if (it == histograms_.end())
+        it = histograms_.emplace(stat, Histogram(lo, hi, buckets))
+                 .first;
+    return it->second;
+}
+
+TimeWeightedGauge &
+StatGroup::gauge(const std::string &stat)
+{
+    return gauges_[stat];
+}
+
+std::vector<std::pair<std::string, double>>
+StatGroup::flatten() const
+{
+    std::vector<std::pair<std::string, double>> leaves;
+    for (const auto &[stat, s] : scalars_)
+        leaves.emplace_back(stat, s.value());
+    for (const auto &[stat, a] : averages_) {
+        leaves.emplace_back(stat + ".mean", a.mean());
+        leaves.emplace_back(stat + ".count",
+                            static_cast<double>(a.count()));
+    }
+    for (const auto &[stat, h] : histograms_) {
+        leaves.emplace_back(stat + ".mean", h.mean());
+        leaves.emplace_back(stat + ".count",
+                            static_cast<double>(h.count()));
+        leaves.emplace_back(stat + ".p50", h.quantile(0.5));
+        leaves.emplace_back(stat + ".p99", h.quantile(0.99));
+        leaves.emplace_back(stat + ".underflows",
+                            static_cast<double>(h.underflows()));
+        leaves.emplace_back(stat + ".overflows",
+                            static_cast<double>(h.overflows()));
+    }
+    for (const auto &[stat, g] : gauges_) {
+        leaves.emplace_back(stat + ".timeAvg", g.timeAverage());
+        leaves.emplace_back(stat + ".max", g.max());
+    }
+    return leaves;
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[stat, s] : scalars_)
-        os << name_ << '.' << stat << ' ' << s.value() << '\n';
-    for (const auto &[stat, a] : averages_) {
-        os << name_ << '.' << stat << ".mean " << a.mean() << '\n';
-        os << name_ << '.' << stat << ".count " << a.count() << '\n';
+    for (const auto &[stat, value] : flatten())
+        os << name_ << '.' << stat << ' ' << value << '\n';
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << '"' << name_ << "\": {";
+    bool first = true;
+    for (const auto &[stat, value] : flatten()) {
+        os << (first ? "" : ", ") << '"' << stat << "\": " << value;
+        first = false;
     }
+    os << '}';
 }
 
 void
@@ -89,6 +196,10 @@ StatGroup::reset()
         s.reset();
     for (auto &[stat, a] : averages_)
         a.reset();
+    for (auto &[stat, h] : histograms_)
+        h.reset();
+    for (auto &[stat, g] : gauges_)
+        g.reset();
 }
 
 } // namespace janus

@@ -1,9 +1,16 @@
 /**
  * @file
  * Lightweight statistics package. Components register named Scalar /
- * Average / Histogram stats with a StatGroup; the harness dumps all
- * groups after a run. Modeled after the shape of gem5's stats but
- * kept minimal.
+ * Average / Histogram / TimeWeightedGauge stats with a StatGroup;
+ * the harness dumps all groups after a run. Modeled after the shape
+ * of gem5's stats but kept minimal.
+ *
+ * Dump format (see StatGroup::dump): one stat per line as
+ * "group.stat value". Composite stats expand into dotted sub-stats
+ * ("group.stat.mean", "group.stat.p99", ...). Within a group the
+ * lines are sorted by stat name (std::map order), and the stat kinds
+ * dump in a fixed sequence (scalars, averages, histograms, gauges),
+ * so a dump is byte-stable across runs of the same simulation.
  */
 
 #ifndef JANUS_SIM_STATS_HH
@@ -14,6 +21,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/types.hh"
 
 namespace janus
 {
@@ -64,9 +73,19 @@ class Histogram
     {
         return static_cast<unsigned>(buckets_.size());
     }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     std::uint64_t underflows() const { return under_; }
     std::uint64_t overflows() const { return over_; }
     double mean() const { return count_ ? sum_ / count_ : 0; }
+
+    /**
+     * Approximate q-quantile (0 <= q <= 1) by linear interpolation
+     * inside the containing bucket. Underflow samples count as lo,
+     * overflow samples as hi. @return 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
     void reset();
 
   private:
@@ -74,6 +93,38 @@ class Histogram
     std::vector<std::uint64_t> buckets_;
     std::uint64_t under_ = 0, over_ = 0, count_ = 0;
     double sum_ = 0;
+};
+
+/**
+ * A value sampled against simulated time (queue depth, buffer
+ * occupancy). set() integrates the previous value over the elapsed
+ * ticks; timeAverage() is the integral divided by the observation
+ * window, i.e. the time-weighted mean occupancy.
+ */
+class TimeWeightedGauge
+{
+  public:
+    /** Record that the gauge holds @p v from tick @p now on. */
+    void set(double v, Tick now);
+
+    double current() const { return cur_; }
+    double max() const { return max_; }
+    /** Last tick passed to set(). */
+    Tick lastUpdate() const { return last_; }
+
+    /** Time-weighted mean over [0, now]; @p now < lastUpdate()
+     *  clamps to lastUpdate(). */
+    double timeAverage(Tick now) const;
+    /** Time-weighted mean over [0, lastUpdate()]. */
+    double timeAverage() const { return timeAverage(last_); }
+
+    void reset();
+
+  private:
+    double cur_ = 0;
+    double max_ = 0;
+    double integral_ = 0;
+    Tick last_ = 0;
 };
 
 /**
@@ -90,8 +141,30 @@ class StatGroup
     Scalar &scalar(const std::string &stat);
     Average &average(const std::string &stat);
 
-    /** Dump all stats of this group, one "group.stat value" per line. */
+    /**
+     * Named histogram; created with the given shape on first use
+     * (the shape of an existing histogram is not changed).
+     */
+    Histogram &histogram(const std::string &stat, double lo = 0,
+                         double hi = 1, unsigned buckets = 10);
+
+    /** Named time-weighted gauge. */
+    TimeWeightedGauge &gauge(const std::string &stat);
+
+    /**
+     * Dump all stats of this group, one "group.stat value" per line.
+     * Scalars first, then averages (.mean/.count), histograms
+     * (.mean/.count/.p50/.p99/.underflows/.overflows) and gauges
+     * (.timeAvg/.max); each kind sorted by stat name.
+     */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump this group as one JSON object member:
+     * `"group": {"stat": value, ...}` (no trailing comma/newline).
+     * Composite stats flatten to dotted keys exactly as in dump().
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Reset every stat in the group. */
     void reset();
@@ -104,11 +177,24 @@ class StatGroup
     {
         return averages_;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::map<std::string, TimeWeightedGauge> &gauges() const
+    {
+        return gauges_;
+    }
 
   private:
+    /** All (stat, value) leaves in dump order. */
+    std::vector<std::pair<std::string, double>> flatten() const;
+
     std::string name_;
     std::map<std::string, Scalar> scalars_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, TimeWeightedGauge> gauges_;
 };
 
 } // namespace janus

@@ -1,0 +1,156 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+Tracer::Tracer(std::size_t capacity) : ring_(capacity ? capacity : 1)
+{
+}
+
+TraceId
+Tracer::track(const std::string &name)
+{
+    auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    auto id = static_cast<TraceId>(trackNames_.size());
+    trackIds_.emplace(name, id);
+    trackNames_.push_back(name);
+    return id;
+}
+
+TraceId
+Tracer::label(const std::string &name)
+{
+    auto it = labelIds_.find(name);
+    if (it != labelIds_.end())
+        return it->second;
+    auto id = static_cast<TraceId>(labelNames_.size());
+    labelIds_.emplace(name, id);
+    labelNames_.push_back(name);
+    return id;
+}
+
+const TraceEvent &
+Tracer::event(std::size_t i) const
+{
+    janus_assert(i < count_, "trace event %zu of %zu", i, count_);
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void
+Tracer::clear()
+{
+    head_ = count_ = 0;
+    recorded_ = dropped_ = 0;
+}
+
+namespace
+{
+
+/** Escape a string for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Ticks (ps) as fractional microseconds, full precision. */
+std::string
+ticksToUs(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / 1000000),
+                  static_cast<unsigned long long>(t % 1000000));
+    return buf;
+}
+
+} // namespace
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    // One named "thread" per track.
+    for (std::size_t t = 0; t < trackNames_.size(); ++t) {
+        sep();
+        os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << t
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+           << jsonEscape(trackNames_[t]) << "\"}}";
+    }
+
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = event(i);
+        sep();
+        os << "{\"ph\": \"" << (e.end > e.start ? 'X' : 'i')
+           << "\", \"pid\": 0, \"tid\": " << e.track
+           << ", \"ts\": " << ticksToUs(e.start);
+        if (e.end > e.start)
+            os << ", \"dur\": " << ticksToUs(e.end - e.start);
+        else
+            os << ", \"s\": \"t\"";
+        os << ", \"name\": \"" << jsonEscape(labelNames_.at(e.label))
+           << "\"";
+        if (e.addr != 0) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(e.addr));
+            os << ", \"args\": {\"addr\": \"" << buf << "\"}";
+        }
+        os << "}";
+    }
+    os << "\n], \"otherData\": {\"recorded\": " << recorded_
+       << ", \"dropped\": " << dropped_ << "}}\n";
+}
+
+std::string
+Tracer::chromeJson() const
+{
+    std::ostringstream os;
+    writeChromeJson(os);
+    return os.str();
+}
+
+bool
+traceEnvEnabled()
+{
+    const char *env = std::getenv("JANUS_TRACE");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           *env != '\0';
+}
+
+} // namespace janus

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Low-overhead persist-path event tracer. One Tracer instance is
+ * owned by one simulated system (one experiment); since every
+ * experiment of the parallel runner owns its whole system, tracers
+ * are single-threaded by construction and need no locks while still
+ * being safe under the worker pool.
+ *
+ * Design:
+ *
+ *  - Recording is a fixed-size POD append into a preallocated ring
+ *    buffer. When the ring is full the *oldest* event is overwritten
+ *    and counted in dropped(), so a trace always holds the most
+ *    recent window of activity.
+ *
+ *  - Tracks (one per core, BMO unit, NVM bank, front-end, ...) and
+ *    event labels (stage names, sub-op names) are interned up front
+ *    by the instrumented components, so a record is two 16-bit ids
+ *    plus ticks — no strings or allocation on the hot path.
+ *
+ *  - Components hold a `Tracer *` that is null unless tracing was
+ *    requested, and every instrumentation point goes through the
+ *    JANUS_TRACE_* macros below: with tracing disabled at runtime the
+ *    cost is one predicted-not-taken null check, and compiling with
+ *    -DJANUS_TRACING=0 removes the calls (and the evaluation of
+ *    their arguments) entirely.
+ *
+ * The exporter writes the Chrome trace-event JSON format (an object
+ * with a "traceEvents" array), loadable in Perfetto or
+ * chrome://tracing: every track becomes a named thread, spans are
+ * "X" (complete) events and point events are "i" (instant) events.
+ * Timestamps are emitted in microseconds (the format's unit) with
+ * picosecond precision.
+ */
+
+#ifndef JANUS_SIM_TRACE_HH
+#define JANUS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+// Compile-time master switch: -DJANUS_TRACING=0 turns every
+// JANUS_TRACE_* macro into nothing (arguments are not evaluated).
+#ifndef JANUS_TRACING
+#define JANUS_TRACING 1
+#endif
+
+#if JANUS_TRACING
+#define JANUS_TRACE_SPAN(tracer, ...)                                     \
+    do {                                                                  \
+        if (tracer)                                                       \
+            (tracer)->span(__VA_ARGS__);                                  \
+    } while (0)
+#define JANUS_TRACE_INSTANT(tracer, ...)                                  \
+    do {                                                                  \
+        if (tracer)                                                       \
+            (tracer)->instant(__VA_ARGS__);                               \
+    } while (0)
+#else
+#define JANUS_TRACE_SPAN(tracer, ...) ((void)0)
+#define JANUS_TRACE_INSTANT(tracer, ...) ((void)0)
+#endif
+
+namespace janus
+{
+
+/** Interned track / label handle. */
+using TraceId = std::uint16_t;
+
+/** One recorded event (POD; spans have end > start, instants
+ *  end == start). */
+struct TraceEvent
+{
+    Tick start = 0;
+    Tick end = 0;
+    Addr addr = 0;
+    TraceId track = 0;
+    TraceId label = 0;
+};
+
+/** Per-experiment ring-buffer trace sink. */
+class Tracer
+{
+  public:
+    /** @param capacity ring size in events (>= 1). */
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    /** Intern a track name; repeated calls return the same id. */
+    TraceId track(const std::string &name);
+
+    /** Intern an event label; repeated calls return the same id. */
+    TraceId label(const std::string &name);
+
+    /** Record a duration event [start, end] on a track. */
+    void
+    span(TraceId track, TraceId label, Tick start, Tick end,
+         Addr addr = 0)
+    {
+        push(TraceEvent{start, end, addr, track, label});
+    }
+
+    /** Record a point event. */
+    void
+    instant(TraceId track, TraceId label, Tick at, Addr addr = 0)
+    {
+        push(TraceEvent{at, at, addr, track, label});
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+    /** Total events ever recorded (kept + dropped). */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Oldest events overwritten by ring overflow. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** i-th retained event, oldest first (0 <= i < size()). */
+    const TraceEvent &event(std::size_t i) const;
+
+    const std::string &trackName(TraceId id) const
+    {
+        return trackNames_.at(id);
+    }
+    const std::string &labelName(TraceId id) const
+    {
+        return labelNames_.at(id);
+    }
+
+    /** Drop all recorded events (interned names survive). */
+    void clear();
+
+    /**
+     * Write the retained events as Chrome trace-event JSON. The
+     * output is deterministic for a deterministic record sequence
+     * (asserted by the serial-vs-parallel runner test).
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** writeChromeJson into a string. */
+    std::string chromeJson() const;
+
+  private:
+    void
+    push(const TraceEvent &e)
+    {
+        ++recorded_;
+        if (count_ < ring_.size()) {
+            ring_[(head_ + count_) % ring_.size()] = e;
+            ++count_;
+        } else {
+            ring_[head_] = e;
+            head_ = (head_ + 1) % ring_.size();
+            ++dropped_;
+        }
+    }
+
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+
+    std::map<std::string, TraceId> trackIds_;
+    std::vector<std::string> trackNames_;
+    std::map<std::string, TraceId> labelIds_;
+    std::vector<std::string> labelNames_;
+};
+
+/** @return true if the JANUS_TRACE environment variable requests
+ *  tracing (set and not "0"). */
+bool traceEnvEnabled();
+
+} // namespace janus
+
+#endif // JANUS_SIM_TRACE_HH

@@ -69,6 +69,12 @@ expectSameResults(const std::vector<ExperimentResult> &a,
             << "config " << i;
         EXPECT_EQ(a[i].eventsExecuted, b[i].eventsExecuted)
             << "config " << i;
+        EXPECT_EQ(a[i].traceJson, b[i].traceJson)
+            << "config " << i;
+        EXPECT_EQ(a[i].traceEventsRecorded, b[i].traceEventsRecorded)
+            << "config " << i;
+        EXPECT_EQ(a[i].traceEventsDropped, b[i].traceEventsDropped)
+            << "config " << i;
     }
 }
 
@@ -80,6 +86,39 @@ TEST(Runner, ParallelMatchesSerialBitForBit)
     std::vector<ExperimentResult> parallel =
         runExperiments(configs, 4);
     expectSameResults(serial, parallel);
+}
+
+TEST(Runner, TracedRunsAreBitIdenticalSerialVsParallel)
+{
+    // Tracing on every experiment must not perturb the simulation,
+    // and the recorded traces themselves must be deterministic: the
+    // parallel pool produces byte-identical trace JSON to a serial
+    // run of the same matrix.
+    std::vector<ExperimentConfig> configs = smallMatrix();
+    for (ExperimentConfig &c : configs)
+        c.sys.trace = true;
+    std::vector<ExperimentResult> serial =
+        runExperiments(configs, 1);
+    std::vector<ExperimentResult> parallel =
+        runExperiments(configs, 4);
+    expectSameResults(serial, parallel);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_GT(serial[i].traceEventsRecorded, 0u)
+            << "config " << i;
+        EXPECT_FALSE(serial[i].traceJson.empty()) << "config " << i;
+    }
+
+    // And tracing must not change the simulated outcome at all.
+    std::vector<ExperimentConfig> untraced = smallMatrix();
+    std::vector<ExperimentResult> base =
+        runExperiments(untraced, 4);
+    ASSERT_EQ(base.size(), parallel.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].makespan, parallel[i].makespan)
+            << "config " << i;
+        EXPECT_EQ(base[i].eventsExecuted, parallel[i].eventsExecuted)
+            << "config " << i;
+    }
 }
 
 TEST(Runner, MoreThreadsThanConfigs)

@@ -44,14 +44,76 @@ TEST(StatsDump, CoversEveryComponent)
          {"core0.instructions", "core1.instructions",
           "core0.transactions", "core0.l1HitRate", "mc.writes",
           "mc.avgWriteLatencyNs", "mc.counterCacheHitRate",
-          "nvm.writesAccepted", "bmoEngine.subOpsExecuted",
+          "mc.stageBmoNs", "mc.stageQueueNs", "mc.stageOrderNs",
+          "mc.persistLatencyNs.p50", "mc.persistLatencyNs.p99",
+          "nvm.writesAccepted", "nvm.queueDepth.timeAvg",
+          "nvm.queueDepth.max", "bmoEngine.subOpsExecuted",
           "backend.dupRatio", "janus.requestsIssued",
+          "janus.irb_hits", "janus.irb_misses",
+          "janus.preexec_covered_subops",
+          "janus.irbOccupancy.timeAvg",
           "janus.consumedFullyPreExecuted"})
         EXPECT_NE(stats.find(line), std::string::npos) << line;
 
     // Values are real, not placeholders.
     EXPECT_EQ(stats.find("core0.transactions 0\n"),
               std::string::npos);
+}
+
+TEST(StatsDump, DeterministicOrderAndJson)
+{
+    WorkloadParams params;
+    params.txnsPerCore = 10;
+    auto workload = makeWorkload("array_swap", params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+
+    auto run_once = [&](std::string *json) {
+        SystemConfig config;
+        config.mode = WritePathMode::Janus;
+        NvmSystem system(config, module);
+        workload->setupCore(0, system);
+        std::vector<TxnSource> sources;
+        sources.push_back(workload->source(0, system));
+        system.run(std::move(sources));
+        std::ostringstream os;
+        system.dumpStats(os);
+        if (json) {
+            std::ostringstream js;
+            system.dumpStatsJson(js);
+            *json = js.str();
+        }
+        return os.str();
+    };
+
+    std::string json;
+    std::string first = run_once(&json);
+    std::string second = run_once(nullptr);
+    // Byte-identical dumps across identical runs.
+    EXPECT_EQ(first, second);
+
+    // Groups appear in lexicographic order.
+    std::size_t backend = first.find("backend.");
+    std::size_t bmo = first.find("bmoEngine.");
+    std::size_t core0 = first.find("core0.");
+    std::size_t janus_pos = first.find("janus.");
+    std::size_t mc = first.find("mc.");
+    std::size_t nvm = first.find("nvm.");
+    ASSERT_NE(backend, std::string::npos);
+    EXPECT_LT(backend, bmo);
+    EXPECT_LT(bmo, core0);
+    EXPECT_LT(core0, janus_pos);
+    EXPECT_LT(janus_pos, mc);
+    EXPECT_LT(mc, nvm);
+
+    // The JSON dump mirrors the same groups.
+    for (const char *key :
+         {"\"backend\"", "\"bmoEngine\"", "\"core0\"", "\"janus\"",
+          "\"mc\"", "\"nvm\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.size() - 2], '}'); // trailing newline
 }
 
 TEST(StatsDump, NoJanusGroupInBaselineModes)

@@ -272,5 +272,51 @@ TEST_F(JanusHwTest, StartBufferedUnknownObjectIsHarmless)
     EXPECT_EQ(frontend_.irbOccupancy(), 0u);
 }
 
+TEST_F(JanusHwTest, HitMissAndCoverageCounters)
+{
+    CacheLine data = CacheLine::fromSeed(20);
+    // Miss: nothing pre-executed for this line.
+    frontend_.consume(0x1000, data, 1000);
+    EXPECT_EQ(frontend_.irbMisses(), 1u);
+    EXPECT_EQ(frontend_.irbHits(), 0u);
+
+    // Hit: a fully pre-executed entry.
+    frontend_.issueImmediate(obj(1), {both(0x2000, data)}, 0);
+    ConsumeResult r = frontend_.consume(0x2000, data, 10 * ticks::us);
+    EXPECT_TRUE(r.fullyPreExecuted);
+    EXPECT_EQ(frontend_.irbHits(), 1u);
+    EXPECT_EQ(frontend_.irbMisses(), 1u);
+    // A fully pre-executed consume covers every sub-op of the chain.
+    EXPECT_GT(frontend_.preexecCoveredSubOps(), 0u);
+    std::uint64_t covered = frontend_.preexecCoveredSubOps();
+
+    // A data mismatch is still an IRB hit, but the data-dependent
+    // sub-ops are not covered (they re-execute).
+    frontend_.issueImmediate(obj(2),
+                             {both(0x3000, CacheLine::fromSeed(21))},
+                             0);
+    ConsumeResult miss = frontend_.consume(
+        0x3000, CacheLine::fromSeed(22), 20 * ticks::us);
+    EXPECT_TRUE(miss.hadEntry);
+    EXPECT_TRUE(miss.dataMismatch);
+    EXPECT_EQ(frontend_.irbHits(), 2u);
+    EXPECT_LT(frontend_.preexecCoveredSubOps() - covered, covered);
+}
+
+TEST_F(JanusHwTest, IrbOccupancyGaugeTracksEntries)
+{
+    frontend_.issueImmediate(obj(1),
+                             {both(0x1000, CacheLine::fromSeed(1))},
+                             1000);
+    frontend_.issueImmediate(obj(2),
+                             {both(0x2000, CacheLine::fromSeed(2))},
+                             2000);
+    EXPECT_DOUBLE_EQ(frontend_.irbOccupancyGauge().current(), 2);
+    EXPECT_DOUBLE_EQ(frontend_.irbOccupancyGauge().max(), 2);
+    frontend_.consume(0x1000, CacheLine::fromSeed(1), 10 * ticks::us);
+    EXPECT_DOUBLE_EQ(frontend_.irbOccupancyGauge().current(), 1);
+    EXPECT_GT(frontend_.irbOccupancyGauge().timeAverage(), 0);
+}
+
 } // namespace
 } // namespace janus

@@ -166,5 +166,59 @@ TEST(MemoryController, WriteLatencyStatAccumulates)
     EXPECT_GT(mc.avgWriteLatencyNs(), 800.0);
 }
 
+TEST(MemoryController, StageBreakdownSumsToEndToEndLatency)
+{
+    // The persist-latency decomposition is an exact partition of
+    // [arrival, persisted]: bmo + queue + order == total, per write
+    // and therefore also in the per-stage sums.
+    for (WritePathMode mode :
+         {WritePathMode::NoBmo, WritePathMode::Serialized,
+          WritePathMode::Parallel, WritePathMode::Janus}) {
+        MemoryController mc(config(mode));
+        Tick t = ticks::us;
+        for (int i = 0; i < 8; ++i) {
+            mc.persistWrite(0x1000 + 0x40 * i,
+                            CacheLine::fromSeed(i), t, i % 3 == 0);
+            t += (i % 2) ? 100 * ticks::ns : 2 * ticks::us;
+        }
+        const PersistBreakdown &bd = mc.breakdown();
+        ASSERT_EQ(bd.totalNs.count(), 8u);
+        EXPECT_EQ(bd.bmoNs.count(), 8u);
+        EXPECT_EQ(bd.queueNs.count(), 8u);
+        EXPECT_EQ(bd.orderNs.count(), 8u);
+        EXPECT_NEAR(bd.bmoNs.sum() + bd.queueNs.sum() +
+                        bd.orderNs.sum(),
+                    bd.totalNs.sum(), 1e-6)
+            << "mode " << static_cast<int>(mode);
+        // The histogram records the same distribution.
+        EXPECT_EQ(bd.totalHistNs.count(), 8u);
+        EXPECT_NEAR(bd.totalHistNs.mean(), bd.totalNs.mean(), 1e-9);
+        // The mean total matches the controller's headline stat.
+        EXPECT_NEAR(bd.totalNs.mean(), mc.avgWriteLatencyNs(), 1e-9);
+    }
+}
+
+TEST(MemoryController, TracerRecordsPersistPath)
+{
+    Tracer tracer(1 << 10);
+    MemoryController mc(config(WritePathMode::Parallel));
+    mc.setTracer(&tracer);
+    mc.persistWrite(0x1000, CacheLine::fromSeed(1), ticks::us, false);
+    EXPECT_GT(tracer.recorded(), 0u);
+
+    // Stage spans, BMO sub-ops and bank activity all show up.
+    bool saw_stage = false, saw_unit = false, saw_bank = false;
+    for (std::size_t i = 0; i < tracer.size(); ++i) {
+        const std::string &track =
+            tracer.trackName(tracer.event(i).track);
+        saw_stage |= track.rfind("mc.stream", 0) == 0;
+        saw_unit |= track.rfind("bmoUnit", 0) == 0;
+        saw_bank |= track.rfind("bank", 0) == 0;
+    }
+    EXPECT_TRUE(saw_stage);
+    EXPECT_TRUE(saw_unit);
+    EXPECT_TRUE(saw_bank);
+}
+
 } // namespace
 } // namespace janus

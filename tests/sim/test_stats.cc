@@ -70,6 +70,89 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucket(4), 0u);
 }
 
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0, 10, 5);
+    // Bucket width is 2; each edge lands in the bucket it opens.
+    h.sample(0);
+    h.sample(2);
+    h.sample(4);
+    h.sample(6);
+    h.sample(8);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(h.bucket(i), 1u) << "bucket " << i;
+    EXPECT_EQ(h.underflows(), 0u);
+    EXPECT_EQ(h.overflows(), 0u);
+    // Just below an edge stays in the lower bucket.
+    h.sample(1.999999);
+    EXPECT_EQ(h.bucket(0), 2u);
+    // hi itself is exclusive -> overflow.
+    h.sample(10);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(h.lo(), 0);
+    EXPECT_DOUBLE_EQ(h.hi(), 10);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h(0, 100, 10);
+    // 100 samples spread uniformly: quantiles track the value range.
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_NEAR(h.quantile(0.5), 50, 10);
+    EXPECT_NEAR(h.quantile(0.99), 99, 10);
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+    // Clamped arguments.
+    EXPECT_DOUBLE_EQ(h.quantile(-1), h.quantile(0));
+    EXPECT_DOUBLE_EQ(h.quantile(2), h.quantile(1));
+}
+
+TEST(Histogram, QuantileDegenerateCases)
+{
+    Histogram empty(0, 10, 5);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0);
+
+    Histogram under(10, 20, 5);
+    under.sample(1); // below lo
+    EXPECT_DOUBLE_EQ(under.quantile(0.5), 10); // underflow -> lo
+
+    Histogram over(0, 10, 5);
+    over.sample(99);
+    EXPECT_DOUBLE_EQ(over.quantile(0.5), 10); // overflow -> hi
+}
+
+TEST(TimeWeightedGauge, TimeAverageIntegrates)
+{
+    TimeWeightedGauge g;
+    g.set(2, 0);   // 2 over [0, 100)
+    g.set(4, 100); // 4 over [100, 200)
+    g.set(0, 200);
+    EXPECT_DOUBLE_EQ(g.timeAverage(200), (2 * 100 + 4 * 100) / 200.0);
+    EXPECT_DOUBLE_EQ(g.max(), 4);
+    EXPECT_DOUBLE_EQ(g.current(), 0);
+    EXPECT_EQ(g.lastUpdate(), 200u);
+}
+
+TEST(TimeWeightedGauge, NonMonotonicTicksAreClamped)
+{
+    TimeWeightedGauge g;
+    g.set(10, 100);
+    g.set(20, 50); // earlier tick: no negative integral
+    EXPECT_GE(g.timeAverage(), 0);
+    EXPECT_DOUBLE_EQ(g.max(), 20);
+}
+
+TEST(TimeWeightedGauge, ResetClears)
+{
+    TimeWeightedGauge g;
+    g.set(5, 10);
+    g.set(0, 20);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.timeAverage(100), 0);
+    EXPECT_DOUBLE_EQ(g.max(), 0);
+    EXPECT_EQ(g.lastUpdate(), 0u);
+}
+
 TEST(StatGroup, NamedStatsPersist)
 {
     StatGroup g("mc");
@@ -95,9 +178,60 @@ TEST(StatGroup, ResetClearsEverything)
     StatGroup g("x");
     g.scalar("a") += 1;
     g.average("b").sample(4);
+    g.histogram("h", 0, 10, 5).sample(3);
+    g.gauge("q").set(7, 100);
     g.reset();
     EXPECT_DOUBLE_EQ(g.scalar("a").value(), 0);
     EXPECT_EQ(g.average("b").count(), 0u);
+    EXPECT_EQ(g.histogram("h").count(), 0u);
+    EXPECT_DOUBLE_EQ(g.gauge("q").max(), 0);
+}
+
+TEST(StatGroup, HistogramShapeFixedOnFirstUse)
+{
+    StatGroup g("mc");
+    Histogram &h = g.histogram("lat", 0, 100, 10);
+    // Re-lookup with different (ignored) shape returns the same one.
+    EXPECT_EQ(&g.histogram("lat", 0, 5, 2), &h);
+    EXPECT_DOUBLE_EQ(h.hi(), 100);
+}
+
+TEST(StatGroup, DumpIncludesHistogramAndGauge)
+{
+    StatGroup g("mc");
+    g.scalar("writes") += 7;
+    for (int i = 0; i < 100; ++i)
+        g.histogram("latNs", 0, 100, 10).sample(i);
+    g.gauge("depth").set(3, 0);
+    g.gauge("depth").set(3, 1000);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("mc.writes 7"), std::string::npos);
+    EXPECT_NE(out.find("mc.latNs.mean "), std::string::npos);
+    EXPECT_NE(out.find("mc.latNs.count 100"), std::string::npos);
+    EXPECT_NE(out.find("mc.latNs.p50 "), std::string::npos);
+    EXPECT_NE(out.find("mc.latNs.p99 "), std::string::npos);
+    EXPECT_NE(out.find("mc.depth.timeAvg 3"), std::string::npos);
+    EXPECT_NE(out.find("mc.depth.max 3"), std::string::npos);
+    // Scalars dump before composite stats.
+    EXPECT_LT(out.find("mc.writes"), out.find("mc.latNs.mean"));
+}
+
+TEST(StatGroup, DumpJsonMatchesFlattenedDump)
+{
+    StatGroup g("nvm");
+    g.scalar("writes") += 2;
+    g.gauge("queueDepth").set(1, 0);
+    g.gauge("queueDepth").set(1, 100);
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("\"nvm\": {"), 0u);
+    EXPECT_NE(out.find("\"writes\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"queueDepth.timeAvg\": 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"queueDepth.max\": 1"), std::string::npos);
 }
 
 } // namespace

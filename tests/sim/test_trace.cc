@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the persist-path tracer: interning, ring-buffer
+ * overflow semantics, and well-formedness of the Chrome trace-event
+ * JSON export (parsed back with a strict mini JSON parser).
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+namespace janus
+{
+namespace
+{
+
+/**
+ * Strict recursive-descent JSON validator. Accepts exactly the JSON
+ * grammar (objects, arrays, strings, numbers, true/false/null) and
+ * nothing else; counts objects seen inside the top-level
+ * "traceEvents" array so tests can assert on event counts.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    parse()
+    {
+        pos_ = 0;
+        ws();
+        if (!value(/*depth=*/0))
+            return false;
+        ws();
+        return pos_ == s_.size();
+    }
+
+    /** Objects directly inside the "traceEvents" array. */
+    std::size_t events() const { return events_; }
+
+  private:
+    bool
+    value(int depth)
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"':
+            return string(nullptr);
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object(int depth)
+    {
+        ++pos_; // '{'
+        ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            std::string key;
+            if (!string(&key))
+                return false;
+            ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            ws();
+            bool in_events = inEvents_;
+            if (depth == 0 && key == "traceEvents")
+                inEvents_ = true;
+            if (!value(depth + 1))
+                return false;
+            inEvents_ = in_events;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(int depth)
+    {
+        ++pos_; // '['
+        ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (inEvents_ && depth == 1 && peek() == '{')
+                ++events_;
+            if (!value(depth + 1))
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (static_cast<unsigned char>(s_[pos_]) < 0x20)
+                return false; // raw control char
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+                ++pos_;
+            } else {
+                if (out)
+                    *out += s_[pos_];
+                ++pos_;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start && s_[start] != '-' ? true
+                                                : pos_ > start + 1;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    ws()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    bool inEvents_ = false;
+    std::size_t events_ = 0;
+};
+
+TEST(Tracer, InterningIsStable)
+{
+    Tracer t(16);
+    TraceId a = t.track("core0");
+    TraceId b = t.track("core1");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.track("core0"), a);
+    EXPECT_EQ(t.trackName(a), "core0");
+
+    TraceId la = t.label("persist");
+    EXPECT_EQ(t.label("persist"), la);
+    EXPECT_EQ(t.labelName(la), "persist");
+}
+
+TEST(Tracer, RecordsSpansAndInstantsInOrder)
+{
+    Tracer t(16);
+    TraceId tr = t.track("core0");
+    TraceId sp = t.label("persist");
+    TraceId in = t.label("hit");
+    t.span(tr, sp, 100, 250, 0x40);
+    t.instant(tr, in, 300);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.event(0).start, 100u);
+    EXPECT_EQ(t.event(0).end, 250u);
+    EXPECT_EQ(t.event(0).addr, 0x40u);
+    EXPECT_EQ(t.event(1).start, 300u);
+    EXPECT_EQ(t.event(1).end, 300u); // instant: end == start
+    EXPECT_EQ(t.recorded(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingOverflowDropsOldestAndCounts)
+{
+    Tracer t(4);
+    TraceId tr = t.track("x");
+    TraceId l = t.label("e");
+    for (Tick i = 0; i < 10; ++i)
+        t.instant(tr, l, i);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    // The retained window is the most recent events, oldest first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.event(i).start, 6 + i);
+}
+
+TEST(Tracer, ClearKeepsInternedNames)
+{
+    Tracer t(8);
+    TraceId tr = t.track("x");
+    t.instant(tr, t.label("e"), 5);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.track("x"), tr); // same id after clear
+}
+
+TEST(Tracer, ChromeJsonParsesBack)
+{
+    Tracer t(64);
+    TraceId c0 = t.track("core0");
+    TraceId bank = t.track("bank3");
+    TraceId persist = t.label("persist");
+    TraceId write = t.label("nvmWrite");
+    TraceId hit = t.label("irbHit");
+    t.span(c0, persist, 1000, 1234567, 0x9000);
+    t.span(bank, write, 2000, 98000);
+    t.instant(c0, hit, 1500, 0x40);
+
+    std::string json = t.chromeJson();
+    JsonChecker checker(json);
+    ASSERT_TRUE(checker.parse()) << json;
+    // 2 thread_name metadata records + 3 events.
+    EXPECT_EQ(checker.events(), 5u);
+
+    // Spot-check the payload Perfetto cares about.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"core0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"bank3\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    // Tick 1000 ps = 0.001 us, exact decimal.
+    EXPECT_NE(json.find("\"ts\": 0.001000"), std::string::npos);
+    // Duration 1234567 - 1000 ps = 1.233567 us.
+    EXPECT_NE(json.find("\"dur\": 1.233567"), std::string::npos);
+    EXPECT_NE(json.find("\"addr\": \"0x9000\""), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonEscapesNames)
+{
+    Tracer t(8);
+    TraceId tr = t.track("weird \"track\"\\name");
+    t.instant(tr, t.label("tab\there"), 1);
+    std::string json = t.chromeJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.parse()) << json;
+}
+
+TEST(Tracer, EmptyTraceIsValidJson)
+{
+    Tracer t(8);
+    std::string json = t.chromeJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.parse()) << json;
+    EXPECT_EQ(checker.events(), 0u);
+}
+
+TEST(Tracer, EnvironmentSwitch)
+{
+    unsetenv("JANUS_TRACE");
+    EXPECT_FALSE(traceEnvEnabled());
+    setenv("JANUS_TRACE", "0", 1);
+    EXPECT_FALSE(traceEnvEnabled());
+    setenv("JANUS_TRACE", "1", 1);
+    EXPECT_TRUE(traceEnvEnabled());
+    unsetenv("JANUS_TRACE");
+}
+
+} // namespace
+} // namespace janus
