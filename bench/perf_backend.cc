@@ -1,0 +1,927 @@
+/**
+ * @file
+ * Functional-backend microbenchmark: lines/sec of the current
+ * BmoBackendState fast path (T-table AES, lazy batched Merkle
+ * updates, POD fingerprints, page-cached SparseMemory) against a
+ * faithful replica of the seed kernels (byte-wise AES rounds, eager
+ * per-update Merkle propagation, std::string fingerprints, uncached
+ * page-map memory). Both pipelines run identical mixed dup/unique
+ * traffic:
+ *
+ *  - seq_unique:  sequential addresses, all-unique values (encrypt +
+ *                 MAC + Merkle dominant)
+ *  - dup_heavy:   random addresses over a small value pool (~50%+
+ *                 dedup hits, fingerprint/table dominant)
+ *  - overwrite:   in-place rewrites of a hot working set (counter
+ *                 bumps, no fresh allocation)
+ *  - read_back:   full verify read path (decrypt + MAC + tree walk)
+ *  - peek_dedup:  side-effect-free duplicate probes
+ *
+ * Before timing, every scenario is replayed through both backends
+ * and checked bit-for-bit: identical per-write outcomes, Merkle
+ * root and ciphertext-image content hash. Writes
+ * BENCH_perf_backend.json with per-scenario seed/current lines/sec,
+ * the writeLine speedup (the PR's >= 3x acceptance gate) and the
+ * per-kernel share of write cost.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hh"
+#include "bmo/backend_state.hh"
+#include "common/random.hh"
+#include "crypto/crc32.hh"
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+
+namespace
+{
+
+using namespace janus;
+
+// ---------------------------------------------------------------
+// Seed-kernel replicas, verbatim from the pre-fast-path sources.
+// ---------------------------------------------------------------
+namespace legacy
+{
+
+const std::uint8_t sbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+const std::uint8_t rcon[11] = {
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+    0x20, 0x40, 0x80, 0x1b, 0x36,
+};
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+/** The seed byte-wise AES-128 (encrypt + OTP only). */
+class Aes
+{
+  public:
+    explicit Aes(const Aes128::Key &key)
+    {
+        std::memcpy(roundKeys_.data(), key.data(), 16);
+        for (unsigned i = 4; i < 44; ++i) {
+            std::uint8_t temp[4];
+            std::memcpy(temp, roundKeys_.data() + 4 * (i - 1), 4);
+            if (i % 4 == 0) {
+                std::uint8_t t0 = temp[0];
+                temp[0] = static_cast<std::uint8_t>(sbox[temp[1]] ^
+                                                    rcon[i / 4]);
+                temp[1] = sbox[temp[2]];
+                temp[2] = sbox[temp[3]];
+                temp[3] = sbox[t0];
+            }
+            for (unsigned j = 0; j < 4; ++j)
+                roundKeys_[4 * i + j] = static_cast<std::uint8_t>(
+                    roundKeys_[4 * (i - 4) + j] ^ temp[j]);
+        }
+    }
+
+    Aes128::Block
+    encryptBlock(const Aes128::Block &in) const
+    {
+        std::uint8_t st[16];
+        std::memcpy(st, in.data(), 16);
+
+        auto add_round_key = [&](unsigned round) {
+            for (unsigned i = 0; i < 16; ++i)
+                st[i] ^= roundKeys_[16 * round + i];
+        };
+        auto sub_bytes = [&]() {
+            for (auto &b : st)
+                b = sbox[b];
+        };
+        auto shift_rows = [&]() {
+            std::uint8_t t[16];
+            std::memcpy(t, st, 16);
+            for (unsigned row = 1; row < 4; ++row)
+                for (unsigned col = 0; col < 4; ++col)
+                    st[4 * col + row] =
+                        t[4 * ((col + row) % 4) + row];
+        };
+        auto mix_columns = [&]() {
+            for (unsigned col = 0; col < 4; ++col) {
+                std::uint8_t *c = st + 4 * col;
+                std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2],
+                             a3 = c[3];
+                c[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+                c[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+                c[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+                c[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+            }
+        };
+
+        add_round_key(0);
+        for (unsigned round = 1; round < 10; ++round) {
+            sub_bytes();
+            shift_rows();
+            mix_columns();
+            add_round_key(round);
+        }
+        sub_bytes();
+        shift_rows();
+        add_round_key(10);
+
+        Aes128::Block out;
+        std::memcpy(out.data(), st, 16);
+        return out;
+    }
+
+    CacheLine
+    otp(std::uint64_t counter, Addr line_addr) const
+    {
+        CacheLine pad;
+        for (unsigned blk = 0; blk < lineBytes / 16; ++blk) {
+            Aes128::Block in{};
+            std::memcpy(in.data(), &counter, 8);
+            std::uint64_t tweak =
+                line_addr | (std::uint64_t(blk) << 58);
+            std::memcpy(in.data() + 8, &tweak, 8);
+            Aes128::Block out = encryptBlock(in);
+            pad.write(16 * blk, out.data(), 16);
+        }
+        return pad;
+    }
+
+  private:
+    std::array<std::uint8_t, 176> roundKeys_;
+};
+
+/** The seed eager sparse Merkle tree. */
+class MerkleTree
+{
+  public:
+    static constexpr unsigned fanout = 8;
+    static constexpr unsigned fanoutShift = 3;
+
+    explicit MerkleTree(unsigned levels, unsigned leaf_bytes = 16)
+        : levels_(levels), leafBytes_(leaf_bytes),
+          nodes_(levels + 1), defaults_(levels + 1)
+    {
+        std::vector<std::uint8_t> zero(leafBytes_, 0);
+        defaults_[0] = Sha1::hash(zero.data(), zero.size());
+        for (unsigned level = 1; level <= levels_; ++level) {
+            Sha1 hasher;
+            for (unsigned c = 0; c < fanout; ++c)
+                hasher.update(defaults_[level - 1].bytes.data(),
+                              defaults_[level - 1].bytes.size());
+            defaults_[level] = hasher.finish();
+        }
+        root_ = defaults_[levels_];
+    }
+
+    void
+    update(std::uint64_t leaf_index, const void *leaf_data)
+    {
+        nodes_[0][leaf_index] = Sha1::hash(leaf_data, leafBytes_);
+        std::uint64_t index = leaf_index;
+        for (unsigned level = 1; level <= levels_; ++level) {
+            index >>= fanoutShift;
+            nodes_[level][index] = hashChildren(level, index);
+        }
+        root_ = node(levels_, 0);
+    }
+
+    bool
+    verifyLeaf(std::uint64_t leaf_index, const void *leaf_data) const
+    {
+        Sha1Digest leaf = Sha1::hash(leaf_data, leafBytes_);
+        if (!(leaf == node(0, leaf_index)))
+            return false;
+        std::uint64_t index = leaf_index;
+        for (unsigned level = 1; level <= levels_; ++level) {
+            index >>= fanoutShift;
+            Sha1Digest derived = hashChildren(level, index);
+            if (!(derived == node(level, index)))
+                return false;
+        }
+        return node(levels_, 0) == root_;
+    }
+
+    const Sha1Digest &root() const { return root_; }
+
+  private:
+    const Sha1Digest &
+    node(unsigned level, std::uint64_t index) const
+    {
+        const auto &map = nodes_[level];
+        auto it = map.find(index);
+        return it == map.end() ? defaults_[level] : it->second;
+    }
+
+    Sha1Digest
+    hashChildren(unsigned level, std::uint64_t index) const
+    {
+        Sha1 hasher;
+        for (unsigned c = 0; c < fanout; ++c) {
+            const Sha1Digest &child =
+                node(level - 1, index * fanout + c);
+            hasher.update(child.bytes.data(), child.bytes.size());
+        }
+        return hasher.finish();
+    }
+
+    unsigned levels_;
+    unsigned leafBytes_;
+    std::vector<std::unordered_map<std::uint64_t, Sha1Digest>>
+        nodes_;
+    std::vector<Sha1Digest> defaults_;
+    Sha1Digest root_;
+};
+
+/** The seed page-map memory (no last-page cache, loop copies). */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    void
+    read(Addr addr, void *dst, unsigned size) const
+    {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        while (size > 0) {
+            Addr off = addr % pageBytes;
+            unsigned take = static_cast<unsigned>(
+                std::min<Addr>(size, pageBytes - off));
+            auto it = pages_.find(addr / pageBytes);
+            if (it != pages_.end())
+                std::memcpy(out, it->second->data() + off, take);
+            else
+                std::memset(out, 0, take);
+            addr += take;
+            out += take;
+            size -= take;
+        }
+    }
+
+    void
+    write(Addr addr, const void *src, unsigned size)
+    {
+        const auto *in = static_cast<const std::uint8_t *>(src);
+        while (size > 0) {
+            Addr off = addr % pageBytes;
+            unsigned take = static_cast<unsigned>(
+                std::min<Addr>(size, pageBytes - off));
+            auto &slot = pages_[addr / pageBytes];
+            if (!slot) {
+                slot = std::make_unique<Page>();
+                slot->fill(0);
+            }
+            std::memcpy(slot->data() + off, in, take);
+            addr += take;
+            in += take;
+            size -= take;
+        }
+    }
+
+    CacheLine
+    readLine(Addr line_addr) const
+    {
+        CacheLine line;
+        read(line_addr, line.data(), lineBytes);
+        return line;
+    }
+
+    void
+    writeLine(Addr line_addr, const CacheLine &line)
+    {
+        write(line_addr, line.data(), lineBytes);
+    }
+
+    std::uint64_t
+    contentHash() const
+    {
+        std::uint64_t combined = 0;
+        for (const auto &[page_no, page] : pages_) {
+            bool all_zero = true;
+            for (std::uint8_t byte : *page)
+                all_zero &= byte == 0;
+            if (all_zero)
+                continue;
+            std::uint64_t h = 1469598103934665603ull ^ page_no;
+            for (std::uint8_t byte : *page) {
+                h ^= byte;
+                h *= 1099511628211ull;
+            }
+            combined ^= h;
+        }
+        return combined;
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * The seed BmoBackendState, std::string fingerprints and all,
+ * reduced to the three drivable entry points.
+ */
+class Backend
+{
+  public:
+    explicit Backend(const BmoConfig &config,
+                     const Aes128::Key &key =
+                         BmoBackendState::defaultKey())
+        : config_(config), aes_(key), tree_(config.merkleLevels, 16)
+    {
+    }
+
+    WriteOutcome
+    writeLine(Addr line_addr, const CacheLine &plaintext)
+    {
+        WriteOutcome outcome;
+        auto old_it = meta_.find(line_addr);
+        MetaEntry old =
+            old_it == meta_.end() ? MetaEntry{} : old_it->second;
+
+        if (config_.deduplication) {
+            std::string fp = fingerprint(plaintext);
+            auto hit = dedupTable_.find(fp);
+            if (hit != dedupTable_.end()) {
+                std::uint64_t phys = hit->second;
+                ReadOutcome stored = readPhys(phys);
+                if (stored.data == plaintext) {
+                    outcome.duplicate = true;
+                    outcome.phys = phys;
+                    outcome.counter = physLines_.at(phys).counter;
+                    if (old.valid && old.phys == phys)
+                        return outcome;
+                    physLines_.at(phys).refCount++;
+                    if (old.valid)
+                        releasePhys(old.phys);
+                    MetaEntry entry;
+                    entry.valid = true;
+                    entry.dup = true;
+                    entry.phys = phys;
+                    entry.counter = physLines_.at(phys).counter;
+                    installMeta(line_addr, entry);
+                    return outcome;
+                }
+            }
+        }
+
+        std::uint64_t phys;
+        std::uint64_t counter;
+        if (old.valid && !old.dup &&
+            physLines_.at(old.phys).refCount == 1) {
+            phys = old.phys;
+            PhysLine &pl = physLines_.at(phys);
+            auto fp_it = dedupTable_.find(pl.fingerprint);
+            if (fp_it != dedupTable_.end() && fp_it->second == phys)
+                dedupTable_.erase(fp_it);
+            counter = pl.counter + 1;
+        } else {
+            if (old.valid)
+                releasePhys(old.phys);
+            phys = allocPhys();
+            physLines_[phys] = PhysLine{};
+            physLines_[phys].refCount = 1;
+            counter = 1;
+            outcome.newPhysLine = true;
+        }
+
+        CacheLine cipher = plaintext;
+        if (config_.encryption) {
+            CacheLine otp = aes_.otp(counter, phys << lineShift);
+            cipher ^= otp;
+        }
+        storage_.writeLine(phys << lineShift, cipher);
+
+        PhysLine &pl = physLines_.at(phys);
+        pl.counter = counter;
+        pl.fingerprint = config_.deduplication
+                             ? fingerprint(plaintext)
+                             : std::string();
+        if (config_.integrity)
+            pl.mac = computeMac(cipher, counter);
+        if (config_.deduplication)
+            dedupTable_[pl.fingerprint] = phys;
+
+        MetaEntry entry;
+        entry.valid = true;
+        entry.dup = false;
+        entry.phys = phys;
+        entry.counter = counter;
+        installMeta(line_addr, entry);
+
+        outcome.phys = phys;
+        outcome.counter = counter;
+        return outcome;
+    }
+
+    ReadOutcome
+    readLine(Addr line_addr) const
+    {
+        ReadOutcome outcome;
+        auto it = meta_.find(line_addr);
+        if (it == meta_.end() || !it->second.valid) {
+            outcome.macOk = true;
+            outcome.treeOk = true;
+            return outcome;
+        }
+        const MetaEntry &entry = it->second;
+        outcome = readPhys(entry.phys);
+        if (config_.integrity) {
+            std::uint8_t leaf[16];
+            entry.serialize(leaf);
+            outcome.treeOk =
+                tree_.verifyLeaf(line_addr >> lineShift, leaf);
+        } else {
+            outcome.treeOk = true;
+        }
+        return outcome;
+    }
+
+    std::optional<std::uint64_t>
+    peekDedup(const CacheLine &line) const
+    {
+        if (!config_.deduplication)
+            return std::nullopt;
+        auto it = dedupTable_.find(fingerprint(line));
+        if (it == dedupTable_.end())
+            return std::nullopt;
+        ReadOutcome stored = readPhys(it->second);
+        if (!(stored.data == line))
+            return std::nullopt;
+        return it->second;
+    }
+
+    const Sha1Digest &merkleRoot() const { return tree_.root(); }
+    std::uint64_t
+    storageContentHash() const
+    {
+        return storage_.contentHash();
+    }
+
+  private:
+    struct PhysLine
+    {
+        std::uint32_t refCount = 0;
+        std::uint64_t counter = 0;
+        std::string fingerprint;
+        Sha1Digest mac;
+    };
+
+    std::string
+    fingerprint(const CacheLine &line) const
+    {
+        if (config_.dedupHash == DedupHash::Md5) {
+            Md5Digest digest = Md5::hash(line.data(), line.size());
+            return std::string(reinterpret_cast<const char *>(
+                                   digest.bytes.data()),
+                               digest.bytes.size());
+        }
+        std::uint32_t crc = crc32(line.data(), line.size());
+        return std::string(reinterpret_cast<const char *>(&crc),
+                           sizeof(crc));
+    }
+
+    std::uint64_t
+    allocPhys()
+    {
+        if (!freePhys_.empty()) {
+            std::uint64_t phys = freePhys_.back();
+            freePhys_.pop_back();
+            return phys;
+        }
+        return nextPhys_++;
+    }
+
+    void
+    releasePhys(std::uint64_t phys)
+    {
+        auto it = physLines_.find(phys);
+        if (--it->second.refCount == 0) {
+            auto fp_it = dedupTable_.find(it->second.fingerprint);
+            if (fp_it != dedupTable_.end() && fp_it->second == phys)
+                dedupTable_.erase(fp_it);
+            physLines_.erase(it);
+            freePhys_.push_back(phys);
+        }
+    }
+
+    void
+    installMeta(Addr line_addr, const MetaEntry &entry)
+    {
+        meta_[line_addr] = entry;
+        if (config_.integrity) {
+            std::uint8_t leaf[16];
+            entry.serialize(leaf);
+            tree_.update(line_addr >> lineShift, leaf);
+        }
+    }
+
+    Sha1Digest
+    computeMac(const CacheLine &cipher, std::uint64_t counter) const
+    {
+        Sha1 hasher;
+        hasher.update(cipher.data(), cipher.size());
+        hasher.update(&counter, sizeof(counter));
+        return hasher.finish();
+    }
+
+    ReadOutcome
+    readPhys(std::uint64_t phys) const
+    {
+        ReadOutcome outcome;
+        auto it = physLines_.find(phys);
+        if (it == physLines_.end()) {
+            outcome.macOk = true;
+            outcome.treeOk = true;
+            return outcome;
+        }
+        const PhysLine &pl = it->second;
+        CacheLine cipher = storage_.readLine(phys << lineShift);
+        outcome.macOk = config_.integrity
+                            ? computeMac(cipher, pl.counter) == pl.mac
+                            : true;
+        outcome.treeOk = true;
+        if (config_.encryption) {
+            CacheLine otp = aes_.otp(pl.counter, phys << lineShift);
+            cipher ^= otp;
+        }
+        outcome.data = cipher;
+        return outcome;
+    }
+
+    BmoConfig config_;
+    Aes aes_;
+    MerkleTree tree_;
+    std::unordered_map<Addr, MetaEntry> meta_;
+    std::unordered_map<std::string, std::uint64_t> dedupTable_;
+    std::unordered_map<std::uint64_t, PhysLine> physLines_;
+    SparseMemory storage_;
+    std::uint64_t nextPhys_ = 1;
+    std::vector<std::uint64_t> freePhys_;
+};
+
+} // namespace legacy
+
+// ---------------------------------------------------------------
+// Traffic generation and measurement.
+// ---------------------------------------------------------------
+
+struct Op
+{
+    Addr addr;
+    CacheLine data;
+};
+
+std::vector<Op>
+seqUniqueTraffic(std::size_t n, std::size_t working_lines)
+{
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ops.push_back({static_cast<Addr>(i % working_lines) *
+                           lineBytes,
+                       CacheLine::fromSeed(0x10000 + i)});
+    return ops;
+}
+
+std::vector<Op>
+dupHeavyTraffic(std::size_t n, std::size_t working_lines,
+                std::uint64_t value_pool)
+{
+    Rng rng(1234);
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ops.push_back(
+            {static_cast<Addr>(rng.below(working_lines)) * lineBytes,
+             CacheLine::fromSeed(rng.below(value_pool))});
+    return ops;
+}
+
+std::vector<Op>
+overwriteTraffic(std::size_t n, std::size_t working_lines)
+{
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ops.push_back({static_cast<Addr>(i % working_lines) *
+                           lineBytes,
+                       CacheLine::fromSeed(0x900000 + i * 7)});
+    return ops;
+}
+
+template <typename Backend>
+double
+timeWrites(const BmoConfig &config, const std::vector<Op> &ops)
+{
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Backend backend(config);
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Op &op : ops)
+            backend.writeLine(op.addr, op.data);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        best = std::max(best, static_cast<double>(ops.size()) / secs);
+    }
+    return best;
+}
+
+template <typename Backend>
+double
+timeReads(const BmoConfig &config, const std::vector<Op> &prep,
+          std::size_t reads)
+{
+    Backend backend(config);
+    for (const Op &op : prep)
+        backend.writeLine(op.addr, op.data);
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        std::uint64_t checksum = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < reads; ++i) {
+            ReadOutcome out = backend.readLine(
+                prep[i % prep.size()].addr);
+            checksum += out.data.word(0);
+        }
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (checksum == 0xDEAD)
+            std::printf(" "); // keep the loop observable
+        best = std::max(best,
+                        static_cast<double>(reads) / secs);
+    }
+    return best;
+}
+
+template <typename Backend>
+double
+timePeeks(const BmoConfig &config, const std::vector<Op> &prep,
+          std::size_t peeks)
+{
+    Backend backend(config);
+    for (const Op &op : prep)
+        backend.writeLine(op.addr, op.data);
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        std::size_t hits = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < peeks; ++i) {
+            // Alternate present values and misses.
+            CacheLine probe =
+                (i & 1) ? prep[i % prep.size()].data
+                        : CacheLine::fromSeed(0xF00D0000 + i);
+            hits += backend.peekDedup(probe).has_value();
+        }
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (hits == 0 && peeks > 0 && config.deduplication)
+            warn("peek_dedup: no hits, probe mix is broken");
+        best = std::max(best,
+                        static_cast<double>(peeks) / secs);
+    }
+    return best;
+}
+
+/**
+ * Replay the scenario through both pipelines and require identical
+ * per-write outcomes, Merkle root, content hash and read-back.
+ */
+bool
+checkBitEquality(const BmoConfig &config, const std::vector<Op> &ops,
+                 const char *name)
+{
+    legacy::Backend seed(config);
+    BmoBackendState current(config);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        WriteOutcome a = seed.writeLine(ops[i].addr, ops[i].data);
+        WriteOutcome b = current.writeLine(ops[i].addr, ops[i].data);
+        if (a.duplicate != b.duplicate ||
+            a.newPhysLine != b.newPhysLine || a.phys != b.phys ||
+            a.counter != b.counter) {
+            std::fprintf(stderr,
+                         "%s: write %zu outcome diverged\n", name,
+                         i);
+            return false;
+        }
+    }
+    if (!(seed.merkleRoot() == current.merkleRoot())) {
+        std::fprintf(stderr, "%s: Merkle root diverged\n", name);
+        return false;
+    }
+    if (seed.storageContentHash() != current.storageContentHash()) {
+        std::fprintf(stderr, "%s: content hash diverged\n", name);
+        return false;
+    }
+    for (std::size_t i = 0; i < ops.size(); i += 97) {
+        ReadOutcome a = seed.readLine(ops[i].addr);
+        ReadOutcome b = current.readLine(ops[i].addr);
+        if (!(a.data == b.data) || a.macOk != b.macOk ||
+            a.treeOk != b.treeOk) {
+            std::fprintf(stderr, "%s: read-back diverged\n", name);
+            return false;
+        }
+        auto pa = seed.peekDedup(ops[i].data);
+        auto pb = current.peekDedup(ops[i].data);
+        if (pa != pb) {
+            std::fprintf(stderr, "%s: peekDedup diverged\n", name);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    using janus::bench::geomean;
+    using janus::bench::writeSimpleJson;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    BmoConfig config; // all three paper BMOs on, MD5 dedup
+
+    constexpr std::size_t kOps = 16384;
+    constexpr std::size_t kWorkingLines = 4096;
+    const std::vector<Op> seq = seqUniqueTraffic(kOps, kWorkingLines);
+    const std::vector<Op> dup =
+        dupHeavyTraffic(kOps, kWorkingLines, 48);
+    const std::vector<Op> over = overwriteTraffic(kOps, 1024);
+
+    // Hard gate: the fast path must be bit-identical before any
+    // number is reported.
+    if (!checkBitEquality(config, seq, "seq_unique") ||
+        !checkBitEquality(config, dup, "dup_heavy") ||
+        !checkBitEquality(config, over, "overwrite"))
+        return 1;
+    BmoConfig crc = config;
+    crc.dedupHash = DedupHash::Crc32;
+    if (!checkBitEquality(crc, dup, "dup_heavy_crc32"))
+        return 1;
+    std::printf("[bit-equality: seed and fast-path backends agree "
+                "on all scenarios]\n");
+
+    struct Row
+    {
+        const char *name;
+        double seed_lps;
+        double current_lps;
+        bool isWrite;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"seq_unique",
+                    timeWrites<legacy::Backend>(config, seq),
+                    timeWrites<BmoBackendState>(config, seq), true});
+    rows.push_back({"dup_heavy",
+                    timeWrites<legacy::Backend>(config, dup),
+                    timeWrites<BmoBackendState>(config, dup), true});
+    rows.push_back({"overwrite",
+                    timeWrites<legacy::Backend>(config, over),
+                    timeWrites<BmoBackendState>(config, over), true});
+    rows.push_back({"read_back",
+                    timeReads<legacy::Backend>(config, seq, kOps),
+                    timeReads<BmoBackendState>(config, seq, kOps),
+                    false});
+    rows.push_back({"peek_dedup",
+                    timePeeks<legacy::Backend>(config, seq, kOps),
+                    timePeeks<BmoBackendState>(config, seq, kOps),
+                    false});
+
+    std::printf("\n=== perf_backend: functional kernel lines/sec, "
+                "seed vs fast path ===\n");
+    std::printf("%-12s %14s %14s %9s\n", "scenario", "seed (K/s)",
+                "current (K/s)", "speedup");
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<double> write_speedups, all_speedups;
+    for (const Row &r : rows) {
+        double speedup = r.current_lps / r.seed_lps;
+        all_speedups.push_back(speedup);
+        if (r.isWrite)
+            write_speedups.push_back(speedup);
+        std::printf("%-12s %14.1f %14.1f %8.2fx\n", r.name,
+                    r.seed_lps / 1e3, r.current_lps / 1e3, speedup);
+        metrics.emplace_back(std::string(r.name) + "_seed_lps",
+                             r.seed_lps);
+        metrics.emplace_back(std::string(r.name) + "_current_lps",
+                             r.current_lps);
+        metrics.emplace_back(std::string(r.name) + "_speedup",
+                             speedup);
+    }
+    double write_geomean = geomean(write_speedups);
+    std::printf("%-12s %14s %14s %8.2fx  (writeLine geomean; "
+                "acceptance gate >= 3x)\n",
+                "geomean", "", "", write_geomean);
+    metrics.emplace_back("writeline_geomean_speedup", write_geomean);
+    metrics.emplace_back("overall_geomean_speedup",
+                         geomean(all_speedups));
+
+    // Per-kernel share of writeLine cost: time each BMO solo on the
+    // current backend; share = solo cost / sum of solo costs.
+    struct Solo
+    {
+        const char *name;
+        bool enc, dedup, integ;
+    };
+    const Solo solos[] = {
+        {"encryption", true, false, false},
+        {"dedup", false, true, false},
+        {"integrity", false, false, true},
+    };
+    double none_lps;
+    {
+        BmoConfig c;
+        c.encryption = c.deduplication = c.integrity = false;
+        none_lps = timeWrites<BmoBackendState>(c, seq);
+    }
+    double costs[3];
+    double cost_sum = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        BmoConfig c;
+        c.encryption = solos[i].enc;
+        c.deduplication = solos[i].dedup;
+        c.integrity = solos[i].integ;
+        double lps = timeWrites<BmoBackendState>(c, seq);
+        // Seconds-per-line attributable to the kernel itself.
+        costs[i] = 1.0 / lps - 1.0 / none_lps;
+        if (costs[i] < 0)
+            costs[i] = 0;
+        cost_sum += costs[i];
+    }
+    std::printf("\nper-kernel share of writeLine cost (fast path): ");
+    for (unsigned i = 0; i < 3; ++i) {
+        double share = cost_sum > 0 ? costs[i] / cost_sum : 0;
+        std::printf("%s %.0f%%%s", solos[i].name, 100 * share,
+                    i + 1 < 3 ? ", " : "\n");
+        metrics.emplace_back(std::string("share_") + solos[i].name,
+                             share);
+    }
+    metrics.emplace_back("baseline_bookkeeping_lps", none_lps);
+
+    writeSimpleJson(
+        "perf_backend",
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count(),
+        metrics);
+    std::printf("\n[perf_backend: writeLine %.2fx vs seed kernels "
+                "-> BENCH_perf_backend.json]\n",
+                write_geomean);
+    return write_geomean >= 1.0 ? 0 : 1;
+}

@@ -34,18 +34,18 @@ BmoBackendState::BmoBackendState(const BmoConfig &config,
 {
 }
 
-std::string
+Fingerprint
 BmoBackendState::fingerprint(const CacheLine &line) const
 {
+    Fingerprint fp;
     if (config_.dedupHash == DedupHash::Md5) {
         Md5Digest digest = Md5::hash(line.data(), line.size());
-        return std::string(reinterpret_cast<const char *>(
-                               digest.bytes.data()),
-                           digest.bytes.size());
+        fp.bytes = digest.bytes;
+    } else {
+        std::uint32_t crc = crc32(line.data(), line.size());
+        std::memcpy(fp.bytes.data(), &crc, sizeof(crc));
     }
-    std::uint32_t crc = crc32(line.data(), line.size());
-    return std::string(reinterpret_cast<const char *>(&crc),
-                       sizeof(crc));
+    return fp;
 }
 
 std::optional<std::uint64_t>
@@ -126,9 +126,11 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
         bytesAfter_ += bdiCompress(plaintext).sizeBytes();
     }
 
-    // D1/D2: fingerprint and duplicate detection.
+    // D1/D2: fingerprint and duplicate detection. Hash once; the
+    // unique-write path below reuses it for the table insert.
+    Fingerprint fp;
     if (config_.deduplication) {
-        std::string fp = fingerprint(plaintext);
+        fp = fingerprint(plaintext);
         auto hit = dedupTable_.find(fp);
         if (hit != dedupTable_.end()) {
             std::uint64_t phys = hit->second;
@@ -190,8 +192,7 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
 
     PhysLine &pl = physLines_.at(phys);
     pl.counter = counter;
-    pl.fingerprint =
-        config_.deduplication ? fingerprint(plaintext) : std::string();
+    pl.fingerprint = config_.deduplication ? fp : Fingerprint{};
     // E4: message authentication code over (ciphertext, counter).
     if (config_.integrity)
         pl.mac = computeMac(cipher, counter);

@@ -16,10 +16,11 @@
 #ifndef JANUS_BMO_BACKEND_STATE_HH
 #define JANUS_BMO_BACKEND_STATE_HH
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <optional>
-#include <string>
 #include <unordered_map>
 
 #include "bmo/bmo_config.hh"
@@ -32,6 +33,36 @@
 
 namespace janus
 {
+
+/**
+ * 16-byte POD dedup fingerprint: the full MD5 digest, or the CRC-32
+ * word zero-padded. A plain value type (no heap allocation) so
+ * fingerprinting and table probes are allocation-free on the write
+ * hot path.
+ */
+struct Fingerprint
+{
+    std::array<std::uint8_t, 16> bytes{};
+
+    bool operator==(const Fingerprint &o) const
+    {
+        return bytes == o.bytes;
+    }
+};
+
+/** Hash for Fingerprint table keys: mix the two 64-bit halves. */
+struct FingerprintHash
+{
+    std::size_t operator()(const Fingerprint &fp) const
+    {
+        std::uint64_t a, b;
+        std::memcpy(&a, fp.bytes.data(), 8);
+        std::memcpy(&b, fp.bytes.data() + 8, 8);
+        std::uint64_t h = a * 0x9E3779B97F4A7C15ull;
+        h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+};
 
 /** Per-logical-line metadata entry (co-located counter / remap). */
 struct MetaEntry
@@ -90,7 +121,7 @@ class BmoBackendState
     ReadOutcome readLine(Addr line_addr) const;
 
     /** Fingerprint of a line under the configured dedup hash. */
-    std::string fingerprint(const CacheLine &line) const;
+    Fingerprint fingerprint(const CacheLine &line) const;
 
     /**
      * Side-effect-free duplicate probe: the physical line this data
@@ -105,6 +136,16 @@ class BmoBackendState
 
     /** Audit: recompute the root from the leaves. */
     bool auditIntegrity() const;
+
+    /**
+     * Order-independent digest of the stored ciphertext image.
+     * Golden bit-equality tests pin this (with the Merkle root) so
+     * fast-path changes can never silently alter functional results.
+     */
+    std::uint64_t storageContentHash() const
+    {
+        return storage_.contentHash();
+    }
 
     /** Metadata entry of a line (invalid entry if never written). */
     MetaEntry metaEntry(Addr line_addr) const;
@@ -152,7 +193,7 @@ class BmoBackendState
     {
         std::uint32_t refCount = 0;
         std::uint64_t counter = 0;
-        std::string fingerprint;
+        Fingerprint fingerprint;
         Sha1Digest mac;
     };
 
@@ -175,7 +216,8 @@ class BmoBackendState
     /** Logical line address -> metadata. */
     std::unordered_map<Addr, MetaEntry> meta_;
     /** Fingerprint -> physical line index. */
-    std::unordered_map<std::string, std::uint64_t> dedupTable_;
+    std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash>
+        dedupTable_;
     /** Physical line index -> bookkeeping. */
     std::unordered_map<std::uint64_t, PhysLine> physLines_;
     /** Ciphertext storage, indexed by physical line index. */

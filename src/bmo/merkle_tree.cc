@@ -1,5 +1,7 @@
 #include "bmo/merkle_tree.hh"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.hh"
@@ -38,13 +40,20 @@ Sha1Digest
 MerkleTree::hashChildren(unsigned level, std::uint64_t index) const
 {
     janus_assert(level >= 1, "leaves have no children");
-    Sha1 hasher;
+    // Gather the eight child digests into one buffer: a single
+    // SHA-1 pass over 160 contiguous bytes is byte-stream-identical
+    // to eight incremental updates.
+    std::uint8_t buf[fanout * sizeof(Sha1Digest::bytes)];
+    const auto &children = nodes_[level - 1];
+    const std::uint64_t base = index * fanout;
     for (unsigned c = 0; c < fanout; ++c) {
+        auto it = children.find(base + c);
         const Sha1Digest &child =
-            node(level - 1, index * fanout + c);
-        hasher.update(child.bytes.data(), child.bytes.size());
+            it == children.end() ? defaults_[level - 1] : it->second;
+        std::memcpy(buf + sizeof(child.bytes) * c, child.bytes.data(),
+                    sizeof(child.bytes));
     }
-    return hasher.finish();
+    return Sha1::hash(buf, sizeof(buf));
 }
 
 void
@@ -52,10 +61,29 @@ MerkleTree::update(std::uint64_t leaf_index, const void *leaf_data)
 {
     janus_assert(leaf_index < capacity(), "leaf index out of range");
     nodes_[0][leaf_index] = Sha1::hash(leaf_data, leafBytes_);
-    std::uint64_t index = leaf_index;
+    dirtyLeaves_.push_back(leaf_index);
+}
+
+void
+MerkleTree::flush() const
+{
+    if (dirtyLeaves_.empty())
+        return;
+    // The dirty list becomes the parent frontier: shift to the
+    // parent level, coalesce duplicates, rehash each touched
+    // interior node exactly once, repeat up to the root.
+    flushScratch_.swap(dirtyLeaves_);
+    dirtyLeaves_.clear();
+    std::vector<std::uint64_t> &frontier = flushScratch_;
     for (unsigned level = 1; level <= levels_; ++level) {
-        index >>= fanoutShift;
-        nodes_[level][index] = hashChildren(level, index);
+        for (std::uint64_t &index : frontier)
+            index >>= fanoutShift;
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                       frontier.end());
+        auto &dst = nodes_[level];
+        for (std::uint64_t parent : frontier)
+            dst[parent] = hashChildren(level, parent);
     }
     root_ = node(levels_, 0);
 }
@@ -63,26 +91,31 @@ MerkleTree::update(std::uint64_t leaf_index, const void *leaf_data)
 Sha1Digest
 MerkleTree::recomputeRoot() const
 {
-    // Rebuild bottom-up over only the materialized indices.
-    std::unordered_map<std::uint64_t, Sha1Digest> current = nodes_[0];
+    flush();
+    // Rebuild bottom-up over only the materialized indices,
+    // iterating the stored leaf map in place (no deep copy).
+    std::unordered_map<std::uint64_t, Sha1Digest> current;
+    const std::unordered_map<std::uint64_t, Sha1Digest> *src =
+        &nodes_[0];
     for (unsigned level = 1; level <= levels_; ++level) {
         std::unordered_map<std::uint64_t, Sha1Digest> next;
-        for (const auto &[index, digest] : current) {
-            std::uint64_t parent = index >> fanoutShift;
+        next.reserve(src->size() / fanout + 1);
+        for (const auto &entry : *src) {
+            std::uint64_t parent = entry.first >> fanoutShift;
             if (next.count(parent))
                 continue;
             Sha1 hasher;
             for (unsigned c = 0; c < fanout; ++c) {
-                std::uint64_t child = parent * fanout + c;
-                auto it = current.find(child);
-                const Sha1Digest &d =
-                    it == current.end() ? defaults_[level - 1]
-                                        : it->second;
+                auto it = src->find(parent * fanout + c);
+                const Sha1Digest &d = it == src->end()
+                                          ? defaults_[level - 1]
+                                          : it->second;
                 hasher.update(d.bytes.data(), d.bytes.size());
             }
             next[parent] = hasher.finish();
         }
         current = std::move(next);
+        src = &current;
     }
     auto it = current.find(0);
     return it == current.end() ? defaults_[levels_] : it->second;
@@ -94,6 +127,7 @@ MerkleTree::verifyLeaf(std::uint64_t leaf_index,
 {
     if (leaf_index >= capacity())
         return false;
+    flush();
     Sha1Digest leaf = Sha1::hash(leaf_data, leafBytes_);
     if (!(leaf == node(0, leaf_index)))
         return false;
@@ -111,6 +145,7 @@ MerkleTree::verifyLeaf(std::uint64_t leaf_index,
 std::size_t
 MerkleTree::materializedNodes() const
 {
+    flush();
     std::size_t total = 0;
     for (const auto &map : nodes_)
         total += map.size();

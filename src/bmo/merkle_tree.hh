@@ -6,6 +6,18 @@
  * root lives in a secure non-volatile register. The tree is sparse:
  * untouched subtrees use precomputed default digests, so covering a
  * 4 GB device (height 9, fanout 8) costs only what is written.
+ *
+ * Interior maintenance is lazy and batched: update() installs the
+ * leaf digest immediately but only records the leaf in a dirty set;
+ * the path-to-root rehashing is coalesced and performed on the next
+ * observation (root(), verifyLeaf(), recomputeRoot(),
+ * materializedNodes()). A burst of k updates under one subtree costs
+ * one rehash per touched interior node instead of k, and observable
+ * state is bit-identical to eager per-update propagation because
+ * each interior digest is a pure function of the leaves below it.
+ * Like the rest of the simulator state, a tree instance is not
+ * meant to be shared across threads (the lazy flush mutates under
+ * const observers).
  */
 
 #ifndef JANUS_BMO_MERKLE_TREE_HH
@@ -34,11 +46,19 @@ class MerkleTree
      */
     explicit MerkleTree(unsigned levels, unsigned leaf_bytes = 16);
 
-    /** Install/overwrite a leaf and propagate hashes to the root. */
+    /**
+     * Install/overwrite a leaf. Interior hashing is deferred; the
+     * next observation sees exactly the state eager propagation
+     * would have produced.
+     */
     void update(std::uint64_t leaf_index, const void *leaf_data);
 
     /** The current root digest (the secure NV register's content). */
-    const Sha1Digest &root() const { return root_; }
+    const Sha1Digest &root() const
+    {
+        flush();
+        return root_;
+    }
 
     /**
      * Recompute the root from all materialized leaves from scratch.
@@ -61,6 +81,9 @@ class MerkleTree
         return std::uint64_t(1) << (fanoutShift * levels_);
     }
 
+    /** Pending leaf updates not yet propagated (for tests/stats). */
+    std::size_t pendingUpdates() const { return dirtyLeaves_.size(); }
+
   private:
     /** Digest of a node from its eight children at level - 1. */
     Sha1Digest hashChildren(unsigned level, std::uint64_t index) const;
@@ -68,13 +91,22 @@ class MerkleTree
     /** Stored digest of (level, index), or the level default. */
     const Sha1Digest &node(unsigned level, std::uint64_t index) const;
 
+    /** Propagate all dirty leaves to the root, coalescing parents. */
+    void flush() const;
+
     unsigned levels_;
     unsigned leafBytes_;
-    /** levels_ + 1 maps: [0] leaf hashes ... [levels_] the root. */
-    std::vector<std::unordered_map<std::uint64_t, Sha1Digest>> nodes_;
+    /** levels_ + 1 maps: [0] leaf hashes ... [levels_] the root.
+     *  Interior levels are mutated by the lazy flush. */
+    mutable std::vector<std::unordered_map<std::uint64_t, Sha1Digest>>
+        nodes_;
     /** Default digest per level for untouched subtrees. */
     std::vector<Sha1Digest> defaults_;
-    Sha1Digest root_;
+    mutable Sha1Digest root_;
+    /** Leaf indices updated since the last flush (may repeat). */
+    mutable std::vector<std::uint64_t> dirtyLeaves_;
+    /** Scratch for flush(): parent index frontier per level. */
+    mutable std::vector<std::uint64_t> flushScratch_;
 };
 
 } // namespace janus

@@ -100,15 +100,105 @@ gmul(std::uint8_t a, std::uint8_t b)
     return p;
 }
 
+std::uint32_t
+rotr8(std::uint32_t w)
+{
+    return (w >> 8) | (w << 24);
+}
+
+/**
+ * The standard 32-bit T-tables, generated once at startup from the
+ * S-boxes above so the FIPS-197 vectors keep pinning the whole
+ * pipeline. Te0[x] packs SubBytes + MixColumns for one input byte:
+ * {02,01,01,03}·S[x] as a big-endian column word; Te1..Te3 are byte
+ * rotations of Te0 (one per MixColumns matrix column). Td0..Td3 do
+ * the same for InvSubBytes + InvMixColumns with {0e,09,0d,0b}.
+ */
+struct TTables
+{
+    std::uint32_t Te0[256], Te1[256], Te2[256], Te3[256];
+    std::uint32_t Td0[256], Td1[256], Td2[256], Td3[256];
+
+    TTables()
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            std::uint8_t s = sbox[i];
+            std::uint32_t e =
+                (std::uint32_t(gmul(s, 2)) << 24) |
+                (std::uint32_t(s) << 16) | (std::uint32_t(s) << 8) |
+                gmul(s, 3);
+            Te0[i] = e;
+            Te1[i] = rotr8(e);
+            Te2[i] = rotr8(Te1[i]);
+            Te3[i] = rotr8(Te2[i]);
+
+            std::uint8_t r = rsbox[i];
+            std::uint32_t d =
+                (std::uint32_t(gmul(r, 14)) << 24) |
+                (std::uint32_t(gmul(r, 9)) << 16) |
+                (std::uint32_t(gmul(r, 13)) << 8) | gmul(r, 11);
+            Td0[i] = d;
+            Td1[i] = rotr8(d);
+            Td2[i] = rotr8(Td1[i]);
+            Td3[i] = rotr8(Td2[i]);
+        }
+    }
+};
+
+const TTables &
+tables()
+{
+    static const TTables t;
+    return t;
+}
+
+std::uint32_t
+be32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | p[3];
+}
+
+void
+putBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+/** InvMixColumns of one big-endian column word (key transform). */
+std::uint32_t
+invMixColumnsWord(std::uint32_t w)
+{
+    std::uint8_t a0 = static_cast<std::uint8_t>(w >> 24);
+    std::uint8_t a1 = static_cast<std::uint8_t>(w >> 16);
+    std::uint8_t a2 = static_cast<std::uint8_t>(w >> 8);
+    std::uint8_t a3 = static_cast<std::uint8_t>(w);
+    std::uint8_t b0 = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                      gmul(a3, 9);
+    std::uint8_t b1 = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                      gmul(a3, 13);
+    std::uint8_t b2 = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                      gmul(a3, 11);
+    std::uint8_t b3 = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                      gmul(a3, 14);
+    return (std::uint32_t(b0) << 24) | (std::uint32_t(b1) << 16) |
+           (std::uint32_t(b2) << 8) | b3;
+}
+
 } // namespace
 
 Aes128::Aes128(const Key &key)
 {
-    // Key expansion (FIPS-197 section 5.2).
-    std::memcpy(roundKeys_.data(), key.data(), 16);
+    // Key expansion (FIPS-197 section 5.2), byte-wise as in the
+    // reference implementation, then packed into column words.
+    std::uint8_t roundKeys[176];
+    std::memcpy(roundKeys, key.data(), 16);
     for (unsigned i = 4; i < 44; ++i) {
         std::uint8_t temp[4];
-        std::memcpy(temp, roundKeys_.data() + 4 * (i - 1), 4);
+        std::memcpy(temp, roundKeys + 4 * (i - 1), 4);
         if (i % 4 == 0) {
             // RotWord + SubWord + Rcon.
             std::uint8_t t0 = temp[0];
@@ -119,110 +209,135 @@ Aes128::Aes128(const Key &key)
             temp[3] = sbox[t0];
         }
         for (unsigned j = 0; j < 4; ++j) {
-            roundKeys_[4 * i + j] = static_cast<std::uint8_t>(
-                roundKeys_[4 * (i - 4) + j] ^ temp[j]);
+            roundKeys[4 * i + j] = static_cast<std::uint8_t>(
+                roundKeys[4 * (i - 4) + j] ^ temp[j]);
         }
     }
+    for (unsigned i = 0; i < 44; ++i)
+        encKeys_[i] = be32(roundKeys + 4 * i);
+
+    // Equivalent-inverse-cipher schedule: reverse the round order
+    // and push InvMixColumns into the keys of rounds 1..9.
+    for (unsigned round = 0; round <= 10; ++round)
+        for (unsigned j = 0; j < 4; ++j) {
+            std::uint32_t w = encKeys_[4 * (10 - round) + j];
+            decKeys_[4 * round + j] =
+                (round == 0 || round == 10) ? w : invMixColumnsWord(w);
+        }
 }
 
 Aes128::Block
 Aes128::encryptBlock(const Block &in) const
 {
-    std::uint8_t st[16];
-    std::memcpy(st, in.data(), 16);
+    const TTables &T = tables();
+    const std::uint32_t *rk = encKeys_.data();
 
-    auto add_round_key = [&](unsigned round) {
-        for (unsigned i = 0; i < 16; ++i)
-            st[i] ^= roundKeys_[16 * round + i];
-    };
-    auto sub_bytes = [&]() {
-        for (auto &b : st)
-            b = sbox[b];
-    };
-    auto shift_rows = [&]() {
-        // State is column-major: st[4*col + row].
-        std::uint8_t t[16];
-        std::memcpy(t, st, 16);
-        for (unsigned row = 1; row < 4; ++row)
-            for (unsigned col = 0; col < 4; ++col)
-                st[4 * col + row] = t[4 * ((col + row) % 4) + row];
-    };
-    auto mix_columns = [&]() {
-        for (unsigned col = 0; col < 4; ++col) {
-            std::uint8_t *c = st + 4 * col;
-            std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-            c[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
-            c[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
-            c[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
-            c[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
-        }
-    };
+    // State as four big-endian column words: byte (row r, col c) of
+    // the column-major state st[4c + r] is bits [31-8r..24-8r] of sc.
+    std::uint32_t s0 = be32(in.data()) ^ rk[0];
+    std::uint32_t s1 = be32(in.data() + 4) ^ rk[1];
+    std::uint32_t s2 = be32(in.data() + 8) ^ rk[2];
+    std::uint32_t s3 = be32(in.data() + 12) ^ rk[3];
 
-    add_round_key(0);
+    // Nine full rounds: each output column pulls its four bytes from
+    // the ShiftRows-rotated columns; the tables fold in SubBytes and
+    // MixColumns.
     for (unsigned round = 1; round < 10; ++round) {
-        sub_bytes();
-        shift_rows();
-        mix_columns();
-        add_round_key(round);
+        rk += 4;
+        std::uint32_t t0 = T.Te0[s0 >> 24] ^
+                           T.Te1[(s1 >> 16) & 0xff] ^
+                           T.Te2[(s2 >> 8) & 0xff] ^
+                           T.Te3[s3 & 0xff] ^ rk[0];
+        std::uint32_t t1 = T.Te0[s1 >> 24] ^
+                           T.Te1[(s2 >> 16) & 0xff] ^
+                           T.Te2[(s3 >> 8) & 0xff] ^
+                           T.Te3[s0 & 0xff] ^ rk[1];
+        std::uint32_t t2 = T.Te0[s2 >> 24] ^
+                           T.Te1[(s3 >> 16) & 0xff] ^
+                           T.Te2[(s0 >> 8) & 0xff] ^
+                           T.Te3[s1 & 0xff] ^ rk[2];
+        std::uint32_t t3 = T.Te0[s3 >> 24] ^
+                           T.Te1[(s0 >> 16) & 0xff] ^
+                           T.Te2[(s1 >> 8) & 0xff] ^
+                           T.Te3[s2 & 0xff] ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    sub_bytes();
-    shift_rows();
-    add_round_key(10);
 
+    // Final round: SubBytes + ShiftRows only.
+    rk += 4;
+    auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                          std::uint32_t c, std::uint32_t d,
+                          std::uint32_t k) {
+        return (std::uint32_t(sbox[a >> 24]) << 24 |
+                std::uint32_t(sbox[(b >> 16) & 0xff]) << 16 |
+                std::uint32_t(sbox[(c >> 8) & 0xff]) << 8 |
+                sbox[d & 0xff]) ^
+               k;
+    };
     Block out;
-    std::memcpy(out.data(), st, 16);
+    putBe32(out.data(), final_word(s0, s1, s2, s3, rk[0]));
+    putBe32(out.data() + 4, final_word(s1, s2, s3, s0, rk[1]));
+    putBe32(out.data() + 8, final_word(s2, s3, s0, s1, rk[2]));
+    putBe32(out.data() + 12, final_word(s3, s0, s1, s2, rk[3]));
     return out;
 }
 
 Aes128::Block
 Aes128::decryptBlock(const Block &in) const
 {
-    std::uint8_t st[16];
-    std::memcpy(st, in.data(), 16);
+    // Equivalent inverse cipher (FIPS-197 section 5.3.5) over the
+    // InvMixColumns-transformed schedule; InvShiftRows rotates the
+    // column picks the other way relative to encryption.
+    const TTables &T = tables();
+    const std::uint32_t *rk = decKeys_.data();
 
-    auto add_round_key = [&](unsigned round) {
-        for (unsigned i = 0; i < 16; ++i)
-            st[i] ^= roundKeys_[16 * round + i];
-    };
-    auto inv_sub_bytes = [&]() {
-        for (auto &b : st)
-            b = rsbox[b];
-    };
-    auto inv_shift_rows = [&]() {
-        std::uint8_t t[16];
-        std::memcpy(t, st, 16);
-        for (unsigned row = 1; row < 4; ++row)
-            for (unsigned col = 0; col < 4; ++col)
-                st[4 * ((col + row) % 4) + row] = t[4 * col + row];
-    };
-    auto inv_mix_columns = [&]() {
-        for (unsigned col = 0; col < 4; ++col) {
-            std::uint8_t *c = st + 4 * col;
-            std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-            c[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
-                   gmul(a3, 9);
-            c[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
-                   gmul(a3, 13);
-            c[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
-                   gmul(a3, 11);
-            c[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
-                   gmul(a3, 14);
-        }
-    };
+    std::uint32_t s0 = be32(in.data()) ^ rk[0];
+    std::uint32_t s1 = be32(in.data() + 4) ^ rk[1];
+    std::uint32_t s2 = be32(in.data() + 8) ^ rk[2];
+    std::uint32_t s3 = be32(in.data() + 12) ^ rk[3];
 
-    add_round_key(10);
-    for (unsigned round = 9; round >= 1; --round) {
-        inv_shift_rows();
-        inv_sub_bytes();
-        add_round_key(round);
-        inv_mix_columns();
+    for (unsigned round = 1; round < 10; ++round) {
+        rk += 4;
+        std::uint32_t t0 = T.Td0[s0 >> 24] ^
+                           T.Td1[(s3 >> 16) & 0xff] ^
+                           T.Td2[(s2 >> 8) & 0xff] ^
+                           T.Td3[s1 & 0xff] ^ rk[0];
+        std::uint32_t t1 = T.Td0[s1 >> 24] ^
+                           T.Td1[(s0 >> 16) & 0xff] ^
+                           T.Td2[(s3 >> 8) & 0xff] ^
+                           T.Td3[s2 & 0xff] ^ rk[1];
+        std::uint32_t t2 = T.Td0[s2 >> 24] ^
+                           T.Td1[(s1 >> 16) & 0xff] ^
+                           T.Td2[(s0 >> 8) & 0xff] ^
+                           T.Td3[s3 & 0xff] ^ rk[2];
+        std::uint32_t t3 = T.Td0[s3 >> 24] ^
+                           T.Td1[(s2 >> 16) & 0xff] ^
+                           T.Td2[(s1 >> 8) & 0xff] ^
+                           T.Td3[s0 & 0xff] ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    inv_shift_rows();
-    inv_sub_bytes();
-    add_round_key(0);
 
+    rk += 4;
+    auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                          std::uint32_t c, std::uint32_t d,
+                          std::uint32_t k) {
+        return (std::uint32_t(rsbox[a >> 24]) << 24 |
+                std::uint32_t(rsbox[(b >> 16) & 0xff]) << 16 |
+                std::uint32_t(rsbox[(c >> 8) & 0xff]) << 8 |
+                rsbox[d & 0xff]) ^
+               k;
+    };
     Block out;
-    std::memcpy(out.data(), st, 16);
+    putBe32(out.data(), final_word(s0, s3, s2, s1, rk[0]));
+    putBe32(out.data() + 4, final_word(s1, s0, s3, s2, rk[1]));
+    putBe32(out.data() + 8, final_word(s2, s1, s0, s3, rk[2]));
+    putBe32(out.data() + 12, final_word(s3, s2, s1, s0, rk[3]));
     return out;
 }
 

@@ -42,8 +42,17 @@ class Aes128
     CacheLine otp(std::uint64_t counter, Addr line_addr) const;
 
   private:
-    /** 11 round keys x 16 bytes. */
-    std::array<std::uint8_t, 176> roundKeys_;
+    /**
+     * 11 round keys as big-endian 32-bit column words, the layout
+     * the T-table rounds consume directly.
+     */
+    std::array<std::uint32_t, 44> encKeys_;
+    /**
+     * Decryption schedule for the equivalent inverse cipher
+     * (FIPS-197 section 5.3.5): encryption keys in reverse round
+     * order with InvMixColumns applied to rounds 1..9.
+     */
+    std::array<std::uint32_t, 44> decKeys_;
 };
 
 } // namespace janus

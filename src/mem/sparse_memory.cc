@@ -10,18 +10,30 @@ namespace janus
 const SparseMemory::Page *
 SparseMemory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr / pageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr page_no = addr / pageBytes;
+    if (page_no == cachedPageNo_)
+        return cachedPage_;
+    auto it = pages_.find(page_no);
+    if (it == pages_.end())
+        return nullptr;
+    cachedPageNo_ = page_no;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
 }
 
 SparseMemory::Page &
 SparseMemory::getPage(Addr addr)
 {
-    auto &slot = pages_[addr / pageBytes];
+    Addr page_no = addr / pageBytes;
+    if (page_no == cachedPageNo_)
+        return *cachedPage_;
+    auto &slot = pages_[page_no];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedPageNo_ = page_no;
+    cachedPage_ = slot.get();
     return *slot;
 }
 
@@ -60,24 +72,39 @@ SparseMemory::write(Addr addr, const void *src, unsigned size)
     }
 }
 
+const std::uint8_t *
+SparseMemory::linePtr(Addr line_addr) const
+{
+    janus_assert(lineOffset(line_addr) == 0,
+                 "unaligned linePtr at %#llx",
+                 static_cast<unsigned long long>(line_addr));
+    const Page *page = findPage(line_addr);
+    return page ? page->data() + line_addr % pageBytes : nullptr;
+}
+
+std::uint8_t *
+SparseMemory::linePtr(Addr line_addr)
+{
+    janus_assert(lineOffset(line_addr) == 0,
+                 "unaligned linePtr at %#llx",
+                 static_cast<unsigned long long>(line_addr));
+    return getPage(line_addr).data() + line_addr % pageBytes;
+}
+
 CacheLine
 SparseMemory::readLine(Addr line_addr) const
 {
-    janus_assert(lineOffset(line_addr) == 0,
-                 "unaligned line read at %#llx",
-                 static_cast<unsigned long long>(line_addr));
     CacheLine line;
-    read(line_addr, line.data(), lineBytes);
+    const std::uint8_t *src = linePtr(line_addr);
+    if (src)
+        std::memcpy(line.data(), src, lineBytes);
     return line;
 }
 
 void
 SparseMemory::writeLine(Addr line_addr, const CacheLine &line)
 {
-    janus_assert(lineOffset(line_addr) == 0,
-                 "unaligned line write at %#llx",
-                 static_cast<unsigned long long>(line_addr));
-    write(line_addr, line.data(), lineBytes);
+    std::memcpy(linePtr(line_addr), line.data(), lineBytes);
 }
 
 std::uint64_t
@@ -98,12 +125,14 @@ void
 SparseMemory::clear()
 {
     pages_.clear();
+    cachedPageNo_ = ~Addr(0);
+    cachedPage_ = nullptr;
 }
 
 void
 SparseMemory::copyFrom(const SparseMemory &other)
 {
-    pages_.clear();
+    clear();
     for (const auto &[page_no, page] : other.pages_) {
         auto copy = std::make_unique<Page>(*page);
         pages_.emplace(page_no, std::move(copy));

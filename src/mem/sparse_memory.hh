@@ -39,6 +39,16 @@ class SparseMemory
     /** Write a full aligned cache line. */
     void writeLine(Addr line_addr, const CacheLine &line);
 
+    /**
+     * Direct pointer to the bytes of an aligned line (lines never
+     * straddle the 4 KB pages), or nullptr if the line's page is
+     * unbacked (reads as zero). Stable until clear()/copyFrom().
+     */
+    const std::uint8_t *linePtr(Addr line_addr) const;
+
+    /** Mutable variant; materializes the page if needed. */
+    std::uint8_t *linePtr(Addr line_addr);
+
     /** Read a little-endian 64-bit word. */
     std::uint64_t readWord(Addr addr) const;
 
@@ -71,6 +81,16 @@ class SparseMemory
     Page &getPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /**
+     * One-entry cache of the last page touched: sequential and
+     * line-local access skips the hash-map lookup. Page pointers
+     * are stable (the map owns them via unique_ptr), so the cache
+     * only needs invalidating on clear()/copyFrom(). Mutated by
+     * const readers; like the rest of the class, an instance is not
+     * meant to be shared across threads.
+     */
+    mutable Addr cachedPageNo_ = ~Addr(0);
+    mutable Page *cachedPage_ = nullptr;
 };
 
 /**

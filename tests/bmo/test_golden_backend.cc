@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Golden bit-equality tests for the functional BMO backend: a fixed
+ * write/read sequence must always produce the hard-coded Merkle root
+ * and ciphertext-image content hash, for every dedup-hash / BMO-mix
+ * configuration. These values were harvested from the seed (pre-
+ * fast-path) kernels; any optimization that changes a single stored
+ * bit or tree digest fails here.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bmo/backend_state.hh"
+
+namespace janus
+{
+namespace
+{
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * The pinned traffic: duplicate-heavy rounds over a 48-line working
+ * set (exercises dedup hits, same-value rewrites, in-place
+ * overwrites and refcount churn), then a burst of unique values
+ * (fresh physical lines, dedup-table eviction), with interleaved
+ * read-backs and dedup probes so lazy-flush boundaries in the fast
+ * path land mid-sequence exactly where verification happens.
+ */
+void
+runGoldenSequence(BmoBackendState &state)
+{
+    for (unsigned round = 0; round < 4; ++round) {
+        for (unsigned i = 0; i < 48; ++i)
+            state.writeLine(static_cast<Addr>(i) * lineBytes,
+                            CacheLine::fromSeed((i * 7 + round * 5) %
+                                                11));
+        // Mid-burst observation: must not perturb any state.
+        ReadOutcome probe =
+            state.readLine(static_cast<Addr>(round) * lineBytes);
+        EXPECT_TRUE(probe.macOk);
+        EXPECT_TRUE(probe.treeOk);
+        state.peekDedup(CacheLine::fromSeed(round));
+    }
+    for (unsigned i = 0; i < 24; ++i)
+        state.writeLine(static_cast<Addr>(i * 3) * lineBytes,
+                        CacheLine::fromSeed(0x1000 + i));
+    for (unsigned i = 0; i < 48; ++i) {
+        ReadOutcome out =
+            state.readLine(static_cast<Addr>(i) * lineBytes);
+        EXPECT_TRUE(out.macOk) << "line " << i;
+        EXPECT_TRUE(out.treeOk) << "line " << i;
+    }
+}
+
+struct GoldenCase
+{
+    const char *name;
+    bool encryption;
+    bool deduplication;
+    bool integrity;
+    bool compression;
+    DedupHash hash;
+    /** Expected tree_.root().toHex() after the sequence. */
+    const char *root;
+    /** Expected storage_.contentHash() after the sequence. */
+    const char *content;
+};
+
+// Harvested from the seed kernels (byte-wise AES, eager Merkle,
+// std::string fingerprints); see runGoldenSequence above.
+const GoldenCase kCases[] = {
+    {"default_md5", true, true, true, false, DedupHash::Md5,
+     "bab95bbc3796cd35632d045e415dead9c426209d", "c3a223ea34dc0598"},
+    // No fingerprint collisions occur in this sequence, so CRC-32
+    // dedups the same lines as MD5 and the image is identical.
+    {"crc32", true, true, true, false, DedupHash::Crc32,
+     "bab95bbc3796cd35632d045e415dead9c426209d", "c3a223ea34dc0598"},
+    {"enc_only", true, false, false, false, DedupHash::Md5,
+     "da5a3d7a86a6d7e5a59072fd4bbb87e6221ae008", "38128f791efa018b"},
+    {"dedup_only", false, true, false, false, DedupHash::Md5,
+     "da5a3d7a86a6d7e5a59072fd4bbb87e6221ae008", "682711c32e9a6e80"},
+    {"integrity_only", false, false, true, false, DedupHash::Md5,
+     "773515d49d35fd606e67af619fc44e704ef3a604", "5dc3d22978ea68f6"},
+    {"all_off", false, false, false, false, DedupHash::Md5,
+     "da5a3d7a86a6d7e5a59072fd4bbb87e6221ae008", "5dc3d22978ea68f6"},
+    // Meta entries (and so the tree) don't depend on encryption:
+    // same root as integrity_only, same image as enc_only.
+    {"enc_integrity", true, false, true, false, DedupHash::Md5,
+     "773515d49d35fd606e67af619fc44e704ef3a604", "38128f791efa018b"},
+    {"all_plus_compression", true, true, true, true, DedupHash::Md5,
+     "bab95bbc3796cd35632d045e415dead9c426209d", "c3a223ea34dc0598"},
+};
+
+TEST(GoldenBackend, BitEqualityAcrossConfigs)
+{
+    for (const GoldenCase &c : kCases) {
+        BmoConfig config;
+        config.encryption = c.encryption;
+        config.deduplication = c.deduplication;
+        config.integrity = c.integrity;
+        config.compression = c.compression;
+        config.dedupHash = c.hash;
+        BmoBackendState state(config);
+        runGoldenSequence(state);
+        EXPECT_EQ(state.merkleRoot().toHex(), c.root) << c.name;
+        EXPECT_EQ(hex64(state.storageContentHash()), c.content)
+            << c.name;
+        EXPECT_TRUE(state.auditIntegrity()) << c.name;
+    }
+}
+
+TEST(GoldenBackend, SequenceIsDeterministic)
+{
+    // Two independent backends fed the same sequence agree bit for
+    // bit (guards the harvested constants against env dependence).
+    BmoConfig config;
+    BmoBackendState a(config), b(config);
+    runGoldenSequence(a);
+    runGoldenSequence(b);
+    EXPECT_EQ(a.merkleRoot().toHex(), b.merkleRoot().toHex());
+    EXPECT_EQ(a.storageContentHash(), b.storageContentHash());
+}
+
+} // namespace
+} // namespace janus

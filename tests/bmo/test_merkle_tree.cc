@@ -3,11 +3,16 @@
  * Unit tests for the sparse Bonsai Merkle tree.
  */
 
+#include <array>
 #include <cstring>
+#include <iterator>
+#include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "bmo/merkle_tree.hh"
+#include "common/random.hh"
 
 namespace janus
 {
@@ -130,6 +135,136 @@ TEST(MerkleTree, SparseMaterialization)
     tree.update(0, leaf);
     // One leaf materializes exactly one node per level + the leaf.
     EXPECT_EQ(tree.materializedNodes(), 10u);
+}
+
+TEST(MerkleTree, BatchedUpdatesFlushOnObservation)
+{
+    MerkleTree lazy(5), observed(5);
+    std::uint8_t leaf[16];
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        makeLeaf(leaf, i, i ^ 0x5555);
+        lazy.update(i * 13 % 512, leaf);
+        // Reference usage pattern: observe (and so flush) after
+        // every single update.
+        observed.update(i * 13 % 512, leaf);
+        (void)observed.root();
+    }
+    EXPECT_EQ(lazy.pendingUpdates(), 100u);
+    EXPECT_EQ(observed.pendingUpdates(), 0u);
+    EXPECT_TRUE(lazy.root() == observed.root());
+    EXPECT_EQ(lazy.pendingUpdates(), 0u);
+}
+
+/**
+ * Eager reference tree: stores only leaf digests and recomputes the
+ * whole interior from scratch at every observation. Trivially
+ * correct, independent of MerkleTree's incremental/lazy machinery.
+ */
+class EagerReferenceTree
+{
+  public:
+    explicit EagerReferenceTree(unsigned levels,
+                                unsigned leaf_bytes = 16)
+        : levels_(levels), leafBytes_(leaf_bytes),
+          defaults_(levels + 1)
+    {
+        std::vector<std::uint8_t> zero(leafBytes_, 0);
+        defaults_[0] = Sha1::hash(zero.data(), zero.size());
+        for (unsigned level = 1; level <= levels_; ++level) {
+            Sha1 hasher;
+            for (unsigned c = 0; c < MerkleTree::fanout; ++c)
+                hasher.update(defaults_[level - 1].bytes.data(),
+                              defaults_[level - 1].bytes.size());
+            defaults_[level] = hasher.finish();
+        }
+    }
+
+    void
+    update(std::uint64_t index, const void *data)
+    {
+        leaves_[index] = Sha1::hash(data, leafBytes_);
+    }
+
+    Sha1Digest
+    root() const
+    {
+        std::unordered_map<std::uint64_t, Sha1Digest> cur = leaves_;
+        for (unsigned level = 1; level <= levels_; ++level) {
+            std::unordered_map<std::uint64_t, Sha1Digest> next;
+            for (const auto &[index, digest] : cur) {
+                std::uint64_t parent =
+                    index >> MerkleTree::fanoutShift;
+                if (next.count(parent))
+                    continue;
+                Sha1 hasher;
+                for (unsigned c = 0; c < MerkleTree::fanout; ++c) {
+                    std::uint64_t child =
+                        parent * MerkleTree::fanout + c;
+                    auto it = cur.find(child);
+                    const Sha1Digest &d = it == cur.end()
+                                              ? defaults_[level - 1]
+                                              : it->second;
+                    hasher.update(d.bytes.data(), d.bytes.size());
+                }
+                next[parent] = hasher.finish();
+            }
+            cur = std::move(next);
+        }
+        auto it = cur.find(0);
+        return it == cur.end() ? defaults_[levels_] : it->second;
+    }
+
+  private:
+    unsigned levels_;
+    unsigned leafBytes_;
+    std::vector<Sha1Digest> defaults_;
+    std::unordered_map<std::uint64_t, Sha1Digest> leaves_;
+};
+
+TEST(MerkleTree, RandomizedLazyMatchesEagerReference)
+{
+    // Interleave updates with every observable operation at random
+    // and demand the lazy batched tree is indistinguishable from the
+    // recompute-everything reference at every observation point.
+    Rng rng(0xC0FFEE);
+    MerkleTree tree(5);
+    EagerReferenceTree ref(5);
+    std::unordered_map<std::uint64_t, std::array<std::uint8_t, 16>>
+        contents;
+    const std::uint64_t span = 4096; // forces shared-subtree churn
+
+    for (int step = 0; step < 3000; ++step) {
+        std::uint64_t dice = rng.below(100);
+        if (dice < 70) {
+            std::uint64_t index = rng.below(span);
+            std::array<std::uint8_t, 16> leaf;
+            makeLeaf(leaf.data(), rng.next(), rng.next());
+            tree.update(index, leaf.data());
+            ref.update(index, leaf.data());
+            contents[index] = leaf;
+        } else if (dice < 85) {
+            EXPECT_TRUE(tree.root() == ref.root()) << "step " << step;
+        } else if (dice < 95) {
+            if (!contents.empty()) {
+                auto it = contents.begin();
+                std::advance(it, rng.below(contents.size()));
+                EXPECT_TRUE(tree.verifyLeaf(it->first,
+                                            it->second.data()))
+                    << "step " << step;
+            }
+            std::uint8_t zero[16] = {};
+            EXPECT_TRUE(tree.verifyLeaf(span + rng.below(span), zero))
+                << "untouched leaf, step " << step;
+        } else {
+            EXPECT_TRUE(tree.recomputeRoot() == tree.root())
+                << "step " << step;
+        }
+    }
+
+    EXPECT_TRUE(tree.root() == ref.root());
+    EXPECT_TRUE(tree.recomputeRoot() == tree.root());
+    for (const auto &[index, leaf] : contents)
+        EXPECT_TRUE(tree.verifyLeaf(index, leaf.data()));
 }
 
 TEST(MerkleTree, SiblingSubtreesIsolated)

@@ -55,6 +55,57 @@ TEST(Aes128, NistSp800_38aEcbVector)
     EXPECT_EQ(aes.encryptBlock(plain), expect);
 }
 
+TEST(Aes128, Fips197AppendixCDecrypt)
+{
+    // FIPS-197 Appendix C.1 in the inverse direction: the example
+    // ciphertext must decrypt back to the example plaintext.
+    Aes128::Key key = keyFromBytes({0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                    0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                    0x0c, 0x0d, 0x0e, 0x0f});
+    Aes128::Block cipher = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04,
+                            0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                            0xc5, 0x5a};
+    Aes128::Block expect = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+                            0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                            0xee, 0xff};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.decryptBlock(cipher), expect);
+}
+
+TEST(Aes128, NistSp800_38aEcbAllBlocks)
+{
+    // SP 800-38A F.1.1/F.1.2 ECB-AES128: all four blocks, both
+    // directions.
+    Aes128::Key key = keyFromBytes({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                    0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                    0x09, 0xcf, 0x4f, 0x3c});
+    const Aes128::Block plains[4] = {
+        {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d,
+         0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a},
+        {0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7,
+         0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51},
+        {0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb,
+         0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef},
+        {0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b,
+         0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10},
+    };
+    const Aes128::Block ciphers[4] = {
+        {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8, 0x9e,
+         0xca, 0xf3, 0x24, 0x66, 0xef, 0x97},
+        {0xf5, 0xd3, 0xd5, 0x85, 0x03, 0xb9, 0x69, 0x9d, 0xe7, 0x85,
+         0x89, 0x5a, 0x96, 0xfd, 0xba, 0xaf},
+        {0x43, 0xb1, 0xcd, 0x7f, 0x59, 0x8e, 0xce, 0x23, 0x88, 0x1b,
+         0x00, 0xe3, 0xed, 0x03, 0x06, 0x88},
+        {0x7b, 0x0c, 0x78, 0x5e, 0x27, 0xe8, 0xad, 0x3f, 0x82, 0x23,
+         0x20, 0x71, 0x04, 0x72, 0x5d, 0xd4},
+    };
+    Aes128 aes(key);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(aes.encryptBlock(plains[i]), ciphers[i]) << "blk " << i;
+        EXPECT_EQ(aes.decryptBlock(ciphers[i]), plains[i]) << "blk " << i;
+    }
+}
+
 TEST(Aes128, DecryptInvertsEncrypt)
 {
     Aes128 aes(keyFromBytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,

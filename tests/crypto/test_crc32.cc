@@ -34,6 +34,23 @@ TEST(Crc32, IncrementalMatchesOneShot)
     EXPECT_EQ(part, whole);
 }
 
+TEST(Crc32, StandardCheckValueStreaming)
+{
+    // The 0xCBF43926 check value must also come out of crc32Update
+    // regardless of how "123456789" is split.
+    const char *msg = "123456789";
+    for (std::size_t split = 1; split < 9; ++split) {
+        std::uint32_t crc = crc32(msg, split);
+        crc = crc32Update(crc, msg + split, 9 - split);
+        EXPECT_EQ(crc, 0xCBF43926u) << "split " << split;
+    }
+    // Byte-at-a-time.
+    std::uint32_t crc = 0;
+    for (std::size_t i = 0; i < 9; ++i)
+        crc = crc32Update(crc, msg + i, 1);
+    EXPECT_EQ(crc, 0xCBF43926u);
+}
+
 TEST(Crc32, SensitiveToSingleBit)
 {
     std::string a(64, '\0');

@@ -3,6 +3,7 @@
  * MD5 verified against the RFC 1321 test suite.
  */
 
+#include <algorithm>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -56,6 +57,39 @@ TEST(Md5, PaddingBoundaries)
         b[0] = 'r';
         EXPECT_EQ(md5Hex(a), md5Hex(a));
         EXPECT_NE(md5Hex(a), md5Hex(b)) << "len " << len;
+    }
+}
+
+TEST(Md5, Rfc1321MultiBlockSplitStreaming)
+{
+    // The two RFC 1321 suite entries that span multiple 64-byte
+    // compression blocks, streamed through update() in odd-sized
+    // chunks that straddle every block boundary.
+    struct Vector
+    {
+        const char *msg;
+        const char *digest;
+    };
+    const Vector vectors[] = {
+        {"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+         "0123456789",
+         "d174ab98d277d9f5a5611c2c9f419d9f"},
+        {"1234567890123456789012345678901234567890"
+         "1234567890123456789012345678901234567890",
+         "57edf4a22be3c955ac49da2e2107b67a"},
+    };
+    const std::size_t chunks[] = {3, 1, 7, 5, 13, 11, 2, 17, 19, 23};
+    for (const Vector &v : vectors) {
+        std::string msg = v.msg;
+        Md5 hasher;
+        std::size_t pos = 0, c = 0;
+        while (pos < msg.size()) {
+            std::size_t take =
+                std::min(chunks[c++ % 10], msg.size() - pos);
+            hasher.update(msg.data() + pos, take);
+            pos += take;
+        }
+        EXPECT_EQ(hasher.finish().toHex(), v.digest);
     }
 }
 

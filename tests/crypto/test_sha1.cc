@@ -3,6 +3,7 @@
  * SHA-1 verified against FIPS-180 test vectors.
  */
 
+#include <algorithm>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -65,6 +66,40 @@ TEST(Sha1, LengthBoundaryCases)
         b[len - 1] = 'y';
         EXPECT_EQ(sha1Hex(a), sha1Hex(a));
         EXPECT_NE(sha1Hex(a), sha1Hex(b)) << "len " << len;
+    }
+}
+
+TEST(Sha1, Rfc3174MultiBlockSplitStreaming)
+{
+    // RFC 3174 TEST2 (two-block) and TEST4 ("01234567" x 80, ten
+    // compression blocks), fed through update() in deliberately odd
+    // chunk sizes so the splits never line up with the 64-byte block
+    // boundary. Streaming must match the one-shot digest exactly.
+    struct Vector
+    {
+        std::string msg;
+        const char *digest;
+    };
+    std::string test4;
+    for (int i = 0; i < 80; ++i)
+        test4 += "01234567";
+    const Vector vectors[] = {
+        {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+         "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+        {test4, "dea356a2cddd90c7a7ecedc5ebb563934f460452"},
+    };
+    const std::size_t chunks[] = {1, 2, 3, 5, 7, 11, 13, 17, 19, 23};
+    for (const Vector &v : vectors) {
+        Sha1 hasher;
+        std::size_t pos = 0, c = 0;
+        while (pos < v.msg.size()) {
+            std::size_t take =
+                std::min(chunks[c++ % 10], v.msg.size() - pos);
+            hasher.update(v.msg.data() + pos, take);
+            pos += take;
+        }
+        EXPECT_EQ(hasher.finish().toHex(), v.digest);
+        EXPECT_EQ(sha1Hex(v.msg), v.digest);
     }
 }
 

@@ -3,6 +3,9 @@
  * Unit tests for the sparse functional memory and region allocator.
  */
 
+#include <cstring>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "mem/sparse_memory.hh"
@@ -83,6 +86,65 @@ TEST(SparseMemory, PartialOverwrite)
     std::uint8_t byte = 0xAB;
     mem.write(0x104, &byte, 1);
     EXPECT_EQ(mem.readWord(0x100), 0x111111AB11111111ull);
+}
+
+TEST(SparseMemory, LinePtrNullForUnbackedConst)
+{
+    const SparseMemory mem;
+    EXPECT_EQ(mem.linePtr(0x8000), nullptr);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(SparseMemory, LinePtrSeesAndEditsStorage)
+{
+    SparseMemory mem;
+    CacheLine line = CacheLine::fromSeed(5);
+    mem.writeLine(0x2000, line);
+
+    const SparseMemory &cmem = mem;
+    const std::uint8_t *ro = cmem.linePtr(0x2000);
+    ASSERT_NE(ro, nullptr);
+    EXPECT_EQ(0, std::memcmp(ro, line.data(), lineBytes));
+
+    std::uint8_t *rw = mem.linePtr(0x2000);
+    rw[0] ^= 0xFF;
+    EXPECT_EQ(mem.readLine(0x2000).data()[0], line.data()[0] ^ 0xFF);
+}
+
+TEST(SparseMemory, LinePtrMutableMaterializesZeroPage)
+{
+    SparseMemory mem;
+    std::uint8_t *p = mem.linePtr(0x40);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(mem.pageCount(), 1u);
+    for (unsigned i = 0; i < lineBytes; ++i)
+        EXPECT_EQ(p[i], 0);
+}
+
+TEST(SparseMemory, PageCacheSurvivesInterleavedPages)
+{
+    // Alternate between lines on two pages (worst case for the
+    // one-entry page cache) and across clear(); contents must be
+    // exact throughout.
+    SparseMemory mem;
+    Addr a = 0, b = 16 * SparseMemory::pageBytes;
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned i = 0; i < 32; ++i) {
+            mem.writeLine(a + i * lineBytes,
+                          CacheLine::fromSeed(round * 100 + i));
+            mem.writeLine(b + i * lineBytes,
+                          CacheLine::fromSeed(round * 100 + i + 50));
+        }
+        for (unsigned i = 0; i < 32; ++i) {
+            EXPECT_TRUE(mem.readLine(a + i * lineBytes) ==
+                        CacheLine::fromSeed(round * 100 + i));
+            EXPECT_TRUE(mem.readLine(b + i * lineBytes) ==
+                        CacheLine::fromSeed(round * 100 + i + 50));
+        }
+        mem.clear();
+        EXPECT_EQ(std::as_const(mem).linePtr(a), nullptr);
+        EXPECT_TRUE(mem.readLine(a) == CacheLine());
+    }
 }
 
 TEST(RegionAllocator, AlignsAndAdvances)
