@@ -42,8 +42,9 @@ mixConfig(const Mix &mix, WritePathMode mode, Instrumentation instr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    janus::bench::parseBenchFlags(argc, argv);
     setQuiet(true);
     const Mix mixes[] = {
         {"none", false, false, false, false, false},

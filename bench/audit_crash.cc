@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Crash-audit driver (src/fault/): sweeps persist-boundary crash
+ * points per workload, replays recovery at each one, runs the
+ * bit-flip injection campaign against the integrity machinery, and
+ * writes a machine-readable AUDIT_crash.json. Exits nonzero if any
+ * crash point fails to recover, any injected fault goes undetected
+ * (or misattributed), or the backend audit finds drift.
+ *
+ * Default run (no flags) reproduces the acceptance matrix:
+ *   1. exhaustive sweep of array_swap and queue;
+ *   2. sampled sweep (200 points) of all seven workloads.
+ * With --workloads= given, only those are audited (at --sample=).
+ *
+ * Flags:
+ *   --workloads=a,b   comma-separated Table 4 names
+ *   --mode=janus|serialized|both          (default janus)
+ *   --txns=N          transactions per core (default 30)
+ *   --sample=N        crash points per workload, 0 = exhaustive
+ *                     (default 200 when --workloads= is given)
+ *   --seed=N          workload seed        (default JANUS_SEED or 1)
+ *   --inject=N        bit-flip trials per category (default 32)
+ *   --out=FILE        report path          (default AUDIT_crash.json)
+ *   --replay=T:S      re-simulate one crash at tick T with seed S
+ *                     twice and check the durable images are
+ *                     bit-identical (requires one --workloads= name)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fault/crash_audit.hh"
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace janus;
+
+struct DriverFlags
+{
+    std::vector<std::string> workloads;
+    std::vector<WritePathMode> modes = {WritePathMode::Janus};
+    unsigned txns = 30;
+    std::size_t sample = 200;
+    std::uint64_t seed = 1;
+    unsigned inject = 32;
+    std::string out = "AUDIT_crash.json";
+    bool replay = false;
+    Tick replayTick = 0;
+    std::uint64_t replaySeed = 1;
+};
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseU64(const char *arg, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        panic("malformed %s", arg);
+    return static_cast<std::uint64_t>(v);
+}
+
+DriverFlags
+parseFlags(int argc, char **argv)
+{
+    DriverFlags flags;
+    flags.seed = seedOverride().value_or(1);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto has = [&](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            return std::strncmp(arg, prefix, n) == 0 ? arg + n
+                                                     : nullptr;
+        };
+        if (const char *v = has("--workloads=")) {
+            flags.workloads = splitList(v);
+        } else if (const char *v = has("--mode=")) {
+            if (std::strcmp(v, "janus") == 0)
+                flags.modes = {WritePathMode::Janus};
+            else if (std::strcmp(v, "serialized") == 0)
+                flags.modes = {WritePathMode::Serialized};
+            else if (std::strcmp(v, "both") == 0)
+                flags.modes = {WritePathMode::Serialized,
+                               WritePathMode::Janus};
+            else
+                panic("unknown --mode=%s", v);
+        } else if (const char *v = has("--txns=")) {
+            flags.txns = static_cast<unsigned>(parseU64(arg, v));
+        } else if (const char *v = has("--sample=")) {
+            flags.sample =
+                static_cast<std::size_t>(parseU64(arg, v));
+        } else if (const char *v = has("--seed=")) {
+            flags.seed = parseU64(arg, v);
+        } else if (const char *v = has("--inject=")) {
+            flags.inject = static_cast<unsigned>(parseU64(arg, v));
+        } else if (const char *v = has("--out=")) {
+            flags.out = v;
+        } else if (const char *v = has("--replay=")) {
+            const char *colon = std::strchr(v, ':');
+            if (colon == nullptr)
+                panic("--replay wants <tick>:<seed>");
+            flags.replay = true;
+            flags.replayTick =
+                parseU64(arg, std::string(v, colon).c_str());
+            flags.replaySeed = parseU64(arg, colon + 1);
+        } else {
+            panic("unknown argument '%s' (see bench/audit_crash.cc)",
+                  arg);
+        }
+    }
+    return flags;
+}
+
+AuditConfig
+makeConfig(const DriverFlags &flags, const std::string &workload,
+           WritePathMode mode, std::size_t sample)
+{
+    AuditConfig config;
+    config.workload = workload;
+    config.mode = mode;
+    config.manual = mode == WritePathMode::Janus;
+    config.txnsPerCore = flags.txns;
+    config.seed = flags.seed;
+    config.samplePoints = sample;
+    config.sampleSeed = flags.seed;
+    config.injectionTrials = flags.inject;
+    return config;
+}
+
+int
+runReplay(const DriverFlags &flags)
+{
+    if (flags.workloads.size() != 1)
+        panic("--replay needs exactly one --workloads= name");
+    AuditConfig config = makeConfig(flags, flags.workloads[0],
+                                    flags.modes.back(), 0);
+    config.seed = flags.replaySeed;
+    ReplayResult first = replayCrashPoint(config, flags.replayTick);
+    ReplayResult second = replayCrashPoint(config, flags.replayTick);
+    const bool identical =
+        first.imageHash == second.imageHash &&
+        first.recoveredHash == second.recoveredHash;
+    std::printf("replay %s tick=%llu seed=%llu: prefix=%zu "
+                "image=0x%016llx recovered=0x%016llx rollbacks=%u "
+                "%s%s\n",
+                flags.workloads[0].c_str(),
+                static_cast<unsigned long long>(flags.replayTick),
+                static_cast<unsigned long long>(flags.replaySeed),
+                first.journalPrefix,
+                static_cast<unsigned long long>(first.imageHash),
+                static_cast<unsigned long long>(
+                    first.recoveredHash),
+                first.rollbacks,
+                first.recovered ? "recovered"
+                                : first.error.c_str(),
+                identical ? " [bit-identical]"
+                          : " [REPLAY DIVERGED]");
+    return first.recovered && identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    DriverFlags flags = parseFlags(argc, argv);
+    if (flags.replay)
+        return runReplay(flags);
+
+    // (workload, mode, sample) audit matrix.
+    struct Job
+    {
+        std::string workload;
+        WritePathMode mode;
+        std::size_t sample;
+    };
+    std::vector<Job> jobs;
+    if (!flags.workloads.empty()) {
+        for (const std::string &w : flags.workloads)
+            for (WritePathMode mode : flags.modes)
+                jobs.push_back(Job{w, mode, flags.sample});
+    } else {
+        // Acceptance matrix: exhaustive on the two small-footprint
+        // workloads, sampled everywhere.
+        for (WritePathMode mode : flags.modes) {
+            jobs.push_back(Job{"array_swap", mode, 0});
+            jobs.push_back(Job{"queue", mode, 0});
+            for (const std::string &w : allWorkloadNames())
+                jobs.push_back(Job{w, mode, flags.sample});
+        }
+    }
+
+    bool all_passed = true;
+    std::string reports;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        AuditReport report = runCrashAudit(
+            makeConfig(flags, job.workload, job.mode, job.sample));
+        std::printf("audit %-12s %-10s %s: %zu/%zu points, "
+                    "%llu rollbacks, %zu failures%s%s\n",
+                    job.workload.c_str(),
+                    job.mode == WritePathMode::Janus ? "janus"
+                                                     : "serialized",
+                    job.sample == 0 ? "full   " : "sampled",
+                    report.sweptPoints, report.totalPoints,
+                    static_cast<unsigned long long>(
+                        report.rollbacks),
+                    report.failures.size(),
+                    report.backendVerified
+                        ? ""
+                        : ", BACKEND AUDIT FAILED",
+                    report.hasFailure()
+                        ? (" (repro: " + report.repro() + ")")
+                              .c_str()
+                        : "");
+        all_passed = all_passed && report.passed();
+        if (i)
+            reports += ",\n";
+        reports += report.toJson();
+    }
+
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    std::ofstream out(flags.out);
+    if (!out) {
+        warn("cannot write %s", flags.out.c_str());
+    } else {
+        out << "{\n  \"driver\": \"audit_crash\",\n";
+        out << "  \"wall_seconds\": " << wall << ",\n";
+        out << "  \"passed\": " << (all_passed ? "true" : "false")
+            << ",\n  \"audits\": [\n"
+            << reports << "  ]\n}\n";
+    }
+    std::printf("[audit_crash: %zu audits, %.2fs wall -> %s] %s\n",
+                jobs.size(), wall, flags.out.c_str(),
+                all_passed ? "PASS" : "FAIL");
+    return all_passed ? 0 : 1;
+}

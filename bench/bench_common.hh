@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -102,6 +103,31 @@ instrName(Instrumentation instr)
         return "auto";
     }
     return "?";
+}
+
+/**
+ * Parse the command-line flags every bench binary accepts:
+ *   --seed=N   override every experiment's workload seed (wins over
+ *              the JANUS_SEED environment variable)
+ * The effective seed of each experiment lands in BENCH_<name>.json,
+ * so any bench run is replayable from its report alone.
+ */
+inline void
+parseBenchFlags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--seed=", 7) == 0) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(arg + 7, &end, 10);
+            if (end == arg + 7 || *end != '\0')
+                panic("malformed %s", arg);
+            setSeedOverride(static_cast<std::uint64_t>(v));
+        } else {
+            panic("unknown argument '%s' (supported: --seed=N)",
+                  arg);
+        }
+    }
 }
 
 /**
@@ -196,15 +222,20 @@ class BenchRunner
             warn("cannot write %s", path.c_str());
             return;
         }
+        std::string seed_override = "null";
+        if (std::optional<std::uint64_t> seed = seedOverride())
+            seed_override = std::to_string(*seed);
         std::fprintf(f,
                      "{\n"
                      "  \"bench\": \"%s\",\n"
                      "  \"threads\": %u,\n"
+                     "  \"seed_override\": %s,\n"
                      "  \"wall_seconds\": %.6f,\n"
                      "  \"total_sim_events\": %llu,\n"
                      "  \"events_per_second\": %.1f,\n"
                      "  \"experiments\": [\n",
-                     name_.c_str(), threads_, wall,
+                     name_.c_str(), threads_, seed_override.c_str(),
+                     wall,
                      static_cast<unsigned long long>(events),
                      wall > 0 ? static_cast<double>(events) / wall
                               : 0.0);
@@ -228,7 +259,8 @@ class BenchRunner
                 modeName(s.mode), instrName(s.instr), s.cores,
                 s.txnsPerCore,
                 static_cast<unsigned long long>(s.valueBytes),
-                static_cast<unsigned long long>(s.seed),
+                static_cast<unsigned long long>(
+                    seedOverride().value_or(s.seed)),
                 static_cast<unsigned long long>(r.makespan),
                 static_cast<unsigned long long>(r.eventsExecuted),
                 r.wallSeconds, r.avgWriteLatencyNs, r.stageBmoNs,

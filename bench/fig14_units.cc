@@ -13,8 +13,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    janus::bench::parseBenchFlags(argc, argv);
     using namespace janus;
     using namespace janus::bench;
     setQuiet(true);

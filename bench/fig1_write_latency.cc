@@ -23,8 +23,9 @@
 #include "sim/trace.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    janus::bench::parseBenchFlags(argc, argv);
     using namespace janus;
 
     const auto wall_start = std::chrono::steady_clock::now();

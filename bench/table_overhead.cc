@@ -14,8 +14,9 @@
 #include "cpu/timing_core.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    janus::bench::parseBenchFlags(argc, argv);
     using namespace janus;
 
     const auto wall_start = std::chrono::steady_clock::now();

@@ -19,6 +19,19 @@ MetaEntry::serialize(std::uint8_t out[16]) const
                                         (dup ? 2 : 0));
 }
 
+MetaEntry
+MetaEntry::deserialize(const std::uint8_t in[16])
+{
+    MetaEntry entry;
+    std::memcpy(&entry.phys, in, 8);
+    std::uint64_t ctr56 = 0;
+    std::memcpy(&ctr56, in + 8, 7);
+    entry.counter = ctr56;
+    entry.valid = (in[15] & 1) != 0;
+    entry.dup = (in[15] & 2) != 0;
+    return entry;
+}
+
 Aes128::Key
 BmoBackendState::defaultKey()
 {
@@ -74,11 +87,23 @@ BmoBackendState::allocPhys()
 }
 
 void
-BmoBackendState::releasePhys(std::uint64_t phys)
+BmoBackendState::releasePhys(std::uint64_t phys, Addr line_addr)
 {
     auto it = physLines_.find(phys);
-    janus_assert(it != physLines_.end(), "release of unknown phys line");
-    janus_assert(it->second.refCount > 0, "refcount underflow");
+    // A double-free-style remap reaches one of these two guards: the
+    // first release of the last reference erases the physical line,
+    // so a second release finds it unknown; a release racing a live
+    // sharer would otherwise wrap the unsigned refcount.
+    janus_assert(it != physLines_.end(),
+                 "double free: release of unknown phys line %llu "
+                 "(dedup remap of line %#llx)",
+                 static_cast<unsigned long long>(phys),
+                 static_cast<unsigned long long>(line_addr));
+    janus_assert(it->second.refCount > 0,
+                 "dedup refcount underflow on phys line %llu "
+                 "(remap of line %#llx)",
+                 static_cast<unsigned long long>(phys),
+                 static_cast<unsigned long long>(line_addr));
     if (--it->second.refCount == 0) {
         auto fp_it = dedupTable_.find(it->second.fingerprint);
         if (fp_it != dedupTable_.end() && fp_it->second == phys)
@@ -146,7 +171,7 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
                     return outcome; // same value rewrite: no change
                 physLines_.at(phys).refCount++;
                 if (old.valid)
-                    releasePhys(old.phys);
+                    releasePhys(old.phys, line_addr);
                 MetaEntry entry;
                 entry.valid = true;
                 entry.dup = true;
@@ -174,7 +199,7 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
         counter = pl.counter + 1;
     } else {
         if (old.valid)
-            releasePhys(old.phys);
+            releasePhys(old.phys, line_addr);
         phys = allocPhys();
         physLines_[phys] = PhysLine{};
         physLines_[phys].refCount = 1;
@@ -284,6 +309,84 @@ BmoBackendState::corruptStoredLine(Addr line_addr)
     CacheLine cipher = storage_.readLine(phys_addr);
     cipher.data()[0] ^= 0xFF;
     storage_.writeLine(phys_addr, cipher);
+}
+
+void
+BmoBackendState::injectStoredDataBitFlip(Addr line_addr, unsigned bit)
+{
+    auto it = meta_.find(line_addr);
+    janus_assert(it != meta_.end() && it->second.valid,
+                 "cannot inject into an unwritten line");
+    janus_assert(bit < 8 * lineBytes, "data bit %u out of range", bit);
+    Addr phys_addr = it->second.phys << lineShift;
+    CacheLine cipher = storage_.readLine(phys_addr);
+    cipher.data()[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    storage_.writeLine(phys_addr, cipher);
+}
+
+void
+BmoBackendState::injectMetaBitFlip(Addr line_addr, unsigned bit)
+{
+    auto it = meta_.find(line_addr);
+    janus_assert(it != meta_.end() && it->second.valid,
+                 "cannot inject into an unwritten line's metadata");
+    janus_assert(bit < 8 * 16, "meta bit %u out of range", bit);
+    std::uint8_t leaf[16];
+    it->second.serialize(leaf);
+    leaf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    // Store the corrupted entry without touching the tree: the next
+    // readLine re-serializes it and the leaf digest no longer
+    // matches, which is exactly the NVM-metadata-corruption model.
+    it->second = MetaEntry::deserialize(leaf);
+}
+
+void
+BmoBackendState::injectTreeBitFlip(Addr line_addr, unsigned level,
+                                   unsigned bit)
+{
+    janus_assert(config_.integrity,
+                 "tree injection requires integrity enabled");
+    std::uint64_t index = leafIndex(line_addr) >>
+                          (MerkleTree::fanoutShift * level);
+    tree_.corruptNode(level, index, bit);
+}
+
+void
+BmoBackendState::injectDoubleFree(Addr line_addr)
+{
+    auto it = meta_.find(line_addr);
+    janus_assert(it != meta_.end() && it->second.valid,
+                 "cannot double-free an unwritten line");
+    releasePhys(it->second.phys, line_addr);
+}
+
+IntegrityVerdict
+BmoBackendState::verifyLineIntegrity(Addr line_addr) const
+{
+    IntegrityVerdict verdict;
+    auto it = meta_.find(line_addr);
+    if (it == meta_.end() || !it->second.valid)
+        return verdict; // unwritten lines vacuously verify
+    const MetaEntry &entry = it->second;
+    if (config_.integrity) {
+        auto pl = physLines_.find(entry.phys);
+        if (pl == physLines_.end()) {
+            // A corrupted remap target points at storage we have no
+            // bookkeeping for; counted as a MAC failure (no counter
+            // to authenticate against).
+            verdict.macOk = false;
+        } else {
+            CacheLine cipher = storage_.readLine(entry.phys
+                                                 << lineShift);
+            verdict.macOk =
+                computeMac(cipher, pl->second.counter) ==
+                pl->second.mac;
+        }
+        std::uint8_t leaf[16];
+        entry.serialize(leaf);
+        verdict.tree = tree_.verifyLeafPath(leafIndex(line_addr), leaf);
+    }
+    return verdict;
 }
 
 } // namespace janus

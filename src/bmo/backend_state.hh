@@ -78,6 +78,9 @@ struct MetaEntry
 
     /** Serialize to the 16-byte Merkle leaf format. */
     void serialize(std::uint8_t out[16]) const;
+
+    /** Inverse of serialize (used by metadata fault injection). */
+    static MetaEntry deserialize(const std::uint8_t in[16]);
 };
 
 /** Outcome of a functional write (feeds stats and tests). */
@@ -95,6 +98,20 @@ struct ReadOutcome
     CacheLine data;
     bool macOk = false;
     bool treeOk = false;
+};
+
+/**
+ * Attributed integrity verdict for one logical line: whether the
+ * stored ciphertext authenticates against its MAC, and whether the
+ * metadata leaf's path through the Merkle tree is consistent — with
+ * the failing tree level named (see MerklePathVerdict).
+ */
+struct IntegrityVerdict
+{
+    bool macOk = true;
+    MerklePathVerdict tree;
+
+    bool ok() const { return macOk && tree.ok; }
 };
 
 /**
@@ -150,11 +167,67 @@ class BmoBackendState
     /** Metadata entry of a line (invalid entry if never written). */
     MetaEntry metaEntry(Addr line_addr) const;
 
+    /** All live metadata entries (fault audit: refcount rebuild). */
+    const std::unordered_map<Addr, MetaEntry> &metaEntries() const
+    {
+        return meta_;
+    }
+
+    /** Stored reference count of a physical line (0 if unknown). */
+    std::uint32_t physRefCount(std::uint64_t phys) const
+    {
+        auto it = physLines_.find(phys);
+        return it == physLines_.end() ? 0 : it->second.refCount;
+    }
+
+    /** Merkle leaf index covering a line's metadata entry. */
+    std::uint64_t merkleLeafOf(Addr line_addr) const
+    {
+        return leafIndex(line_addr);
+    }
+
     /**
      * Tamper with the stored ciphertext of a line (flip one byte),
      * bypassing all maintenance. For integrity tests.
      */
     void corruptStoredLine(Addr line_addr);
+
+    // --- fault injection (src/fault/) ------------------------------
+    // All hooks XOR bits, so injecting the same fault twice restores
+    // the original state: campaigns are self-healing.
+
+    /** Flip one bit of a line's stored ciphertext. */
+    void injectStoredDataBitFlip(Addr line_addr, unsigned bit);
+
+    /**
+     * Flip one bit of a line's serialized 16-byte metadata entry
+     * (counter / remap target / flags) without Merkle maintenance —
+     * models a metadata line corrupted in NVM.
+     */
+    void injectMetaBitFlip(Addr line_addr, unsigned bit);
+
+    /**
+     * Flip one bit of the stored Merkle digest at @p level on the
+     * path from @p line_addr's leaf to the root (level 0 = the leaf
+     * digest itself).
+     */
+    void injectTreeBitFlip(Addr line_addr, unsigned level,
+                           unsigned bit);
+
+    /**
+     * Fault injection: release the line's physical storage as if it
+     * were remapped away, leaving the metadata entry in place — the
+     * first half of a double-free. A second release (or the next
+     * write to any line sharing the storage) must panic on the
+     * refcount guard instead of wrapping.
+     */
+    void injectDoubleFree(Addr line_addr);
+
+    /**
+     * Full attributed integrity check of one line: MAC over the
+     * stored ciphertext plus the Merkle path of its metadata leaf.
+     */
+    IntegrityVerdict verifyLineIntegrity(Addr line_addr) const;
 
     // --- statistics ------------------------------------------------
     std::uint64_t writes() const { return writes_; }
@@ -203,7 +276,9 @@ class BmoBackendState
     }
 
     std::uint64_t allocPhys();
-    void releasePhys(std::uint64_t phys);
+    /** @p line_addr names the logical line whose reference is being
+     *  dropped — reported by the double-free/underflow guards. */
+    void releasePhys(std::uint64_t phys, Addr line_addr);
     /** Decrypt + MAC-check the content of a physical line. */
     ReadOutcome readPhys(std::uint64_t phys) const;
     void installMeta(Addr line_addr, const MetaEntry &entry);

@@ -125,21 +125,51 @@ bool
 MerkleTree::verifyLeaf(std::uint64_t leaf_index,
                        const void *leaf_data) const
 {
+    return verifyLeafPath(leaf_index, leaf_data).ok;
+}
+
+MerklePathVerdict
+MerkleTree::verifyLeafPath(std::uint64_t leaf_index,
+                           const void *leaf_data) const
+{
     if (leaf_index >= capacity())
-        return false;
+        return MerklePathVerdict{false, 0};
     flush();
     Sha1Digest leaf = Sha1::hash(leaf_data, leafBytes_);
     if (!(leaf == node(0, leaf_index)))
-        return false;
-    // Walk the path to the root, re-deriving each parent.
+        return MerklePathVerdict{false, 0};
+    // Walk the path to the root, re-deriving each parent; the first
+    // stored digest that disagrees with its children names the
+    // corrupted level.
     std::uint64_t index = leaf_index;
     for (unsigned level = 1; level <= levels_; ++level) {
         index >>= fanoutShift;
         Sha1Digest derived = hashChildren(level, index);
         if (!(derived == node(level, index)))
-            return false;
+            return MerklePathVerdict{false, level};
     }
-    return node(levels_, 0) == root_;
+    if (!(node(levels_, 0) == root_))
+        return MerklePathVerdict{false, levels_};
+    return MerklePathVerdict{true, 0};
+}
+
+void
+MerkleTree::corruptNode(unsigned level, std::uint64_t index,
+                        unsigned bit)
+{
+    janus_assert(level <= levels_, "corrupt level %u of %u", level,
+                 levels_);
+    janus_assert(bit < 8 * sizeof(Sha1Digest::bytes),
+                 "digest bit %u out of range", bit);
+    flush();
+    auto &map = nodes_[level];
+    auto it = map.find(index);
+    janus_assert(it != map.end(),
+                 "cannot corrupt unmaterialized tree node "
+                 "(level %u, index %llu)",
+                 level, static_cast<unsigned long long>(index));
+    it->second.bytes[bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
 }
 
 std::size_t

@@ -32,6 +32,21 @@
 namespace janus
 {
 
+/**
+ * Outcome of a path-attributed leaf verification. When verification
+ * fails, @ref failLevel names the lowest inconsistent tree level:
+ * 0 = the leaf content disagrees with its stored digest, 1..levels-1
+ * = an interior node disagrees with the hash of its children,
+ * levels = the stored top node disagrees with the secure root
+ * register. The fault subsystem asserts injected corruption is both
+ * detected and attributed to the level it was injected at.
+ */
+struct MerklePathVerdict
+{
+    bool ok = true;
+    unsigned failLevel = 0;
+};
+
 /** Fixed-height sparse Merkle tree with fanout 8. */
 class MerkleTree
 {
@@ -71,6 +86,24 @@ class MerkleTree
      * content and its path to the root is consistent.
      */
     bool verifyLeaf(std::uint64_t leaf_index, const void *leaf_data) const;
+
+    /**
+     * verifyLeaf with failure attribution: which level of the path
+     * first disagrees (see MerklePathVerdict).
+     */
+    MerklePathVerdict verifyLeafPath(std::uint64_t leaf_index,
+                                     const void *leaf_data) const;
+
+    /**
+     * Fault injection: XOR one bit of the stored digest of a
+     * materialized node at (level, index). Level 0 corrupts a leaf
+     * digest; interior levels corrupt the tree's internal nodes.
+     * Flipping the same bit twice restores the original digest, so
+     * injection campaigns are self-healing. Panics if the node is
+     * not materialized (untouched subtrees share default digests).
+     */
+    void corruptNode(unsigned level, std::uint64_t index,
+                     unsigned bit);
 
     unsigned levels() const { return levels_; }
     std::size_t materializedNodes() const;

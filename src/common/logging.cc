@@ -13,7 +13,20 @@ namespace
 // Atomic so parallel experiment workers can warn()/inform() while
 // another thread toggles quiet mode (the bench runner does both).
 std::atomic<bool> quietFlag{false};
+
+// Nesting depth of ScopedPanicCapture on this thread.
+thread_local unsigned panicCaptureDepth = 0;
 } // namespace
+
+ScopedPanicCapture::ScopedPanicCapture()
+{
+    ++panicCaptureDepth;
+}
+
+ScopedPanicCapture::~ScopedPanicCapture()
+{
+    --panicCaptureDepth;
+}
 
 std::string
 vstrprintf(const char *fmt, std::va_list args)
@@ -46,6 +59,8 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vstrprintf(fmt, args);
     va_end(args);
+    if (panicCaptureDepth > 0)
+        throw PanicError(s);
     std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
 }

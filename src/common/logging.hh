@@ -9,10 +9,38 @@
 #define JANUS_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace janus
 {
+
+/**
+ * The exception panic() throws while a ScopedPanicCapture is active
+ * on the calling thread. Carries the formatted panic message.
+ */
+class PanicError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive, panic() on this thread throws PanicError instead of
+ * aborting. The fault-audit subsystem uses this to record a
+ * validator failure (one crash point) and keep sweeping the rest.
+ * Captures nest; the effect is thread-local, so parallel experiment
+ * workers abort normally.
+ */
+class ScopedPanicCapture
+{
+  public:
+    ScopedPanicCapture();
+    ~ScopedPanicCapture();
+
+    ScopedPanicCapture(const ScopedPanicCapture &) = delete;
+    ScopedPanicCapture &operator=(const ScopedPanicCapture &) = delete;
+};
 
 /** Printf-style formatting into a std::string. */
 std::string vstrprintf(const char *fmt, std::va_list args);

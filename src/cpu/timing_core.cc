@@ -427,6 +427,9 @@ TimingCore::execute(const Instr &instr)
               Tick latest = *std::max_element(outstanding_.begin(),
                                               outstanding_.end());
               outstanding_.clear();
+              // The fence retires once every outstanding persist is
+              // durable: a crash boundary for the fault subsystem.
+              mc_.noteFenceRetire(std::max(time_, latest));
               if (!config_.nonBlockingWriteback && latest > time_) {
                   JANUS_TRACE_SPAN(tracer_, track_, fenceLabel_,
                                    time_, latest);

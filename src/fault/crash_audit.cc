@@ -1,0 +1,373 @@
+#include "fault/crash_audit.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+const char *
+modeName(WritePathMode mode)
+{
+    switch (mode) {
+      case WritePathMode::NoBmo:
+        return "nobmo";
+      case WritePathMode::Serialized:
+        return "serialized";
+      case WritePathMode::Parallel:
+        return "parallel";
+      case WritePathMode::Janus:
+        return "janus";
+    }
+    return "?";
+}
+
+/** Everything a deterministic re-run of one AuditConfig produces. */
+struct AuditRun
+{
+    Module module;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NvmSystem> system;
+    /** Durable image right after setupCore (pre-run). */
+    SparseMemory initial;
+};
+
+void
+executeRun(const AuditConfig &config, AuditRun &run)
+{
+    WorkloadParams params;
+    params.txnsPerCore = config.txnsPerCore;
+    params.seed = config.seed;
+    run.workload = makeWorkload(config.workload, params);
+
+    buildTxnLibrary(run.module);
+    run.workload->buildKernels(run.module, config.manual);
+    verify(run.module);
+
+    SystemConfig sys;
+    sys.mode = config.mode;
+    sys.cores = 1;
+    run.system = std::make_unique<NvmSystem>(sys, run.module);
+    run.system->mc().enableJournal();
+    run.workload->setupCore(0, *run.system);
+    run.initial.copyFrom(run.system->mem());
+
+    std::vector<TxnSource> sources;
+    sources.push_back(run.workload->source(0, *run.system));
+    run.system->run(std::move(sources));
+}
+
+/**
+ * Post-sweep audit of the functional backend: the Merkle root must
+ * match a from-scratch recomputation, the dedup reference counts
+ * must match a rebuild from the live metadata entries, and every
+ * written line must pass the attributed MAC + path check.
+ */
+bool
+verifyBackend(BmoBackendState &backend)
+{
+    if (!backend.auditIntegrity())
+        return false;
+    std::unordered_map<std::uint64_t, std::uint32_t> rebuilt;
+    for (const auto &entry : backend.metaEntries())
+        if (entry.second.valid)
+            ++rebuilt[entry.second.phys];
+    // Every live physical line must be referenced (no leaks) and
+    // every stored refcount must match the rebuild (no drift).
+    if (rebuilt.size() != backend.physLinesLive())
+        return false;
+    for (const auto &pair : rebuilt)
+        if (backend.physRefCount(pair.first) != pair.second)
+            return false;
+    if (backend.config().integrity)
+        for (const auto &entry : backend.metaEntries())
+            if (entry.second.valid &&
+                !backend.verifyLineIntegrity(entry.first).ok())
+                return false;
+    return true;
+}
+
+std::vector<Addr>
+journalLines(const std::vector<JournalEntry> &journal)
+{
+    std::vector<Addr> lines;
+    lines.reserve(journal.size());
+    for (const JournalEntry &e : journal)
+        lines.push_back(e.lineAddr);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()),
+                lines.end());
+    return lines;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+void
+appendCounts(std::string &out, const char *name,
+             const InjectionCounts &counts)
+{
+    appendf(out,
+            "\"%s\": {\"injected\": %llu, \"detected\": %llu, "
+            "\"misattributed\": %llu}",
+            name,
+            static_cast<unsigned long long>(counts.injected),
+            static_cast<unsigned long long>(counts.detected),
+            static_cast<unsigned long long>(counts.misattributed));
+}
+
+} // namespace
+
+std::string
+AuditReport::repro() const
+{
+    if (failures.empty())
+        return "";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "--replay=%llu:%llu",
+                  static_cast<unsigned long long>(firstFailingTick()),
+                  static_cast<unsigned long long>(config.seed));
+    return buf;
+}
+
+bool
+AuditReport::passed() const
+{
+    if (hasFailure() || !backendVerified)
+        return false;
+    return !injectionRan || injection.passed();
+}
+
+std::string
+AuditReport::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    appendf(out, "  \"audit\": \"%s\",\n", config.workload.c_str());
+    appendf(out, "  \"mode\": \"%s\",\n", modeName(config.mode));
+    appendf(out, "  \"manual\": %s,\n",
+            config.manual ? "true" : "false");
+    appendf(out, "  \"txns_per_core\": %u,\n", config.txnsPerCore);
+    appendf(out, "  \"seed\": %llu,\n",
+            static_cast<unsigned long long>(config.seed));
+    appendf(out, "  \"sample_points\": %zu,\n", config.samplePoints);
+    appendf(out, "  \"sample_seed\": %llu,\n",
+            static_cast<unsigned long long>(config.sampleSeed));
+    appendf(out, "  \"points_enumerated\": %zu,\n", totalPoints);
+    appendf(out, "  \"points_swept\": %zu,\n", sweptPoints);
+    appendf(out,
+            "  \"raw_hooks\": {\"queue_accept\": %zu, "
+            "\"bank_complete\": %zu, \"commit_record\": %zu, "
+            "\"fence_retire\": %zu},\n",
+            rawQueueAccepts, rawBankCompletes, rawCommitRecords,
+            rawFenceRetires);
+    appendf(out, "  \"rollbacks\": %llu,\n",
+            static_cast<unsigned long long>(rollbacks));
+    appendf(out, "  \"final_image_hash\": \"0x%016llx\",\n",
+            static_cast<unsigned long long>(finalImageHash));
+    appendf(out, "  \"backend_verified\": %s,\n",
+            backendVerified ? "true" : "false");
+    out += "  \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const AuditFailure &f = failures[i];
+        appendf(out,
+                "%s\n    {\"tick\": %llu, \"kind\": \"%s\", "
+                "\"journal_prefix\": %zu, \"error\": \"",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(f.tick),
+                toString(f.kind), f.journalPrefix);
+        appendEscaped(out, f.error);
+        out += "\"}";
+    }
+    out += failures.empty() ? "],\n" : "\n  ],\n";
+    appendf(out, "  \"first_failing_tick\": %llu,\n",
+            static_cast<unsigned long long>(firstFailingTick()));
+    appendf(out, "  \"repro\": \"%s\",\n", repro().c_str());
+    if (injectionRan) {
+        out += "  \"injection\": {";
+        appendCounts(out, "data", injection.data);
+        out += ", ";
+        appendCounts(out, "meta", injection.meta);
+        out += ", \"tree\": [";
+        for (std::size_t l = 0; l < injection.tree.size(); ++l) {
+            if (l)
+                out += ", ";
+            appendf(out,
+                    "{\"level\": %zu, \"injected\": %llu, "
+                    "\"detected\": %llu, \"misattributed\": %llu}",
+                    l,
+                    static_cast<unsigned long long>(
+                        injection.tree[l].injected),
+                    static_cast<unsigned long long>(
+                        injection.tree[l].detected),
+                    static_cast<unsigned long long>(
+                        injection.tree[l].misattributed));
+        }
+        out += "], ";
+        appendCounts(out, "uncovered_control",
+                     injection.uncoveredControl);
+        appendf(out, ", \"passed\": %s},\n",
+                injection.passed() ? "true" : "false");
+    } else {
+        out += "  \"injection\": null,\n";
+    }
+    appendf(out, "  \"passed\": %s\n}\n",
+            passed() ? "true" : "false");
+    return out;
+}
+
+AuditReport
+runCrashAudit(const AuditConfig &config)
+{
+    AuditReport report;
+    report.config = config;
+
+    AuditRun run;
+    executeRun(config, run);
+    MemoryController &mc = run.system->mc();
+
+    CrashPlan plan = planCrashPoints(mc);
+    report.totalPoints = plan.points.size();
+    report.rawQueueAccepts = plan.rawQueueAccepts;
+    report.rawBankCompletes = plan.rawBankCompletes;
+    report.rawCommitRecords = plan.rawCommitRecords;
+    report.rawFenceRetires = plan.rawFenceRetires;
+    std::vector<CrashPoint> points = sampleCrashPoints(
+        plan.points, config.samplePoints, config.sampleSeed);
+    report.sweptPoints = points.size();
+
+    // The machine restarted: volatile pre-executed results are gone
+    // and recovery software owns the device.
+    mc.notifyRecovery();
+
+    PersistentImageBuilder builder(run.initial, mc.journal());
+    const Addr log_base = run.workload->logBase(0);
+    SparseMemory crashed;
+    for (const CrashPoint &p : points) {
+        crashed.copyFrom(builder.imageAt(p.journalPrefix));
+        ScopedPanicCapture capture;
+        try {
+            report.rollbacks +=
+                recoverUndoLog(crashed, log_base) > 0;
+            run.workload->validateRecovered(crashed, 0);
+        } catch (const PanicError &e) {
+            report.failures.push_back(AuditFailure{
+                p.tick, p.kind, p.journalPrefix, e.what()});
+        }
+    }
+
+    // The complete durable image, recovered, is the state the next
+    // boot would run on: hash it for replay comparisons.
+    SparseMemory final_image;
+    final_image.copyFrom(builder.imageAt(mc.journal().size()));
+    {
+        ScopedPanicCapture capture;
+        try {
+            recoverUndoLog(final_image, log_base);
+            run.workload->validateRecovered(final_image, 0);
+        } catch (const PanicError &e) {
+            report.failures.push_back(AuditFailure{
+                mc.journal().back().persisted,
+                CrashPointKind::Final, mc.journal().size(),
+                e.what()});
+        }
+    }
+    report.finalImageHash = final_image.contentHash();
+
+    report.backendVerified = verifyBackend(mc.backend());
+
+    if (config.injectionTrials > 0 &&
+        mc.backend().config().integrity) {
+        report.injection = runInjectionCampaign(
+            mc.backend(), journalLines(mc.journal()),
+            config.injectionTrials, config.sampleSeed);
+        report.injectionRan = true;
+        // The campaign is self-healing: prove it left no residue.
+        if (!verifyBackend(mc.backend()))
+            report.backendVerified = false;
+    }
+    return report;
+}
+
+ReplayResult
+replayCrashPoint(const AuditConfig &config, Tick tick)
+{
+    ReplayResult result;
+    AuditRun run;
+    executeRun(config, run);
+    const std::vector<JournalEntry> &journal =
+        run.system->mc().journal();
+    auto it = std::upper_bound(
+        journal.begin(), journal.end(), tick,
+        [](Tick t, const JournalEntry &e) {
+            return t < e.persisted;
+        });
+    result.journalPrefix =
+        static_cast<std::size_t>(it - journal.begin());
+
+    run.system->mc().notifyRecovery();
+    PersistentImageBuilder builder(run.initial, journal);
+    SparseMemory image;
+    image.copyFrom(builder.imageAt(result.journalPrefix));
+    result.imageHash = image.contentHash();
+
+    ScopedPanicCapture capture;
+    try {
+        result.rollbacks =
+            recoverUndoLog(image, run.workload->logBase(0));
+        run.workload->validateRecovered(image, 0);
+        result.recovered = true;
+    } catch (const PanicError &e) {
+        result.recovered = false;
+        result.error = e.what();
+    }
+    result.recoveredHash = image.contentHash();
+    return result;
+}
+
+} // namespace janus

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Crash-audit driver: run a workload with the persist journal
+ * enabled, enumerate (or sample) every persist-boundary crash
+ * point, and for each one rebuild the durable image, run undo-log
+ * recovery and check the workload's any-boundary invariants —
+ * recording failures instead of aborting, so one audit reports every
+ * broken point with a minimized reproduction handle. After the
+ * sweep the functional BMO backend itself is audited (Merkle root
+ * recomputation, dedup-refcount rebuild, per-line MAC/path checks)
+ * and an optional bit-flip campaign exercises the integrity
+ * machinery (see fault/injection.hh).
+ */
+
+#ifndef JANUS_FAULT_CRASH_AUDIT_HH
+#define JANUS_FAULT_CRASH_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/crash_points.hh"
+#include "fault/injection.hh"
+#include "harness/experiment.hh"
+
+namespace janus
+{
+
+/** One audited run. */
+struct AuditConfig
+{
+    std::string workload = "array_swap";
+    WritePathMode mode = WritePathMode::Janus;
+    /** Manually instrumented kernels (Janus mode). */
+    bool manual = true;
+    unsigned txnsPerCore = 30;
+    /** Workload RNG seed (reproduces the exact write sequence). */
+    std::uint64_t seed = 1;
+    /** 0 = exhaustive sweep; else sample this many crash points. */
+    std::size_t samplePoints = 0;
+    std::uint64_t sampleSeed = 1;
+    /** Bit-flip trials per injection category (0 = skip). */
+    unsigned injectionTrials = 0;
+};
+
+/** One crash point whose recovered image failed validation. */
+struct AuditFailure
+{
+    Tick tick = 0;
+    CrashPointKind kind = CrashPointKind::Initial;
+    std::size_t journalPrefix = 0;
+    /** The panic message of the failed recovery/validation. */
+    std::string error;
+};
+
+/** Everything one audit produced. */
+struct AuditReport
+{
+    AuditConfig config;
+    /** Enumerated (deduplicated) crash points. */
+    std::size_t totalPoints = 0;
+    /** Points actually swept (== totalPoints unless sampled). */
+    std::size_t sweptPoints = 0;
+    std::size_t rawQueueAccepts = 0;
+    std::size_t rawBankCompletes = 0;
+    std::size_t rawCommitRecords = 0;
+    std::size_t rawFenceRetires = 0;
+    /** Crash points whose recovery rolled a transaction back. */
+    std::uint64_t rollbacks = 0;
+    std::vector<AuditFailure> failures;
+    /** Content hash of the final recovered durable image. */
+    std::uint64_t finalImageHash = 0;
+    /** Merkle root + refcount rebuild + per-line checks all clean. */
+    bool backendVerified = false;
+    /** Populated when config.injectionTrials > 0. */
+    InjectionReport injection;
+    bool injectionRan = false;
+
+    bool hasFailure() const { return !failures.empty(); }
+    Tick firstFailingTick() const
+    {
+        return failures.empty() ? 0 : failures.front().tick;
+    }
+    /** Minimized reproduction handle for the first failure. */
+    std::string repro() const;
+    bool passed() const;
+    /** The machine-readable report (schema in EXPERIMENTS.md). */
+    std::string toJson() const;
+};
+
+/** Run one full audit. */
+AuditReport runCrashAudit(const AuditConfig &config);
+
+/** Outcome of replaying a single crash point. */
+struct ReplayResult
+{
+    /** Content hash of the pre-recovery durable image at the tick
+     *  (bit-identical across replays of the same tick + seed). */
+    std::uint64_t imageHash = 0;
+    /** Content hash after undo-log recovery. */
+    std::uint64_t recoveredHash = 0;
+    std::size_t journalPrefix = 0;
+    unsigned rollbacks = 0;
+    bool recovered = false;
+    std::string error;
+};
+
+/**
+ * Deterministically re-simulate @p config and crash at @p tick:
+ * the `--replay=<tick>:<seed>` path of the audit driver.
+ */
+ReplayResult replayCrashPoint(const AuditConfig &config, Tick tick);
+
+} // namespace janus
+
+#endif // JANUS_FAULT_CRASH_AUDIT_HH

@@ -1,0 +1,182 @@
+#include "fault/crash_points.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace janus
+{
+
+const char *
+toString(CrashPointKind kind)
+{
+    switch (kind) {
+      case CrashPointKind::Initial:
+        return "initial";
+      case CrashPointKind::QueueAccept:
+        return "queue_accept";
+      case CrashPointKind::BankComplete:
+        return "bank_complete";
+      case CrashPointKind::CommitRecord:
+        return "commit_record";
+      case CrashPointKind::FenceRetire:
+        return "fence_retire";
+      case CrashPointKind::Final:
+        return "final";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Higher wins when several hooks collapse onto one durable image. */
+unsigned
+kindPriority(CrashPointKind kind)
+{
+    switch (kind) {
+      case CrashPointKind::Initial:
+      case CrashPointKind::Final:
+        return 4;
+      case CrashPointKind::CommitRecord:
+        return 3;
+      case CrashPointKind::FenceRetire:
+        return 2;
+      case CrashPointKind::BankComplete:
+        return 1;
+      case CrashPointKind::QueueAccept:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+CrashPlan
+planCrashPoints(const MemoryController &mc)
+{
+    const std::vector<JournalEntry> &journal = mc.journal();
+    janus_assert(!journal.empty(),
+                 "crash-point enumeration needs a journal-enabled "
+                 "run with at least one durable write");
+    for (std::size_t i = 1; i < journal.size(); ++i)
+        janus_assert(journal[i].persisted >= journal[i - 1].persisted,
+                     "journal out of durability order at entry %zu",
+                     i);
+
+    CrashPlan plan;
+    std::vector<CrashPoint> raw;
+    raw.reserve(3 * journal.size() + mc.fenceRetires().size() + 2);
+    raw.push_back(CrashPoint{0, CrashPointKind::Initial, 0});
+    for (const JournalEntry &e : journal) {
+        raw.push_back(
+            CrashPoint{e.accepted, CrashPointKind::QueueAccept, 0});
+        ++plan.rawQueueAccepts;
+        raw.push_back(
+            CrashPoint{e.persisted, CrashPointKind::BankComplete, 0});
+        ++plan.rawBankCompletes;
+        if (e.metaAtomic) {
+            raw.push_back(CrashPoint{
+                e.persisted, CrashPointKind::CommitRecord, 0});
+            ++plan.rawCommitRecords;
+        }
+    }
+    for (Tick t : mc.fenceRetires()) {
+        raw.push_back(CrashPoint{t, CrashPointKind::FenceRetire, 0});
+        ++plan.rawFenceRetires;
+    }
+    raw.push_back(CrashPoint{journal.back().persisted,
+                             CrashPointKind::Final, journal.size()});
+
+    // The durable image at tick T is the journal prefix with
+    // persisted <= T (ADR FIFO). Compute each point's prefix with a
+    // binary search over the sorted persisted ticks.
+    for (CrashPoint &p : raw) {
+        auto it = std::upper_bound(
+            journal.begin(), journal.end(), p.tick,
+            [](Tick t, const JournalEntry &e) {
+                return t < e.persisted;
+            });
+        p.journalPrefix =
+            static_cast<std::size_t>(it - journal.begin());
+    }
+
+    // Dedupe by prefix: identical prefix == identical durable image.
+    // Keep the most descriptive kind and the earliest tick at which
+    // that image first exists (so --replay of the point is stable).
+    std::sort(raw.begin(), raw.end(),
+              [](const CrashPoint &a, const CrashPoint &b) {
+                  if (a.journalPrefix != b.journalPrefix)
+                      return a.journalPrefix < b.journalPrefix;
+                  if (kindPriority(a.kind) != kindPriority(b.kind))
+                      return kindPriority(a.kind) >
+                             kindPriority(b.kind);
+                  return a.tick < b.tick;
+              });
+    for (const CrashPoint &p : raw) {
+        if (!plan.points.empty() &&
+            plan.points.back().journalPrefix == p.journalPrefix)
+            continue;
+        plan.points.push_back(p);
+    }
+    return plan;
+}
+
+std::vector<CrashPoint>
+sampleCrashPoints(const std::vector<CrashPoint> &all, std::size_t n,
+                  std::uint64_t seed)
+{
+    if (n == 0 || n >= all.size())
+        return all;
+    // Partial Fisher-Yates over the interior indices; the endpoints
+    // (Initial, Final) are unconditionally kept so every sample
+    // covers the empty and the complete durable image.
+    std::vector<std::size_t> idx;
+    idx.reserve(all.size() - 2);
+    for (std::size_t i = 1; i + 1 < all.size(); ++i)
+        idx.push_back(i);
+    Rng rng(seed);
+    std::size_t want = n > 2 ? n - 2 : 0;
+    if (want > idx.size())
+        want = idx.size();
+    for (std::size_t i = 0; i < want; ++i) {
+        std::size_t j =
+            i + static_cast<std::size_t>(rng.below(idx.size() - i));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(want);
+    idx.push_back(0);
+    idx.push_back(all.size() - 1);
+    std::sort(idx.begin(), idx.end());
+    std::vector<CrashPoint> out;
+    out.reserve(idx.size());
+    for (std::size_t i : idx)
+        out.push_back(all[i]);
+    return out;
+}
+
+PersistentImageBuilder::PersistentImageBuilder(
+    const SparseMemory &initial,
+    const std::vector<JournalEntry> &journal)
+    : journal_(journal)
+{
+    image_.copyFrom(initial);
+}
+
+const SparseMemory &
+PersistentImageBuilder::imageAt(std::size_t prefix)
+{
+    janus_assert(prefix >= applied_,
+                 "image prefixes must be nondecreasing (%zu < %zu)",
+                 prefix, applied_);
+    janus_assert(prefix <= journal_.size(),
+                 "prefix %zu exceeds journal size %zu", prefix,
+                 journal_.size());
+    for (; applied_ < prefix; ++applied_)
+        image_.writeLine(journal_[applied_].lineAddr,
+                         journal_[applied_].data);
+    return image_;
+}
+
+} // namespace janus

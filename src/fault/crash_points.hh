@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Crash-point enumeration over the persist path. A journal-enabled
+ * run records, for every durable write, the ticks at which it passed
+ * the persist-path stages the protocol's correctness hangs on:
+ * write-queue acceptance (ADR: accepted == durable-on-crash), NVM
+ * bank write completion (FIFO-ordered durability), sfence
+ * retirement, and the metadata-atomic commit record of tx_finish.
+ * The enumerator turns those hooks into a deduplicated, sorted list
+ * of crash points — instants whose durable images are pairwise
+ * distinct — so a sweep is exhaustive over *observable* crash states
+ * without re-testing identical images.
+ */
+
+#ifndef JANUS_FAULT_CRASH_POINTS_HH
+#define JANUS_FAULT_CRASH_POINTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/sparse_memory.hh"
+#include "memctrl/memory_controller.hh"
+
+namespace janus
+{
+
+/** Which persist-path hook produced a crash point. */
+enum class CrashPointKind : std::uint8_t
+{
+    Initial,      ///< before the first durable write
+    QueueAccept,  ///< a write entered the ADR persist domain
+    BankComplete, ///< a write became durable (bank + FIFO order)
+    CommitRecord, ///< a metadata-atomic commit record became durable
+    FenceRetire,  ///< an sfence retired on some core
+    Final,        ///< after the last durable write
+};
+
+const char *toString(CrashPointKind kind);
+
+/**
+ * One instant to cut the simulation at. The durable image at a
+ * point is a pure function of @ref journalPrefix (the number of
+ * journal entries with persisted <= tick), which is what the
+ * enumerator dedupes on.
+ */
+struct CrashPoint
+{
+    Tick tick = 0;
+    CrashPointKind kind = CrashPointKind::Initial;
+    /** Journal entries durable at this instant. */
+    std::size_t journalPrefix = 0;
+};
+
+/** The full enumeration plus the raw (pre-dedup) hook counts. */
+struct CrashPlan
+{
+    /** Deduplicated points, sorted by journalPrefix (and tick). */
+    std::vector<CrashPoint> points;
+    std::size_t rawQueueAccepts = 0;
+    std::size_t rawBankCompletes = 0;
+    std::size_t rawCommitRecords = 0;
+    std::size_t rawFenceRetires = 0;
+};
+
+/**
+ * Enumerate every persist-boundary crash point of a finished,
+ * journal-enabled run. Panics if the journal is disabled/empty or
+ * out of durability order.
+ */
+CrashPlan planCrashPoints(const MemoryController &mc);
+
+/**
+ * Sample @p n points from @p all with a seeded generator (without
+ * replacement, deterministic for a given seed). The Initial and
+ * Final points are always kept. Returns all points when n is zero
+ * or not smaller than the plan.
+ */
+std::vector<CrashPoint> sampleCrashPoints(
+    const std::vector<CrashPoint> &all, std::size_t n,
+    std::uint64_t seed);
+
+/**
+ * Incremental durable-image reconstruction: starting from the
+ * post-setup initial image, applies journal prefixes in
+ * nondecreasing order so a full sweep costs one pass over the
+ * journal instead of one replay per point.
+ */
+class PersistentImageBuilder
+{
+  public:
+    PersistentImageBuilder(const SparseMemory &initial,
+                           const std::vector<JournalEntry> &journal);
+
+    /**
+     * The durable image with the first @p prefix journal entries
+     * applied. @p prefix must be nondecreasing across calls.
+     */
+    const SparseMemory &imageAt(std::size_t prefix);
+
+  private:
+    SparseMemory image_;
+    const std::vector<JournalEntry> &journal_;
+    std::size_t applied_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_FAULT_CRASH_POINTS_HH

@@ -10,9 +10,14 @@ namespace janus
 {
 
 ExperimentResult
-runExperiment(const ExperimentConfig &config)
+runExperiment(const ExperimentConfig &requested)
 {
     const auto wall_start = std::chrono::steady_clock::now();
+    // Every run funnels through here, so applying the global seed
+    // override at this one point makes the whole suite replayable.
+    ExperimentConfig config = requested;
+    if (std::optional<std::uint64_t> seed = seedOverride())
+        config.workload.seed = *seed;
     auto workload = makeWorkload(config.workloadName, config.workload);
 
     Module module;

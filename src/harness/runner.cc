@@ -9,6 +9,43 @@
 namespace janus
 {
 
+namespace
+{
+
+std::optional<std::uint64_t>
+parseSeedEnv()
+{
+    if (const char *env = std::getenv("JANUS_SEED")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return static_cast<std::uint64_t>(v);
+        warn("ignoring malformed JANUS_SEED='%s'", env);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> &
+seedOverrideSlot()
+{
+    static std::optional<std::uint64_t> slot = parseSeedEnv();
+    return slot;
+}
+
+} // namespace
+
+std::optional<std::uint64_t>
+seedOverride()
+{
+    return seedOverrideSlot();
+}
+
+void
+setSeedOverride(std::optional<std::uint64_t> seed)
+{
+    seedOverrideSlot() = seed;
+}
+
 unsigned
 resolveThreads(unsigned threads)
 {

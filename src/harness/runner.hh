@@ -11,6 +11,8 @@
 #ifndef JANUS_HARNESS_RUNNER_HH
 #define JANUS_HARNESS_RUNNER_HH
 
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,6 +27,18 @@ namespace janus
  * hardware concurrency. @return at least 1.
  */
 unsigned resolveThreads(unsigned threads = 0);
+
+/**
+ * Global workload-seed override for replayable runs: initialized
+ * from the JANUS_SEED environment variable, superseded by
+ * setSeedOverride() (a bench's --seed= flag). runExperiment applies
+ * it to every config's workload seed; benches report the effective
+ * seed in BENCH_*.json so any run can be reproduced exactly.
+ */
+std::optional<std::uint64_t> seedOverride();
+
+/** Install (or clear) the seed override; wins over JANUS_SEED. */
+void setSeedOverride(std::optional<std::uint64_t> seed);
 
 /**
  * Run a batch of independent experiments on a worker pool.

@@ -347,6 +347,17 @@ JanusFrontend::flushThread(std::uint16_t thread_id)
 }
 
 void
+JanusFrontend::reset()
+{
+    entries_.clear();
+    byAddr_.clear();
+    opQueue_.clear();
+    bufferedChunks_.clear();
+    bufferedCount_ = 0;
+    irbOccupancy_.set(0.0, 0);
+}
+
+void
 JanusFrontend::flushRange(Addr base, Addr size)
 {
     for (auto it = entries_.begin(); it != entries_.end();) {

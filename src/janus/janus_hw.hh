@@ -153,6 +153,13 @@ class JanusFrontend
     /** Discard all entries belonging to a terminated thread. */
     void flushThread(std::uint16_t thread_id);
 
+    /**
+     * Discard every IRB entry, queued op and buffered request (e.g.
+     * crash recovery: the IRB is volatile, so every pre-executed
+     * result is invalid after a restart). Statistics are preserved.
+     */
+    void reset();
+
     /** Discard entries in [base, base+size) (e.g., page swap-out). */
     void flushRange(Addr base, Addr size);
 

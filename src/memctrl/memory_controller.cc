@@ -239,8 +239,20 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
 #endif
 
     if (journalEnabled_)
-        journal_.push_back(JournalEntry{persisted, line_addr, data});
+        journal_.push_back(JournalEntry{persisted, line_addr, data,
+                                        accepted, stream,
+                                        meta_atomic});
     return result;
+}
+
+void
+MemoryController::notifyRecovery()
+{
+    if (frontend_)
+        frontend_->reset();
+    // A fresh boot has no outstanding persists: ordering horizons
+    // restart at tick zero.
+    std::fill(lastPersist_.begin(), lastPersist_.end(), Tick(0));
 }
 
 Tick

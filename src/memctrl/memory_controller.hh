@@ -92,12 +92,25 @@ struct PersistResult
     bool fullyPreExecuted = false;
 };
 
-/** One journaled durable write (crash-consistency testing). */
+/**
+ * One journaled durable write (crash-consistency testing and the
+ * fault-injection subsystem, src/fault/). Besides the durable tick
+ * and content, records the persist-path hook points the crash-point
+ * enumerator cuts at: write-queue acceptance and whether this write
+ * was a metadata-atomic commit record (tx_finish).
+ */
 struct JournalEntry
 {
+    /** Tick the line is durable (bank write complete + FIFO order). */
     Tick persisted;
     Addr lineAddr;
     CacheLine data;
+    /** Tick the write was accepted by the NVM persist domain. */
+    Tick accepted = 0;
+    /** Core/stream that issued the write. */
+    unsigned stream = 0;
+    /** This write required metadata atomicity (commit record). */
+    bool metaAtomic = false;
 };
 
 /** The memory controller. One instance serves all cores. */
@@ -153,6 +166,30 @@ class MemoryController
         return journal_;
     }
 
+    /**
+     * Record an sfence retirement (called by the timing cores). With
+     * the journal enabled these ticks become FenceRetire crash
+     * points for the fault subsystem; otherwise they are dropped.
+     */
+    void noteFenceRetire(Tick when)
+    {
+        if (journalEnabled_)
+            fenceRetires_.push_back(when);
+    }
+
+    /** Sfence retirement ticks (journal-enabled runs only). */
+    const std::vector<Tick> &fenceRetires() const
+    {
+        return fenceRetires_;
+    }
+
+    /**
+     * The machine restarted and software recovery ran: all
+     * pre-executed results are stale (the IRB is volatile), and the
+     * persist-domain FIFO horizons restart from zero.
+     */
+    void notifyRecovery();
+
     // --- statistics -------------------------------------------------
     std::uint64_t writes() const { return writes_; }
     /** Mean critical write latency (arrival -> durable), ns. */
@@ -199,6 +236,7 @@ class MemoryController
     PersistBreakdown breakdown_;
     bool journalEnabled_ = false;
     std::vector<JournalEntry> journal_;
+    std::vector<Tick> fenceRetires_;
 
     Tracer *tracer_ = nullptr;
     std::vector<TraceId> streamTracks_;

@@ -234,4 +234,23 @@ EventQueue::step()
     return runOne(maxTick);
 }
 
+std::uint64_t
+EventQueue::discardPending()
+{
+    const std::uint64_t dropped = size_;
+    for (std::size_t s = 0; s < ring_.size(); ++s) {
+        Bucket &b = ring_[s];
+        b.items.clear();
+        b.head = 0;
+        b.prepared = false;
+        clearSlot(s);
+    }
+    ringCount_ = 0;
+    far_.clear();
+    farSlab_.clear();
+    farFree_.clear();
+    size_ = 0;
+    return dropped;
+}
+
 } // namespace janus

@@ -255,6 +255,16 @@ class EventQueue
      */
     bool step();
 
+    /**
+     * Crash cut: drop every pending event without executing it
+     * (the simulated machine lost power — in-flight work never
+     * completes). Pair with run(limit) to terminate a simulation at
+     * an arbitrary tick; curTick() is left where run() stopped.
+     *
+     * @return number of events discarded.
+     */
+    std::uint64_t discardPending();
+
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the crash-audit driver: exhaustive sweeps must pass and
+ * report their coverage, replays must be bit-identical, journal
+ * perturbations must behave as designed (drops detectable,
+ * duplicates harmless), and the JSON report must carry the fields
+ * CI greps for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/crash_audit.hh"
+#include "fault/injection.hh"
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+AuditConfig
+smallConfig(const std::string &workload)
+{
+    AuditConfig config;
+    config.workload = workload;
+    config.txnsPerCore = 12;
+    config.injectionTrials = 8;
+    return config;
+}
+
+TEST(CrashAudit, ExhaustiveSweepPassesOnArraySwap)
+{
+    AuditReport report = runCrashAudit(smallConfig("array_swap"));
+    EXPECT_TRUE(report.passed()) << report.toJson();
+    EXPECT_FALSE(report.hasFailure());
+    EXPECT_EQ(report.sweptPoints, report.totalPoints);
+    EXPECT_GT(report.totalPoints, 30u);
+    EXPECT_GT(report.rollbacks, 0u);
+    EXPECT_TRUE(report.backendVerified);
+    ASSERT_TRUE(report.injectionRan);
+    EXPECT_TRUE(report.injection.passed());
+    EXPECT_EQ(report.repro(), "");
+}
+
+TEST(CrashAudit, SampledSweepCoversRequestedPoints)
+{
+    AuditConfig config = smallConfig("queue");
+    config.samplePoints = 10;
+    config.injectionTrials = 0;
+    AuditReport report = runCrashAudit(config);
+    EXPECT_TRUE(report.passed()) << report.toJson();
+    EXPECT_EQ(report.sweptPoints, 10u);
+    EXPECT_GT(report.totalPoints, 10u);
+    EXPECT_FALSE(report.injectionRan);
+}
+
+TEST(CrashAudit, JsonReportCarriesTheContract)
+{
+    AuditConfig config = smallConfig("array_swap");
+    config.samplePoints = 8;
+    AuditReport report = runCrashAudit(config);
+    std::string json = report.toJson();
+    for (const char *key :
+         {"\"points_enumerated\"", "\"points_swept\"",
+          "\"first_failing_tick\"", "\"repro\"", "\"raw_hooks\"",
+          "\"final_image_hash\"", "\"backend_verified\"",
+          "\"injection\"", "\"passed\": true"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(CrashAudit, ReplayIsBitIdentical)
+{
+    AuditConfig config = smallConfig("array_swap");
+    config.injectionTrials = 0;
+    // A mid-run tick: both replays must reconstruct the same
+    // durable image and recover to the same state.
+    ReplayResult a = replayCrashPoint(config, 5 * ticks::us);
+    ReplayResult b = replayCrashPoint(config, 5 * ticks::us);
+    EXPECT_TRUE(a.recovered) << a.error;
+    EXPECT_EQ(a.imageHash, b.imageHash);
+    EXPECT_EQ(a.recoveredHash, b.recoveredHash);
+    EXPECT_EQ(a.journalPrefix, b.journalPrefix);
+
+    // A different seed writes a different history.
+    AuditConfig other = config;
+    other.seed = 2;
+    ReplayResult c = replayCrashPoint(other, 5 * ticks::us);
+    EXPECT_TRUE(c.recovered) << c.error;
+    EXPECT_NE(a.imageHash, c.imageHash);
+}
+
+/** Journal-enabled run shared by the perturbation tests. */
+struct PerturbationRun
+{
+    Module module;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NvmSystem> system;
+    SparseMemory initial;
+
+    PerturbationRun()
+    {
+        WorkloadParams params;
+        params.txnsPerCore = 12;
+        workload = makeWorkload("array_swap", params);
+        buildTxnLibrary(module);
+        workload->buildKernels(module, true);
+        verify(module);
+        SystemConfig sys;
+        sys.cores = 1;
+        system = std::make_unique<NvmSystem>(sys, module);
+        system->mc().enableJournal();
+        workload->setupCore(0, *system);
+        initial.copyFrom(system->mem());
+        std::vector<TxnSource> sources;
+        sources.push_back(workload->source(0, *system));
+        system->run(std::move(sources));
+    }
+
+    /** Recover + validate an image; empty string == consistent. */
+    std::string
+    check(SparseMemory &image)
+    {
+        ScopedPanicCapture capture;
+        try {
+            recoverUndoLog(image, workload->logBase(0));
+            workload->validateRecovered(image, 0);
+            return "";
+        } catch (const PanicError &e) {
+            return e.what();
+        }
+    }
+};
+
+TEST(CrashAudit, DroppedJournalEntryIsDetectable)
+{
+    // Audit sensitivity: losing a durable write must be observable.
+    // Not every single drop is (early writes get overwritten), but
+    // among the final writes at least one must break the workload's
+    // invariants.
+    PerturbationRun run;
+    const auto &journal = run.system->mc().journal();
+    ASSERT_GT(journal.size(), 20u);
+    unsigned detected = 0;
+    for (std::size_t back = 1; back <= 20; ++back) {
+        std::size_t index = journal.size() - back;
+        SparseMemory image = imageWithDroppedEntry(
+            run.initial, journal, index);
+        if (!run.check(image).empty())
+            ++detected;
+    }
+    EXPECT_GT(detected, 0u);
+}
+
+TEST(CrashAudit, DuplicatedJournalEntryIsHarmless)
+{
+    // Line persists are idempotent: replaying a write-queue entry
+    // twice must never break recovery.
+    PerturbationRun run;
+    const auto &journal = run.system->mc().journal();
+    for (std::size_t index :
+         {std::size_t(0), journal.size() / 3, journal.size() / 2,
+          journal.size() - 1}) {
+        SparseMemory image = imageWithDuplicatedEntry(
+            run.initial, journal, index);
+        EXPECT_EQ(run.check(image), "") << "entry " << index;
+    }
+}
+
+TEST(CrashAudit, PanicCaptureConfinesFailuresToTheAuditedPoint)
+{
+    // A deliberately corrupted image must surface as a recorded
+    // error, not a process abort — and a clean image checked right
+    // after must still pass (capture state fully unwinds).
+    PerturbationRun run;
+    const auto &journal = run.system->mc().journal();
+    SparseMemory broken;
+    broken.copyFrom(run.initial);
+    for (const JournalEntry &e : journal)
+        broken.writeLine(e.lineAddr, e.data);
+    // Scribble over one heap line outside the log region.
+    Addr log_base = run.workload->logBase(0);
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+        if (it->lineAddr >= log_base &&
+            it->lineAddr < log_base + logRegionBytes)
+            continue;
+        broken.writeLine(it->lineAddr, CacheLine::fromSeed(0xDEAD));
+        break;
+    }
+    EXPECT_NE(run.check(broken), "");
+
+    SparseMemory clean;
+    clean.copyFrom(run.initial);
+    for (const JournalEntry &e : journal)
+        clean.writeLine(e.lineAddr, e.data);
+    EXPECT_EQ(run.check(clean), "");
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the crash-point enumerator: hook coverage, image
+ * dedup by journal prefix, deterministic sampling, the incremental
+ * image builder, and the event-queue cut API the enumerator's crash
+ * model rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/crash_points.hh"
+#include "harness/system.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+/** A small journal-enabled run shared by the enumerator tests. */
+struct JournaledRun
+{
+    Module module;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NvmSystem> system;
+    SparseMemory initial;
+
+    explicit JournaledRun(unsigned txns = 12,
+                          Tick cut_at = maxTick)
+    {
+        WorkloadParams params;
+        params.txnsPerCore = txns;
+        workload = makeWorkload("array_swap", params);
+        buildTxnLibrary(module);
+        workload->buildKernels(module, true);
+        verify(module);
+        SystemConfig sys;
+        sys.cores = 1;
+        system = std::make_unique<NvmSystem>(sys, module);
+        system->mc().enableJournal();
+        workload->setupCore(0, *system);
+        initial.copyFrom(system->mem());
+        if (cut_at == maxTick) {
+            std::vector<TxnSource> sources;
+            sources.push_back(workload->source(0, *system));
+            system->run(std::move(sources));
+        } else {
+            // Crash-cut: drive the event queue only up to the cut
+            // tick, then discard everything in flight.
+            bool done = false;
+            system->core(0).run(workload->source(0, *system),
+                                [&done] { done = true; });
+            system->eventq().run(cut_at);
+            system->eventq().discardPending();
+        }
+    }
+};
+
+TEST(CrashPoints, PlanCoversEveryHookAndDedupes)
+{
+    JournaledRun run;
+    const auto &journal = run.system->mc().journal();
+    CrashPlan plan = planCrashPoints(run.system->mc());
+
+    EXPECT_EQ(plan.rawQueueAccepts, journal.size());
+    EXPECT_EQ(plan.rawBankCompletes, journal.size());
+    EXPECT_GT(plan.rawCommitRecords, 0u);
+    EXPECT_GT(plan.rawFenceRetires, 0u);
+    EXPECT_EQ(plan.rawFenceRetires,
+              run.system->mc().fenceRetires().size());
+
+    ASSERT_GE(plan.points.size(), 2u);
+    EXPECT_EQ(plan.points.front().kind, CrashPointKind::Initial);
+    EXPECT_EQ(plan.points.front().journalPrefix, 0u);
+    EXPECT_EQ(plan.points.back().kind, CrashPointKind::Final);
+    EXPECT_EQ(plan.points.back().journalPrefix, journal.size());
+
+    // Deduped: prefixes strictly increase, so every point's durable
+    // image is distinct.
+    for (std::size_t i = 1; i < plan.points.size(); ++i)
+        EXPECT_GT(plan.points[i].journalPrefix,
+                  plan.points[i - 1].journalPrefix);
+
+    // Each prefix is exactly the set of entries durable at the tick.
+    for (const CrashPoint &p : plan.points) {
+        if (p.journalPrefix > 0) {
+            EXPECT_LE(journal[p.journalPrefix - 1].persisted,
+                      p.tick);
+        }
+        if (p.journalPrefix < journal.size()) {
+            EXPECT_GT(journal[p.journalPrefix].persisted, p.tick);
+        }
+    }
+}
+
+TEST(CrashPoints, SamplingIsDeterministicAndKeepsEndpoints)
+{
+    JournaledRun run;
+    CrashPlan plan = planCrashPoints(run.system->mc());
+    ASSERT_GT(plan.points.size(), 10u);
+
+    auto a = sampleCrashPoints(plan.points, 8, 42);
+    auto b = sampleCrashPoints(plan.points, 8, 42);
+    ASSERT_EQ(a.size(), 8u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tick, b[i].tick);
+        EXPECT_EQ(a[i].journalPrefix, b[i].journalPrefix);
+    }
+    EXPECT_EQ(a.front().kind, CrashPointKind::Initial);
+    EXPECT_EQ(a.back().kind, CrashPointKind::Final);
+
+    // Oversampling returns the full plan unchanged.
+    auto all = sampleCrashPoints(plan.points,
+                                 plan.points.size() + 5, 7);
+    EXPECT_EQ(all.size(), plan.points.size());
+}
+
+TEST(CrashPoints, ImageBuilderMatchesDirectReplay)
+{
+    JournaledRun run;
+    const auto &journal = run.system->mc().journal();
+    PersistentImageBuilder builder(run.initial, journal);
+
+    for (std::size_t prefix : {std::size_t(0), journal.size() / 2,
+                               journal.size()}) {
+        SparseMemory direct;
+        direct.copyFrom(run.initial);
+        for (std::size_t i = 0; i < prefix; ++i)
+            direct.writeLine(journal[i].lineAddr, journal[i].data);
+        EXPECT_EQ(builder.imageAt(prefix).contentHash(),
+                  direct.contentHash())
+            << "prefix " << prefix;
+    }
+}
+
+TEST(CrashPoints, ImageBuilderRejectsDecreasingPrefix)
+{
+    JournaledRun run;
+    PersistentImageBuilder builder(run.initial,
+                                   run.system->mc().journal());
+    builder.imageAt(3);
+    EXPECT_DEATH(builder.imageAt(2), "nondecreasing");
+}
+
+TEST(CrashPoints, CutRunJournalIsAPrefixOfTheFullRun)
+{
+    // Determinism makes the crash model honest: a run actually cut
+    // at tick T has journaled exactly the durable prefix the
+    // enumerator reconstructs from the full run's journal.
+    JournaledRun full;
+    const auto &ref = full.system->mc().journal();
+    ASSERT_GT(ref.size(), 8u);
+    const Tick cut = ref[ref.size() / 2].persisted;
+
+    JournaledRun cut_run(12, cut);
+    const auto &got = cut_run.system->mc().journal();
+    std::size_t durable = 0;
+    for (const JournalEntry &e : got) {
+        if (e.persisted > cut)
+            continue; // accepted but not yet durable at the cut
+        ASSERT_LT(durable, ref.size());
+        EXPECT_EQ(e.lineAddr, ref[durable].lineAddr);
+        EXPECT_EQ(e.persisted, ref[durable].persisted);
+        EXPECT_TRUE(e.data == ref[durable].data);
+        ++durable;
+    }
+    std::size_t expected = 0;
+    while (expected < ref.size() &&
+           ref[expected].persisted <= cut)
+        ++expected;
+    EXPECT_EQ(durable, expected);
+}
+
+TEST(EventQueueCut, DiscardPendingEmptiesBothLevels)
+{
+    EventQueue eventq;
+    unsigned ran = 0;
+    // Near events land in the calendar ring, the far one in the
+    // heap; the cut must drop both.
+    for (int i = 0; i < 16; ++i)
+        eventq.schedule(Tick(i) * ticks::ns, [&ran] { ++ran; });
+    eventq.schedule(10 * ticks::ms, [&ran] { ++ran; });
+    EXPECT_EQ(eventq.pending(), 17u);
+
+    EXPECT_EQ(eventq.discardPending(), 17u);
+    EXPECT_EQ(eventq.pending(), 0u);
+    EXPECT_EQ(eventq.run(), 0u);
+    EXPECT_EQ(ran, 0u);
+
+    // The queue stays usable after a cut.
+    eventq.schedule(eventq.curTick() + ticks::ns, [&ran] { ++ran; });
+    EXPECT_EQ(eventq.run(), 1u);
+    EXPECT_EQ(ran, 1u);
+}
+
+} // namespace
+} // namespace janus

@@ -1,18 +1,19 @@
 /**
  * @file
- * Crash-consistency fault injection: run every workload with the
- * persist journal enabled, then for many crash points rebuild the
- * durable image (initial state + the journal prefix durable at the
- * crash tick), run undo-log recovery, and check the workload's
- * any-boundary invariants. This exercises the whole protocol the
- * paper's system depends on: persist ordering (ADR FIFO), backup
- * before update, commit truncation, and metadata atomicity.
+ * Crash-consistency sweep, expressed as a thin wrapper over the
+ * src/fault/ crash-audit subsystem: for every workload and write-path
+ * mode, enumerate all persist-boundary crash points (write-queue
+ * accept, bank completion, commit records, fence retires), replay
+ * undo-log recovery at each one, and check the workload's
+ * any-boundary invariants plus the backend integrity audit. The
+ * heavy lifting (enumeration, image reconstruction, panic capture,
+ * reporting) lives in src/fault/crash_audit.cc and is unit-tested in
+ * tests/fault/.
  */
 
 #include <gtest/gtest.h>
 
-#include "harness/system.hh"
-#include "txn/undo_log.hh"
+#include "fault/crash_audit.hh"
 #include "workloads/workload.hh"
 
 namespace janus
@@ -22,7 +23,7 @@ namespace
 
 struct CrashCase
 {
-    const char *workload;
+    std::string workload;
     WritePathMode mode;
     bool manual;
 };
@@ -30,9 +31,10 @@ struct CrashCase
 std::string
 caseName(const testing::TestParamInfo<CrashCase> &info)
 {
-    std::string mode =
-        info.param.mode == WritePathMode::Janus ? "Janus" : "Serialized";
-    return std::string(info.param.workload) + "_" + mode;
+    std::string mode = info.param.mode == WritePathMode::Janus
+                           ? "Janus"
+                           : "Serialized";
+    return info.param.workload + "_" + mode;
 }
 
 class CrashSweep : public testing::TestWithParam<CrashCase>
@@ -42,71 +44,23 @@ class CrashSweep : public testing::TestWithParam<CrashCase>
 TEST_P(CrashSweep, EveryCrashPointRecovers)
 {
     const CrashCase &c = GetParam();
-    WorkloadParams params;
-    params.txnsPerCore = 30;
-    auto workload = makeWorkload(c.workload, params);
+    AuditConfig config;
+    config.workload = c.workload;
+    config.mode = c.mode;
+    config.manual = c.manual;
+    config.txnsPerCore = 30;
+    config.samplePoints = 0; // exhaustive
+    config.injectionTrials = 0;
 
-    Module module;
-    buildTxnLibrary(module);
-    workload->buildKernels(module, c.manual);
-    verify(module);
-
-    SystemConfig sys;
-    sys.mode = c.mode;
-    NvmSystem system(sys, module);
-    system.mc().enableJournal();
-    workload->setupCore(0, system);
-
-    // The durable image starts as the post-setup state.
-    SparseMemory initial;
-    initial.copyFrom(system.mem());
-
-    std::vector<TxnSource> sources;
-    sources.push_back(workload->source(0, system));
-    system.run(std::move(sources));
-    workload->validate(system.mem(), 0);
-
-    const auto &journal = system.mc().journal();
-    ASSERT_FALSE(journal.empty());
-    // Persist-domain FIFO: the journal must be durable in order.
-    for (std::size_t i = 1; i < journal.size(); ++i)
-        ASSERT_GE(journal[i].persisted, journal[i - 1].persisted);
-
-    // Crash between every pair of consecutive durable writes (where
-    // the ticks actually differ), plus before the first and after
-    // the last.
-    unsigned tested = 0;
-    unsigned rollbacks = 0;
-    SparseMemory image;
-    image.copyFrom(initial);
-    std::size_t applied = 0;
-    auto test_point = [&]() {
-        SparseMemory crashed;
-        crashed.copyFrom(image);
-        rollbacks += recoverUndoLog(crashed, workload->logBase(0)) > 0;
-        workload->validateRecovered(crashed, 0);
-        ++tested;
-    };
-    test_point();
-    while (applied < journal.size()) {
-        Tick tick = journal[applied].persisted;
-        while (applied < journal.size() &&
-               journal[applied].persisted == tick) {
-            image.writeLine(journal[applied].lineAddr,
-                            journal[applied].data);
-            ++applied;
-        }
-        test_point();
-    }
-    EXPECT_GT(tested, 30u);
+    AuditReport report = runCrashAudit(config);
+    EXPECT_TRUE(report.passed()) << report.toJson();
+    EXPECT_FALSE(report.hasFailure())
+        << "repro: " << report.repro();
+    EXPECT_EQ(report.sweptPoints, report.totalPoints);
+    EXPECT_GT(report.totalPoints, 30u);
     // Some crash points must fall inside transactions (rollbacks).
-    EXPECT_GT(rollbacks, 0u);
-
-    // The final durable image, recovered, must also be consistent.
-    SparseMemory final_image;
-    final_image.copyFrom(image);
-    recoverUndoLog(final_image, workload->logBase(0));
-    workload->validateRecovered(final_image, 0);
+    EXPECT_GT(report.rollbacks, 0u);
+    EXPECT_TRUE(report.backendVerified);
 }
 
 std::vector<CrashCase>
@@ -114,8 +68,8 @@ allCases()
 {
     std::vector<CrashCase> cases;
     for (const std::string &w : allWorkloadNames()) {
-        cases.push_back({w.c_str(), WritePathMode::Serialized, false});
-        cases.push_back({w.c_str(), WritePathMode::Janus, true});
+        cases.push_back({w, WritePathMode::Serialized, false});
+        cases.push_back({w, WritePathMode::Janus, true});
     }
     return cases;
 }

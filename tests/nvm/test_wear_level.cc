@@ -4,6 +4,7 @@
  */
 
 #include <set>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
@@ -90,6 +91,67 @@ TEST(StartGap, FullLapAdvancesStart)
     for (int w = 0; w < 5; ++w)
         wl.onWrite(); // 5 moves = one full lap for N=4
     EXPECT_EQ(wl.fullLaps(), 1u);
+}
+
+TEST(StartGap, GapWrapKeepsBijection)
+{
+    // Drive the gap through its wrap boundary (gap 0 -> N with the
+    // start pointer advancing) several times; the mapping must stay
+    // a bijection onto the non-gap frames at every single step.
+    StartGapWearLeveler wl(0, 8, 1);
+    unsigned wraps = 0;
+    for (int move = 0; move < 40; ++move) {
+        const bool at_boundary = wl.gap() == 0;
+        const std::uint64_t laps_before = wl.fullLaps();
+        wl.onWrite();
+        if (at_boundary) {
+            ++wraps;
+            // The wrap is exactly the lap hand-over.
+            EXPECT_EQ(wl.gap(), 8u);
+            EXPECT_EQ(wl.fullLaps(), laps_before + 1);
+        } else {
+            EXPECT_EQ(wl.fullLaps(), laps_before);
+        }
+        std::set<Addr> frames;
+        for (std::uint64_t l = 0; l < 8; ++l) {
+            Addr f = wl.translate(l << lineShift);
+            EXPECT_TRUE(frames.insert(f).second)
+                << "collision after move " << move;
+            EXPECT_NE(f >> lineShift, wl.gap());
+            EXPECT_LT(f >> lineShift, 9u);
+        }
+    }
+    EXPECT_GE(wraps, 4u); // 40 moves / 9 per lap
+}
+
+TEST(StartGap, DataSurvivesFullRotation)
+{
+    // Functional model of the copy the device performs on each gap
+    // move: mirror frame contents, copy the one relocated line, and
+    // check every logical line still reads its own value after the
+    // region has rotated through three full laps.
+    constexpr std::uint64_t n = 8;
+    StartGapWearLeveler wl(0, n, 1);
+    std::unordered_map<Addr, std::uint64_t> frames;
+    for (std::uint64_t l = 0; l < n; ++l)
+        frames[wl.translate(l << lineShift)] = 1000 + l;
+
+    for (int move = 0; move < 27; ++move) { // 3 laps of N+1 moves
+        std::vector<Addr> before(n);
+        for (std::uint64_t l = 0; l < n; ++l)
+            before[l] = wl.translate(l << lineShift);
+        ASSERT_TRUE(wl.onWrite());
+        for (std::uint64_t l = 0; l < n; ++l) {
+            Addr now = wl.translate(l << lineShift);
+            if (now != before[l])
+                frames[now] = frames[before[l]];
+        }
+        for (std::uint64_t l = 0; l < n; ++l)
+            EXPECT_EQ(frames[wl.translate(l << lineShift)],
+                      1000 + l)
+                << "lost line " << l << " after move " << move;
+    }
+    EXPECT_EQ(wl.fullLaps(), 3u);
 }
 
 TEST(StartGap, OutOfRegionPanics)
