@@ -20,6 +20,10 @@
  *                     (default 200 when --workloads= is given)
  *   --seed=N          workload seed        (default JANUS_SEED or 1)
  *   --inject=N        bit-flip trials per category (default 32)
+ *   --faults=on|off   enable the online resilience layer with an
+ *                     aggressive seeded fault campaign during the
+ *                     audited run, so recovery is validated with
+ *                     retries and bad-line remaps live (default off)
  *   --out=FILE        report path          (default AUDIT_crash.json)
  *   --replay=T:S      re-simulate one crash at tick T with seed S
  *                     twice and check the durable images are
@@ -52,6 +56,7 @@ struct DriverFlags
     std::size_t sample = 200;
     std::uint64_t seed = 1;
     unsigned inject = 32;
+    bool faults = false;
     std::string out = "AUDIT_crash.json";
     bool replay = false;
     Tick replayTick = 0;
@@ -117,6 +122,13 @@ parseFlags(int argc, char **argv)
             flags.seed = parseU64(arg, v);
         } else if (const char *v = has("--inject=")) {
             flags.inject = static_cast<unsigned>(parseU64(arg, v));
+        } else if (const char *v = has("--faults=")) {
+            if (std::strcmp(v, "on") == 0)
+                flags.faults = true;
+            else if (std::strcmp(v, "off") == 0)
+                flags.faults = false;
+            else
+                panic("unknown --faults=%s (want on|off)", v);
         } else if (const char *v = has("--out=")) {
             flags.out = v;
         } else if (const char *v = has("--replay=")) {
@@ -148,6 +160,18 @@ makeConfig(const DriverFlags &flags, const std::string &workload,
     config.samplePoints = sample;
     config.sampleSeed = flags.seed;
     config.injectionTrials = flags.inject;
+    if (flags.faults) {
+        // Aggressive seeded campaign: high enough rates that retries
+        // and bad-line remaps actually fire during the audited run,
+        // proving crash recovery is remap-agnostic (the journal
+        // records logical line addresses).
+        config.resilience.enabled = true;
+        config.resilience.seed = flags.seed;
+        config.resilience.faults.transientFlipRate = 0.05;
+        config.resilience.faults.stuckCellRate = 0.02;
+        config.resilience.faults.wearFactor = 0.05;
+        config.resilience.retryBudget = 2;
+    }
     return config;
 }
 

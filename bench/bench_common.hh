@@ -48,6 +48,10 @@ struct RunSpec
     bool unlimitedResources = false;
     bool nonBlockingWriteback = false;
     std::uint64_t seed = 1;
+    /** Wear leveling (Start-Gap) for this run. */
+    bool wearLeveling = false;
+    /** Online resilience layer (chaos campaigns). */
+    ResilienceConfig resilience;
 };
 
 inline ExperimentConfig
@@ -61,6 +65,9 @@ toConfig(const RunSpec &spec)
     config.sys.resourceScale = spec.resourceScale;
     config.sys.unlimitedResources = spec.unlimitedResources;
     config.sys.core.nonBlockingWriteback = spec.nonBlockingWriteback;
+    if (spec.wearLeveling)
+        config.sys.bmo.wearLeveling = true;
+    config.sys.resilience = spec.resilience;
     config.instr = spec.instr;
     config.workload.txnsPerCore = spec.txnsPerCore;
     config.workload.valueBytes = spec.valueBytes;
@@ -118,11 +125,7 @@ parseBenchFlags(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--seed=", 7) == 0) {
-            char *end = nullptr;
-            unsigned long long v = std::strtoull(arg + 7, &end, 10);
-            if (end == arg + 7 || *end != '\0')
-                panic("malformed %s", arg);
-            setSeedOverride(static_cast<std::uint64_t>(v));
+            setSeedOverride(parseSeedLiteral(arg + 7, "--seed"));
         } else {
             panic("unknown argument '%s' (supported: --seed=N)",
                   arg);
@@ -242,6 +245,7 @@ class BenchRunner
         for (std::size_t i = 0; i < results_.size(); ++i) {
             const RunSpec &s = specs_[i];
             const ExperimentResult &r = results_[i];
+            const ResilienceCounters &rc = r.resilience;
             std::fprintf(
                 f,
                 "    {\"label\": \"%s\", \"workload\": \"%s\", "
@@ -254,7 +258,19 @@ class BenchRunner
                 "\"stage_bmo_ns\": %.2f, \"stage_queue_ns\": %.2f, "
                 "\"stage_order_ns\": %.2f, "
                 "\"persist_p50_ns\": %.2f, "
-                "\"persist_p99_ns\": %.2f}%s\n",
+                "\"persist_p99_ns\": %.2f, "
+                // Schema-stable resilience block: all zero unless
+                // the run enabled the fault layer.
+                "\"resilience\": {\"injected\": %llu, "
+                "\"corrected\": %llu, "
+                "\"uncorrectable_reads\": %llu, "
+                "\"retries\": %llu, \"remaps\": %llu, "
+                "\"irb_ecc_faults\": %llu, "
+                "\"dedup_bypasses\": %llu, "
+                "\"watchdog_trips\": %llu, "
+                "\"scrubbed\": %llu, "
+                "\"degraded_ns\": %.1f, "
+                "\"data_loss_lines\": %llu}}%s\n",
                 labels_[i].c_str(), s.workload.c_str(),
                 modeName(s.mode), instrName(s.instr), s.cores,
                 s.txnsPerCore,
@@ -266,6 +282,21 @@ class BenchRunner
                 r.wallSeconds, r.avgWriteLatencyNs, r.stageBmoNs,
                 r.stageQueueNs, r.stageOrderNs, r.persistP50Ns,
                 r.persistP99Ns,
+                static_cast<unsigned long long>(
+                    rc.transientFlipsInjected + rc.stuckCellsInjected),
+                static_cast<unsigned long long>(rc.correctedReads +
+                                                rc.correctedWrites),
+                static_cast<unsigned long long>(
+                    rc.uncorrectableReads),
+                static_cast<unsigned long long>(rc.readRetries +
+                                                rc.writeRetries),
+                static_cast<unsigned long long>(rc.remaps),
+                static_cast<unsigned long long>(rc.irbEccFaults),
+                static_cast<unsigned long long>(rc.dedupBypasses),
+                static_cast<unsigned long long>(rc.watchdogTrips),
+                static_cast<unsigned long long>(rc.scrubbed),
+                ticks::toNsF(rc.degradedTicks),
+                static_cast<unsigned long long>(rc.dataLossLines),
                 i + 1 < results_.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");

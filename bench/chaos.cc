@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Chaos campaign: every Table 4 workload runs under the online
+ * resilience layer with an aggressive seeded fault model — transient
+ * read flips, wear-scaled stuck-at cells, IRB ECC faults, dedup
+ * table pressure and a hair-trigger BMO watchdog — and the campaign
+ * asserts the survival contract:
+ *
+ *   1. every workload still validates (functional state intact);
+ *   2. zero uncorrectable data loss (`resilience.dataLossLines` and
+ *      deferred-scrub failures stay 0): retries + ECC + bad-line
+ *      remapping absorb every injected fault;
+ *   3. the whole campaign is reproducible: the first experiment runs
+ *      twice and must produce identical timing and fault counters.
+ *
+ * The per-workload survival/degradation report lands in
+ * BENCH_chaos.json. `--seed=N` (or JANUS_SEED) re-seeds both the
+ * workloads and the fault model, reproducing the exact sequence.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace janus;
+
+/** The aggressive fault campaign every workload runs under. */
+ResilienceConfig
+campaignFaults(std::uint64_t seed)
+{
+    ResilienceConfig res;
+    res.enabled = true;
+    res.seed = seed;
+    res.faults.transientFlipRate = 0.05;
+    res.faults.stuckCellRate = 0.02;
+    res.faults.wearFactor = 0.05;
+    res.retryBudget = 2;
+    res.retryBackoffBase = 50 * ticks::ns;
+    // Small spare pool and table limit so remapping and dedup bypass
+    // actually fire; a hair-trigger watchdog forces degraded windows.
+    res.spareLines = 512;
+    res.dedupTableLimit = 64;
+    res.watchdogBudget = 120 * ticks::ns;
+    res.degradedWindow = 2 * ticks::us;
+    res.irbEccFaultRate = 0.01;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    janus::bench::parseBenchFlags(argc, argv);
+    using namespace janus::bench;
+    setQuiet(true);
+
+    const std::uint64_t seed = seedOverride().value_or(1);
+
+    BenchRunner bench("chaos");
+    std::vector<std::size_t> idx;
+    for (const std::string &w : allWorkloadNames()) {
+        RunSpec spec;
+        spec.workload = w;
+        spec.mode = WritePathMode::Janus;
+        spec.instr = Instrumentation::Manual;
+        spec.txnsPerCore = 150;
+        spec.seed = seed;
+        spec.wearLeveling = true;
+        spec.resilience = campaignFaults(seed);
+        idx.push_back(bench.add("chaos/" + w, spec));
+    }
+    // Reproducibility probe: the first workload again, same seeds.
+    RunSpec repro;
+    repro.workload = allWorkloadNames().front();
+    repro.mode = WritePathMode::Janus;
+    repro.instr = Instrumentation::Manual;
+    repro.txnsPerCore = 150;
+    repro.seed = seed;
+    repro.wearLeveling = true;
+    repro.resilience = campaignFaults(seed);
+    const std::size_t repro_idx = bench.add("repro/first", repro);
+
+    bench.runAll();
+
+    printHeader("Chaos campaign: survival under seeded faults",
+                {"injected", "corrected", "retries", "remaps",
+                 "degradeUs", "dataLoss"});
+    bool survived = true;
+    std::uint64_t total_retries = 0, total_remaps = 0;
+    std::size_t wi = 0;
+    for (const std::string &w : allWorkloadNames()) {
+        const ResilienceCounters &rc =
+            bench.result(idx[wi]).resilience;
+        std::uint64_t injected =
+            rc.transientFlipsInjected + rc.stuckCellsInjected;
+        std::uint64_t corrected =
+            rc.correctedReads + rc.correctedWrites;
+        std::uint64_t retries = rc.readRetries + rc.writeRetries;
+        total_retries += retries;
+        total_remaps += rc.remaps;
+        if (rc.dataLossLines != 0 || rc.scrubFailures != 0)
+            survived = false;
+        printRow(w,
+                 {static_cast<double>(injected),
+                  static_cast<double>(corrected),
+                  static_cast<double>(retries),
+                  static_cast<double>(rc.remaps),
+                  ticks::toNsF(rc.degradedTicks) / 1e3,
+                  static_cast<double>(rc.dataLossLines)},
+                 " %10.0f");
+        ++wi;
+    }
+
+    // Reproducibility: identical makespan and fault counters.
+    const ExperimentResult &a = bench.result(idx[0]);
+    const ExperimentResult &b = bench.result(repro_idx);
+    const bool reproducible =
+        a.makespan == b.makespan &&
+        a.resilience.transientFlipsInjected ==
+            b.resilience.transientFlipsInjected &&
+        a.resilience.stuckCellsInjected ==
+            b.resilience.stuckCellsInjected &&
+        a.resilience.readRetries == b.resilience.readRetries &&
+        a.resilience.writeRetries == b.resilience.writeRetries &&
+        a.resilience.remaps == b.resilience.remaps &&
+        a.resilience.irbEccFaults == b.resilience.irbEccFaults &&
+        a.resilience.watchdogTrips == b.resilience.watchdogTrips;
+
+    std::printf("\ncampaign: %llu retries, %llu remaps, seed %llu "
+                "-> %s, %s\n",
+                static_cast<unsigned long long>(total_retries),
+                static_cast<unsigned long long>(total_remaps),
+                static_cast<unsigned long long>(seed),
+                survived ? "zero data loss"
+                         : "DATA LOSS DETECTED",
+                reproducible ? "reproducible"
+                             : "NOT REPRODUCIBLE");
+
+    bench.writeJson();
+    return survived && reproducible ? 0 : 1;
+}

@@ -135,10 +135,12 @@ BmoBackendState::computeMac(const CacheLine &cipher,
 }
 
 WriteOutcome
-BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
+BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext,
+                           bool bypass_dedup)
 {
     janus_assert(lineOffset(line_addr) == 0, "unaligned BMO write");
     ++writes_;
+    bool dedup = config_.deduplication && !bypass_dedup;
 
     WriteOutcome outcome;
     auto old_it = meta_.find(line_addr);
@@ -154,7 +156,7 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
     // D1/D2: fingerprint and duplicate detection. Hash once; the
     // unique-write path below reuses it for the table insert.
     Fingerprint fp;
-    if (config_.deduplication) {
+    if (dedup) {
         fp = fingerprint(plaintext);
         auto hit = dedupTable_.find(fp);
         if (hit != dedupTable_.end()) {
@@ -217,11 +219,11 @@ BmoBackendState::writeLine(Addr line_addr, const CacheLine &plaintext)
 
     PhysLine &pl = physLines_.at(phys);
     pl.counter = counter;
-    pl.fingerprint = config_.deduplication ? fp : Fingerprint{};
+    pl.fingerprint = dedup ? fp : Fingerprint{};
     // E4: message authentication code over (ciphertext, counter).
     if (config_.integrity)
         pl.mac = computeMac(cipher, counter);
-    if (config_.deduplication)
+    if (dedup)
         dedupTable_[pl.fingerprint] = phys;
 
     MetaEntry entry;

@@ -127,8 +127,14 @@ class BmoBackendState
      * Apply a persisted line write: dedup, encrypt, MAC and Merkle
      * maintenance. Called when the write is accepted into the
      * persist domain.
+     *
+     * @param bypass_dedup  skip duplicate detection and table
+     *        maintenance for this write (graceful degradation under
+     *        fingerprint-table pressure); the write is stored as
+     *        unique and stays fully readable/verifiable.
      */
-    WriteOutcome writeLine(Addr line_addr, const CacheLine &plaintext);
+    WriteOutcome writeLine(Addr line_addr, const CacheLine &plaintext,
+                           bool bypass_dedup = false);
 
     /**
      * Read a line back through the full backend path: metadata
@@ -162,6 +168,12 @@ class BmoBackendState
     std::uint64_t storageContentHash() const
     {
         return storage_.contentHash();
+    }
+
+    /** Live fingerprint-table entries (dedup table pressure). */
+    std::uint64_t dedupTableSize() const
+    {
+        return static_cast<std::uint64_t>(dedupTable_.size());
     }
 
     /** Metadata entry of a line (invalid entry if never written). */

@@ -100,6 +100,49 @@ inform(const char *fmt, ...)
     std::fprintf(stderr, "info: %s\n", s.c_str());
 }
 
+RateLimitedWarn::RateLimitedWarn(unsigned max_per_interval,
+                                 Tick interval)
+    : maxPerInterval_(max_per_interval), interval_(interval)
+{
+}
+
+void
+RateLimitedWarn::rollWindow(Tick now)
+{
+    if (interval_ == 0 || now < windowStart_ + interval_)
+        return;
+    if (suppressedInWindow_ > 0)
+        janus::warn("(%llu similar warnings suppressed since "
+                    "simulated tick %llu)",
+                    static_cast<unsigned long long>(suppressedInWindow_),
+                    static_cast<unsigned long long>(windowStart_));
+    // Advance in whole intervals so window edges are a function of
+    // simulated time alone, not of when warnings happened to arrive.
+    windowStart_ += ((now - windowStart_) / interval_) * interval_;
+    emittedInWindow_ = 0;
+    suppressedInWindow_ = 0;
+}
+
+void
+RateLimitedWarn::warn(Tick now, const char *fmt, ...)
+{
+    rollWindow(now);
+    if (emittedInWindow_ >= maxPerInterval_) {
+        ++suppressedInWindow_;
+        ++suppressed_;
+        return;
+    }
+    ++emittedInWindow_;
+    ++emitted_;
+    if (quietFlag.load(std::memory_order_relaxed))
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
 void
 setQuiet(bool quiet)
 {

@@ -9,8 +9,11 @@
 #define JANUS_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+
+#include "common/types.hh"
 
 namespace janus
 {
@@ -67,6 +70,44 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Report normal operating status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Rate limiter for warnings raised on simulation hot paths (e.g.
+ * every injected fault under an aggressive chaos campaign): emits at
+ * most @c maxPerInterval warnings per simulated-time interval and
+ * counts the rest. When a new interval opens, one summary line
+ * reports how many messages the previous interval swallowed, so the
+ * log stays honest without scaling with the event rate.
+ *
+ * Rate limiting is keyed on simulated Ticks, not wall-clock time, so
+ * output is deterministic for a given run.
+ */
+class RateLimitedWarn
+{
+  public:
+    RateLimitedWarn(unsigned max_per_interval, Tick interval);
+
+    /** warn() if this simulated interval still has budget. */
+    void warn(Tick now, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Warnings actually forwarded to warn(). */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Warnings swallowed by the limiter. */
+    std::uint64_t suppressed() const { return suppressed_; }
+
+  private:
+    void rollWindow(Tick now);
+
+    unsigned maxPerInterval_;
+    Tick interval_;
+    Tick windowStart_ = 0;
+    unsigned emittedInWindow_ = 0;
+    std::uint64_t suppressedInWindow_ = 0;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
 
 /** Globally silence warn()/inform() (used by tests and benches). */
 void setQuiet(bool quiet);

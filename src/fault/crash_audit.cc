@@ -58,6 +58,7 @@ executeRun(const AuditConfig &config, AuditRun &run)
     SystemConfig sys;
     sys.mode = config.mode;
     sys.cores = 1;
+    sys.resilience = config.resilience;
     run.system = std::make_unique<NvmSystem>(sys, run.module);
     run.system->mc().enableJournal();
     run.workload->setupCore(0, *run.system);
@@ -195,6 +196,8 @@ AuditReport::toJson() const
     appendf(out, "  \"txns_per_core\": %u,\n", config.txnsPerCore);
     appendf(out, "  \"seed\": %llu,\n",
             static_cast<unsigned long long>(config.seed));
+    appendf(out, "  \"faults\": %s,\n",
+            config.resilience.enabled ? "true" : "false");
     appendf(out, "  \"sample_points\": %zu,\n", config.samplePoints);
     appendf(out, "  \"sample_seed\": %llu,\n",
             static_cast<unsigned long long>(config.sampleSeed));

@@ -41,6 +41,9 @@ struct AuditConfig
     std::uint64_t sampleSeed = 1;
     /** Bit-flip trials per injection category (0 = skip). */
     unsigned injectionTrials = 0;
+    /** Online resilience layer for the audited run (--faults=on):
+     *  crash recovery must hold with retries/remaps live. */
+    ResilienceConfig resilience;
 };
 
 /** One crash point whose recovered image failed validation. */

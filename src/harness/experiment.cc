@@ -67,6 +67,7 @@ runExperiment(const ExperimentConfig &requested)
         result.fenceStallTicks += core.fenceStallTicks();
     }
     result.eventsExecuted = system.eventq().executed();
+    result.resilience = mc.resilience().counters();
     if (Tracer *tracer = system.tracer()) {
         result.traceJson = tracer->chromeJson();
         result.traceEventsRecorded = tracer->recorded();

@@ -71,6 +71,8 @@ struct ExperimentResult
     std::string traceJson;
     std::uint64_t traceEventsRecorded = 0;
     std::uint64_t traceEventsDropped = 0;
+    /** Resilience-layer counters (all zero when the layer is off). */
+    ResilienceCounters resilience;
 };
 
 /** Run one experiment to completion. */

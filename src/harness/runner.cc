@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <thread>
 
@@ -15,13 +16,8 @@ namespace
 std::optional<std::uint64_t>
 parseSeedEnv()
 {
-    if (const char *env = std::getenv("JANUS_SEED")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        if (end != env && *end == '\0')
-            return static_cast<std::uint64_t>(v);
-        warn("ignoring malformed JANUS_SEED='%s'", env);
-    }
+    if (const char *env = std::getenv("JANUS_SEED"))
+        return parseSeedLiteral(env, "JANUS_SEED");
     return std::nullopt;
 }
 
@@ -33,6 +29,20 @@ seedOverrideSlot()
 }
 
 } // namespace
+
+std::uint64_t
+parseSeedLiteral(const char *text, const char *source)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        *text == '-')
+        fatal("malformed %s='%s': expected a decimal unsigned "
+              "64-bit seed",
+              source, text);
+    return static_cast<std::uint64_t>(v);
+}
 
 std::optional<std::uint64_t>
 seedOverride()

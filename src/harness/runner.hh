@@ -41,6 +41,17 @@ std::optional<std::uint64_t> seedOverride();
 void setSeedOverride(std::optional<std::uint64_t> seed);
 
 /**
+ * Parse a seed literal (decimal uint64). A malformed value is a
+ * hard configuration error — fatal(), naming @p source and the bad
+ * text — never a silent fallback: a campaign that quietly ran with
+ * the default seed would not be the run the user asked to reproduce.
+ *
+ * @param text    the literal to parse
+ * @param source  where it came from ("JANUS_SEED", "--seed")
+ */
+std::uint64_t parseSeedLiteral(const char *text, const char *source);
+
+/**
  * Run a batch of independent experiments on a worker pool.
  *
  * @param configs  the run matrix; results come back in this order

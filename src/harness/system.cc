@@ -32,6 +32,7 @@ makeMcConfig(const SystemConfig &sys)
         mc.janusHw.opQueueEntries *= scale;
         mc.janusHw.irbEntries *= scale;
     }
+    mc.resilience = sys.resilience;
     return mc;
 }
 
@@ -64,6 +65,9 @@ NvmSystem::run(std::vector<TxnSource> sources)
         cores_[i]->run(std::move(sources[i]), [&live] { --live; });
     eventq_.run();
     janus_assert(live == 0, "deadlock: %u cores never finished", live);
+    // Finish deferred background work (e.g. the integrity scrubber)
+    // so end-of-run state is fully verified.
+    mc_->finishRun();
 
     Tick makespan = 0;
     for (const auto &core : cores_)
@@ -167,6 +171,46 @@ NvmSystem::collectStats()
             .set(static_cast<double>(fe.agedOut()));
         fe_group.gauge("irbOccupancy") = fe.irbOccupancyGauge();
         groups.push_back(std::move(fe_group));
+    }
+
+    // Always emitted — all-zero when the layer is disabled — so the
+    // stats schema is stable across configurations.
+    {
+        ResilienceCounters rc = mc_->resilience().counters();
+        auto u64 = [](std::uint64_t v) {
+            return static_cast<double>(v);
+        };
+        StatGroup res_group("resilience");
+        res_group.scalar("transientFlipsInjected")
+            .set(u64(rc.transientFlipsInjected));
+        res_group.scalar("stuckCellsInjected")
+            .set(u64(rc.stuckCellsInjected));
+        res_group.scalar("cleanReads").set(u64(rc.cleanReads));
+        res_group.scalar("correctedReads").set(u64(rc.correctedReads));
+        res_group.scalar("uncorrectableReads")
+            .set(u64(rc.uncorrectableReads));
+        res_group.scalar("readRetries").set(u64(rc.readRetries));
+        res_group.scalar("correctedWrites")
+            .set(u64(rc.correctedWrites));
+        res_group.scalar("writeVerifyFailures")
+            .set(u64(rc.writeVerifyFailures));
+        res_group.scalar("writeRetries").set(u64(rc.writeRetries));
+        res_group.scalar("remaps").set(u64(rc.remaps));
+        res_group.scalar("spareExhausted").set(u64(rc.spareExhausted));
+        res_group.scalar("dataLossLines").set(u64(rc.dataLossLines));
+        res_group.scalar("irbEccFaults").set(u64(rc.irbEccFaults));
+        res_group.scalar("preExecDisabledWrites")
+            .set(u64(rc.preExecDisabledWrites));
+        res_group.scalar("dedupBypasses").set(u64(rc.dedupBypasses));
+        res_group.scalar("watchdogTrips").set(u64(rc.watchdogTrips));
+        res_group.scalar("degradedNs")
+            .set(ticks::toNsF(rc.degradedTicks));
+        res_group.scalar("retryBackoffNs")
+            .set(ticks::toNsF(rc.retryBackoffTicks));
+        res_group.scalar("scrubQueued").set(u64(rc.scrubQueued));
+        res_group.scalar("scrubbed").set(u64(rc.scrubbed));
+        res_group.scalar("scrubFailures").set(u64(rc.scrubFailures));
+        groups.push_back(std::move(res_group));
     }
 
     std::sort(groups.begin(), groups.end(),

@@ -39,6 +39,8 @@ struct SystemConfig
     unsigned resourceScale = 1;
     /** Figure 14 "unlimited" point. */
     bool unlimitedResources = false;
+    /** Online resilience layer (inert unless enabled). */
+    ResilienceConfig resilience;
     /** Base/extent of the persistent heap handed to workloads. */
     Addr heapBase = 1 * 1024 * 1024;
     Addr heapBytes = Addr(2) * 1024 * 1024 * 1024;

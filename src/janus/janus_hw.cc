@@ -140,6 +140,10 @@ JanusFrontend::issueImmediate(const PreObjId &obj,
                               Tick now)
 {
     ++requestsIssued_;
+    if (disabled(now)) {
+        ++droppedDisabled_;
+        return; // dropping is always correct, only slower
+    }
     for (unsigned i = 0; i < chunks.size(); ++i)
         launchChunk(obj, i, chunks[i], now);
 }
@@ -148,8 +152,11 @@ void
 JanusFrontend::buffer(const PreObjId &obj,
                       const std::vector<PreChunk> &chunks, Tick now)
 {
-    (void)now;
     ++requestsIssued_;
+    if (disabled(now)) {
+        ++droppedDisabled_;
+        return;
+    }
     auto it = std::find_if(bufferedChunks_.begin(), bufferedChunks_.end(),
                            [&](const auto &kv) {
                                return kv.first == obj;
@@ -199,6 +206,10 @@ JanusFrontend::buffer(const PreObjId &obj,
 void
 JanusFrontend::startBuffered(const PreObjId &obj, Tick now)
 {
+    if (disabled(now)) {
+        ++droppedDisabled_;
+        return;
+    }
     auto it = std::find_if(bufferedChunks_.begin(), bufferedChunks_.end(),
                            [&](const auto &kv) {
                                return kv.first == obj;

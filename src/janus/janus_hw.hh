@@ -21,6 +21,7 @@
 #ifndef JANUS_JANUS_JANUS_HW_HH
 #define JANUS_JANUS_JANUS_HW_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -163,6 +164,29 @@ class JanusFrontend
     /** Discard entries in [base, base+size) (e.g., page swap-out). */
     void flushRange(Addr base, Addr size);
 
+    /**
+     * Disable pre-execution until @p until (resilience layer: an IRB
+     * ECC fault makes the whole volatile buffer suspect). While
+     * disabled, incoming pre-execution requests are dropped and
+     * consuming writes bypass the IRB.
+     */
+    void disableUntil(Tick until)
+    {
+        preExecDisabledUntil_ = std::max(preExecDisabledUntil_, until);
+    }
+
+    /** Is pre-execution currently disabled? */
+    bool disabled(Tick now) const
+    {
+        return now < preExecDisabledUntil_;
+    }
+
+    /** Does an IRB entry exist for this line address? */
+    bool hasEntryFor(Addr line_addr) const
+    {
+        return byAddr_.find(line_addr) != byAddr_.end();
+    }
+
     unsigned irbOccupancy() const
     {
         return static_cast<unsigned>(entries_.size());
@@ -183,6 +207,8 @@ class JanusFrontend
         return metadataInvalidations_;
     }
     std::uint64_t agedOut() const { return agedOut_; }
+    /** Pre-execution requests dropped while disabled. */
+    std::uint64_t droppedDisabled() const { return droppedDisabled_; }
     std::uint64_t consumedWithEntry() const { return consumedWithEntry_; }
     std::uint64_t consumedFullyPreExecuted() const
     {
@@ -270,6 +296,8 @@ class JanusFrontend
     std::uint64_t dataMismatches_ = 0;
     std::uint64_t metadataInvalidations_ = 0;
     std::uint64_t agedOut_ = 0;
+    std::uint64_t droppedDisabled_ = 0;
+    Tick preExecDisabledUntil_ = 0;
     std::uint64_t consumedWithEntry_ = 0;
     std::uint64_t consumedFullyPreExecuted_ = 0;
     std::uint64_t irbHits_ = 0;

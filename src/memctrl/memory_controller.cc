@@ -31,7 +31,8 @@ MemoryController::MemoryController(const MemCtrlConfig &config)
       engine_(graph_, config.bmoUnits),
       backend_(effectiveBmoConfig(config)), device_(config.nvm),
       counterCache_("counterCache", config.counterCacheBytes,
-                    config.counterCacheAssoc)
+                    config.counterCacheAssoc),
+      resilience_(config.resilience)
 {
     if (config_.mode == WritePathMode::Janus)
         frontend_ = std::make_unique<JanusFrontend>(config.janusHw,
@@ -45,6 +46,9 @@ MemoryController::MemoryController(const MemCtrlConfig &config)
             hasE1_ = true;
             e1Id_ = id;
         }
+        if (!graph_.subOp(id).name.empty() &&
+            graph_.subOp(id).name[0] == 'I')
+            integrityIds_.push_back(id);
     }
 }
 
@@ -62,6 +66,11 @@ MemoryController::setTracer(Tracer *tracer)
     bmoStageLabel_ = tracer_->label("bmo");
     queueStageLabel_ = tracer_->label("nvmQueue");
     orderStageLabel_ = tracer_->label("order");
+    resilienceTrack_ = tracer_->track("mc.resilience");
+    retryLabel_ = tracer_->label("retry");
+    remapLabel_ = tracer_->label("remap");
+    irbFaultLabel_ = tracer_->label("irbEccFault");
+    degradeLabel_ = tracer_->label("degraded");
 }
 
 TraceId
@@ -99,6 +108,14 @@ MemoryController::deviceAddrOf(Addr line_addr)
     return line_addr;
 }
 
+std::uint64_t
+MemoryController::frameWearOf(Addr frame) const
+{
+    if (wearLeveler_ && frame < (config_.wearRegionLines << lineShift))
+        return wearLeveler_->writesTo(frame);
+    return 0;
+}
+
 Addr
 MemoryController::metaLineOf(Addr line_addr) const
 {
@@ -131,6 +148,25 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
 
     PersistResult result;
 
+    // Resilience: retire due background-scrub work, and decide up
+    // front whether this write runs in degraded mode (integrity
+    // checks deferred to the scrubber). The decision uses the
+    // watchdog state as of arrival; this write's own BMO latency
+    // feeds the watchdog for subsequent writes.
+    bool degraded = false;
+    bool irb_fault = false;
+    Tick media_delay = 0;
+    bool remapped = false;
+    if (resilienceOn()) {
+        resilience_.scrubAdvance(arrival, backend_);
+        degraded = resilience_.degraded(arrival);
+        if (degraded) {
+            for (SubOpId id : integrityIds_)
+                latencyOverride_[id] =
+                    config_.resilience.deferredIntegrityLatency;
+        }
+    }
+
     // 1. Backend memory operations (the critical-path extension).
     Tick bmo_done = arrival;
     switch (config_.mode) {
@@ -151,6 +187,32 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           break;
       }
       case WritePathMode::Janus: {
+          bool use_irb = true;
+          if (resilienceOn()) {
+              if (frontend_->disabled(arrival)) {
+                  use_irb = false;
+                  resilience_.notePreExecDisabled();
+              } else if (frontend_->hasEntryFor(line_addr) &&
+                         resilience_.maybeIrbEccFault()) {
+                  // The matching IRB entry failed its ECC check, so
+                  // every pre-executed result in the volatile buffer
+                  // is suspect: scrub the IRB and fall back to the
+                  // non-pre-executed path for a window.
+                  irb_fault = true;
+                  frontend_->reset();
+                  frontend_->disableUntil(
+                      arrival + config_.resilience.irbEccDisableWindow);
+                  use_irb = false;
+                  resilience_.notePreExecDisabled();
+              }
+          }
+          if (!use_irb) {
+              BmoExecState state(graph_);
+              bmo_done = engine_.execute(state, ExternalInput::Both,
+                                         arrival, BmoExecMode::Parallel,
+                                         &latencyOverride_);
+              break;
+          }
           ConsumeResult consume =
               frontend_->consume(line_addr, data, arrival);
           if (consume.hadEntry) {
@@ -166,10 +228,28 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           break;
       }
     }
+    if (resilienceOn()) {
+        resilience_.noteBmoLatency(arrival, bmo_done);
+        if (degraded) {
+            for (SubOpId id : integrityIds_)
+                latencyOverride_[id] = maxTick;
+        }
+    }
 
-    // 2. Functional effects (what ends up in NVM).
-    WriteOutcome outcome = backend_.writeLine(line_addr, data);
+    // 2. Functional effects (what ends up in NVM). Under fingerprint
+    //    table pressure the resilience layer degrades dedup to a
+    //    bypass: the write stays correct, just stored as unique.
+    bool bypass_dedup =
+        resilienceOn() &&
+        resilience_.dedupBypass(backend_.dedupTableSize());
+    WriteOutcome outcome =
+        backend_.writeLine(line_addr, data, bypass_dedup);
     result.duplicate = outcome.duplicate;
+    if (degraded && config_.bmo.integrity) {
+        // Integrity sub-ops issued at a deferred cost above; the
+        // real verification runs in the background scrubber.
+        resilience_.scrubEnqueue(line_addr, bmo_done);
+    }
 
     // 3. Persist-domain acceptance. Duplicate writes are cancelled:
     //    only their metadata update reaches the device.
@@ -178,7 +258,10 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         persisted = bmo_done;
     } else {
         Addr frame = deviceAddrOf(line_addr);
-        persisted = device_.acceptWrite(frame, bmo_done);
+        // Bad-line remapping composes after Start-Gap translation.
+        Addr target =
+            resilienceOn() ? resilience_.translate(frame) : frame;
+        persisted = device_.acceptWrite(target, bmo_done);
         if (wearLeveler_ &&
             line_addr < (config_.wearRegionLines << lineShift)) {
             wearLeveler_->recordFrameWrite(frame);
@@ -186,6 +269,20 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                 // The gap move copies one line into the vacated
                 // frame: one extra (background) device write.
                 device_.acceptWrite(frame, persisted);
+            }
+        }
+        if (resilienceOn()) {
+            MediaWriteResult mw = resilience_.mediaWrite(
+                target, data, frameWearOf(frame), bmo_done);
+            if (mw.delay > 0) {
+                // Write-verify retries push durability out.
+                media_delay = mw.delay;
+                persisted += mw.delay;
+            }
+            if (mw.remapped) {
+                // Programming the spare is one more device write.
+                remapped = true;
+                persisted = device_.acceptWrite(mw.frame, persisted);
             }
         }
     }
@@ -223,6 +320,11 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     breakdown_.orderNs.sample(ticks::toNsF(persisted - accepted));
     breakdown_.totalNs.sample(ticks::toNsF(persisted - arrival));
     breakdown_.totalHistNs.sample(ticks::toNsF(persisted - arrival));
+#if !JANUS_TRACING
+    (void)irb_fault;
+    (void)media_delay;
+    (void)remapped;
+#endif
 #if JANUS_TRACING
     if (tracer_) {
         TraceId track = streamTrack(stream);
@@ -235,6 +337,18 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         if (persisted > accepted)
             tracer_->span(track, orderStageLabel_, accepted,
                           persisted, line_addr);
+        if (irb_fault)
+            tracer_->instant(resilienceTrack_, irbFaultLabel_,
+                             arrival, line_addr);
+        if (media_delay > 0)
+            tracer_->instant(resilienceTrack_, retryLabel_, bmo_done,
+                             line_addr);
+        if (remapped)
+            tracer_->instant(resilienceTrack_, remapLabel_, persisted,
+                             line_addr);
+        if (degraded)
+            tracer_->instant(resilienceTrack_, degradeLabel_, arrival,
+                             line_addr);
     }
 #endif
 
@@ -258,7 +372,15 @@ MemoryController::notifyRecovery()
 Tick
 MemoryController::readLine(Addr line_addr, Tick start)
 {
-    Tick data_done = device_.read(deviceAddrOf(line_addr), start);
+    Addr frame = deviceAddrOf(line_addr);
+    Addr target = resilienceOn() ? resilience_.translate(frame) : frame;
+    Tick data_done = device_.read(target, start);
+    if (resilienceOn()) {
+        // ECC check against the fault model: transient flips may
+        // force (backed-off) re-reads before the line decodes.
+        data_done += resilience_.mediaReadCheck(
+            target, frameWearOf(frame), start);
+    }
     if (config_.mode == WritePathMode::NoBmo ||
         !config_.bmo.encryption)
         return data_done;

@@ -22,6 +22,7 @@
 #include "janus/janus_hw.hh"
 #include "nvm/nvm_device.hh"
 #include "nvm/wear_level.hh"
+#include "resilience/resilience.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -57,6 +58,8 @@ struct MemCtrlConfig
     Addr metaBase = Addr(1) << 40;
     /** Extent of the Start-Gap region (when wear leveling is on). */
     std::uint64_t wearRegionLines = std::uint64_t(1) << 24;
+    /** Online resilience layer (inert unless enabled). */
+    ResilienceConfig resilience;
 };
 
 /**
@@ -152,6 +155,17 @@ class MemoryController
     StartGapWearLeveler &wearLeveler();
     SetAssocCache &counterCache() { return counterCache_; }
 
+    /** The online resilience layer (inert when not enabled). */
+    ResilienceManager &resilience() { return resilience_; }
+    const ResilienceManager &resilience() const { return resilience_; }
+
+    /** End of run: drain the background integrity scrubber. */
+    void finishRun()
+    {
+        if (resilienceOn())
+            resilience_.scrubDrain(backend_);
+    }
+
     /** Metadata line address holding a data line's meta entry. */
     Addr metaLineOf(Addr line_addr) const;
 
@@ -215,6 +229,11 @@ class MemoryController
     /** Start-Gap translation for addresses inside the region. */
     Addr deviceAddrOf(Addr line_addr);
 
+    bool resilienceOn() const { return config_.resilience.enabled; }
+
+    /** Start-Gap write count of a device frame (fault wear input). */
+    std::uint64_t frameWearOf(Addr frame) const;
+
     MemCtrlConfig config_;
     BmoGraph graph_;
     BmoEngine engine_;
@@ -223,10 +242,13 @@ class MemoryController
     SetAssocCache counterCache_;
     std::unique_ptr<JanusFrontend> frontend_;
     std::unique_ptr<StartGapWearLeveler> wearLeveler_;
+    ResilienceManager resilience_;
     /** Reused per-write latency override (E1 hit/miss). */
     std::vector<Tick> latencyOverride_;
     bool hasE1_ = false;
     SubOpId e1Id_ = 0;
+    /** Integrity sub-ops (I*): deferred while degraded. */
+    std::vector<SubOpId> integrityIds_;
 
     /** Per-stream (per-core) FIFO durability horizons. */
     std::vector<Tick> lastPersist_;
@@ -243,6 +265,11 @@ class MemoryController
     TraceId bmoStageLabel_ = 0;
     TraceId queueStageLabel_ = 0;
     TraceId orderStageLabel_ = 0;
+    TraceId resilienceTrack_ = 0;
+    TraceId retryLabel_ = 0;
+    TraceId remapLabel_ = 0;
+    TraceId irbFaultLabel_ = 0;
+    TraceId degradeLabel_ = 0;
 };
 
 } // namespace janus

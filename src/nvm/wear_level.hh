@@ -55,6 +55,14 @@ class StartGapWearLeveler
     /** Record a write landing on a device frame (stats only). */
     void recordFrameWrite(Addr frame_addr);
 
+    /** Writes recorded on one device frame (wear-scaled faults). */
+    std::uint64_t
+    writesTo(Addr frame_addr) const
+    {
+        auto it = frameWrites_.find((frame_addr - base_) >> lineShift);
+        return it == frameWrites_.end() ? 0 : it->second;
+    }
+
   private:
     Addr base_;
     std::uint64_t lines_;

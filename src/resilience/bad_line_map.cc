@@ -1,0 +1,42 @@
+#include "resilience/bad_line_map.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+BadLineMap::BadLineMap(Addr spare_base, std::uint64_t spare_lines)
+    : spareBase_(spare_base), spareLines_(spare_lines)
+{
+    janus_assert(lineOffset(spare_base) == 0,
+                 "spare region must be line aligned");
+}
+
+Addr
+BadLineMap::translate(Addr frame) const
+{
+    // Chains are short (a frame is remapped at most once, and only a
+    // spare that itself went bad extends the chain), but follow them
+    // fully so composition with Start-Gap stays a pure function.
+    auto it = remap_.find(frame);
+    while (it != remap_.end()) {
+        frame = it->second;
+        it = remap_.find(frame);
+    }
+    return frame;
+}
+
+std::optional<Addr>
+BadLineMap::remap(Addr frame)
+{
+    janus_assert(!isRemapped(frame),
+                 "frame %#llx is already remapped",
+                 static_cast<unsigned long long>(frame));
+    if (nextSpare_ >= spareLines_)
+        return std::nullopt;
+    Addr spare = spareBase_ + (nextSpare_++ << lineShift);
+    remap_[frame] = spare;
+    return spare;
+}
+
+} // namespace janus

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * BadLineMap: permanent remapping of failed device frames to a spare
+ * region, the NVM analogue of a disk's reserved-sector pool. The map
+ * composes with Start-Gap wear leveling: the leveler rotates logical
+ * lines over frames, and the map then redirects any frame that has
+ * exceeded its retry budget — including spare frames that later go
+ * bad themselves (remap chains are followed to the live frame).
+ */
+
+#ifndef JANUS_RESILIENCE_BAD_LINE_MAP_HH
+#define JANUS_RESILIENCE_BAD_LINE_MAP_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** The spare-region remap table. */
+class BadLineMap
+{
+  public:
+    /**
+     * @param spare_base   first line address of the spare region;
+     *                     must be disjoint from every data region
+     * @param spare_lines  frames available for remapping
+     */
+    BadLineMap(Addr spare_base, std::uint64_t spare_lines);
+
+    /**
+     * Follow the remap chain from a device frame to the frame that
+     * actually holds the data. Identity for unmapped frames.
+     */
+    Addr translate(Addr frame) const;
+
+    /**
+     * Retire @p frame and allocate a spare for it.
+     * @return the spare frame, or nullopt when the pool is exhausted
+     *         (the caller keeps using the bad frame and must account
+     *         the potential data loss).
+     */
+    std::optional<Addr> remap(Addr frame);
+
+    bool isRemapped(Addr frame) const
+    {
+        return remap_.find(frame) != remap_.end();
+    }
+
+    std::uint64_t remappedLines() const
+    {
+        return static_cast<std::uint64_t>(remap_.size());
+    }
+
+    std::uint64_t sparesUsed() const { return nextSpare_; }
+    std::uint64_t sparesLeft() const { return spareLines_ - nextSpare_; }
+
+  private:
+    Addr spareBase_;
+    std::uint64_t spareLines_;
+    std::uint64_t nextSpare_ = 0;
+    /** bad frame -> replacement frame (chains allowed). */
+    std::unordered_map<Addr, Addr> remap_;
+};
+
+} // namespace janus
+
+#endif // JANUS_RESILIENCE_BAD_LINE_MAP_HH

@@ -1,0 +1,181 @@
+#include "resilience/ecc.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/**
+ * Hamming codeword positions run 1..71. Positions that are powers of
+ * two hold the seven check bits c0..c6; the remaining 64 positions
+ * hold the data bits in ascending order. The tables below map data
+ * bit index -> codeword position and back; they are built once at
+ * startup (constexpr would work too, but a lambda-initialised static
+ * keeps the construction readable).
+ */
+struct HammingTables
+{
+    std::array<std::uint8_t, 64> dataPos;  ///< data bit i -> position
+    std::array<std::int8_t, 128> posToData; ///< position -> data bit
+    /** For each check bit j, the mask of data bits it covers. */
+    std::array<std::uint64_t, 7> coverMask;
+
+    HammingTables()
+    {
+        posToData.fill(-1);
+        unsigned data_bit = 0;
+        for (unsigned pos = 1; pos <= 127 && data_bit < 64; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue; // power of two: a check-bit position
+            dataPos[data_bit] = static_cast<std::uint8_t>(pos);
+            posToData[pos] = static_cast<std::int8_t>(data_bit);
+            ++data_bit;
+        }
+        coverMask.fill(0);
+        for (unsigned i = 0; i < 64; ++i)
+            for (unsigned j = 0; j < 7; ++j)
+                if (dataPos[i] & (1u << j))
+                    coverMask[j] |= std::uint64_t(1) << i;
+    }
+};
+
+const HammingTables &
+tables()
+{
+    static const HammingTables t;
+    return t;
+}
+
+/** The seven Hamming check bits of a data word. */
+std::uint8_t
+hammingBits(std::uint64_t word)
+{
+    const HammingTables &t = tables();
+    std::uint8_t check = 0;
+    for (unsigned j = 0; j < 7; ++j)
+        check |= static_cast<std::uint8_t>(
+            (std::popcount(word & t.coverMask[j]) & 1) << j);
+    return check;
+}
+
+} // namespace
+
+std::uint8_t
+eccEncodeWord(std::uint64_t word)
+{
+    std::uint8_t check = hammingBits(word);
+    // Overall even parity over data + all eight check-byte bits: the
+    // parity bit is chosen so the total population count is even.
+    unsigned ones = std::popcount(word) + std::popcount(unsigned(check));
+    if (ones & 1)
+        check |= 0x80;
+    return check;
+}
+
+EccStatus
+eccDecodeWord(std::uint64_t &word, std::uint8_t check)
+{
+    const HammingTables &t = tables();
+    std::uint8_t syndrome =
+        static_cast<std::uint8_t>((hammingBits(word) ^ check) & 0x7f);
+    bool parity_error =
+        ((std::popcount(word) + std::popcount(unsigned(check))) & 1) != 0;
+
+    if (syndrome == 0)
+        // No located error. A lone parity mismatch means the parity
+        // bit itself flipped: the data is intact.
+        return parity_error ? EccStatus::Corrected : EccStatus::Clean;
+
+    if (!parity_error)
+        // A nonzero syndrome with consistent overall parity is the
+        // signature of a double-bit error: detected, not correctable.
+        return EccStatus::Uncorrectable;
+
+    if ((syndrome & (syndrome - 1)) == 0)
+        // The error is in a check-bit position; data is intact.
+        return EccStatus::Corrected;
+
+    std::int8_t data_bit = syndrome < t.posToData.size()
+                               ? t.posToData[syndrome]
+                               : std::int8_t(-1);
+    if (data_bit < 0)
+        // Syndrome aliases outside the codeword: a multi-bit error.
+        return EccStatus::Uncorrectable;
+
+    word ^= std::uint64_t(1) << data_bit;
+    return EccStatus::Corrected;
+}
+
+void
+LineCodeword::flipBit(unsigned b)
+{
+    janus_assert(b < bits, "codeword bit %u out of range", b);
+    if (b < 8 * lineBytes)
+        data[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+    else {
+        unsigned c = b - 8 * lineBytes;
+        check[c / 8] ^= static_cast<std::uint8_t>(1u << (c % 8));
+    }
+}
+
+void
+LineCodeword::forceBit(unsigned b, bool value)
+{
+    if (bit(b) != value)
+        flipBit(b);
+}
+
+bool
+LineCodeword::bit(unsigned b) const
+{
+    janus_assert(b < bits, "codeword bit %u out of range", b);
+    if (b < 8 * lineBytes)
+        return (data[b / 8] >> (b % 8)) & 1;
+    unsigned c = b - 8 * lineBytes;
+    return (check[c / 8] >> (c % 8)) & 1;
+}
+
+LineCodeword
+eccEncodeLine(const CacheLine &line)
+{
+    LineCodeword cw;
+    std::memcpy(cw.data.data(), line.data(), lineBytes);
+    for (unsigned w = 0; w < lineBytes / 8; ++w)
+        cw.check[w] = eccEncodeWord(line.word(w * 8));
+    return cw;
+}
+
+LineDecode
+eccDecodeLine(const LineCodeword &stored)
+{
+    LineDecode result;
+    std::memcpy(result.data.data(), stored.data.data(), lineBytes);
+    for (unsigned w = 0; w < lineBytes / 8; ++w) {
+        std::uint64_t word = result.data.word(w * 8);
+        EccStatus status = eccDecodeWord(word, stored.check[w]);
+        switch (status) {
+          case EccStatus::Clean:
+            break;
+          case EccStatus::Corrected:
+            ++result.correctedWords;
+            result.data.setWord(w * 8, word);
+            break;
+          case EccStatus::Uncorrectable:
+            ++result.uncorrectableWords;
+            break;
+        }
+    }
+    if (result.uncorrectableWords > 0)
+        result.status = EccStatus::Uncorrectable;
+    else if (result.correctedWords > 0)
+        result.status = EccStatus::Corrected;
+    return result;
+}
+
+} // namespace janus

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SECDED ECC model for NVM cache lines: Hamming(72,64) per 64-bit
+ * word — the code DDR4/DDR5 and PCM DIMM controllers actually ship —
+ * with an overall-parity bit extending the Hamming distance to 4.
+ * Each 64-byte line stores eight data words plus eight check bytes.
+ *
+ * This is a real code, not a coin flip: the syndrome is recomputed
+ * from the stored (possibly corrupted) bytes on every decode, single
+ * bit errors are located and corrected, and any two-bit error in a
+ * word is detected as uncorrectable. The resilience layer uses it to
+ * classify every device access as clean / corrected / uncorrectable.
+ */
+
+#ifndef JANUS_RESILIENCE_ECC_HH
+#define JANUS_RESILIENCE_ECC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/cacheline.hh"
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Outcome class of one ECC decode. */
+enum class EccStatus : std::uint8_t
+{
+    Clean,         ///< syndrome zero, parity consistent
+    Corrected,     ///< single-bit error located and repaired
+    Uncorrectable, ///< double-bit (or aliased multi-bit) error
+};
+
+/**
+ * The stored form of one line on the device: 64 data bytes plus one
+ * Hamming(72,64) check byte per 64-bit word. 576 bits total; fault
+ * injection addresses bits [0, 512) as data and [512, 576) as check
+ * storage, so stuck-at cells can land on the ECC bits themselves.
+ */
+struct LineCodeword
+{
+    std::array<std::uint8_t, lineBytes> data{};
+    std::array<std::uint8_t, lineBytes / 8> check{};
+
+    /** Total number of addressable cells (data + check bits). */
+    static constexpr unsigned bits = 8 * lineBytes + 8 * (lineBytes / 8);
+
+    /** XOR one cell of the codeword (transient flip). */
+    void flipBit(unsigned bit);
+
+    /** Force one cell of the codeword to a value (stuck-at cell). */
+    void forceBit(unsigned bit, bool value);
+
+    /** Read one cell of the codeword. */
+    bool bit(unsigned bit) const;
+};
+
+/** Result of decoding one stored line. */
+struct LineDecode
+{
+    EccStatus status = EccStatus::Clean;
+    /** Words whose single-bit error was corrected. */
+    unsigned correctedWords = 0;
+    /** Words that decoded as uncorrectable. */
+    unsigned uncorrectableWords = 0;
+    /** The corrected data (valid unless status is Uncorrectable). */
+    CacheLine data;
+};
+
+/** Hamming(72,64)+parity check byte for one data word. */
+std::uint8_t eccEncodeWord(std::uint64_t word);
+
+/**
+ * Decode one (word, check) pair: recompute the syndrome over the
+ * stored bits, locate and correct a single-bit error (data, check or
+ * parity position), and flag double errors.
+ *
+ * @param word  stored data word (corrected in place when possible)
+ */
+EccStatus eccDecodeWord(std::uint64_t &word, std::uint8_t check);
+
+/** Encode a full line into its stored codeword. */
+LineCodeword eccEncodeLine(const CacheLine &line);
+
+/** Decode a full stored codeword; per-word status is aggregated to
+ *  the worst class across the eight words. */
+LineDecode eccDecodeLine(const LineCodeword &stored);
+
+} // namespace janus
+
+#endif // JANUS_RESILIENCE_ECC_HH

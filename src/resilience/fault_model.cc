@@ -1,0 +1,104 @@
+#include "resilience/fault_model.hh"
+
+#include <algorithm>
+
+namespace janus
+{
+
+DeviceFaultModel::DeviceFaultModel(const FaultModelConfig &config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+}
+
+double
+DeviceFaultModel::scaled(double base, Addr frame,
+                         std::uint64_t external_wear) const
+{
+    if (base <= 0)
+        return 0;
+    auto it = writes_.find(frame);
+    std::uint64_t wear =
+        external_wear + (it == writes_.end() ? 0 : it->second);
+    double rate =
+        base * (1.0 + static_cast<double>(wear) * config_.wearFactor);
+    return std::min(rate, 1.0);
+}
+
+unsigned
+DeviceFaultModel::onWrite(Addr frame, std::uint64_t external_wear)
+{
+    double rate = scaled(config_.stuckCellRate, frame, external_wear);
+    ++writes_[frame];
+    if (rate <= 0 || !rng_.chance(rate))
+        return 0;
+    std::vector<StuckCell> &cells = stuck_[frame];
+    StuckCell cell;
+    cell.bit = static_cast<std::uint16_t>(
+        rng_.below(LineCodeword::bits));
+    cell.value = rng_.chance(0.5);
+    // A cell can only fail once; re-drawing the same position models
+    // no additional damage.
+    auto same = std::find_if(cells.begin(), cells.end(),
+                             [&](const StuckCell &c) {
+                                 return c.bit == cell.bit;
+                             });
+    if (same != cells.end())
+        return 0;
+    cells.push_back(cell);
+    ++stuckCells_;
+    return 1;
+}
+
+unsigned
+DeviceFaultModel::applyStuck(Addr frame, LineCodeword &cw) const
+{
+    auto it = stuck_.find(frame);
+    if (it == stuck_.end())
+        return 0;
+    unsigned altered = 0;
+    for (const StuckCell &cell : it->second) {
+        if (cw.bit(cell.bit) != cell.value) {
+            cw.forceBit(cell.bit, cell.value);
+            ++altered;
+        }
+    }
+    return altered;
+}
+
+unsigned
+DeviceFaultModel::applyTransient(Addr frame,
+                                 std::uint64_t external_wear,
+                                 LineCodeword &cw)
+{
+    double rate =
+        scaled(config_.transientFlipRate, frame, external_wear);
+    if (rate <= 0 || !rng_.chance(rate))
+        return 0;
+    unsigned flips = 0;
+    do {
+        cw.flipBit(static_cast<unsigned>(
+            rng_.below(LineCodeword::bits)));
+        ++flips;
+    } while (flips < config_.maxFlipsPerAccess &&
+             rng_.chance(config_.extraFlipRate));
+    transientFlips_ += flips;
+    return flips;
+}
+
+const std::vector<StuckCell> &
+DeviceFaultModel::stuckCells(Addr frame) const
+{
+    static const std::vector<StuckCell> empty;
+    auto it = stuck_.find(frame);
+    return it == stuck_.end() ? empty : it->second;
+}
+
+std::uint64_t
+DeviceFaultModel::frameWrites(Addr frame) const
+{
+    auto it = writes_.find(frame);
+    return it == writes_.end() ? 0 : it->second;
+}
+
+} // namespace janus

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Seeded device fault model for PCM-class NVM: transient read noise
+ * (thermal drift, read disturb) and permanent stuck-at cells
+ * (wear-out). Fault probabilities scale with per-frame wear — both
+ * the model's own write counts and the Start-Gap frame-write
+ * counters the memory controller feeds in — so heavily written
+ * frames degrade first, exactly the coupling wear leveling exists to
+ * spread out.
+ *
+ * All randomness comes from one explicitly seeded Rng, drawn in
+ * simulated access order; a given seed reproduces the exact fault
+ * sequence run after run.
+ */
+
+#ifndef JANUS_RESILIENCE_FAULT_MODEL_HH
+#define JANUS_RESILIENCE_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "resilience/ecc.hh"
+
+namespace janus
+{
+
+/** Fault-rate knobs (all per-access probabilities at zero wear). */
+struct FaultModelConfig
+{
+    /** Probability a read access suffers at least one transient
+     *  bit flip in its 576-bit codeword. */
+    double transientFlipRate = 0.0;
+    /** Conditional probability each additional flip follows the
+     *  previous one (geometric tail; two flips in one word is what
+     *  makes a read uncorrectable). */
+    double extraFlipRate = 0.25;
+    /** Cap on flips injected into a single access. */
+    unsigned maxFlipsPerAccess = 4;
+    /** Probability a write permanently sticks one new cell. */
+    double stuckCellRate = 0.0;
+    /** Wear coupling: effective rate = base * (1 + wear * factor). */
+    double wearFactor = 0.0;
+};
+
+/** One permanently failed cell of a frame's codeword. */
+struct StuckCell
+{
+    std::uint16_t bit = 0; ///< codeword bit index [0, 576)
+    bool value = false;    ///< the value the cell is stuck at
+};
+
+/** The device fault model. */
+class DeviceFaultModel
+{
+  public:
+    DeviceFaultModel(const FaultModelConfig &config, std::uint64_t seed);
+
+    /**
+     * Account one program operation on @p frame; with wear-scaled
+     * probability a new cell of the frame sticks.
+     *
+     * @param external_wear  wear known outside the model (Start-Gap
+     *                       frame-write counters)
+     * @return number of cells newly stuck by this write.
+     */
+    unsigned onWrite(Addr frame, std::uint64_t external_wear);
+
+    /** Force the frame's stuck cells into a codeword about to be
+     *  programmed. @return number of bits actually altered. */
+    unsigned applyStuck(Addr frame, LineCodeword &cw) const;
+
+    /**
+     * Sample transient read noise for one access and XOR it into the
+     * codeword. @return number of bits flipped.
+     */
+    unsigned applyTransient(Addr frame, std::uint64_t external_wear,
+                            LineCodeword &cw);
+
+    /** Permanent damage of a frame (empty if pristine). */
+    const std::vector<StuckCell> &stuckCells(Addr frame) const;
+
+    /** Writes the model has seen land on a frame. */
+    std::uint64_t frameWrites(Addr frame) const;
+
+    std::uint64_t transientFlipsInjected() const
+    {
+        return transientFlips_;
+    }
+    std::uint64_t stuckCellsInjected() const { return stuckCells_; }
+
+  private:
+    double scaled(double base, Addr frame,
+                  std::uint64_t external_wear) const;
+
+    FaultModelConfig config_;
+    Rng rng_;
+    std::unordered_map<Addr, std::vector<StuckCell>> stuck_;
+    std::unordered_map<Addr, std::uint64_t> writes_;
+    std::uint64_t transientFlips_ = 0;
+    std::uint64_t stuckCells_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_RESILIENCE_FAULT_MODEL_HH

@@ -1,0 +1,196 @@
+#include "resilience/resilience.hh"
+
+#include <algorithm>
+
+namespace janus
+{
+
+namespace
+{
+
+/** SplitMix64 step: derive independent seed streams from one seed. */
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + stream * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ResilienceManager::ResilienceManager(const ResilienceConfig &config)
+    : config_(config),
+      faults_(config.faults, deriveSeed(config.seed, 1)),
+      badLines_(config.spareBase, config.spareLines),
+      scrubber_(config.scrubPerLeaf),
+      rng_(deriveSeed(config.seed, 2)),
+      limiter_(config.warnsPerInterval, config.warnInterval)
+{
+}
+
+MediaWriteResult
+ResilienceManager::mediaWrite(Addr frame, const CacheLine &data,
+                              std::uint64_t external_wear, Tick now)
+{
+    MediaWriteResult res;
+    res.frame = frame;
+
+    // One program operation may stick a new cell of the frame.
+    faults_.onWrite(frame, external_wear);
+
+    LineCodeword encoded = eccEncodeLine(data);
+    unsigned attempt = 0;
+    for (;;) {
+        // Program + write-verify: the frame's stuck cells override
+        // the programmed bits; read back and check the decode.
+        LineCodeword cw = encoded;
+        faults_.applyStuck(res.frame, cw);
+        LineDecode dec = eccDecodeLine(cw);
+        if (dec.status != EccStatus::Uncorrectable) {
+            if (dec.status == EccStatus::Corrected)
+                ++counters_.correctedWrites;
+            store_[res.frame] = cw;
+            return res;
+        }
+
+        ++counters_.writeVerifyFailures;
+        if (attempt < config_.retryBudget) {
+            // Stuck-at damage is permanent so a re-program pulse
+            // cannot fix it, but a real controller does not know
+            // that: the budgeted retries (and their backoff cost)
+            // are modeled faithfully.
+            Tick wait = backoff(attempt);
+            res.delay += wait;
+            counters_.retryBackoffTicks += wait;
+            ++counters_.writeRetries;
+            ++attempt;
+            continue;
+        }
+
+        // Retry budget exhausted: the frame is retired for good.
+        std::optional<Addr> spare = badLines_.remap(res.frame);
+        if (!spare) {
+            ++counters_.spareExhausted;
+            ++counters_.dataLossLines;
+            limiter_.warn(
+                now,
+                "resilience: spare pool exhausted; frame %#llx "
+                "stays uncorrectable",
+                static_cast<unsigned long long>(res.frame));
+            store_[res.frame] = cw;
+            return res;
+        }
+        ++counters_.remaps;
+        limiter_.warn(
+            now,
+            "resilience: frame %#llx retired to spare %#llx after "
+            "%u retries",
+            static_cast<unsigned long long>(res.frame),
+            static_cast<unsigned long long>(*spare), attempt);
+        res.frame = *spare;
+        res.remapped = true;
+        // Program the spare: a fresh frame, but it wears too.
+        faults_.onWrite(res.frame, 0);
+        attempt = 0;
+    }
+}
+
+Tick
+ResilienceManager::mediaReadCheck(Addr frame,
+                                  std::uint64_t external_wear,
+                                  Tick now)
+{
+    auto it = store_.find(frame);
+    if (it == store_.end())
+        return 0; // never programmed through the fault model
+
+    Tick delay = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        LineCodeword cw = it->second;
+        // The last budgeted attempt is a careful (slow, low-noise)
+        // sensing pass: no transient noise is sampled, so a frame
+        // that passed write-verify always decodes eventually. Zero
+        // silent data loss is structural, not statistical.
+        bool careful = attempt >= config_.retryBudget;
+        if (!careful)
+            faults_.applyTransient(frame, external_wear, cw);
+        LineDecode dec = eccDecodeLine(cw);
+        if (dec.status == EccStatus::Clean) {
+            ++counters_.cleanReads;
+            return delay;
+        }
+        if (dec.status == EccStatus::Corrected) {
+            ++counters_.correctedReads;
+            return delay;
+        }
+        ++counters_.uncorrectableReads;
+        if (careful) {
+            // Only reachable when the *stored* codeword is bad —
+            // i.e. a frame left unprotected by spare exhaustion.
+            limiter_.warn(
+                now,
+                "resilience: uncorrectable read of frame %#llx "
+                "(stored codeword damaged)",
+                static_cast<unsigned long long>(frame));
+            return delay;
+        }
+        Tick wait = backoff(attempt);
+        delay += wait;
+        counters_.retryBackoffTicks += wait;
+        ++counters_.readRetries;
+    }
+}
+
+bool
+ResilienceManager::maybeIrbEccFault()
+{
+    if (config_.irbEccFaultRate <= 0)
+        return false;
+    if (!rng_.chance(config_.irbEccFaultRate))
+        return false;
+    ++counters_.irbEccFaults;
+    return true;
+}
+
+bool
+ResilienceManager::dedupBypass(std::uint64_t table_size)
+{
+    if (config_.dedupTableLimit == 0 ||
+        table_size < config_.dedupTableLimit)
+        return false;
+    ++counters_.dedupBypasses;
+    return true;
+}
+
+void
+ResilienceManager::noteBmoLatency(Tick arrival, Tick bmo_done)
+{
+    if (config_.watchdogBudget == 0)
+        return;
+    if (bmo_done - arrival <= config_.watchdogBudget)
+        return;
+    Tick until = bmo_done + config_.degradedWindow;
+    if (until <= degradedUntil_)
+        return;
+    if (degradedUntil_ < bmo_done)
+        ++counters_.watchdogTrips;
+    counters_.degradedTicks +=
+        until - std::max(degradedUntil_, bmo_done);
+    degradedUntil_ = until;
+}
+
+ResilienceCounters
+ResilienceManager::counters() const
+{
+    ResilienceCounters c = counters_;
+    c.transientFlipsInjected = faults_.transientFlipsInjected();
+    c.stuckCellsInjected = faults_.stuckCellsInjected();
+    c.scrubQueued = scrubber_.queued();
+    c.scrubbed = scrubber_.scrubbed();
+    c.scrubFailures = scrubber_.failures();
+    return c;
+}
+
+} // namespace janus

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The online resilience layer (runtime counterpart of the offline
+ * fault-audit subsystem in src/fault/): a seeded device fault model,
+ * SECDED ECC per cache line, a retry policy with exponential backoff
+ * in simulated time, permanent bad-line remapping to a spare region,
+ * and the graceful-degradation machinery for the BMO pipeline
+ * (watchdog, dedup bypass, IRB ECC faults, deferred integrity
+ * scrubbing).
+ *
+ * Determinism contract: with `enabled == false` the layer must be
+ * invisible — no RNG draws, no timing changes, every benchmark
+ * metric bit-identical to a build without the layer. With faults
+ * enabled, a given seed reproduces the exact fault sequence.
+ */
+
+#ifndef JANUS_RESILIENCE_RESILIENCE_HH
+#define JANUS_RESILIENCE_RESILIENCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/cacheline.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "resilience/bad_line_map.hh"
+#include "resilience/ecc.hh"
+#include "resilience/fault_model.hh"
+#include "resilience/scrubber.hh"
+
+namespace janus
+{
+
+class BmoBackendState;
+
+/** Configuration of the whole resilience layer. */
+struct ResilienceConfig
+{
+    /** Master gate. Off (the default) means the layer is inert and
+     *  the simulation is bit-identical to one without it. */
+    bool enabled = false;
+
+    /** Seed for both the device fault model and the layer's own
+     *  draws (IRB ECC faults); separate streams are derived. */
+    std::uint64_t seed = 1;
+
+    /** Device fault rates (transient flips, stuck-at cells, wear). */
+    FaultModelConfig faults;
+
+    // --- retry / remap ---------------------------------------------
+    /** Retries before a frame is retired (reads: before the careful
+     *  final sensing pass). */
+    unsigned retryBudget = 4;
+    /** First retry backoff; doubles per attempt (exponential). */
+    Tick retryBackoffBase = 50 * ticks::ns;
+    /** Base line address of the spare region. Must be disjoint from
+     *  data (< 2^40) and metadata (2^40) regions. */
+    Addr spareBase = Addr(1) << 41;
+    /** Spare frames available for bad-line remapping. */
+    std::uint64_t spareLines = 4096;
+
+    // --- graceful BMO degradation ----------------------------------
+    /** Dedup fingerprint-table size beyond which dedup is bypassed
+     *  (table pressure). 0 = never bypass. */
+    std::uint64_t dedupTableLimit = 0;
+    /** Watchdog: per-write BMO latency above this budget trips
+     *  degraded mode. 0 = watchdog disabled. */
+    Tick watchdogBudget = 0;
+    /** How long a watchdog trip keeps the pipeline degraded. */
+    Tick degradedWindow = 10 * ticks::us;
+    /** Integrity sub-op issue cost while degraded (the real
+     *  verification runs in the background scrubber instead). */
+    Tick deferredIntegrityLatency = 1 * ticks::ns;
+    /** Background scrubber service time per deferred leaf. */
+    Tick scrubPerLeaf = 100 * ticks::ns;
+
+    // --- IRB ECC faults --------------------------------------------
+    /** Probability a consumed IRB entry fails its ECC check. */
+    double irbEccFaultRate = 0.0;
+    /** How long pre-execution stays disabled after an IRB fault. */
+    Tick irbEccDisableWindow = 5 * ticks::us;
+
+    // --- warning rate limiting -------------------------------------
+    unsigned warnsPerInterval = 4;
+    Tick warnInterval = 100 * ticks::us;
+};
+
+/**
+ * Counters of the resilience layer. Emitted in stats / bench JSON
+ * even when the layer is disabled (all zero then) so the schema is
+ * stable across configurations.
+ */
+struct ResilienceCounters
+{
+    // fault injection
+    std::uint64_t transientFlipsInjected = 0;
+    std::uint64_t stuckCellsInjected = 0;
+    // read path
+    std::uint64_t cleanReads = 0;
+    std::uint64_t correctedReads = 0;
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t readRetries = 0;
+    // write path
+    std::uint64_t correctedWrites = 0;
+    std::uint64_t writeVerifyFailures = 0;
+    std::uint64_t writeRetries = 0;
+    // remapping
+    std::uint64_t remaps = 0;
+    std::uint64_t spareExhausted = 0;
+    /** Lines left unprotected after spare exhaustion — the survival
+     *  criterion of the chaos campaigns is that this stays zero. */
+    std::uint64_t dataLossLines = 0;
+    // degradation
+    std::uint64_t irbEccFaults = 0;
+    std::uint64_t preExecDisabledWrites = 0;
+    std::uint64_t dedupBypasses = 0;
+    std::uint64_t watchdogTrips = 0;
+    Tick degradedTicks = 0;
+    Tick retryBackoffTicks = 0;
+    // scrubbing
+    std::uint64_t scrubQueued = 0;
+    std::uint64_t scrubbed = 0;
+    std::uint64_t scrubFailures = 0;
+};
+
+/** Outcome of programming one line through the fault model. */
+struct MediaWriteResult
+{
+    /** Frame finally holding the data (spare frame if remapped). */
+    Addr frame = 0;
+    /** Retry backoff added to the write's persist latency. */
+    Tick delay = 0;
+    /** The original frame was retired to the spare region. */
+    bool remapped = false;
+};
+
+/**
+ * The runtime resilience manager: owns the fault model, the ECC
+ * codeword store, the bad-line map, the retry policy and the
+ * background scrubber. The memory controller consults it on every
+ * media access when the layer is enabled.
+ */
+class ResilienceManager
+{
+  public:
+    explicit ResilienceManager(const ResilienceConfig &config);
+
+    const ResilienceConfig &config() const { return config_; }
+
+    /** Bad-line remap composition (after Start-Gap translation). */
+    Addr translate(Addr frame) const
+    {
+        return badLines_.translate(frame);
+    }
+
+    /**
+     * Program one line: sample wear-out damage, encode, write-verify
+     * against the frame's stuck cells, retry with exponential
+     * backoff, and retire the frame to a spare when the retry budget
+     * is exhausted.
+     *
+     * @param frame          device frame (post Start-Gap + remap)
+     * @param data           plaintext-side line content being stored
+     * @param external_wear  Start-Gap frame write count
+     * @param now            simulated tick (warn rate limiting)
+     */
+    MediaWriteResult mediaWrite(Addr frame, const CacheLine &data,
+                                std::uint64_t external_wear, Tick now);
+
+    /**
+     * Check one read against the fault model: sample transient
+     * noise, decode, and retry (with backoff) on an uncorrectable
+     * word. The final attempt is a careful sensing pass without
+     * transient noise, so a read of a write-verified frame always
+     * succeeds eventually.
+     *
+     * @return extra read latency from retries (0 on a clean read or
+     *         on frames never programmed through the model).
+     */
+    Tick mediaReadCheck(Addr frame, std::uint64_t external_wear,
+                        Tick now);
+
+    /** Seeded draw: does this IRB consume hit an ECC fault? */
+    bool maybeIrbEccFault();
+
+    /** Should this write bypass dedup (fingerprint-table pressure)? */
+    bool dedupBypass(std::uint64_t table_size);
+
+    /** Account a write skipped past the IRB while pre-execution is
+     *  disabled. */
+    void notePreExecDisabled() { ++counters_.preExecDisabledWrites; }
+
+    /** Watchdog: observe one write's BMO-stage latency; over-budget
+     *  latency trips (or extends) the degraded window. */
+    void noteBmoLatency(Tick arrival, Tick bmo_done);
+
+    /** Is the BMO pipeline in degraded mode at @p now? */
+    bool degraded(Tick now) const { return now < degradedUntil_; }
+
+    // --- background integrity scrubbing ----------------------------
+    void scrubEnqueue(Addr line_addr, Tick now)
+    {
+        scrubber_.enqueue(line_addr, now);
+    }
+
+    void scrubAdvance(Tick now, const BmoBackendState &backend)
+    {
+        scrubber_.advance(now, backend);
+    }
+
+    /** End of run: finish all outstanding deferred verifications. */
+    void scrubDrain(const BmoBackendState &backend)
+    {
+        scrubber_.drain(backend);
+    }
+
+    const DeviceFaultModel &faults() const { return faults_; }
+    const BadLineMap &badLines() const { return badLines_; }
+    const Scrubber &scrubber() const { return scrubber_; }
+
+    /** Snapshot of every counter (component counters folded in). */
+    ResilienceCounters counters() const;
+
+  private:
+    Tick backoff(unsigned attempt) const
+    {
+        return config_.retryBackoffBase << attempt;
+    }
+
+    ResilienceConfig config_;
+    DeviceFaultModel faults_;
+    BadLineMap badLines_;
+    Scrubber scrubber_;
+    /** Layer-local draws (IRB ECC faults); a stream separate from
+     *  the device fault model so the two fault sequences do not
+     *  perturb each other. */
+    Rng rng_;
+    RateLimitedWarn limiter_;
+    /** Stored (post-stuck-cell) codeword of every programmed frame. */
+    std::unordered_map<Addr, LineCodeword> store_;
+    Tick degradedUntil_ = 0;
+    ResilienceCounters counters_;
+};
+
+} // namespace janus
+
+#endif // JANUS_RESILIENCE_RESILIENCE_HH

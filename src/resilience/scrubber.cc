@@ -1,0 +1,45 @@
+#include "resilience/scrubber.hh"
+
+#include <algorithm>
+
+namespace janus
+{
+
+void
+Scrubber::enqueue(Addr line_addr, Tick now)
+{
+    Tick start = std::max(busyUntil_, now);
+    busyUntil_ = start + perLeaf_;
+    queue_.push_back({line_addr, busyUntil_});
+    ++queued_;
+    peakPending_ = std::max(peakPending_, queue_.size());
+}
+
+void
+Scrubber::advance(Tick now, const BmoBackendState &backend)
+{
+    while (!queue_.empty() && queue_.front().readyAt <= now) {
+        verify(queue_.front().line, backend);
+        queue_.pop_front();
+    }
+}
+
+void
+Scrubber::drain(const BmoBackendState &backend)
+{
+    while (!queue_.empty()) {
+        verify(queue_.front().line, backend);
+        queue_.pop_front();
+    }
+}
+
+void
+Scrubber::verify(Addr line, const BmoBackendState &backend)
+{
+    IntegrityVerdict verdict = backend.verifyLineIntegrity(line);
+    ++scrubbed_;
+    if (!verdict.ok())
+        ++failures_;
+}
+
+} // namespace janus

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for RateLimitedWarn: at most N warnings per simulated
+ * interval, deterministic window edges (a function of simulated time
+ * alone), and exact emitted/suppressed accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+namespace
+{
+
+class RateLimitedWarnTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(RateLimitedWarnTest, CapsEmissionsPerInterval)
+{
+    RateLimitedWarn limiter(2, 100);
+    for (Tick t = 0; t < 10; ++t)
+        limiter.warn(t, "noisy %llu",
+                     static_cast<unsigned long long>(t));
+    EXPECT_EQ(limiter.emitted(), 2u);
+    EXPECT_EQ(limiter.suppressed(), 8u);
+}
+
+TEST_F(RateLimitedWarnTest, BudgetRefillsEachInterval)
+{
+    RateLimitedWarn limiter(1, 100);
+    limiter.warn(0, "a");
+    limiter.warn(50, "b");   // same window: suppressed
+    limiter.warn(100, "c");  // next window: emitted
+    limiter.warn(250, "d");  // window [200,300): emitted
+    limiter.warn(299, "e");  // same window: suppressed
+    EXPECT_EQ(limiter.emitted(), 3u);
+    EXPECT_EQ(limiter.suppressed(), 2u);
+}
+
+TEST_F(RateLimitedWarnTest, WindowEdgesAreAbsolute)
+{
+    // Windows advance in whole intervals from tick 0, so the edge at
+    // t=200 exists whether or not anything happened in [100, 200).
+    RateLimitedWarn limiter(1, 100);
+    limiter.warn(30, "a");
+    limiter.warn(230, "b"); // two windows later: emitted
+    limiter.warn(260, "c"); // same window as b: suppressed
+    limiter.warn(300, "d"); // fresh window: emitted
+    EXPECT_EQ(limiter.emitted(), 3u);
+    EXPECT_EQ(limiter.suppressed(), 1u);
+}
+
+TEST_F(RateLimitedWarnTest, ZeroIntervalNeverRolls)
+{
+    RateLimitedWarn limiter(3, 0);
+    for (Tick t = 0; t < 1000; t += 100)
+        limiter.warn(t, "x");
+    EXPECT_EQ(limiter.emitted(), 3u);
+    EXPECT_EQ(limiter.suppressed(), 7u);
+}
+
+TEST_F(RateLimitedWarnTest, QuietModeStillCounts)
+{
+    // Counters track policy decisions, not terminal output, so the
+    // chaos campaigns can assert on them while running quiet.
+    setQuiet(true);
+    RateLimitedWarn limiter(1, 10);
+    limiter.warn(0, "hidden");
+    limiter.warn(1, "hidden");
+    EXPECT_EQ(limiter.emitted(), 1u);
+    EXPECT_EQ(limiter.suppressed(), 1u);
+}
+
+} // namespace
+} // namespace janus

@@ -158,6 +158,26 @@ TEST(Runner, ResultsKeepConfigOrder)
         EXPECT_EQ(results[i].transactions, (i + 1) * 10u);
 }
 
+TEST(Runner, MalformedSeedIsAHardError)
+{
+    // A mistyped JANUS_SEED (or --seed=) must never be silently
+    // ignored: the process exits naming the bad value.
+    EXPECT_EXIT(parseSeedLiteral("12x", "JANUS_SEED"),
+                ::testing::ExitedWithCode(1),
+                "malformed JANUS_SEED='12x'");
+    EXPECT_EXIT(parseSeedLiteral("", "JANUS_SEED"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(parseSeedLiteral("-3", "--seed"),
+                ::testing::ExitedWithCode(1),
+                "malformed --seed='-3'");
+    EXPECT_EXIT(parseSeedLiteral("99999999999999999999999",
+                                 "JANUS_SEED"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EQ(parseSeedLiteral("0", "JANUS_SEED"), 0u);
+    EXPECT_EQ(parseSeedLiteral("18446744073709551615", "--seed"),
+              ~std::uint64_t(0));
+}
+
 TEST(Runner, ResolveThreadsHonorsEnv)
 {
     ::setenv("JANUS_BENCH_THREADS", "3", 1);

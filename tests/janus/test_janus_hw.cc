@@ -303,6 +303,79 @@ TEST_F(JanusHwTest, HitMissAndCoverageCounters)
     EXPECT_LT(frontend_.preexecCoveredSubOps() - covered, covered);
 }
 
+TEST_F(JanusHwTest, IrbOverflowWritesFallBackToMissPath)
+{
+    // Overflow the IRB, then consume a line whose pre-execution was
+    // dropped: the write must take the ordinary non-pre-executed
+    // path (no entry, no added latency) and account an IRB miss.
+    for (unsigned i = 0; i < cfg_.irbEntries + 4; ++i)
+        frontend_.issueImmediate(
+            obj(static_cast<std::uint16_t>(i + 1)),
+            {both(0x10000 + Addr(i) * lineBytes,
+                  CacheLine::fromSeed(i))},
+            0);
+    EXPECT_EQ(frontend_.droppedIrb(), 4u);
+    const unsigned dropped = cfg_.irbEntries + 2;
+    const Addr line = 0x10000 + Addr(dropped) * lineBytes;
+    ConsumeResult r = frontend_.consume(
+        line, CacheLine::fromSeed(dropped), 10 * ticks::us);
+    EXPECT_FALSE(r.hadEntry);
+    EXPECT_EQ(r.ready, 10 * ticks::us); // write proceeds undelayed
+    EXPECT_EQ(frontend_.irbMisses(), 1u);
+    // A retained entry still hits.
+    ConsumeResult hit = frontend_.consume(
+        0x10000, CacheLine::fromSeed(0), 10 * ticks::us);
+    EXPECT_TRUE(hit.hadEntry);
+    EXPECT_EQ(frontend_.irbHits(), 1u);
+}
+
+TEST_F(JanusHwTest, DisableWindowDropsIssuesUntilExpiry)
+{
+    // An IRB ECC fault disables pre-execution for a window: issues
+    // inside the window are dropped (and accounted), issues after it
+    // flow again.
+    frontend_.disableUntil(5 * ticks::us);
+    EXPECT_TRUE(frontend_.disabled(0));
+    EXPECT_TRUE(frontend_.disabled(5 * ticks::us - 1));
+    EXPECT_FALSE(frontend_.disabled(5 * ticks::us));
+
+    frontend_.issueImmediate(obj(1),
+                             {both(0x1000, CacheLine::fromSeed(1))},
+                             ticks::us);
+    frontend_.buffer(obj(2), {both(0x2000, CacheLine::fromSeed(2))},
+                     2 * ticks::us);
+    frontend_.startBuffered(obj(3), 3 * ticks::us);
+    EXPECT_EQ(frontend_.irbOccupancy(), 0u);
+    EXPECT_EQ(frontend_.droppedDisabled(), 3u);
+
+    // The line never pre-executed, so its write is a plain miss.
+    ConsumeResult r = frontend_.consume(
+        0x1000, CacheLine::fromSeed(1), 4 * ticks::us);
+    EXPECT_FALSE(r.hadEntry);
+    EXPECT_EQ(r.ready, 4 * ticks::us);
+
+    frontend_.issueImmediate(obj(4),
+                             {both(0x3000, CacheLine::fromSeed(3))},
+                             6 * ticks::us);
+    EXPECT_EQ(frontend_.irbOccupancy(), 1u);
+    EXPECT_EQ(frontend_.droppedDisabled(), 3u);
+}
+
+TEST_F(JanusHwTest, HasEntryForTracksAddressedLines)
+{
+    EXPECT_FALSE(frontend_.hasEntryFor(0x1000));
+    frontend_.issueImmediate(obj(1),
+                             {both(0x1000, CacheLine::fromSeed(1))},
+                             0);
+    EXPECT_TRUE(frontend_.hasEntryFor(0x1000));
+    // Data-only entries have no address to match.
+    frontend_.issueImmediate(
+        obj(2), {PreChunk{std::nullopt, CacheLine::fromSeed(2)}}, 0);
+    EXPECT_FALSE(frontend_.hasEntryFor(0x2000));
+    frontend_.consume(0x1000, CacheLine::fromSeed(1), 10 * ticks::us);
+    EXPECT_FALSE(frontend_.hasEntryFor(0x1000));
+}
+
 TEST_F(JanusHwTest, IrbOccupancyGaugeTracksEntries)
 {
     frontend_.issueImmediate(obj(1),

@@ -145,6 +145,37 @@ TEST(MemoryController, JanusConsumesFrontendResults)
     EXPECT_LT(r.persisted - 10 * ticks::us, 20 * ticks::ns);
 }
 
+TEST(MemoryController, IrbEccFaultFallsBackToNonPreExecPath)
+{
+    // A certain IRB ECC fault: the pre-executed results are never
+    // trusted — the write re-runs its BMOs on the ordinary parallel
+    // path, still persists, and pre-execution is disabled for the
+    // configured window.
+    MemCtrlConfig c = config(WritePathMode::Janus);
+    c.resilience.enabled = true;
+    c.resilience.irbEccFaultRate = 1.0;
+    c.resilience.irbEccDisableWindow = 5 * ticks::us;
+    MemoryController mc(c);
+    CacheLine v = CacheLine::fromSeed(4);
+    mc.frontend().issueImmediate(PreObjId{1, 0, 0},
+                                 {PreChunk{Addr(0x1000), v}}, 0);
+    PersistResult r =
+        mc.persistWrite(0x1000, v, 10 * ticks::us, false);
+    EXPECT_FALSE(r.fullyPreExecuted);
+    // Full parallel-path latency, not the pre-executed fast path.
+    EXPECT_GE(r.persisted - 10 * ticks::us, 600 * ticks::ns);
+    EXPECT_EQ(mc.resilience().counters().irbEccFaults, 1u);
+    EXPECT_EQ(mc.resilience().counters().preExecDisabledWrites, 1u);
+    // The write persisted: it reads back through the backend.
+    EXPECT_TRUE(mc.backend().readLine(0x1000).data == v);
+    // Inside the disable window new pre-executions are dropped.
+    EXPECT_TRUE(mc.frontend().disabled(12 * ticks::us));
+    mc.frontend().issueImmediate(PreObjId{2, 0, 0},
+                                 {PreChunk{Addr(0x2000), v}},
+                                 12 * ticks::us);
+    EXPECT_EQ(mc.frontend().droppedDisabled(), 1u);
+}
+
 TEST(MemoryController, MetaLineMappingIsStable)
 {
     MemoryController mc(config(WritePathMode::Parallel));

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the SECDED ECC model: the Hamming(72,64)+parity
+ * code must correct every possible single-bit error in the stored
+ * codeword — data, check and parity positions alike — and detect
+ * every double-bit error within a word as uncorrectable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cacheline.hh"
+#include "resilience/ecc.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Ecc, CleanRoundTrip)
+{
+    for (std::uint64_t seed : {0ull, 1ull, 42ull, ~0ull}) {
+        CacheLine line = CacheLine::fromSeed(seed);
+        LineCodeword cw = eccEncodeLine(line);
+        LineDecode d = eccDecodeLine(cw);
+        EXPECT_EQ(d.status, EccStatus::Clean);
+        EXPECT_EQ(d.correctedWords, 0u);
+        EXPECT_EQ(d.data, line);
+    }
+}
+
+TEST(Ecc, WordSingleDataBitCorrected)
+{
+    const std::uint64_t original = 0xdeadbeefcafef00dull;
+    std::uint8_t check = eccEncodeWord(original);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        std::uint64_t word = original ^ (std::uint64_t(1) << bit);
+        EXPECT_EQ(eccDecodeWord(word, check), EccStatus::Corrected)
+            << "bit " << bit;
+        EXPECT_EQ(word, original) << "bit " << bit;
+    }
+}
+
+TEST(Ecc, WordSingleCheckBitCorrected)
+{
+    const std::uint64_t original = 0x0123456789abcdefull;
+    std::uint8_t check = eccEncodeWord(original);
+    // Flips in the stored check byte (Hamming bits and the overall
+    // parity bit) must never corrupt the data.
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        std::uint64_t word = original;
+        std::uint8_t bad =
+            check ^ static_cast<std::uint8_t>(1u << bit);
+        EXPECT_EQ(eccDecodeWord(word, bad), EccStatus::Corrected)
+            << "check bit " << bit;
+        EXPECT_EQ(word, original) << "check bit " << bit;
+    }
+}
+
+TEST(Ecc, WordDoubleBitDetected)
+{
+    const std::uint64_t original = 0x5555aaaa3333cccc ^ 7;
+    const std::uint8_t check = eccEncodeWord(original);
+    // data+data, across a sample of pairs
+    for (unsigned a = 0; a < 64; a += 7) {
+        for (unsigned b = a + 1; b < 64; b += 13) {
+            std::uint64_t word = original ^
+                                 (std::uint64_t(1) << a) ^
+                                 (std::uint64_t(1) << b);
+            EXPECT_EQ(eccDecodeWord(word, check),
+                      EccStatus::Uncorrectable)
+                << "bits " << a << "," << b;
+        }
+    }
+    // data+check
+    for (unsigned c = 0; c < 8; ++c) {
+        std::uint64_t word = original ^ (std::uint64_t(1) << 17);
+        std::uint8_t bad =
+            check ^ static_cast<std::uint8_t>(1u << c);
+        EXPECT_EQ(eccDecodeWord(word, bad),
+                  EccStatus::Uncorrectable)
+            << "data 17 + check " << c;
+    }
+    // check+check
+    {
+        std::uint64_t word = original;
+        std::uint8_t bad = check ^ 0x3;
+        EXPECT_EQ(eccDecodeWord(word, bad),
+                  EccStatus::Uncorrectable);
+    }
+}
+
+TEST(Ecc, Every576SingleBitFlipCorrectedAtLineLevel)
+{
+    const CacheLine line = CacheLine::fromSeed(99);
+    for (unsigned bit = 0; bit < LineCodeword::bits; ++bit) {
+        LineCodeword cw = eccEncodeLine(line);
+        cw.flipBit(bit);
+        LineDecode d = eccDecodeLine(cw);
+        EXPECT_EQ(d.status, EccStatus::Corrected) << "bit " << bit;
+        EXPECT_EQ(d.correctedWords, 1u) << "bit " << bit;
+        EXPECT_EQ(d.data, line) << "bit " << bit;
+    }
+}
+
+TEST(Ecc, OneFlipPerWordAllCorrected)
+{
+    const CacheLine line = CacheLine::fromSeed(7);
+    LineCodeword cw = eccEncodeLine(line);
+    for (unsigned w = 0; w < 8; ++w)
+        cw.flipBit(w * 64 + 3 * w + 1); // one data bit per word
+    LineDecode d = eccDecodeLine(cw);
+    EXPECT_EQ(d.status, EccStatus::Corrected);
+    EXPECT_EQ(d.correctedWords, 8u);
+    EXPECT_EQ(d.data, line);
+}
+
+TEST(Ecc, DoubleFlipInOneWordPoisonsTheLine)
+{
+    const CacheLine line = CacheLine::fromSeed(13);
+    LineCodeword cw = eccEncodeLine(line);
+    cw.flipBit(128 + 5);
+    cw.flipBit(128 + 44); // both in word 2
+    cw.flipBit(320 + 9);  // lone flip in word 5 still corrects
+    LineDecode d = eccDecodeLine(cw);
+    EXPECT_EQ(d.status, EccStatus::Uncorrectable);
+    EXPECT_EQ(d.uncorrectableWords, 1u);
+    EXPECT_EQ(d.correctedWords, 1u);
+}
+
+TEST(Ecc, CodewordBitAddressing)
+{
+    LineCodeword cw;
+    EXPECT_EQ(LineCodeword::bits, 576u);
+    cw.flipBit(0);
+    EXPECT_EQ(cw.data[0], 1u);
+    cw.flipBit(575);
+    EXPECT_EQ(cw.check[7], 0x80u);
+    EXPECT_TRUE(cw.bit(0));
+    EXPECT_TRUE(cw.bit(575));
+    cw.forceBit(0, false);
+    EXPECT_FALSE(cw.bit(0));
+    cw.forceBit(0, false); // idempotent
+    EXPECT_FALSE(cw.bit(0));
+    EXPECT_EQ(cw.data[0], 0u);
+}
+
+} // namespace
+} // namespace janus

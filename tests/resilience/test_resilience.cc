@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the online resilience layer: seeded fault-model
+ * determinism, wear coupling, bad-line remapping, the manager's
+ * write-verify/retry/remap loop, and the two end-to-end contracts —
+ * (1) with faults disabled the layer is invisible (bit-identical
+ * metrics, all-zero counters) and (2) an aggressive seeded fault
+ * campaign survives with zero data loss and reproduces exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "resilience/resilience.hh"
+
+namespace janus
+{
+namespace
+{
+
+FaultModelConfig
+noisyFaults()
+{
+    FaultModelConfig f;
+    f.transientFlipRate = 1.0;
+    f.stuckCellRate = 1.0;
+    return f;
+}
+
+TEST(FaultModel, SameSeedSameFaultSequence)
+{
+    DeviceFaultModel a(noisyFaults(), 42);
+    DeviceFaultModel b(noisyFaults(), 42);
+    for (unsigned i = 0; i < 50; ++i) {
+        Addr frame = Addr(i % 5) << lineShift;
+        EXPECT_EQ(a.onWrite(frame, 0), b.onWrite(frame, 0));
+        LineCodeword ca, cb;
+        EXPECT_EQ(a.applyTransient(frame, 0, ca),
+                  b.applyTransient(frame, 0, cb));
+        EXPECT_EQ(ca.data, cb.data);
+        EXPECT_EQ(ca.check, cb.check);
+    }
+    EXPECT_EQ(a.transientFlipsInjected(),
+              b.transientFlipsInjected());
+    EXPECT_EQ(a.stuckCellsInjected(), b.stuckCellsInjected());
+    EXPECT_GT(a.transientFlipsInjected(), 0u);
+    EXPECT_GT(a.stuckCellsInjected(), 0u);
+}
+
+TEST(FaultModel, DifferentSeedsDiverge)
+{
+    DeviceFaultModel a(noisyFaults(), 1);
+    DeviceFaultModel b(noisyFaults(), 2);
+    bool diverged = false;
+    for (unsigned i = 0; i < 20 && !diverged; ++i) {
+        LineCodeword ca, cb;
+        a.applyTransient(0, 0, ca);
+        b.applyTransient(0, 0, cb);
+        diverged = ca.data != cb.data || ca.check != cb.check;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultModel, StuckCellsAreAppliedToEveryProgram)
+{
+    FaultModelConfig f;
+    f.stuckCellRate = 1.0;
+    DeviceFaultModel model(f, 7);
+    model.onWrite(0x1000, 0);
+    ASSERT_EQ(model.stuckCells(0x1000).size(), 1u);
+    const StuckCell cell = model.stuckCells(0x1000).front();
+    LineCodeword cw; // all zero
+    if (cell.value) {
+        EXPECT_EQ(model.applyStuck(0x1000, cw), 1u);
+        EXPECT_TRUE(cw.bit(cell.bit));
+    } else {
+        EXPECT_EQ(model.applyStuck(0x1000, cw), 0u);
+    }
+    // A pristine frame is untouched.
+    LineCodeword other;
+    EXPECT_EQ(model.applyStuck(0x2000, other), 0u);
+}
+
+TEST(FaultModel, WearAcceleratesStuckCells)
+{
+    FaultModelConfig f;
+    f.stuckCellRate = 0.01;
+    f.wearFactor = 10.0; // wear 1000 => effective rate 1.0
+    DeviceFaultModel model(f, 3);
+    for (unsigned i = 0; i < 100; ++i) {
+        model.onWrite(0x1000, 1000); // hot frame
+        model.onWrite(0x2000, 0);    // cold frame
+    }
+    EXPECT_GT(model.stuckCells(0x1000).size(),
+              model.stuckCells(0x2000).size());
+    EXPECT_GT(model.stuckCells(0x1000).size(), 50u);
+}
+
+TEST(FaultModel, ZeroRatesDrawNothing)
+{
+    DeviceFaultModel model(FaultModelConfig{}, 5);
+    LineCodeword cw;
+    for (unsigned i = 0; i < 10; ++i) {
+        EXPECT_EQ(model.onWrite(0x1000, 1000), 0u);
+        EXPECT_EQ(model.applyTransient(0x1000, 1000, cw), 0u);
+    }
+    EXPECT_EQ(model.transientFlipsInjected(), 0u);
+    EXPECT_EQ(model.stuckCellsInjected(), 0u);
+}
+
+TEST(BadLineMap, RemapAndChainTranslation)
+{
+    const Addr spare = Addr(1) << 41;
+    BadLineMap map(spare, 4);
+    EXPECT_EQ(map.translate(0x1000), 0x1000u);
+
+    std::optional<Addr> s0 = map.remap(0x1000);
+    ASSERT_TRUE(s0.has_value());
+    EXPECT_EQ(*s0, spare);
+    EXPECT_EQ(map.translate(0x1000), spare);
+    EXPECT_TRUE(map.isRemapped(0x1000));
+
+    // The spare itself goes bad: the chain is followed end to end.
+    std::optional<Addr> s1 = map.remap(*s0);
+    ASSERT_TRUE(s1.has_value());
+    EXPECT_EQ(*s1, spare + lineBytes);
+    EXPECT_EQ(map.translate(0x1000), *s1);
+
+    EXPECT_EQ(map.remappedLines(), 2u);
+    EXPECT_EQ(map.sparesUsed(), 2u);
+    EXPECT_EQ(map.sparesLeft(), 2u);
+
+    map.remap(0x2000);
+    map.remap(0x3000);
+    EXPECT_FALSE(map.remap(0x4000).has_value()); // pool exhausted
+    EXPECT_EQ(map.translate(0x4000), 0x4000u);
+}
+
+TEST(ResilienceManager, WriteVerifyRetireesBadFramesWithoutLoss)
+{
+    ResilienceConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 11;
+    cfg.faults.stuckCellRate = 1.0; // every write sticks a cell
+    cfg.retryBudget = 1;
+    cfg.spareLines = 64;
+    ResilienceManager mgr(cfg);
+    setQuiet(true);
+
+    const Addr frame = 0x5000;
+    const CacheLine data = CacheLine::fromSeed(3);
+    // Keep programming the same (translated) frame: stuck cells
+    // accumulate until two land in one 72-bit word, the write-verify
+    // loop fails past its budget and the frame is retired.
+    bool remapped = false;
+    for (unsigned i = 0; i < 300 && !remapped; ++i) {
+        Addr target = mgr.translate(frame);
+        MediaWriteResult mw = mgr.mediaWrite(target, data, 0, 0);
+        remapped = mw.remapped;
+        if (remapped) {
+            EXPECT_NE(mw.frame, target);
+            EXPECT_EQ(mgr.translate(frame), mw.frame);
+        }
+        // Whatever happened, the stored codeword must still decode:
+        // a read of the final frame returns the data.
+        mgr.mediaReadCheck(mgr.translate(frame), 0, 0);
+    }
+    EXPECT_TRUE(remapped);
+    const ResilienceCounters c = mgr.counters();
+    EXPECT_GT(c.writeVerifyFailures, 0u);
+    EXPECT_GT(c.writeRetries, 0u);
+    EXPECT_GE(c.remaps, 1u);
+    EXPECT_EQ(c.spareExhausted, 0u);
+    EXPECT_EQ(c.dataLossLines, 0u);
+}
+
+TEST(ResilienceManager, TransientNoiseIsCorrectedOrRetried)
+{
+    ResilienceConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 23;
+    cfg.faults.transientFlipRate = 1.0;
+    cfg.faults.extraFlipRate = 0.5; // frequent multi-bit bursts
+    cfg.retryBudget = 2;
+    ResilienceManager mgr(cfg);
+    setQuiet(true);
+
+    const Addr frame = 0x9000;
+    mgr.mediaWrite(frame, CacheLine::fromSeed(8), 0, 0);
+    Tick total_delay = 0;
+    for (unsigned i = 0; i < 200; ++i)
+        total_delay += mgr.mediaReadCheck(frame, 0, 0);
+    const ResilienceCounters c = mgr.counters();
+    EXPECT_EQ(c.cleanReads + c.correctedReads, 200u);
+    EXPECT_GT(c.correctedReads, 0u);
+    EXPECT_GT(c.transientFlipsInjected, 0u);
+    // Retries (uncorrectable bursts) cost simulated backoff time.
+    if (c.readRetries > 0) {
+        EXPECT_GT(total_delay, 0u);
+        EXPECT_EQ(c.retryBackoffTicks, total_delay);
+    }
+    EXPECT_EQ(c.dataLossLines, 0u);
+}
+
+TEST(ResilienceManager, WatchdogTripsAndExpires)
+{
+    ResilienceConfig cfg;
+    cfg.enabled = true;
+    cfg.watchdogBudget = 100 * ticks::ns;
+    cfg.degradedWindow = 1 * ticks::us;
+    ResilienceManager mgr(cfg);
+
+    mgr.noteBmoLatency(0, 50 * ticks::ns); // under budget
+    EXPECT_FALSE(mgr.degraded(50 * ticks::ns));
+    mgr.noteBmoLatency(0, 200 * ticks::ns); // over budget: trips
+    EXPECT_TRUE(mgr.degraded(200 * ticks::ns));
+    EXPECT_TRUE(mgr.degraded(200 * ticks::ns + cfg.degradedWindow - 1));
+    EXPECT_FALSE(mgr.degraded(200 * ticks::ns + cfg.degradedWindow));
+    EXPECT_EQ(mgr.counters().watchdogTrips, 1u);
+    EXPECT_EQ(mgr.counters().degradedTicks, cfg.degradedWindow);
+}
+
+TEST(ResilienceManager, DedupBypassUnderTablePressure)
+{
+    ResilienceConfig cfg;
+    cfg.enabled = true;
+    cfg.dedupTableLimit = 10;
+    ResilienceManager mgr(cfg);
+    EXPECT_FALSE(mgr.dedupBypass(9));
+    EXPECT_TRUE(mgr.dedupBypass(10));
+    EXPECT_TRUE(mgr.dedupBypass(11));
+    EXPECT_EQ(mgr.counters().dedupBypasses, 2u);
+
+    ResilienceConfig off;
+    off.enabled = true; // limit 0 = never bypass
+    ResilienceManager never(off);
+    EXPECT_FALSE(never.dedupBypass(1u << 20));
+}
+
+ExperimentConfig
+chaosConfig(bool faults)
+{
+    ExperimentConfig config;
+    config.workloadName = "queue";
+    config.workload.txnsPerCore = 100;
+    config.workload.seed = 5;
+    config.sys.cores = 2;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    config.sys.bmo.wearLeveling = true;
+    if (faults) {
+        ResilienceConfig &res = config.sys.resilience;
+        res.enabled = true;
+        res.seed = 5;
+        res.faults.transientFlipRate = 0.05;
+        res.faults.stuckCellRate = 0.02;
+        res.faults.wearFactor = 0.05;
+        res.retryBudget = 2;
+        res.spareLines = 512;
+        res.dedupTableLimit = 64;
+        res.watchdogBudget = 120 * ticks::ns;
+        res.degradedWindow = 2 * ticks::us;
+        res.irbEccFaultRate = 0.01;
+    }
+    return config;
+}
+
+TEST(ResilienceIntegration, FaultsOffIsBitIdenticalAndAllZero)
+{
+    setQuiet(true);
+    // A config that never mentions resilience...
+    ExperimentResult plain = runExperiment(chaosConfig(false));
+    // ...and one carrying aggressive rates but enabled == false:
+    // the layer must be inert (no draws, no timing changes).
+    ExperimentConfig armed = chaosConfig(true);
+    armed.sys.resilience.enabled = false;
+    ExperimentResult off = runExperiment(armed);
+
+    EXPECT_EQ(plain.makespan, off.makespan);
+    EXPECT_EQ(plain.avgWriteLatencyNs, off.avgWriteLatencyNs);
+    EXPECT_EQ(plain.eventsExecuted, off.eventsExecuted);
+    EXPECT_EQ(plain.persists, off.persists);
+
+    const ResilienceCounters &c = off.resilience;
+    EXPECT_EQ(c.transientFlipsInjected, 0u);
+    EXPECT_EQ(c.stuckCellsInjected, 0u);
+    EXPECT_EQ(c.cleanReads + c.correctedReads + c.uncorrectableReads,
+              0u);
+    EXPECT_EQ(c.readRetries + c.writeRetries, 0u);
+    EXPECT_EQ(c.remaps, 0u);
+    EXPECT_EQ(c.irbEccFaults, 0u);
+    EXPECT_EQ(c.dedupBypasses, 0u);
+    EXPECT_EQ(c.watchdogTrips, 0u);
+    EXPECT_EQ(c.scrubQueued, 0u);
+    EXPECT_EQ(c.dataLossLines, 0u);
+}
+
+TEST(ResilienceIntegration, ChaosRunSurvivesAndReproduces)
+{
+    setQuiet(true);
+    // runExperiment validates the workload's final state, so merely
+    // returning proves the faults never corrupted live data.
+    ExperimentResult first = runExperiment(chaosConfig(true));
+    ExperimentResult second = runExperiment(chaosConfig(true));
+
+    const ResilienceCounters &c = first.resilience;
+    EXPECT_GT(c.transientFlipsInjected + c.stuckCellsInjected, 0u);
+    // Stuck cells land on written frames, so the write-verify loop
+    // is where corrections show up at this scale.
+    EXPECT_GT(c.correctedWrites + c.correctedReads, 0u);
+    EXPECT_GT(c.watchdogTrips, 0u);
+    EXPECT_EQ(c.spareExhausted, 0u);
+    EXPECT_EQ(c.dataLossLines, 0u);
+    EXPECT_EQ(c.scrubFailures, 0u);
+
+    // Same seed, same fault sequence, same timing.
+    EXPECT_EQ(first.makespan, second.makespan);
+    EXPECT_EQ(first.eventsExecuted, second.eventsExecuted);
+    const ResilienceCounters &d = second.resilience;
+    EXPECT_EQ(c.transientFlipsInjected, d.transientFlipsInjected);
+    EXPECT_EQ(c.stuckCellsInjected, d.stuckCellsInjected);
+    EXPECT_EQ(c.correctedReads, d.correctedReads);
+    EXPECT_EQ(c.readRetries, d.readRetries);
+    EXPECT_EQ(c.writeRetries, d.writeRetries);
+    EXPECT_EQ(c.remaps, d.remaps);
+    EXPECT_EQ(c.irbEccFaults, d.irbEccFaults);
+    EXPECT_EQ(c.watchdogTrips, d.watchdogTrips);
+    EXPECT_EQ(c.degradedTicks, d.degradedTicks);
+    EXPECT_EQ(c.scrubQueued, d.scrubQueued);
+    EXPECT_EQ(c.scrubbed, d.scrubbed);
+}
+
+TEST(ResilienceIntegration, FaultsPerturbTimingWhenEnabled)
+{
+    setQuiet(true);
+    // Sanity check that the chaos config actually exercises the
+    // layer: the degraded window alone must show up in counters.
+    ExperimentResult chaos = runExperiment(chaosConfig(true));
+    EXPECT_GT(chaos.resilience.degradedTicks, 0u);
+}
+
+} // namespace
+} // namespace janus
