@@ -259,6 +259,13 @@ class BenchRunner
                 "\"stage_order_ns\": %.2f, "
                 "\"persist_p50_ns\": %.2f, "
                 "\"persist_p99_ns\": %.2f, "
+                // Streamlined integrity-tree engine counters (zero
+                // when streamlining is off).
+                "\"tree_cache_hits\": %llu, "
+                "\"tree_cache_misses\": %llu, "
+                "\"tree_cache_hit_rate\": %.4f, "
+                "\"merkle_coalesced_levels\": %llu, "
+                "\"merkle_saved_rehashes\": %llu, "
                 // Schema-stable resilience block: all zero unless
                 // the run enabled the fault layer.
                 "\"resilience\": {\"injected\": %llu, "
@@ -282,6 +289,12 @@ class BenchRunner
                 r.wallSeconds, r.avgWriteLatencyNs, r.stageBmoNs,
                 r.stageQueueNs, r.stageOrderNs, r.persistP50Ns,
                 r.persistP99Ns,
+                static_cast<unsigned long long>(r.treeCacheHits),
+                static_cast<unsigned long long>(r.treeCacheMisses),
+                r.treeCacheHitRate,
+                static_cast<unsigned long long>(
+                    r.merkleCoalescedLevels),
+                static_cast<unsigned long long>(r.merkleSavedRehashes),
                 static_cast<unsigned long long>(
                     rc.transientFlipsInjected + rc.stuckCellsInjected),
                 static_cast<unsigned long long>(rc.correctedReads +

@@ -911,6 +911,11 @@ main()
                     i + 1 < 3 ? ", " : "\n");
         metrics.emplace_back(std::string("share_") + solos[i].name,
                              share);
+        // Absolute per-line cost (ns) as well: shares hide a uniform
+        // regression, the absolute numbers are the tracked signal.
+        metrics.emplace_back(std::string("cost_") + solos[i].name +
+                                 "_ns_per_line",
+                             costs[i] * 1e9);
     }
     metrics.emplace_back("baseline_bookkeeping_lps", none_lps);
 

@@ -45,6 +45,9 @@ BmoBackendState::BmoBackendState(const BmoConfig &config,
                                  const Aes128::Key &key)
     : config_(config), aes_(key), tree_(config.merkleLevels, 16)
 {
+    tree_.setNodeCacheCapacity(config.streamlinedIntegrity
+                                   ? config.merkleCacheNodes
+                                   : 0);
 }
 
 Fingerprint

@@ -157,6 +157,14 @@ class BmoBackendState
     /** The secure NV register holding the Merkle root. */
     const Sha1Digest &merkleRoot() const { return tree_.root(); }
 
+    /**
+     * The integrity tree itself: the streamlined-engine timing model
+     * (memory controller / Janus frontend) probes its node cache and
+     * epoch state; probes never alter functional digests.
+     */
+    MerkleTree &merkleTree() { return tree_; }
+    const MerkleTree &merkleTree() const { return tree_; }
+
     /** Audit: recompute the root from the leaves. */
     bool auditIntegrity() const;
 

@@ -78,7 +78,13 @@ buildStandardGraph(const BmoConfig &config)
                 (level == 1 && !config.encryption &&
                  !config.deduplication)
                     ? ExternalInput::Data
-                    : ExternalInput::None);
+                    : ExternalInput::None,
+                // Streamlined: each tree level is its own pipelined
+                // update unit, so outstanding writes overlap level
+                // updates instead of serializing on the unit pool.
+                config.streamlinedIntegrity
+                    ? static_cast<int>(level) - 1
+                    : -1);
             if (level == 1) {
                 if (config.encryption)
                     graph.addEdge(e1, node);

@@ -38,6 +38,27 @@ struct BmoConfig
     /** Merkle-tree height: 9 levels for 4 GB NVM (Table 1/§4.2). */
     unsigned merkleLevels = 9;
 
+    // Streamlined integrity-tree engine (Freij et al.): tree-node
+    // metadata cache, persist-epoch update coalescing and pipelined
+    // per-level update units.
+    /** Master switch; off falls back to serialized I-chain walks. */
+    bool streamlinedIntegrity = true;
+    /** Tree-node metadata cache capacity (nodes); 0 disables. */
+    unsigned merkleCacheNodes = 256;
+    /** Writes per persist epoch for update coalescing; 1 disables
+     *  coalescing (every write opens a fresh epoch). */
+    unsigned merkleEpochWrites = 64;
+    /**
+     * Extra latency to fetch a tree node absent from the cache.
+     * Defaults to 0: the baseline I-chain latency already folds the
+     * node fetch under the hash (keeping cold-write latency
+     * bit-compatible with the non-streamlined model); ablations
+     * raise it to expose cache-size sensitivity.
+     */
+    Tick merkleNodeMissLatency = 0;
+    /** Cost of folding an update into a pending same-epoch one. */
+    Tick merkleCoalesceLatency = 2 * ticks::ns;
+
     // Sub-operation latencies (Table 1 / Table 3).
     Tick counterBumpLatency = 2 * ticks::ns;    ///< E1, counter-cache hit
     Tick counterMissLatency = 63 * ticks::ns;   ///< E1 on a cache miss

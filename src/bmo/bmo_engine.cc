@@ -18,7 +18,8 @@ BmoExecState::lastFinish() const
 }
 
 BmoEngine::BmoEngine(const BmoGraph &graph, unsigned units)
-    : graph_(graph), units_(units), unitState_(units)
+    : graph_(graph), units_(units), unitState_(units),
+      stageBusy_(graph.pipeStages(), 0)
 {
     janus_assert(graph.finalized(), "engine needs a finalized graph");
 }
@@ -41,6 +42,7 @@ BmoEngine::setTracer(Tracer *tracer)
 {
     tracer_ = tracer;
     unitTracks_.clear();
+    stageTracks_.clear();
     subOpLabels_.clear();
     if (tracer_ == nullptr)
         return;
@@ -48,6 +50,9 @@ BmoEngine::setTracer(Tracer *tracer)
     for (unsigned u = 0; u < tracks; ++u)
         unitTracks_.push_back(
             tracer_->track("bmoUnit" + std::to_string(u)));
+    for (int s = 0; s < graph_.pipeStages(); ++s)
+        stageTracks_.push_back(
+            tracer_->track("treeStage" + std::to_string(s)));
     for (SubOpId id = 0; id < graph_.size(); ++id)
         subOpLabels_.push_back(tracer_->label(graph_.subOp(id).name));
 }
@@ -114,18 +119,30 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
     // A unit is one BMO processing pipeline (Figure 7d): it hosts
     // one request at a time; within it, each sub-operation has its
     // own logic, so independent sub-ops overlap in Parallel mode
-    // while Serialized mode chains them monolithically.
-    //
+    // while Serialized mode chains them monolithically. Pipelined
+    // (per-tree-level) nodes bypass the pool in Parallel mode: they
+    // run on their own stage unit, so the pool reservation covers
+    // only the non-pipelined portion of the request.
+    auto pipelined = [&](SubOpId id) {
+        return mode == BmoExecMode::Parallel &&
+               graph_.subOp(id).pipeStage >= 0;
+    };
+
     // Pass 1: dependency-only schedule anchored at `ready` to learn
     // the occupancy this request needs.
     Tick duration = 0;
+    bool any_pool = false;
     if (mode == BmoExecMode::Serialized) {
         for (SubOpId id : runnable)
             duration += node_latency(id);
+        any_pool = true;
     } else {
         std::vector<Tick> tmp(graph_.size(), 0);
         Tick end = ready;
         for (SubOpId id : runnable) {
+            if (pipelined(id))
+                continue;
+            any_pool = true;
             Tick start = ready;
             for (SubOpId p : graph_.preds(id)) {
                 Tick pf = state.done(p) ? state.finish(p) : tmp[p];
@@ -138,7 +155,9 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
     }
 
     unsigned unit = 0;
-    Tick begin = claimUnit(ready, duration, &unit);
+    Tick begin = ready;
+    if (any_pool)
+        begin = claimUnit(ready, duration, &unit);
 
     // Pass 2: real schedule anchored at the unit grant.
     Tick last = begin;
@@ -159,19 +178,33 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
         return cursor;
     }
     for (SubOpId id : runnable) {
-        Tick start = begin;
+        const bool piped = pipelined(id);
+        Tick start = piped ? ready : begin;
         for (SubOpId p : graph_.preds(id)) {
             janus_assert(state.done(p), "pred %s of %s not complete",
                          graph_.subOp(p).name.c_str(),
                          graph_.subOp(id).name.c_str());
             start = std::max(start, state.finish(p));
         }
-        Tick finish = start + node_latency(id);
+        const Tick latency = node_latency(id);
+        if (piped) {
+            // One update in flight per tree level; back-to-back
+            // writes stream through the levels like pipeline stages.
+            const int stage = graph_.subOp(id).pipeStage;
+            start = std::max(start, stageBusy_[stage]);
+            stageBusy_[stage] = start + latency;
+            ++pipelinedSubOps_;
+            pipeBusyTicks_ += latency;
+        }
+        Tick finish = start + latency;
         state.complete(id, finish);
         ++subOpsExecuted_;
         last = std::max(last, finish);
-        JANUS_TRACE_SPAN(tracer_, unitTracks_[unit], subOpLabels_[id],
-                         start, finish);
+        JANUS_TRACE_SPAN(
+            tracer_,
+            piped ? stageTracks_[graph_.subOp(id).pipeStage]
+                  : unitTracks_[unit],
+            subOpLabels_[id], start, finish);
     }
     return last;
 }

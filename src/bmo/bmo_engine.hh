@@ -127,6 +127,11 @@ class BmoEngine
     std::uint64_t subOpsExecuted() const { return subOpsExecuted_; }
     Tick busyTicks() const { return busyTicks_; }
 
+    /** Sub-ops run on pipelined per-tree-level units (Parallel
+     *  mode only; Serialized keeps the monolithic baseline). */
+    std::uint64_t pipelinedSubOps() const { return pipelinedSubOps_; }
+    Tick pipeBusyTicks() const { return pipeBusyTicks_; }
+
     /** Attach a trace sink (null detaches). Interns one track per
      *  BMO unit and one label per sub-op name. */
     void setTracer(Tracer *tracer);
@@ -154,8 +159,20 @@ class BmoEngine
     std::uint64_t subOpsExecuted_ = 0;
     Tick busyTicks_ = 0;
 
+    /**
+     * Busy horizon of each pipelined tree-level update unit
+     * (streamlined integrity engine). A pipelined node bypasses the
+     * shared unit pool: it starts at max(deps, its stage horizon),
+     * so outstanding writes overlap across tree levels while updates
+     * to the same level stay serialized.
+     */
+    std::vector<Tick> stageBusy_;
+    std::uint64_t pipelinedSubOps_ = 0;
+    Tick pipeBusyTicks_ = 0;
+
     Tracer *tracer_ = nullptr;
     std::vector<TraceId> unitTracks_;
+    std::vector<TraceId> stageTracks_;
     std::vector<TraceId> subOpLabels_;
 };
 

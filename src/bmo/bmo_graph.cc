@@ -10,12 +10,15 @@ namespace janus
 
 SubOpId
 BmoGraph::addSubOp(std::string name, BmoKind kind, Tick latency,
-                   ExternalInput direct)
+                   ExternalInput direct, int pipe_stage)
 {
     janus_assert(!finalized_, "graph already finalized");
     janus_assert(subOps_.size() < 0xFFFF, "too many sub-operations");
-    subOps_.push_back(SubOp{std::move(name), kind, latency, direct});
+    subOps_.push_back(
+        SubOp{std::move(name), kind, latency, direct, pipe_stage});
     preds_.emplace_back();
+    if (pipe_stage >= 0)
+        pipeStages_ = std::max(pipeStages_, pipe_stage + 1);
     return static_cast<SubOpId>(subOps_.size() - 1);
 }
 
@@ -59,6 +62,19 @@ BmoGraph::finalize()
                 ready.push_back(s);
     }
     janus_assert(topo_.size() == n, "BMO graph has a cycle");
+
+    // Pipelined (per-tree-level) nodes must form a terminal region:
+    // the engine's unit-pool scheduler assumes no pool node ever
+    // waits on a pipeline stage.
+    for (SubOpId to = 0; to < n; ++to) {
+        if (subOps_[to].pipeStage >= 0)
+            continue;
+        for (SubOpId from : preds_[to])
+            janus_assert(subOps_[from].pipeStage < 0,
+                         "unit-pool node %s depends on pipelined %s",
+                         subOps_[to].name.c_str(),
+                         subOps_[from].name.c_str());
+    }
 
     // Transitive external requirements (the paper's merge rule).
     required_.assign(n, ExternalInput::None);

@@ -67,6 +67,14 @@ struct SubOp
     Tick latency;           ///< occupancy of one BMO unit
     /** Direct external-dependency edges (yellow edges in Fig. 2). */
     ExternalInput direct;
+    /**
+     * Pipeline stage for the streamlined integrity engine, or -1
+     * for ordinary unit-pool nodes. Nodes with a stage run on a
+     * dedicated per-tree-level update unit: successive writes
+     * overlap across levels (write B hashes level k while write A
+     * hashes level k+1) instead of queueing on the shared pool.
+     */
+    int pipeStage = -1;
 };
 
 /** Index of a sub-operation within its graph. */
@@ -81,7 +89,11 @@ class BmoGraph
   public:
     /** Add a node; @return its id. */
     SubOpId addSubOp(std::string name, BmoKind kind, Tick latency,
-                     ExternalInput direct = ExternalInput::None);
+                     ExternalInput direct = ExternalInput::None,
+                     int pipe_stage = -1);
+
+    /** Number of pipeline stages (max pipeStage + 1; 0 if none). */
+    int pipeStages() const { return pipeStages_; }
 
     /** Add a dependency edge from -> to (from must finish first). */
     void addEdge(SubOpId from, SubOpId to);
@@ -138,6 +150,7 @@ class BmoGraph
     std::vector<std::vector<SubOpId>> preds_;
     std::vector<SubOpId> topo_;
     std::vector<ExternalInput> required_;
+    int pipeStages_ = 0;
     bool finalized_ = false;
 };
 

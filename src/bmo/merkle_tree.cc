@@ -65,17 +65,13 @@ MerkleTree::update(std::uint64_t leaf_index, const void *leaf_data)
 }
 
 void
-MerkleTree::flush() const
+MerkleTree::propagate(std::vector<std::uint64_t> &frontier,
+                      unsigned from_level, unsigned to_level) const
 {
-    if (dirtyLeaves_.empty())
-        return;
     // The dirty list becomes the parent frontier: shift to the
     // parent level, coalesce duplicates, rehash each touched
-    // interior node exactly once, repeat up to the root.
-    flushScratch_.swap(dirtyLeaves_);
-    dirtyLeaves_.clear();
-    std::vector<std::uint64_t> &frontier = flushScratch_;
-    for (unsigned level = 1; level <= levels_; ++level) {
+    // interior node exactly once, repeat upward.
+    for (unsigned level = from_level; level <= to_level; ++level) {
         for (std::uint64_t &index : frontier)
             index >>= fanoutShift;
         std::sort(frontier.begin(), frontier.end());
@@ -84,14 +80,68 @@ MerkleTree::flush() const
         auto &dst = nodes_[level];
         for (std::uint64_t parent : frontier)
             dst[parent] = hashChildren(level, parent);
+        interiorRehashes_ += frontier.size();
     }
+}
+
+void
+MerkleTree::flush() const
+{
+    if (dirtyLeaves_.empty())
+        return;
+    const std::uint64_t batch = dirtyLeaves_.size();
+    const std::uint64_t before = interiorRehashes_;
+    flushScratch_.swap(dirtyLeaves_);
+    dirtyLeaves_.clear();
+    propagate(flushScratch_, 1, levels_);
     root_ = node(levels_, 0);
+    // Eager per-leaf propagation would have rehashed the full path
+    // once per update; the difference is the coalescing win.
+    const std::uint64_t ran = interiorRehashes_ - before;
+    const std::uint64_t eager = batch * levels_;
+    savedInteriorRehashes_ += eager > ran ? eager - ran : 0;
+}
+
+void
+MerkleTree::flushSubtree(std::uint64_t leaf_index) const
+{
+    if (dirtyLeaves_.empty())
+        return;
+    // Partition out the dirty leaves sharing the queried leaf's
+    // top-level subtree; the rest stay pending.
+    const unsigned top_shift = fanoutShift * (levels_ - 1);
+    const std::uint64_t subtree = leaf_index >> top_shift;
+    flushScratch_.clear();
+    std::size_t keep = 0;
+    for (std::uint64_t dirty : dirtyLeaves_) {
+        if ((dirty >> top_shift) == subtree)
+            flushScratch_.push_back(dirty);
+        else
+            dirtyLeaves_[keep++] = dirty;
+    }
+    dirtyLeaves_.resize(keep);
+    const std::uint64_t batch = flushScratch_.size();
+    const std::uint64_t before = interiorRehashes_;
+    if (levels_ >= 2 && !flushScratch_.empty())
+        propagate(flushScratch_, 1, levels_ - 1);
+    // The stored top node and the root register refresh whenever any
+    // dirt was outstanding, exactly as the full flush would have
+    // (it always ends at the root). When this subtree contributed
+    // nothing the recomputation is idempotent, which also preserves
+    // the flush's healing of injected top-node corruption.
+    nodes_[levels_][0] = hashChildren(levels_, 0);
+    interiorRehashes_ += 1;
+    root_ = node(levels_, 0);
+    const std::uint64_t ran = interiorRehashes_ - before;
+    const std::uint64_t eager = batch * levels_;
+    savedInteriorRehashes_ += eager > ran ? eager - ran : 0;
 }
 
 Sha1Digest
 MerkleTree::recomputeRoot() const
 {
-    flush();
+    // Works off the eagerly-maintained leaf digests alone, so no
+    // flush of pending interior updates is needed.
     // Rebuild bottom-up over only the materialized indices,
     // iterating the stored leaf map in place (no deep copy).
     std::unordered_map<std::uint64_t, Sha1Digest> current;
@@ -134,7 +184,9 @@ MerkleTree::verifyLeafPath(std::uint64_t leaf_index,
 {
     if (leaf_index >= capacity())
         return MerklePathVerdict{false, 0};
-    flush();
+    // Bounded verification: only the queried leaf's subtree (plus
+    // the root) needs to be consistent; unrelated dirt stays lazy.
+    flushSubtree(leaf_index);
     Sha1Digest leaf = Sha1::hash(leaf_data, leafBytes_);
     if (!(leaf == node(0, leaf_index)))
         return MerklePathVerdict{false, 0};
@@ -180,6 +232,69 @@ MerkleTree::materializedNodes() const
     for (const auto &map : nodes_)
         total += map.size();
     return total;
+}
+
+void
+MerkleTree::setNodeCacheCapacity(std::size_t nodes)
+{
+    cacheCapacity_ = nodes;
+    while (cacheLru_.size() > cacheCapacity_) {
+        cachePos_.erase(cacheLru_.back());
+        cacheLru_.pop_back();
+    }
+}
+
+bool
+MerkleTree::cacheTouch(std::uint64_t key) const
+{
+    if (cacheCapacity_ == 0)
+        return false;
+    auto it = cachePos_.find(key);
+    if (it != cachePos_.end()) {
+        cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
+        return true;
+    }
+    cacheLru_.push_front(key);
+    cachePos_[key] = cacheLru_.begin();
+    if (cacheLru_.size() > cacheCapacity_) {
+        cachePos_.erase(cacheLru_.back());
+        cacheLru_.pop_back();
+    }
+    return false;
+}
+
+MerklePathProbe
+MerkleTree::probeUpdatePath(std::uint64_t leaf_index,
+                            bool mark_epoch) const
+{
+    MerklePathProbe probe;
+    probe.levels = levels_;
+    std::uint64_t index = leaf_index;
+    for (unsigned level = 1; level <= levels_; ++level) {
+        index >>= fanoutShift;
+        const std::uint64_t key = packKey(level, index);
+        const bool hit = cacheTouch(key);
+        const bool coalesced =
+            mark_epoch ? !epochTouched_.insert(key).second
+                       : epochTouched_.count(key) != 0;
+        if (hit)
+            ++cacheHits_;
+        else
+            ++cacheMisses_;
+        if (coalesced)
+            ++coalescedPathLevels_;
+        probe.kind[level] = coalesced ? MerklePathProbe::Coalesced
+                            : hit    ? MerklePathProbe::CacheHit
+                                     : MerklePathProbe::CacheMiss;
+    }
+    return probe;
+}
+
+void
+MerkleTree::beginEpoch()
+{
+    epochTouched_.clear();
+    ++epochs_;
 }
 
 } // namespace janus

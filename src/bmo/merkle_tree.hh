@@ -18,13 +18,25 @@
  * Like the rest of the simulator state, a tree instance is not
  * meant to be shared across threads (the lazy flush mutates under
  * const observers).
+ *
+ * The streamlined engine (Freij et al.) adds a timing-side view of
+ * the same tree: a bounded LRU cache of hot tree nodes and a
+ * per-persist-epoch touched set. probeUpdatePath() classifies each
+ * level of a write's root path as coalesced (an update to that node
+ * is already pending in the current epoch), cache hit or cache miss;
+ * the memory controller turns the classification into per-level
+ * latencies. Probes never touch functional tree state, so timing
+ * configuration cannot perturb the golden roots.
  */
 
 #ifndef JANUS_BMO_MERKLE_TREE_HH
 #define JANUS_BMO_MERKLE_TREE_HH
 
+#include <array>
 #include <cstdint>
+#include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/sha1.hh"
@@ -45,6 +57,25 @@ struct MerklePathVerdict
 {
     bool ok = true;
     unsigned failLevel = 0;
+};
+
+/**
+ * Timing classification of one write's root path, per tree level
+ * (kind[1..levels] valid). Coalesced dominates hit/miss: a node
+ * whose update folds into a pending same-epoch update costs only
+ * the coalesce latency regardless of cache residency.
+ */
+struct MerklePathProbe
+{
+    enum Kind : std::uint8_t
+    {
+        CacheHit = 0,
+        CacheMiss = 1,
+        Coalesced = 2,
+    };
+
+    unsigned levels = 0;
+    std::array<std::uint8_t, 22> kind{};
 };
 
 /** Fixed-height sparse Merkle tree with fanout 8. */
@@ -117,6 +148,54 @@ class MerkleTree
     /** Pending leaf updates not yet propagated (for tests/stats). */
     std::size_t pendingUpdates() const { return dirtyLeaves_.size(); }
 
+    // ---- Streamlined-engine timing side (never touches digests) ----
+
+    /**
+     * Bound the tree-node metadata cache. 0 disables caching (every
+     * probe level is a miss). Shrinking evicts LRU entries.
+     */
+    void setNodeCacheCapacity(std::size_t nodes);
+
+    /**
+     * Classify each level of the root path for a pending update to
+     * @p leaf_index: coalesced into an update already issued this
+     * epoch, found in the node cache, or a miss. Updates the LRU
+     * cache, the counters and — when @p mark_epoch — the epoch
+     * touched-set; leaves all functional state (digests, dirty
+     * list) untouched. Pre-execution probes pass mark_epoch =
+     * false: their results land in the IRB, not the tree's write
+     * queue, so nothing is pending for later writes to fold into.
+     */
+    MerklePathProbe probeUpdatePath(std::uint64_t leaf_index,
+                                    bool mark_epoch = true) const;
+
+    /** Close the current persist epoch: later updates no longer
+     *  coalesce with nodes touched before this point. */
+    void beginEpoch();
+
+    std::size_t cacheCapacity() const { return cacheCapacity_; }
+    std::size_t cacheResident() const { return cacheLru_.size(); }
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t cacheMisses() const { return cacheMisses_; }
+    double cacheHitRate() const
+    {
+        std::uint64_t total = cacheHits_ + cacheMisses_;
+        return total ? double(cacheHits_) / double(total) : 0.0;
+    }
+    /** Path levels whose update folded into a same-epoch one. */
+    std::uint64_t coalescedPathLevels() const
+    {
+        return coalescedPathLevels_;
+    }
+    std::uint64_t epochs() const { return epochs_; }
+    /** Interior rehashes the lazy/bounded flushes actually ran. */
+    std::uint64_t interiorRehashes() const { return interiorRehashes_; }
+    /** Rehashes eager per-leaf propagation would have run on top. */
+    std::uint64_t savedInteriorRehashes() const
+    {
+        return savedInteriorRehashes_;
+    }
+
   private:
     /** Digest of a node from its eight children at level - 1. */
     Sha1Digest hashChildren(unsigned level, std::uint64_t index) const;
@@ -126,6 +205,30 @@ class MerkleTree
 
     /** Propagate all dirty leaves to the root, coalescing parents. */
     void flush() const;
+
+    /**
+     * Bounded flush for a single verification: propagate only the
+     * dirty leaves under @p leaf_index's top-level subtree, then
+     * refresh the stored top node and the root register (iff any
+     * dirt existed), exactly as a full flush would have. Dirt in
+     * other subtrees stays pending.
+     */
+    void flushSubtree(std::uint64_t leaf_index) const;
+
+    /** Rehash a parent frontier from @p from_level upward (levels
+     *  [from_level, to_level]), counting interior rehashes. */
+    void propagate(std::vector<std::uint64_t> &frontier,
+                   unsigned from_level, unsigned to_level) const;
+
+    /** One key per (level, index) node; levels_ <= 21 so the level
+     *  fits in the low 5 bits under a 59-bit index. */
+    static std::uint64_t packKey(unsigned level, std::uint64_t index)
+    {
+        return (index << 5) | level;
+    }
+
+    /** LRU-touch the node key; @return true on a cache hit. */
+    bool cacheTouch(std::uint64_t key) const;
 
     unsigned levels_;
     unsigned leafBytes_;
@@ -140,6 +243,21 @@ class MerkleTree
     mutable std::vector<std::uint64_t> dirtyLeaves_;
     /** Scratch for flush(): parent index frontier per level. */
     mutable std::vector<std::uint64_t> flushScratch_;
+
+    // Timing-side state: bounded LRU node cache (front = MRU) and
+    // the set of nodes with an update pending this persist epoch.
+    std::size_t cacheCapacity_ = 0;
+    mutable std::list<std::uint64_t> cacheLru_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::list<std::uint64_t>::iterator>
+        cachePos_;
+    mutable std::unordered_set<std::uint64_t> epochTouched_;
+    mutable std::uint64_t cacheHits_ = 0;
+    mutable std::uint64_t cacheMisses_ = 0;
+    mutable std::uint64_t coalescedPathLevels_ = 0;
+    mutable std::uint64_t epochs_ = 0;
+    mutable std::uint64_t interiorRehashes_ = 0;
+    mutable std::uint64_t savedInteriorRehashes_ = 0;
 };
 
 } // namespace janus

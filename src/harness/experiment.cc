@@ -50,6 +50,12 @@ runExperiment(const ExperimentConfig &requested)
     result.persistP50Ns = bd.totalHistNs.quantile(0.50);
     result.persistP99Ns = bd.totalHistNs.quantile(0.99);
     result.measuredDupRatio = mc.backend().dupRatio();
+    const MerkleTree &tree = mc.backend().merkleTree();
+    result.treeCacheHits = tree.cacheHits();
+    result.treeCacheMisses = tree.cacheMisses();
+    result.treeCacheHitRate = tree.cacheHitRate();
+    result.merkleCoalescedLevels = tree.coalescedPathLevels();
+    result.merkleSavedRehashes = tree.savedInteriorRehashes();
     if (config.sys.mode == WritePathMode::Janus) {
         const JanusFrontend &fe = mc.frontend();
         std::uint64_t total = mc.writes();

@@ -52,6 +52,12 @@ struct ExperimentResult
     double measuredDupRatio = 0;
     /** Fraction of consumed writes whose BMOs were fully done. */
     double fullyPreExecutedFrac = 0;
+    // Streamlined integrity-tree engine (zero when off).
+    std::uint64_t treeCacheHits = 0;
+    std::uint64_t treeCacheMisses = 0;
+    double treeCacheHitRate = 0;
+    std::uint64_t merkleCoalescedLevels = 0;
+    std::uint64_t merkleSavedRehashes = 0;
     std::uint64_t instructions = 0;
     std::uint64_t transactions = 0;
     std::uint64_t persists = 0;

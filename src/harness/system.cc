@@ -173,6 +173,37 @@ NvmSystem::collectStats()
         groups.push_back(std::move(fe_group));
     }
 
+    // Streamlined integrity-tree engine. Always emitted — all-zero
+    // when streamlining is off — so the schema is stable.
+    {
+        const MerkleTree &tree = mc_->backend().merkleTree();
+        StatGroup merkle_group("merkle");
+        merkle_group.scalar("cacheCapacity")
+            .set(static_cast<double>(tree.cacheCapacity()));
+        merkle_group.scalar("cacheResident")
+            .set(static_cast<double>(tree.cacheResident()));
+        merkle_group.scalar("cacheHits")
+            .set(static_cast<double>(tree.cacheHits()));
+        merkle_group.scalar("cacheMisses")
+            .set(static_cast<double>(tree.cacheMisses()));
+        merkle_group.scalar("cacheHitRate").set(tree.cacheHitRate());
+        merkle_group.scalar("coalescedLevels")
+            .set(static_cast<double>(tree.coalescedPathLevels()));
+        merkle_group.scalar("epochs")
+            .set(static_cast<double>(tree.epochs()));
+        merkle_group.scalar("interiorRehashes")
+            .set(static_cast<double>(tree.interiorRehashes()));
+        merkle_group.scalar("savedInteriorRehashes")
+            .set(static_cast<double>(tree.savedInteriorRehashes()));
+        merkle_group.scalar("pipelinedSubOps")
+            .set(static_cast<double>(mc_->engine().pipelinedSubOps()));
+        merkle_group.scalar("pipeBusyNs")
+            .set(ticks::toNsF(mc_->engine().pipeBusyTicks()));
+        merkle_group.gauge("cacheOccupancy") =
+            mc_->treeCacheOccupancy();
+        groups.push_back(std::move(merkle_group));
+    }
+
     // Always emitted — all-zero when the layer is disabled — so the
     // stats schema is stable across configurations.
     {

@@ -15,6 +15,46 @@ JanusFrontend::JanusFrontend(const JanusHwConfig &config,
     janus_assert(config.opQueueEntries > 0 && config.irbEntries > 0 &&
                      config.requestQueueEntries > 0,
                  "Janus queues need nonzero capacity");
+    const BmoGraph &graph = engine.graph();
+    latencyOverride_.assign(graph.size(), maxTick);
+    for (SubOpId id = 0; id < graph.size(); ++id) {
+        const std::string &name = graph.subOp(id).name;
+        if (!name.empty() && name[0] == 'I')
+            integrityLevels_.emplace_back(
+                id, static_cast<unsigned>(
+                        std::stoul(name.substr(1))));
+    }
+}
+
+const std::vector<Tick> *
+JanusFrontend::integrityOverride(const IrbEntry &entry,
+                                 ExternalInput avail, bool mark_epoch)
+{
+    const BmoConfig &bmo = backend_.config();
+    if (integrityLevels_.empty() || !bmo.streamlinedIntegrity ||
+        !entry.lineAddr)
+        return nullptr;
+    const SubOpId i1 = integrityLevels_.front().first;
+    if (entry.exec.done(i1) ||
+        !hasInput(avail, engine_.graph().required(i1)))
+        return nullptr; // this call schedules no tree updates
+    MerklePathProbe probe = backend_.merkleTree().probeUpdatePath(
+        backend_.merkleLeafOf(*entry.lineAddr), mark_epoch);
+    for (const auto &[id, level] : integrityLevels_) {
+        Tick latency = bmo.merkleHashLatency;
+        switch (probe.kind[level]) {
+          case MerklePathProbe::Coalesced:
+            latency = bmo.merkleCoalesceLatency;
+            break;
+          case MerklePathProbe::CacheMiss:
+            latency += bmo.merkleNodeMissLatency;
+            break;
+          default:
+            break; // cache hit: the node is on chip, hash only
+        }
+        latencyOverride_[id] = latency;
+    }
+    return &latencyOverride_;
 }
 
 void
@@ -75,8 +115,10 @@ JanusFrontend::executeEligible(IrbEntry &entry, Tick now)
         avail = avail | ExternalInput::Data;
 
     unsigned before = entry.exec.completedCount();
+    const std::vector<Tick> *override_lat =
+        integrityOverride(entry, avail, /*mark_epoch=*/false);
     Tick done = engine_.execute(entry.exec, avail, now,
-                                BmoExecMode::Parallel);
+                                BmoExecMode::Parallel, override_lat);
     if (entry.exec.completedCount() > before) {
         // The launched sub-ops occupy an operation-queue slot until
         // they complete.
@@ -319,8 +361,11 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
     if (fully)
         ++consumedFullyPreExecuted_;
 
-    Tick exec_done = engine_.execute(entry.exec, ExternalInput::Both,
-                                     ready, BmoExecMode::Parallel);
+    const std::vector<Tick> *override_lat = integrityOverride(
+        entry, ExternalInput::Both, /*mark_epoch=*/true);
+    Tick exec_done =
+        engine_.execute(entry.exec, ExternalInput::Both, ready,
+                        BmoExecMode::Parallel, override_lat);
     result.ready = std::max(exec_done, entry.exec.lastFinish());
     result.ready = std::max(result.ready, ready);
 

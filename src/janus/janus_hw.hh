@@ -260,6 +260,20 @@ class JanusFrontend
     /** Run whatever newly became eligible for an entry. */
     void executeEligible(IrbEntry &entry, Tick now);
 
+    /**
+     * Streamlined-integrity latency override for an entry whose
+     * tree updates (I1..) are about to be scheduled with @p avail
+     * inputs: probe the tree-node cache / epoch state and map each
+     * level to its hit/miss/coalesce latency. Returns nullptr when
+     * the engine call won't schedule tree updates (no address, I1
+     * ineligible or already done) or streamlining is off.
+     * Pre-execution probes pass @p mark_epoch = false: their
+     * results land in the IRB, not the tree's write queue.
+     */
+    const std::vector<Tick> *integrityOverride(const IrbEntry &entry,
+                                               ExternalInput avail,
+                                               bool mark_epoch);
+
     /** Reclaim op-queue slots whose sub-ops have finished. */
     void purgeOpQueue(Tick now);
 
@@ -278,6 +292,11 @@ class JanusFrontend
     JanusHwConfig config_;
     BmoEngine &engine_;
     const BmoBackendState &backend_;
+
+    /** Integrity sub-ops with their tree level (I3 -> level 3). */
+    std::vector<std::pair<SubOpId, unsigned>> integrityLevels_;
+    /** Reused per-call latency override (streamlined integrity). */
+    std::vector<Tick> latencyOverride_;
 
     EntryList entries_;
     std::unordered_map<Addr, EntryList::iterator> byAddr_;

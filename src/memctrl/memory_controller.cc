@@ -47,8 +47,13 @@ MemoryController::MemoryController(const MemCtrlConfig &config)
             e1Id_ = id;
         }
         if (!graph_.subOp(id).name.empty() &&
-            graph_.subOp(id).name[0] == 'I')
+            graph_.subOp(id).name[0] == 'I') {
             integrityIds_.push_back(id);
+            integrityLevels_.emplace_back(
+                id,
+                static_cast<unsigned>(std::stoul(
+                    graph_.subOp(id).name.substr(1))));
+        }
     }
 }
 
@@ -135,6 +140,33 @@ MemoryController::applyCounterCache(Addr line_addr)
                                   : config_.bmo.counterMissLatency;
 }
 
+void
+MemoryController::applyIntegrityTiming(Addr line_addr, Tick now,
+                                       bool degraded)
+{
+    if (degraded || !streamlinedOn() || integrityLevels_.empty())
+        return;
+    const MerkleTree &tree = backend_.merkleTree();
+    MerklePathProbe probe =
+        tree.probeUpdatePath(backend_.merkleLeafOf(line_addr));
+    for (const auto &[id, level] : integrityLevels_) {
+        Tick latency = config_.bmo.merkleHashLatency;
+        switch (probe.kind[level]) {
+          case MerklePathProbe::Coalesced:
+            latency = config_.bmo.merkleCoalesceLatency;
+            break;
+          case MerklePathProbe::CacheMiss:
+            latency += config_.bmo.merkleNodeMissLatency;
+            break;
+          default:
+            break; // cache hit: the node is on chip, hash only
+        }
+        latencyOverride_[id] = latency;
+    }
+    treeCacheOccupancy_.set(
+        static_cast<double>(tree.cacheResident()), now);
+}
+
 PersistResult
 MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                                Tick arrival, bool meta_atomic,
@@ -145,6 +177,18 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                  static_cast<unsigned long long>(line_addr));
     ++writes_;
     applyCounterCache(line_addr);
+
+    // Streamlined integrity: persist epochs are write-count windows;
+    // tree updates issued within one epoch coalesce in the tree
+    // write queue. (Fences do not close epochs — a queued coalesced
+    // update is already durable-ordered by the persist domain.)
+    if (streamlinedOn()) {
+        const unsigned epoch_writes =
+            std::max(1u, config_.bmo.merkleEpochWrites);
+        if (epochWriteCount_ % epoch_writes == 0)
+            backend_.merkleTree().beginEpoch();
+        ++epochWriteCount_;
+    }
 
     PersistResult result;
 
@@ -180,6 +224,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           break;
       }
       case WritePathMode::Parallel: {
+          applyIntegrityTiming(line_addr, arrival, degraded);
           BmoExecState state(graph_);
           bmo_done = engine_.execute(state, ExternalInput::Both,
                                      arrival, BmoExecMode::Parallel,
@@ -207,6 +252,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
               }
           }
           if (!use_irb) {
+              applyIntegrityTiming(line_addr, arrival, degraded);
               BmoExecState state(graph_);
               bmo_done = engine_.execute(state, ExternalInput::Both,
                                          arrival, BmoExecMode::Parallel,
@@ -219,6 +265,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
               bmo_done = consume.ready;
               result.fullyPreExecuted = consume.fullyPreExecuted;
           } else {
+              applyIntegrityTiming(line_addr, arrival, degraded);
               BmoExecState state(graph_);
               bmo_done = engine_.execute(
                   state, ExternalInput::Both,
@@ -228,13 +275,12 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           break;
       }
     }
-    if (resilienceOn()) {
+    if (resilienceOn())
         resilience_.noteBmoLatency(arrival, bmo_done);
-        if (degraded) {
-            for (SubOpId id : integrityIds_)
-                latencyOverride_[id] = maxTick;
-        }
-    }
+    // Drop the per-write integrity overrides (streamlined timing or
+    // degraded deferral); the next write re-derives its own.
+    for (SubOpId id : integrityIds_)
+        latencyOverride_[id] = maxTick;
 
     // 2. Functional effects (what ends up in NVM). Under fingerprint
     //    table pressure the resilience layer degrades dedup to a

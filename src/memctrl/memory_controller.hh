@@ -213,6 +213,12 @@ class MemoryController
     /** Per-stage persist-latency decomposition. */
     const PersistBreakdown &breakdown() const { return breakdown_; }
 
+    /** Tree-node cache occupancy over time (streamlined engine). */
+    const TimeWeightedGauge &treeCacheOccupancy() const
+    {
+        return treeCacheOccupancy_;
+    }
+
     /**
      * Attach a trace sink (null detaches) and forward it to the BMO
      * engine, the Janus front-end and the NVM device.
@@ -230,6 +236,25 @@ class MemoryController
     Addr deviceAddrOf(Addr line_addr);
 
     bool resilienceOn() const { return config_.resilience.enabled; }
+
+    /** Streamlined integrity timing applies (Parallel/Janus only;
+     *  the Serialized baseline keeps monolithic tree walks). */
+    bool streamlinedOn() const
+    {
+        return config_.bmo.integrity &&
+               config_.bmo.streamlinedIntegrity &&
+               (config_.mode == WritePathMode::Parallel ||
+                config_.mode == WritePathMode::Janus);
+    }
+
+    /**
+     * Probe the tree's node cache / epoch state for this write and
+     * turn the per-level classification into I-node latency
+     * overrides. No-op while degraded (deferred-integrity overrides
+     * take precedence).
+     */
+    void applyIntegrityTiming(Addr line_addr, Tick now,
+                              bool degraded);
 
     /** Start-Gap write count of a device frame (fault wear input). */
     std::uint64_t frameWearOf(Addr frame) const;
@@ -249,6 +274,11 @@ class MemoryController
     SubOpId e1Id_ = 0;
     /** Integrity sub-ops (I*): deferred while degraded. */
     std::vector<SubOpId> integrityIds_;
+    /** Integrity sub-ops with their tree level (I3 -> level 3). */
+    std::vector<std::pair<SubOpId, unsigned>> integrityLevels_;
+    /** Writes since boot, for persist-epoch boundaries. */
+    std::uint64_t epochWriteCount_ = 0;
+    TimeWeightedGauge treeCacheOccupancy_;
 
     /** Per-stream (per-core) FIFO durability horizons. */
     std::vector<Tick> lastPersist_;

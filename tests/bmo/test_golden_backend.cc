@@ -120,6 +120,43 @@ TEST(GoldenBackend, BitEqualityAcrossConfigs)
     }
 }
 
+TEST(GoldenBackend, StreamlinedCacheSweepBitEquality)
+{
+    // The streamlined integrity engine is timing-only: whatever the
+    // node-cache capacity or epoch window, and however hard the
+    // timing layer hammers the probe/epoch surface, the golden root
+    // and content hash must not move by a single bit.
+    const unsigned cache_sizes[] = {0, 8, 256, 4096};
+    for (unsigned cache : cache_sizes) {
+        BmoConfig config; // paper default mix (enc+dedup+integrity)
+        config.streamlinedIntegrity = true;
+        config.merkleCacheNodes = cache;
+        config.merkleEpochWrites = 4;
+        BmoBackendState state(config);
+        MerkleTree &tree = state.merkleTree();
+        // Probe exactly as the memory controller would, interleaved
+        // around the pinned traffic.
+        for (std::uint64_t i = 0; i < 32; ++i) {
+            tree.probeUpdatePath(i * 3);
+            tree.probeUpdatePath(i * 3, /*mark_epoch=*/false);
+            if (i % 5 == 0)
+                tree.beginEpoch();
+        }
+        runGoldenSequence(state);
+        for (std::uint64_t i = 0; i < 64; ++i)
+            tree.probeUpdatePath(i);
+        tree.beginEpoch();
+        EXPECT_EQ(state.merkleRoot().toHex(), kCases[0].root)
+            << "cache=" << cache;
+        EXPECT_EQ(hex64(state.storageContentHash()),
+                  kCases[0].content)
+            << "cache=" << cache;
+        EXPECT_TRUE(state.auditIntegrity()) << "cache=" << cache;
+        if (cache == 0)
+            EXPECT_EQ(tree.cacheHits(), 0u);
+    }
+}
+
 TEST(GoldenBackend, SequenceIsDeterministic)
 {
     // Two independent backends fed the same sequence agree bit for

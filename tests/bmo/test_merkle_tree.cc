@@ -280,5 +280,196 @@ TEST(MerkleTree, SiblingSubtreesIsolated)
     EXPECT_TRUE(tree.verifyLeaf(4095, l2));
 }
 
+// ---------------------------------------------------------------
+// Streamlined-engine timing side: node cache, epochs, bounded flush.
+// ---------------------------------------------------------------
+
+TEST(MerkleTree, NodeCacheLruBehavior)
+{
+    MerkleTree tree(4);
+    tree.setNodeCacheCapacity(4);
+    // mark_epoch=false throughout so classification is purely the
+    // cache (epoch coalescing would otherwise shadow hits).
+    MerklePathProbe p = tree.probeUpdatePath(0, false);
+    EXPECT_EQ(p.levels, 4u);
+    for (unsigned level = 1; level <= 4; ++level)
+        EXPECT_EQ(p.kind[level], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(tree.cacheMisses(), 4u);
+    EXPECT_EQ(tree.cacheResident(), 4u);
+
+    p = tree.probeUpdatePath(0, false);
+    for (unsigned level = 1; level <= 4; ++level)
+        EXPECT_EQ(p.kind[level], MerklePathProbe::CacheHit);
+    EXPECT_EQ(tree.cacheHits(), 4u);
+
+    // A distant leaf shares only the root node; its three lower
+    // levels evict leaf 0's lower levels from the 4-entry cache.
+    p = tree.probeUpdatePath(4095, false);
+    EXPECT_EQ(p.kind[1], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(p.kind[2], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(p.kind[3], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(p.kind[4], MerklePathProbe::CacheHit);
+    EXPECT_EQ(tree.cacheHits(), 5u);
+    EXPECT_EQ(tree.cacheMisses(), 7u);
+    EXPECT_EQ(tree.cacheResident(), 4u);
+    EXPECT_DOUBLE_EQ(tree.cacheHitRate(), 5.0 / 12.0);
+
+    // Shrinking evicts down to the new bound; growing keeps content.
+    tree.setNodeCacheCapacity(1);
+    EXPECT_EQ(tree.cacheResident(), 1u);
+    tree.setNodeCacheCapacity(16);
+    EXPECT_EQ(tree.cacheResident(), 1u);
+}
+
+TEST(MerkleTree, ZeroCapacityCacheIsABypass)
+{
+    MerkleTree tree(4); // capacity defaults to 0
+    for (int i = 0; i < 3; ++i) {
+        MerklePathProbe p = tree.probeUpdatePath(0, false);
+        for (unsigned level = 1; level <= 4; ++level)
+            EXPECT_EQ(p.kind[level], MerklePathProbe::CacheMiss);
+    }
+    EXPECT_EQ(tree.cacheHits(), 0u);
+    EXPECT_EQ(tree.cacheMisses(), 12u);
+    EXPECT_EQ(tree.cacheResident(), 0u);
+    EXPECT_DOUBLE_EQ(tree.cacheHitRate(), 0.0);
+}
+
+TEST(MerkleTree, EpochCoalescingClassification)
+{
+    MerkleTree tree(4); // cache off: coalescing stands alone
+    MerklePathProbe p = tree.probeUpdatePath(0);
+    for (unsigned level = 1; level <= 4; ++level)
+        EXPECT_EQ(p.kind[level], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(tree.coalescedPathLevels(), 0u);
+
+    // Same path again inside the epoch: every level coalesces.
+    p = tree.probeUpdatePath(0);
+    for (unsigned level = 1; level <= 4; ++level)
+        EXPECT_EQ(p.kind[level], MerklePathProbe::Coalesced);
+    EXPECT_EQ(tree.coalescedPathLevels(), 4u);
+
+    // A sibling leaf shares levels 2..4 but not its own parent.
+    p = tree.probeUpdatePath(8);
+    EXPECT_EQ(p.kind[1], MerklePathProbe::CacheMiss);
+    EXPECT_EQ(p.kind[2], MerklePathProbe::Coalesced);
+    EXPECT_EQ(p.kind[3], MerklePathProbe::Coalesced);
+    EXPECT_EQ(p.kind[4], MerklePathProbe::Coalesced);
+    EXPECT_EQ(tree.coalescedPathLevels(), 7u);
+
+    // mark_epoch=false observes but never claims epoch membership:
+    // a later marking probe of the same fresh path still misses.
+    p = tree.probeUpdatePath(16, false);
+    EXPECT_EQ(p.kind[1], MerklePathProbe::CacheMiss);
+    p = tree.probeUpdatePath(16);
+    EXPECT_EQ(p.kind[1], MerklePathProbe::CacheMiss);
+    p = tree.probeUpdatePath(16);
+    EXPECT_EQ(p.kind[1], MerklePathProbe::Coalesced);
+
+    // An epoch boundary resets coalescing opportunities.
+    const std::uint64_t epochs_before = tree.epochs();
+    tree.beginEpoch();
+    EXPECT_EQ(tree.epochs(), epochs_before + 1);
+    p = tree.probeUpdatePath(0);
+    for (unsigned level = 1; level <= 4; ++level)
+        EXPECT_EQ(p.kind[level], MerklePathProbe::CacheMiss);
+}
+
+TEST(MerkleTree, BoundedVerifyFlushesOnlyAffectedSubtree)
+{
+    MerkleTree tree(4);
+    std::uint8_t l1[16], l2[16], l3[16];
+    makeLeaf(l1, 1, 2);
+    makeLeaf(l2, 3, 4);
+    makeLeaf(l3, 5, 6);
+    tree.update(0, l1);    // top-level subtree 0
+    tree.update(1, l3);    // same subtree as leaf 0
+    tree.update(4095, l2); // top-level subtree 7
+    EXPECT_EQ(tree.pendingUpdates(), 3u);
+
+    // Verifying leaf 0 must settle subtree 0 (both its leaves) but
+    // leave subtree 7's dirt pending.
+    EXPECT_TRUE(tree.verifyLeaf(0, l1));
+    EXPECT_EQ(tree.pendingUpdates(), 1u);
+    EXPECT_TRUE(tree.verifyLeaf(1, l3));
+    EXPECT_EQ(tree.pendingUpdates(), 1u);
+
+    // recomputeRoot works from the eagerly-maintained leaf digests,
+    // so it already sees subtree 7's update.
+    MerkleTree eager(4);
+    eager.update(0, l1);
+    eager.update(1, l3);
+    eager.update(4095, l2);
+    (void)eager.root(); // full flush
+    EXPECT_TRUE(tree.recomputeRoot() == eager.root());
+
+    EXPECT_TRUE(tree.verifyLeaf(4095, l2));
+    EXPECT_EQ(tree.pendingUpdates(), 0u);
+    EXPECT_TRUE(tree.root() == eager.root());
+}
+
+TEST(MerkleTree, RandomizedStreamlinedMatchesEagerReference)
+{
+    // Satellite of the streamlined engine: arbitrary interleavings
+    // of updates, timing probes, epoch boundaries, cache resizes,
+    // bounded verifications and crash-replays must leave observable
+    // digest state indistinguishable from the eager reference.
+    Rng rng(0xBEEFCAFE);
+    MerkleTree tree(5);
+    tree.setNodeCacheCapacity(32);
+    EagerReferenceTree ref(5);
+    std::unordered_map<std::uint64_t, std::array<std::uint8_t, 16>>
+        contents;
+    const std::uint64_t span = 2048;
+
+    for (int step = 0; step < 1500; ++step) {
+        std::uint64_t dice = rng.below(120);
+        if (dice < 60) {
+            std::uint64_t index = rng.below(span);
+            std::array<std::uint8_t, 16> leaf;
+            makeLeaf(leaf.data(), rng.next(), rng.next());
+            tree.update(index, leaf.data());
+            ref.update(index, leaf.data());
+            contents[index] = leaf;
+        } else if (dice < 75) {
+            // Timing probes are free to interleave anywhere; they
+            // must never perturb digests.
+            tree.probeUpdatePath(rng.below(span), dice & 1);
+        } else if (dice < 80) {
+            tree.beginEpoch();
+        } else if (dice < 85) {
+            tree.setNodeCacheCapacity(rng.below(64));
+        } else if (dice < 95) {
+            EXPECT_TRUE(tree.root() == ref.root()) << "step " << step;
+        } else if (dice < 105) {
+            if (contents.empty())
+                continue;
+            auto it = contents.begin();
+            std::advance(it, rng.below(contents.size()));
+            EXPECT_TRUE(tree.verifyLeaf(it->first, it->second.data()))
+                << "step " << step;
+        } else if (dice < 115) {
+            EXPECT_TRUE(tree.recomputeRoot() == tree.root())
+                << "step " << step;
+        } else {
+            // Crash: rebuild from the durable leaf metadata (hash
+            //-map order, i.e. arbitrary), replaying under a fresh
+            // cache/epoch state. Recovery must land on the same root.
+            MerkleTree rebuilt(5);
+            rebuilt.setNodeCacheCapacity(rng.below(16));
+            for (const auto &[index, leaf] : contents) {
+                rebuilt.update(index, leaf.data());
+                if ((index & 3) == 0)
+                    rebuilt.probeUpdatePath(index);
+            }
+            EXPECT_TRUE(rebuilt.root() == ref.root())
+                << "crash replay, step " << step;
+        }
+    }
+    EXPECT_TRUE(tree.root() == ref.root());
+    for (const auto &[index, leaf] : contents)
+        EXPECT_TRUE(tree.verifyLeaf(index, leaf.data()));
+}
+
 } // namespace
 } // namespace janus
