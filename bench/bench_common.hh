@@ -29,9 +29,18 @@
 #include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/runner.hh"
+#include "sim/critpath.hh"
+#include "sim/metrics.hh"
 
 namespace janus::bench
 {
+
+/**
+ * BENCH_*.json schema version. Bump when a field changes meaning or
+ * layout; perf_diff refuses to compare mismatched versions. Version
+ * 2 = version 1 + schema_version + per-experiment critical_path.
+ */
+constexpr int benchSchemaVersion = 2;
 
 /** Knobs one figure point needs. */
 struct RunSpec
@@ -177,22 +186,25 @@ class BenchRunner
     /** Execute everything queued so far on the worker pool.
      *  With JANUS_TRACE=1 one experiment (index JANUS_TRACE_EXPERIMENT,
      *  default 0) records a persist-path trace, written by writeJson()
-     *  as TRACE_<name>.json. */
+     *  as TRACE_<name>.json. With JANUS_METRICS=1 one experiment
+     *  (index JANUS_METRICS_EXPERIMENT, default 0) records a windowed
+     *  time-series, written as METRICS_<name>.json. */
     void
     runAll(unsigned threads = 0)
     {
         if (traceEnvEnabled() && !configs_.empty()) {
-            std::size_t idx = 0;
-            if (const char *e = std::getenv("JANUS_TRACE_EXPERIMENT"))
-                idx = static_cast<std::size_t>(std::strtoull(
-                    e, nullptr, 10));
-            if (idx >= configs_.size())
-                idx = 0;
+            std::size_t idx = envIndex("JANUS_TRACE_EXPERIMENT");
             traceIndex_ = idx;
             // Mark explicitly so only this one experiment traces
             // (traceEnvEnabled() alone would trace all of them).
             for (std::size_t i = 0; i < configs_.size(); ++i)
                 configs_[i].sys.trace = (i == idx);
+        }
+        if (metricsEnvEnabled() && !configs_.empty()) {
+            std::size_t idx = envIndex("JANUS_METRICS_EXPERIMENT");
+            metricsIndex_ = idx;
+            for (std::size_t i = 0; i < configs_.size(); ++i)
+                configs_[i].sys.metrics = (i == idx);
         }
         threads_ = resolveThreads(threads);
         results_ = runExperiments(configs_, threads_);
@@ -230,6 +242,7 @@ class BenchRunner
             seed_override = std::to_string(*seed);
         std::fprintf(f,
                      "{\n"
+                     "  \"schema_version\": %d,\n"
                      "  \"bench\": \"%s\",\n"
                      "  \"threads\": %u,\n"
                      "  \"seed_override\": %s,\n"
@@ -237,8 +250,8 @@ class BenchRunner
                      "  \"total_sim_events\": %llu,\n"
                      "  \"events_per_second\": %.1f,\n"
                      "  \"experiments\": [\n",
-                     name_.c_str(), threads_, seed_override.c_str(),
-                     wall,
+                     benchSchemaVersion, name_.c_str(), threads_,
+                     seed_override.c_str(), wall,
                      static_cast<unsigned long long>(events),
                      wall > 0 ? static_cast<double>(events) / wall
                               : 0.0);
@@ -277,7 +290,7 @@ class BenchRunner
                 "\"watchdog_trips\": %llu, "
                 "\"scrubbed\": %llu, "
                 "\"degraded_ns\": %.1f, "
-                "\"data_loss_lines\": %llu}}%s\n",
+                "\"data_loss_lines\": %llu}, ",
                 labels_[i].c_str(), s.workload.c_str(),
                 modeName(s.mode), instrName(s.instr), s.cores,
                 s.txnsPerCore,
@@ -309,12 +322,16 @@ class BenchRunner
                 static_cast<unsigned long long>(rc.watchdogTrips),
                 static_cast<unsigned long long>(rc.scrubbed),
                 ticks::toNsF(rc.degradedTicks),
-                static_cast<unsigned long long>(rc.dataLossLines),
-                i + 1 < results_.size() ? "," : "");
+                static_cast<unsigned long long>(rc.dataLossLines));
+            writeCritPath(f, r.critPath);
+            std::fprintf(f, "}%s\n",
+                         i + 1 < results_.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         writeTrace();
+        writeMetrics();
+        writeFolded();
         std::printf("\n[%s: %zu experiments on %u threads, %.2fs "
                     "wall, %.2fM events/s -> %s]\n",
                     name_.c_str(), results_.size(), threads_, wall,
@@ -358,12 +375,97 @@ class BenchRunner
                     path.c_str());
     }
 
+    /** Write METRICS_<name>.json if some experiment sampled a
+     *  time-series (writeJson calls this). */
+    void
+    writeMetrics() const
+    {
+        if (metricsIndex_ >= results_.size() ||
+            results_[metricsIndex_].metricsJson.empty())
+            return;
+        const ExperimentResult &r = results_[metricsIndex_];
+        std::string path = "METRICS_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write %s", path.c_str());
+            return;
+        }
+        out << r.metricsJson;
+        std::printf("[%s: metrics of '%s' (%llu windows) -> %s]\n",
+                    name_.c_str(), labels_[metricsIndex_].c_str(),
+                    static_cast<unsigned long long>(
+                        r.metricsWindows),
+                    path.c_str());
+    }
+
+    /** Write FLAME_<name>.folded: folded-stack critical-path lines
+     *  of every profiled experiment (writeJson calls this). */
+    void
+    writeFolded() const
+    {
+        bool any = false;
+        for (const ExperimentResult &r : results_)
+            any = any || r.critPath.persists > 0;
+        if (!any)
+            return;
+        std::string path = "FLAME_" + name_ + ".folded";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write %s", path.c_str());
+            return;
+        }
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            if (results_[i].critPath.persists == 0)
+                continue;
+            // Folded frames are ';'-separated and the count follows
+            // a space, so neither may appear inside the prefix.
+            std::string prefix = labels_[i];
+            for (char &c : prefix)
+                if (c == ';' || c == ' ')
+                    c = '_';
+            writeFoldedSummary(results_[i].critPath, out, prefix);
+        }
+    }
+
   private:
+    /** Experiment index from an environment variable (clamped). */
+    std::size_t
+    envIndex(const char *var) const
+    {
+        std::size_t idx = 0;
+        if (const char *e = std::getenv(var))
+            idx = static_cast<std::size_t>(
+                std::strtoull(e, nullptr, 10));
+        return idx < configs_.size() ? idx : 0;
+    }
+
+    /** One experiment's "critical_path" JSON object. */
+    static void
+    writeCritPath(std::FILE *f, const CritPathSummary &cp)
+    {
+        std::fprintf(f,
+                     "\"critical_path\": {\"persists\": %llu, "
+                     "\"total_ns\": %.1f, \"share_sum\": %.6f, "
+                     "\"edges\": {",
+                     static_cast<unsigned long long>(cp.persists),
+                     ticks::toNsF(cp.totalTicks), cp.shareSum());
+        for (std::size_t e = 0; e < numCritEdges; ++e) {
+            CritEdge edge = static_cast<CritEdge>(e);
+            std::fprintf(
+                f, "%s\"%s\": {\"ns\": %.1f, \"share\": %.6f}",
+                e == 0 ? "" : ", ", critEdgeName(edge),
+                ticks::toNsF(cp.ticksOf(edge)), cp.share(edge));
+        }
+        std::fprintf(f, "}}");
+    }
+
     std::string name_;
     std::chrono::steady_clock::time_point start_;
     unsigned threads_ = 0;
     /** Which experiment traces when JANUS_TRACE is set. */
     std::size_t traceIndex_ = ~std::size_t(0);
+    /** Which experiment samples when JANUS_METRICS is set. */
+    std::size_t metricsIndex_ = ~std::size_t(0);
     std::vector<std::string> labels_;
     std::vector<RunSpec> specs_;
     std::vector<ExperimentConfig> configs_;
@@ -386,13 +488,19 @@ writeSimpleJson(const std::string &name, double wall_seconds,
         warn("cannot write %s", path.c_str());
         return;
     }
+    std::string seed_override = "null";
+    if (std::optional<std::uint64_t> seed = seedOverride())
+        seed_override = std::to_string(*seed);
     std::fprintf(f,
                  "{\n"
+                 "  \"schema_version\": %d,\n"
                  "  \"bench\": \"%s\",\n"
+                 "  \"seed_override\": %s,\n"
                  "  \"wall_seconds\": %.6f,\n"
                  "  \"experiments\": [],\n"
                  "  \"metrics\": {",
-                 name.c_str(), wall_seconds);
+                 benchSchemaVersion, name.c_str(),
+                 seed_override.c_str(), wall_seconds);
     for (std::size_t i = 0; i < metrics.size(); ++i)
         std::fprintf(f, "%s\"%s\": %.6f",
                      i == 0 ? "" : ", ", metrics[i].first.c_str(),

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * perf_diff: noise-aware BENCH_*.json comparator — the perf
+ * regression sentinel CI runs against a committed bench/baselines/
+ * snapshot.
+ *
+ *   perf_diff <baseline_dir> <current_dir> [--tolerance=0.10]
+ *             [--warn-only]
+ *
+ * For every BENCH_*.json in the baseline directory it loads the
+ * same-named report from the current directory and
+ *
+ *  1. HARD-FAILS (exit 2, never downgraded) on structural
+ *     violations: unreadable/invalid JSON, schema_version mismatch,
+ *     seed_override mismatch (different work is not comparable), a
+ *     critical_path whose edge shares do not sum to 1, or whose
+ *     edge nanoseconds do not partition total_ns, or a stage sum
+ *     (bmo+queue+order) that disagrees with avg_write_latency_ns;
+ *  2. flags REGRESSIONS (exit 1, or exit 0 with --warn-only): any
+ *     deterministic numeric metric differing from the baseline by
+ *     more than the relative tolerance band. Host-noise fields
+ *     (wall_seconds, events_per_second) and derived shares are
+ *     informational and never gated.
+ *
+ * Experiments are matched by label, metrics by JSON path, so adding
+ * new fields or experiments never fails the gate — only changed or
+ * vanished ones do.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace
+{
+
+using janus::JsonValue;
+
+struct Options
+{
+    std::string baselineDir;
+    std::string currentDir;
+    double tolerance = 0.10;
+    bool warnOnly = false;
+};
+
+struct Report
+{
+    unsigned regressions = 0;
+    unsigned hardFailures = 0;
+    unsigned compared = 0;
+
+    void
+    hard(const std::string &what)
+    {
+        ++hardFailures;
+        std::printf("HARD-FAIL  %s\n", what.c_str());
+    }
+
+    void
+    regress(const std::string &what)
+    {
+        ++regressions;
+        std::printf("REGRESSION %s\n", what.c_str());
+    }
+};
+
+/** Keys whose values depend on the host, not the simulation. */
+bool
+noisyKey(const std::string &key)
+{
+    return key == "wall_seconds" || key == "events_per_second";
+}
+
+/** Derived values checked by invariants, not tolerance bands. */
+bool
+derivedKey(const std::string &key)
+{
+    return key == "share" || key == "share_sum";
+}
+
+/**
+ * Structural invariants of one report. `where` names the file for
+ * messages. Returns false when a hard violation was recorded.
+ */
+void
+checkInvariants(const JsonValue &doc, const std::string &where,
+                Report &report)
+{
+    const JsonValue *experiments = doc.get("experiments");
+    if (experiments == nullptr || !experiments->isArray())
+        return;
+    for (const JsonValue &exp : experiments->asArray()) {
+        std::string label = exp.has("label")
+                                ? exp["label"].asString()
+                                : "<unlabeled>";
+        const JsonValue *cp = exp.get("critical_path");
+        if (cp == nullptr)
+            continue;
+        double persists = (*cp)["persists"].asNumber();
+        double total_ns = (*cp)["total_ns"].asNumber();
+        double share_sum = (*cp)["share_sum"].asNumber();
+        // No persists, or only zero-latency persists (ideal-hardware
+        // configs): nothing to partition, shares are all zero.
+        if (persists == 0 || total_ns == 0)
+            continue;
+        // Exact-partition invariant, modulo %.1f print rounding of
+        // each edge (<= 0.05 ns apiece).
+        if (std::fabs(share_sum - 1.0) > 1e-6)
+            report.hard(where + " [" + label +
+                        "]: critical-path share_sum " +
+                        std::to_string(share_sum) + " != 1");
+        double edge_ns = 0;
+        for (const auto &[name, edge] : (*cp)["edges"].members())
+            edge_ns += edge["ns"].asNumber();
+        double slack =
+            0.05 * static_cast<double>((*cp)["edges"].size()) + 0.05;
+        if (std::fabs(edge_ns - total_ns) > slack)
+            report.hard(where + " [" + label +
+                        "]: critical-path edges sum to " +
+                        std::to_string(edge_ns) + " ns, total is " +
+                        std::to_string(total_ns));
+        // The 3-stage decomposition must agree with the mean persist
+        // latency (stage fields print as %.2f).
+        if (exp.has("avg_write_latency_ns")) {
+            double stages = exp["stage_bmo_ns"].asNumber() +
+                            exp["stage_queue_ns"].asNumber() +
+                            exp["stage_order_ns"].asNumber();
+            double avg = exp["avg_write_latency_ns"].asNumber();
+            if (std::fabs(stages - avg) > 0.05)
+                report.hard(where + " [" + label +
+                            "]: stage sum " + std::to_string(stages) +
+                            " != avg_write_latency_ns " +
+                            std::to_string(avg));
+        }
+    }
+}
+
+/** Relative difference with a zero-safe denominator. */
+double
+relDiff(double base, double cur)
+{
+    double denom = std::fmax(std::fabs(base), std::fabs(cur));
+    if (denom == 0)
+        return 0;
+    return std::fabs(cur - base) / denom;
+}
+
+/**
+ * Walk two values in parallel and flag numeric members whose
+ * relative difference exceeds the tolerance. Arrays of objects with
+ * "label" members match by label; other arrays match by index.
+ */
+void
+compareValues(const JsonValue &base, const JsonValue &cur,
+              const std::string &path, const Options &opt,
+              Report &report)
+{
+    if (base.isNumber() && cur.isNumber()) {
+        ++report.compared;
+        double b = base.asNumber();
+        double c = cur.asNumber();
+        if (relDiff(b, c) > opt.tolerance)
+            report.regress(path + ": " + std::to_string(b) + " -> " +
+                           std::to_string(c));
+        return;
+    }
+    if (base.isObject() && cur.isObject()) {
+        for (const auto &[key, value] : base.members()) {
+            if (noisyKey(key) || derivedKey(key))
+                continue;
+            const JsonValue *other = cur.get(key);
+            if (other == nullptr) {
+                report.regress(path + "." + key +
+                               ": present in baseline, missing now");
+                continue;
+            }
+            compareValues(value, *other, path + "." + key, opt,
+                          report);
+        }
+        return;
+    }
+    if (base.isArray() && cur.isArray()) {
+        // Label-keyed experiment arrays match by label so inserting
+        // an experiment doesn't misalign the rest.
+        bool labeled =
+            base.size() > 0 && base.at(0).isObject() &&
+            base.at(0).has("label");
+        if (labeled) {
+            for (const JsonValue &bexp : base.asArray()) {
+                const std::string &label = bexp["label"].asString();
+                const JsonValue *match = nullptr;
+                for (const JsonValue &cexp : cur.asArray())
+                    if (cexp.isObject() && cexp.has("label") &&
+                        cexp["label"].asString() == label) {
+                        match = &cexp;
+                        break;
+                    }
+                if (match == nullptr) {
+                    report.regress(path + "[" + label +
+                                   "]: experiment vanished");
+                    continue;
+                }
+                compareValues(bexp, *match, path + "[" + label + "]",
+                              opt, report);
+            }
+            return;
+        }
+        for (std::size_t i = 0;
+             i < base.size() && i < cur.size(); ++i)
+            compareValues(base.at(i), cur.at(i),
+                          path + "[" + std::to_string(i) + "]", opt,
+                          report);
+        return;
+    }
+    // Kind changed (e.g. number -> string): structural break.
+    if (base.kind() != cur.kind())
+        report.hard(path + ": value kind changed");
+}
+
+void
+compareFile(const std::filesystem::path &base_path,
+            const std::filesystem::path &cur_path,
+            const Options &opt, Report &report)
+{
+    const std::string name = base_path.filename().string();
+    JsonValue base, cur;
+    try {
+        base = janus::parseJsonFile(base_path.string());
+    } catch (const janus::JsonError &e) {
+        report.hard(name + " (baseline): " + e.what());
+        return;
+    }
+    if (!std::filesystem::exists(cur_path)) {
+        report.regress(name + ": no current report (bench not run?)");
+        return;
+    }
+    try {
+        cur = janus::parseJsonFile(cur_path.string());
+    } catch (const janus::JsonError &e) {
+        report.hard(name + ": " + e.what());
+        return;
+    }
+
+    // Schema gate: refuse apples-to-oranges comparisons outright.
+    const JsonValue *bs = base.get("schema_version");
+    const JsonValue *cs = cur.get("schema_version");
+    if (bs == nullptr || cs == nullptr ||
+        bs->asNumber() != cs->asNumber()) {
+        report.hard(name + ": schema_version mismatch (baseline " +
+                    (bs ? std::to_string(bs->asNumber()) : "absent") +
+                    ", current " +
+                    (cs ? std::to_string(cs->asNumber()) : "absent") +
+                    ") — regenerate bench/baselines/");
+        return;
+    }
+    // Same for the seed: different seeds simulate different work.
+    const JsonValue *bseed = base.get("seed_override");
+    const JsonValue *cseed = cur.get("seed_override");
+    bool bnull = bseed == nullptr || bseed->isNull();
+    bool cnull = cseed == nullptr || cseed->isNull();
+    if (bnull != cnull ||
+        (!bnull && bseed->asNumber() != cseed->asNumber())) {
+        report.hard(name + ": seed_override mismatch — runs are not "
+                           "comparable");
+        return;
+    }
+
+    checkInvariants(cur, name, report);
+    checkInvariants(base, name + " (baseline)", report);
+    compareValues(base, cur, name, opt, report);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> dirs;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--tolerance=", 12) == 0)
+            opt.tolerance = std::strtod(arg + 12, nullptr);
+        else if (std::strcmp(arg, "--warn-only") == 0)
+            opt.warnOnly = true;
+        else
+            dirs.emplace_back(arg);
+    }
+    if (dirs.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: perf_diff <baseline_dir> <current_dir> "
+                     "[--tolerance=0.10] [--warn-only]\n");
+        return 2;
+    }
+    opt.baselineDir = dirs[0];
+    opt.currentDir = dirs[1];
+
+    Report report;
+    std::vector<std::filesystem::path> baselines;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opt.baselineDir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 &&
+            name.substr(name.size() - 5) == ".json")
+            baselines.push_back(entry.path());
+    }
+    std::sort(baselines.begin(), baselines.end());
+    if (baselines.empty()) {
+        std::fprintf(stderr, "perf_diff: no BENCH_*.json in %s\n",
+                     opt.baselineDir.c_str());
+        return 2;
+    }
+    for (const auto &path : baselines)
+        compareFile(path,
+                    std::filesystem::path(opt.currentDir) /
+                        path.filename(),
+                    opt, report);
+
+    std::printf("perf_diff: %u metrics compared, %u regressions, "
+                "%u hard failures (tolerance %.0f%%%s)\n",
+                report.compared, report.regressions,
+                report.hardFailures, opt.tolerance * 100,
+                opt.warnOnly ? ", warn-only" : "");
+    if (report.hardFailures > 0)
+        return 2;
+    if (report.regressions > 0 && !opt.warnOnly)
+        return 1;
+    return 0;
+}

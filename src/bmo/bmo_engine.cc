@@ -95,7 +95,8 @@ BmoEngine::claimUnit(Tick start, Tick latency, unsigned *unit_out)
 Tick
 BmoEngine::execute(BmoExecState &state, ExternalInput available,
                    Tick ready, BmoExecMode mode,
-                   const std::vector<Tick> *latency_override)
+                   const std::vector<Tick> *latency_override,
+                   ExecProvenance *prov)
 {
     auto node_latency = [&](SubOpId id) {
         Tick latency = graph_.subOp(id).latency;
@@ -163,43 +164,66 @@ BmoEngine::execute(BmoExecState &state, ExternalInput available,
     Tick last = begin;
     if (mode == BmoExecMode::Serialized) {
         Tick cursor = begin;
+        bool first = true;
         for (SubOpId id : runnable) {
+            Tick pred_max = 0;
             for (SubOpId p : graph_.preds(id))
                 if (state.done(p))
-                    cursor = std::max(cursor, state.finish(p));
+                    pred_max = std::max(pred_max, state.finish(p));
+            Tick start = std::max(cursor, pred_max);
             Tick latency = node_latency(id);
-            cursor += latency;
+            cursor = start + latency;
             state.complete(id, cursor);
             ++subOpsExecuted_;
+            if (prov != nullptr) {
+                // Only the chain head can be unit-bound; later nodes
+                // chain off the previous finish, which is recorded.
+                Tick unbound =
+                    first ? std::max(ready, pred_max) : start;
+                prov->nodes.push_back(
+                    {id, start, cursor, unbound,
+                     start > unbound ? ExecBusy::Unit
+                                     : ExecBusy::None});
+            }
+            first = false;
             JANUS_TRACE_SPAN(tracer_, unitTracks_[unit],
-                             subOpLabels_[id], cursor - latency,
-                             cursor);
+                             subOpLabels_[id], start, cursor);
         }
         return cursor;
     }
     for (SubOpId id : runnable) {
         const bool piped = pipelined(id);
         Tick start = piped ? ready : begin;
+        Tick unbound = ready;
         for (SubOpId p : graph_.preds(id)) {
             janus_assert(state.done(p), "pred %s of %s not complete",
                          graph_.subOp(p).name.c_str(),
                          graph_.subOp(id).name.c_str());
             start = std::max(start, state.finish(p));
+            unbound = std::max(unbound, state.finish(p));
         }
         const Tick latency = node_latency(id);
+        ExecBusy busy = ExecBusy::None;
         if (piped) {
             // One update in flight per tree level; back-to-back
             // writes stream through the levels like pipeline stages.
             const int stage = graph_.subOp(id).pipeStage;
+            unbound = start;
+            if (stageBusy_[stage] > start)
+                busy = ExecBusy::Stage;
             start = std::max(start, stageBusy_[stage]);
             stageBusy_[stage] = start + latency;
             ++pipelinedSubOps_;
             pipeBusyTicks_ += latency;
+        } else if (start > unbound) {
+            busy = ExecBusy::Unit; // the pool grant set the start
         }
         Tick finish = start + latency;
         state.complete(id, finish);
         ++subOpsExecuted_;
         last = std::max(last, finish);
+        if (prov != nullptr)
+            prov->nodes.push_back({id, start, finish, unbound, busy});
         JANUS_TRACE_SPAN(
             tracer_,
             piped ? stageTracks_[graph_.subOp(id).pipeStage]

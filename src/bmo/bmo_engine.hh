@@ -89,6 +89,41 @@ class BmoExecState
     std::size_t completed_ = 0;
 };
 
+/** What bounded a scheduled node's start time beyond its data
+ *  dependencies (critical-path provenance). */
+enum class ExecBusy : std::uint8_t
+{
+    None, ///< data dependencies / ready time set the start
+    Unit, ///< shared BMO unit pool was occupied
+    Stage, ///< pipelined tree-level stage unit was occupied
+};
+
+/** Completion-time provenance of one scheduled sub-operation. */
+struct ExecProvRecord
+{
+    SubOpId id;
+    Tick start;   ///< actual start tick
+    Tick finish;  ///< actual finish tick
+    /** What start would have been with idle units: max(ready, data
+     *  dependencies). Equals start when busy == None. */
+    Tick unbound;
+    ExecBusy busy;
+};
+
+/**
+ * Per-execute() recording of node schedules, filled when a caller
+ * passes one to BmoEngine::execute. A pure observer: recording never
+ * changes a computed tick. The memory controller walks these records
+ * backwards (matching finish times) to attribute every interval of a
+ * persist's critical path; see sim/critpath.hh.
+ */
+struct ExecProvenance
+{
+    std::vector<ExecProvRecord> nodes;
+
+    void clear() { nodes.clear(); }
+};
+
 /**
  * The shared unit pool + list scheduler. Queries must be issued in
  * nondecreasing ready-time order (guaranteed by the event queue).
@@ -114,12 +149,15 @@ class BmoEngine
      * @param latency_override  optional per-node latency vector
      *        (e.g., E1 costs more on a counter-cache miss); nodes
      *        with maxTick entries use the graph default
+     * @param prov  optional provenance sink; every node scheduled by
+     *        this call is appended (never cleared here)
      * @return latest finish tick among nodes runnable now (or
      *         @p ready if nothing new was runnable)
      */
     Tick execute(BmoExecState &state, ExternalInput available,
                  Tick ready, BmoExecMode mode,
-                 const std::vector<Tick> *latency_override = nullptr);
+                 const std::vector<Tick> *latency_override = nullptr,
+                 ExecProvenance *prov = nullptr);
 
     const BmoGraph &graph() const { return graph_; }
     unsigned units() const { return units_; }

@@ -1,0 +1,415 @@
+#include "common/json.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace janus
+{
+
+namespace
+{
+
+/** Cursor over the input text with offset-carrying errors. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            if (pos_ >= text_.size() || text_[pos_++] != *p)
+                fail(std::string("bad literal (expected ") + word +
+                     ")");
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+            literal("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            literal("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            members.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect('}');
+            return JsonValue::makeObject(std::move(members));
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        while (true) {
+            items.push_back(parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect(']');
+            return JsonValue::makeArray(std::move(items));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++pos_;
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return value;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                  unsigned cp = hex4();
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // Surrogate pair.
+                      if (!consume('\\') || !consume('u'))
+                          fail("unpaired surrogate");
+                      unsigned lo = hex4();
+                      if (lo < 0xDC00 || lo > 0xDFFF)
+                          fail("bad low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (pos_ >= text_.size() ||
+            !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+            fail("bad number");
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("bad number '" + token + "'");
+        return JsonValue::makeNumber(value);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw JsonError("not a bool", 0);
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        throw JsonError("not a number", 0);
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw JsonError("not a string", 0);
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        throw JsonError("not an array", 0);
+    return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        throw JsonError("not an object", 0);
+    return object_;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return get(key) != nullptr;
+}
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    const JsonValue *value = get(key);
+    if (value == nullptr)
+        throw JsonError("missing member '" + key + "'", 0);
+    return *value;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    const std::vector<JsonValue> &items = asArray();
+    if (index >= items.size())
+        throw JsonError("array index " + std::to_string(index) +
+                            " out of range",
+                        0);
+    return items[index];
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw JsonError("cannot open " + path, 0);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseJson(buf.str());
+}
+
+} // namespace janus

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader. The repo emits several
+ * machine-readable JSON artifacts (BENCH_*.json, METRICS_*.json,
+ * TRACE_*.json, stats dumps); this parser lets in-tree tools consume
+ * them back — perf_diff compares bench reports, tests validate that
+ * exports are well-formed — without an external dependency.
+ *
+ * Scope: full JSON syntax (objects, arrays, strings with escapes,
+ * numbers, true/false/null). Numbers are held as double (every value
+ * we emit fits), strings as std::string with \uXXXX decoded to UTF-8.
+ * Parse errors throw JsonError with a byte offset.
+ */
+
+#ifndef JANUS_COMMON_JSON_HH
+#define JANUS_COMMON_JSON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace janus
+{
+
+/** Malformed input (message includes the byte offset). */
+class JsonError : public std::runtime_error
+{
+  public:
+    JsonError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what + " at byte " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {}
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; throw JsonError on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Object members in source order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Does this object have a member @p key? */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member lookup; throws JsonError when this is not an object or
+     * the key is absent (use has() / get() for optional members).
+     */
+    const JsonValue &operator[](const std::string &key) const;
+
+    /** Member lookup, or nullptr when absent / not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Array element; throws JsonError when out of range. */
+    const JsonValue &at(std::size_t index) const;
+
+    std::size_t
+    size() const
+    {
+        return kind_ == Kind::Array    ? array_.size()
+               : kind_ == Kind::Object ? object_.size()
+                                       : 0;
+    }
+
+    // --- construction (parser + tests) ----------------------------
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/** Parse a complete JSON document (rejects trailing garbage). */
+JsonValue parseJson(const std::string &text);
+
+/** Parse the contents of a file; throws JsonError when unreadable. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace janus
+
+#endif // JANUS_COMMON_JSON_HH

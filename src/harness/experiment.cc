@@ -79,6 +79,11 @@ runExperiment(const ExperimentConfig &requested)
         result.traceEventsRecorded = tracer->recorded();
         result.traceEventsDropped = tracer->dropped();
     }
+    result.critPath = mc.critPath();
+    if (MetricsSampler *sampler = system.sampler()) {
+        result.metricsJson = sampler->json();
+        result.metricsWindows = sampler->windows();
+    }
     result.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start)

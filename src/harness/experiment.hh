@@ -79,6 +79,18 @@ struct ExperimentResult
     std::uint64_t traceEventsDropped = 0;
     /** Resilience-layer counters (all zero when the layer is off). */
     ResilienceCounters resilience;
+    /**
+     * Aggregated critical-path attribution over every persist of the
+     * run (empty unless config.sys.profilePersist). Edge shares
+     * partition avg persist latency exactly; see sim/critpath.hh.
+     */
+    CritPathSummary critPath;
+    /**
+     * METRICS-schema time-series JSON (empty unless
+     * config.sys.metrics; BenchRunner sets it from JANUS_METRICS).
+     */
+    std::string metricsJson;
+    std::uint64_t metricsWindows = 0;
 };
 
 /** Run one experiment to completion. */

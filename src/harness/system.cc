@@ -33,6 +33,7 @@ makeMcConfig(const SystemConfig &sys)
         mc.janusHw.irbEntries *= scale;
     }
     mc.resilience = sys.resilience;
+    mc.profilePersist = sys.profilePersist;
     return mc;
 }
 
@@ -46,6 +47,11 @@ NvmSystem::NvmSystem(const SystemConfig &config, const Module &module)
         tracer_ = std::make_unique<Tracer>(config.traceCapacity);
     mc_ = std::make_unique<MemoryController>(makeMcConfig(config));
     mc_->setTracer(tracer_.get());
+    if (config.metrics) {
+        sampler_ =
+            std::make_unique<MetricsSampler>(config.metricsWindowTicks);
+        mc_->setSampler(sampler_.get());
+    }
     for (unsigned i = 0; i < config.cores; ++i) {
         cores_.push_back(std::make_unique<TimingCore>(
             "core" + std::to_string(i), eventq_, i, module, mem_,
@@ -72,6 +78,8 @@ NvmSystem::run(std::vector<TxnSource> sources)
     Tick makespan = 0;
     for (const auto &core : cores_)
         makespan = std::max(makespan, core->finishTick());
+    if (sampler_)
+        sampler_->finish(makespan);
     return makespan;
 }
 

@@ -49,6 +49,14 @@ struct SystemConfig
     bool trace = false;
     /** Trace ring capacity in events. */
     std::size_t traceCapacity = 1 << 16;
+    /** Critical-path persist profiling (pure observer; see
+     *  sim/critpath.hh). */
+    bool profilePersist = true;
+    /** Windowed time-series sampling (see sim/metrics.hh; benches
+     *  turn this on when JANUS_METRICS is set). */
+    bool metrics = false;
+    /** Metrics window width in ticks. */
+    Tick metricsWindowTicks = 10 * ticks::us;
 };
 
 /** A fully assembled simulated NVM machine. */
@@ -77,6 +85,10 @@ class NvmSystem
     /** The persist-path tracer, or null when tracing is off. */
     Tracer *tracer() { return tracer_.get(); }
 
+    /** The time-series sampler, or null when sampling is off. run()
+     *  finishes it at the makespan tick. */
+    MetricsSampler *sampler() { return sampler_.get(); }
+
     /**
      * Dump every component's statistics to the stream.
      *
@@ -102,6 +114,7 @@ class NvmSystem
     EventQueue eventq_;
     SparseMemory mem_;
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<MetricsSampler> sampler_;
     std::unique_ptr<MemoryController> mc_;
     std::vector<std::unique_ptr<TimingCore>> cores_;
     RegionAllocator alloc_;

@@ -301,7 +301,8 @@ JanusFrontend::findForWrite(Addr line_addr, const CacheLine &data)
 }
 
 ConsumeResult
-JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
+JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now,
+                       ExecProvenance *prov)
 {
     purgeOpQueue(now);
     expireEntries(now);
@@ -365,7 +366,7 @@ JanusFrontend::consume(Addr line_addr, const CacheLine &data, Tick now)
         entry, ExternalInput::Both, /*mark_epoch=*/true);
     Tick exec_done =
         engine_.execute(entry.exec, ExternalInput::Both, ready,
-                        BmoExecMode::Parallel, override_lat);
+                        BmoExecMode::Parallel, override_lat, prov);
     result.ready = std::max(exec_done, entry.exec.lastFinish());
     result.ready = std::max(result.ready, ready);
 

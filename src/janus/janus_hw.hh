@@ -146,10 +146,12 @@ class JanusFrontend
      * memory controller. Matches an IRB entry (by address, or by
      * content for address-less data-only entries), validates
      * freshness, schedules whatever still needs to run, and retires
-     * the entry.
+     * the entry. When @p prov is given, nodes scheduled *now* are
+     * recorded there (pre-executed nodes are not: time spent waiting
+     * on them is in-flight pre-execution by definition).
      */
     ConsumeResult consume(Addr line_addr, const CacheLine &data,
-                          Tick now);
+                          Tick now, ExecProvenance *prov = nullptr);
 
     /** Discard all entries belonging to a terminated thread. */
     void flushThread(std::uint16_t thread_id);

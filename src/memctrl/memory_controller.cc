@@ -24,6 +24,22 @@ effectiveBmoConfig(const MemCtrlConfig &config)
     return config.bmo;
 }
 
+/** Exec-segment edge type of a sub-operation's BMO kind. */
+CritEdge
+execEdgeOf(BmoKind kind)
+{
+    switch (kind) {
+      case BmoKind::Encryption:
+        return CritEdge::ExecAes;
+      case BmoKind::Integrity:
+        return CritEdge::ExecHash;
+      case BmoKind::Deduplication:
+        return CritEdge::ExecDedup;
+      default:
+        return CritEdge::ExecOther;
+    }
+}
+
 } // namespace
 
 MemoryController::MemoryController(const MemCtrlConfig &config)
@@ -76,6 +92,31 @@ MemoryController::setTracer(Tracer *tracer)
     remapLabel_ = tracer_->label("remap");
     irbFaultLabel_ = tracer_->label("irbEccFault");
     degradeLabel_ = tracer_->label("degraded");
+}
+
+void
+MemoryController::setSampler(MetricsSampler *sampler)
+{
+    sampler_ = sampler;
+    if (sampler_ == nullptr)
+        return;
+    mWrites_ = sampler_->addRate("mc.writes");
+    mPersistNs_ = sampler_->addHistogram("mc.persist_ns", 0, 4000, 200);
+    mQueueDepth_ = sampler_->addGauge("nvm.queue_depth");
+    if (frontend_)
+        mIrbOcc_ = sampler_->addGauge("irb.occupancy");
+    if (config_.mode != WritePathMode::NoBmo &&
+        config_.bmo.integrity) {
+        mTreeHits_ = sampler_->addCounter("tree.cache_hits");
+        mTreeMisses_ = sampler_->addCounter("tree.cache_misses");
+        sampler_->addHitRatio("tree.cache_hit_rate", mTreeHits_,
+                              mTreeMisses_);
+    }
+    if (resilienceOn()) {
+        mRetries_ = sampler_->addCounter("resilience.retries");
+        mRemaps_ = sampler_->addCounter("resilience.remaps");
+        mDegraded_ = sampler_->addGauge("resilience.degraded");
+    }
 }
 
 TraceId
@@ -176,6 +217,17 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                  "persist of unaligned line %#llx",
                  static_cast<unsigned long long>(line_addr));
     ++writes_;
+    if (sampler_ != nullptr)
+        sampler_->advanceTo(arrival);
+    const bool profiling = config_.profilePersist;
+    ExecProvenance *prov = nullptr;
+    if (profiling) {
+        prov_.clear();
+        prov = &prov_;
+    }
+    // Lookup horizon / consume flag for the bmo-stage walk.
+    Tick lookup_until = arrival;
+    bool consume_path = false;
     applyCounterCache(line_addr);
 
     // Streamlined integrity: persist epochs are write-count windows;
@@ -220,7 +272,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           BmoExecState state(graph_);
           bmo_done = engine_.execute(state, ExternalInput::Both,
                                      arrival, BmoExecMode::Serialized,
-                                     &latencyOverride_);
+                                     &latencyOverride_, prov);
           break;
       }
       case WritePathMode::Parallel: {
@@ -228,7 +280,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
           BmoExecState state(graph_);
           bmo_done = engine_.execute(state, ExternalInput::Both,
                                      arrival, BmoExecMode::Parallel,
-                                     &latencyOverride_);
+                                     &latencyOverride_, prov);
           break;
       }
       case WritePathMode::Janus: {
@@ -256,12 +308,14 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
               BmoExecState state(graph_);
               bmo_done = engine_.execute(state, ExternalInput::Both,
                                          arrival, BmoExecMode::Parallel,
-                                         &latencyOverride_);
+                                         &latencyOverride_, prov);
               break;
           }
+          lookup_until = arrival + config_.janusHw.irbLookupLatency;
           ConsumeResult consume =
-              frontend_->consume(line_addr, data, arrival);
+              frontend_->consume(line_addr, data, arrival, prov);
           if (consume.hadEntry) {
+              consume_path = true;
               bmo_done = consume.ready;
               result.fullyPreExecuted = consume.fullyPreExecuted;
           } else {
@@ -270,7 +324,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
               bmo_done = engine_.execute(
                   state, ExternalInput::Both,
                   arrival + config_.janusHw.irbLookupLatency,
-                  BmoExecMode::Parallel, &latencyOverride_);
+                  BmoExecMode::Parallel, &latencyOverride_, prov);
           }
           break;
       }
@@ -298,8 +352,11 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     }
 
     // 3. Persist-domain acceptance. Duplicate writes are cancelled:
-    //    only their metadata update reaches the device.
+    //    only their metadata update reaches the device. The three
+    //    queue-stage deltas (wq / media / meta) feed the
+    //    critical-path profiler; their sum is accepted - bmo_done.
     Tick persisted;
+    Tick wq_ticks = 0, media_ticks = 0, meta_ticks = 0;
     if (outcome.duplicate && config_.bmo.deduplication) {
         persisted = bmo_done;
     } else {
@@ -308,6 +365,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         Addr target =
             resilienceOn() ? resilience_.translate(frame) : frame;
         persisted = device_.acceptWrite(target, bmo_done);
+        wq_ticks = persisted - bmo_done;
         if (wearLeveler_ &&
             line_addr < (config_.wearRegionLines << lineShift)) {
             wearLeveler_->recordFrameWrite(frame);
@@ -324,11 +382,14 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                 // Write-verify retries push durability out.
                 media_delay = mw.delay;
                 persisted += mw.delay;
+                media_ticks += mw.delay;
             }
             if (mw.remapped) {
                 // Programming the spare is one more device write.
                 remapped = true;
+                Tick before_remap = persisted;
                 persisted = device_.acceptWrite(mw.frame, persisted);
+                media_ticks += persisted - before_remap;
             }
         }
     }
@@ -341,7 +402,10 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         ++metaAtomicWrites_;
         Tick meta_done =
             device_.acceptWrite(metaLineOf(line_addr), bmo_done);
-        persisted = std::max(persisted, meta_done);
+        if (meta_done > persisted) {
+            meta_ticks = meta_done - persisted;
+            persisted = meta_done;
+        }
     }
     Tick accepted = persisted;
 
@@ -366,6 +430,48 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     breakdown_.orderNs.sample(ticks::toNsF(persisted - accepted));
     breakdown_.totalNs.sample(ticks::toNsF(persisted - arrival));
     breakdown_.totalHistNs.sample(ticks::toNsF(persisted - arrival));
+
+    if (profiling) {
+        segs_.clear();
+        walkBmoStage(arrival, bmo_done, lookup_until, consume_path);
+        if (wq_ticks > 0)
+            segs_.push_back({CritEdge::WqFull, wq_ticks});
+        if (media_ticks > 0)
+            segs_.push_back({CritEdge::MediaRetry, media_ticks});
+        if (meta_ticks > 0)
+            segs_.push_back({CritEdge::MetaCowrite, meta_ticks});
+        if (persisted > accepted)
+            segs_.push_back(
+                {CritEdge::OrderFifo, persisted - accepted});
+        critProfiler_.addPersist(segs_, persisted - arrival);
+    }
+
+    if (sampler_ != nullptr) {
+        sampler_->count(mWrites_);
+        sampler_->observe(mPersistNs_,
+                          ticks::toNsF(persisted - arrival));
+        sampler_->set(mQueueDepth_, device_.queueOccupancy(arrival));
+        if (frontend_)
+            sampler_->set(mIrbOcc_, frontend_->irbOccupancy());
+        if (config_.mode != WritePathMode::NoBmo &&
+            config_.bmo.integrity) {
+            const MerkleTree &tree = backend_.merkleTree();
+            sampler_->counter(
+                mTreeHits_, static_cast<double>(tree.cacheHits()));
+            sampler_->counter(
+                mTreeMisses_,
+                static_cast<double>(tree.cacheMisses()));
+        }
+        if (resilienceOn()) {
+            ResilienceCounters rc = resilience_.counters();
+            sampler_->counter(
+                mRetries_, static_cast<double>(rc.writeRetries +
+                                               rc.readRetries));
+            sampler_->counter(mRemaps_,
+                              static_cast<double>(rc.remaps));
+            sampler_->set(mDegraded_, degraded ? 1.0 : 0.0);
+        }
+    }
 #if !JANUS_TRACING
     (void)irb_fault;
     (void)media_delay;
@@ -403,6 +509,63 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                                         accepted, stream,
                                         meta_atomic});
     return result;
+}
+
+void
+MemoryController::walkBmoStage(Tick arrival, Tick bmo_done,
+                               Tick lookup_until, bool consume_path)
+{
+    provVisited_.assign(prov_.nodes.size(), 0);
+    Tick hi = bmo_done;
+    while (hi > arrival) {
+        // Find the (unvisited) scheduled node whose finish set the
+        // current horizon. Visited flags guarantee termination even
+        // through zero-latency nodes (e.g. coalesced tree levels).
+        const ExecProvRecord *rec = nullptr;
+        for (std::size_t i = 0; i < prov_.nodes.size(); ++i) {
+            if (!provVisited_[i] && prov_.nodes[i].finish == hi) {
+                provVisited_[i] = 1;
+                rec = &prov_.nodes[i];
+                break;
+            }
+        }
+        if (rec == nullptr) {
+            // Nothing this write scheduled ends here.
+            if (consume_path && hi > lookup_until) {
+                // Bound by in-flight pre-execution: a sub-op
+                // launched before the write arrived finished at hi.
+                segs_.push_back(
+                    {CritEdge::PreExecWait, hi - lookup_until});
+                hi = lookup_until;
+            } else if (hi > lookup_until) {
+                // Defensive: keeps the partition honest if a future
+                // path forgets to record provenance.
+                segs_.push_back(
+                    {CritEdge::Unattributed, hi - lookup_until});
+                hi = lookup_until;
+            } else {
+                segs_.push_back({CritEdge::IrbLookup, hi - arrival});
+                hi = arrival;
+            }
+            continue;
+        }
+        Tick lo = std::max(rec->start, arrival);
+        if (hi > lo)
+            segs_.push_back(
+                {execEdgeOf(graph_.subOp(rec->id).kind), hi - lo});
+        if (rec->busy != ExecBusy::None && rec->unbound < lo) {
+            // The node waited for a busy unit: attribute the gap,
+            // then continue from where it would have started.
+            Tick unbound = std::max(rec->unbound, arrival);
+            segs_.push_back({rec->busy == ExecBusy::Unit
+                                 ? CritEdge::UnitBusy
+                                 : CritEdge::TreePipe,
+                             lo - unbound});
+            hi = unbound;
+        } else {
+            hi = lo;
+        }
+    }
 }
 
 void

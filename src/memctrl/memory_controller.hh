@@ -23,6 +23,8 @@
 #include "nvm/nvm_device.hh"
 #include "nvm/wear_level.hh"
 #include "resilience/resilience.hh"
+#include "sim/critpath.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -60,6 +62,12 @@ struct MemCtrlConfig
     std::uint64_t wearRegionLines = std::uint64_t(1) << 24;
     /** Online resilience layer (inert unless enabled). */
     ResilienceConfig resilience;
+    /**
+     * Critical-path persist profiling (sim/critpath.hh). A pure
+     * observer: on or off, every computed tick is identical; off
+     * only skips the per-persist walk and leaves critPath() empty.
+     */
+    bool profilePersist = true;
 };
 
 /**
@@ -220,6 +228,31 @@ class MemoryController
     }
 
     /**
+     * Aggregated critical-path attribution over every persist
+     * (empty when profilePersist is off). Each persist's segments
+     * partition its [arrival, durable] latency tick-exactly, so
+     * critPath().totalTicks reconciles against the summed persist
+     * latency and critPath().shareSum() is exactly 1.
+     */
+    const CritPathSummary &critPath() const
+    {
+        return critProfiler_.summary();
+    }
+
+    /** The profiler itself (folded-stack export). */
+    const CritPathProfiler &critProfiler() const
+    {
+        return critProfiler_;
+    }
+
+    /**
+     * Attach a windowed time-series sampler (null detaches).
+     * Registers this controller's channels; call before the first
+     * persist so the column set is stable across the whole run.
+     */
+    void setSampler(MetricsSampler *sampler);
+
+    /**
      * Attach a trace sink (null detaches) and forward it to the BMO
      * engine, the Janus front-end and the NVM device.
      */
@@ -259,6 +292,17 @@ class MemoryController
     /** Start-Gap write count of a device frame (fault wear input). */
     std::uint64_t frameWearOf(Addr frame) const;
 
+    /**
+     * Walk the recorded provenance backwards from @p bmo_done to
+     * @p arrival, appending bmo-stage critical-path segments to
+     * segs_. @p lookup_until is arrival + IRB lookup latency on the
+     * Janus IRB paths (arrival otherwise); @p consume_path marks an
+     * IRB hit, where time bound by nodes absent from the provenance
+     * is in-flight pre-execution.
+     */
+    void walkBmoStage(Tick arrival, Tick bmo_done, Tick lookup_until,
+                      bool consume_path);
+
     MemCtrlConfig config_;
     BmoGraph graph_;
     BmoEngine engine_;
@@ -289,6 +333,23 @@ class MemoryController
     bool journalEnabled_ = false;
     std::vector<JournalEntry> journal_;
     std::vector<Tick> fenceRetires_;
+
+    CritPathProfiler critProfiler_;
+    /** Reused per-write provenance / walk scratch buffers. */
+    ExecProvenance prov_;
+    std::vector<CritSegment> segs_;
+    std::vector<char> provVisited_;
+
+    MetricsSampler *sampler_ = nullptr;
+    MetricId mWrites_ = 0;
+    MetricId mPersistNs_ = 0;
+    MetricId mQueueDepth_ = 0;
+    MetricId mIrbOcc_ = 0;
+    MetricId mTreeHits_ = 0;
+    MetricId mTreeMisses_ = 0;
+    MetricId mRetries_ = 0;
+    MetricId mRemaps_ = 0;
+    MetricId mDegraded_ = 0;
 
     Tracer *tracer_ = nullptr;
     std::vector<TraceId> streamTracks_;

@@ -1,0 +1,113 @@
+#include "sim/critpath.hh"
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+const char *
+critEdgeName(CritEdge edge)
+{
+    switch (edge) {
+      case CritEdge::ExecAes:
+        return "exec_aes";
+      case CritEdge::ExecHash:
+        return "exec_hash";
+      case CritEdge::ExecDedup:
+        return "exec_dedup";
+      case CritEdge::ExecOther:
+        return "exec_other";
+      case CritEdge::UnitBusy:
+        return "unit_busy";
+      case CritEdge::TreePipe:
+        return "tree_pipe";
+      case CritEdge::IrbLookup:
+        return "irb_lookup";
+      case CritEdge::PreExecWait:
+        return "pre_exec_wait";
+      case CritEdge::Unattributed:
+        return "unattributed";
+      case CritEdge::WqFull:
+        return "wq_full";
+      case CritEdge::MediaRetry:
+        return "media_retry";
+      case CritEdge::MetaCowrite:
+        return "meta_cowrite";
+      case CritEdge::OrderFifo:
+        return "order_fifo";
+    }
+    return "?";
+}
+
+const char *
+critEdgeStage(CritEdge edge)
+{
+    switch (edge) {
+      case CritEdge::WqFull:
+      case CritEdge::MediaRetry:
+      case CritEdge::MetaCowrite:
+        return "queue";
+      case CritEdge::OrderFifo:
+        return "order";
+      default:
+        return "bmo";
+    }
+}
+
+double
+CritPathSummary::share(CritEdge edge) const
+{
+    return totalTicks
+               ? static_cast<double>(ticksOf(edge)) /
+                     static_cast<double>(totalTicks)
+               : 0.0;
+}
+
+double
+CritPathSummary::shareSum() const
+{
+    double sum = 0;
+    for (std::size_t e = 0; e < numCritEdges; ++e)
+        sum += share(static_cast<CritEdge>(e));
+    return sum;
+}
+
+void
+CritPathProfiler::addPersist(const std::vector<CritSegment> &segments,
+                             Tick total)
+{
+    Tick sum = 0;
+    for (const CritSegment &seg : segments)
+        sum += seg.ticks;
+    // The core invariant: the attributed segments partition the
+    // persist's end-to-end latency exactly, with no gap or overlap.
+    janus_assert(sum == total,
+                 "critical-path segments sum to %llu ticks, persist "
+                 "took %llu",
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(total));
+    for (const CritSegment &seg : segments)
+        summary_.edgeTicks[static_cast<std::size_t>(seg.edge)] +=
+            seg.ticks;
+    summary_.totalTicks += total;
+    ++summary_.persists;
+}
+
+void
+writeFoldedSummary(const CritPathSummary &summary, std::ostream &os,
+                   const std::string &prefix)
+{
+    for (std::size_t e = 0; e < numCritEdges; ++e) {
+        CritEdge edge = static_cast<CritEdge>(e);
+        std::uint64_t ticks = summary.ticksOf(edge);
+        if (ticks == 0)
+            continue;
+        if (!prefix.empty())
+            os << prefix << ';';
+        os << "persist;" << critEdgeStage(edge) << ';'
+           << critEdgeName(edge) << ' ' << ticks::toNs(ticks)
+           << '\n';
+    }
+}
+
+} // namespace janus

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Critical-path taxonomy and per-persist attribution for the persist
+ * profiler. The memory controller walks the binding-predecessor
+ * chain of every persist (see ExecProvenance in bmo/bmo_engine.hh)
+ * and classifies each interval of [arrival, durable] as exactly one
+ * *edge type*: the resource or dependency that set the interval's
+ * start time. The resulting segments partition the end-to-end
+ * persist latency tick-exactly — a strictly stronger invariant than
+ * the 3-stage (bmo/queue/order) sum, which it refines.
+ *
+ * Edge taxonomy (one edge per segment):
+ *
+ *   bmo stage    ExecAes / ExecHash / ExecDedup / ExecOther — a
+ *                sub-operation was actually executing (by BMO kind);
+ *                UnitBusy — waiting for a shared BMO unit;
+ *                TreePipe — waiting for a pipelined tree-level
+ *                update unit (streamlined integrity engine);
+ *                IrbLookup — the IRB lookup latency of the Janus
+ *                front-end;
+ *                PreExecWait — waiting for in-flight pre-execution
+ *                launched before the write arrived;
+ *                Unattributed — defensive catch-all so the partition
+ *                never silently lies (zero on all known paths);
+ *   queue stage  WqFull — NVM write-queue acceptance stall;
+ *                MediaRetry — write-verify retries / bad-line remap
+ *                programming (resilience layer);
+ *                MetaCowrite — the co-located metadata write of a
+ *                selective-atomicity commit bound durability;
+ *   order stage  OrderFifo — per-stream FIFO durability wait.
+ *
+ * Everything here is pure observation: profiling on or off never
+ * changes a computed tick.
+ */
+
+#ifndef JANUS_SIM_CRITPATH_HH
+#define JANUS_SIM_CRITPATH_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Which resource chain bounded one critical-path segment. */
+enum class CritEdge : std::uint8_t
+{
+    ExecAes,      ///< encryption sub-op executing
+    ExecHash,     ///< integrity (hash) sub-op executing
+    ExecDedup,    ///< deduplication sub-op executing
+    ExecOther,    ///< compression / other sub-op executing
+    UnitBusy,     ///< shared BMO unit pool occupied
+    TreePipe,     ///< pipelined tree-level update unit occupied
+    IrbLookup,    ///< Janus IRB lookup latency
+    PreExecWait,  ///< in-flight pre-execution not yet finished
+    Unattributed, ///< defensive: walk found no recorded cause
+    WqFull,       ///< NVM write-queue acceptance stall
+    MediaRetry,   ///< write-verify retry / remap programming
+    MetaCowrite,  ///< metadata co-write bound durability
+    OrderFifo,    ///< per-stream FIFO ordering wait
+};
+
+/** Number of edge types (array sizing). */
+constexpr std::size_t numCritEdges =
+    static_cast<std::size_t>(CritEdge::OrderFifo) + 1;
+
+/** Stable snake_case edge name (JSON keys, flame-graph frames). */
+const char *critEdgeName(CritEdge edge);
+
+/** The persist pipeline stage an edge belongs to
+ *  ("bmo" / "queue" / "order"). */
+const char *critEdgeStage(CritEdge edge);
+
+/** One attributed interval of a persist's critical path. */
+struct CritSegment
+{
+    CritEdge edge;
+    Tick ticks;
+};
+
+/**
+ * Aggregated per-edge critical-path shares. POD so experiment
+ * results can copy it out of the controller; all ticks are exact
+ * integer sums, so `sum(edgeTicks) == totalTicks` holds bit-exactly
+ * whenever every recorded persist partitioned.
+ */
+struct CritPathSummary
+{
+    std::array<std::uint64_t, numCritEdges> edgeTicks{};
+    std::uint64_t totalTicks = 0;
+    std::uint64_t persists = 0;
+
+    std::uint64_t
+    ticksOf(CritEdge edge) const
+    {
+        return edgeTicks[static_cast<std::size_t>(edge)];
+    }
+
+    /** Fraction of total persist latency bounded by @p edge. */
+    double share(CritEdge edge) const;
+
+    /** Sum of all edge shares; 1.0 exactly when persists were
+     *  recorded (0 when none — nothing to partition). */
+    double shareSum() const;
+};
+
+/**
+ * Write folded-stack flame-graph lines
+ * ("prefix;persist;<stage>;<edge> <ns>") for every edge with nonzero
+ * time; load with flamegraph.pl / speedscope.
+ */
+void writeFoldedSummary(const CritPathSummary &summary,
+                        std::ostream &os, const std::string &prefix);
+
+/**
+ * Per-controller accumulator. The controller submits one segment
+ * list per persist; addPersist asserts that the segments partition
+ * the persist's end-to-end latency tick-exactly (the profiler's
+ * core invariant) before folding them into the summary.
+ */
+class CritPathProfiler
+{
+  public:
+    /**
+     * Fold one persist's segments in.
+     *
+     * @param segments  attributed intervals, any order
+     * @param total     end-to-end persist latency in ticks
+     *                  (must equal the segment sum exactly)
+     */
+    void addPersist(const std::vector<CritSegment> &segments,
+                    Tick total);
+
+    const CritPathSummary &summary() const { return summary_; }
+
+    /** writeFoldedSummary over this profiler's summary. */
+    void writeFolded(std::ostream &os,
+                     const std::string &prefix) const
+    {
+        writeFoldedSummary(summary_, os, prefix);
+    }
+
+  private:
+    CritPathSummary summary_;
+};
+
+} // namespace janus
+
+#endif // JANUS_SIM_CRITPATH_HH

@@ -1,0 +1,243 @@
+#include "sim/metrics.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+MetricsSampler::MetricsSampler(Tick window_ticks,
+                               std::size_t max_windows)
+    : window_(window_ticks), maxWindows_(max_windows)
+{
+    janus_assert(window_ticks >= 1, "metrics window must be >= 1 tick");
+    janus_assert(max_windows >= 1, "need at least one window");
+}
+
+MetricId
+MetricsSampler::add(Channel channel)
+{
+    janus_assert(rows_.empty(),
+                 "register every channel before the first window "
+                 "closes (column set must be stable)");
+    channel.column = columns_.size();
+    if (channel.kind == Kind::Histogram) {
+        columns_.push_back(channel.name + ".count");
+        columns_.push_back(channel.name + ".p50");
+        columns_.push_back(channel.name + ".p99");
+    } else {
+        columns_.push_back(channel.name);
+    }
+    channels_.push_back(std::move(channel));
+    return static_cast<MetricId>(channels_.size() - 1);
+}
+
+MetricId
+MetricsSampler::addRate(const std::string &name)
+{
+    Channel c;
+    c.name = name;
+    c.kind = Kind::Rate;
+    return add(std::move(c));
+}
+
+MetricId
+MetricsSampler::addCounter(const std::string &name)
+{
+    Channel c;
+    c.name = name;
+    c.kind = Kind::Counter;
+    return add(std::move(c));
+}
+
+MetricId
+MetricsSampler::addGauge(const std::string &name)
+{
+    Channel c;
+    c.name = name;
+    c.kind = Kind::Gauge;
+    return add(std::move(c));
+}
+
+MetricId
+MetricsSampler::addHistogram(const std::string &name, double lo,
+                             double hi, unsigned buckets)
+{
+    Channel c;
+    c.name = name;
+    c.kind = Kind::Histogram;
+    c.hist = Histogram(lo, hi, buckets);
+    return add(std::move(c));
+}
+
+MetricId
+MetricsSampler::addHitRatio(const std::string &name, MetricId hits,
+                            MetricId misses)
+{
+    janus_assert(hits < channels_.size() &&
+                     channels_[hits].kind == Kind::Counter &&
+                     misses < channels_.size() &&
+                     channels_[misses].kind == Kind::Counter,
+                 "hit-ratio operands must be counter channels");
+    Channel c;
+    c.name = name;
+    c.kind = Kind::HitRatio;
+    c.a = hits;
+    c.b = misses;
+    return add(std::move(c));
+}
+
+void
+MetricsSampler::closeWindow()
+{
+    if (rows_.size() >= maxWindows_) {
+        ++droppedWindows_;
+    } else {
+        std::vector<double> row;
+        row.reserve(columns_.size());
+        // Pass 1 computes counter deltas so HitRatio channels can
+        // reference operands registered before or after themselves.
+        std::vector<double> deltas(channels_.size(), 0);
+        for (std::size_t i = 0; i < channels_.size(); ++i)
+            if (channels_[i].kind == Kind::Counter)
+                deltas[i] = channels_[i].accum - channels_[i].prev;
+        for (Channel &c : channels_) {
+            switch (c.kind) {
+              case Kind::Rate:
+                row.push_back(c.accum);
+                break;
+              case Kind::Counter:
+                row.push_back(c.accum - c.prev);
+                break;
+              case Kind::Gauge:
+                row.push_back(c.accum);
+                break;
+              case Kind::Histogram:
+                row.push_back(static_cast<double>(c.hist.count()));
+                row.push_back(c.hist.quantile(0.50));
+                row.push_back(c.hist.quantile(0.99));
+                break;
+              case Kind::HitRatio: {
+                  double num = deltas[c.a];
+                  double den = deltas[c.a] + deltas[c.b];
+                  row.push_back(den > 0 ? num / den : 0.0);
+                  break;
+              }
+            }
+        }
+        rows_.push_back(std::move(row));
+        rowStarts_.push_back(windowStart_);
+    }
+    // Reset per-window state; gauges hold their value.
+    for (Channel &c : channels_) {
+        switch (c.kind) {
+          case Kind::Rate:
+            c.accum = 0;
+            break;
+          case Kind::Counter:
+            c.prev = c.accum;
+            break;
+          case Kind::Gauge:
+          case Kind::HitRatio:
+            break;
+          case Kind::Histogram:
+            c.hist.reset();
+            break;
+        }
+    }
+    windowStart_ += window_;
+}
+
+void
+MetricsSampler::advanceTo(Tick now)
+{
+    while (now >= windowStart_ + window_)
+        closeWindow();
+}
+
+void
+MetricsSampler::count(MetricId id, double delta)
+{
+    channels_.at(id).accum += delta;
+}
+
+void
+MetricsSampler::counter(MetricId id, double cumulative)
+{
+    channels_.at(id).accum = cumulative;
+}
+
+void
+MetricsSampler::set(MetricId id, double value)
+{
+    channels_.at(id).accum = value;
+}
+
+void
+MetricsSampler::observe(MetricId id, double value)
+{
+    channels_.at(id).hist.sample(value);
+}
+
+void
+MetricsSampler::finish(Tick end)
+{
+    advanceTo(end);
+    // One final partial window so end-of-run activity is visible —
+    // unless the run ended exactly on a window boundary, where a
+    // zero-length window would be spurious.
+    if (end > windowStart_)
+        closeWindow();
+}
+
+double
+MetricsSampler::value(std::size_t window, std::size_t column) const
+{
+    return rows_.at(window).at(column);
+}
+
+void
+MetricsSampler::writeJson(std::ostream &os) const
+{
+    char buf[64];
+    auto num = [&buf](double v) -> const char * {
+        // %.6g keeps integers exact and is byte-stable.
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    };
+    os << "{\n  \"schema_version\": 2,\n  \"window_ns\": "
+       << num(ticks::toNsF(window_)) << ",\n  \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        os << (i ? ", " : "") << '"' << columns_[i] << '"';
+    os << "],\n  \"windows\": [\n";
+    for (std::size_t w = 0; w < rows_.size(); ++w) {
+        os << "    {\"start_ns\": "
+           << num(ticks::toNsF(rowStarts_[w])) << ", \"values\": [";
+        for (std::size_t i = 0; i < rows_[w].size(); ++i)
+            os << (i ? ", " : "") << num(rows_[w][i]);
+        os << "]}" << (w + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n  \"dropped_windows\": " << droppedWindows_
+       << "\n}\n";
+}
+
+std::string
+MetricsSampler::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+bool
+metricsEnvEnabled()
+{
+    const char *env = std::getenv("JANUS_METRICS");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+} // namespace janus

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Windowed time-series telemetry. End-of-run aggregates hide
+ * saturation, warmup transients and degraded-mode episodes; the
+ * MetricsSampler slices simulated time into fixed windows and
+ * records, per window:
+ *
+ *   - Rate channels      event counts accumulated with count();
+ *   - Counter channels   deltas of an externally maintained
+ *                        cumulative counter ("counters as rates");
+ *   - Gauge channels     the last value set() in the window, held
+ *                        across idle windows;
+ *   - Histogram channels a fresh per-window distribution, exported
+ *                        as count / p50 / p99 columns;
+ *   - HitRatio channels  delta(a) / (delta(a) + delta(b)) over two
+ *                        counter channels (e.g. cache hit rate).
+ *
+ * Like the Tracer, one sampler is owned by one simulated system, so
+ * it is single-threaded by construction, and it is a pure observer:
+ * sampling never changes a computed tick. Windows close lazily on
+ * advanceTo(now), which instrumentation points call with the
+ * current simulated time; the emitted timeline is therefore a
+ * deterministic function of the simulation, byte-stable across
+ * hosts and across the serial/parallel experiment runners.
+ *
+ * writeJson emits METRICS-schema JSON: window width, column names,
+ * and one row per closed window.
+ */
+
+#ifndef JANUS_SIM_METRICS_HH
+#define JANUS_SIM_METRICS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+
+namespace janus
+{
+
+/** Interned metrics-channel handle. */
+using MetricId = std::uint16_t;
+
+/** Per-experiment windowed time-series sampler. */
+class MetricsSampler
+{
+  public:
+    /**
+     * @param window_ticks  window width in ticks (>= 1)
+     * @param max_windows   rows retained before further windows are
+     *                      dropped (counted, so truncation is loud)
+     */
+    explicit MetricsSampler(Tick window_ticks,
+                            std::size_t max_windows = 1 << 20);
+
+    /** Register an event-count channel (emits events per window). */
+    MetricId addRate(const std::string &name);
+
+    /**
+     * Register a cumulative-counter channel: feed the current
+     * cumulative value via counter(); each window emits the delta
+     * against the previous window's last value.
+     */
+    MetricId addCounter(const std::string &name);
+
+    /** Register a sampled-value channel (holds last value). */
+    MetricId addGauge(const std::string &name);
+
+    /**
+     * Register a per-window distribution channel; expands to three
+     * columns: "<name>.count", "<name>.p50", "<name>.p99". The
+     * histogram resets at every window boundary.
+     */
+    MetricId addHistogram(const std::string &name, double lo,
+                          double hi, unsigned buckets);
+
+    /**
+     * Register a derived hit-ratio channel over two *counter*
+     * channels: delta(hits) / (delta(hits) + delta(misses)) per
+     * window, 0 when the window saw no activity.
+     */
+    MetricId addHitRatio(const std::string &name, MetricId hits,
+                         MetricId misses);
+
+    /**
+     * Close every window that ends at or before @p now. Call before
+     * recording samples for time @p now; ticks may repeat but must
+     * never decrease (event-queue order).
+     */
+    void advanceTo(Tick now);
+
+    /** Accumulate @p delta events into the current window. */
+    void count(MetricId id, double delta = 1.0);
+
+    /** Feed a cumulative counter's current value. */
+    void counter(MetricId id, double cumulative);
+
+    /** Set a gauge. */
+    void set(MetricId id, double value);
+
+    /** Add one sample to a histogram channel's current window. */
+    void observe(MetricId id, double value);
+
+    /** Close the final (partial) window at end of run. */
+    void finish(Tick end);
+
+    /** Closed windows emitted so far. */
+    std::size_t windows() const { return rows_.size(); }
+    /** Windows dropped after max_windows was hit. */
+    std::uint64_t droppedWindows() const { return droppedWindows_; }
+    Tick windowTicks() const { return window_; }
+
+    /** Flat column names, in registration order. */
+    const std::vector<std::string> &columns() const
+    {
+        return columns_;
+    }
+
+    /** Value at (closed window, column) — test access. */
+    double value(std::size_t window, std::size_t column) const;
+
+    /**
+     * Emit the timeline as deterministic JSON:
+     * {"schema_version": .., "window_ns": .., "columns": [..],
+     *  "windows": [{"start_ns": .., "values": [..]}, ..],
+     *  "dropped_windows": ..}
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson into a string. */
+    std::string json() const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Rate,
+        Counter,
+        Gauge,
+        Histogram,
+        HitRatio,
+    };
+
+    struct Channel
+    {
+        std::string name;
+        Kind kind;
+        /** Rate: accumulated events. Counter: last cumulative fed /
+         *  value at previous close. Gauge: current value. */
+        double accum = 0;
+        double prev = 0;
+        /** Histogram state (Histogram kind only). */
+        Histogram hist = Histogram(0, 1, 1);
+        /** HitRatio operands (channel indices). */
+        MetricId a = 0, b = 0;
+        /** First column index of this channel in a row. */
+        std::size_t column = 0;
+    };
+
+    MetricId add(Channel channel);
+
+    /** Close the window ending at windowStart_ + window_. */
+    void closeWindow();
+
+    Tick window_;
+    std::size_t maxWindows_;
+    Tick windowStart_ = 0;
+    std::uint64_t droppedWindows_ = 0;
+
+    std::vector<Channel> channels_;
+    std::vector<std::string> columns_;
+    /** One row of column values per closed window. */
+    std::vector<std::vector<double>> rows_;
+    std::vector<Tick> rowStarts_;
+};
+
+/** @return true if the JANUS_METRICS environment variable requests
+ *  time-series sampling (set and not "0"). */
+bool metricsEnvEnabled();
+
+} // namespace janus
+
+#endif // JANUS_SIM_METRICS_HH

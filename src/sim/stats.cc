@@ -55,7 +55,9 @@ double
 Histogram::quantile(double q) const
 {
     if (count_ == 0)
-        return 0;
+        return 0; // defined: no samples, no quantile
+    if (count_ == 1)
+        return sum_; // the one sample, exactly (no interpolation)
     q = std::clamp(q, 0.0, 1.0);
     double target = q * static_cast<double>(count_);
     double seen = static_cast<double>(under_);

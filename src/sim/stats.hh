@@ -82,7 +82,12 @@ class Histogram
     /**
      * Approximate q-quantile (0 <= q <= 1) by linear interpolation
      * inside the containing bucket. Underflow samples count as lo,
-     * overflow samples as hi. @return 0 for an empty histogram.
+     * overflow samples as hi.
+     *
+     * Edge cases are defined, not bucket reads: an empty histogram
+     * returns 0 for every q, and a single-sample histogram returns
+     * that exact sample (== mean()) for every q — even when the
+     * sample landed in the under/overflow range.
      */
     double quantile(double q) const;
 

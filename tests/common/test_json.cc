@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the minimal JSON reader: full-syntax round trips,
+ * escape/unicode decoding, accessor semantics, and error positions.
+ * The parser underpins perf_diff and the observability-export
+ * validation tests, so malformed input must fail loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    JsonValue doc = parseJson(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": 1.5})");
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.size(), 3u);
+    EXPECT_EQ(doc["a"].size(), 3u);
+    EXPECT_DOUBLE_EQ(doc["a"].at(1).asNumber(), 2.0);
+    EXPECT_EQ(doc["a"].at(2)["b"].asString(), "c");
+    EXPECT_TRUE(doc["d"]["e"].isNull());
+    EXPECT_DOUBLE_EQ(doc["f"].asNumber(), 1.5);
+}
+
+TEST(Json, MemberOrderPreserved)
+{
+    JsonValue doc = parseJson(R"({"z": 1, "a": 2, "m": 3})");
+    const auto &members = doc.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, StringEscapes)
+{
+    JsonValue v =
+        parseJson(R"("line\nbreak\t\"quoted\" \\ \/ \u0041")");
+    EXPECT_EQ(v.asString(), "line\nbreak\t\"quoted\" \\ / A");
+}
+
+TEST(Json, UnicodeEscapes)
+{
+    // U+00E9 (two-byte), U+20AC (three-byte), surrogate pair for
+    // U+1F600 (four-byte).
+    EXPECT_EQ(parseJson(R"("\u00e9")").asString(), "\xC3\xA9");
+    EXPECT_EQ(parseJson(R"("\u20AC")").asString(), "\xE2\x82\xAC");
+    EXPECT_EQ(parseJson(R"("\uD83D\uDE00")").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, WhitespaceTolerant)
+{
+    JsonValue doc =
+        parseJson("  {\n\t\"a\" :\r\n [ 1 , 2 ]\n}  ");
+    EXPECT_DOUBLE_EQ(doc["a"].at(0).asNumber(), 1.0);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_EQ(parseJson("{}").size(), 0u);
+    EXPECT_EQ(parseJson("[]").size(), 0u);
+    EXPECT_EQ(parseJson("{\"a\": []}")["a"].size(), 0u);
+}
+
+TEST(Json, GetAndHas)
+{
+    JsonValue doc = parseJson(R"({"present": 1})");
+    EXPECT_TRUE(doc.has("present"));
+    EXPECT_FALSE(doc.has("absent"));
+    EXPECT_EQ(doc.get("absent"), nullptr);
+    EXPECT_THROW(doc["absent"], JsonError);
+    EXPECT_EQ(parseJson("[1]").get("key"), nullptr);
+}
+
+TEST(Json, TypeMismatchesThrow)
+{
+    JsonValue num = parseJson("7");
+    EXPECT_THROW(num.asString(), JsonError);
+    EXPECT_THROW(num.asArray(), JsonError);
+    EXPECT_THROW(num.members(), JsonError);
+    EXPECT_THROW(parseJson("[1]").at(1), JsonError);
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(parseJson(""), JsonError);
+    EXPECT_THROW(parseJson("{"), JsonError);
+    EXPECT_THROW(parseJson("[1, ]"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonError);
+    EXPECT_THROW(parseJson("nul"), JsonError);
+    EXPECT_THROW(parseJson("01x"), JsonError);
+    EXPECT_THROW(parseJson("1 2"), JsonError); // trailing garbage
+    EXPECT_THROW(parseJson("\"\\u12G4\""), JsonError);
+    EXPECT_THROW(parseJson("\"\\uD800x\""), JsonError);
+}
+
+TEST(Json, ErrorCarriesOffset)
+{
+    try {
+        parseJson("[1, 2, oops]");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_EQ(e.offset(), 7u);
+        EXPECT_NE(std::string(e.what()).find("byte 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Json, ParsesOwnBenchShape)
+{
+    // The exact shape bench_common.hh emits (abridged).
+    JsonValue doc = parseJson(R"({
+  "schema_version": 2,
+  "bench": "fig1",
+  "seed_override": null,
+  "experiments": [
+    {"label": "janus", "makespan_ticks": 123456,
+     "critical_path": {"persists": 10, "total_ns": 800.0,
+       "share_sum": 1.0,
+       "edges": {"exec_aes": {"ns": 400.0, "share": 0.5}}}}
+  ]
+})");
+    EXPECT_DOUBLE_EQ(doc["schema_version"].asNumber(), 2.0);
+    EXPECT_TRUE(doc["seed_override"].isNull());
+    const JsonValue &exp = doc["experiments"].at(0);
+    EXPECT_DOUBLE_EQ(
+        exp["critical_path"]["edges"]["exec_aes"]["share"]
+            .asNumber(),
+        0.5);
+}
+
+} // namespace
+} // namespace janus

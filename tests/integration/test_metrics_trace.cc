@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tracing + time-series sampling running together: a deliberately
+ * tiny trace ring overflows mid-run while the metrics sampler is
+ * live, and both exports must still be well-formed JSON (validated
+ * by parsing them back) with consistent bookkeeping. Guards the
+ * observability layers against corrupting each other — they hook the
+ * same persist path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+
+namespace janus
+{
+namespace
+{
+
+ExperimentConfig
+observedConfig()
+{
+    ExperimentConfig config;
+    config.workloadName = "hash_table";
+    config.workload.txnsPerCore = 40;
+    config.sys.cores = 2;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    config.sys.trace = true;
+    config.sys.traceCapacity = 16; // force ring overflow
+    config.sys.metrics = true;
+    config.sys.metricsWindowTicks = 1 * ticks::us;
+    return config;
+}
+
+TEST(MetricsTrace, OverflowingTracerKeepsBothExportsValid)
+{
+    ExperimentResult r = runExperiment(observedConfig());
+
+    // The tiny ring must have overflowed — that's the scenario.
+    EXPECT_GT(r.traceEventsDropped, 0u);
+    EXPECT_GT(r.traceEventsRecorded, 0u);
+    EXPECT_GT(r.metricsWindows, 0u);
+
+    // Both exports parse; no truncated or interleaved output.
+    JsonValue trace = parseJson(r.traceJson);
+    const JsonValue &events = trace["traceEvents"];
+    ASSERT_GT(events.size(), 0u);
+    // The ring retains at most traceCapacity events (metadata "M"
+    // records naming the tracks ride on top).
+    std::size_t spans = 0;
+    for (const JsonValue &event : events.asArray()) {
+        EXPECT_TRUE(event.has("name"));
+        if (event["ph"].asString() != "M") {
+            EXPECT_TRUE(event.has("ts"));
+            ++spans;
+        }
+    }
+    EXPECT_GT(spans, 0u);
+    EXPECT_LE(spans, 16u);
+    // The export's own bookkeeping matches the result fields.
+    EXPECT_DOUBLE_EQ(trace["otherData"]["dropped"].asNumber(),
+                     static_cast<double>(r.traceEventsDropped));
+
+    JsonValue metrics = parseJson(r.metricsJson);
+    EXPECT_DOUBLE_EQ(metrics["schema_version"].asNumber(), 2.0);
+    ASSERT_GT(metrics["columns"].size(), 0u);
+    ASSERT_EQ(metrics["windows"].size(), r.metricsWindows);
+    const std::size_t width = metrics["columns"].size();
+    double prev_start = -1;
+    for (const JsonValue &window : metrics["windows"].asArray()) {
+        EXPECT_EQ(window["values"].size(), width);
+        double start = window["start_ns"].asNumber();
+        EXPECT_GT(start, prev_start); // strictly increasing
+        prev_start = start;
+    }
+    // Janus mode registers the IRB occupancy channel.
+    bool has_irb = false;
+    for (const JsonValue &col : metrics["columns"].asArray())
+        if (col.asString() == "irb.occupancy")
+            has_irb = true;
+    EXPECT_TRUE(has_irb);
+}
+
+TEST(MetricsTrace, SamplingDoesNotPerturbTiming)
+{
+    ExperimentConfig config = observedConfig();
+    ExperimentResult observed = runExperiment(config);
+    config.sys.trace = false;
+    config.sys.metrics = false;
+    ExperimentResult bare = runExperiment(config);
+    // Observability fully on vs fully off: not a single tick moves.
+    EXPECT_EQ(observed.makespan, bare.makespan);
+    EXPECT_EQ(observed.avgWriteLatencyNs, bare.avgWriteLatencyNs);
+    EXPECT_EQ(observed.eventsExecuted, bare.eventsExecuted);
+    EXPECT_TRUE(bare.metricsJson.empty());
+    EXPECT_EQ(bare.metricsWindows, 0u);
+}
+
+TEST(MetricsTrace, MetricsTimelineIsDeterministic)
+{
+    ExperimentResult a = runExperiment(observedConfig());
+    ExperimentResult b = runExperiment(observedConfig());
+    EXPECT_EQ(a.metricsJson, b.metricsJson);
+    EXPECT_EQ(a.traceJson, b.traceJson);
+}
+
+} // namespace
+} // namespace janus

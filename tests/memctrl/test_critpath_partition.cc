@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end validation of the critical-path persist profiler's core
+ * invariant: across randomized workloads, write-path modes and
+ * seeds, the per-edge attribution partitions the measured persist
+ * latency tick-exactly (shareSum == 1, edge ticks sum to total), and
+ * turning profiling off changes no timing field — the profiler is a
+ * pure observer.
+ *
+ * Every persist additionally runs the per-persist partition assert
+ * inside CritPathProfiler::addPersist, so a green run here means the
+ * walk attributed every single persist of every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+
+namespace janus
+{
+namespace
+{
+
+/** Aggregated edge ticks must sum to the aggregated total. */
+void
+expectExactPartition(const ExperimentResult &r)
+{
+    const CritPathSummary &cp = r.critPath;
+    ASSERT_GT(cp.persists, 0u);
+    std::uint64_t edge_sum = 0;
+    for (std::uint64_t ticks : cp.edgeTicks)
+        edge_sum += ticks;
+    EXPECT_EQ(edge_sum, cp.totalTicks);
+    EXPECT_DOUBLE_EQ(cp.shareSum(), 1.0);
+    // The defensive catch-all stays empty on every known path.
+    EXPECT_EQ(cp.ticksOf(CritEdge::Unattributed), 0u);
+    // The profiler refines the same measurement avg_write_latency is
+    // built from: the mean over the attributed persists agrees.
+    double mean_ns = ticks::toNsF(cp.totalTicks) /
+                     static_cast<double>(cp.persists);
+    EXPECT_NEAR(mean_ns, r.avgWriteLatencyNs,
+                1e-6 * r.avgWriteLatencyNs + 1e-6);
+}
+
+TEST(CritPathPartition, RandomizedAcrossModesWorkloadsSeeds)
+{
+    const WritePathMode modes[] = {WritePathMode::Serialized,
+                                   WritePathMode::Parallel,
+                                   WritePathMode::Janus};
+    const char *workloads[] = {"array_swap", "queue", "hash_table",
+                               "tatp"};
+    std::uint64_t which = 0;
+    for (WritePathMode mode : modes) {
+        for (const char *name : workloads) {
+            ExperimentConfig config;
+            config.workloadName = name;
+            config.workload.txnsPerCore = 25;
+            // Vary seed, payload and duplication per combination so
+            // the sweep exercises different DAG shapes and IRB
+            // hit/miss mixes.
+            config.workload.seed = 7 + which * 13;
+            config.workload.dupRatio = (which % 3) * 0.4;
+            config.sys.cores = 1 + which % 3;
+            config.sys.mode = mode;
+            config.instr = mode == WritePathMode::Janus
+                               ? Instrumentation::Manual
+                               : Instrumentation::None;
+            ++which;
+            ExperimentResult r = runExperiment(config);
+            SCOPED_TRACE(std::string(name) + " mode " +
+                         std::to_string(static_cast<int>(mode)));
+            expectExactPartition(r);
+        }
+    }
+}
+
+TEST(CritPathPartition, NoBmoModePartitions)
+{
+    ExperimentConfig config;
+    config.workloadName = "queue";
+    config.workload.txnsPerCore = 30;
+    config.sys.mode = WritePathMode::NoBmo;
+    config.instr = Instrumentation::None;
+    ExperimentResult r = runExperiment(config);
+    expectExactPartition(r);
+    // No BMOs: nothing can be attributed to execution edges.
+    EXPECT_EQ(r.critPath.ticksOf(CritEdge::ExecAes), 0u);
+    EXPECT_EQ(r.critPath.ticksOf(CritEdge::ExecHash), 0u);
+}
+
+TEST(CritPathPartition, ResilienceRetriesShowAsMediaRetry)
+{
+    ExperimentConfig config;
+    config.workloadName = "array_swap";
+    config.workload.txnsPerCore = 40;
+    config.sys.mode = WritePathMode::Parallel;
+    config.instr = Instrumentation::None;
+    config.sys.resilience.enabled = true;
+    config.sys.resilience.seed = 99;
+    // Every program sticks a cell, so rewriting a line soon makes
+    // its codeword uncorrectable: write-verify retries (and remap
+    // programming) land on the persist critical path.
+    config.sys.resilience.faults.stuckCellRate = 1.0;
+    setQuiet(true);
+    ExperimentResult r = runExperiment(config);
+    setQuiet(false);
+    expectExactPartition(r);
+    EXPECT_GT(r.resilience.writeRetries, 0u);
+    EXPECT_GT(r.critPath.ticksOf(CritEdge::MediaRetry), 0u);
+}
+
+TEST(CritPathPartition, JanusAttributesLookupAndPreExec)
+{
+    ExperimentConfig config;
+    config.workloadName = "tatp";
+    config.workload.txnsPerCore = 60;
+    config.sys.mode = WritePathMode::Janus;
+    config.instr = Instrumentation::Manual;
+    ExperimentResult r = runExperiment(config);
+    expectExactPartition(r);
+    // Pre-execution hides BMO latency, so the Janus run must bill
+    // part of the path to the IRB lookup.
+    EXPECT_GT(r.critPath.ticksOf(CritEdge::IrbLookup), 0u);
+}
+
+TEST(CritPathPartition, ProfilingOffIsBitIdentical)
+{
+    const WritePathMode modes[] = {WritePathMode::Serialized,
+                                   WritePathMode::Parallel,
+                                   WritePathMode::Janus};
+    for (WritePathMode mode : modes) {
+        ExperimentConfig config;
+        config.workloadName = "rb_tree";
+        config.workload.txnsPerCore = 25;
+        config.sys.mode = mode;
+        config.instr = mode == WritePathMode::Janus
+                           ? Instrumentation::Manual
+                           : Instrumentation::None;
+        ExperimentResult on = runExperiment(config);
+        config.sys.profilePersist = false;
+        ExperimentResult off = runExperiment(config);
+        SCOPED_TRACE("mode " +
+                     std::to_string(static_cast<int>(mode)));
+        // Pure observer: not a single tick may move.
+        EXPECT_EQ(on.makespan, off.makespan);
+        EXPECT_EQ(on.persists, off.persists);
+        EXPECT_EQ(on.avgWriteLatencyNs, off.avgWriteLatencyNs);
+        EXPECT_EQ(on.stageBmoNs, off.stageBmoNs);
+        EXPECT_EQ(on.stageQueueNs, off.stageQueueNs);
+        EXPECT_EQ(on.stageOrderNs, off.stageOrderNs);
+        EXPECT_EQ(on.persistP99Ns, off.persistP99Ns);
+        EXPECT_EQ(on.fenceStallTicks, off.fenceStallTicks);
+        EXPECT_EQ(on.eventsExecuted, off.eventsExecuted);
+        // And the off-run collected nothing.
+        EXPECT_EQ(off.critPath.persists, 0u);
+        EXPECT_EQ(off.critPath.totalTicks, 0u);
+        EXPECT_GT(on.critPath.persists, 0u);
+    }
+}
+
+} // namespace
+} // namespace janus

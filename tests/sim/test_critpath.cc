@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the critical-path taxonomy and profiler: edge
+ * naming/stage mapping, per-persist accumulation, the exact-partition
+ * assert, share arithmetic, and the folded-stack flame-graph export.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/critpath.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(CritEdge, NamesAreStableSnakeCase)
+{
+    EXPECT_STREQ(critEdgeName(CritEdge::ExecAes), "exec_aes");
+    EXPECT_STREQ(critEdgeName(CritEdge::ExecHash), "exec_hash");
+    EXPECT_STREQ(critEdgeName(CritEdge::ExecDedup), "exec_dedup");
+    EXPECT_STREQ(critEdgeName(CritEdge::ExecOther), "exec_other");
+    EXPECT_STREQ(critEdgeName(CritEdge::UnitBusy), "unit_busy");
+    EXPECT_STREQ(critEdgeName(CritEdge::TreePipe), "tree_pipe");
+    EXPECT_STREQ(critEdgeName(CritEdge::IrbLookup), "irb_lookup");
+    EXPECT_STREQ(critEdgeName(CritEdge::PreExecWait),
+                 "pre_exec_wait");
+    EXPECT_STREQ(critEdgeName(CritEdge::Unattributed),
+                 "unattributed");
+    EXPECT_STREQ(critEdgeName(CritEdge::WqFull), "wq_full");
+    EXPECT_STREQ(critEdgeName(CritEdge::MediaRetry), "media_retry");
+    EXPECT_STREQ(critEdgeName(CritEdge::MetaCowrite),
+                 "meta_cowrite");
+    EXPECT_STREQ(critEdgeName(CritEdge::OrderFifo), "order_fifo");
+}
+
+TEST(CritEdge, EveryEdgeHasANameAndStage)
+{
+    for (std::size_t i = 0; i < numCritEdges; ++i) {
+        auto edge = static_cast<CritEdge>(i);
+        EXPECT_NE(critEdgeName(edge), nullptr);
+        const std::string stage = critEdgeStage(edge);
+        EXPECT_TRUE(stage == "bmo" || stage == "queue" ||
+                    stage == "order")
+            << critEdgeName(edge) << " -> " << stage;
+    }
+    EXPECT_STREQ(critEdgeStage(CritEdge::ExecAes), "bmo");
+    EXPECT_STREQ(critEdgeStage(CritEdge::WqFull), "queue");
+    EXPECT_STREQ(critEdgeStage(CritEdge::OrderFifo), "order");
+}
+
+TEST(CritPathProfiler, AccumulatesPartitionedPersists)
+{
+    CritPathProfiler prof;
+    prof.addPersist({{CritEdge::ExecAes, 300},
+                     {CritEdge::WqFull, 100},
+                     {CritEdge::OrderFifo, 50}},
+                    450);
+    prof.addPersist({{CritEdge::ExecAes, 100},
+                     {CritEdge::ExecAes, 40}}, // same edge twice
+                    140);
+    const CritPathSummary &s = prof.summary();
+    EXPECT_EQ(s.persists, 2u);
+    EXPECT_EQ(s.totalTicks, 590u);
+    EXPECT_EQ(s.ticksOf(CritEdge::ExecAes), 440u);
+    EXPECT_EQ(s.ticksOf(CritEdge::WqFull), 100u);
+    EXPECT_EQ(s.ticksOf(CritEdge::OrderFifo), 50u);
+    EXPECT_EQ(s.ticksOf(CritEdge::ExecHash), 0u);
+}
+
+TEST(CritPathProfiler, ZeroLatencyPersistAllowed)
+{
+    CritPathProfiler prof;
+    prof.addPersist({}, 0);
+    EXPECT_EQ(prof.summary().persists, 1u);
+    EXPECT_EQ(prof.summary().totalTicks, 0u);
+    EXPECT_DOUBLE_EQ(prof.summary().shareSum(), 0.0);
+}
+
+TEST(CritPathSummary, SharesPartitionExactly)
+{
+    CritPathProfiler prof;
+    prof.addPersist({{CritEdge::ExecHash, 600},
+                     {CritEdge::TreePipe, 200},
+                     {CritEdge::IrbLookup, 200}},
+                    1000);
+    const CritPathSummary &s = prof.summary();
+    EXPECT_DOUBLE_EQ(s.share(CritEdge::ExecHash), 0.6);
+    EXPECT_DOUBLE_EQ(s.share(CritEdge::TreePipe), 0.2);
+    EXPECT_DOUBLE_EQ(s.share(CritEdge::IrbLookup), 0.2);
+    EXPECT_DOUBLE_EQ(s.shareSum(), 1.0);
+    std::uint64_t edge_sum = 0;
+    for (auto ticks : s.edgeTicks)
+        edge_sum += ticks;
+    EXPECT_EQ(edge_sum, s.totalTicks);
+}
+
+TEST(CritPathSummary, EmptySummaryIsZero)
+{
+    CritPathSummary s;
+    EXPECT_EQ(s.persists, 0u);
+    EXPECT_DOUBLE_EQ(s.shareSum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.share(CritEdge::ExecAes), 0.0);
+}
+
+TEST(CritPathProfiler, NonPartitioningSegmentsDie)
+{
+    CritPathProfiler prof;
+    EXPECT_DEATH(
+        prof.addPersist({{CritEdge::ExecAes, 100}}, 150),
+        "segments sum to");
+    EXPECT_DEATH(
+        prof.addPersist({{CritEdge::ExecAes, 100},
+                         {CritEdge::WqFull, 100}},
+                        100),
+        "segments sum to");
+}
+
+TEST(CritPath, FoldedStacksMatchSummary)
+{
+    CritPathProfiler prof;
+    prof.addPersist({{CritEdge::ExecAes, 2000},
+                     {CritEdge::WqFull, 1000},
+                     {CritEdge::OrderFifo, 1000}},
+                    4000);
+    std::ostringstream os;
+    prof.writeFolded(os, "fig1;janus");
+    const std::string out = os.str();
+    // ticks are picoseconds: 2000 ticks == 2 ns.
+    EXPECT_NE(out.find("fig1;janus;persist;bmo;exec_aes 2"),
+              std::string::npos);
+    EXPECT_NE(out.find("fig1;janus;persist;queue;wq_full 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("fig1;janus;persist;order;order_fifo 1"),
+              std::string::npos);
+    // Zero-time edges are omitted.
+    EXPECT_EQ(out.find("exec_hash"), std::string::npos);
+}
+
+TEST(CritPath, FoldedEmptySummaryWritesNothing)
+{
+    std::ostringstream os;
+    writeFoldedSummary(CritPathSummary{}, os, "p");
+    EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
+} // namespace janus

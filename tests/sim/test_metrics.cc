@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the windowed time-series sampler: per-kind window
+ * semantics (rate reset, counter deltas, gauge hold, per-window
+ * histogram, hit ratio), lazy window closing, row truncation, and
+ * the deterministic METRICS JSON emission (validated by parsing it
+ * back with the in-tree JSON reader).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "sim/metrics.hh"
+
+namespace janus
+{
+namespace
+{
+
+TEST(MetricsSampler, RateResetsEachWindow)
+{
+    MetricsSampler s(100);
+    MetricId writes = s.addRate("writes");
+    s.advanceTo(10);
+    s.count(writes);
+    s.count(writes, 2.0);
+    s.advanceTo(150); // closes [0, 100)
+    s.count(writes);
+    s.finish(200); // closes [100, 200)
+    ASSERT_EQ(s.windows(), 2u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s.value(1, 0), 1.0);
+}
+
+TEST(MetricsSampler, CounterEmitsDeltas)
+{
+    MetricsSampler s(100);
+    MetricId hits = s.addCounter("hits");
+    s.advanceTo(0);
+    s.counter(hits, 5);
+    s.advanceTo(120);
+    s.counter(hits, 12);
+    s.advanceTo(250); // closes two windows
+    s.finish(260);    // final partial window: no new feeds
+    ASSERT_EQ(s.windows(), 3u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 5.0);  // 5 - 0
+    EXPECT_DOUBLE_EQ(s.value(1, 0), 7.0);  // 12 - 5
+    EXPECT_DOUBLE_EQ(s.value(2, 0), 0.0);  // unchanged
+}
+
+TEST(MetricsSampler, GaugeHoldsAcrossIdleWindows)
+{
+    MetricsSampler s(100);
+    MetricId depth = s.addGauge("depth");
+    s.advanceTo(10);
+    s.set(depth, 4);
+    s.finish(450); // closes [0,100) .. [400,450)
+    ASSERT_EQ(s.windows(), 5u);
+    for (std::size_t w = 0; w < 5; ++w)
+        EXPECT_DOUBLE_EQ(s.value(w, 0), 4.0) << "window " << w;
+}
+
+TEST(MetricsSampler, HistogramPerWindow)
+{
+    MetricsSampler s(100);
+    MetricId lat = s.addHistogram("lat", 0, 100, 10);
+    ASSERT_EQ(s.columns().size(), 3u);
+    EXPECT_EQ(s.columns()[0], "lat.count");
+    EXPECT_EQ(s.columns()[1], "lat.p50");
+    EXPECT_EQ(s.columns()[2], "lat.p99");
+    s.advanceTo(0);
+    for (int i = 0; i < 50; ++i)
+        s.observe(lat, 20);
+    s.advanceTo(110);
+    s.observe(lat, 80); // single sample: quantiles exact
+    s.finish(200);
+    ASSERT_EQ(s.windows(), 2u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 50.0);
+    EXPECT_NEAR(s.value(0, 1), 20.0, 10.0);
+    // The histogram reset at the boundary: window 1 sees only the
+    // single sample, reported exactly.
+    EXPECT_DOUBLE_EQ(s.value(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(1, 1), 80.0);
+    EXPECT_DOUBLE_EQ(s.value(1, 2), 80.0);
+}
+
+TEST(MetricsSampler, HitRatioFromCounterDeltas)
+{
+    MetricsSampler s(100);
+    MetricId hits = s.addCounter("hits");
+    MetricId misses = s.addCounter("misses");
+    MetricId ratio = s.addHitRatio("hit_rate", hits, misses);
+    (void)ratio;
+    s.advanceTo(0);
+    s.counter(hits, 3);
+    s.counter(misses, 1);
+    s.advanceTo(150);
+    s.counter(hits, 3); // no new hits
+    s.counter(misses, 3);
+    s.advanceTo(250);
+    s.finish(300); // closes the idle [200, 300) window
+    ASSERT_EQ(s.windows(), 3u);
+    // Columns: hits, misses, hit_rate.
+    EXPECT_DOUBLE_EQ(s.value(0, 2), 0.75); // 3/(3+1)
+    EXPECT_DOUBLE_EQ(s.value(1, 2), 0.0);  // 0/(0+2)
+    EXPECT_DOUBLE_EQ(s.value(2, 2), 0.0);  // no activity
+}
+
+TEST(MetricsSampler, MultipleChannelsKeepColumnOrder)
+{
+    MetricsSampler s(50);
+    MetricId a = s.addRate("a");
+    MetricId g = s.addGauge("g");
+    MetricId c = s.addCounter("c");
+    ASSERT_EQ(s.columns().size(), 3u);
+    EXPECT_EQ(s.columns()[0], "a");
+    EXPECT_EQ(s.columns()[1], "g");
+    EXPECT_EQ(s.columns()[2], "c");
+    s.advanceTo(0);
+    s.count(a, 2);
+    s.set(g, 9);
+    s.counter(c, 4);
+    s.finish(50);
+    ASSERT_EQ(s.windows(), 1u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(s.value(0, 1), 9.0);
+    EXPECT_DOUBLE_EQ(s.value(0, 2), 4.0);
+}
+
+TEST(MetricsSampler, DropsWindowsBeyondCapLoudly)
+{
+    MetricsSampler s(10, /*max_windows=*/3);
+    MetricId r = s.addRate("r");
+    for (Tick t = 0; t < 100; t += 10) {
+        s.advanceTo(t);
+        s.count(r);
+    }
+    s.finish(100);
+    EXPECT_EQ(s.windows(), 3u);
+    EXPECT_GT(s.droppedWindows(), 0u);
+}
+
+TEST(MetricsSampler, FinishClosesPartialWindow)
+{
+    MetricsSampler s(100);
+    MetricId r = s.addRate("r");
+    s.advanceTo(0);
+    s.count(r);
+    s.finish(30); // run ended mid-window
+    ASSERT_EQ(s.windows(), 1u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 1.0);
+}
+
+TEST(MetricsSampler, JsonRoundTripsThroughParser)
+{
+    MetricsSampler s(100 * ticks::ns);
+    MetricId writes = s.addRate("mc.writes");
+    MetricId depth = s.addGauge("nvm.queue_depth");
+    s.advanceTo(0);
+    s.count(writes, 3);
+    s.set(depth, 2);
+    s.advanceTo(150 * ticks::ns);
+    s.count(writes);
+    s.finish(200 * ticks::ns);
+
+    JsonValue doc = parseJson(s.json());
+    EXPECT_DOUBLE_EQ(doc["schema_version"].asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(doc["window_ns"].asNumber(), 100.0);
+    ASSERT_EQ(doc["columns"].size(), 2u);
+    EXPECT_EQ(doc["columns"].at(0).asString(), "mc.writes");
+    EXPECT_EQ(doc["columns"].at(1).asString(), "nvm.queue_depth");
+    ASSERT_EQ(doc["windows"].size(), 2u);
+    const JsonValue &w0 = doc["windows"].at(0);
+    EXPECT_DOUBLE_EQ(w0["start_ns"].asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(w0["values"].at(0).asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(w0["values"].at(1).asNumber(), 2.0);
+    const JsonValue &w1 = doc["windows"].at(1);
+    EXPECT_DOUBLE_EQ(w1["start_ns"].asNumber(), 100.0);
+    EXPECT_DOUBLE_EQ(w1["values"].at(0).asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(w1["values"].at(1).asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(doc["dropped_windows"].asNumber(), 0.0);
+}
+
+TEST(MetricsSampler, JsonIsDeterministic)
+{
+    auto run = [] {
+        MetricsSampler s(100);
+        MetricId r = s.addRate("r");
+        MetricId g = s.addGauge("g");
+        for (Tick t = 0; t < 500; t += 7) {
+            s.advanceTo(t);
+            s.count(r);
+            s.set(g, static_cast<double>(t % 13));
+        }
+        s.finish(500);
+        return s.json();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MetricsSampler, MetricsEnvEnabledParsesVariable)
+{
+    unsetenv("JANUS_METRICS");
+    EXPECT_FALSE(metricsEnvEnabled());
+    setenv("JANUS_METRICS", "0", 1);
+    EXPECT_FALSE(metricsEnvEnabled());
+    setenv("JANUS_METRICS", "1", 1);
+    EXPECT_TRUE(metricsEnvEnabled());
+    unsetenv("JANUS_METRICS");
+}
+
+} // namespace
+} // namespace janus

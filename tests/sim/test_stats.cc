@@ -109,16 +109,43 @@ TEST(Histogram, QuantileInterpolates)
 
 TEST(Histogram, QuantileDegenerateCases)
 {
-    Histogram empty(0, 10, 5);
-    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0);
-
+    // Two or more out-of-range samples fall back to the bucket
+    // bounds (no better information is retained).
     Histogram under(10, 20, 5);
     under.sample(1); // below lo
+    under.sample(2);
     EXPECT_DOUBLE_EQ(under.quantile(0.5), 10); // underflow -> lo
 
     Histogram over(0, 10, 5);
     over.sample(99);
+    over.sample(98);
     EXPECT_DOUBLE_EQ(over.quantile(0.5), 10); // overflow -> hi
+}
+
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram empty(0, 10, 5);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(empty.quantile(q), 0) << "q=" << q;
+}
+
+TEST(Histogram, QuantileSingleSampleIsExact)
+{
+    // One sample: every quantile is that sample, exactly — no bucket
+    // interpolation, even when it landed out of range.
+    Histogram in(0, 10, 5);
+    in.sample(3.25);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(in.quantile(q), 3.25) << "q=" << q;
+    EXPECT_DOUBLE_EQ(in.quantile(0.5), in.mean());
+
+    Histogram under(10, 20, 5);
+    under.sample(1); // underflow, still reported exactly
+    EXPECT_DOUBLE_EQ(under.quantile(0.5), 1);
+
+    Histogram over(0, 10, 5);
+    over.sample(99); // overflow, still reported exactly
+    EXPECT_DOUBLE_EQ(over.quantile(0.99), 99);
 }
 
 TEST(TimeWeightedGauge, TimeAverageIntegrates)
