@@ -61,6 +61,12 @@ struct RunSpec
     bool wearLeveling = false;
     /** Online resilience layer (chaos campaigns). */
     ResilienceConfig resilience;
+    /** Memory channels (shards); 1 = the classic serial machine. */
+    unsigned shards = 1;
+    /** Shard-scheduler worker threads (0 = auto). */
+    unsigned shardThreads = 0;
+    /** Address -> home-shard map. */
+    ShardRouterPolicy shardPolicy = ShardRouterPolicy::LineInterleave;
 };
 
 inline ExperimentConfig
@@ -77,6 +83,9 @@ toConfig(const RunSpec &spec)
     if (spec.wearLeveling)
         config.sys.bmo.wearLeveling = true;
     config.sys.resilience = spec.resilience;
+    config.sys.shards = spec.shards;
+    config.sys.shardThreads = spec.shardThreads;
+    config.sys.shardPolicy = spec.shardPolicy;
     config.instr = spec.instr;
     config.workload.txnsPerCore = spec.txnsPerCore;
     config.workload.valueBytes = spec.valueBytes;
@@ -121,10 +130,27 @@ instrName(Instrumentation instr)
     return "?";
 }
 
+/** Parse a small positive count flag value (panics when malformed). */
+inline unsigned
+parseCountFlag(const char *text, const char *flag)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v <= 0 || v > 4096)
+        panic("malformed %s='%s': expected a positive count", flag,
+              text);
+    return static_cast<unsigned>(v);
+}
+
 /**
  * Parse the command-line flags every bench binary accepts:
- *   --seed=N   override every experiment's workload seed (wins over
- *              the JANUS_SEED environment variable)
+ *   --seed=N           override every experiment's workload seed
+ *                      (wins over JANUS_SEED)
+ *   --shards=N         partition every simulated machine into N
+ *                      memory channels (wins over JANUS_SHARDS)
+ *   --shard-threads=N  shard-scheduler worker threads (wall time
+ *                      only; results never depend on it)
+ *   --shard-policy=P   address map: "interleave" or "affine"
  * The effective seed of each experiment lands in BENCH_<name>.json,
  * so any bench run is replayable from its report alone.
  */
@@ -135,8 +161,27 @@ parseBenchFlags(int argc, char **argv)
         const char *arg = argv[i];
         if (std::strncmp(arg, "--seed=", 7) == 0) {
             setSeedOverride(parseSeedLiteral(arg + 7, "--seed"));
+        } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+            setShardOverride(parseCountFlag(arg + 9, "--shards"));
+        } else if (std::strncmp(arg, "--shard-threads=", 16) == 0) {
+            setShardThreadsOverride(
+                parseCountFlag(arg + 16, "--shard-threads"));
+        } else if (std::strncmp(arg, "--shard-policy=", 15) == 0) {
+            const char *p = arg + 15;
+            if (std::strcmp(p, "interleave") == 0)
+                setShardPolicyOverride(
+                    ShardRouterPolicy::LineInterleave);
+            else if (std::strcmp(p, "affine") == 0)
+                setShardPolicyOverride(
+                    ShardRouterPolicy::RegionAffine);
+            else
+                panic("malformed --shard-policy='%s' (expected "
+                      "'interleave' or 'affine')",
+                      p);
         } else {
-            panic("unknown argument '%s' (supported: --seed=N)",
+            panic("unknown argument '%s' (supported: --seed=N, "
+                  "--shards=N, --shard-threads=N, "
+                  "--shard-policy=interleave|affine)",
                   arg);
         }
     }
@@ -179,6 +224,9 @@ class BenchRunner
         specs_.back().valueBytes = config.workload.valueBytes;
         specs_.back().dupRatio = config.workload.dupRatio;
         specs_.back().seed = config.workload.seed;
+        specs_.back().shards = config.sys.shards;
+        specs_.back().shardThreads = config.sys.shardThreads;
+        specs_.back().shardPolicy = config.sys.shardPolicy;
         configs_.push_back(config);
         return configs_.size() - 1;
     }
@@ -264,9 +312,11 @@ class BenchRunner
                 "    {\"label\": \"%s\", \"workload\": \"%s\", "
                 "\"mode\": \"%s\", \"instr\": \"%s\", "
                 "\"cores\": %u, \"txns_per_core\": %u, "
+                "\"shards\": %u, "
                 "\"value_bytes\": %llu, \"seed\": %llu, "
                 "\"makespan_ticks\": %llu, \"events\": %llu, "
                 "\"wall_seconds\": %.6f, "
+                "\"sim_seconds\": %.6f, "
                 "\"avg_write_latency_ns\": %.2f, "
                 "\"stage_bmo_ns\": %.2f, \"stage_queue_ns\": %.2f, "
                 "\"stage_order_ns\": %.2f, "
@@ -293,13 +343,14 @@ class BenchRunner
                 "\"data_loss_lines\": %llu}, ",
                 labels_[i].c_str(), s.workload.c_str(),
                 modeName(s.mode), instrName(s.instr), s.cores,
-                s.txnsPerCore,
+                s.txnsPerCore, shardOverride().value_or(s.shards),
                 static_cast<unsigned long long>(s.valueBytes),
                 static_cast<unsigned long long>(
                     seedOverride().value_or(s.seed)),
                 static_cast<unsigned long long>(r.makespan),
                 static_cast<unsigned long long>(r.eventsExecuted),
-                r.wallSeconds, r.avgWriteLatencyNs, r.stageBmoNs,
+                r.wallSeconds, r.simSeconds, r.avgWriteLatencyNs,
+                r.stageBmoNs,
                 r.stageQueueNs, r.stageOrderNs, r.persistP50Ns,
                 r.persistP99Ns,
                 static_cast<unsigned long long>(r.treeCacheHits),

@@ -76,7 +76,8 @@ struct Report
 bool
 noisyKey(const std::string &key)
 {
-    return key == "wall_seconds" || key == "events_per_second";
+    return key == "wall_seconds" || key == "sim_seconds" ||
+           key == "events_per_second";
 }
 
 /** Derived values checked by invariants, not tolerance bands. */

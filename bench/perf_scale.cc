@@ -1,0 +1,195 @@
+/**
+ * @file
+ * perf_scale: sharded-scale-out throughput sweep — the headline
+ * artifact of the partitioned parallel event core. Runs the fig9
+ * many-core configuration (all seven workloads, 8 cores, Janus +
+ * manual pre-execution) across shards x scheduler-threads cells and
+ * reports simulator events/second plus speedup over the serial
+ * single-channel machine, as BENCH_scale.json.
+ *
+ * Every cell also doubles as a determinism probe: for a fixed shard
+ * count the simulation results (makespan, events, persists) must be
+ * identical at 1 and 4 scheduler threads — thread count may only
+ * change wall time, never the simulation. The binary hard-fails on
+ * any divergence.
+ *
+ *   perf_scale [--smoke] [--gate] [--seed=N] [--shard-policy=P]
+ *
+ *   --smoke  tiny matrix (TSan CI: 2 workloads, shards {1,4})
+ *   --gate   exit 1 unless events/sec at shards=4, threads=4 is
+ *            >= 2x the serial machine (geomean across workloads;
+ *            skipped with a warning when the host has < 4 hardware
+ *            threads)
+ */
+
+#include "bench_common.hh"
+
+#include <thread>
+
+int
+main(int argc, char **argv)
+{
+    using namespace janus;
+    using namespace janus::bench;
+
+    bool smoke = false;
+    bool gate = false;
+    ShardRouterPolicy policy = ShardRouterPolicy::RegionAffine;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(arg, "--gate") == 0) {
+            gate = true;
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            setSeedOverride(parseSeedLiteral(arg + 7, "--seed"));
+        } else if (std::strcmp(arg, "--shard-policy=interleave") ==
+                   0) {
+            policy = ShardRouterPolicy::LineInterleave;
+        } else if (std::strcmp(arg, "--shard-policy=affine") == 0) {
+            policy = ShardRouterPolicy::RegionAffine;
+        } else {
+            panic("unknown argument '%s' (supported: --smoke, "
+                  "--gate, --seed=N, "
+                  "--shard-policy=interleave|affine)",
+                  arg);
+        }
+    }
+    setQuiet(true);
+
+    struct Cell
+    {
+        unsigned shards, threads;
+    };
+    // threads=1 and threads=4 at the same shard count must agree
+    // bit-for-bit; only the wall time may differ.
+    const std::vector<Cell> cells =
+        smoke ? std::vector<Cell>{{1, 1}, {4, 1}, {4, 4}}
+              : std::vector<Cell>{
+                    {1, 1}, {2, 1}, {2, 4}, {4, 1}, {4, 4}};
+    std::vector<std::string> workloads =
+        smoke ? std::vector<std::string>{"array_swap", "hash_table"}
+              : allWorkloadNames();
+    const unsigned cores = 8;
+    // The fig9 many-core shape, scaled up until the event loop
+    // dominates setup, so events/sec measures the core, not module
+    // building and validation.
+    const unsigned txns = smoke ? 60 : 1500;
+
+    // One serial outer batch: each experiment's own shard-scheduler
+    // pool is the parallelism under measurement, so nothing else may
+    // compete for the machine.
+    BenchRunner bench("scale");
+    std::vector<std::vector<std::size_t>> idx(
+        cells.size(), std::vector<std::size_t>(workloads.size()));
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            RunSpec spec;
+            spec.workload = workloads[w];
+            spec.mode = WritePathMode::Janus;
+            spec.instr = Instrumentation::Manual;
+            spec.cores = cores;
+            spec.txnsPerCore = txns;
+            spec.shards = cells[c].shards;
+            spec.shardThreads = cells[c].threads;
+            spec.shardPolicy = policy;
+            idx[c][w] = bench.add(
+                workloads[w] + "@s" +
+                    std::to_string(cells[c].shards) + "t" +
+                    std::to_string(cells[c].threads),
+                spec);
+        }
+    }
+    bench.runAll(1);
+
+    // Determinism: same shard count, different thread count ->
+    // identical simulation.
+    for (std::size_t a = 0; a < cells.size(); ++a) {
+        for (std::size_t b = a + 1; b < cells.size(); ++b) {
+            if (cells[a].shards != cells[b].shards)
+                continue;
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                const ExperimentResult &ra = bench.result(idx[a][w]);
+                const ExperimentResult &rb = bench.result(idx[b][w]);
+                if (ra.makespan != rb.makespan ||
+                    ra.eventsExecuted != rb.eventsExecuted ||
+                    ra.persists != rb.persists)
+                    panic("non-deterministic sharded run: %s at "
+                          "shards=%u diverges between threads=%u "
+                          "and threads=%u",
+                          workloads[w].c_str(), cells[a].shards,
+                          cells[a].threads, cells[b].threads);
+            }
+        }
+    }
+    std::printf("[determinism: every shard count identical across "
+                "scheduler thread counts]\n");
+
+    // events/sec per cell, and speedup of each cell over the serial
+    // single-channel machine (cell 0).
+    std::vector<std::string> cols;
+    for (const Cell &c : cells)
+        cols.push_back("s" + std::to_string(c.shards) + "t" +
+                       std::to_string(c.threads));
+    printHeader("perf_scale: simulator Mevents/s (8 cores, janus)",
+                cols);
+    std::vector<std::vector<double>> eps(
+        cells.size(), std::vector<double>(workloads.size()));
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const ExperimentResult &r = bench.result(idx[c][w]);
+            eps[c][w] = r.simSeconds > 0
+                            ? static_cast<double>(r.eventsExecuted) /
+                                  r.simSeconds
+                            : 0.0;
+            row.push_back(eps[c][w] / 1e6);
+        }
+        printRow(workloads[w], row);
+    }
+    printHeader("perf_scale: events/s speedup vs serial (s1t1)",
+                cols);
+    std::vector<double> cell_speedup(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::vector<double> ratios;
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            if (eps[0][w] > 0 && eps[c][w] > 0)
+                ratios.push_back(eps[c][w] / eps[0][w]);
+        cell_speedup[c] = geomean(ratios);
+    }
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<double> row;
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            row.push_back(eps[0][w] > 0 ? eps[c][w] / eps[0][w]
+                                        : 0.0);
+        printRow(workloads[w], row);
+    }
+    printRow("geomean", cell_speedup);
+
+    bench.writeJson();
+
+    if (gate) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (hw < 4) {
+            warn("scale gate skipped: host has only %u hardware "
+                 "threads (need >= 4)",
+                 hw);
+            return 0;
+        }
+        // The cell list always ends with (max shards, 4 threads).
+        const double speedup = cell_speedup.back();
+        if (speedup < 2.0) {
+            std::printf("SCALE-GATE FAIL: %.2fx events/s at "
+                        "shards=%u threads=%u (need >= 2x over the "
+                        "serial machine)\n",
+                        speedup, cells.back().shards,
+                        cells.back().threads);
+            return 1;
+        }
+        std::printf("SCALE-GATE PASS: %.2fx events/s at shards=%u "
+                    "threads=%u\n",
+                    speedup, cells.back().shards,
+                    cells.back().threads);
+    }
+    return 0;
+}

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "common/logging.hh"
+#include "harness/sharding.hh"
 
 namespace janus
 {
@@ -100,7 +102,15 @@ TimingCore::accessData(Addr ea, bool write, bool full_line)
     }
     // Miss all the way to the NVM (timing only; the functional value
     // lives in the volatile view).
-    time_ = mc_.readLine(lineAlign(ea), time_ + config_.l2HitLatency);
+    const Addr line = lineAlign(ea);
+    if (port_ != nullptr && !port_->isLocal(line)) {
+        // The line lives on another channel: flat NUMA-style hop +
+        // access latency, no remote state touched.
+        time_ = port_->remoteReadDone(line,
+                                      time_ + config_.l2HitLatency);
+        return;
+    }
+    time_ = mc_.readLine(line, time_ + config_.l2HitLatency);
 }
 
 void
@@ -111,6 +121,19 @@ TimingCore::doClwb(Addr addr, std::uint64_t size, bool meta_atomic)
     for (Addr line = first; line <= last; line += lineBytes) {
         CacheLine data = mem_.readLine(line);
         time_ += config_.clwbIssueCost;
+        if (port_ != nullptr && !port_->isLocal(line)) {
+            // Remote line: ship it to its home channel; the ack
+            // (remotePersistResolved) stands in for the durable
+            // tick at the next fence.
+            port_->sendPersist(line, data,
+                               time_ + config_.writebackLatency,
+                               meta_atomic, coreId_, this);
+            JANUS_TRACE_INSTANT(tracer_, track_, persistLabel_,
+                                time_, line);
+            ++remotePending_;
+            ++persists_;
+            continue;
+        }
         PersistResult res = mc_.persistWrite(
             line, data, time_ + config_.writebackLatency, meta_atomic,
             coreId_);
@@ -224,21 +247,51 @@ TimingCore::doPreOp(const Instr &instr, const Frame &frame)
       }
       case Opcode::PreStartBuf:
         fe.startBuffered(obj, issue);
+        if (port_ != nullptr)
+            port_->sendPreStart(obj, issue);
         return;
       default:
         panic("not a pre op");
     }
 
-    switch (instr.op) {
-      case Opcode::PreAddrBuf:
-      case Opcode::PreDataBuf:
-      case Opcode::PreBothBuf:
-        fe.buffer(obj, chunks, issue);
-        break;
-      default:
-        fe.issueImmediate(obj, chunks, issue);
-        break;
+    const bool buffered = instr.op == Opcode::PreAddrBuf ||
+                          instr.op == Opcode::PreDataBuf ||
+                          instr.op == Opcode::PreBothBuf;
+    if (port_ == nullptr) {
+        if (buffered)
+            fe.buffer(obj, chunks, issue);
+        else
+            fe.issueImmediate(obj, chunks, issue);
+        return;
     }
+
+    // Sharded machine: every chunk belongs to the front-end of its
+    // line's home channel (pre-execution results are consumed where
+    // the eventual write is persisted). Data-only chunks carry no
+    // address and stay local — under the region-affine policy the
+    // local channel is where their write will land; under line
+    // interleave a mis-homed data chunk simply ages out of the IRB
+    // (a lost optimization, never an error). std::map iteration
+    // keeps the send order deterministic.
+    std::map<unsigned, std::vector<PreChunk>> remote;
+    std::vector<PreChunk> local;
+    for (PreChunk &ch : chunks) {
+        const unsigned home = ch.lineAddr
+                                  ? port_->homeShard(*ch.lineAddr)
+                                  : port_->selfShard();
+        if (home == port_->selfShard())
+            local.push_back(std::move(ch));
+        else
+            remote[home].push_back(std::move(ch));
+    }
+    if (!local.empty()) {
+        if (buffered)
+            fe.buffer(obj, local, issue);
+        else
+            fe.issueImmediate(obj, local, issue);
+    }
+    for (auto &[dst, chs] : remote)
+        port_->sendPre(dst, obj, std::move(chs), issue, buffered);
 }
 
 bool
@@ -422,11 +475,34 @@ TimingCore::execute(const Instr &instr)
         advance();
         return true;
       case Opcode::Sfence: {
+          if (remotePending_ > 0 && !config_.nonBlockingWriteback) {
+              // Remote persists still in flight: park without
+              // advancing, so the last ack (remotePersistResolved)
+              // can resume the core by re-executing this very
+              // Sfence. Undo this attempt's charge — the fence is
+              // counted once, when it actually retires.
+              time_ -= config_.cycle;
+              --instructions_;
+              parkedOnFence_ = true;
+              return false;
+          }
           advance();
+          Tick latest = 0;
+          bool have_persists = false;
           if (!outstanding_.empty()) {
-              Tick latest = *std::max_element(outstanding_.begin(),
-                                              outstanding_.end());
+              latest = *std::max_element(outstanding_.begin(),
+                                         outstanding_.end());
               outstanding_.clear();
+              have_persists = true;
+          }
+          if (remoteMax_ > 0) {
+              // Acked remote persists: the ack arrival is the
+              // issuer-visible durable tick.
+              latest = std::max(latest, remoteMax_);
+              remoteMax_ = 0;
+              have_persists = true;
+          }
+          if (have_persists) {
               // The fence retires once every outstanding persist is
               // durable: a crash boundary for the fault subsystem.
               mc_.noteFenceRetire(std::max(time_, latest));
@@ -471,6 +547,28 @@ TimingCore::execute(const Instr &instr)
 }
 
 void
+TimingCore::remotePersistResolved(Tick now)
+{
+    janus_assert(remotePending_ > 0, "%s: stray remote persist ack",
+                 name().c_str());
+    --remotePending_;
+    remoteMax_ = std::max(remoteMax_, now);
+    if (parkedOnFence_ && remotePending_ == 0) {
+        parkedOnFence_ = false;
+        const Tick resume = std::max(time_, now);
+        if (resume > time_) {
+            JANUS_TRACE_SPAN(tracer_, track_, fenceLabel_, time_,
+                             resume);
+            fenceStall_ += resume - time_;
+            time_ = resume;
+        }
+        const Tick delay =
+            time_ > curTick() ? time_ - curTick() : 0;
+        schedule(delay, [this] { step(); });
+    }
+}
+
+void
 TimingCore::step()
 {
     janus_assert(time_ >= curTick(), "core clock behind event clock");
@@ -496,6 +594,11 @@ TimingCore::step()
 
         bool keep_going = execute(instr);
         ++batch;
+        if (parkedOnFence_) {
+            // No reschedule: the pending remote-persist acks own the
+            // continuation (remotePersistResolved).
+            return;
+        }
         if (!keep_going || batch >= config_.maxBatch) {
             schedule(time_ - curTick(), [this] { step(); });
             return;

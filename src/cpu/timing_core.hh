@@ -36,6 +36,8 @@
 namespace janus
 {
 
+class ShardPort;
+
 /** Core timing parameters. Table 3's core is a 4 GHz out-of-order
  *  processor; this interpreter approximates it with an effective
  *  2.5 IPC (100 ps per instruction) and pipelined L1 hits, since
@@ -98,6 +100,21 @@ class TimingCore : public SimObject
     /** Attach a trace sink (null detaches). */
     void setTracer(Tracer *tracer);
 
+    /**
+     * Attach the cross-shard port of a sharded machine (null on a
+     * single-shard machine — every remote branch then vanishes and
+     * the core behaves byte-identically to the pre-sharding model).
+     */
+    void setShardPort(ShardPort *port) { port_ = port; }
+
+    /**
+     * A remote persist ack arrived (the home shard accepted this
+     * core's clwb'd line into its persist domain). @p now is the
+     * issuing core's current event-queue tick. Resumes the core if
+     * it is parked on an sfence waiting for remote persists.
+     */
+    void remotePersistResolved(Tick now);
+
   private:
     struct Frame
     {
@@ -152,6 +169,14 @@ class TimingCore : public SimObject
 
     /** Completion ticks of outstanding (not yet fenced) persists. */
     std::vector<Tick> outstanding_;
+    /** Cross-shard port (null on single-shard machines). */
+    ShardPort *port_ = nullptr;
+    /** Remote persists issued but not yet acknowledged. */
+    unsigned remotePending_ = 0;
+    /** Latest remote-persist ack tick not yet consumed by a fence. */
+    Tick remoteMax_ = 0;
+    /** Core is stalled on an sfence awaiting remote acks. */
+    bool parkedOnFence_ = false;
     /** Pre-object slots of the current invocation. */
     std::unordered_map<int, PreObjId> preObjs_;
     std::uint16_t preIdCounter_ = 0;

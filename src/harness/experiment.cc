@@ -18,6 +18,12 @@ runExperiment(const ExperimentConfig &requested)
     ExperimentConfig config = requested;
     if (std::optional<std::uint64_t> seed = seedOverride())
         config.workload.seed = *seed;
+    if (std::optional<unsigned> shards = shardOverride())
+        config.sys.shards = *shards;
+    if (std::optional<unsigned> st = shardThreadsOverride())
+        config.sys.shardThreads = *st;
+    if (std::optional<ShardRouterPolicy> p = shardPolicyOverride())
+        config.sys.shardPolicy = *p;
     auto workload = makeWorkload(config.workloadName, config.workload);
 
     Module module;
@@ -35,32 +41,38 @@ runExperiment(const ExperimentConfig &requested)
         workload->setupCore(c, system);
         sources.push_back(workload->source(c, system));
     }
+    const auto sim_start = std::chrono::steady_clock::now();
     result.makespan = system.run(std::move(sources));
+    result.simSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - sim_start)
+            .count();
 
     if (config.validate)
         for (unsigned c = 0; c < config.sys.cores; ++c)
             workload->validate(system.mem(), c);
 
-    MemoryController &mc = system.mc();
-    result.avgWriteLatencyNs = mc.avgWriteLatencyNs();
-    const PersistBreakdown &bd = mc.breakdown();
+    // Harvest through the system's merged cross-shard views; with a
+    // single shard every one of these equals the lone controller's
+    // numbers bit-for-bit.
+    result.avgWriteLatencyNs = system.avgWriteLatencyNs();
+    const PersistBreakdown bd = system.mergedBreakdown();
     result.stageBmoNs = bd.bmoNs.mean();
     result.stageQueueNs = bd.queueNs.mean();
     result.stageOrderNs = bd.orderNs.mean();
     result.persistP50Ns = bd.totalHistNs.quantile(0.50);
     result.persistP99Ns = bd.totalHistNs.quantile(0.99);
-    result.measuredDupRatio = mc.backend().dupRatio();
-    const MerkleTree &tree = mc.backend().merkleTree();
-    result.treeCacheHits = tree.cacheHits();
-    result.treeCacheMisses = tree.cacheMisses();
-    result.treeCacheHitRate = tree.cacheHitRate();
-    result.merkleCoalescedLevels = tree.coalescedPathLevels();
-    result.merkleSavedRehashes = tree.savedInteriorRehashes();
+    result.measuredDupRatio = system.dupRatio();
+    result.treeCacheHits = system.treeCacheHits();
+    result.treeCacheMisses = system.treeCacheMisses();
+    result.treeCacheHitRate = system.treeCacheHitRate();
+    result.merkleCoalescedLevels = system.merkleCoalescedLevels();
+    result.merkleSavedRehashes = system.merkleSavedRehashes();
     if (config.sys.mode == WritePathMode::Janus) {
-        const JanusFrontend &fe = mc.frontend();
-        std::uint64_t total = mc.writes();
+        std::uint64_t total = system.mcWrites();
         result.fullyPreExecutedFrac =
-            total ? static_cast<double>(fe.consumedFullyPreExecuted()) /
+            total ? static_cast<double>(
+                        system.consumedFullyPreExecuted()) /
                         static_cast<double>(total)
                   : 0.0;
     }
@@ -72,17 +84,19 @@ runExperiment(const ExperimentConfig &requested)
         result.preRequests += core.preRequests();
         result.fenceStallTicks += core.fenceStallTicks();
     }
-    result.eventsExecuted = system.eventq().executed();
-    result.resilience = mc.resilience().counters();
-    if (Tracer *tracer = system.tracer()) {
-        result.traceJson = tracer->chromeJson();
-        result.traceEventsRecorded = tracer->recorded();
-        result.traceEventsDropped = tracer->dropped();
+    result.eventsExecuted = system.eventsExecuted();
+    result.schedulerRounds = system.schedulerRounds();
+    result.crossShardMessages = system.crossShardMessages();
+    result.resilience = system.mergedResilience();
+    if (system.tracing()) {
+        result.traceJson = system.traceJson();
+        result.traceEventsRecorded = system.traceRecorded();
+        result.traceEventsDropped = system.traceDropped();
     }
-    result.critPath = mc.critPath();
-    if (MetricsSampler *sampler = system.sampler()) {
-        result.metricsJson = sampler->json();
-        result.metricsWindows = sampler->windows();
+    result.critPath = system.mergedCritPath();
+    if (config.sys.metrics) {
+        result.metricsJson = system.metricsJson();
+        result.metricsWindows = system.metricsWindows();
     }
     result.wallSeconds =
         std::chrono::duration<double>(

@@ -66,8 +66,16 @@ struct ExperimentResult
     InstrumentReport instrReport;
     /** Kernel events executed by this run (deterministic). */
     std::uint64_t eventsExecuted = 0;
+    /** Shard-scheduler synchronization rounds (0 on a serial run). */
+    std::uint64_t schedulerRounds = 0;
+    /** Cross-shard messages delivered (0 on a single-shard run). */
+    std::uint64_t crossShardMessages = 0;
     /** Host wall-clock spent in this run (not deterministic). */
     double wallSeconds = 0;
+    /** Host wall-clock spent inside the event loop itself — the
+     *  denominator of events/sec scaling claims (not deterministic;
+     *  excludes module building, system assembly and validation). */
+    double simSeconds = 0;
     /**
      * Chrome trace-event JSON of the run (empty unless
      * config.sys.trace was set; BenchRunner sets it from the

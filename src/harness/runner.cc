@@ -28,7 +28,68 @@ seedOverrideSlot()
     return slot;
 }
 
+/** Worker threads of the batch currently in flight (0 = none). */
+std::atomic<unsigned> activeWorkers{0};
+
+std::optional<unsigned>
+parseCountEnv(const char *var)
+{
+    if (const char *env = std::getenv(var)) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed %s='%s'", var, env);
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned> &
+shardOverrideSlot()
+{
+    static std::optional<unsigned> slot =
+        parseCountEnv("JANUS_SHARDS");
+    return slot;
+}
+
+std::optional<unsigned> &
+shardThreadsOverrideSlot()
+{
+    static std::optional<unsigned> slot =
+        parseCountEnv("JANUS_SHARD_THREADS");
+    return slot;
+}
+
+std::optional<ShardRouterPolicy>
+parsePolicyEnv()
+{
+    if (const char *env = std::getenv("JANUS_SHARD_POLICY")) {
+        if (std::string(env) == "interleave")
+            return ShardRouterPolicy::LineInterleave;
+        if (std::string(env) == "affine")
+            return ShardRouterPolicy::RegionAffine;
+        warn("ignoring malformed JANUS_SHARD_POLICY='%s' (expected "
+             "'interleave' or 'affine')",
+             env);
+    }
+    return std::nullopt;
+}
+
+std::optional<ShardRouterPolicy> &
+shardPolicyOverrideSlot()
+{
+    static std::optional<ShardRouterPolicy> slot = parsePolicyEnv();
+    return slot;
+}
+
 } // namespace
+
+unsigned
+activeExperimentWorkers()
+{
+    unsigned n = activeWorkers.load(std::memory_order_relaxed);
+    return n > 1 ? n : 1;
+}
 
 std::uint64_t
 parseSeedLiteral(const char *text, const char *source)
@@ -54,6 +115,42 @@ void
 setSeedOverride(std::optional<std::uint64_t> seed)
 {
     seedOverrideSlot() = seed;
+}
+
+std::optional<unsigned>
+shardOverride()
+{
+    return shardOverrideSlot();
+}
+
+void
+setShardOverride(std::optional<unsigned> shards)
+{
+    shardOverrideSlot() = shards;
+}
+
+std::optional<unsigned>
+shardThreadsOverride()
+{
+    return shardThreadsOverrideSlot();
+}
+
+void
+setShardThreadsOverride(std::optional<unsigned> threads)
+{
+    shardThreadsOverrideSlot() = threads;
+}
+
+std::optional<ShardRouterPolicy>
+shardPolicyOverride()
+{
+    return shardPolicyOverrideSlot();
+}
+
+void
+setShardPolicyOverride(std::optional<ShardRouterPolicy> policy)
+{
+    shardPolicyOverrideSlot() = policy;
 }
 
 unsigned
@@ -106,10 +203,12 @@ runExperiments(std::span<const ExperimentConfig> configs,
 
     std::vector<std::thread> pool;
     pool.reserve(threads);
+    activeWorkers.store(threads, std::memory_order_relaxed);
     for (unsigned t = 0; t < threads; ++t)
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+    activeWorkers.store(0, std::memory_order_relaxed);
     return results;
 }
 

@@ -41,6 +41,37 @@ std::optional<std::uint64_t> seedOverride();
 void setSeedOverride(std::optional<std::uint64_t> seed);
 
 /**
+ * Global shard-count override (a bench's --shards= flag, or the
+ * JANUS_SHARDS environment variable): runExperiment applies it to
+ * every config, partitioning each simulated machine into that many
+ * memory channels. Timing results legitimately differ from the
+ * single-channel machine (cross-shard hops are modeled); they are
+ * deterministic for a given shard count regardless of thread count.
+ */
+std::optional<unsigned> shardOverride();
+
+/** Install (or clear) the shard override; wins over JANUS_SHARDS. */
+void setShardOverride(std::optional<unsigned> shards);
+
+/**
+ * Global shard-scheduler worker-thread override (--shard-threads= or
+ * JANUS_SHARD_THREADS). Never affects results, only wall time.
+ */
+std::optional<unsigned> shardThreadsOverride();
+
+/** Install (or clear) the shard-thread override. */
+void setShardThreadsOverride(std::optional<unsigned> threads);
+
+/**
+ * Global shard address-map policy override (--shard-policy= or
+ * JANUS_SHARD_POLICY; "interleave" or "affine").
+ */
+std::optional<ShardRouterPolicy> shardPolicyOverride();
+
+/** Install (or clear) the shard-policy override. */
+void setShardPolicyOverride(std::optional<ShardRouterPolicy> policy);
+
+/**
  * Parse a seed literal (decimal uint64). A malformed value is a
  * hard configuration error — fatal(), naming @p source and the bad
  * text — never a silent fallback: a campaign that quietly ran with
@@ -50,6 +81,15 @@ void setSeedOverride(std::optional<std::uint64_t> seed);
  * @param source  where it came from ("JANUS_SEED", "--seed")
  */
 std::uint64_t parseSeedLiteral(const char *text, const char *source);
+
+/**
+ * Number of runner worker threads currently executing experiments
+ * (1 when no parallel batch is in flight). Sharded systems divide the
+ * hardware concurrency by this to budget their intra-experiment
+ * shard-scheduler pools, so nested parallelism never oversubscribes
+ * the machine. @return at least 1.
+ */
+unsigned activeExperimentWorkers();
 
 /**
  * Run a batch of independent experiments on a worker pool.

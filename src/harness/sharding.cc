@@ -1,0 +1,186 @@
+#include "harness/sharding.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+ShardRouter::ShardRouter(unsigned shards, ShardRouterPolicy policy,
+                         Addr heap_base, Addr heap_bytes)
+    : shards_(shards), policy_(policy), heapBase_(heap_base)
+{
+    janus_assert(shards >= 1, "need at least one shard");
+    stripeBytes_ = (heap_bytes / shards) & ~Addr(lineBytes - 1);
+    janus_assert(stripeBytes_ >= lineBytes,
+                 "heap too small for %u shard stripes", shards);
+}
+
+unsigned
+ShardRouter::homeShard(Addr addr) const
+{
+    if (shards_ == 1)
+        return 0;
+    if (policy_ == ShardRouterPolicy::LineInterleave)
+        return static_cast<unsigned>((addr / lineBytes) % shards_);
+    // RegionAffine: contiguous stripes over the workload heap.
+    // Anything outside the striped extent (nothing in practice —
+    // every workload allocation comes from a stripe) homes to the
+    // last shard via the clamp.
+    if (addr < heapBase_)
+        return 0;
+    const Addr idx = (addr - heapBase_) / stripeBytes_;
+    return static_cast<unsigned>(
+        std::min<Addr>(idx, shards_ - 1));
+}
+
+Addr
+ShardRouter::stripeBase(unsigned s) const
+{
+    janus_assert(s < shards_, "stripe index out of range");
+    return heapBase_ + Addr(s) * stripeBytes_;
+}
+
+std::vector<ShardMsg>
+ShardOutbox::drain()
+{
+    std::vector<ShardMsg> out;
+    out.swap(msgs_);
+    return out;
+}
+
+ShardScheduler::ShardScheduler(std::vector<Shard> shards, Tick window,
+                               unsigned threads)
+    : shards_(std::move(shards)), window_(window),
+      threads_(std::max(1u, std::min(
+                   threads,
+                   static_cast<unsigned>(shards_.size()))))
+{
+    janus_assert(!shards_.empty(), "scheduler needs shards");
+    if (threads_ > 1) {
+        workers_.reserve(threads_);
+        for (unsigned t = 0; t < threads_; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ShardScheduler::~ShardScheduler()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> l(m_);
+            stop_ = true;
+        }
+        roundCv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+}
+
+void
+ShardScheduler::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> l(m_);
+            roundCv_.wait(l, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        const Tick h = horizon_;
+        for (;;) {
+            const std::size_t s =
+                nextShard_.fetch_add(1, std::memory_order_relaxed);
+            if (s >= shards_.size())
+                break;
+            shards_[s].eq->run(h);
+        }
+        {
+            std::lock_guard<std::mutex> l(m_);
+            if (--running_ == 0)
+                doneCv_.notify_one();
+        }
+    }
+}
+
+void
+ShardScheduler::runShardsTo(Tick horizon)
+{
+    if (threads_ == 1) {
+        for (auto &s : shards_)
+            s.eq->run(horizon);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> l(m_);
+        horizon_ = horizon;
+        nextShard_.store(0, std::memory_order_relaxed);
+        running_ = threads_;
+        ++generation_;
+    }
+    roundCv_.notify_all();
+    std::unique_lock<std::mutex> l(m_);
+    doneCv_.wait(l, [&] { return running_ == 0; });
+}
+
+void
+ShardScheduler::run()
+{
+    for (;;) {
+        Tick min_next = maxTick;
+        for (auto &s : shards_)
+            min_next = std::min(min_next, s.eq->nextEventTick());
+        if (min_next == maxTick)
+            break; // queues empty; outboxes were drained last round
+
+        // Horizon for this round. run(limit) executes events with
+        // when <= limit, so every shard ends the round at exactly
+        // `horizon` (curTick == horizon) and the barrier delivery at
+        // max(due, horizon) can never schedule into a shard's past.
+        const Tick horizon =
+            min_next > maxTick - 1 - window_ ? maxTick - 1
+                                             : min_next + window_;
+
+        runShardsTo(horizon);
+        ++rounds_;
+
+        // Deliver this round's cross-shard messages in canonical
+        // (due, src, seq) order — independent of which worker ran
+        // which shard, so insertion sequence numbers on the
+        // destination queues are reproducible.
+        pending_.clear();
+        for (auto &s : shards_) {
+            if (s.outbox->empty())
+                continue;
+            auto msgs = s.outbox->drain();
+            pending_.insert(pending_.end(),
+                            std::make_move_iterator(msgs.begin()),
+                            std::make_move_iterator(msgs.end()));
+        }
+        if (pending_.empty())
+            continue;
+        std::sort(pending_.begin(), pending_.end(),
+                  [](const ShardMsg &a, const ShardMsg &b) {
+                      if (a.due != b.due)
+                          return a.due < b.due;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        for (auto &msg : pending_) {
+            janus_assert(msg.dst < shards_.size(),
+                         "message to unknown shard %u", msg.dst);
+            shards_[msg.dst].eq->schedule(
+                std::max(msg.due, horizon), std::move(msg.fn));
+            ++delivered_;
+        }
+        pending_.clear();
+    }
+}
+
+} // namespace janus

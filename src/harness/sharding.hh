@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Sharded simulation core: the pieces that let one simulated machine
+ * be partitioned into N memory channels ("shards"), each owning its
+ * own event queue, memory controller, BMO pipeline, IRB, NVM device
+ * and resilience state, while the whole machine stays deterministic
+ * and bit-reproducible for any worker-thread count.
+ *
+ *  - ShardRouter maps line addresses to their home shard
+ *    (line-interleaved, or contiguous per-shard heap stripes).
+ *  - ShardOutbox is a single-writer mailbox of cross-shard messages;
+ *    a message is a closure that will run on the destination shard's
+ *    event queue.
+ *  - ShardScheduler advances all shard queues in conservative
+ *    lookahead rounds: every round runs each queue up to a shared
+ *    horizon H = (earliest pending event) + window, then delivers
+ *    the round's cross-shard messages in a canonical order at tick
+ *    max(message due, H). Within a round shards are independent, so
+ *    they can run on a worker pool; the per-round work and the
+ *    delivery order depend only on shard-local state and previously
+ *    delivered messages, never on thread scheduling — which is the
+ *    determinism invariant (see DESIGN.md "Sharded simulation
+ *    core").
+ *  - ShardPort is the narrow interface a TimingCore uses to reach
+ *    remote shards (persists, reads, pre-execution requests); the
+ *    system builder provides the implementation.
+ */
+
+#ifndef JANUS_HARNESS_SHARDING_HH
+#define JANUS_HARNESS_SHARDING_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hh"
+#include "common/types.hh"
+#include "sim/eventq.hh"
+
+namespace janus
+{
+
+class TimingCore;
+struct PreObjId;
+struct PreChunk;
+
+/** How line addresses map to their home shard. */
+enum class ShardRouterPolicy : std::uint8_t
+{
+    /** Classic multi-channel interleave: consecutive lines rotate
+     *  across shards ((addr / lineBytes) % shards). Maximum channel
+     *  parallelism per access stream, but almost every core's
+     *  traffic is cross-shard. */
+    LineInterleave,
+    /** NUMA-style affinity: the workload heap is split into
+     *  contiguous per-shard stripes and each core allocates from its
+     *  own shard's stripe, so nearly all traffic is shard-local
+     *  (cf. Akram et al., emulating hybrid memory on NUMA). */
+    RegionAffine,
+};
+
+/** Address -> home shard map. Pure function of the config. */
+class ShardRouter
+{
+  public:
+    ShardRouter() = default;
+    ShardRouter(unsigned shards, ShardRouterPolicy policy,
+                Addr heap_base, Addr heap_bytes);
+
+    unsigned shards() const { return shards_; }
+    ShardRouterPolicy policy() const { return policy_; }
+
+    /** Home shard of a (line) address. */
+    unsigned homeShard(Addr addr) const;
+
+    /** RegionAffine: base of shard @p s's heap stripe. */
+    Addr stripeBase(unsigned s) const;
+    /** RegionAffine: bytes per shard stripe (line aligned). */
+    Addr stripeBytes() const { return stripeBytes_; }
+
+  private:
+    unsigned shards_ = 1;
+    ShardRouterPolicy policy_ = ShardRouterPolicy::LineInterleave;
+    Addr heapBase_ = 0;
+    Addr stripeBytes_ = 0;
+};
+
+/**
+ * One cross-shard message: a closure to run on the destination
+ * shard's event queue, no earlier than @ref due. The (src, seq) pair
+ * gives every message of a round a unique canonical rank, so the
+ * scheduler can deliver in an order independent of which worker
+ * thread produced which message first.
+ */
+struct ShardMsg
+{
+    Tick due;
+    unsigned src;
+    unsigned dst;
+    std::uint64_t seq;
+    EventFn fn;
+};
+
+/**
+ * Per-shard mailbox of outgoing messages. Single-writer: only the
+ * thread currently executing the owning shard's events may send();
+ * the scheduler drains it at the round barrier (no concurrent
+ * access by construction, hence no locks).
+ */
+class ShardOutbox
+{
+  public:
+    explicit ShardOutbox(unsigned self = 0) : self_(self) {}
+
+    void
+    send(unsigned dst, Tick due, EventFn fn)
+    {
+        msgs_.push_back(
+            ShardMsg{due, self_, dst, nextSeq_++, std::move(fn)});
+    }
+
+    bool empty() const { return msgs_.empty(); }
+
+    /** Move the pending messages out (the outbox becomes empty). */
+    std::vector<ShardMsg> drain();
+
+  private:
+    unsigned self_;
+    std::uint64_t nextSeq_ = 0;
+    std::vector<ShardMsg> msgs_;
+};
+
+/**
+ * The narrow interface a TimingCore uses to reach other shards. The
+ * system builder implements it on top of ShardRouter + ShardOutbox;
+ * cores on a single-shard machine have no port at all (null), which
+ * keeps the serial path byte-identical to the pre-sharding
+ * simulator.
+ */
+class ShardPort
+{
+  public:
+    virtual ~ShardPort() = default;
+
+    /** The shard this port's cores live on. */
+    virtual unsigned selfShard() const = 0;
+
+    /** Home shard of an address. */
+    virtual unsigned homeShard(Addr addr) const = 0;
+
+    /** Does this line live on the core's own shard? */
+    virtual bool isLocal(Addr addr) const = 0;
+
+    /**
+     * Forward a clwb'd line to its remote home shard at @p send
+     * (already including the writeback latency). The home shard
+     * persists it and acknowledges; the ack resumes the issuing
+     * core's ticket via TimingCore::remotePersistResolved.
+     */
+    virtual void sendPersist(Addr line_addr, const CacheLine &data,
+                             Tick send, bool meta_atomic,
+                             unsigned stream, TimingCore *issuer) = 0;
+
+    /**
+     * Completion tick of a read miss to a remote shard's line: a
+     * fixed NUMA-style hop + access latency, with no remote state
+     * touched (reads are timing-only against the functional memory).
+     */
+    virtual Tick remoteReadDone(Addr line_addr, Tick start) = 0;
+
+    /**
+     * Route decoded PRE_* chunks to a remote home shard's Janus
+     * front-end. @p buffered selects buffer() (deferred) over
+     * issueImmediate().
+     */
+    virtual void sendPre(unsigned dst_shard, const PreObjId &obj,
+                         std::vector<PreChunk> chunks, Tick send,
+                         bool buffered) = 0;
+
+    /** Broadcast PRE_START_BUF for @p obj to every remote shard. */
+    virtual void sendPreStart(const PreObjId &obj, Tick send) = 0;
+};
+
+/**
+ * Conservative-lookahead round scheduler over the per-shard event
+ * queues.
+ *
+ * Rounds: H = min over shards of nextEventTick() plus the lookahead
+ * window; run every queue to H (concurrently when threads > 1);
+ * barrier; deliver all outbox messages, sorted by (due, src, seq),
+ * at tick max(due, H) on their destination queues; repeat until all
+ * queues and outboxes are empty.
+ *
+ * Soundness: a message delivered at max(due, H) can never land in a
+ * destination shard's past (its queue just ran to exactly H), so
+ * any window size is safe — larger windows only quantize
+ * cross-shard latency more coarsely, trading fidelity for fewer
+ * barriers. Determinism: for a fixed window, round horizons, event
+ * execution within a shard, and delivery order are all independent
+ * of the worker-thread count and OS scheduling.
+ */
+class ShardScheduler
+{
+  public:
+    struct Shard
+    {
+        EventQueue *eq;
+        ShardOutbox *outbox;
+    };
+
+    /**
+     * @param shards   the per-shard queues and mailboxes
+     * @param window   lookahead window (ticks added to the earliest
+     *                 pending event to form each round's horizon)
+     * @param threads  worker threads for intra-round parallelism
+     *                 (clamped to the shard count; 1 = serial)
+     */
+    ShardScheduler(std::vector<Shard> shards, Tick window,
+                   unsigned threads);
+    ~ShardScheduler();
+
+    ShardScheduler(const ShardScheduler &) = delete;
+    ShardScheduler &operator=(const ShardScheduler &) = delete;
+
+    /** Run rounds until every queue and outbox is empty. */
+    void run();
+
+    /** Number of synchronization rounds executed. */
+    std::uint64_t rounds() const { return rounds_; }
+    /** Cross-shard messages delivered. */
+    std::uint64_t messagesDelivered() const { return delivered_; }
+
+  private:
+    /** Run every shard's queue up to @p horizon (worker pool). */
+    void runShardsTo(Tick horizon);
+    void workerLoop();
+
+    std::vector<Shard> shards_;
+    Tick window_;
+    unsigned threads_;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t delivered_ = 0;
+
+    /** Reused per-round delivery buffer. */
+    std::vector<ShardMsg> pending_;
+
+    // --- worker pool (created only when threads_ > 1) -------------
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable roundCv_;
+    std::condition_variable doneCv_;
+    std::uint64_t generation_ = 0;
+    Tick horizon_ = 0;
+    std::atomic<std::size_t> nextShard_{0};
+    unsigned running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace janus
+
+#endif // JANUS_HARNESS_SHARDING_HH

@@ -1,9 +1,12 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
+#include <thread>
 
 #include "common/logging.hh"
+#include "harness/runner.hh"
 
 namespace janus
 {
@@ -12,13 +15,13 @@ namespace
 {
 
 MemCtrlConfig
-makeMcConfig(const SystemConfig &sys)
+makeMcConfig(const SystemConfig &sys, unsigned shard_cores)
 {
     MemCtrlConfig mc;
     mc.mode = sys.mode;
     mc.bmo = sys.bmo;
     mc.nvm = sys.nvm;
-    unsigned scale = sys.cores * sys.resourceScale;
+    unsigned scale = shard_cores * sys.resourceScale;
     if (sys.unlimitedResources) {
         mc.bmoUnits = 0;
         mc.janusHw = sys.janusHwPerCore;
@@ -39,25 +42,230 @@ makeMcConfig(const SystemConfig &sys)
 
 } // namespace
 
+/**
+ * The cross-shard port handed to every core of a sharded machine.
+ * Each remote operation becomes a closure in the local shard's
+ * outbox; the ShardScheduler delivers it onto the destination
+ * shard's event queue at the next round barrier (see
+ * harness/sharding.hh for the ordering and determinism rules).
+ */
+class NvmSystem::PortImpl : public ShardPort
+{
+  public:
+    PortImpl(NvmSystem &sys, unsigned self) : sys_(sys), self_(self)
+    {}
+
+    unsigned selfShard() const override { return self_; }
+
+    unsigned
+    homeShard(Addr addr) const override
+    {
+        return sys_.router_.homeShard(addr);
+    }
+
+    bool
+    isLocal(Addr addr) const override
+    {
+        return homeShard(addr) == self_;
+    }
+
+    void
+    sendPersist(Addr line_addr, const CacheLine &data, Tick send,
+                bool meta_atomic, unsigned stream,
+                TimingCore *issuer) override
+    {
+        NvmSystem *sys = &sys_;
+        const unsigned dst = homeShard(line_addr);
+        const unsigned back = self_;
+        const Tick hop = sys_.config_.crossShardHopTicks;
+        sys_.domains_[self_]->outbox.send(
+            dst, send + hop,
+            [sys, dst, back, line_addr, data, meta_atomic, stream,
+             issuer, hop] {
+                ShardDomain &home = *sys->domains_[dst];
+                // Arrival = the delivery tick (>= send + hop; the
+                // round barrier may quantize it up).
+                PersistResult res = home.mc->persistWrite(
+                    line_addr, data, home.eventq.curTick(),
+                    meta_atomic, stream);
+                // Ack once durable, after the return hop.
+                home.outbox.send(back, res.persisted + hop,
+                                 [issuer] {
+                                     issuer->remotePersistResolved(
+                                         issuer->curTick());
+                                 });
+            });
+    }
+
+    Tick
+    remoteReadDone(Addr, Tick start) override
+    {
+        // Flat NUMA-style remote access: hop + access latency, no
+        // remote state touched (reads are timing-only against the
+        // shared functional memory).
+        return start + sys_.config_.crossShardReadTicks;
+    }
+
+    void
+    sendPre(unsigned dst_shard, const PreObjId &obj,
+            std::vector<PreChunk> chunks, Tick send,
+            bool buffered) override
+    {
+        NvmSystem *sys = &sys_;
+        sys_.domains_[self_]->outbox.send(
+            dst_shard, send + sys_.config_.crossShardHopTicks,
+            [sys, dst_shard, obj, chunks = std::move(chunks),
+             buffered]() mutable {
+                ShardDomain &home = *sys->domains_[dst_shard];
+                if (buffered)
+                    home.mc->frontend().buffer(
+                        obj, chunks, home.eventq.curTick());
+                else
+                    home.mc->frontend().issueImmediate(
+                        obj, chunks, home.eventq.curTick());
+            });
+    }
+
+    void
+    sendPreStart(const PreObjId &obj, Tick send) override
+    {
+        NvmSystem *sys = &sys_;
+        const Tick due = send + sys_.config_.crossShardHopTicks;
+        for (unsigned dst = 0; dst < sys_.domains_.size(); ++dst) {
+            if (dst == self_)
+                continue;
+            sys_.domains_[self_]->outbox.send(
+                dst, due, [sys, dst, obj] {
+                    ShardDomain &home = *sys->domains_[dst];
+                    home.mc->frontend().startBuffered(
+                        obj, home.eventq.curTick());
+                });
+        }
+    }
+
+  private:
+    NvmSystem &sys_;
+    unsigned self_;
+};
+
 NvmSystem::NvmSystem(const SystemConfig &config, const Module &module)
-    : config_(config), alloc_(config.heapBase, config.heapBytes)
+    : config_(config),
+      router_(std::max(1u, config.shards), config.shardPolicy,
+              config.heapBase, config.heapBytes),
+      alloc_(config.heapBase, config.heapBytes)
 {
     janus_assert(config.cores >= 1, "need at least one core");
-    if (config.trace)
-        tracer_ = std::make_unique<Tracer>(config.traceCapacity);
-    mc_ = std::make_unique<MemoryController>(makeMcConfig(config));
-    mc_->setTracer(tracer_.get());
-    if (config.metrics) {
-        sampler_ =
-            std::make_unique<MetricsSampler>(config.metricsWindowTicks);
-        mc_->setSampler(sampler_.get());
+    janus_assert(config.shards >= 1, "need at least one shard");
+    const unsigned S = config.shards;
+
+    window_ = config.shardWindowTicks;
+    if (window_ == 0)
+        window_ =
+            config.shardPolicy == ShardRouterPolicy::RegionAffine
+                ? 10 * ticks::us
+                : config.crossShardHopTicks;
+
+    // Core i lives on shard i % S; the per-shard controller scales
+    // its BMO units and Janus buffers by its own core count, so a
+    // sharded machine has the same total hardware as the monolith.
+    std::vector<unsigned> shard_cores(S, 0);
+    for (unsigned i = 0; i < config.cores; ++i)
+        ++shard_cores[i % S];
+
+    for (unsigned s = 0; s < S; ++s) {
+        auto dom = std::make_unique<ShardDomain>();
+        dom->outbox = ShardOutbox(s);
+        if (config.trace)
+            dom->tracer =
+                std::make_unique<Tracer>(config.traceCapacity);
+        dom->mc = std::make_unique<MemoryController>(
+            makeMcConfig(config, std::max(1u, shard_cores[s])));
+        dom->mc->setTracer(dom->tracer.get());
+        if (config.metrics) {
+            dom->sampler = std::make_unique<MetricsSampler>(
+                config.metricsWindowTicks);
+            dom->mc->setSampler(dom->sampler.get());
+        }
+        domains_.push_back(std::move(dom));
     }
+    if (S > 1) {
+        for (unsigned s = 0; s < S; ++s)
+            domains_[s]->port = std::make_unique<PortImpl>(*this, s);
+        if (config.shardPolicy == ShardRouterPolicy::RegionAffine)
+            for (unsigned s = 0; s < S; ++s)
+                stripeAllocs_.push_back(
+                    std::make_unique<RegionAllocator>(
+                        router_.stripeBase(s),
+                        router_.stripeBytes()));
+    }
+
     for (unsigned i = 0; i < config.cores; ++i) {
+        ShardDomain &dom = *domains_[i % S];
         cores_.push_back(std::make_unique<TimingCore>(
-            "core" + std::to_string(i), eventq_, i, module, mem_,
-            *mc_, config.core));
-        cores_.back()->setTracer(tracer_.get());
+            "core" + std::to_string(i), dom.eventq, i, module, mem_,
+            *dom.mc, config.core));
+        cores_.back()->setTracer(dom.tracer.get());
+        if (S > 1)
+            cores_.back()->setShardPort(dom.port.get());
     }
+}
+
+NvmSystem::~NvmSystem() = default;
+
+RegionAllocator &
+NvmSystem::allocatorFor(unsigned core)
+{
+    if (!stripeAllocs_.empty())
+        return *stripeAllocs_[shardOfCore(core)];
+    return alloc_;
+}
+
+std::uint64_t
+NvmSystem::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom->eventq.executed();
+    return total;
+}
+
+unsigned
+NvmSystem::effectiveShardThreads() const
+{
+    const bool explicit_request = config_.shardThreads != 0;
+    unsigned want = explicit_request ? config_.shardThreads
+                                     : numShards();
+    want = std::min(want, numShards());
+    if (want <= 1)
+        return 1;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // Compose with the experiment runner's own worker pool (sized
+    // from JANUS_BENCH_THREADS / a bench's --threads): the outer
+    // pool takes precedence and each experiment's shard pool gets an
+    // equal slice of the remaining hardware concurrency, so total
+    // threads never exceed outer * slice <= hardware concurrency.
+    // An explicit shardThreads request is honored verbatim even when
+    // it oversubscribes (determinism probes and the TSan race smoke
+    // need real concurrency regardless of the host's core count) —
+    // with a loud one-time warning, since only wall time suffers;
+    // results never depend on the thread count.
+    const unsigned outer = std::max(1u, activeExperimentWorkers());
+    const unsigned budget = std::max(1u, hw / outer);
+    if (want > budget) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("shard thread pool %s: %u shard workers requested "
+                 "but %u experiment workers share %u hardware "
+                 "threads (results are unchanged; only wall time "
+                 "is affected)",
+                 explicit_request ? "oversubscribed" : "clamped",
+                 want, outer, hw);
+        if (!explicit_request)
+            want = budget;
+    }
+    return want;
 }
 
 Tick
@@ -66,21 +274,262 @@ NvmSystem::run(std::vector<TxnSource> sources)
     janus_assert(sources.size() == cores_.size(),
                  "need one transaction source per core (%zu vs %zu)",
                  sources.size(), cores_.size());
-    unsigned live = static_cast<unsigned>(cores_.size());
+    lastRounds_ = 0;
+    lastMessages_ = 0;
+
+    if (domains_.size() == 1) {
+        // Serial path: byte-identical to the pre-sharding machine.
+        unsigned live = static_cast<unsigned>(cores_.size());
+        for (unsigned i = 0; i < cores_.size(); ++i)
+            cores_[i]->run(std::move(sources[i]), [&live] { --live; });
+        domains_[0]->eventq.run();
+        janus_assert(live == 0, "deadlock: %u cores never finished",
+                     live);
+        // Finish deferred background work (e.g. the integrity
+        // scrubber) so end-of-run state is fully verified.
+        domains_[0]->mc->finishRun();
+
+        Tick makespan = 0;
+        for (const auto &core : cores_)
+            makespan = std::max(makespan, core->finishTick());
+        if (domains_[0]->sampler)
+            domains_[0]->sampler->finish(makespan);
+        return makespan;
+    }
+
+    const unsigned threads = effectiveShardThreads();
+    if (threads > 1)
+        mem_.setThreadSafe(true);
+
+    std::atomic<unsigned> live{
+        static_cast<unsigned>(cores_.size())};
     for (unsigned i = 0; i < cores_.size(); ++i)
-        cores_[i]->run(std::move(sources[i]), [&live] { --live; });
-    eventq_.run();
-    janus_assert(live == 0, "deadlock: %u cores never finished", live);
-    // Finish deferred background work (e.g. the integrity scrubber)
-    // so end-of-run state is fully verified.
-    mc_->finishRun();
+        cores_[i]->run(std::move(sources[i]), [&live] {
+            live.fetch_sub(1, std::memory_order_relaxed);
+        });
+
+    {
+        std::vector<ShardScheduler::Shard> shards;
+        shards.reserve(domains_.size());
+        for (auto &dom : domains_)
+            shards.push_back(
+                ShardScheduler::Shard{&dom->eventq, &dom->outbox});
+        ShardScheduler sched(std::move(shards), window_, threads);
+        sched.run();
+        lastRounds_ = sched.rounds();
+        lastMessages_ = sched.messagesDelivered();
+    }
+
+    if (threads > 1)
+        mem_.setThreadSafe(false);
+    janus_assert(live.load() == 0,
+                 "deadlock: %u cores never finished", live.load());
+    for (auto &dom : domains_)
+        dom->mc->finishRun();
 
     Tick makespan = 0;
     for (const auto &core : cores_)
         makespan = std::max(makespan, core->finishTick());
-    if (sampler_)
-        sampler_->finish(makespan);
+    for (auto &dom : domains_)
+        if (dom->sampler)
+            dom->sampler->finish(makespan);
     return makespan;
+}
+
+// --- merged cross-shard views ------------------------------------
+
+std::string
+NvmSystem::traceJson() const
+{
+    if (!config_.trace)
+        return "";
+    std::vector<const Tracer *> tracers;
+    for (const auto &dom : domains_)
+        tracers.push_back(dom->tracer.get());
+    return mergedChromeJson(tracers);
+}
+
+std::uint64_t
+NvmSystem::traceRecorded() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        if (dom->tracer)
+            total += dom->tracer->recorded();
+    return total;
+}
+
+std::uint64_t
+NvmSystem::traceDropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        if (dom->tracer)
+            total += dom->tracer->dropped();
+    return total;
+}
+
+std::string
+NvmSystem::metricsJson() const
+{
+    if (!config_.metrics)
+        return "";
+    std::vector<const MetricsSampler *> samplers;
+    for (const auto &dom : domains_)
+        samplers.push_back(dom->sampler.get());
+    return MetricsSampler::mergedJson(samplers);
+}
+
+std::size_t
+NvmSystem::metricsWindows() const
+{
+    return config_.metrics ? domains_[0]->sampler->windows() : 0;
+}
+
+std::uint64_t
+NvmSystem::mcWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom->mc->writes();
+    return total;
+}
+
+double
+NvmSystem::avgWriteLatencyNs() const
+{
+    Average merged;
+    for (const auto &dom : domains_)
+        merged.merge(dom->mc->writeLatency());
+    return merged.mean();
+}
+
+PersistBreakdown
+NvmSystem::mergedBreakdown() const
+{
+    PersistBreakdown merged = domains_[0]->mc->breakdown();
+    for (std::size_t s = 1; s < domains_.size(); ++s) {
+        const PersistBreakdown &bd = domains_[s]->mc->breakdown();
+        merged.bmoNs.merge(bd.bmoNs);
+        merged.queueNs.merge(bd.queueNs);
+        merged.orderNs.merge(bd.orderNs);
+        merged.totalNs.merge(bd.totalNs);
+        merged.totalHistNs.merge(bd.totalHistNs);
+    }
+    return merged;
+}
+
+double
+NvmSystem::dupRatio() const
+{
+    std::uint64_t writes = 0;
+    std::uint64_t dups = 0;
+    for (const auto &dom : domains_) {
+        writes += dom->mc->backend().writes();
+        dups += dom->mc->backend().dupWrites();
+    }
+    // Same arithmetic as BmoBackendState::dupRatio, so shards == 1
+    // reproduces the single backend's value bit-exactly.
+    return writes ? static_cast<double>(dups) / writes : 0.0;
+}
+
+std::uint64_t
+NvmSystem::treeCacheHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom->mc->backend().merkleTree().cacheHits();
+    return total;
+}
+
+std::uint64_t
+NvmSystem::treeCacheMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom->mc->backend().merkleTree().cacheMisses();
+    return total;
+}
+
+double
+NvmSystem::treeCacheHitRate() const
+{
+    const std::uint64_t hits = treeCacheHits();
+    const std::uint64_t total = hits + treeCacheMisses();
+    // Same arithmetic as MerkleTree::cacheHitRate.
+    return total ? double(hits) / double(total) : 0.0;
+}
+
+std::uint64_t
+NvmSystem::merkleCoalescedLevels() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total +=
+            dom->mc->backend().merkleTree().coalescedPathLevels();
+    return total;
+}
+
+std::uint64_t
+NvmSystem::merkleSavedRehashes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total +=
+            dom->mc->backend().merkleTree().savedInteriorRehashes();
+    return total;
+}
+
+std::uint64_t
+NvmSystem::consumedFullyPreExecuted() const
+{
+    if (config_.mode != WritePathMode::Janus)
+        return 0;
+    std::uint64_t total = 0;
+    for (const auto &dom : domains_)
+        total += dom->mc->frontend().consumedFullyPreExecuted();
+    return total;
+}
+
+ResilienceCounters
+NvmSystem::mergedResilience() const
+{
+    ResilienceCounters merged = domains_[0]->mc->resilience().counters();
+    for (std::size_t s = 1; s < domains_.size(); ++s) {
+        const ResilienceCounters rc =
+            domains_[s]->mc->resilience().counters();
+        merged.transientFlipsInjected += rc.transientFlipsInjected;
+        merged.stuckCellsInjected += rc.stuckCellsInjected;
+        merged.cleanReads += rc.cleanReads;
+        merged.correctedReads += rc.correctedReads;
+        merged.uncorrectableReads += rc.uncorrectableReads;
+        merged.readRetries += rc.readRetries;
+        merged.correctedWrites += rc.correctedWrites;
+        merged.writeVerifyFailures += rc.writeVerifyFailures;
+        merged.writeRetries += rc.writeRetries;
+        merged.remaps += rc.remaps;
+        merged.spareExhausted += rc.spareExhausted;
+        merged.dataLossLines += rc.dataLossLines;
+        merged.irbEccFaults += rc.irbEccFaults;
+        merged.preExecDisabledWrites += rc.preExecDisabledWrites;
+        merged.dedupBypasses += rc.dedupBypasses;
+        merged.watchdogTrips += rc.watchdogTrips;
+        merged.degradedTicks += rc.degradedTicks;
+        merged.retryBackoffTicks += rc.retryBackoffTicks;
+        merged.scrubQueued += rc.scrubQueued;
+        merged.scrubbed += rc.scrubbed;
+        merged.scrubFailures += rc.scrubFailures;
+    }
+    return merged;
+}
+
+CritPathSummary
+NvmSystem::mergedCritPath() const
+{
+    CritPathSummary merged = domains_[0]->mc->critPath();
+    for (std::size_t s = 1; s < domains_.size(); ++s)
+        merged.merge(domains_[s]->mc->critPath());
+    return merged;
 }
 
 std::vector<StatGroup>
@@ -108,114 +557,197 @@ NvmSystem::collectStats()
         groups.push_back(std::move(group));
     }
 
+    // Channel-level groups merge deterministically across shards;
+    // every sum / mean / ratio below replicates the single
+    // component's arithmetic exactly, so shards == 1 reproduces the
+    // pre-sharding dump byte-for-byte.
     StatGroup mc_group("mc");
-    mc_group.scalar("writes").set(static_cast<double>(mc_->writes()));
-    mc_group.scalar("avgWriteLatencyNs").set(mc_->avgWriteLatencyNs());
-    mc_group.scalar("metaAtomicWrites")
-        .set(static_cast<double>(mc_->metaAtomicWrites()));
-    mc_group.scalar("counterCacheHitRate")
-        .set(mc_->counterCache().hitRate());
-    const PersistBreakdown &bd = mc_->breakdown();
-    mc_group.scalar("stageBmoNs").set(bd.bmoNs.mean());
-    mc_group.scalar("stageQueueNs").set(bd.queueNs.mean());
-    mc_group.scalar("stageOrderNs").set(bd.orderNs.mean());
-    mc_group.histogram("persistLatencyNs") = bd.totalHistNs;
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t meta = 0;
+        std::uint64_t cc_hits = 0;
+        std::uint64_t cc_misses = 0;
+        for (const auto &dom : domains_) {
+            writes += dom->mc->writes();
+            meta += dom->mc->metaAtomicWrites();
+            cc_hits += dom->mc->counterCache().hits();
+            cc_misses += dom->mc->counterCache().misses();
+        }
+        const PersistBreakdown bd = mergedBreakdown();
+        mc_group.scalar("writes").set(static_cast<double>(writes));
+        mc_group.scalar("avgWriteLatencyNs")
+            .set(avgWriteLatencyNs());
+        mc_group.scalar("metaAtomicWrites")
+            .set(static_cast<double>(meta));
+        const std::uint64_t cc_total = cc_hits + cc_misses;
+        mc_group.scalar("counterCacheHitRate")
+            .set(cc_total
+                     ? static_cast<double>(cc_hits) / cc_total
+                     : 0.0);
+        mc_group.scalar("stageBmoNs").set(bd.bmoNs.mean());
+        mc_group.scalar("stageQueueNs").set(bd.queueNs.mean());
+        mc_group.scalar("stageOrderNs").set(bd.orderNs.mean());
+        mc_group.histogram("persistLatencyNs") = bd.totalHistNs;
+    }
     groups.push_back(std::move(mc_group));
 
     StatGroup dev_group("nvm");
-    dev_group.scalar("writesAccepted")
-        .set(static_cast<double>(mc_->device().writesAccepted()));
-    dev_group.scalar("readsIssued")
-        .set(static_cast<double>(mc_->device().readsIssued()));
-    dev_group.scalar("avgAcceptStallNs")
-        .set(mc_->device().avgAcceptStall());
-    dev_group.gauge("queueDepth") = mc_->device().queueDepthGauge();
+    {
+        std::uint64_t accepted = 0;
+        std::uint64_t reads = 0;
+        Average stall;
+        TimeWeightedGauge depth;
+        for (const auto &dom : domains_) {
+            accepted += dom->mc->device().writesAccepted();
+            reads += dom->mc->device().readsIssued();
+            stall.merge(dom->mc->device().acceptStall());
+            depth.merge(dom->mc->device().queueDepthGauge());
+        }
+        dev_group.scalar("writesAccepted")
+            .set(static_cast<double>(accepted));
+        dev_group.scalar("readsIssued")
+            .set(static_cast<double>(reads));
+        dev_group.scalar("avgAcceptStallNs").set(stall.mean());
+        dev_group.gauge("queueDepth") = depth;
+    }
     groups.push_back(std::move(dev_group));
 
     StatGroup engine_group("bmoEngine");
-    engine_group.scalar("subOpsExecuted")
-        .set(static_cast<double>(mc_->engine().subOpsExecuted()));
-    engine_group.scalar("busyNs")
-        .set(ticks::toNsF(mc_->engine().busyTicks()));
+    {
+        std::uint64_t subops = 0;
+        Tick busy = 0;
+        for (const auto &dom : domains_) {
+            subops += dom->mc->engine().subOpsExecuted();
+            busy += dom->mc->engine().busyTicks();
+        }
+        engine_group.scalar("subOpsExecuted")
+            .set(static_cast<double>(subops));
+        engine_group.scalar("busyNs").set(ticks::toNsF(busy));
+    }
     groups.push_back(std::move(engine_group));
 
     StatGroup backend_group("backend");
-    backend_group.scalar("writes")
-        .set(static_cast<double>(mc_->backend().writes()));
-    backend_group.scalar("dupRatio").set(mc_->backend().dupRatio());
-    backend_group.scalar("physLinesLive")
-        .set(static_cast<double>(mc_->backend().physLinesLive()));
-    if (mc_->backend().config().compression)
-        backend_group.scalar("compressionRatio")
-            .set(mc_->backend().compressionRatio());
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t live_lines = 0;
+        std::uint64_t before = 0;
+        std::uint64_t after = 0;
+        for (const auto &dom : domains_) {
+            writes += dom->mc->backend().writes();
+            live_lines += dom->mc->backend().physLinesLive();
+            before += dom->mc->backend().bytesBeforeCompression();
+            after += dom->mc->backend().bytesAfterCompression();
+        }
+        backend_group.scalar("writes")
+            .set(static_cast<double>(writes));
+        backend_group.scalar("dupRatio").set(dupRatio());
+        backend_group.scalar("physLinesLive")
+            .set(static_cast<double>(live_lines));
+        if (domains_[0]->mc->backend().config().compression)
+            backend_group.scalar("compressionRatio")
+                .set(after ? static_cast<double>(before) /
+                                 static_cast<double>(after)
+                           : 1.0);
+    }
     groups.push_back(std::move(backend_group));
 
     if (config_.mode == WritePathMode::Janus) {
-        const JanusFrontend &fe = mc_->frontend();
         StatGroup fe_group("janus");
+        std::uint64_t requests = 0, chunks = 0, with_entry = 0,
+                      fully = 0, hits = 0, misses = 0, covered = 0,
+                      mismatches = 0, invalidations = 0,
+                      dropped_irb = 0, dropped_opq = 0, aged = 0;
+        TimeWeightedGauge irb_occ;
+        for (const auto &dom : domains_) {
+            const JanusFrontend &fe = dom->mc->frontend();
+            requests += fe.requestsIssued();
+            chunks += fe.chunksPreExecuted();
+            with_entry += fe.consumedWithEntry();
+            fully += fe.consumedFullyPreExecuted();
+            hits += fe.irbHits();
+            misses += fe.irbMisses();
+            covered += fe.preexecCoveredSubOps();
+            mismatches += fe.dataMismatches();
+            invalidations += fe.metadataInvalidations();
+            dropped_irb += fe.droppedIrb();
+            dropped_opq += fe.droppedOpQueue();
+            aged += fe.agedOut();
+            irb_occ.merge(fe.irbOccupancyGauge());
+        }
         fe_group.scalar("requestsIssued")
-            .set(static_cast<double>(fe.requestsIssued()));
+            .set(static_cast<double>(requests));
         fe_group.scalar("chunksPreExecuted")
-            .set(static_cast<double>(fe.chunksPreExecuted()));
+            .set(static_cast<double>(chunks));
         fe_group.scalar("consumedWithEntry")
-            .set(static_cast<double>(fe.consumedWithEntry()));
+            .set(static_cast<double>(with_entry));
         fe_group.scalar("consumedFullyPreExecuted")
-            .set(static_cast<double>(fe.consumedFullyPreExecuted()));
-        fe_group.scalar("irb_hits")
-            .set(static_cast<double>(fe.irbHits()));
+            .set(static_cast<double>(fully));
+        fe_group.scalar("irb_hits").set(static_cast<double>(hits));
         fe_group.scalar("irb_misses")
-            .set(static_cast<double>(fe.irbMisses()));
+            .set(static_cast<double>(misses));
         fe_group.scalar("preexec_covered_subops")
-            .set(static_cast<double>(fe.preexecCoveredSubOps()));
+            .set(static_cast<double>(covered));
         fe_group.scalar("dataMismatches")
-            .set(static_cast<double>(fe.dataMismatches()));
+            .set(static_cast<double>(mismatches));
         fe_group.scalar("metadataInvalidations")
-            .set(static_cast<double>(fe.metadataInvalidations()));
+            .set(static_cast<double>(invalidations));
         fe_group.scalar("droppedIrb")
-            .set(static_cast<double>(fe.droppedIrb()));
+            .set(static_cast<double>(dropped_irb));
         fe_group.scalar("droppedOpQueue")
-            .set(static_cast<double>(fe.droppedOpQueue()));
-        fe_group.scalar("agedOut")
-            .set(static_cast<double>(fe.agedOut()));
-        fe_group.gauge("irbOccupancy") = fe.irbOccupancyGauge();
+            .set(static_cast<double>(dropped_opq));
+        fe_group.scalar("agedOut").set(static_cast<double>(aged));
+        fe_group.gauge("irbOccupancy") = irb_occ;
         groups.push_back(std::move(fe_group));
     }
 
     // Streamlined integrity-tree engine. Always emitted — all-zero
     // when streamlining is off — so the schema is stable.
     {
-        const MerkleTree &tree = mc_->backend().merkleTree();
         StatGroup merkle_group("merkle");
+        std::uint64_t capacity = 0, resident = 0, epochs = 0,
+                      rehashes = 0, pipelined = 0;
+        Tick pipe_busy = 0;
+        TimeWeightedGauge cache_occ;
+        for (const auto &dom : domains_) {
+            const MerkleTree &tree =
+                dom->mc->backend().merkleTree();
+            capacity += tree.cacheCapacity();
+            resident += tree.cacheResident();
+            epochs += tree.epochs();
+            rehashes += tree.interiorRehashes();
+            pipelined += dom->mc->engine().pipelinedSubOps();
+            pipe_busy += dom->mc->engine().pipeBusyTicks();
+            cache_occ.merge(dom->mc->treeCacheOccupancy());
+        }
         merkle_group.scalar("cacheCapacity")
-            .set(static_cast<double>(tree.cacheCapacity()));
+            .set(static_cast<double>(capacity));
         merkle_group.scalar("cacheResident")
-            .set(static_cast<double>(tree.cacheResident()));
+            .set(static_cast<double>(resident));
         merkle_group.scalar("cacheHits")
-            .set(static_cast<double>(tree.cacheHits()));
+            .set(static_cast<double>(treeCacheHits()));
         merkle_group.scalar("cacheMisses")
-            .set(static_cast<double>(tree.cacheMisses()));
-        merkle_group.scalar("cacheHitRate").set(tree.cacheHitRate());
+            .set(static_cast<double>(treeCacheMisses()));
+        merkle_group.scalar("cacheHitRate").set(treeCacheHitRate());
         merkle_group.scalar("coalescedLevels")
-            .set(static_cast<double>(tree.coalescedPathLevels()));
+            .set(static_cast<double>(merkleCoalescedLevels()));
         merkle_group.scalar("epochs")
-            .set(static_cast<double>(tree.epochs()));
+            .set(static_cast<double>(epochs));
         merkle_group.scalar("interiorRehashes")
-            .set(static_cast<double>(tree.interiorRehashes()));
+            .set(static_cast<double>(rehashes));
         merkle_group.scalar("savedInteriorRehashes")
-            .set(static_cast<double>(tree.savedInteriorRehashes()));
+            .set(static_cast<double>(merkleSavedRehashes()));
         merkle_group.scalar("pipelinedSubOps")
-            .set(static_cast<double>(mc_->engine().pipelinedSubOps()));
+            .set(static_cast<double>(pipelined));
         merkle_group.scalar("pipeBusyNs")
-            .set(ticks::toNsF(mc_->engine().pipeBusyTicks()));
-        merkle_group.gauge("cacheOccupancy") =
-            mc_->treeCacheOccupancy();
+            .set(ticks::toNsF(pipe_busy));
+        merkle_group.gauge("cacheOccupancy") = cache_occ;
         groups.push_back(std::move(merkle_group));
     }
 
     // Always emitted — all-zero when the layer is disabled — so the
     // stats schema is stable across configurations.
     {
-        ResilienceCounters rc = mc_->resilience().counters();
+        ResilienceCounters rc = mergedResilience();
         auto u64 = [](std::uint64_t v) {
             return static_cast<double>(v);
         };

@@ -1,9 +1,19 @@
 /**
  * @file
- * NvmSystem: assembles a complete simulated machine — event queue,
- * functional memory, memory controller (with BMOs / Janus), and N
+ * NvmSystem: assembles a complete simulated machine — event queue(s),
+ * functional memory, memory controller(s) (with BMOs / Janus), and N
  * timing cores — from a single SystemConfig mirroring the paper's
  * Table 3.
+ *
+ * The machine can be partitioned into `shards` independent memory
+ * channels: each shard owns its own event queue, memory controller
+ * (BMO pipeline, IRB, NVM device, resilience state), tracer and
+ * metrics sampler, with a ShardRouter mapping line addresses to their
+ * home shard and a conservative-lookahead ShardScheduler advancing
+ * the per-shard queues in parallel (see harness/sharding.hh and
+ * DESIGN.md "Sharded simulation core"). With shards == 1 (the
+ * default) the assembly and the simulation are byte-identical to the
+ * pre-sharding single-queue machine.
  */
 
 #ifndef JANUS_HARNESS_SYSTEM_HH
@@ -13,10 +23,13 @@
 #include <vector>
 
 #include "cpu/timing_core.hh"
+#include "harness/sharding.hh"
 #include "ir/ir.hh"
 #include "mem/sparse_memory.hh"
 #include "memctrl/memory_controller.hh"
+#include "sim/critpath.hh"
 #include "sim/eventq.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -57,6 +70,29 @@ struct SystemConfig
     bool metrics = false;
     /** Metrics window width in ticks. */
     Tick metricsWindowTicks = 10 * ticks::us;
+
+    // --- sharded multi-channel scale-out --------------------------
+    /** Memory channels (shards); 1 = the classic serial machine. */
+    unsigned shards = 1;
+    /** Worker threads for the shard scheduler. 0 = auto: one per
+     *  shard, budgeted against the hardware concurrency divided by
+     *  the experiment runner's own worker count (results never
+     *  depend on this — thread count only changes wall time). */
+    unsigned shardThreads = 0;
+    /** Address -> home-shard map (line-interleaved by default). */
+    ShardRouterPolicy shardPolicy = ShardRouterPolicy::LineInterleave;
+    /** One-way cross-shard message latency (persist forward / ack). */
+    Tick crossShardHopTicks = 40 * ticks::ns;
+    /** Flat completion latency of a read miss to a remote shard. */
+    Tick crossShardReadTicks = 60 * ticks::ns;
+    /** Conservative-lookahead window. 0 = auto: the hop latency for
+     *  LineInterleave (fidelity first — traffic is mostly remote),
+     *  10 us for RegionAffine (traffic is shard-local, so few
+     *  messages cross rounds and a wide window minimizes barriers).
+     *  Any value is sound (delivery at max(due, horizon) can never
+     *  reach into a shard's past); larger values only quantize
+     *  cross-shard latency more coarsely. */
+    Tick shardWindowTicks = 0;
 };
 
 /** A fully assembled simulated NVM machine. */
@@ -64,10 +100,13 @@ class NvmSystem
 {
   public:
     NvmSystem(const SystemConfig &config, const Module &module);
+    ~NvmSystem();
 
-    EventQueue &eventq() { return eventq_; }
+    /** Shard 0's event queue (the only queue when shards == 1). */
+    EventQueue &eventq() { return domains_[0]->eventq; }
     SparseMemory &mem() { return mem_; }
-    MemoryController &mc() { return *mc_; }
+    /** Shard 0's controller (the only one when shards == 1). */
+    MemoryController &mc() { return *domains_[0]->mc; }
     TimingCore &core(unsigned i) { return *cores_.at(i); }
     unsigned numCores() const
     {
@@ -76,18 +115,78 @@ class NvmSystem
     RegionAllocator &allocator() { return alloc_; }
     const SystemConfig &config() const { return config_; }
 
+    // --- sharding ------------------------------------------------
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(domains_.size());
+    }
+    const ShardRouter &router() const { return router_; }
+    MemoryController &mc(unsigned shard)
+    {
+        return *domains_.at(shard)->mc;
+    }
+    EventQueue &eventq(unsigned shard)
+    {
+        return domains_.at(shard)->eventq;
+    }
+    /** Shard a core lives on (core i -> shard i % shards). */
+    unsigned
+    shardOfCore(unsigned core) const
+    {
+        return core % numShards();
+    }
+    /**
+     * The heap allocator a core's workload should draw from: under
+     * the RegionAffine policy, the stripe of the core's shard (so
+     * its traffic stays shard-local); otherwise the global heap.
+     */
+    RegionAllocator &allocatorFor(unsigned core);
+    /** Events executed across every shard queue. */
+    std::uint64_t eventsExecuted() const;
+    /** Synchronization rounds of the last run() (0 when serial). */
+    std::uint64_t schedulerRounds() const { return lastRounds_; }
+    /** Cross-shard messages delivered during the last run(). */
+    std::uint64_t crossShardMessages() const { return lastMessages_; }
+
     /**
      * Run one transaction source per core to exhaustion.
      * @return the makespan tick (last core's finish).
      */
     Tick run(std::vector<TxnSource> sources);
 
-    /** The persist-path tracer, or null when tracing is off. */
-    Tracer *tracer() { return tracer_.get(); }
+    /** Shard 0's persist-path tracer, or null when tracing is off. */
+    Tracer *tracer() { return domains_[0]->tracer.get(); }
 
-    /** The time-series sampler, or null when sampling is off. run()
-     *  finishes it at the makespan tick. */
-    MetricsSampler *sampler() { return sampler_.get(); }
+    /** Shard 0's time-series sampler, or null when sampling is off.
+     *  run() finishes every shard's sampler at the makespan tick. */
+    MetricsSampler *sampler() { return domains_[0]->sampler.get(); }
+
+    // --- merged cross-shard views (equal to the single controller's
+    // --- numbers when shards == 1) --------------------------------
+    bool tracing() const { return config_.trace; }
+    /** Merged Chrome trace JSON over every shard's tracer ("" when
+     *  tracing is off; byte-identical to the single tracer's JSON
+     *  when shards == 1). */
+    std::string traceJson() const;
+    std::uint64_t traceRecorded() const;
+    std::uint64_t traceDropped() const;
+    /** Merged METRICS JSON over every shard's sampler ("" when
+     *  sampling is off). */
+    std::string metricsJson() const;
+    std::size_t metricsWindows() const;
+    std::uint64_t mcWrites() const;
+    double avgWriteLatencyNs() const;
+    /** Persist-stage breakdown merged across shards. */
+    PersistBreakdown mergedBreakdown() const;
+    double dupRatio() const;
+    std::uint64_t treeCacheHits() const;
+    std::uint64_t treeCacheMisses() const;
+    double treeCacheHitRate() const;
+    std::uint64_t merkleCoalescedLevels() const;
+    std::uint64_t merkleSavedRehashes() const;
+    std::uint64_t consumedFullyPreExecuted() const;
+    ResilienceCounters mergedResilience() const;
+    CritPathSummary mergedCritPath() const;
 
     /**
      * Dump every component's statistics to the stream.
@@ -98,7 +197,10 @@ class NvmSystem
      * sub-stats ("mc.persistLatencyNs.p99"). Groups are emitted in
      * lexicographic group-name order and stats sort within their
      * group (see StatGroup::dump), so two runs of the same simulation
-     * produce byte-identical dumps.
+     * produce byte-identical dumps. On a sharded machine the
+     * channel-level groups are deterministic merges over the shards
+     * (see StatGroup::merge), keeping the schema identical at every
+     * shard count.
      */
     void dumpStats(std::ostream &os);
 
@@ -107,17 +209,36 @@ class NvmSystem
     void dumpStatsJson(std::ostream &os);
 
   private:
+    class PortImpl;
+
+    /** Everything one memory channel owns. */
+    struct ShardDomain
+    {
+        EventQueue eventq;
+        ShardOutbox outbox;
+        std::unique_ptr<Tracer> tracer;
+        std::unique_ptr<MetricsSampler> sampler;
+        std::unique_ptr<MemoryController> mc;
+        std::unique_ptr<PortImpl> port;
+    };
+
     /** Build all stat groups, sorted by group name. */
     std::vector<StatGroup> collectStats();
 
+    /** Resolve the shard-scheduler worker count for run(). */
+    unsigned effectiveShardThreads() const;
+
     SystemConfig config_;
-    EventQueue eventq_;
     SparseMemory mem_;
-    std::unique_ptr<Tracer> tracer_;
-    std::unique_ptr<MetricsSampler> sampler_;
-    std::unique_ptr<MemoryController> mc_;
+    ShardRouter router_;
+    std::vector<std::unique_ptr<ShardDomain>> domains_;
     std::vector<std::unique_ptr<TimingCore>> cores_;
     RegionAllocator alloc_;
+    /** Per-shard heap stripes (RegionAffine with shards > 1 only). */
+    std::vector<std::unique_ptr<RegionAllocator>> stripeAllocs_;
+    Tick window_ = 0;
+    std::uint64_t lastRounds_ = 0;
+    std::uint64_t lastMessages_ = 0;
 };
 
 } // namespace janus

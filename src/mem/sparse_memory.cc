@@ -11,10 +11,21 @@ const SparseMemory::Page *
 SparseMemory::findPage(Addr addr) const
 {
     Addr page_no = addr / pageBytes;
+    auto &stripe = pages_[stripeOf(page_no)];
+    if (stripeLocks_) {
+        // Thread-safe mode: skip the one-entry cache (mutated by
+        // const readers) and serialize the stripe lookup. Page
+        // pointers are stable, so the returned pointer stays valid
+        // outside the lock.
+        std::lock_guard<std::mutex> l(
+            (*stripeLocks_)[stripeOf(page_no)]);
+        auto it = stripe.find(page_no);
+        return it == stripe.end() ? nullptr : it->second.get();
+    }
     if (page_no == cachedPageNo_)
         return cachedPage_;
-    auto it = pages_.find(page_no);
-    if (it == pages_.end())
+    auto it = stripe.find(page_no);
+    if (it == stripe.end())
         return nullptr;
     cachedPageNo_ = page_no;
     cachedPage_ = it->second.get();
@@ -25,9 +36,20 @@ SparseMemory::Page &
 SparseMemory::getPage(Addr addr)
 {
     Addr page_no = addr / pageBytes;
+    auto &stripe = pages_[stripeOf(page_no)];
+    if (stripeLocks_) {
+        std::lock_guard<std::mutex> l(
+            (*stripeLocks_)[stripeOf(page_no)]);
+        auto &slot = stripe[page_no];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
     if (page_no == cachedPageNo_)
         return *cachedPage_;
-    auto &slot = pages_[page_no];
+    auto &slot = stripe[page_no];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
@@ -35,6 +57,30 @@ SparseMemory::getPage(Addr addr)
     cachedPageNo_ = page_no;
     cachedPage_ = slot.get();
     return *slot;
+}
+
+void
+SparseMemory::setThreadSafe(bool on)
+{
+    if (on && !stripeLocks_) {
+        // Drop the cache so stale entries can't be served while the
+        // cache is bypassed.
+        cachedPageNo_ = ~Addr(0);
+        cachedPage_ = nullptr;
+        stripeLocks_ =
+            std::make_unique<std::array<std::mutex, numStripes>>();
+    } else if (!on) {
+        stripeLocks_.reset();
+    }
+}
+
+std::size_t
+SparseMemory::pageCount() const
+{
+    std::size_t count = 0;
+    for (const auto &stripe : pages_)
+        count += stripe.size();
+    return count;
 }
 
 void
@@ -124,7 +170,8 @@ SparseMemory::writeWord(Addr addr, std::uint64_t value)
 void
 SparseMemory::clear()
 {
-    pages_.clear();
+    for (auto &stripe : pages_)
+        stripe.clear();
     cachedPageNo_ = ~Addr(0);
     cachedPage_ = nullptr;
 }
@@ -133,9 +180,11 @@ void
 SparseMemory::copyFrom(const SparseMemory &other)
 {
     clear();
-    for (const auto &[page_no, page] : other.pages_) {
-        auto copy = std::make_unique<Page>(*page);
-        pages_.emplace(page_no, std::move(copy));
+    for (std::size_t s = 0; s < numStripes; ++s) {
+        for (const auto &[page_no, page] : other.pages_[s]) {
+            auto copy = std::make_unique<Page>(*page);
+            pages_[s].emplace(page_no, std::move(copy));
+        }
     }
 }
 
@@ -146,18 +195,20 @@ SparseMemory::contentHash() const
     // map's iteration order is irrelevant. All-zero pages hash as if
     // absent (unbacked reads are zero).
     std::uint64_t combined = 0;
-    for (const auto &[page_no, page] : pages_) {
-        bool all_zero = true;
-        for (std::uint8_t byte : *page)
-            all_zero &= byte == 0;
-        if (all_zero)
-            continue;
-        std::uint64_t h = 1469598103934665603ull ^ page_no;
-        for (std::uint8_t byte : *page) {
-            h ^= byte;
-            h *= 1099511628211ull;
+    for (const auto &stripe : pages_) {
+        for (const auto &[page_no, page] : stripe) {
+            bool all_zero = true;
+            for (std::uint8_t byte : *page)
+                all_zero &= byte == 0;
+            if (all_zero)
+                continue;
+            std::uint64_t h = 1469598103934665603ull ^ page_no;
+            for (std::uint8_t byte : *page) {
+                h ^= byte;
+                h *= 1099511628211ull;
+            }
+            combined ^= h;
         }
-        combined ^= h;
     }
     return combined;
 }

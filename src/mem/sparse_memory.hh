@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/cacheline.hh"
@@ -59,10 +60,24 @@ class SparseMemory
     void clear();
 
     /** Number of materialized pages (for accounting). */
-    std::size_t pageCount() const { return pages_.size(); }
+    std::size_t pageCount() const;
 
     /** Deep copy the contents of another memory. */
     void copyFrom(const SparseMemory &other);
+
+    /**
+     * Toggle concurrent access mode. When on, page-map lookups and
+     * page materialization take the touched stripe's mutex (the map
+     * is striped by page number, so concurrent shards almost never
+     * contend) and the one-entry page cache is bypassed (its
+     * mutation by const readers is the only non-threadsafe state).
+     * Page bytes themselves are NOT locked: the sharded simulator
+     * guarantees distinct shards never touch the same line
+     * concurrently (each line has one home shard), so byte-level
+     * races cannot occur. Purely a synchronization toggle — contents
+     * and results are identical either way.
+     */
+    void setThreadSafe(bool on);
 
     /**
      * Order-independent digest of the full contents (all-zero pages
@@ -74,23 +89,43 @@ class SparseMemory
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
+    /** Page-map stripes (power of two). Striping is invisible to
+     *  every observer (contentHash XOR-combines, pageCount sums);
+     *  it exists so thread-safe mode can lock per stripe instead of
+     *  globally, which would serialize every interpreted memory
+     *  access of every shard worker. */
+    static constexpr std::size_t numStripes = 64;
+
+    static std::size_t
+    stripeOf(Addr page_no)
+    {
+        // Pages of one heap region are consecutive, so low bits
+        // spread one shard's working set across all stripes.
+        return static_cast<std::size_t>(page_no) & (numStripes - 1);
+    }
+
     /** @return the page containing addr, or nullptr if unbacked. */
     const Page *findPage(Addr addr) const;
 
     /** @return the page containing addr, creating it if needed. */
     Page &getPage(Addr addr);
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    std::array<std::unordered_map<Addr, std::unique_ptr<Page>>,
+               numStripes>
+        pages_;
     /**
      * One-entry cache of the last page touched: sequential and
      * line-local access skips the hash-map lookup. Page pointers
      * are stable (the map owns them via unique_ptr), so the cache
      * only needs invalidating on clear()/copyFrom(). Mutated by
-     * const readers; like the rest of the class, an instance is not
-     * meant to be shared across threads.
+     * const readers; bypassed in thread-safe mode.
      */
     mutable Addr cachedPageNo_ = ~Addr(0);
     mutable Page *cachedPage_ = nullptr;
+    /** Present only in thread-safe mode (unique_ptr keeps the class
+     *  movable); one mutex per page-map stripe. */
+    mutable std::unique_ptr<std::array<std::mutex, numStripes>>
+        stripeLocks_;
 };
 
 /**

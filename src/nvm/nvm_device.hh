@@ -85,6 +85,9 @@ class NvmDevice
     /** Mean ticks a write waited for a free queue slot. */
     double avgAcceptStall() const { return acceptStall_.mean(); }
 
+    /** The full accept-stall average (mergeable across channels). */
+    const Average &acceptStall() const { return acceptStall_; }
+
     /** Write-queue depth sampled at every acceptance. */
     const TimeWeightedGauge &queueDepthGauge() const
     {

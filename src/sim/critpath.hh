@@ -107,6 +107,17 @@ struct CritPathSummary
     /** Sum of all edge shares; 1.0 exactly when persists were
      *  recorded (0 when none — nothing to partition). */
     double shareSum() const;
+
+    /** Fold another channel's summary in (exact integer sums, so the
+     *  partition invariant carries over to the merged view). */
+    void
+    merge(const CritPathSummary &other)
+    {
+        for (std::size_t i = 0; i < numCritEdges; ++i)
+            edgeTicks[i] += other.edgeTicks[i];
+        totalTicks += other.totalTicks;
+        persists += other.persists;
+    }
 };
 
 /**

@@ -228,6 +228,18 @@ EventQueue::run(Tick limit)
     return count;
 }
 
+Tick
+EventQueue::nextEventTick()
+{
+    if (size_ == 0)
+        return maxTick;
+    Bucket *rb = nextRingBucket();
+    const Tick ringWhen =
+        rb != nullptr ? rb->items[rb->head].when : maxTick;
+    const Tick farWhen = far_.empty() ? maxTick : far_.front().when;
+    return std::min(ringWhen, farWhen);
+}
+
 bool
 EventQueue::step()
 {

@@ -268,6 +268,14 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Tick of the earliest pending event, or maxTick when the queue
+     * is empty. Executes nothing (it may sort the next calendar
+     * bucket as a side effect, which is order-neutral). Used by the
+     * sharded scheduler to compute the next synchronization horizon.
+     */
+    Tick nextEventTick();
+
   private:
     /**
      * Calendar geometry. A bucket covers 2^quantumBits ticks (~4 ns

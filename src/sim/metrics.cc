@@ -1,5 +1,6 @@
 #include "sim/metrics.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -230,6 +231,95 @@ MetricsSampler::json() const
 {
     std::ostringstream os;
     writeJson(os);
+    return os.str();
+}
+
+void
+MetricsSampler::writeMergedJson(
+    const std::vector<const MetricsSampler *> &parts,
+    std::ostream &os)
+{
+    janus_assert(!parts.empty(), "nothing to merge");
+    if (parts.size() == 1) {
+        parts[0]->writeJson(os);
+        return;
+    }
+
+    const MetricsSampler &ref = *parts[0];
+    std::uint64_t dropped = 0;
+    for (const MetricsSampler *p : parts) {
+        janus_assert(p->window_ == ref.window_ &&
+                         p->columns_ == ref.columns_ &&
+                         p->rowStarts_ == ref.rowStarts_,
+                     "shard samplers diverged: every shard must "
+                     "register the same channels and close the same "
+                     "windows");
+        dropped += p->droppedWindows_;
+    }
+
+    char buf[64];
+    auto num = [&buf](double v) -> const char * {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    };
+    os << "{\n  \"schema_version\": 2,\n  \"window_ns\": "
+       << num(ticks::toNsF(ref.window_)) << ",\n  \"columns\": [";
+    for (std::size_t i = 0; i < ref.columns_.size(); ++i)
+        os << (i ? ", " : "") << '"' << ref.columns_[i] << '"';
+    os << "],\n  \"windows\": [\n";
+    for (std::size_t w = 0; w < ref.rows_.size(); ++w) {
+        std::vector<double> row(ref.columns_.size(), 0);
+        for (const Channel &c : ref.channels_) {
+            const std::size_t col = c.column;
+            switch (c.kind) {
+              case Kind::Rate:
+              case Kind::Counter:
+              case Kind::Gauge:
+                for (const MetricsSampler *p : parts)
+                    row[col] += p->rows_[w][col];
+                break;
+              case Kind::Histogram:
+                for (const MetricsSampler *p : parts) {
+                    row[col] += p->rows_[w][col];
+                    row[col + 1] = std::max(row[col + 1],
+                                            p->rows_[w][col + 1]);
+                    row[col + 2] = std::max(row[col + 2],
+                                            p->rows_[w][col + 2]);
+                }
+                break;
+              case Kind::HitRatio: {
+                  // Operand counter channels emit their window delta
+                  // as their own column value; recompute the ratio
+                  // from the summed deltas.
+                  double numr = 0;
+                  double den = 0;
+                  const std::size_t ca = ref.channels_[c.a].column;
+                  const std::size_t cb = ref.channels_[c.b].column;
+                  for (const MetricsSampler *p : parts) {
+                      numr += p->rows_[w][ca];
+                      den += p->rows_[w][ca] + p->rows_[w][cb];
+                  }
+                  row[col] = den > 0 ? numr / den : 0.0;
+                  break;
+              }
+            }
+        }
+        os << "    {\"start_ns\": "
+           << num(ticks::toNsF(ref.rowStarts_[w]))
+           << ", \"values\": [";
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << (i ? ", " : "") << num(row[i]);
+        os << "]}" << (w + 1 < ref.rows_.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n  \"dropped_windows\": " << dropped << "\n}\n";
+}
+
+std::string
+MetricsSampler::mergedJson(
+    const std::vector<const MetricsSampler *> &parts)
+{
+    std::ostringstream os;
+    writeMergedJson(parts, os);
     return os.str();
 }
 

@@ -133,6 +133,25 @@ class MetricsSampler
     /** writeJson into a string. */
     std::string json() const;
 
+    /**
+     * Emit one merged METRICS-schema timeline over several samplers
+     * (one per shard; all must share window width, columns and row
+     * starts — true by construction, every shard registers the same
+     * channels and finishes at the same makespan). A single sampler
+     * is emitted byte-for-byte as its own writeJson. Merge rules per
+     * channel kind: Rate/Counter/Gauge sum, Histogram sums .count
+     * and takes the max of .p50/.p99 (a conservative bound — exact
+     * merge would need the raw buckets), HitRatio is recomputed from
+     * the summed operand deltas.
+     */
+    static void
+    writeMergedJson(const std::vector<const MetricsSampler *> &parts,
+                    std::ostream &os);
+
+    /** writeMergedJson into a string. */
+    static std::string
+    mergedJson(const std::vector<const MetricsSampler *> &parts);
+
   private:
     enum class Kind : std::uint8_t
     {

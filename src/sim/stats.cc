@@ -27,6 +27,22 @@ Average::reset()
     count_ = 0;
 }
 
+void
+Average::merge(const Average &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
 Histogram::Histogram(double lo, double hi, unsigned buckets)
     : lo_(lo), hi_(hi), buckets_(buckets, 0)
 {
@@ -77,6 +93,20 @@ Histogram::quantile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    janus_assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+                     buckets_.size() == other.buckets_.size(),
+                 "histogram merge requires identical shape");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    under_ += other.under_;
+    over_ += other.over_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -105,6 +135,22 @@ TimeWeightedGauge::timeAverage(Tick now) const
     double integral =
         integral_ + cur_ * static_cast<double>(now - last_);
     return integral / static_cast<double>(now);
+}
+
+void
+TimeWeightedGauge::merge(const TimeWeightedGauge &other)
+{
+    // Extend both parts to the later observation end so their
+    // integrals cover the same window, then add them.
+    Tick end = std::max(last_, other.last_);
+    double mine =
+        integral_ + cur_ * static_cast<double>(end - last_);
+    double theirs = other.integral_ +
+                    other.cur_ * static_cast<double>(end - other.last_);
+    integral_ = mine + theirs;
+    last_ = end;
+    cur_ += other.cur_;
+    max_ += other.max_;
 }
 
 void
@@ -189,6 +235,24 @@ StatGroup::dumpJson(std::ostream &os) const
         first = false;
     }
     os << '}';
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[stat, s] : other.scalars_)
+        scalars_[stat] += s.value();
+    for (const auto &[stat, a] : other.averages_)
+        averages_[stat].merge(a);
+    for (const auto &[stat, h] : other.histograms_) {
+        auto it = histograms_.find(stat);
+        if (it == histograms_.end())
+            histograms_.emplace(stat, h);
+        else
+            it->second.merge(h);
+    }
+    for (const auto &[stat, g] : other.gauges_)
+        gauges_[stat].merge(g);
 }
 
 void

@@ -53,6 +53,13 @@ class Average
     double sum() const { return sum_; }
     void reset();
 
+    /**
+     * Fold another Average into this one: counts and sums add,
+     * min/max fold. Deterministic for a fixed merge order (the
+     * callers merge shards in shard-index order).
+     */
+    void merge(const Average &other);
+
   private:
     double sum_ = 0;
     double min_ = 0;
@@ -93,6 +100,16 @@ class Histogram
 
     void reset();
 
+    /**
+     * Fold another Histogram of the identical shape (lo, hi, bucket
+     * count — asserted) into this one: per-bucket counts, under/over
+     * counts, count and sum all add. Integer bucket counts make the
+     * merged quantiles independent of merge order; only sum_ is
+     * floating point, and the callers merge shards in shard-index
+     * order so the dump stays byte-stable.
+     */
+    void merge(const Histogram &other);
+
   private:
     double lo_, hi_;
     std::vector<std::uint64_t> buckets_;
@@ -124,6 +141,17 @@ class TimeWeightedGauge
     double timeAverage() const { return timeAverage(last_); }
 
     void reset();
+
+    /**
+     * Fold another gauge into this one as if the two tracked
+     * disjoint resources of one larger pool: integrals and current
+     * values add, the observation window extends to the later
+     * lastUpdate (max-by-time). max() becomes the sum of the
+     * per-part maxima — an upper bound on the true combined peak,
+     * since the parts need not peak at the same tick; exact when
+     * there is a single part (shards=1).
+     */
+    void merge(const TimeWeightedGauge &other);
 
   private:
     double cur_ = 0;
@@ -173,6 +201,15 @@ class StatGroup
 
     /** Reset every stat in the group. */
     void reset();
+
+    /**
+     * Fold another group's stats into this one, matching stats by
+     * name: scalars add, averages/histograms merge per their own
+     * merge(), gauges merge max-by-time. Stats present only in
+     * @p other are copied in. Deterministic: no floating-point
+     * reassociation beyond the fixed caller-supplied merge order.
+     */
+    void merge(const StatGroup &other);
 
     const std::map<std::string, Scalar> &scalars() const
     {

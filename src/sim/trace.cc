@@ -145,6 +145,82 @@ Tracer::chromeJson() const
     return os.str();
 }
 
+void
+writeMergedChromeJson(const std::vector<const Tracer *> &tracers,
+                      std::ostream &os)
+{
+    if (tracers.size() == 1) {
+        tracers[0]->writeChromeJson(os);
+        return;
+    }
+
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    // Per-shard track-id offsets so every (shard, track) pair gets a
+    // unique tid; tracks are announced per shard with an "s<k>."
+    // prefix.
+    std::vector<std::size_t> tidBase(tracers.size(), 0);
+    std::size_t nextTid = 0;
+    for (std::size_t k = 0; k < tracers.size(); ++k) {
+        const Tracer &tr = *tracers[k];
+        tidBase[k] = nextTid;
+        for (std::size_t t = 0; t < tr.trackCount(); ++t) {
+            sep();
+            os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": "
+               << nextTid++ << ", \"name\": \"thread_name\", "
+               << "\"args\": {\"name\": \"s" << k << "."
+               << jsonEscape(
+                      tr.trackName(static_cast<TraceId>(t)))
+               << "\"}}";
+        }
+    }
+
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    for (std::size_t k = 0; k < tracers.size(); ++k) {
+        const Tracer &tr = *tracers[k];
+        recorded += tr.recorded();
+        dropped += tr.dropped();
+        for (std::size_t i = 0; i < tr.size(); ++i) {
+            const TraceEvent &e = tr.event(i);
+            sep();
+            os << "{\"ph\": \"" << (e.end > e.start ? 'X' : 'i')
+               << "\", \"pid\": 0, \"tid\": "
+               << tidBase[k] + e.track
+               << ", \"ts\": " << ticksToUs(e.start);
+            if (e.end > e.start)
+                os << ", \"dur\": " << ticksToUs(e.end - e.start);
+            else
+                os << ", \"s\": \"t\"";
+            os << ", \"name\": \""
+               << jsonEscape(tr.labelName(e.label)) << "\"";
+            if (e.addr != 0) {
+                char buf[24];
+                std::snprintf(
+                    buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(e.addr));
+                os << ", \"args\": {\"addr\": \"" << buf << "\"}";
+            }
+            os << "}";
+        }
+    }
+    os << "\n], \"otherData\": {\"recorded\": " << recorded
+       << ", \"dropped\": " << dropped << "}}\n";
+}
+
+std::string
+mergedChromeJson(const std::vector<const Tracer *> &tracers)
+{
+    std::ostringstream os;
+    writeMergedChromeJson(tracers, os);
+    return os.str();
+}
+
 bool
 traceEnvEnabled()
 {

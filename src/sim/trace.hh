@@ -122,6 +122,9 @@ class Tracer
     /** i-th retained event, oldest first (0 <= i < size()). */
     const TraceEvent &event(std::size_t i) const;
 
+    /** Number of interned tracks. */
+    std::size_t trackCount() const { return trackNames_.size(); }
+
     const std::string &trackName(TraceId id) const
     {
         return trackNames_.at(id);
@@ -174,6 +177,21 @@ class Tracer
 /** @return true if the JANUS_TRACE environment variable requests
  *  tracing (set and not "0"). */
 bool traceEnvEnabled();
+
+/**
+ * Write one Chrome trace-event JSON merging several tracers (one per
+ * shard of a sharded system). A single tracer is emitted byte-for-
+ * byte as its own writeChromeJson (the serial path stays golden);
+ * with several, tracer k's tracks are prefixed "s<k>." and given
+ * distinct tids, events are concatenated in shard order, and
+ * recorded/dropped are summed. Deterministic for deterministic
+ * inputs.
+ */
+void writeMergedChromeJson(const std::vector<const Tracer *> &tracers,
+                           std::ostream &os);
+
+/** writeMergedChromeJson into a string. */
+std::string mergedChromeJson(const std::vector<const Tracer *> &tracers);
 
 } // namespace janus
 

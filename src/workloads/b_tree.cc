@@ -218,7 +218,7 @@ BTreeWorkload::setupCore(unsigned core, NvmSystem &system)
     tree.history.clear();
     tree.occupancy.assign(numLeaves, 0);
 
-    RegionAllocator &alloc = system.allocator();
+    RegionAllocator &alloc = system.allocatorFor(core);
     tree.root = alloc.alloc(2 * lineBytes);
     tree.mids = alloc.alloc(fanout * 2 * lineBytes);
     tree.leaves = alloc.alloc(numLeaves * leaf_bytes);

@@ -107,7 +107,7 @@ HashTableWorkload::setupCore(unsigned core, NvmSystem &system)
     mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
     mem.writeWord(cs.ctx + ctx::param2, buckets_ - 1);
 
-    Addr nodes = system.allocator().alloc(keys_ * node_bytes);
+    Addr nodes = system.allocatorFor(core).alloc(keys_ * node_bytes);
     warmRegion(system, core, nodes, keys_ * node_bytes);
     if (mirror_.size() <= core) {
         mirror_.resize(core + 1);

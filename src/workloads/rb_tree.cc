@@ -364,7 +364,7 @@ RbTreeWorkload::setupCore(unsigned core, NvmSystem &system)
     SparseMemory &mem = system.mem();
     mem.writeWord(cs.ctx + ctx::param1, params_.valueBytes);
     mem.writeWord(cs.ctx + ctx::param2, node_bytes);
-    Addr pool = system.allocator().alloc(
+    Addr pool = system.allocatorFor(core).alloc(
         (params_.txnsPerCore + 4) * node_bytes);
     warmRegion(system, core, pool,
                (params_.txnsPerCore + 4) * node_bytes);

@@ -93,7 +93,7 @@ TpccWorkload::next(unsigned core, SparseMemory &mem, std::string &fn,
     --cs.txnsLeft;
     std::uint64_t cust = cs.rng.below(3000);
     Addr src = stageValues(core, mem, orderLines);
-    mirror_[core].push_back(Order{cust, lastValueSeeds()});
+    mirror_[core].push_back(Order{cust, lastValueSeeds(core)});
     fn = "tpcc_neworder";
     args = {cs.ctx, cust, src};
     return true;

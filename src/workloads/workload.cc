@@ -24,7 +24,9 @@ Workload::allocCommon(unsigned core, NvmSystem &system, Addr heap_bytes,
     if (cores_.size() <= core)
         cores_.resize(core + 1);
     CoreState &cs = cores_[core];
-    RegionAllocator &alloc = system.allocator();
+    // Draw from the core's shard-affine stripe (identical to the
+    // global heap on single-shard or line-interleaved machines).
+    RegionAllocator &alloc = system.allocatorFor(core);
     SparseMemory &mem = system.mem();
 
     if (log_bytes == 0)
@@ -114,11 +116,11 @@ Addr
 Workload::stageValues(unsigned core, SparseMemory &mem, unsigned count)
 {
     CoreState &cs = cores_.at(core);
-    lastSeeds_.clear();
+    cs.lastSeeds.clear();
     for (unsigned i = 0; i < count; ++i) {
         std::uint64_t seed = nextSeed(core);
         writeValue(mem, cs.pool + i * params_.valueBytes, seed);
-        lastSeeds_.push_back(seed);
+        cs.lastSeeds.push_back(seed);
     }
     return cs.pool;
 }

@@ -97,6 +97,9 @@ class Workload
         /** Recently staged value seeds (duplication source). */
         std::vector<std::uint64_t> history;
         std::uint64_t uniqueCounter = 0;
+        /** Seeds staged by this core's last stageValues() call.
+         *  Per-core so concurrent shard workers never share it. */
+        std::vector<std::uint64_t> lastSeeds;
     };
 
     /**
@@ -123,14 +126,14 @@ class Workload
     /**
      * Stage @p count consecutive value payloads into the pool slot
      * (the pool region must be sized accordingly).
-     * @return the pool base; seeds are in lastValueSeeds().
+     * @return the pool base; seeds are in lastValueSeeds(core).
      */
     Addr stageValues(unsigned core, SparseMemory &mem, unsigned count);
 
-    /** Seeds staged by the last stageValues() call. */
-    const std::vector<std::uint64_t> &lastValueSeeds() const
+    /** Seeds staged by the core's last stageValues() call. */
+    const std::vector<std::uint64_t> &lastValueSeeds(unsigned core) const
     {
-        return lastSeeds_;
+        return cores_.at(core).lastSeeds;
     }
 
     /** Draw the next value seed (honors the duplicate ratio). */
@@ -154,7 +157,6 @@ class Workload
 
     WorkloadParams params_;
     std::vector<CoreState> cores_;
-    std::vector<std::uint64_t> lastSeeds_;
 };
 
 /** Factory: build one of the seven workloads by Table 4 name

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Sharded multi-channel scale-out tests: router address map, stats
+ * merging, and — the core determinism contract — byte-identical
+ * simulation results at every shard count regardless of scheduler
+ * thread count, with workload validation passing throughout.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/sharding.hh"
+#include "harness/system.hh"
+#include "sim/stats.hh"
+#include "txn/undo_log.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+// --- ShardRouter ----------------------------------------------------
+
+TEST(ShardRouter, SingleShardHomesEverything)
+{
+    ShardRouter r(1, ShardRouterPolicy::LineInterleave, 1 << 20,
+                  1 << 26);
+    EXPECT_EQ(r.homeShard(0), 0u);
+    EXPECT_EQ(r.homeShard(1 << 22), 0u);
+    EXPECT_EQ(r.homeShard(~Addr(0) - lineBytes), 0u);
+}
+
+TEST(ShardRouter, LineInterleaveRoundRobinsByLine)
+{
+    ShardRouter r(4, ShardRouterPolicy::LineInterleave, 1 << 20,
+                  1 << 26);
+    for (Addr line = 0; line < 64; ++line) {
+        const Addr addr = line * lineBytes;
+        EXPECT_EQ(r.homeShard(addr), line % 4);
+        // Every byte of a line homes with the line.
+        EXPECT_EQ(r.homeShard(addr + lineBytes - 1), line % 4);
+    }
+}
+
+TEST(ShardRouter, RegionAffineStripesTheHeap)
+{
+    const Addr base = 1 << 20, bytes = 1 << 26;
+    ShardRouter r(4, ShardRouterPolicy::RegionAffine, base, bytes);
+    EXPECT_EQ(r.stripeBytes(), (bytes / 4) & ~Addr(lineBytes - 1));
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_EQ(r.stripeBase(s), base + s * r.stripeBytes());
+        EXPECT_EQ(r.homeShard(r.stripeBase(s)), s);
+        EXPECT_EQ(
+            r.homeShard(r.stripeBase(s) + r.stripeBytes() - 1), s);
+    }
+    // Below the heap -> shard 0; beyond the last stripe -> clamped.
+    EXPECT_EQ(r.homeShard(0), 0u);
+    EXPECT_EQ(r.homeShard(base + bytes + lineBytes), 3u);
+}
+
+// --- stats merging --------------------------------------------------
+
+TEST(StatsMerge, AverageOfOnePartIsIdentity)
+{
+    Average a;
+    a.sample(3.0);
+    a.sample(5.0);
+    Average merged;
+    merged.merge(a);
+    EXPECT_EQ(merged.count(), a.count());
+    EXPECT_EQ(merged.mean(), a.mean());
+}
+
+TEST(StatsMerge, AverageCombinesSumsAndExtrema)
+{
+    Average a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    b.sample(5.0);
+    Average m = a;
+    m.merge(b);
+    EXPECT_EQ(m.count(), 3u);
+    EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+}
+
+TEST(StatsMerge, HistogramAddsBucketwise)
+{
+    Histogram a(0, 10, 10), b(0, 10, 10);
+    a.sample(1.5);
+    a.sample(2.5);
+    b.sample(2.5);
+    b.sample(9.5);
+    Histogram m = a;
+    m.merge(b);
+    EXPECT_EQ(m.count(), 4u);
+    // Quantiles come from the merged buckets.
+    Histogram all(0, 10, 10);
+    all.sample(1.5);
+    all.sample(2.5);
+    all.sample(2.5);
+    all.sample(9.5);
+    EXPECT_EQ(m.quantile(0.5), all.quantile(0.5));
+    EXPECT_EQ(m.quantile(0.99), all.quantile(0.99));
+}
+
+TEST(StatsMerge, GaugeMergesAsDisjointPool)
+{
+    TimeWeightedGauge a, b;
+    a.set(2.0, 100);
+    b.set(4.0, 200);
+    TimeWeightedGauge m = a;
+    m.merge(b);
+    EXPECT_EQ(m.lastUpdate(), 200u);
+    EXPECT_DOUBLE_EQ(m.current(), 6.0);
+    // Sum of per-part maxima (upper bound on the combined peak).
+    EXPECT_DOUBLE_EQ(m.max(), 6.0);
+}
+
+TEST(StatsMerge, StatGroupMergesByName)
+{
+    StatGroup a("mc"), b("mc");
+    a.scalar("writes").set(10);
+    b.scalar("writes").set(32);
+    a.average("lat").sample(4.0);
+    b.average("lat").sample(8.0);
+    b.scalar("onlyInB").set(7);
+    a.merge(b);
+    std::ostringstream os;
+    a.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("mc.writes 42"), std::string::npos);
+    EXPECT_NE(out.find("mc.lat.mean 6"), std::string::npos);
+    EXPECT_NE(out.find("mc.onlyInB 7"), std::string::npos);
+}
+
+// --- sharded system determinism -------------------------------------
+
+struct RunDigest
+{
+    Tick makespan = 0;
+    std::string statsJson;
+    std::uint64_t memHash = 0;
+    std::uint64_t messages = 0;
+};
+
+RunDigest
+runSharded(const std::string &workload_name, unsigned cores,
+           unsigned shards, unsigned threads,
+           ShardRouterPolicy policy)
+{
+    WorkloadParams params;
+    params.txnsPerCore = 25;
+    auto workload = makeWorkload(workload_name, params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+
+    SystemConfig config;
+    config.mode = WritePathMode::Janus;
+    config.cores = cores;
+    config.shards = shards;
+    config.shardThreads = threads;
+    config.shardPolicy = policy;
+    NvmSystem system(config, module);
+    std::vector<TxnSource> sources;
+    for (unsigned c = 0; c < cores; ++c) {
+        workload->setupCore(c, system);
+        sources.push_back(workload->source(c, system));
+    }
+
+    RunDigest d;
+    d.makespan = system.run(std::move(sources));
+    // Functional correctness at every shard count.
+    for (unsigned c = 0; c < cores; ++c)
+        workload->validate(system.mem(), c);
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+    d.statsJson = os.str();
+    d.memHash = system.mem().contentHash();
+    d.messages = system.crossShardMessages();
+    return d;
+}
+
+class ShardDeterminism
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** Thread count may only change wall time: for every shard count,
+ *  1 scheduler thread and 4 scheduler threads must produce
+ *  byte-identical stats dumps, identical memory images and
+ *  identical makespans. */
+TEST_P(ShardDeterminism, ThreadCountInvariantAffine)
+{
+    const std::string w = GetParam();
+    for (unsigned shards : {1u, 2u, 4u}) {
+        RunDigest t1 = runSharded(w, 4, shards, 1,
+                                  ShardRouterPolicy::RegionAffine);
+        RunDigest t4 = runSharded(w, 4, shards, 4,
+                                  ShardRouterPolicy::RegionAffine);
+        EXPECT_EQ(t1.makespan, t4.makespan)
+            << w << " shards=" << shards;
+        EXPECT_EQ(t1.statsJson, t4.statsJson)
+            << w << " shards=" << shards;
+        EXPECT_EQ(t1.memHash, t4.memHash)
+            << w << " shards=" << shards;
+        EXPECT_EQ(t1.messages, t4.messages)
+            << w << " shards=" << shards;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ShardDeterminism,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+/** Line interleaving routes most persists to remote shards, so this
+ *  exercises the cross-shard mailbox protocol (persist forwarding,
+ *  acks, fence park/resume) under real concurrency. */
+TEST(ShardDeterminismInterleave, ThreadCountInvariant)
+{
+    for (const char *w : {"array_swap", "hash_table"}) {
+        for (unsigned shards : {2u, 4u}) {
+            RunDigest t1 = runSharded(
+                w, 4, shards, 1, ShardRouterPolicy::LineInterleave);
+            RunDigest t4 = runSharded(
+                w, 4, shards, 4, ShardRouterPolicy::LineInterleave);
+            EXPECT_EQ(t1.makespan, t4.makespan)
+                << w << " shards=" << shards;
+            EXPECT_EQ(t1.statsJson, t4.statsJson)
+                << w << " shards=" << shards;
+            EXPECT_EQ(t1.memHash, t4.memHash)
+                << w << " shards=" << shards;
+            // Interleaved persists really do cross shards.
+            EXPECT_GT(t1.messages, 0u) << w << " shards=" << shards;
+        }
+    }
+}
+
+/** shards=1 through the sharded plumbing must be byte-identical to
+ *  the classic machine (same config, no sharding fields set). */
+TEST(ShardBaseline, SingleShardMatchesClassicMachine)
+{
+    RunDigest sharded = runSharded(
+        "tatp", 2, 1, 1, ShardRouterPolicy::RegionAffine);
+
+    WorkloadParams params;
+    params.txnsPerCore = 25;
+    auto workload = makeWorkload("tatp", params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+    SystemConfig config;
+    config.mode = WritePathMode::Janus;
+    config.cores = 2;
+    NvmSystem system(config, module);
+    std::vector<TxnSource> sources;
+    for (unsigned c = 0; c < 2; ++c) {
+        workload->setupCore(c, system);
+        sources.push_back(workload->source(c, system));
+    }
+    Tick makespan = system.run(std::move(sources));
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+
+    EXPECT_EQ(sharded.makespan, makespan);
+    EXPECT_EQ(sharded.statsJson, os.str());
+    EXPECT_EQ(sharded.memHash, system.mem().contentHash());
+    EXPECT_EQ(sharded.messages, 0u);
+}
+
+/** The per-shard stat groups merge into the classic schema: the
+ *  sharded dump exposes the same groups and stat names at every
+ *  shard count. */
+TEST(ShardStats, SchemaIdenticalAcrossShardCounts)
+{
+    RunDigest s1 = runSharded("hash_table", 4, 1, 1,
+                              ShardRouterPolicy::RegionAffine);
+    RunDigest s4 = runSharded("hash_table", 4, 4, 4,
+                              ShardRouterPolicy::RegionAffine);
+    // Same JSON keys: strip values by comparing the sorted set of
+    // lines up to the ':' separators.
+    auto keysOf = [](const std::string &json) {
+        std::vector<std::string> keys;
+        std::istringstream is(json);
+        std::string line;
+        while (std::getline(is, line)) {
+            auto colon = line.find("\":");
+            if (colon != std::string::npos)
+                keys.push_back(line.substr(0, colon));
+        }
+        return keys;
+    };
+    EXPECT_EQ(keysOf(s1.statsJson), keysOf(s4.statsJson));
+}
+
+TEST(ShardRunner, WorkerCountDefaultsToOne)
+{
+    EXPECT_GE(activeExperimentWorkers(), 1u);
+}
+
+} // namespace
+} // namespace janus
