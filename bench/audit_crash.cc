@@ -24,12 +24,16 @@
  *                     aggressive seeded fault campaign during the
  *                     audited run, so recovery is validated with
  *                     retries and bad-line remaps live (default off)
+ *   --group-commit=K  controller-side group commit batch size for
+ *                     the audited run; WAL workloads also fence
+ *                     every K records (default 0 = off)
  *   --out=FILE        report path          (default AUDIT_crash.json)
  *   --replay=T:S      re-simulate one crash at tick T with seed S
  *                     twice and check the durable images are
  *                     bit-identical (requires one --workloads= name)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +61,7 @@ struct DriverFlags
     std::uint64_t seed = 1;
     unsigned inject = 32;
     bool faults = false;
+    unsigned groupCommitK = 0;
     std::string out = "AUDIT_crash.json";
     bool replay = false;
     Tick replayTick = 0;
@@ -129,6 +134,9 @@ parseFlags(int argc, char **argv)
                 flags.faults = false;
             else
                 panic("unknown --faults=%s (want on|off)", v);
+        } else if (const char *v = has("--group-commit=")) {
+            flags.groupCommitK =
+                static_cast<unsigned>(parseU64(arg, v));
         } else if (const char *v = has("--out=")) {
             flags.out = v;
         } else if (const char *v = has("--replay=")) {
@@ -160,6 +168,8 @@ makeConfig(const DriverFlags &flags, const std::string &workload,
     config.samplePoints = sample;
     config.sampleSeed = flags.seed;
     config.injectionTrials = flags.inject;
+    config.groupCommitK = flags.groupCommitK;
+    config.walGroup = std::max(1u, flags.groupCommitK);
     if (flags.faults) {
         // Aggressive seeded campaign: high enough rates that retries
         // and bad-line remaps actually fire during the audited run,
@@ -230,11 +240,15 @@ main(int argc, char **argv)
                 jobs.push_back(Job{w, mode, flags.sample});
     } else {
         // Acceptance matrix: exhaustive on the two small-footprint
-        // workloads, sampled everywhere.
+        // workloads, sampled everywhere — including the WAL
+        // appender family, whose recovery truncates torn log tails
+        // instead of rolling an undo log back.
         for (WritePathMode mode : flags.modes) {
             jobs.push_back(Job{"array_swap", mode, 0});
             jobs.push_back(Job{"queue", mode, 0});
             for (const std::string &w : allWorkloadNames())
+                jobs.push_back(Job{w, mode, flags.sample});
+            for (const std::string &w : walWorkloadNames())
                 jobs.push_back(Job{w, mode, flags.sample});
         }
     }

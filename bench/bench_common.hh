@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,6 +68,10 @@ struct RunSpec
     unsigned shardThreads = 0;
     /** Address -> home-shard map. */
     ShardRouterPolicy shardPolicy = ShardRouterPolicy::LineInterleave;
+    /** Controller-side group commit batch size (0/1 = off). */
+    unsigned groupCommitK = 0;
+    /** WAL workloads: fence every G appended records. */
+    unsigned walGroup = 1;
 };
 
 inline ExperimentConfig
@@ -86,11 +91,13 @@ toConfig(const RunSpec &spec)
     config.sys.shards = spec.shards;
     config.sys.shardThreads = spec.shardThreads;
     config.sys.shardPolicy = spec.shardPolicy;
+    config.sys.groupCommitK = spec.groupCommitK;
     config.instr = spec.instr;
     config.workload.txnsPerCore = spec.txnsPerCore;
     config.workload.valueBytes = spec.valueBytes;
     config.workload.dupRatio = spec.dupRatio;
     config.workload.seed = spec.seed;
+    config.workload.walGroup = spec.walGroup;
     return config;
 }
 
@@ -143,6 +150,18 @@ parseCountFlag(const char *text, const char *flag)
 }
 
 /**
+ * One bench-specific flag. A trailing '=' in the name means the flag
+ * takes a value ("--points="); otherwise it is a bare switch
+ * ("--smoke"). The handler receives the value text ("" for
+ * switches).
+ */
+struct BenchFlag
+{
+    const char *name;
+    std::function<void(const char *)> handler;
+};
+
+/**
  * Parse the command-line flags every bench binary accepts:
  *   --seed=N           override every experiment's workload seed
  *                      (wins over JANUS_SEED)
@@ -151,12 +170,30 @@ parseCountFlag(const char *text, const char *flag)
  *   --shard-threads=N  shard-scheduler worker threads (wall time
  *                      only; results never depend on it)
  *   --shard-policy=P   address map: "interleave" or "affine"
- * The effective seed of each experiment lands in BENCH_<name>.json,
- * so any bench run is replayable from its report alone.
+ * plus each entry of @p extra (so benches declare their own flags as
+ * a table instead of hand-rolling an argv loop). The effective seed
+ * of each experiment lands in BENCH_<name>.json, so any bench run is
+ * replayable from its report alone.
  */
 inline void
-parseBenchFlags(int argc, char **argv)
+parseBenchFlags(int argc, char **argv,
+                const std::vector<BenchFlag> &extra = {})
 {
+    auto matchExtra = [&extra](const char *arg) {
+        for (const BenchFlag &flag : extra) {
+            std::size_t n = std::strlen(flag.name);
+            if (flag.name[n - 1] == '=') {
+                if (std::strncmp(arg, flag.name, n) == 0) {
+                    flag.handler(arg + n);
+                    return true;
+                }
+            } else if (std::strcmp(arg, flag.name) == 0) {
+                flag.handler("");
+                return true;
+            }
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--seed=", 7) == 0) {
@@ -178,11 +215,18 @@ parseBenchFlags(int argc, char **argv)
                 panic("malformed --shard-policy='%s' (expected "
                       "'interleave' or 'affine')",
                       p);
-        } else {
-            panic("unknown argument '%s' (supported: --seed=N, "
-                  "--shards=N, --shard-threads=N, "
-                  "--shard-policy=interleave|affine)",
-                  arg);
+        } else if (!matchExtra(arg)) {
+            std::string supported =
+                "--seed=N, --shards=N, --shard-threads=N, "
+                "--shard-policy=interleave|affine";
+            for (const BenchFlag &flag : extra) {
+                supported += ", ";
+                supported += flag.name;
+                if (flag.name[std::strlen(flag.name) - 1] == '=')
+                    supported += "...";
+            }
+            panic("unknown argument '%s' (supported: %s)", arg,
+                  supported.c_str());
         }
     }
 }

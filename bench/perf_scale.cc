@@ -34,27 +34,13 @@ main(int argc, char **argv)
 
     bool smoke = false;
     bool gate = false;
-    ShardRouterPolicy policy = ShardRouterPolicy::RegionAffine;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strcmp(arg, "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(arg, "--gate") == 0) {
-            gate = true;
-        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-            setSeedOverride(parseSeedLiteral(arg + 7, "--seed"));
-        } else if (std::strcmp(arg, "--shard-policy=interleave") ==
-                   0) {
-            policy = ShardRouterPolicy::LineInterleave;
-        } else if (std::strcmp(arg, "--shard-policy=affine") == 0) {
-            policy = ShardRouterPolicy::RegionAffine;
-        } else {
-            panic("unknown argument '%s' (supported: --smoke, "
-                  "--gate, --seed=N, "
-                  "--shard-policy=interleave|affine)",
-                  arg);
-        }
-    }
+    // Default to the shard-local address map (--shard-policy= still
+    // overrides it through the common flag).
+    const ShardRouterPolicy policy = ShardRouterPolicy::RegionAffine;
+    parseBenchFlags(
+        argc, argv,
+        {{"--smoke", [&smoke](const char *) { smoke = true; }},
+         {"--gate", [&gate](const char *) { gate = true; }}});
     setQuiet(true);
 
     struct Cell

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * perf_wal: write-ahead-log appender sweep — the headline artifact
+ * of the WAL engine + controller-side group commit. Sweeps the four
+ * log-writer variants (see log/log_writer.hh) across group-commit
+ * batch sizes K and record payload sizes, with the workload fencing
+ * every K records (walGroup == K), and reports append throughput
+ * plus per-cell p50/p99 durability latency as BENCH_wal.json.
+ *
+ *   perf_wal [--smoke] [--gate] [--seed=N] [--shards=N]
+ *            [--shard-threads=N] [--shard-policy=P]
+ *
+ *   --smoke  tiny matrix (CI: two variants, K {1,8})
+ *   --gate   exit 1 unless some variant's K=32 throughput is
+ *            >= 2x its K=1 throughput (64 B records)
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace janus;
+    using namespace janus::bench;
+
+    bool smoke = false;
+    bool gate = false;
+    parseBenchFlags(
+        argc, argv,
+        {{"--smoke", [&smoke](const char *) { smoke = true; }},
+         {"--gate", [&gate](const char *) { gate = true; }}});
+    setQuiet(true);
+
+    const std::vector<std::string> variants =
+        smoke ? std::vector<std::string>{"wal_classic",
+                                         "wal_header_dancing"}
+              : walWorkloadNames();
+    const std::vector<unsigned> batch =
+        smoke ? std::vector<unsigned>{1, 8}
+              : std::vector<unsigned>{1, 8, 32};
+    const std::vector<std::uint64_t> sizes =
+        smoke ? std::vector<std::uint64_t>{64}
+              : std::vector<std::uint64_t>{64, 256};
+    const unsigned cores = 4;
+    const unsigned txns = smoke ? 60 : 600;
+
+    BenchRunner bench("wal");
+    // idx[variant][size][k]
+    std::vector<std::vector<std::vector<std::size_t>>> idx(
+        variants.size(),
+        std::vector<std::vector<std::size_t>>(
+            sizes.size(), std::vector<std::size_t>(batch.size())));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            for (std::size_t k = 0; k < batch.size(); ++k) {
+                RunSpec spec;
+                spec.workload = variants[v];
+                spec.mode = WritePathMode::Janus;
+                // No manual PRE_*: a deep unfenced append burst
+                // floods the pre-execution queues (4 cores x K
+                // records x 2 PRE objects each), and the resulting
+                // aged-out/dropped storm dominates the BMO stage —
+                // see EXPERIMENTS.md. The fence-amortization study
+                // wants the demand path.
+                spec.instr = Instrumentation::None;
+                spec.cores = cores;
+                spec.txnsPerCore = txns;
+                spec.valueBytes = sizes[s];
+                spec.groupCommitK = batch[k];
+                spec.walGroup = batch[k];
+                idx[v][s][k] = bench.add(
+                    variants[v] + "@k" + std::to_string(batch[k]) +
+                        "b" + std::to_string(sizes[s]),
+                    spec);
+            }
+        }
+    }
+    bench.runAll();
+
+    // Append throughput (million records per simulated second) and
+    // the amortization ratio of each K over fence-per-record.
+    std::vector<std::string> cols;
+    for (unsigned k : batch)
+        cols.push_back("k" + std::to_string(k));
+    auto recsPerSec = [&](const ExperimentResult &r) {
+        const double ns = ticks::toNsF(r.makespan);
+        return ns > 0 ? double(cores) * txns * 1e9 / ns : 0.0;
+    };
+    double best_speedup = 0.0;
+    std::string best_cell;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        printHeader(("perf_wal: Mrecords/s, " +
+                     std::to_string(sizes[s]) + " B records")
+                        .c_str(),
+                    cols);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            std::vector<double> row;
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                row.push_back(
+                    recsPerSec(bench.result(idx[v][s][k])) / 1e6);
+            printRow(variants[v], row, " %10.3f");
+        }
+        printHeader(("perf_wal: speedup vs k1, " +
+                     std::to_string(sizes[s]) + " B records")
+                        .c_str(),
+                    cols);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const double base =
+                recsPerSec(bench.result(idx[v][s][0]));
+            std::vector<double> row;
+            for (std::size_t k = 0; k < batch.size(); ++k) {
+                const double speedup =
+                    base > 0
+                        ? recsPerSec(bench.result(idx[v][s][k])) /
+                              base
+                        : 0.0;
+                row.push_back(speedup);
+                if (sizes[s] == 64 && speedup > best_speedup) {
+                    best_speedup = speedup;
+                    best_cell = variants[v] + "@k" +
+                                std::to_string(batch[k]);
+                }
+            }
+            printRow(variants[v], row);
+        }
+    }
+
+    bench.writeJson();
+
+    if (gate) {
+        if (best_speedup < 2.0) {
+            std::printf("WAL-GATE FAIL: best amortization %.2fx "
+                        "(%s); need >= 2x over fence-per-record\n",
+                        best_speedup, best_cell.c_str());
+            return 1;
+        }
+        std::printf("WAL-GATE PASS: %.2fx at %s\n", best_speedup,
+                    best_cell.c_str());
+    }
+    return 0;
+}

@@ -502,6 +502,13 @@ TimingCore::execute(const Instr &instr)
               remoteMax_ = 0;
               have_persists = true;
           }
+          if (have_persists && mc_.groupCommitOn()) {
+              // Deferred persists carry provisional FIFO ticks: the
+              // fence flushes the open batch and waits for this
+              // stream's batch retire instead.
+              latest = std::max(latest,
+                                mc_.groupCommitFence(coreId_));
+          }
           if (have_persists) {
               // The fence retires once every outstanding persist is
               // durable: a crash boundary for the fault subsystem.

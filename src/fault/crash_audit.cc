@@ -49,6 +49,7 @@ executeRun(const AuditConfig &config, AuditRun &run)
     WorkloadParams params;
     params.txnsPerCore = config.txnsPerCore;
     params.seed = config.seed;
+    params.walGroup = config.walGroup;
     run.workload = makeWorkload(config.workload, params);
 
     buildTxnLibrary(run.module);
@@ -59,6 +60,7 @@ executeRun(const AuditConfig &config, AuditRun &run)
     sys.mode = config.mode;
     sys.cores = 1;
     sys.resilience = config.resilience;
+    sys.groupCommitK = config.groupCommitK;
     run.system = std::make_unique<NvmSystem>(sys, run.module);
     run.system->mc().enableJournal();
     run.workload->setupCore(0, *run.system);
@@ -289,14 +291,13 @@ runCrashAudit(const AuditConfig &config)
     mc.notifyRecovery();
 
     PersistentImageBuilder builder(run.initial, mc.journal());
-    const Addr log_base = run.workload->logBase(0);
     SparseMemory crashed;
     for (const CrashPoint &p : points) {
         crashed.copyFrom(builder.imageAt(p.journalPrefix));
         ScopedPanicCapture capture;
         try {
             report.rollbacks +=
-                recoverUndoLog(crashed, log_base) > 0;
+                run.workload->recover(crashed, 0) > 0;
             run.workload->validateRecovered(crashed, 0);
         } catch (const PanicError &e) {
             report.failures.push_back(AuditFailure{
@@ -311,7 +312,7 @@ runCrashAudit(const AuditConfig &config)
     {
         ScopedPanicCapture capture;
         try {
-            recoverUndoLog(final_image, log_base);
+            run.workload->recover(final_image, 0);
             run.workload->validateRecovered(final_image, 0);
         } catch (const PanicError &e) {
             report.failures.push_back(AuditFailure{
@@ -361,8 +362,7 @@ replayCrashPoint(const AuditConfig &config, Tick tick)
 
     ScopedPanicCapture capture;
     try {
-        result.rollbacks =
-            recoverUndoLog(image, run.workload->logBase(0));
+        result.rollbacks = run.workload->recover(image, 0);
         run.workload->validateRecovered(image, 0);
         result.recovered = true;
     } catch (const PanicError &e) {

@@ -44,6 +44,11 @@ struct AuditConfig
     /** Online resilience layer for the audited run (--faults=on):
      *  crash recovery must hold with retries/remaps live. */
     ResilienceConfig resilience;
+    /** Controller-side group commit for the audited run (0/1 =
+     *  off): recovery must hold when persists retire in batches. */
+    unsigned groupCommitK = 0;
+    /** WAL workloads: fence every G records (see WorkloadParams). */
+    unsigned walGroup = 1;
 };
 
 /** One crash point whose recovered image failed validation. */

@@ -70,6 +70,13 @@ struct SystemConfig
     bool metrics = false;
     /** Metrics window width in ticks. */
     Tick metricsWindowTicks = 10 * ticks::us;
+    /** Controller-side group commit: each channel parks up to K
+     *  pending persists and retires them in one batched ordering
+     *  round (see MemCtrlConfig::groupCommitK). 0 or 1 = off, the
+     *  bit-identical classic path. */
+    unsigned groupCommitK = 0;
+    /** Deadline for a non-full group-commit batch. */
+    Tick groupCommitTimeoutTicks = 2 * ticks::us;
 
     // --- sharded multi-channel scale-out --------------------------
     /** Memory channels (shards); 1 = the classic serial machine. */

@@ -1,0 +1,265 @@
+#include "log/log_writer.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+const char *
+logVariantName(LogVariant variant)
+{
+    switch (variant) {
+      case LogVariant::Classic:
+        return "classic";
+      case LogVariant::ZeroCached:
+        return "zero_cached";
+      case LogVariant::HeaderDancing:
+        return "header_dancing";
+      case LogVariant::Mnemosyne:
+        return "mnemosyne";
+    }
+    return "?";
+}
+
+std::uint64_t
+walChecksum(const std::uint8_t *payload, std::size_t bytes,
+            std::uint64_t seq)
+{
+    // FNV-1a, basis perturbed by the sequence number so identical
+    // payloads under different seqs never share a checksum.
+    std::uint64_t h =
+        1469598103934665603ull ^ (seq * 0x9E3779B97F4A7C15ull);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= payload[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+walPayloadWord(unsigned core, std::uint64_t seq, std::uint64_t word,
+               bool torn_encode)
+{
+    std::uint64_t x = (std::uint64_t(core + 1) << 40) ^
+                      (seq * 1000003ull) ^
+                      (word * 0x2545F4914F6CDD1Dull);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x &= ~walTornBit;
+    return torn_encode ? (x | walTornBit) : x;
+}
+
+namespace
+{
+
+/** Emit `(sz + 63) & ~63` — the line-rounded payload span. */
+int
+emitLineRounded(IrBuilder &b, int sz)
+{
+    int rounded = b.addI(sz, lineBytes - 1);
+    int mask =
+        b.constI(static_cast<std::int64_t>(~Addr(lineBytes - 1)));
+    return b.andOp(rounded, mask);
+}
+
+/**
+ * Word-granular payload copy (the Classic writer): every store is a
+ * sub-line access, so the cache fetches each payload line on miss —
+ * the allocating-write cost ZeroCached's full-line copies avoid.
+ */
+void
+emitWordCopy(IrBuilder &b, int dst, int src, int sz)
+{
+    int off = b.newReg();
+    b.constTo(off, 0);
+    unsigned head = b.newBlock();
+    unsigned body = b.newBlock();
+    unsigned done = b.newBlock();
+    b.br(head);
+    b.setBlock(head);
+    b.brCond(b.cmpLt(off, sz), body, done);
+    b.setBlock(body);
+    b.store(b.add(dst, off), b.load(b.add(src, off)));
+    b.movTo(off, b.addI(off, 8));
+    b.br(head);
+    b.setBlock(done);
+}
+
+/** Store and flush the record header { seq | size | csum }. */
+void
+emitHeader(IrBuilder &b, int rec, int seq, int sz, int csum)
+{
+    b.store(rec, seq, 0);
+    b.store(rec, sz, 8);
+    b.store(rec, csum, 16);
+    b.clwb(rec, 24);
+}
+
+/** SFENCE only when the `fence` argument is nonzero. */
+void
+emitMaybeFence(IrBuilder &b, int fence)
+{
+    unsigned yes = b.newBlock();
+    unsigned done = b.newBlock();
+    b.brCond(b.cmpNe(fence, b.constI(0)), yes, done);
+    b.setBlock(yes);
+    b.sfence();
+    b.br(done);
+    b.setBlock(done);
+}
+
+} // namespace
+
+void
+buildLogWriterKernels(Module &module, LogVariant variant, bool manual)
+{
+    IrBuilder b(module);
+    // wal_append(ctx, src, bytes, seq, csum, fence): append one
+    // record, advancing the volatile cursor at ctx+ctx::aux.
+    b.beginFunction("wal_append", 6);
+    int ctx_reg = b.arg(0);
+    int src = b.arg(1);
+    int sz = b.arg(2);
+    int seq = b.arg(3);
+    int csum = b.arg(4);
+    int fence = b.arg(5);
+
+    int rec = b.load(ctx_reg, ctx::aux); // absolute append cursor
+    int payload = b.addI(rec, walRecordHeaderBytes);
+    int rounded = emitLineRounded(b, sz);
+
+    if (manual) {
+        // Sequential append: the record's header and payload
+        // addresses are known at entry, and the payload bytes are
+        // already staged in the volatile buffer — the widest
+        // possible pre-execution window.
+        int ph = b.preInit();
+        b.preAddr(ph, rec, walRecordHeaderBytes);
+        int pp = b.preInit();
+        b.preBothR(pp, payload, src, rounded);
+    }
+
+    switch (variant) {
+      case LogVariant::Classic:
+        // Payload first (word stores), fence, then the header: a
+        // durable header certifies the whole record.
+        emitWordCopy(b, payload, src, sz);
+        b.clwbR(payload, rounded);
+        b.sfence();
+        emitHeader(b, rec, seq, sz, csum);
+        break;
+      case LogVariant::ZeroCached:
+        // Same protocol with non-temporal full-line payload copies.
+        b.memCpyR(payload, src, sz);
+        b.clwbR(payload, rounded);
+        b.sfence();
+        emitHeader(b, rec, seq, sz, csum);
+        break;
+      case LogVariant::HeaderDancing:
+        // Header (checksum included) leads; no intra-record fence.
+        // Recovery validates the payload against the checksum.
+        emitHeader(b, rec, seq, sz, csum);
+        b.memCpyR(payload, src, sz);
+        b.clwbR(payload, rounded);
+        break;
+      case LogVariant::Mnemosyne:
+        // Header leads; every staged payload word carries the MSB
+        // torn bit, so recovery needs no checksum pass.
+        emitHeader(b, rec, seq, sz, csum);
+        b.memCpyR(payload, src, sz);
+        b.clwbR(payload, rounded);
+        break;
+    }
+
+    int footprint = b.addI(rounded, walRecordHeaderBytes);
+    b.store(ctx_reg, b.add(rec, footprint), ctx::aux);
+    emitMaybeFence(b, fence);
+    b.ret();
+    b.endFunction();
+}
+
+WalScanResult
+scanWalLog(const SparseMemory &image, Addr log_base,
+           LogVariant variant)
+{
+    WalScanResult result;
+    Addr addr = log_base + walHeaderBytes;
+    std::uint64_t expect_seq = 1;
+    for (;;) {
+        std::uint64_t seq = image.readWord(addr);
+        if (seq == 0) { // clean tail (regions start zeroed)
+            result.tailAddr = addr;
+            return result;
+        }
+        std::uint64_t size = image.readWord(addr + 8);
+        std::uint64_t csum = image.readWord(addr + 16);
+        // The header line persists atomically, so nonzero seq means
+        // size/csum are the appender's values — but stay defensive:
+        // an implausible header terminates the scan as torn rather
+        // than walking garbage.
+        bool torn = seq != expect_seq || size == 0 ||
+                    size > (1u << 20) || size % 8 != 0;
+        WalRecord rec;
+        if (!torn) {
+            rec.addr = addr;
+            rec.seq = seq;
+            rec.csum = csum;
+            rec.payload.resize(size);
+            image.read(addr + walRecordHeaderBytes,
+                       rec.payload.data(),
+                       static_cast<unsigned>(size));
+            switch (variant) {
+              case LogVariant::Classic:
+              case LogVariant::ZeroCached:
+                // Two-fence protocol: a durable header implies a
+                // durable payload (write-queue FIFO) — no check.
+                break;
+              case LogVariant::HeaderDancing:
+                torn = walChecksum(rec.payload.data(), size, seq) !=
+                       csum;
+                break;
+              case LogVariant::Mnemosyne:
+                for (std::uint64_t w = 0; w < size / 8 && !torn;
+                     ++w) {
+                    std::uint64_t word;
+                    std::memcpy(&word, rec.payload.data() + w * 8,
+                                8);
+                    torn = (word & walTornBit) == 0;
+                }
+                break;
+            }
+        }
+        if (torn) {
+            result.sawTorn = true;
+            result.tailAddr = addr;
+            return result;
+        }
+        result.records.push_back(std::move(rec));
+        addr += walRecordFootprint(size);
+        ++expect_seq;
+    }
+}
+
+unsigned
+recoverWalLog(SparseMemory &image, Addr log_base, LogVariant variant)
+{
+    WalScanResult scan = scanWalLog(image, log_base, variant);
+    if (!scan.sawTorn)
+        return 0;
+    // Truncate: zero the torn record's seq word. Per-stream FIFO
+    // durability means nothing beyond it can be durable, so one
+    // truncation restores a clean tail.
+    image.writeWord(scan.tailAddr, 0);
+    WalScanResult again = scanWalLog(image, log_base, variant);
+    janus_assert(!again.sawTorn &&
+                     again.records.size() == scan.records.size(),
+                 "WAL truncation did not restore a clean tail");
+    return 1;
+}
+
+} // namespace janus

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * NVM write-ahead-log engine: the four-variant log-writer ladder
+ * from pmembench's logging study, emitted as PmIR kernels behind one
+ * `wal_append` interface, plus the native scan/recovery procedure
+ * that walks a log region and truncates its torn tail.
+ *
+ * Record layout (all variants) — sequential append, no wrap:
+ *   line 0      reserved (region header)
+ *   from +64    records, each: one header line { seq(8) | size(8) |
+ *               csum(8) | pad } followed by line-aligned payload
+ *
+ * `seq` is 1-based and strictly sequential; a zero seq word is the
+ * scan terminator (regions start zeroed). The volatile append cursor
+ * lives in the context block (ctx::aux); recovery never needs it.
+ *
+ * The ladder trades fences for torn-record detection work:
+ *
+ *   Classic        payload stored word-by-word, flushed, SFENCE,
+ *                  then the header — two fences per record. A
+ *                  durable header implies a durable payload
+ *                  (write-queue FIFO), so torn tails truncate at the
+ *                  first zero seq.
+ *   ZeroCached     like Classic but the payload moves as full-line
+ *                  non-temporal copies (no fetch-on-miss), keeping
+ *                  the intra-record SFENCE.
+ *   HeaderDancing  the header — checksum included — is written
+ *                  *first*, then the payload, with a single
+ *                  record-group fence: a torn record is a durable
+ *                  header whose payload fails the checksum.
+ *   Mnemosyne      torn-bit-per-word: the MSB of every payload word
+ *                  is reserved and set on valid data, so recovery
+ *                  spots missing payload words without a checksum;
+ *                  single record-group fence.
+ *
+ * Classic/ZeroCached fence every record by construction; the
+ * single-fence variants take a `fence` argument so the caller can
+ * fence every G records and let controller-side group commit
+ * amortize the ordering cost (see MemCtrlConfig::groupCommitK).
+ */
+
+#ifndef JANUS_LOG_LOG_WRITER_HH
+#define JANUS_LOG_LOG_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/ir.hh"
+#include "mem/sparse_memory.hh"
+
+namespace janus
+{
+
+/** The log-writer variant ladder (weakest guarantees last). */
+enum class LogVariant : std::uint8_t
+{
+    Classic,       ///< header-after-payload, two fences
+    ZeroCached,    ///< non-temporal payload, two fences
+    HeaderDancing, ///< checksum-in-header, single fence
+    Mnemosyne,     ///< torn bit per payload word, single fence
+};
+
+/** Stable snake_case variant name (workload and JSON labels). */
+const char *logVariantName(LogVariant variant);
+
+/** Offset of the first record inside a log region. */
+constexpr Addr walHeaderBytes = 64;
+
+/** Offset of the payload within one record (after its header line). */
+constexpr Addr walRecordHeaderBytes = 64;
+
+/** MSB torn marker of Mnemosyne payload words. */
+constexpr std::uint64_t walTornBit = 1ull << 63;
+
+/** Line-aligned footprint of a record carrying `size` payload
+ *  bytes. */
+constexpr Addr
+walRecordFootprint(Addr size)
+{
+    return walRecordHeaderBytes +
+           ((size + lineBytes - 1) & ~Addr(lineBytes - 1));
+}
+
+/**
+ * Record checksum: FNV-1a over the payload bytes, seeded with the
+ * record's sequence number so a stale record of equal content never
+ * validates under a new seq.
+ */
+std::uint64_t walChecksum(const std::uint8_t *payload,
+                          std::size_t bytes, std::uint64_t seq);
+
+/**
+ * The deterministic payload word both the appender stages and the
+ * validator expects: a mix of (core, seq, word index), with the MSB
+ * reserved for the Mnemosyne torn bit (set when @p torn_encode).
+ */
+std::uint64_t walPayloadWord(unsigned core, std::uint64_t seq,
+                             std::uint64_t word, bool torn_encode);
+
+/**
+ * Emit the variant's appender into a module:
+ *
+ *   wal_append(ctx, src, bytes, seq, csum, fence)
+ *
+ * appends one record of `bytes` payload copied from the volatile
+ * staging buffer `src`, advancing the cursor at ctx+ctx::aux. `csum`
+ * is stored in the header by every variant (only HeaderDancing
+ * validates it). `fence` nonzero closes the append with an SFENCE
+ * (the single-fence variants fence *only* then).
+ *
+ * @p manual adds the Janus PRE_* warm-up of the record's header and
+ * payload lines (both addresses are known at entry; the payload data
+ * is staged before the call).
+ */
+void buildLogWriterKernels(Module &module, LogVariant variant,
+                           bool manual);
+
+/** One decoded WAL record (recovery and tests). */
+struct WalRecord
+{
+    Addr addr = 0; ///< header line address
+    std::uint64_t seq = 0;
+    std::uint64_t csum = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Result of scanning one log region. */
+struct WalScanResult
+{
+    std::vector<WalRecord> records; ///< durable, in seq order
+    bool sawTorn = false; ///< a torn record terminated the scan
+    Addr tailAddr = 0;    ///< header address where the scan stopped
+};
+
+/**
+ * Walk the records of a log region inside an image, applying the
+ * variant's torn-record test. The scan stops at the first zero seq
+ * word (clean tail) or the first torn record; everything before the
+ * stop is durable and validated.
+ */
+WalScanResult scanWalLog(const SparseMemory &image, Addr log_base,
+                         LogVariant variant);
+
+/**
+ * Truncate the torn tail of a log region in a crash image: zero the
+ * torn record's seq word so subsequent scans stop exactly at the
+ * last durable record.
+ *
+ * @return number of torn records truncated (0 or 1 — per-stream
+ *         FIFO durability never leaves two).
+ */
+unsigned recoverWalLog(SparseMemory &image, Addr log_base,
+                       LogVariant variant);
+
+} // namespace janus
+
+#endif // JANUS_LOG_LOG_WRITER_HH

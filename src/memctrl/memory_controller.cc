@@ -420,6 +420,95 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     persisted = std::max(persisted, lastPersist_[stream]);
     lastPersist_[stream] = persisted;
 
+    // 6. Group commit (off by default): park the write in the open
+    //    batch instead of retiring it. Everything latency-derived
+    //    (stats, critical-path partition, journal, trace order span)
+    //    is deferred to the batch retire; the gauges and bmo/queue
+    //    spans below still record per-write.
+    if (groupCommitOn()) {
+        GcPending pending;
+        pending.arrival = arrival;
+        pending.bmoDone = bmo_done;
+        pending.accepted = accepted;
+        pending.fifoTick = persisted;
+        pending.stream = stream;
+        pending.lineAddr = line_addr;
+        pending.data = data;
+        pending.metaAtomic = meta_atomic;
+        if (profiling) {
+            segs_.clear();
+            walkBmoStage(arrival, bmo_done, lookup_until,
+                         consume_path);
+            if (wq_ticks > 0)
+                segs_.push_back({CritEdge::WqFull, wq_ticks});
+            if (media_ticks > 0)
+                segs_.push_back({CritEdge::MediaRetry, media_ticks});
+            if (meta_ticks > 0)
+                segs_.push_back({CritEdge::MetaCowrite, meta_ticks});
+            if (persisted > accepted)
+                segs_.push_back(
+                    {CritEdge::OrderFifo, persisted - accepted});
+            pending.segs = segs_;
+        }
+        if (sampler_ != nullptr) {
+            sampler_->set(mQueueDepth_,
+                          device_.queueOccupancy(arrival));
+            if (frontend_)
+                sampler_->set(mIrbOcc_, frontend_->irbOccupancy());
+        }
+#if JANUS_TRACING
+        if (tracer_) {
+            TraceId track = streamTrack(stream);
+            if (bmo_done > arrival)
+                tracer_->span(track, bmoStageLabel_, arrival,
+                              bmo_done, line_addr);
+            if (accepted > bmo_done)
+                tracer_->span(track, queueStageLabel_, bmo_done,
+                              accepted, line_addr);
+            if (irb_fault)
+                tracer_->instant(resilienceTrack_, irbFaultLabel_,
+                                 arrival, line_addr);
+            if (media_delay > 0)
+                tracer_->instant(resilienceTrack_, retryLabel_,
+                                 bmo_done, line_addr);
+            if (remapped)
+                tracer_->instant(resilienceTrack_, remapLabel_,
+                                 persisted, line_addr);
+            if (degraded)
+                tracer_->instant(resilienceTrack_, degradeLabel_,
+                                 arrival, line_addr);
+        }
+#else
+        (void)irb_fault;
+        (void)media_delay;
+        (void)remapped;
+#endif
+        gcBatch_.push_back(std::move(pending));
+        ++gcWritesDeferred_;
+        if (gcBatch_.size() == 1 && gcScheduler_) {
+            // Arm the deadline for this batch; a stale timer (the
+            // batch closed first) recognizes itself by sequence.
+            const std::uint64_t seq = gcBatchSeq_;
+            gcScheduler_(config_.groupCommitTimeoutTicks,
+                         [this, seq](Tick) {
+                             if (seq == gcBatchSeq_ &&
+                                 !gcBatch_.empty()) {
+                                 ++gcTimeoutCloses_;
+                                 gcCloseBatch();
+                             }
+                         });
+        }
+        if (gcBatch_.size() >= config_.groupCommitK) {
+            ++gcKCloses_;
+            gcCloseBatch();
+            result.persisted = gcLastRetire_;
+            return result;
+        }
+        result.persisted = persisted;
+        result.deferred = true;
+        return result;
+    }
+
     result.persisted = persisted;
     writeLatency_.sample(ticks::toNsF(persisted - arrival));
 
@@ -569,6 +658,82 @@ MemoryController::walkBmoStage(Tick arrival, Tick bmo_done,
 }
 
 void
+MemoryController::gcCloseBatch()
+{
+    if (gcBatch_.empty())
+        return;
+    // The batch retires when its slowest member's FIFO point is
+    // reached, clamped to the previous batch's retire so durability
+    // (and the journal) stays monotone across batches. A fence or
+    // timeout close does not inflate the retire tick: an undersized
+    // batch retires exactly at its members' FIFO horizon, so
+    // single-stream fence-per-record traffic matches group-commit
+    // off tick-for-tick.
+    Tick retire = gcLastRetire_;
+    for (const GcPending &p : gcBatch_)
+        retire = std::max(retire, p.fifoTick);
+    for (GcPending &p : gcBatch_) {
+        writeLatency_.sample(ticks::toNsF(retire - p.arrival));
+        breakdown_.bmoNs.sample(ticks::toNsF(p.bmoDone - p.arrival));
+        breakdown_.queueNs.sample(
+            ticks::toNsF(p.accepted - p.bmoDone));
+        breakdown_.orderNs.sample(ticks::toNsF(retire - p.accepted));
+        breakdown_.totalNs.sample(ticks::toNsF(retire - p.arrival));
+        breakdown_.totalHistNs.sample(
+            ticks::toNsF(retire - p.arrival));
+        if (config_.profilePersist) {
+            if (retire > p.fifoTick)
+                p.segs.push_back({CritEdge::GroupCommitWait,
+                                  retire - p.fifoTick});
+            critProfiler_.addPersist(p.segs, retire - p.arrival);
+        }
+        if (sampler_ != nullptr) {
+            sampler_->count(mWrites_);
+            sampler_->observe(mPersistNs_,
+                              ticks::toNsF(retire - p.arrival));
+        }
+#if JANUS_TRACING
+        if (tracer_ && retire > p.accepted)
+            tracer_->span(streamTrack(p.stream), orderStageLabel_,
+                          p.accepted, retire, p.lineAddr);
+#endif
+        if (journalEnabled_)
+            journal_.push_back(JournalEntry{retire, p.lineAddr,
+                                            p.data, p.accepted,
+                                            p.stream, p.metaAtomic});
+        if (gcStreamRetire_.size() <= p.stream)
+            gcStreamRetire_.resize(p.stream + 1, 0);
+        gcStreamRetire_[p.stream] = retire;
+        if (p.onRetire)
+            p.onRetire(retire);
+    }
+    gcBatch_.clear();
+    ++gcBatchSeq_;
+    gcLastRetire_ = retire;
+    ++gcBatches_;
+}
+
+Tick
+MemoryController::groupCommitFence(unsigned stream)
+{
+    if (!gcBatch_.empty()) {
+        ++gcFenceCloses_;
+        gcCloseBatch();
+    }
+    if (gcStreamRetire_.size() <= stream)
+        gcStreamRetire_.resize(stream + 1, 0);
+    return gcStreamRetire_[stream];
+}
+
+void
+MemoryController::groupCommitAttachAck(std::function<void(Tick)> ack)
+{
+    janus_assert(!gcBatch_.empty(),
+                 "no parked group-commit write to attach an ack to");
+    gcBatch_.back().onRetire = std::move(ack);
+}
+
+void
 MemoryController::notifyRecovery()
 {
     if (frontend_)
@@ -576,6 +741,13 @@ MemoryController::notifyRecovery()
     // A fresh boot has no outstanding persists: ordering horizons
     // restart at tick zero.
     std::fill(lastPersist_.begin(), lastPersist_.end(), Tick(0));
+    // Parked group-commit writes never became durable; stale batch
+    // timers recognize the sequence bump and no-op.
+    gcBatch_.clear();
+    ++gcBatchSeq_;
+    gcLastRetire_ = 0;
+    std::fill(gcStreamRetire_.begin(), gcStreamRetire_.end(),
+              Tick(0));
 }
 
 Tick

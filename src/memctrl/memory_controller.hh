@@ -11,6 +11,7 @@
 #ifndef JANUS_MEMCTRL_MEMORY_CONTROLLER_HH
 #define JANUS_MEMCTRL_MEMORY_CONTROLLER_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -68,6 +69,18 @@ struct MemCtrlConfig
      * only skips the per-persist walk and leaves critPath() empty.
      */
     bool profilePersist = true;
+    /**
+     * Controller-side group commit: park up to K pending persists
+     * and retire them in one batched ordering round, amortizing the
+     * fence/ordering cost across log records. 0 or 1 = off (the
+     * classic immediate-retire path, bit-identical to before the
+     * stage existed). K > 1 defers durability to the batch retire
+     * tick; batches close when full, on any SFENCE, on the timeout
+     * below, or at end of run.
+     */
+    unsigned groupCommitK = 0;
+    /** Deadline for a non-full batch (armed at batch open). */
+    Tick groupCommitTimeoutTicks = 2 * ticks::us;
 };
 
 /**
@@ -97,10 +110,14 @@ struct PersistBreakdown
 /** Outcome of a persisted write (timing + functional digest). */
 struct PersistResult
 {
-    /** Tick at which the line is durable (in the persist domain). */
+    /** Tick at which the line is durable (in the persist domain).
+     *  When `deferred`, this is the provisional FIFO tick; the real
+     *  durability point is the group-commit batch retire. */
     Tick persisted = 0;
     bool duplicate = false;
     bool fullyPreExecuted = false;
+    /** Parked in an open group-commit batch (groupCommitK > 1). */
+    bool deferred = false;
 };
 
 /**
@@ -167,12 +184,59 @@ class MemoryController
     ResilienceManager &resilience() { return resilience_; }
     const ResilienceManager &resilience() const { return resilience_; }
 
-    /** End of run: drain the background integrity scrubber. */
+    /** End of run: retire any open group-commit batch, then drain
+     *  the background integrity scrubber. */
     void finishRun()
     {
+        if (groupCommitOn() && !gcBatch_.empty()) {
+            ++gcDrainCloses_;
+            gcCloseBatch();
+        }
         if (resilienceOn())
             resilience_.scrubDrain(backend_);
     }
+
+    // --- group commit -----------------------------------------------
+    /** The batching stage is active (K <= 1 takes the classic
+     *  immediate-retire path untouched). */
+    bool groupCommitOn() const { return config_.groupCommitK > 1; }
+
+    /**
+     * Hook used to arm the batch timeout: schedule `fn` to run
+     * `delay` ticks from now on this controller's event queue. Wired
+     * by the harness; without it batches close only on K/fence/run
+     * end (raw-controller unit tests).
+     */
+    using GcScheduler =
+        std::function<void(Tick delay, std::function<void(Tick now)>)>;
+    void setGcScheduler(GcScheduler scheduler)
+    {
+        gcScheduler_ = std::move(scheduler);
+    }
+
+    /**
+     * An SFENCE from @p stream reached the controller: flush the
+     * open batch (a fence must not wait on the timeout) and return
+     * the stream's last batch-retire tick, which bounds every
+     * deferred persist the stream has issued (batch retires are
+     * monotone across batches).
+     */
+    Tick groupCommitFence(unsigned stream);
+
+    /**
+     * Attach a retire callback to the most recently parked persist
+     * (the cross-shard ack path): invoked with the batch retire tick
+     * when its batch closes. Must follow a persistWrite that
+     * returned deferred.
+     */
+    void groupCommitAttachAck(std::function<void(Tick)> ack);
+
+    std::uint64_t gcBatches() const { return gcBatches_; }
+    std::uint64_t gcWritesDeferred() const { return gcWritesDeferred_; }
+    std::uint64_t gcKCloses() const { return gcKCloses_; }
+    std::uint64_t gcTimeoutCloses() const { return gcTimeoutCloses_; }
+    std::uint64_t gcFenceCloses() const { return gcFenceCloses_; }
+    std::uint64_t gcDrainCloses() const { return gcDrainCloses_; }
 
     /** Metadata line address holding a data line's meta entry. */
     Addr metaLineOf(Addr line_addr) const;
@@ -323,6 +387,47 @@ class MemoryController
     /** Writes since boot, for persist-epoch boundaries. */
     std::uint64_t epochWriteCount_ = 0;
     TimeWeightedGauge treeCacheOccupancy_;
+
+    /** One persist parked in the open group-commit batch. Timing
+     *  marks plus everything whose emission is deferred to retire
+     *  (stats, critical-path segments, journal, ack). */
+    struct GcPending
+    {
+        Tick arrival = 0;
+        Tick bmoDone = 0;
+        Tick accepted = 0;
+        /** Per-stream FIFO tick (the off-path durability point). */
+        Tick fifoTick = 0;
+        unsigned stream = 0;
+        Addr lineAddr = 0;
+        CacheLine data;
+        bool metaAtomic = false;
+        /** Critical-path segments up to fifoTick (built at join —
+         *  the provenance buffers are per-write scratch). */
+        std::vector<CritSegment> segs;
+        /** Cross-shard ack to fire at retire (optional). */
+        std::function<void(Tick)> onRetire;
+    };
+
+    /** Close the open batch: retire every member at the batch
+     *  retire tick, emitting the deferred stats/journal/acks. */
+    void gcCloseBatch();
+
+    std::vector<GcPending> gcBatch_;
+    /** Retire tick of the last closed batch (monotonicity clamp:
+     *  journal replay requires nondecreasing durability). */
+    Tick gcLastRetire_ = 0;
+    /** Last batch-retire tick per stream (fence bound). */
+    std::vector<Tick> gcStreamRetire_;
+    /** Bumped at every close; stale timeout timers no-op. */
+    std::uint64_t gcBatchSeq_ = 0;
+    GcScheduler gcScheduler_;
+    std::uint64_t gcBatches_ = 0;
+    std::uint64_t gcWritesDeferred_ = 0;
+    std::uint64_t gcKCloses_ = 0;
+    std::uint64_t gcTimeoutCloses_ = 0;
+    std::uint64_t gcFenceCloses_ = 0;
+    std::uint64_t gcDrainCloses_ = 0;
 
     /** Per-stream (per-core) FIFO durability horizons. */
     std::vector<Tick> lastPersist_;

@@ -35,6 +35,8 @@ critEdgeName(CritEdge edge)
         return "meta_cowrite";
       case CritEdge::OrderFifo:
         return "order_fifo";
+      case CritEdge::GroupCommitWait:
+        return "group_commit_wait";
     }
     return "?";
 }
@@ -48,6 +50,7 @@ critEdgeStage(CritEdge edge)
       case CritEdge::MetaCowrite:
         return "queue";
       case CritEdge::OrderFifo:
+      case CritEdge::GroupCommitWait:
         return "order";
       default:
         return "bmo";

@@ -27,7 +27,10 @@
  *                programming (resilience layer);
  *                MetaCowrite — the co-located metadata write of a
  *                selective-atomicity commit bound durability;
- *   order stage  OrderFifo — per-stream FIFO durability wait.
+ *   order stage  OrderFifo — per-stream FIFO durability wait;
+ *                GroupCommitWait — parked in the controller's
+ *                group-commit stage until the batch retired
+ *                (exactly 0 when group commit is off).
  *
  * Everything here is pure observation: profiling on or off never
  * changes a computed tick.
@@ -63,11 +66,12 @@ enum class CritEdge : std::uint8_t
     MediaRetry,   ///< write-verify retry / remap programming
     MetaCowrite,  ///< metadata co-write bound durability
     OrderFifo,    ///< per-stream FIFO ordering wait
+    GroupCommitWait, ///< parked awaiting group-commit batch retire
 };
 
 /** Number of edge types (array sizing). */
 constexpr std::size_t numCritEdges =
-    static_cast<std::size_t>(CritEdge::OrderFifo) + 1;
+    static_cast<std::size_t>(CritEdge::GroupCommitWait) + 1;
 
 /** Stable snake_case edge name (JSON keys, flame-graph frames). */
 const char *critEdgeName(CritEdge edge);

@@ -8,6 +8,7 @@
 #include "workloads/rb_tree.hh"
 #include "workloads/tatp.hh"
 #include "workloads/tpcc.hh"
+#include "workloads/wal_append.hh"
 
 namespace janus
 {
@@ -18,6 +19,18 @@ allWorkloadNames()
     static const std::vector<std::string> names = {
         "array_swap", "queue", "hash_table", "rb_tree",
         "b_tree", "tatp", "tpcc",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+walWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "wal_classic",
+        "wal_zero_cached",
+        "wal_header_dancing",
+        "wal_mnemosyne",
     };
     return names;
 }
@@ -39,6 +52,18 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return std::make_unique<TatpWorkload>(params);
     if (name == "tpcc")
         return std::make_unique<TpccWorkload>(params);
+    if (name == "wal_classic")
+        return std::make_unique<WalAppendWorkload>(
+            params, LogVariant::Classic);
+    if (name == "wal_zero_cached")
+        return std::make_unique<WalAppendWorkload>(
+            params, LogVariant::ZeroCached);
+    if (name == "wal_header_dancing")
+        return std::make_unique<WalAppendWorkload>(
+            params, LogVariant::HeaderDancing);
+    if (name == "wal_mnemosyne")
+        return std::make_unique<WalAppendWorkload>(
+            params, LogVariant::Mnemosyne);
     fatal("unknown workload '%s'", name.c_str());
 }
 

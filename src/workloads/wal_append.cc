@@ -1,0 +1,135 @@
+#include "workloads/wal_append.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "txn/undo_log.hh"
+
+namespace janus
+{
+
+void
+WalAppendWorkload::buildKernels(Module &module, bool manual) const
+{
+    buildLogWriterKernels(module, variant_, manual);
+}
+
+void
+WalAppendWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    const Addr payload = params_.valueBytes;
+    janus_assert(payload >= 8 && payload % 8 == 0,
+                 "WAL payloads are word-granular");
+    // The WAL region is the workload's heap: one reserved header
+    // line plus exactly txnsPerCore records (sequential append, no
+    // wrap). The pool stages one record's payload.
+    const Addr wal_bytes =
+        walHeaderBytes +
+        Addr(params_.txnsPerCore) * walRecordFootprint(payload);
+    CoreState &cs =
+        allocCommon(core, system, wal_bytes, lineBytes, payload);
+    // Volatile append cursor (the kernels advance it in place).
+    system.mem().writeWord(cs.ctx + ctx::aux,
+                           cs.heap + walHeaderBytes);
+}
+
+bool
+WalAppendWorkload::next(unsigned core, SparseMemory &mem,
+                        std::string &fn,
+                        std::vector<std::uint64_t> &args)
+{
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    const std::uint64_t seq =
+        params_.txnsPerCore - cs.txnsLeft + 1; // 1-based
+    --cs.txnsLeft;
+
+    // Stage the deterministic payload into the volatile pool buffer
+    // (torn-bit-encoded for Mnemosyne) and checksum exactly what
+    // the appender will copy.
+    const std::uint64_t words = params_.valueBytes / 8;
+    std::vector<std::uint8_t> bytes(params_.valueBytes);
+    for (std::uint64_t w = 0; w < words; ++w) {
+        const std::uint64_t word = walPayloadWord(
+            core, seq, w, variant_ == LogVariant::Mnemosyne);
+        mem.writeWord(cs.pool + 8 * w, word);
+        std::memcpy(bytes.data() + 8 * w, &word, 8);
+    }
+    const std::uint64_t csum =
+        walChecksum(bytes.data(), bytes.size(), seq);
+
+    const unsigned group = std::max(1u, params_.walGroup);
+    const bool fence = cs.txnsLeft == 0 || seq % group == 0;
+    fn = "wal_append";
+    args = {cs.ctx,       cs.pool, params_.valueBytes,
+            seq,          csum,    fence ? 1ull : 0ull};
+    return true;
+}
+
+void
+WalAppendWorkload::checkRecord(const WalRecord &rec,
+                               unsigned core) const
+{
+    janus_assert(rec.payload.size() == params_.valueBytes,
+                 "wal core %u: record %llu has size %zu, expected "
+                 "%llu",
+                 core, static_cast<unsigned long long>(rec.seq),
+                 rec.payload.size(),
+                 static_cast<unsigned long long>(params_.valueBytes));
+    janus_assert(walChecksum(rec.payload.data(), rec.payload.size(),
+                             rec.seq) == rec.csum,
+                 "wal core %u: record %llu checksum mismatch", core,
+                 static_cast<unsigned long long>(rec.seq));
+    for (std::uint64_t w = 0; w < params_.valueBytes / 8; ++w) {
+        std::uint64_t word;
+        std::memcpy(&word, rec.payload.data() + 8 * w, 8);
+        janus_assert(
+            word == walPayloadWord(core, rec.seq, w,
+                                   variant_ == LogVariant::Mnemosyne),
+            "wal core %u: record %llu word %llu corrupt", core,
+            static_cast<unsigned long long>(rec.seq),
+            static_cast<unsigned long long>(w));
+    }
+}
+
+void
+WalAppendWorkload::validate(const SparseMemory &mem,
+                            unsigned core) const
+{
+    const WalScanResult scan =
+        scanWalLog(mem, walBase(core), variant_);
+    janus_assert(!scan.sawTorn,
+                 "wal core %u: torn record after a clean run", core);
+    janus_assert(scan.records.size() == params_.txnsPerCore,
+                 "wal core %u: %zu durable records, expected %u",
+                 core, scan.records.size(), params_.txnsPerCore);
+    for (const WalRecord &rec : scan.records)
+        checkRecord(rec, core);
+}
+
+void
+WalAppendWorkload::validateRecovered(const SparseMemory &mem,
+                                     unsigned core) const
+{
+    // Any-boundary invariant: after recovery the log is a clean,
+    // contiguous prefix of the append sequence — scanWalLog already
+    // enforces seq contiguity from 1.
+    const WalScanResult scan =
+        scanWalLog(mem, walBase(core), variant_);
+    janus_assert(!scan.sawTorn,
+                 "wal core %u: recovery left a torn tail", core);
+    janus_assert(scan.records.size() <= params_.txnsPerCore,
+                 "wal core %u: more durable records than appended",
+                 core);
+    for (const WalRecord &rec : scan.records)
+        checkRecord(rec, core);
+}
+
+unsigned
+WalAppendWorkload::recover(SparseMemory &image, unsigned core) const
+{
+    return recoverWalLog(image, walBase(core), variant_);
+}
+
+} // namespace janus

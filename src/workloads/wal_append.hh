@@ -1,0 +1,56 @@
+/**
+ * @file
+ * WAL appender workload family: each transaction appends one record
+ * to a per-core write-ahead log through one of the four log-writer
+ * variants (see log/log_writer.hh). The family exists to exercise
+ * the WAL engine end to end — sequential persist streams, torn-tail
+ * crash recovery, and fence amortization under controller-side group
+ * commit (WorkloadParams::walGroup fences every G records).
+ */
+
+#ifndef JANUS_WORKLOADS_WAL_APPEND_HH
+#define JANUS_WORKLOADS_WAL_APPEND_HH
+
+#include "log/log_writer.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** See file comment. */
+class WalAppendWorkload : public Workload
+{
+  public:
+    WalAppendWorkload(const WorkloadParams &params, LogVariant variant)
+        : Workload(params), variant_(variant)
+    {}
+
+    std::string name() const override
+    {
+        return std::string("wal_") + logVariantName(variant_);
+    }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+    unsigned recover(SparseMemory &image,
+                     unsigned core) const override;
+
+    LogVariant variant() const { return variant_; }
+    /** Base of this core's WAL region (the workload's heap). */
+    Addr walBase(unsigned core) const { return cores_.at(core).heap; }
+
+  private:
+    /** Check one durable record against the deterministic payload. */
+    void checkRecord(const WalRecord &rec, unsigned core) const;
+
+    LogVariant variant_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_WAL_APPEND_HH

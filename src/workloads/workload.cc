@@ -6,6 +6,12 @@
 namespace janus
 {
 
+unsigned
+Workload::recover(SparseMemory &image, unsigned core) const
+{
+    return recoverUndoLog(image, logBase(core));
+}
+
 TxnSource
 Workload::source(unsigned core, NvmSystem &system)
 {

@@ -33,6 +33,11 @@ struct WorkloadParams
     /** Transactions each core executes. */
     unsigned txnsPerCore = 200;
     std::uint64_t seed = 1;
+    /** WAL workloads: fence every G appended records (the final
+     *  record always fences). 1 = fence per record; larger groups
+     *  let controller-side group commit amortize the ordering
+     *  cost (see SystemConfig::groupCommitK). */
+    unsigned walGroup = 1;
 };
 
 /** Base class for the seven applications. */
@@ -72,6 +77,14 @@ class Workload
      */
     virtual void validateRecovered(const SparseMemory &mem,
                                    unsigned core) const = 0;
+
+    /**
+     * Run this workload's crash-recovery procedure on a durable
+     * image: undo-log rollback by default; the WAL workloads
+     * truncate their torn tail instead (see log/log_writer.hh).
+     * @return transactions rolled back / records truncated.
+     */
+    virtual unsigned recover(SparseMemory &image, unsigned core) const;
 
     /** Convenience: a TxnSource bound to one core. */
     TxnSource source(unsigned core, NvmSystem &system);
@@ -167,6 +180,11 @@ std::unique_ptr<Workload> makeWorkload(const std::string &name,
 
 /** All Table 4 workload names, in the paper's order. */
 const std::vector<std::string> &allWorkloadNames();
+
+/** The WAL appender family ("wal_classic", "wal_zero_cached",
+ *  "wal_header_dancing", "wal_mnemosyne") — kept out of
+ *  allWorkloadNames() so existing sweeps are unchanged. */
+const std::vector<std::string> &walWorkloadNames();
 
 } // namespace janus
 

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * WAL engine + group-commit tests: the scan/recovery procedure on
+ * hand-constructed log images (clean tails, torn records per
+ * variant, truncation exactly at the last durable record), the
+ * appender workloads end to end, crash-audit sweeps over every
+ * variant, and the group-commit contracts — K=1 is tick-identical
+ * to off, fences are never reordered across, and gc-on sharded runs
+ * stay deterministic across scheduler thread counts.
+ */
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/crash_audit.hh"
+#include "fault/crash_points.hh"
+#include "harness/system.hh"
+#include "log/log_writer.hh"
+#include "mem/sparse_memory.hh"
+#include "txn/undo_log.hh"
+#include "workloads/wal_append.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+constexpr Addr kLogBase = 1 << 20;
+
+const std::vector<LogVariant> &
+allVariants()
+{
+    static const std::vector<LogVariant> v = {
+        LogVariant::Classic, LogVariant::ZeroCached,
+        LogVariant::HeaderDancing, LogVariant::Mnemosyne};
+    return v;
+}
+
+/** The deterministic payload the appender would stage for (core 0,
+ *  seq), serialized to bytes. */
+std::vector<std::uint8_t>
+payloadBytes(std::uint64_t seq, std::size_t bytes, LogVariant v)
+{
+    std::vector<std::uint8_t> out(bytes);
+    for (std::size_t w = 0; w < bytes / 8; ++w) {
+        const std::uint64_t word =
+            walPayloadWord(0, seq, w, v == LogVariant::Mnemosyne);
+        std::memcpy(out.data() + w * 8, &word, 8);
+    }
+    return out;
+}
+
+/** Hand-append one complete record; returns the next header addr. */
+Addr
+appendRecord(SparseMemory &mem, Addr addr, std::uint64_t seq,
+             std::size_t bytes, LogVariant v)
+{
+    const std::vector<std::uint8_t> payload =
+        payloadBytes(seq, bytes, v);
+    mem.writeWord(addr, seq);
+    mem.writeWord(addr + 8, bytes);
+    mem.writeWord(addr + 16, walChecksum(payload.data(), bytes, seq));
+    mem.write(addr + walRecordHeaderBytes, payload.data(),
+              static_cast<unsigned>(bytes));
+    return addr + walRecordFootprint(bytes);
+}
+
+/** A log with n clean records of `bytes` payload each. */
+Addr
+buildCleanLog(SparseMemory &mem, unsigned n, std::size_t bytes,
+              LogVariant v)
+{
+    Addr addr = kLogBase + walHeaderBytes;
+    for (unsigned i = 1; i <= n; ++i)
+        addr = appendRecord(mem, addr, i, bytes, v);
+    return addr; // first unwritten header address
+}
+
+// --- scan / recovery on hand-built images ---------------------------
+
+TEST(WalScan, CleanLogScansEveryVariant)
+{
+    for (LogVariant v : allVariants()) {
+        SparseMemory mem;
+        const Addr tail = buildCleanLog(mem, 5, 64, v);
+        WalScanResult scan = scanWalLog(mem, kLogBase, v);
+        EXPECT_FALSE(scan.sawTorn) << logVariantName(v);
+        ASSERT_EQ(scan.records.size(), 5u) << logVariantName(v);
+        EXPECT_EQ(scan.tailAddr, tail);
+        for (unsigned i = 0; i < 5; ++i) {
+            EXPECT_EQ(scan.records[i].seq, i + 1u);
+            EXPECT_EQ(scan.records[i].payload,
+                      payloadBytes(i + 1, 64, v));
+        }
+        // Nothing to truncate; the image is untouched.
+        EXPECT_EQ(recoverWalLog(mem, kLogBase, v), 0u);
+        EXPECT_EQ(mem.readWord(kLogBase + walHeaderBytes), 1u);
+    }
+}
+
+TEST(WalScan, MixedRecordSizesWalkByFootprint)
+{
+    SparseMemory mem;
+    Addr addr = kLogBase + walHeaderBytes;
+    addr = appendRecord(mem, addr, 1, 64, LogVariant::HeaderDancing);
+    addr = appendRecord(mem, addr, 2, 256, LogVariant::HeaderDancing);
+    addr = appendRecord(mem, addr, 3, 8, LogVariant::HeaderDancing);
+    WalScanResult scan =
+        scanWalLog(mem, kLogBase, LogVariant::HeaderDancing);
+    EXPECT_FALSE(scan.sawTorn);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[1].payload.size(), 256u);
+    EXPECT_EQ(scan.tailAddr, addr);
+}
+
+/** HeaderDancing writes the header first: a crash before the payload
+ *  leaves a durable header whose checksum cannot validate. */
+TEST(WalScan, HeaderWithoutPayloadIsTornForHeaderDancing)
+{
+    SparseMemory mem;
+    const Addr torn_at =
+        buildCleanLog(mem, 3, 64, LogVariant::HeaderDancing);
+    // Durable header of record 4, payload never arrived (zeros).
+    const std::vector<std::uint8_t> payload =
+        payloadBytes(4, 64, LogVariant::HeaderDancing);
+    mem.writeWord(torn_at, 4);
+    mem.writeWord(torn_at + 8, 64);
+    mem.writeWord(torn_at + 16, walChecksum(payload.data(), 64, 4));
+
+    WalScanResult scan =
+        scanWalLog(mem, kLogBase, LogVariant::HeaderDancing);
+    EXPECT_TRUE(scan.sawTorn);
+    EXPECT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.tailAddr, torn_at);
+
+    // Recovery truncates exactly at the last durable record.
+    EXPECT_EQ(recoverWalLog(mem, kLogBase,
+                            LogVariant::HeaderDancing),
+              1u);
+    WalScanResult again =
+        scanWalLog(mem, kLogBase, LogVariant::HeaderDancing);
+    EXPECT_FALSE(again.sawTorn);
+    EXPECT_EQ(again.records.size(), 3u);
+    EXPECT_EQ(again.tailAddr, torn_at);
+    // Truncation is idempotent.
+    EXPECT_EQ(recoverWalLog(mem, kLogBase,
+                            LogVariant::HeaderDancing),
+              0u);
+}
+
+/** A partially persisted payload also fails the checksum. */
+TEST(WalScan, PartialPayloadIsTornForHeaderDancing)
+{
+    SparseMemory mem;
+    const Addr torn_at =
+        buildCleanLog(mem, 2, 128, LogVariant::HeaderDancing);
+    appendRecord(mem, torn_at, 3, 128, LogVariant::HeaderDancing);
+    // Second payload line lost in the crash.
+    CacheLine zero{};
+    mem.writeLine(torn_at + walRecordHeaderBytes + lineBytes, zero);
+
+    EXPECT_EQ(recoverWalLog(mem, kLogBase,
+                            LogVariant::HeaderDancing),
+              1u);
+    EXPECT_EQ(
+        scanWalLog(mem, kLogBase, LogVariant::HeaderDancing)
+            .records.size(),
+        2u);
+}
+
+/** Mnemosyne spots missing payload words by their clear torn bit —
+ *  no checksum needed. */
+TEST(WalScan, MissingTornBitIsTornForMnemosyne)
+{
+    SparseMemory mem;
+    const Addr torn_at =
+        buildCleanLog(mem, 3, 64, LogVariant::Mnemosyne);
+    appendRecord(mem, torn_at, 4, 64, LogVariant::Mnemosyne);
+    // One payload word never persisted: reads back zero, MSB clear.
+    mem.writeWord(torn_at + walRecordHeaderBytes + 24, 0);
+
+    WalScanResult scan =
+        scanWalLog(mem, kLogBase, LogVariant::Mnemosyne);
+    EXPECT_TRUE(scan.sawTorn);
+    EXPECT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.tailAddr, torn_at);
+    EXPECT_EQ(recoverWalLog(mem, kLogBase, LogVariant::Mnemosyne),
+              1u);
+    EXPECT_EQ(scanWalLog(mem, kLogBase, LogVariant::Mnemosyne)
+                  .records.size(),
+              3u);
+}
+
+/** The two-fence variants stop cleanly at the first zero seq; a
+ *  durable header implies a durable payload, so no torn check. */
+TEST(WalScan, TwoFenceVariantsStopCleanAtZeroSeq)
+{
+    for (LogVariant v :
+         {LogVariant::Classic, LogVariant::ZeroCached}) {
+        SparseMemory mem;
+        const Addr tail = buildCleanLog(mem, 4, 64, v);
+        WalScanResult scan = scanWalLog(mem, kLogBase, v);
+        EXPECT_FALSE(scan.sawTorn) << logVariantName(v);
+        EXPECT_EQ(scan.records.size(), 4u);
+        EXPECT_EQ(scan.tailAddr, tail);
+        EXPECT_EQ(recoverWalLog(mem, kLogBase, v), 0u);
+    }
+}
+
+/** An implausible header (bad size, or a seq gap) terminates the
+ *  scan as torn instead of walking garbage — every variant. */
+TEST(WalScan, ImplausibleHeaderIsTorn)
+{
+    for (LogVariant v : allVariants()) {
+        SparseMemory mem;
+        Addr addr = buildCleanLog(mem, 2, 64, v);
+        mem.writeWord(addr, 3);
+        mem.writeWord(addr + 8, 12); // not a multiple of 8
+        EXPECT_TRUE(scanWalLog(mem, kLogBase, v).sawTorn)
+            << logVariantName(v);
+        EXPECT_EQ(recoverWalLog(mem, kLogBase, v), 1u);
+
+        SparseMemory gap;
+        Addr gap_at = buildCleanLog(gap, 2, 64, v);
+        appendRecord(gap, gap_at, 5, 64, v); // seq jumps 3 -> 5
+        WalScanResult scan = scanWalLog(gap, kLogBase, v);
+        EXPECT_TRUE(scan.sawTorn) << logVariantName(v);
+        EXPECT_EQ(scan.records.size(), 2u);
+    }
+}
+
+/** The checksum is seeded with seq: a stale record of identical
+ *  content never validates under a new sequence number. */
+TEST(WalChecksum, SeqSeedRejectsStaleRecords)
+{
+    const std::vector<std::uint8_t> payload =
+        payloadBytes(3, 64, LogVariant::HeaderDancing);
+    EXPECT_NE(walChecksum(payload.data(), 64, 3),
+              walChecksum(payload.data(), 64, 4));
+
+    SparseMemory mem;
+    const Addr addr =
+        buildCleanLog(mem, 2, 64, LogVariant::HeaderDancing);
+    // Record 3 reuses record 2's payload + checksum (stale data).
+    const std::vector<std::uint8_t> stale =
+        payloadBytes(2, 64, LogVariant::HeaderDancing);
+    mem.writeWord(addr, 3);
+    mem.writeWord(addr + 8, 64);
+    mem.writeWord(addr + 16, walChecksum(stale.data(), 64, 2));
+    mem.write(addr + walRecordHeaderBytes, stale.data(), 64);
+    EXPECT_TRUE(
+        scanWalLog(mem, kLogBase, LogVariant::HeaderDancing)
+            .sawTorn);
+}
+
+// --- appender workloads end to end ----------------------------------
+
+/** One full simulated run of a WAL workload (Janus + manual
+ *  pre-execution) with configurable group commit and fence group. */
+struct WalRun
+{
+    Module module;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<NvmSystem> system;
+    SparseMemory initial; ///< pre-run image (crash reconstruction)
+    Tick makespan = 0;
+    unsigned cores;
+
+    WalRun(const std::string &name, unsigned cores_in, unsigned k,
+           unsigned g, unsigned shards = 1, unsigned threads = 1,
+           bool journal = false)
+        : cores(cores_in)
+    {
+        WorkloadParams params;
+        params.txnsPerCore = 16;
+        params.walGroup = g;
+        workload = makeWorkload(name, params);
+        buildTxnLibrary(module);
+        workload->buildKernels(module, true);
+        SystemConfig config;
+        config.mode = WritePathMode::Janus;
+        config.cores = cores;
+        config.groupCommitK = k;
+        config.shards = shards;
+        config.shardThreads = threads;
+        system = std::make_unique<NvmSystem>(config, module);
+        if (journal)
+            system->mc().enableJournal();
+        std::vector<TxnSource> sources;
+        for (unsigned c = 0; c < cores; ++c) {
+            workload->setupCore(c, *system);
+            sources.push_back(workload->source(c, *system));
+        }
+        initial.copyFrom(system->mem());
+        makespan = system->run(std::move(sources));
+    }
+
+    void
+    validateAll() const
+    {
+        for (unsigned c = 0; c < cores; ++c)
+            workload->validate(system->mem(), c);
+    }
+
+    std::string
+    statsJson() const
+    {
+        std::ostringstream os;
+        system->dumpStatsJson(os);
+        return os.str();
+    }
+};
+
+TEST(WalAppend, EveryVariantAppendsAndValidates)
+{
+    for (const std::string &name : walWorkloadNames()) {
+        WalRun run(name, 2, 0, 4);
+        run.validateAll();
+        // The per-core logs really carry txnsPerCore records.
+        auto *wal =
+            dynamic_cast<WalAppendWorkload *>(run.workload.get());
+        ASSERT_NE(wal, nullptr) << name;
+        for (unsigned c = 0; c < 2; ++c) {
+            WalScanResult scan = scanWalLog(
+                run.system->mem(), wal->walBase(c), wal->variant());
+            EXPECT_FALSE(scan.sawTorn) << name;
+            EXPECT_EQ(scan.records.size(), 16u) << name;
+        }
+    }
+}
+
+// --- group commit contracts -----------------------------------------
+
+/** K=1 must be tick-identical to group commit off: same makespan,
+ *  byte-identical stats dump, identical memory image. */
+TEST(GroupCommit, KOneIsIdenticalToOff)
+{
+    for (const char *w : {"wal_header_dancing", "array_swap"}) {
+        WalRun off(w, 2, 0, 4);
+        WalRun k1(w, 2, 1, 4);
+        EXPECT_EQ(off.makespan, k1.makespan) << w;
+        EXPECT_EQ(off.statsJson(), k1.statsJson()) << w;
+        EXPECT_EQ(off.system->mem().contentHash(),
+                  k1.system->mem().contentHash())
+            << w;
+    }
+}
+
+/** Group commit defers ordering work but never changes what ends up
+ *  durable: the final image matches the gc-off run, and the gc
+ *  counters only appear in the dump when the feature is on. */
+TEST(GroupCommit, BatchingPreservesTheFinalImage)
+{
+    WalRun off("wal_mnemosyne", 2, 0, 8);
+    WalRun gc("wal_mnemosyne", 2, 8, 8);
+    gc.validateAll();
+    EXPECT_EQ(off.system->mem().contentHash(),
+              gc.system->mem().contentHash());
+    const std::string off_json = off.statsJson();
+    const std::string gc_json = gc.statsJson();
+    EXPECT_EQ(off_json.find("gcBatches"), std::string::npos);
+    EXPECT_NE(gc_json.find("gcBatches"), std::string::npos);
+    EXPECT_NE(gc_json.find("gcWritesDeferred"), std::string::npos);
+}
+
+/** No reorder across a fence: the journal records durable line
+ *  persists in acceptance order, so per-stream durability ticks must
+ *  be monotone — batching may defer a retire but never lets a
+ *  post-fence write become durable before a pre-fence one. The WAL
+ *  appends are strictly sequential, so each core's log region must
+ *  also persist in strictly increasing address order. */
+TEST(GroupCommit, NoReorderAcrossFence)
+{
+    WalRun run("wal_header_dancing", 2, 4, 4, 1, 1, true);
+    run.validateAll();
+    const auto &journal = run.system->mc().journal();
+    ASSERT_GT(journal.size(), 32u);
+    auto *wal =
+        dynamic_cast<WalAppendWorkload *>(run.workload.get());
+    ASSERT_NE(wal, nullptr);
+
+    // Exact extent of each core's log, from the final image.
+    std::vector<Addr> wal_end(run.cores);
+    for (unsigned c = 0; c < run.cores; ++c)
+        wal_end[c] = scanWalLog(run.system->mem(), wal->walBase(c),
+                                wal->variant())
+                         .tailAddr;
+
+    std::vector<Tick> last_persisted(run.cores, 0);
+    std::vector<Addr> last_addr(run.cores, 0);
+    for (const JournalEntry &e : journal) {
+        ASSERT_LT(e.stream, run.cores);
+        EXPECT_GE(e.persisted, last_persisted[e.stream]);
+        last_persisted[e.stream] = e.persisted;
+        const Addr base = wal->walBase(e.stream);
+        if (e.lineAddr >= base && e.lineAddr < wal_end[e.stream]) {
+            EXPECT_GT(e.lineAddr, last_addr[e.stream]);
+            last_addr[e.stream] = e.lineAddr;
+        }
+    }
+    // Batching actually happened.
+    EXPECT_NE(run.statsJson().find("gcBatches"), std::string::npos);
+}
+
+/** Gc-on sharded determinism: for every shard count, 1 and 4
+ *  scheduler threads must produce identical simulations — the
+ *  group-commit timers and batch closes are shard-local events. */
+TEST(GroupCommit, ShardedDeterminismWithGcOn)
+{
+    for (unsigned shards : {1u, 2u, 4u}) {
+        WalRun t1("wal_header_dancing", 4, 8, 8, shards, 1);
+        WalRun t4("wal_header_dancing", 4, 8, 8, shards, 4);
+        t1.validateAll();
+        EXPECT_EQ(t1.makespan, t4.makespan) << "shards=" << shards;
+        EXPECT_EQ(t1.statsJson(), t4.statsJson())
+            << "shards=" << shards;
+        EXPECT_EQ(t1.system->mem().contentHash(),
+                  t4.system->mem().contentHash())
+            << "shards=" << shards;
+    }
+}
+
+// --- crash audit ----------------------------------------------------
+
+class WalCrashSweep : public testing::TestWithParam<std::string>
+{
+};
+
+/** Every WAL variant recovers at every sampled persist-boundary
+ *  crash point: the torn tail truncates to the last durable record
+ *  and the remaining records validate (crash_audit drives
+ *  Workload::recover, which is recoverWalLog here). */
+TEST_P(WalCrashSweep, SampledCrashPointsAllRecover)
+{
+    AuditConfig config;
+    config.workload = GetParam();
+    config.mode = WritePathMode::Janus;
+    config.manual = true;
+    config.txnsPerCore = 8;
+    config.samplePoints = 48;
+    config.injectionTrials = 0;
+    AuditReport report = runCrashAudit(config);
+    EXPECT_TRUE(report.passed()) << report.toJson();
+    EXPECT_FALSE(report.hasFailure())
+        << "repro: " << report.repro();
+    EXPECT_GT(report.sweptPoints, 0u);
+    EXPECT_TRUE(report.backendVerified);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, WalCrashSweep,
+                         testing::ValuesIn(walWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+/** Mid-record crash images, end to end: reconstruct the durable
+ *  image at EVERY journal prefix of a real run — including the
+ *  prefixes the audit's tick-based plan cannot split, where a
+ *  single-fence variant's header is durable but its payload is not —
+ *  and require recovery + validation to hold at each one. The
+ *  header-first variants must actually exercise truncation; the
+ *  payload-first (two-fence) variants must never need it, since a
+ *  durable header implies a durable payload. */
+TEST(WalCrashImages, EveryJournalPrefixRecovers)
+{
+    for (const std::string &name : walWorkloadNames()) {
+        WalRun run(name, 1, 0, 1, 1, 1, true);
+        auto *wal =
+            dynamic_cast<WalAppendWorkload *>(run.workload.get());
+        ASSERT_NE(wal, nullptr) << name;
+        const auto &journal = run.system->mc().journal();
+        ASSERT_GT(journal.size(), 16u) << name;
+
+        PersistentImageBuilder builder(run.initial, journal);
+        unsigned truncations = 0;
+        for (std::size_t prefix = 0; prefix <= journal.size();
+             ++prefix) {
+            SparseMemory image;
+            image.copyFrom(builder.imageAt(prefix));
+            const unsigned t = wal->recover(image, 0);
+            EXPECT_LE(t, 1u) << name << " prefix " << prefix;
+            truncations += t;
+            wal->validateRecovered(image, 0);
+            // Truncation lands exactly at the last durable record.
+            EXPECT_FALSE(
+                scanWalLog(image, wal->walBase(0), wal->variant())
+                    .sawTorn)
+                << name << " prefix " << prefix;
+        }
+        const bool header_first =
+            wal->variant() == LogVariant::HeaderDancing ||
+            wal->variant() == LogVariant::Mnemosyne;
+        if (header_first)
+            EXPECT_GT(truncations, 0u) << name;
+        else
+            EXPECT_EQ(truncations, 0u) << name;
+    }
+}
+
+/** The audit also holds with group commit batching the appends and
+ *  the workload fencing only every K records. */
+TEST(WalCrashSweep, RecoversUnderGroupCommit)
+{
+    AuditConfig config;
+    config.workload = "wal_header_dancing";
+    config.mode = WritePathMode::Janus;
+    config.manual = true;
+    config.txnsPerCore = 8;
+    config.samplePoints = 32;
+    config.injectionTrials = 0;
+    config.groupCommitK = 4;
+    config.walGroup = 4;
+    AuditReport report = runCrashAudit(config);
+    EXPECT_TRUE(report.passed()) << report.toJson();
+    EXPECT_FALSE(report.hasFailure())
+        << "repro: " << report.repro();
+}
+
+} // namespace
+} // namespace janus

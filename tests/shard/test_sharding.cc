@@ -218,6 +218,13 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, ShardDeterminism,
                          ::testing::ValuesIn(allWorkloadNames()),
                          [](const auto &info) { return info.param; });
 
+// The WAL appenders stream sequential persists into one region per
+// core — a different address pattern from the Table 4 workloads, so
+// they get the same determinism contract.
+INSTANTIATE_TEST_SUITE_P(WalWorkloads, ShardDeterminism,
+                         ::testing::ValuesIn(walWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
 /** Line interleaving routes most persists to remote shards, so this
  *  exercises the cross-shard mailbox protocol (persist forwarding,
  *  acks, fence park/resume) under real concurrency. */
