@@ -40,8 +40,10 @@ namespace janus::bench
  * BENCH_*.json schema version. Bump when a field changes meaning or
  * layout; perf_diff refuses to compare mismatched versions. Version
  * 2 = version 1 + schema_version + per-experiment critical_path.
+ * Version 3 = version 2 + per-experiment persist_p999_ns plus an
+ * optional per-tenant open-loop accounting array ("tenants").
  */
-constexpr int benchSchemaVersion = 2;
+constexpr int benchSchemaVersion = 3;
 
 /** Knobs one figure point needs. */
 struct RunSpec
@@ -72,6 +74,14 @@ struct RunSpec
     unsigned groupCommitK = 0;
     /** WAL workloads: fence every G appended records. */
     unsigned walGroup = 1;
+    /** Adaptive group commit (queue-depth-triggered early close). */
+    bool gcAdaptive = false;
+    std::uint64_t gcAdaptiveQueueDepth = 16;
+    /** Controller-side QoS / admission control (inert when
+     *  qos.enabled is false). */
+    QosConfig qos;
+    /** Open-loop arrival-driven load (closed-loop when disabled). */
+    OpenLoopConfig openLoop;
 };
 
 inline ExperimentConfig
@@ -92,6 +102,10 @@ toConfig(const RunSpec &spec)
     config.sys.shardThreads = spec.shardThreads;
     config.sys.shardPolicy = spec.shardPolicy;
     config.sys.groupCommitK = spec.groupCommitK;
+    config.sys.gcAdaptive = spec.gcAdaptive;
+    config.sys.gcAdaptiveQueueDepth = spec.gcAdaptiveQueueDepth;
+    config.sys.qos = spec.qos;
+    config.openLoop = spec.openLoop;
     config.instr = spec.instr;
     config.workload.txnsPerCore = spec.txnsPerCore;
     config.workload.valueBytes = spec.valueBytes;
@@ -366,6 +380,7 @@ class BenchRunner
                 "\"stage_order_ns\": %.2f, "
                 "\"persist_p50_ns\": %.2f, "
                 "\"persist_p99_ns\": %.2f, "
+                "\"persist_p999_ns\": %.2f, "
                 // Streamlined integrity-tree engine counters (zero
                 // when streamlining is off).
                 "\"tree_cache_hits\": %llu, "
@@ -396,7 +411,7 @@ class BenchRunner
                 r.wallSeconds, r.simSeconds, r.avgWriteLatencyNs,
                 r.stageBmoNs,
                 r.stageQueueNs, r.stageOrderNs, r.persistP50Ns,
-                r.persistP99Ns,
+                r.persistP99Ns, r.persistP999Ns,
                 static_cast<unsigned long long>(r.treeCacheHits),
                 static_cast<unsigned long long>(r.treeCacheMisses),
                 r.treeCacheHitRate,
@@ -419,6 +434,8 @@ class BenchRunner
                 ticks::toNsF(rc.degradedTicks),
                 static_cast<unsigned long long>(rc.dataLossLines));
             writeCritPath(f, r.critPath);
+            if (!r.tenants.empty())
+                writeTenants(f, r.tenants);
             std::fprintf(f, "}%s\n",
                          i + 1 < results_.size() ? "," : "");
         }
@@ -552,6 +569,36 @@ class BenchRunner
                 ticks::toNsF(cp.ticksOf(edge)), cp.share(edge));
         }
         std::fprintf(f, "}}");
+    }
+
+    /** One experiment's per-tenant open-loop accounting array. */
+    static void
+    writeTenants(std::FILE *f,
+                 const std::vector<OpenLoopTenantStats> &tenants)
+    {
+        std::fprintf(f, ", \"tenants\": [");
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            const OpenLoopTenantStats &ts = tenants[t];
+            std::fprintf(
+                f,
+                "%s{\"name\": \"%s\", \"priority\": %u, "
+                "\"offered\": %llu, \"completed\": %llu, "
+                "\"shed\": %llu, \"rejected\": %llu, "
+                "\"retries\": %llu, \"max_backlog\": %llu, "
+                "\"diverged\": %s, "
+                "\"mean_ns\": %.2f, \"p50_ns\": %.2f, "
+                "\"p99_ns\": %.2f, \"p999_ns\": %.2f}",
+                t == 0 ? "" : ", ", ts.name.c_str(), ts.priority,
+                static_cast<unsigned long long>(ts.offered),
+                static_cast<unsigned long long>(ts.completed),
+                static_cast<unsigned long long>(ts.shed),
+                static_cast<unsigned long long>(ts.rejected),
+                static_cast<unsigned long long>(ts.retries),
+                static_cast<unsigned long long>(ts.maxBacklog),
+                ts.diverged ? "true" : "false", ts.meanNs, ts.p50Ns,
+                ts.p99Ns, ts.p999Ns);
+        }
+        std::fprintf(f, "]");
     }
 
     std::string name_;

@@ -44,13 +44,39 @@ TimingCore::run(TxnSource source, std::function<void()> on_done)
     schedule(0, [this] { step(); });
 }
 
-bool
-TimingCore::nextJob()
+TimingCore::JobStatus
+TimingCore::nextJob(Tick &wake_at)
 {
     std::string fn_name;
     std::vector<std::uint64_t> args;
+    if (feed_ != nullptr) {
+        switch (feed_->next(coreId_, time_, wake_at, fn_name, args)) {
+          case OpenLoopFeed::Status::Done:
+            return JobStatus::Finished;
+          case OpenLoopFeed::Status::Wait:
+            janus_assert(wake_at > time_,
+                         "%s: open-loop feed must wake in the "
+                         "future (wake %llu <= now %llu)",
+                         name().c_str(),
+                         static_cast<unsigned long long>(wake_at),
+                         static_cast<unsigned long long>(time_));
+            return JobStatus::Idle;
+          case OpenLoopFeed::Status::Ready:
+            break;
+        }
+        startJob(fn_name, args);
+        return JobStatus::Got;
+    }
     if (!source_ || !source_(fn_name, args))
-        return false;
+        return JobStatus::Finished;
+    startJob(fn_name, args);
+    return JobStatus::Got;
+}
+
+void
+TimingCore::startJob(const std::string &fn_name,
+                     const std::vector<std::uint64_t> &args)
+{
     const Function &fn = module_.fn(fn_name);
     janus_assert(args.size() == fn.numArgs,
                  "%s: %zu args to %s (wants %u)", name().c_str(),
@@ -62,7 +88,6 @@ TimingCore::nextJob()
     frames_.clear();
     frames_.push_back(std::move(frame));
     preObjs_.clear();
-    return true;
 }
 
 std::uint64_t &
@@ -582,12 +607,24 @@ TimingCore::step()
     unsigned batch = 0;
     while (true) {
         if (frames_.empty()) {
-            if (!nextJob()) {
+            Tick wake_at = 0;
+            switch (nextJob(wake_at)) {
+              case JobStatus::Finished:
                 running_ = false;
                 finishTick_ = time_;
                 if (onDone_)
                     onDone_();
                 return;
+              case JobStatus::Idle:
+                // Open-loop: the next request has not arrived yet.
+                // Idle the core to the arrival tick and re-ask (the
+                // event ends the batch so cross-core interleaving
+                // at the controller is preserved).
+                time_ = wake_at;
+                schedule(time_ - curTick(), [this] { step(); });
+                return;
+              case JobStatus::Got:
+                break;
             }
         }
         Frame &frame = frames_.back();

@@ -68,6 +68,36 @@ struct CoreConfig
 using TxnSource =
     std::function<bool(std::string &fn, std::vector<std::uint64_t> &args)>;
 
+/**
+ * Open-loop transaction feed: requests arrive on their own schedule
+ * instead of issuing when the previous one persists. When the core
+ * finishes a transaction and asks for the next one, the feed may say
+ * the next request is not due yet (Wait) — the core then idles until
+ * `wake_at` and asks again. Contrast with the closed-loop TxnSource,
+ * where the next request is always ready.
+ *
+ * next() is called only from the owning core's event context, so a
+ * feed needs no locking as long as its per-core state is disjoint
+ * (the harness OpenLoopDriver keeps it that way — determinism at
+ * every shard/thread count follows from the event core's own rules).
+ */
+class OpenLoopFeed
+{
+  public:
+    enum class Status : std::uint8_t
+    {
+        Ready, ///< fn/args filled in; run the transaction now
+        Wait,  ///< nothing due: idle until wake_at (> now), re-ask
+        Done,  ///< the request schedule is exhausted
+    };
+
+    virtual ~OpenLoopFeed() = default;
+
+    virtual Status next(unsigned core, Tick now, Tick &wake_at,
+                        std::string &fn,
+                        std::vector<std::uint64_t> &args) = 0;
+};
+
 /** An interpreting, timing-annotated hart. */
 class TimingCore : public SimObject
 {
@@ -115,6 +145,13 @@ class TimingCore : public SimObject
      */
     void remotePersistResolved(Tick now);
 
+    /**
+     * Attach an open-loop feed (null detaches). When set, the core
+     * pulls transactions from the feed instead of the TxnSource and
+     * idles between arrivals; must be attached before run().
+     */
+    void setOpenLoopFeed(OpenLoopFeed *feed) { feed_ = feed; }
+
   private:
     struct Frame
     {
@@ -128,8 +165,21 @@ class TimingCore : public SimObject
     /** The interpreter event body. */
     void step();
 
-    /** Fetch the next transaction; @return false when exhausted. */
-    bool nextJob();
+    /** Outcome of a nextJob() pull. */
+    enum class JobStatus : std::uint8_t
+    {
+        Got,      ///< a frame was set up; keep interpreting
+        Idle,     ///< open-loop: nothing due until wake_at
+        Finished, ///< the source/feed is exhausted
+    };
+
+    /** Fetch the next transaction. On Idle, @p wake_at is the tick
+     *  the next request arrives (strictly after time_). */
+    JobStatus nextJob(Tick &wake_at);
+
+    /** Install a fetched transaction as the root frame. */
+    void startJob(const std::string &fn_name,
+                  const std::vector<std::uint64_t> &args);
 
     /** Execute one instruction. @return false to end this batch
      *  (the core has rescheduled itself or finished). */
@@ -162,6 +212,7 @@ class TimingCore : public SimObject
 
     std::vector<Frame> frames_;
     TxnSource source_;
+    OpenLoopFeed *feed_ = nullptr;
     std::function<void()> onDone_;
     bool running_ = false;
     Tick time_ = 0;

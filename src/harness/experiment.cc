@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <chrono>
+#include <memory>
 
 #include "common/logging.hh"
 #include "harness/runner.hh"
@@ -36,10 +37,27 @@ runExperiment(const ExperimentConfig &requested)
     verify(module);
 
     NvmSystem system(config.sys, module);
+    // Open-loop drive: the workload's closed-loop stream becomes the
+    // payload source behind a seed-derived arrival schedule, gated
+    // through each core's home-channel admission path. The schedule
+    // is a pure function of (config, seed, core), so the offered
+    // load is identical at every shard/thread count.
+    std::unique_ptr<OpenLoopDriver> driver;
+    if (config.openLoop.enabled)
+        driver = std::make_unique<OpenLoopDriver>(
+            config.openLoop, config.sys.qos, config.sys.cores,
+            config.workload.seed);
     std::vector<TxnSource> sources;
     for (unsigned c = 0; c < config.sys.cores; ++c) {
         workload->setupCore(c, system);
-        sources.push_back(workload->source(c, system));
+        if (driver) {
+            driver->attach(c, &system.mc(system.shardOfCore(c)),
+                           workload->source(c, system));
+            system.core(c).setOpenLoopFeed(driver.get());
+            sources.emplace_back(); // feed path; never invoked
+        } else {
+            sources.push_back(workload->source(c, system));
+        }
     }
     const auto sim_start = std::chrono::steady_clock::now();
     result.makespan = system.run(std::move(sources));
@@ -48,7 +66,11 @@ runExperiment(const ExperimentConfig &requested)
             std::chrono::steady_clock::now() - sim_start)
             .count();
 
-    if (config.validate)
+    // Under open-loop drive, admission control may legitimately shed
+    // or reject requests, so closed-loop workload invariants (every
+    // scheduled transaction ran) no longer hold; only workloads with
+    // shed-tolerant validation should set validate with openLoop.
+    if (config.validate && !config.openLoop.enabled)
         for (unsigned c = 0; c < config.sys.cores; ++c)
             workload->validate(system.mem(), c);
 
@@ -62,6 +84,7 @@ runExperiment(const ExperimentConfig &requested)
     result.stageOrderNs = bd.orderNs.mean();
     result.persistP50Ns = bd.totalHistNs.quantile(0.50);
     result.persistP99Ns = bd.totalHistNs.quantile(0.99);
+    result.persistP999Ns = bd.totalHistNs.quantile(0.999);
     result.measuredDupRatio = system.dupRatio();
     result.treeCacheHits = system.treeCacheHits();
     result.treeCacheMisses = system.treeCacheMisses();
@@ -94,6 +117,8 @@ runExperiment(const ExperimentConfig &requested)
         result.traceEventsDropped = system.traceDropped();
     }
     result.critPath = system.mergedCritPath();
+    if (driver)
+        result.tenants = driver->harvest();
     if (config.sys.metrics) {
         result.metricsJson = system.metricsJson();
         result.metricsWindows = system.metricsWindows();

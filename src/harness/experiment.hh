@@ -12,6 +12,7 @@
 #include <string>
 
 #include "compiler/auto_instrument.hh"
+#include "harness/openloop.hh"
 #include "harness/system.hh"
 #include "workloads/workload.hh"
 
@@ -34,6 +35,11 @@ struct ExperimentConfig
     WorkloadParams workload;
     Instrumentation instr = Instrumentation::Manual;
     bool validate = true;
+    /** Open-loop arrival-driven load (closed-loop when disabled).
+     *  With openLoop.enabled the workload's transaction stream is
+     *  paced by the seed-derived arrival schedule and gated through
+     *  the controller's QoS admission path (config.sys.qos). */
+    OpenLoopConfig openLoop;
 };
 
 /** Digest of one run. */
@@ -49,6 +55,7 @@ struct ExperimentResult
     /** Persist-latency distribution tails (ns). */
     double persistP50Ns = 0;
     double persistP99Ns = 0;
+    double persistP999Ns = 0;
     double measuredDupRatio = 0;
     /** Fraction of consumed writes whose BMOs were fully done. */
     double fullyPreExecutedFrac = 0;
@@ -99,6 +106,13 @@ struct ExperimentResult
      */
     std::string metricsJson;
     std::uint64_t metricsWindows = 0;
+    /**
+     * Per-tenant open-loop accounting (empty unless
+     * config.openLoop.enabled). Response times measure from the
+     * scheduled arrival, so they diverge past saturation; the books
+     * always balance: offered == completed + shed + rejected.
+     */
+    std::vector<OpenLoopTenantStats> tenants;
 };
 
 /** Run one experiment to completion. */

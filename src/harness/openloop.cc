@@ -1,0 +1,295 @@
+#include "harness/openloop.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "memctrl/memory_controller.hh"
+
+namespace janus
+{
+
+namespace
+{
+
+/** Exponential variate with the given mean, at least one tick so
+ *  schedules stay strictly increasing. */
+Tick
+expTicks(Rng &rng, double mean_ticks)
+{
+    double u = rng.uniform();
+    double dt = -std::log(1.0 - u) * mean_ticks;
+    if (dt < 1.0)
+        return 1;
+    return static_cast<Tick>(dt);
+}
+
+/** Exact quantile over a sorted sample set (nearest rank). */
+double
+exactQuantileNs(const std::vector<Tick> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t idx =
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return ticks::toNsF(sorted[idx]);
+}
+
+} // namespace
+
+std::vector<Tick>
+makeArrivalSchedule(const OpenLoopConfig &cfg, std::uint64_t seed,
+                    unsigned core)
+{
+    janus_assert(cfg.ratePerUsPerCore > 0,
+                 "open-loop rate must be positive");
+    double factor = core < cfg.rateFactorOfCore.size()
+                        ? cfg.rateFactorOfCore[core]
+                        : 1.0;
+    janus_assert(factor > 0,
+                 "open-loop rate factor for core %u must be "
+                 "positive",
+                 core);
+    // Per-core generator: a pure function of (seed, core), never of
+    // the shard/thread layout — the determinism contract.
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (core + 1)));
+    const double mean_inter =
+        static_cast<double>(ticks::us) /
+        (cfg.ratePerUsPerCore * factor);
+
+    std::vector<Tick> schedule;
+    schedule.reserve(cfg.requestsPerCore);
+    Tick t = 0;
+
+    switch (cfg.process) {
+      case ArrivalProcess::Poisson: {
+          for (unsigned i = 0; i < cfg.requestsPerCore; ++i) {
+              t += expTicks(rng, mean_inter);
+              schedule.push_back(t);
+          }
+          break;
+      }
+      case ArrivalProcess::Bursty: {
+          // MMPP-2: alternate ON/OFF phases with exponential dwell;
+          // the OFF rate is derived so the long-run mean offered
+          // load stays ratePerUsPerCore (clamped at zero — a boost
+          // past 1/onFraction makes OFF fully silent).
+          const double f =
+              std::clamp(cfg.burstOnFraction, 0.01, 0.99);
+          const double boost = std::max(cfg.burstRateBoost, 1.0);
+          const double off_factor =
+              std::max(0.0, (1.0 - f * boost) / (1.0 - f));
+          const double on_mean = mean_inter / boost;
+          const double off_mean =
+              off_factor > 0 ? mean_inter / off_factor : 0;
+          const double phase =
+              static_cast<double>(cfg.burstPhaseTicks);
+          bool on = true;
+          Tick phase_end =
+              expTicks(rng, std::max(1.0, phase * f));
+          while (schedule.size() < cfg.requestsPerCore) {
+              if (on) {
+                  Tick next = t + expTicks(rng, on_mean);
+                  if (next < phase_end) {
+                      t = next;
+                      schedule.push_back(t);
+                      continue;
+                  }
+              } else if (off_mean > 0) {
+                  Tick next = t + expTicks(rng, off_mean);
+                  if (next < phase_end) {
+                      t = next;
+                      schedule.push_back(t);
+                      continue;
+                  }
+              }
+              // Phase exhausted (or OFF is silent): advance.
+              t = phase_end;
+              on = !on;
+              phase_end =
+                  t + expTicks(rng, std::max(1.0,
+                                             phase * (on ? f
+                                                         : 1.0 - f)));
+          }
+          break;
+      }
+      case ArrivalProcess::DiurnalRamp: {
+          // The instantaneous rate factor ramps linearly from start
+          // to end across the request index — a compressed diurnal
+          // curve (quiet morning to evening peak).
+          const unsigned n = std::max(1u, cfg.requestsPerCore);
+          for (unsigned i = 0; i < cfg.requestsPerCore; ++i) {
+              double frac = n > 1
+                                ? static_cast<double>(i) / (n - 1)
+                                : 0.0;
+              double factor =
+                  cfg.rampStartFactor +
+                  (cfg.rampEndFactor - cfg.rampStartFactor) * frac;
+              factor = std::max(factor, 1e-3);
+              t += expTicks(rng, mean_inter / factor);
+              schedule.push_back(t);
+          }
+          break;
+      }
+    }
+    return schedule;
+}
+
+OpenLoopDriver::OpenLoopDriver(const OpenLoopConfig &cfg,
+                               const QosConfig &qos,
+                               unsigned numCores, std::uint64_t seed)
+    : cfg_(cfg), qos_(qos)
+{
+    cores_.resize(numCores);
+    for (unsigned c = 0; c < numCores; ++c)
+        cores_[c].schedule = makeArrivalSchedule(cfg_, seed, c);
+}
+
+unsigned
+OpenLoopDriver::numTenants() const
+{
+    return std::max<unsigned>(
+        1, static_cast<unsigned>(qos_.tenants.size()));
+}
+
+unsigned
+OpenLoopDriver::tenantOf(unsigned core) const
+{
+    if (core < qos_.tenantOfCore.size())
+        return qos_.tenantOfCore[core];
+    return core % numTenants();
+}
+
+void
+OpenLoopDriver::attach(unsigned core, MemoryController *mc,
+                       TxnSource inner)
+{
+    janus_assert(core < cores_.size(), "core %u out of range", core);
+    cores_[core].mc = mc;
+    cores_[core].inner = std::move(inner);
+}
+
+OpenLoopFeed::Status
+OpenLoopDriver::next(unsigned core, Tick now, Tick &wake_at,
+                     std::string &fn,
+                     std::vector<std::uint64_t> &args)
+{
+    PerCore &pc = cores_[core];
+    if (pc.inFlight) {
+        // The previous transaction just finished (its last fence
+        // retired at `now`): response time measures from the
+        // request's *scheduled* arrival, so time spent queued
+        // behind a backlog counts — the open-loop tail.
+        pc.latencies.push_back(now - pc.inFlightArrival);
+        pc.inFlight = false;
+        ++pc.completed;
+    }
+    while (true) {
+        if (pc.nextIdx >= pc.schedule.size())
+            return Status::Done;
+        const Tick due = pc.schedule[pc.nextIdx];
+        if (pc.retryAt > now) {
+            wake_at = pc.retryAt;
+            return Status::Wait;
+        }
+        if (due > now) {
+            wake_at = due;
+            return Status::Wait;
+        }
+
+        // Backlog: how many scheduled arrivals are due but not yet
+        // dispatched. Growth without bound is the signature of
+        // offered load past saturation.
+        pc.dueScan = std::max(pc.dueScan, pc.nextIdx);
+        while (pc.dueScan < pc.schedule.size() &&
+               pc.schedule[pc.dueScan] <= now)
+            ++pc.dueScan;
+        pc.maxBacklog = std::max<std::uint64_t>(
+            pc.maxBacklog, pc.dueScan - pc.nextIdx);
+
+        AdmitDecision d =
+            pc.mc ? pc.mc->qosAdmit(core, now, due, pc.attempt)
+                  : AdmitDecision{};
+        if (d.outcome == AdmitOutcome::Retry) {
+            ++pc.attempt;
+            ++pc.retries;
+            pc.retryAt = now + std::max<Tick>(1, d.retryAfter);
+            wake_at = pc.retryAt;
+            return Status::Wait;
+        }
+        pc.attempt = 0;
+        pc.retryAt = 0;
+        if (d.outcome == AdmitOutcome::Reject ||
+            d.outcome == AdmitOutcome::Shed) {
+            // Consume the request and its transaction payload so
+            // the schedule and the workload stream stay 1:1; the
+            // transaction never executes.
+            std::string skip_fn;
+            std::vector<std::uint64_t> skip_args;
+            if (pc.inner)
+                pc.inner(skip_fn, skip_args);
+            if (d.outcome == AdmitOutcome::Reject)
+                ++pc.rejected;
+            else
+                ++pc.shed;
+            ++pc.nextIdx;
+            continue;
+        }
+        // Admitted: hand the transaction to the core.
+        if (!pc.inner || !pc.inner(fn, args))
+            return Status::Done; // workload stream exhausted
+        pc.inFlight = true;
+        pc.inFlightArrival = due;
+        ++pc.nextIdx;
+        return Status::Ready;
+    }
+}
+
+std::vector<OpenLoopTenantStats>
+OpenLoopDriver::harvest() const
+{
+    const unsigned T = numTenants();
+    std::vector<OpenLoopTenantStats> out(T);
+    std::vector<std::vector<Tick>> lat(T);
+    for (unsigned t = 0; t < T; ++t) {
+        if (t < qos_.tenants.size()) {
+            out[t].name = qos_.tenants[t].name;
+            out[t].priority = qos_.tenants[t].priority;
+        } else {
+            out[t].name = "default";
+        }
+    }
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        const PerCore &pc = cores_[c];
+        OpenLoopTenantStats &ts = out[tenantOf(c)];
+        ts.offered += pc.completed + pc.shed + pc.rejected;
+        ts.completed += pc.completed;
+        ts.shed += pc.shed;
+        ts.rejected += pc.rejected;
+        ts.retries += pc.retries;
+        ts.maxBacklog = std::max(ts.maxBacklog, pc.maxBacklog);
+        auto &dst = lat[tenantOf(c)];
+        dst.insert(dst.end(), pc.latencies.begin(),
+                   pc.latencies.end());
+    }
+    for (unsigned t = 0; t < T; ++t) {
+        std::sort(lat[t].begin(), lat[t].end());
+        out[t].diverged =
+            out[t].maxBacklog > cfg_.backlogDivergedDepth;
+        if (!lat[t].empty()) {
+            double sum = 0;
+            for (Tick v : lat[t])
+                sum += ticks::toNsF(v);
+            out[t].meanNs = sum / static_cast<double>(lat[t].size());
+        }
+        out[t].p50Ns = exactQuantileNs(lat[t], 0.50);
+        out[t].p99Ns = exactQuantileNs(lat[t], 0.99);
+        out[t].p999Ns = exactQuantileNs(lat[t], 0.999);
+    }
+    return out;
+}
+
+} // namespace janus

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Open-loop (arrival-process-driven) load generation. Every bench
+ * before this was closed-loop — the next transaction issued only
+ * when the previous one persisted — so the machine could never see
+ * a queue it couldn't drain. Here requests arrive on their own
+ * schedule: per-core arrival ticks are precomputed from the seed
+ * (a pure function of the config, so the offered load is identical
+ * at every shard/thread count) and the OpenLoopDriver feeds each
+ * core through TimingCore's OpenLoopFeed hook, idling the core
+ * between arrivals and letting a backlog build when the channel
+ * cannot keep up.
+ *
+ * The driver also fronts the controller's QoS admission path: each
+ * due request is offered to its core's home-channel controller,
+ * which may admit it, bounce it with a retry-after (the driver backs
+ * off and re-offers), terminally reject it, or shed it (deadline
+ * passed / saturation policy). Per-tenant accounting keeps the
+ * books: offered == completed + shed + rejected, always.
+ */
+
+#ifndef JANUS_HARNESS_OPENLOOP_HH
+#define JANUS_HARNESS_OPENLOOP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/timing_core.hh"
+#include "memctrl/qos.hh"
+
+namespace janus
+{
+
+/** Arrival process shapes. */
+enum class ArrivalProcess : std::uint8_t
+{
+    Poisson,     ///< exponential inter-arrivals at a fixed rate
+    Bursty,      ///< Markov-modulated on/off (MMPP-2)
+    DiurnalRamp, ///< rate ramps linearly across the run
+};
+
+/** Open-loop load-generation configuration. */
+struct OpenLoopConfig
+{
+    /** Master switch; false keeps the classic closed-loop drive. */
+    bool enabled = false;
+
+    ArrivalProcess process = ArrivalProcess::Poisson;
+
+    /** Mean offered load per core, requests per microsecond. */
+    double ratePerUsPerCore = 1.0;
+
+    /** Per-core multiplier on ratePerUsPerCore (cores beyond the
+     *  vector, or an empty vector, use 1.0). Lets a tenant mix
+     *  offer asymmetric load — e.g. latency-critical readers at a
+     *  fixed comfortable rate while bulk-writer cores sweep past
+     *  saturation. */
+    std::vector<double> rateFactorOfCore;
+
+    /** Requests per core (the schedule length). */
+    unsigned requestsPerCore = 1000;
+
+    /** Bursty: long-run fraction of time in the ON state. */
+    double burstOnFraction = 0.5;
+    /** Bursty: ON-state rate multiplier (OFF rate is derived so the
+     *  long-run mean stays ratePerUsPerCore, clamped at zero). */
+    double burstRateBoost = 1.8;
+    /** Bursty: mean length of one ON+OFF phase pair. */
+    Tick burstPhaseTicks = 50 * ticks::us;
+
+    /** Ramp: instantaneous rate factor at the first request. */
+    double rampStartFactor = 0.25;
+    /** Ramp: instantaneous rate factor at the last request. */
+    double rampEndFactor = 1.75;
+
+    /** Backlog depth (due-but-undispatched requests on one core)
+     *  past which the run is flagged as diverged — the open-loop
+     *  queue is growing without bound. */
+    std::uint64_t backlogDivergedDepth = 64;
+};
+
+/**
+ * The seed-derived arrival schedule for one core: strictly
+ * increasing ticks, length cfg.requestsPerCore. Pure function of
+ * (cfg, seed, core) — never of shard/thread layout.
+ */
+std::vector<Tick> makeArrivalSchedule(const OpenLoopConfig &cfg,
+                                      std::uint64_t seed,
+                                      unsigned core);
+
+/** Per-tenant open-loop accounting, merged across cores. */
+struct OpenLoopTenantStats
+{
+    std::string name;
+    unsigned priority = 0;
+    /** Requests the schedule offered (== completed+shed+rejected). */
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    /** Retry-after bounces (not terminal; the request was re-offered
+     *  and eventually completed, shed or rejected). */
+    std::uint64_t retries = 0;
+    /** Peak due-but-undispatched backlog on any one core. */
+    std::uint64_t maxBacklog = 0;
+    /** True when maxBacklog crossed backlogDivergedDepth. */
+    bool diverged = false;
+    /** Response time (scheduled arrival -> persist-complete), ns.
+     *  Exact quantiles over every completed request. */
+    double meanNs = 0;
+    double p50Ns = 0;
+    double p99Ns = 0;
+    double p999Ns = 0;
+};
+
+class MemoryController;
+
+/**
+ * Drives every core of one machine from its precomputed arrival
+ * schedule. One instance per experiment; attach() each core before
+ * NvmSystem::run, harvest() after. All mutable state is per-core,
+ * touched only from that core's event context.
+ */
+class OpenLoopDriver : public OpenLoopFeed
+{
+  public:
+    /**
+     * @param cfg          open-loop config (enabled assumed)
+     * @param qos          tenant table / core->tenant mapping (the
+     *                     same config the controllers run; may be
+     *                     disabled — then all admission is identity
+     *                     and every core maps to tenant 0)
+     * @param numCores     cores in the machine
+     * @param seed         workload seed (schedules derive from it)
+     */
+    OpenLoopDriver(const OpenLoopConfig &cfg, const QosConfig &qos,
+                   unsigned numCores, std::uint64_t seed);
+
+    /** Wire one core: its home-channel controller (admission) and
+     *  the workload's closed-loop transaction source (payloads). */
+    void attach(unsigned core, MemoryController *mc,
+                TxnSource inner);
+
+    // OpenLoopFeed
+    Status next(unsigned core, Tick now, Tick &wake_at,
+                std::string &fn,
+                std::vector<std::uint64_t> &args) override;
+
+    /** Per-tenant stats, merged over cores in core order. */
+    std::vector<OpenLoopTenantStats> harvest() const;
+
+    /** Requests completed on one core (shed-tolerant validation). */
+    std::uint64_t completedOn(unsigned core) const
+    {
+        return cores_[core].completed;
+    }
+
+  private:
+    struct PerCore
+    {
+        std::vector<Tick> schedule;
+        MemoryController *mc = nullptr;
+        TxnSource inner;
+        std::size_t nextIdx = 0;
+        /** Scan pointer for O(1)-amortized backlog tracking. */
+        std::size_t dueScan = 0;
+        unsigned attempt = 0;
+        Tick retryAt = 0;
+        bool inFlight = false;
+        Tick inFlightArrival = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t maxBacklog = 0;
+        /** Response time per completed request, in ticks. */
+        std::vector<Tick> latencies;
+    };
+
+    OpenLoopConfig cfg_;
+    QosConfig qos_;
+    std::vector<PerCore> cores_;
+
+    unsigned tenantOf(unsigned core) const;
+    unsigned numTenants() const;
+};
+
+} // namespace janus
+
+#endif // JANUS_HARNESS_OPENLOOP_HH

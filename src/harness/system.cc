@@ -39,6 +39,9 @@ makeMcConfig(const SystemConfig &sys, unsigned shard_cores)
     mc.profilePersist = sys.profilePersist;
     mc.groupCommitK = sys.groupCommitK;
     mc.groupCommitTimeoutTicks = sys.groupCommitTimeoutTicks;
+    mc.gcAdaptive = sys.gcAdaptive;
+    mc.gcAdaptiveQueueDepth = sys.gcAdaptiveQueueDepth;
+    mc.qos = sys.qos;
     return mc;
 }
 
@@ -645,9 +648,73 @@ NvmSystem::collectStats()
                 .set(static_cast<double>(fence_closes));
             mc_group.scalar("gcDrainCloses")
                 .set(static_cast<double>(drain_closes));
+            // Only with the adaptive knob on, so gc-on dumps from
+            // before the knob existed stay byte-identical.
+            if (config_.gcAdaptive) {
+                std::uint64_t adaptive_closes = 0;
+                for (const auto &dom : domains_)
+                    adaptive_closes += dom->mc->gcAdaptiveCloses();
+                mc_group.scalar("gcAdaptiveCloses")
+                    .set(static_cast<double>(adaptive_closes));
+            }
         }
     }
     groups.push_back(std::move(mc_group));
+
+    // Overload-robustness layer: emitted only when QoS is enabled,
+    // so every existing configuration dumps byte-identically.
+    if (config_.qos.enabled) {
+        StatGroup qos_group("qos");
+        const QosManager &q0 = domains_[0]->mc->qos();
+        std::uint64_t wd_enters = 0, wd_exits = 0;
+        for (const auto &dom : domains_) {
+            wd_enters += dom->mc->qos().watchdogEnters();
+            wd_exits += dom->mc->qos().watchdogExits();
+        }
+        qos_group.scalar("watchdogEnters")
+            .set(static_cast<double>(wd_enters));
+        qos_group.scalar("watchdogExits")
+            .set(static_cast<double>(wd_exits));
+        for (unsigned t = 0; t < q0.numTenants(); ++t) {
+            const std::string prefix = q0.tenant(t).name;
+            QosTenantCounters sum;
+            Histogram hist = domains_[0]->mc->tenantPersistNs()[t];
+            for (std::size_t s = 0; s < domains_.size(); ++s) {
+                const QosTenantCounters &c =
+                    domains_[s]->mc->qos().counters(t);
+                sum.admitted += c.admitted;
+                sum.rejected += c.rejected;
+                sum.retries += c.retries;
+                sum.shedDeadline += c.shedDeadline;
+                sum.shedSaturation += c.shedSaturation;
+                sum.throttleTicks += c.throttleTicks;
+                sum.shapedLines += c.shapedLines;
+                if (s > 0)
+                    hist.merge(
+                        domains_[s]->mc->tenantPersistNs()[t]);
+            }
+            auto u64 = [](std::uint64_t v) {
+                return static_cast<double>(v);
+            };
+            qos_group.scalar(prefix + ".admitted")
+                .set(u64(sum.admitted));
+            qos_group.scalar(prefix + ".rejected")
+                .set(u64(sum.rejected));
+            qos_group.scalar(prefix + ".retries")
+                .set(u64(sum.retries));
+            qos_group.scalar(prefix + ".shedDeadline")
+                .set(u64(sum.shedDeadline));
+            qos_group.scalar(prefix + ".shedSaturation")
+                .set(u64(sum.shedSaturation));
+            qos_group.scalar(prefix + ".shapedLines")
+                .set(u64(sum.shapedLines));
+            qos_group.scalar(prefix + ".throttleNs")
+                .set(ticks::toNsF(sum.throttleTicks));
+            qos_group.histogram(prefix + ".persistLatencyNs") =
+                hist;
+        }
+        groups.push_back(std::move(qos_group));
+    }
 
     StatGroup dev_group("nvm");
     {

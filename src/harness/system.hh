@@ -77,6 +77,15 @@ struct SystemConfig
     unsigned groupCommitK = 0;
     /** Deadline for a non-full group-commit batch. */
     Tick groupCommitTimeoutTicks = 2 * ticks::us;
+    /** Adaptive group commit: close a batch early when device queue
+     *  occupancy crosses the depth below (see MemCtrlConfig).
+     *  Off by default — tick-identical when disabled. */
+    bool gcAdaptive = false;
+    std::uint64_t gcAdaptiveQueueDepth = 16;
+    /** Controller-side overload robustness: per-tenant shaping,
+     *  bounded admission, deadlines, saturation watchdog (see
+     *  memctrl/qos.hh). Inert unless qos.enabled. */
+    QosConfig qos;
 
     // --- sharded multi-channel scale-out --------------------------
     /** Memory channels (shards); 1 = the classic serial machine. */

@@ -48,8 +48,11 @@ MemoryController::MemoryController(const MemCtrlConfig &config)
       backend_(effectiveBmoConfig(config)), device_(config.nvm),
       counterCache_("counterCache", config.counterCacheBytes,
                     config.counterCacheAssoc),
-      resilience_(config.resilience)
+      resilience_(config.resilience), qos_(config.qos)
 {
+    if (config_.qos.enabled)
+        tenantPersistNs_.assign(qos_.numTenants(),
+                                Histogram(0, 20000, 400));
     if (config_.mode == WritePathMode::Janus)
         frontend_ = std::make_unique<JanusFrontend>(config.janusHw,
                                                     engine_, backend_);
@@ -216,6 +219,21 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     janus_assert(lineOffset(line_addr) == 0,
                  "persist of unaligned line %#llx",
                  static_cast<unsigned long long>(line_addr));
+    // QoS token-bucket shaping delays the write's entry into the
+    // pipeline; everything latency-derived still measures from the
+    // true arrival (arrival0), with the delay attributed to the
+    // QosThrottle critical-path edge (folded into the bmo stage so
+    // the 3-stage partition still reconciles). Zero-cost when off.
+    const Tick arrival0 = arrival;
+    Tick qos_throttle = 0;
+    unsigned qos_tenant = 0;
+    if (qosOn()) {
+        qos_tenant = qos_.tenantOf(stream);
+        qos_.observeOccupancy(arrival0,
+                              device_.queueOccupancy(arrival0));
+        qos_throttle = qos_.shapeDelay(qos_tenant, arrival0);
+        arrival += qos_throttle;
+    }
     ++writes_;
     if (sampler_ != nullptr)
         sampler_->advanceTo(arrival);
@@ -427,7 +445,7 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     //    spans below still record per-write.
     if (groupCommitOn()) {
         GcPending pending;
-        pending.arrival = arrival;
+        pending.arrival = arrival0;
         pending.bmoDone = bmo_done;
         pending.accepted = accepted;
         pending.fifoTick = persisted;
@@ -437,6 +455,9 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         pending.metaAtomic = meta_atomic;
         if (profiling) {
             segs_.clear();
+            if (qos_throttle > 0)
+                segs_.push_back(
+                    {CritEdge::QosThrottle, qos_throttle});
             walkBmoStage(arrival, bmo_done, lookup_until,
                          consume_path);
             if (wq_ticks > 0)
@@ -498,8 +519,23 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
                              }
                          });
         }
-        if (gcBatch_.size() >= config_.groupCommitK) {
+        // Under saturation the watchdog widens batches (amortize
+        // ordering cost while the channel is drowning); identity
+        // when QoS is off or the channel is healthy.
+        const unsigned eff_k =
+            qos_.effectiveGroupCommitK(config_.groupCommitK);
+        if (gcBatch_.size() >= eff_k) {
             ++gcKCloses_;
+            gcCloseBatch();
+            result.persisted = gcLastRetire_;
+            return result;
+        }
+        // Adaptive close: queue-depth pressure says waiting for
+        // K-full would only let the backlog grow.
+        if (config_.gcAdaptive &&
+            device_.queueOccupancy(arrival) >=
+                config_.gcAdaptiveQueueDepth) {
+            ++gcAdaptiveCloses_;
             gcCloseBatch();
             result.persisted = gcLastRetire_;
             return result;
@@ -510,18 +546,24 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
     }
 
     result.persisted = persisted;
-    writeLatency_.sample(ticks::toNsF(persisted - arrival));
+    writeLatency_.sample(ticks::toNsF(persisted - arrival0));
 
-    // Stage accounting: [arrival, bmo_done, accepted, persisted]
-    // partitions the end-to-end latency exactly.
-    breakdown_.bmoNs.sample(ticks::toNsF(bmo_done - arrival));
+    // Stage accounting: [arrival0, bmo_done, accepted, persisted]
+    // partitions the end-to-end latency exactly (the QoS throttle,
+    // when present, folds into the bmo stage).
+    breakdown_.bmoNs.sample(ticks::toNsF(bmo_done - arrival0));
     breakdown_.queueNs.sample(ticks::toNsF(accepted - bmo_done));
     breakdown_.orderNs.sample(ticks::toNsF(persisted - accepted));
-    breakdown_.totalNs.sample(ticks::toNsF(persisted - arrival));
-    breakdown_.totalHistNs.sample(ticks::toNsF(persisted - arrival));
+    breakdown_.totalNs.sample(ticks::toNsF(persisted - arrival0));
+    breakdown_.totalHistNs.sample(ticks::toNsF(persisted - arrival0));
+    if (qosOn())
+        tenantPersistNs_[qos_tenant].sample(
+            ticks::toNsF(persisted - arrival0));
 
     if (profiling) {
         segs_.clear();
+        if (qos_throttle > 0)
+            segs_.push_back({CritEdge::QosThrottle, qos_throttle});
         walkBmoStage(arrival, bmo_done, lookup_until, consume_path);
         if (wq_ticks > 0)
             segs_.push_back({CritEdge::WqFull, wq_ticks});
@@ -532,13 +574,13 @@ MemoryController::persistWrite(Addr line_addr, const CacheLine &data,
         if (persisted > accepted)
             segs_.push_back(
                 {CritEdge::OrderFifo, persisted - accepted});
-        critProfiler_.addPersist(segs_, persisted - arrival);
+        critProfiler_.addPersist(segs_, persisted - arrival0);
     }
 
     if (sampler_ != nullptr) {
         sampler_->count(mWrites_);
         sampler_->observe(mPersistNs_,
-                          ticks::toNsF(persisted - arrival));
+                          ticks::toNsF(persisted - arrival0));
         sampler_->set(mQueueDepth_, device_.queueOccupancy(arrival));
         if (frontend_)
             sampler_->set(mIrbOcc_, frontend_->irbOccupancy());
@@ -681,6 +723,9 @@ MemoryController::gcCloseBatch()
         breakdown_.totalNs.sample(ticks::toNsF(retire - p.arrival));
         breakdown_.totalHistNs.sample(
             ticks::toNsF(retire - p.arrival));
+        if (qosOn())
+            tenantPersistNs_[qos_.tenantOf(p.stream)].sample(
+                ticks::toNsF(retire - p.arrival));
         if (config_.profilePersist) {
             if (retire > p.fifoTick)
                 p.segs.push_back({CritEdge::GroupCommitWait,
@@ -711,6 +756,16 @@ MemoryController::gcCloseBatch()
     ++gcBatchSeq_;
     gcLastRetire_ = retire;
     ++gcBatches_;
+}
+
+AdmitDecision
+MemoryController::qosAdmit(unsigned stream, Tick now,
+                           Tick enqueueTick, unsigned attempt)
+{
+    if (!qosOn())
+        return AdmitDecision{};
+    return qos_.admit(qos_.tenantOf(stream), now, enqueueTick,
+                      attempt, device_.queueOccupancy(now));
 }
 
 Tick

@@ -21,6 +21,7 @@
 #include "cache/set_assoc_cache.hh"
 #include "common/types.hh"
 #include "janus/janus_hw.hh"
+#include "memctrl/qos.hh"
 #include "nvm/nvm_device.hh"
 #include "nvm/wear_level.hh"
 #include "resilience/resilience.hh"
@@ -81,6 +82,19 @@ struct MemCtrlConfig
     unsigned groupCommitK = 0;
     /** Deadline for a non-full batch (armed at batch open). */
     Tick groupCommitTimeoutTicks = 2 * ticks::us;
+    /**
+     * Adaptive group commit: close the open batch early when device
+     * write-queue occupancy reaches gcAdaptiveQueueDepth entries at
+     * park time, instead of waiting for K-full or the timeout.
+     * Off by default; disabled is tick-identical to before the knob
+     * existed.
+     */
+    bool gcAdaptive = false;
+    std::uint64_t gcAdaptiveQueueDepth = 16;
+    /** Overload robustness: admission control, per-tenant shaping,
+     *  deadlines and the saturation watchdog (memctrl/qos.hh).
+     *  Inert (tick-identical) unless qos.enabled. */
+    QosConfig qos;
 };
 
 /**
@@ -237,6 +251,33 @@ class MemoryController
     std::uint64_t gcTimeoutCloses() const { return gcTimeoutCloses_; }
     std::uint64_t gcFenceCloses() const { return gcFenceCloses_; }
     std::uint64_t gcDrainCloses() const { return gcDrainCloses_; }
+    std::uint64_t gcAdaptiveCloses() const { return gcAdaptiveCloses_; }
+
+    // --- overload robustness (QoS) ----------------------------------
+    bool qosOn() const { return config_.qos.enabled; }
+
+    /** The QoS state machine (token buckets, watchdog, counters). */
+    QosManager &qos() { return qos_; }
+    const QosManager &qos() const { return qos_; }
+
+    /**
+     * Admission query for one request from @p stream. Open-loop
+     * drivers call this before dispatching a transaction; a Retry
+     * answer carries the retry-after backpressure hint. Also feeds
+     * the saturation watchdog. Always admits when QoS is off.
+     *
+     * @param enqueueTick the request's scheduled (open-loop) arrival
+     * @param attempt     0 on first try, +1 per retry
+     */
+    AdmitDecision qosAdmit(unsigned stream, Tick now,
+                           Tick enqueueTick, unsigned attempt);
+
+    /** Per-tenant persist-latency distribution (ns); sampled only
+     *  while QoS is on. Indexed by tenant. */
+    const std::vector<Histogram> &tenantPersistNs() const
+    {
+        return tenantPersistNs_;
+    }
 
     /** Metadata line address holding a data line's meta entry. */
     Addr metaLineOf(Addr line_addr) const;
@@ -428,6 +469,11 @@ class MemoryController
     std::uint64_t gcTimeoutCloses_ = 0;
     std::uint64_t gcFenceCloses_ = 0;
     std::uint64_t gcDrainCloses_ = 0;
+    std::uint64_t gcAdaptiveCloses_ = 0;
+
+    QosManager qos_;
+    /** Per-tenant persist-latency histograms (QoS runs only). */
+    std::vector<Histogram> tenantPersistNs_;
 
     /** Per-stream (per-core) FIFO durability horizons. */
     std::vector<Tick> lastPersist_;

@@ -1,0 +1,156 @@
+#include "memctrl/qos.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace janus
+{
+
+QosManager::QosManager(const QosConfig &config) : config_(config)
+{
+    tenants_ = config_.tenants;
+    if (tenants_.empty())
+        tenants_.push_back(QosTenant{});
+    tat_.assign(tenants_.size(), 0);
+    counters_.assign(tenants_.size(), QosTenantCounters{});
+    for (const QosTenant &t : tenants_)
+        shedPriority_ = std::max(shedPriority_, t.priority);
+    janus_assert(config_.watchdogExitPct < config_.watchdogEnterPct ||
+                     !config_.enabled,
+                 "watchdog exit threshold must sit below the enter "
+                 "threshold for hysteresis");
+}
+
+unsigned
+QosManager::tenantOf(unsigned core) const
+{
+    if (core < config_.tenantOfCore.size()) {
+        unsigned t = config_.tenantOfCore[core];
+        janus_assert(t < tenants_.size(),
+                     "tenantOfCore[%u] = %u out of range", core, t);
+        return t;
+    }
+    return core % static_cast<unsigned>(tenants_.size());
+}
+
+Tick
+QosManager::shapeDelay(unsigned tenantIdx, Tick now)
+{
+    if (!config_.enabled)
+        return 0;
+    const QosTenant &t = tenants_[tenantIdx];
+    if (t.shapeIntervalTicks == 0)
+        return 0;
+    // GCRA: a line is conforming while the theoretical arrival time
+    // lags `now` by at most the burst tolerance; otherwise it waits
+    // until it conforms. Integer ticks throughout, so the schedule
+    // is exactly reproducible.
+    Tick tolerance =
+        (std::max<std::uint64_t>(t.shapeBurstLines, 1) - 1) *
+        t.shapeIntervalTicks;
+    Tick tat = std::max(tat_[tenantIdx], now);
+    Tick eligible = tat > tolerance ? tat - tolerance : 0;
+    Tick delay = eligible > now ? eligible - now : 0;
+    tat_[tenantIdx] = tat + t.shapeIntervalTicks;
+    QosTenantCounters &c = counters_[tenantIdx];
+    if (delay > 0) {
+        c.throttleTicks += delay;
+        ++c.shapedLines;
+    }
+    return delay;
+}
+
+AdmitDecision
+QosManager::admit(unsigned tenantIdx, Tick now, Tick enqueueTick,
+                  unsigned attempt, std::uint64_t occupancy)
+{
+    AdmitDecision d;
+    if (!config_.enabled) {
+        return d;
+    }
+    observeOccupancy(now, occupancy);
+    const QosTenant &t = tenants_[tenantIdx];
+    QosTenantCounters &c = counters_[tenantIdx];
+
+    // Deadline path: a request that has already waited past its
+    // deadline cannot meet it no matter what the channel does now —
+    // executing it only adds load. Shed it and account for it.
+    if (t.deadlineTicks > 0 && now >= enqueueTick &&
+        now - enqueueTick > t.deadlineTicks) {
+        ++c.shedDeadline;
+        d.outcome = AdmitOutcome::Shed;
+        return d;
+    }
+
+    // Saturation policy: shed the lowest-priority tenant class
+    // outright while the watchdog says the channel is drowning.
+    if (saturated_ && t.priority == shedPriority_ &&
+        shedPriority_ > 0) {
+        ++c.shedSaturation;
+        d.outcome = AdmitOutcome::Shed;
+        return d;
+    }
+
+    // Bounded admission queue with priority headroom: priority-0
+    // tenants may fill the whole bound; everyone else only the
+    // configured fraction of it.
+    if (config_.admissionQueueEntries > 0) {
+        std::uint64_t bound = config_.admissionQueueEntries;
+        if (t.priority > 0)
+            bound = bound * config_.lowPriorityAdmitPct / 100;
+        if (occupancy >= bound) {
+            if (attempt >= config_.maxRetries) {
+                // Retry budget exhausted: terminal rejection.
+                ++c.rejected;
+                d.outcome = AdmitOutcome::Reject;
+                return d;
+            }
+            ++c.retries;
+            d.outcome = AdmitOutcome::Retry;
+            // Deterministic exponential backoff, capped so the
+            // shift cannot overflow.
+            unsigned shift = std::min(attempt, 16u);
+            d.retryAfter = config_.retryBackoffTicks
+                           << static_cast<Tick>(shift);
+            return d;
+        }
+    }
+
+    ++c.admitted;
+    return d;
+}
+
+void
+QosManager::observeOccupancy(Tick now, std::uint64_t occupancy)
+{
+    if (!config_.enabled || config_.admissionQueueEntries == 0)
+        return;
+    std::uint64_t enter = config_.admissionQueueEntries *
+                          config_.watchdogEnterPct / 100;
+    std::uint64_t exit = config_.admissionQueueEntries *
+                         config_.watchdogExitPct / 100;
+    if (now < lastTransition_ + config_.watchdogDwellTicks &&
+        (watchdogEnters_ + watchdogExits_) > 0) {
+        return; // dwell window: hold the current state
+    }
+    if (!saturated_ && occupancy >= enter) {
+        saturated_ = true;
+        lastTransition_ = now;
+        ++watchdogEnters_;
+    } else if (saturated_ && occupancy <= exit) {
+        saturated_ = false;
+        lastTransition_ = now;
+        ++watchdogExits_;
+    }
+}
+
+unsigned
+QosManager::effectiveGroupCommitK(unsigned baseK) const
+{
+    if (!config_.enabled || !saturated_ || baseK <= 1)
+        return baseK;
+    return baseK * std::max(config_.gcWidenFactor, 1u);
+}
+
+} // namespace janus

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Controller-side overload robustness: per-tenant token-bucket
+ * bandwidth shaping, a bounded admission queue with explicit
+ * backpressure (retry-after), a per-request deadline path that sheds
+ * hopeless requests, and a saturation watchdog that drives graceful
+ * degradation (shed the lowest-priority tenant first, widen
+ * group-commit batches).
+ *
+ * Everything here is deterministic and integer-tick: the token
+ * buckets are GCRA-style (theoretical arrival time per tenant), the
+ * watchdog uses occupancy thresholds with hysteresis plus a minimum
+ * dwell window, and retry-after backoff is a pure function of the
+ * attempt number. With `QosConfig::enabled == false` every query
+ * returns the identity answer (zero delay, admit everything) and no
+ * state mutates, so the machine is tick-identical to a build without
+ * this layer.
+ *
+ * Tenancy: a *tenant* is a named class of traffic; cores (persist
+ * streams) map onto tenants via `QosConfig::tenantOfCore` (falling
+ * back to core % tenants). Priority 0 is the most protected; the
+ * numerically largest priority is shed first under saturation.
+ */
+
+#ifndef JANUS_MEMCTRL_QOS_HH
+#define JANUS_MEMCTRL_QOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace janus
+{
+
+/** Static description of one tenant (class of traffic). */
+struct QosTenant
+{
+    /** Stable name (stats keys, bench JSON). */
+    std::string name = "default";
+
+    /** Strict priority; 0 is most protected, larger numbers are
+     *  deprioritised and shed first under saturation. */
+    unsigned priority = 0;
+
+    /**
+     * Token-bucket shaping: minimum ticks between admitted lines
+     * (GCRA increment). 0 disables shaping for this tenant.
+     */
+    Tick shapeIntervalTicks = 0;
+
+    /** Bucket depth in lines (credit for bursts); >= 1. */
+    std::uint64_t shapeBurstLines = 1;
+
+    /**
+     * Per-request deadline in ticks measured from the request's
+     * scheduled arrival. A request that has already waited longer
+     * than this at admission time is hopeless and is shed instead
+     * of admitted. 0 disables the deadline path.
+     */
+    Tick deadlineTicks = 0;
+};
+
+/** Controller-side QoS / admission configuration. */
+struct QosConfig
+{
+    /** Master switch; false leaves the controller untouched. */
+    bool enabled = false;
+
+    /**
+     * Bounded admission queue: requests are rejected with a
+     * retry-after once device write-queue occupancy reaches this
+     * many entries. 0 means no admission bound.
+     */
+    std::uint64_t admissionQueueEntries = 0;
+
+    /**
+     * Priority headroom: tenants with priority > 0 are only admitted
+     * while occupancy is below this percentage of the admission
+     * bound, reserving the remainder for priority-0 traffic.
+     */
+    unsigned lowPriorityAdmitPct = 75;
+
+    /** Base retry-after backoff in ticks (doubles per attempt). */
+    Tick retryBackoffTicks = 2000;
+
+    /** Attempts before a rejected request is terminally rejected. */
+    unsigned maxRetries = 8;
+
+    /** Watchdog enters saturation at occupancy >= this % of the
+     *  admission bound. */
+    unsigned watchdogEnterPct = 90;
+
+    /** Watchdog exits saturation at occupancy <= this % (must be
+     *  below the enter threshold for hysteresis). */
+    unsigned watchdogExitPct = 50;
+
+    /** Minimum ticks the watchdog stays in either state before a
+     *  transition is allowed (dwell window). */
+    Tick watchdogDwellTicks = 10000;
+
+    /** While saturated, the effective group-commit K is multiplied
+     *  by this factor (wider batches amortise ordering cost). */
+    unsigned gcWidenFactor = 2;
+
+    /** Tenant table; empty means a single implicit unshaped tenant. */
+    std::vector<QosTenant> tenants;
+
+    /** core -> tenant index; cores beyond the vector (or an empty
+     *  vector) map to core % tenants.size(). */
+    std::vector<unsigned> tenantOfCore;
+};
+
+/** Outcome of an admission query. */
+enum class AdmitOutcome : std::uint8_t
+{
+    Admit,  ///< proceed; the controller will take the write(s)
+    Retry,  ///< queue full: back off and retry after `retryAfter`
+    Reject, ///< terminally rejected: retry budget exhausted
+    Shed,   ///< dropped by policy (deadline passed, saturation)
+};
+
+/** Admission decision plus the backpressure hint. */
+struct AdmitDecision
+{
+    AdmitOutcome outcome = AdmitOutcome::Admit;
+
+    /** For Retry: ticks the issuer should wait before re-asking. */
+    Tick retryAfter = 0;
+};
+
+/** Per-tenant running counters (merged across shards post-run). */
+struct QosTenantCounters
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;     ///< terminal rejects (retries exhausted)
+    std::uint64_t retries = 0;      ///< Retry answers handed out
+    std::uint64_t shedDeadline = 0; ///< shed because the deadline passed
+    std::uint64_t shedSaturation = 0; ///< shed by the watchdog policy
+    std::uint64_t throttleTicks = 0;  ///< total shaping delay imposed
+    std::uint64_t shapedLines = 0;    ///< lines that paid a nonzero delay
+};
+
+/**
+ * The deterministic QoS state machine. One instance per memory
+ * controller (per shard); tenants' token buckets are therefore
+ * per-channel, which matches the per-channel bandwidth they shape.
+ */
+class QosManager
+{
+  public:
+    explicit QosManager(const QosConfig &config);
+
+    bool enabled() const { return config_.enabled; }
+
+    /** Number of tenants (>= 1 once enabled). */
+    unsigned numTenants() const
+    {
+        return static_cast<unsigned>(tenants_.size());
+    }
+
+    const QosTenant &tenant(unsigned t) const { return tenants_[t]; }
+
+    /** Map a core / persist stream to its tenant index. */
+    unsigned tenantOf(unsigned core) const;
+
+    /**
+     * Token-bucket shaping: how many ticks the next line from
+     * @p tenantIdx must wait beyond @p now before it may enter the
+     * pipeline. Mutates the bucket (the line is considered sent at
+     * now + returned delay). Returns 0 when QoS or shaping is off.
+     */
+    Tick shapeDelay(unsigned tenantIdx, Tick now);
+
+    /**
+     * Admission control for one request.
+     *
+     * @param tenantIdx   tenant issuing the request
+     * @param now         current tick at the controller
+     * @param enqueueTick when the request was scheduled to arrive
+     *                    (open-loop arrival; deadline base)
+     * @param attempt     0 for the first try, +1 per retry
+     * @param occupancy   device write-queue occupancy in entries
+     */
+    AdmitDecision admit(unsigned tenantIdx, Tick now,
+                        Tick enqueueTick, unsigned attempt,
+                        std::uint64_t occupancy);
+
+    /**
+     * Feed the saturation watchdog one occupancy observation.
+     * Transitions respect hysteresis thresholds and the dwell
+     * window. Called on every persist and every admission query.
+     */
+    void observeOccupancy(Tick now, std::uint64_t occupancy);
+
+    /** True while the watchdog considers the channel saturated. */
+    bool saturated() const { return saturated_; }
+
+    /** Effective group-commit K given the configured base K:
+     *  widened while saturated, identity otherwise. */
+    unsigned effectiveGroupCommitK(unsigned baseK) const;
+
+    std::uint64_t watchdogEnters() const { return watchdogEnters_; }
+    std::uint64_t watchdogExits() const { return watchdogExits_; }
+
+    const QosTenantCounters &counters(unsigned t) const
+    {
+        return counters_[t];
+    }
+
+  private:
+    QosConfig config_;
+    std::vector<QosTenant> tenants_;
+
+    /** GCRA theoretical-arrival-time per tenant. */
+    std::vector<Tick> tat_;
+
+    std::vector<QosTenantCounters> counters_;
+
+    bool saturated_ = false;
+    Tick lastTransition_ = 0;
+    std::uint64_t watchdogEnters_ = 0;
+    std::uint64_t watchdogExits_ = 0;
+
+    /** The priority number shed first (max across tenants). */
+    unsigned shedPriority_ = 0;
+};
+
+} // namespace janus
+
+#endif // JANUS_MEMCTRL_QOS_HH

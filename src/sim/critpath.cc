@@ -37,6 +37,8 @@ critEdgeName(CritEdge edge)
         return "order_fifo";
       case CritEdge::GroupCommitWait:
         return "group_commit_wait";
+      case CritEdge::QosThrottle:
+        return "qos_throttle";
     }
     return "?";
 }

@@ -22,6 +22,9 @@
  *                launched before the write arrived;
  *                Unattributed — defensive catch-all so the partition
  *                never silently lies (zero on all known paths);
+ *                QosThrottle — per-tenant token-bucket shaping
+ *                delayed the write's entry into the BMO pipeline
+ *                (exactly 0 when QoS is off);
  *   queue stage  WqFull — NVM write-queue acceptance stall;
  *                MediaRetry — write-verify retries / bad-line remap
  *                programming (resilience layer);
@@ -67,11 +70,12 @@ enum class CritEdge : std::uint8_t
     MetaCowrite,  ///< metadata co-write bound durability
     OrderFifo,    ///< per-stream FIFO ordering wait
     GroupCommitWait, ///< parked awaiting group-commit batch retire
+    QosThrottle,  ///< per-tenant token-bucket shaping delay
 };
 
 /** Number of edge types (array sizing). */
 constexpr std::size_t numCritEdges =
-    static_cast<std::size_t>(CritEdge::GroupCommitWait) + 1;
+    static_cast<std::size_t>(CritEdge::QosThrottle) + 1;
 
 /** Stable snake_case edge name (JSON keys, flame-graph frames). */
 const char *critEdgeName(CritEdge edge);

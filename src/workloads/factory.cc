@@ -7,6 +7,7 @@
 #include "workloads/queue.hh"
 #include "workloads/rb_tree.hh"
 #include "workloads/tatp.hh"
+#include "workloads/tenant_mix.hh"
 #include "workloads/tpcc.hh"
 #include "workloads/wal_append.hh"
 
@@ -52,6 +53,8 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return std::make_unique<TatpWorkload>(params);
     if (name == "tpcc")
         return std::make_unique<TpccWorkload>(params);
+    if (name == "tenant_mix")
+        return std::make_unique<TenantMixWorkload>(params);
     if (name == "wal_classic")
         return std::make_unique<WalAppendWorkload>(
             params, LogVariant::Classic);

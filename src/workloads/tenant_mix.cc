@@ -1,0 +1,261 @@
+#include "workloads/tenant_mix.hh"
+
+#include "common/logging.hh"
+#include "ir/builder.hh"
+
+namespace janus
+{
+
+QosConfig
+tenantMixQos()
+{
+    QosConfig qos;
+    qos.enabled = true;
+    QosTenant rand_reader;
+    rand_reader.name = "rand_reader";
+    rand_reader.priority = 0;
+    QosTenant seq_reader;
+    seq_reader.name = "seq_reader";
+    seq_reader.priority = 0;
+    QosTenant flusher;
+    flusher.name = "page_flusher";
+    flusher.priority = 1;
+    QosTenant logger;
+    logger.name = "log_writer";
+    logger.priority = 2;
+    qos.tenants = {rand_reader, seq_reader, flusher, logger};
+    // tenantOfCore empty: core % 4 matches tenantMixRole exactly.
+    return qos;
+}
+
+void
+TenantMixWorkload::buildKernels(Module &module, bool manual) const
+{
+    // The mix studies controller-side QoS, not pre-execution: both
+    // instrumentation flavors build the identical plain kernels.
+    (void)manual;
+    IrBuilder b(module);
+
+    // tm_persist_line(addr, v): persist one line filled with v..v+7.
+    b.beginFunction("tm_persist_line", 2);
+    {
+        int addr = b.arg(0);
+        int v = b.arg(1);
+        for (unsigned w = 0; w < lineBytes / 8; ++w)
+            b.store(addr, b.addI(v, w), 8 * w);
+        b.clwb(addr, lineBytes);
+        b.sfence();
+        b.ret();
+    }
+    b.endFunction();
+
+    // tm_persist_page(addr, v): persist pageLines consecutive lines
+    // (one bulk flush); line l is filled with (v + (l<<8)) + w.
+    b.beginFunction("tm_persist_page", 2);
+    {
+        int addr = b.arg(0);
+        int v = b.arg(1);
+        for (unsigned l = 0; l < pageLines; ++l) {
+            int la = b.addI(addr, l * lineBytes);
+            int lv = b.addI(v, std::int64_t(l) << 8);
+            for (unsigned w = 0; w < lineBytes / 8; ++w)
+                b.store(la, b.addI(lv, w), 8 * w);
+            b.clwb(la, lineBytes);
+        }
+        b.sfence();
+        b.ret();
+    }
+    b.endFunction();
+
+    // tm_probe(a0, a1, a2, a3, cur, v): four dependent-free reads
+    // followed by a one-line cursor persist (the reader's only write
+    // — constant per core, so replays are idempotent).
+    b.beginFunction("tm_probe", 2 + probesPerTxn);
+    {
+        for (unsigned p = 0; p < probesPerTxn; ++p)
+            b.load(b.arg(p));
+        int cur = b.arg(probesPerTxn);
+        int v = b.arg(probesPerTxn + 1);
+        for (unsigned w = 0; w < lineBytes / 8; ++w)
+            b.store(cur, b.addI(v, w), 8 * w);
+        b.clwb(cur, lineBytes);
+        b.sfence();
+        b.ret();
+    }
+    b.endFunction();
+}
+
+std::uint64_t
+TenantMixWorkload::slotWord(unsigned core, std::uint64_t slot)
+{
+    // Depends only on (core, slot): wraps and replays rewrite the
+    // identical value, sheds simply leave the slot untouched.
+    return (std::uint64_t(core + 1) << 40) ^ (slot << 16) ^ 0x7153;
+}
+
+void
+TenantMixWorkload::setupCore(unsigned core, NvmSystem &system)
+{
+    Addr heap_bytes = 0;
+    switch (tenantMixRole(core)) {
+      case TenantRole::RandomReader:
+      case TenantRole::SequentialReader:
+        heap_bytes = Addr(readLines) * lineBytes;
+        break;
+      case TenantRole::PageFlusher:
+        heap_bytes = Addr(flushPages) * pageLines * lineBytes;
+        break;
+      case TenantRole::LogWriter:
+        heap_bytes = Addr(logSlots) * lineBytes;
+        break;
+    }
+    CoreState &cs =
+        allocCommon(core, system, heap_bytes, lineBytes, lineBytes);
+
+    if (seqPos_.size() <= core) {
+        seqPos_.resize(core + 1, 0);
+        seq_.resize(core + 1, 0);
+    }
+    seqPos_[core] = 0;
+    seq_[core] = 0;
+
+    // Reader probe regions hold recognizable contents so validation
+    // can assert the probes never wrote there.
+    TenantRole role = tenantMixRole(core);
+    if (role == TenantRole::RandomReader ||
+        role == TenantRole::SequentialReader) {
+        SparseMemory &mem = system.mem();
+        for (unsigned l = 0; l < readLines; ++l)
+            for (unsigned w = 0; w < lineBytes / 8; ++w)
+                mem.writeWord(cs.heap + Addr(l) * lineBytes + 8 * w,
+                              slotWord(core, 0x8000u + l) + w);
+        warmRegion(system, core, cs.heap, heap_bytes);
+    }
+}
+
+bool
+TenantMixWorkload::next(unsigned core, SparseMemory &mem,
+                        std::string &fn,
+                        std::vector<std::uint64_t> &args)
+{
+    (void)mem;
+    CoreState &cs = cores_.at(core);
+    if (cs.txnsLeft == 0)
+        return false;
+    --cs.txnsLeft;
+    const std::uint64_t seq = seq_[core]++;
+
+    switch (tenantMixRole(core)) {
+      case TenantRole::RandomReader: {
+          fn = "tm_probe";
+          args.clear();
+          for (unsigned p = 0; p < probesPerTxn; ++p)
+              args.push_back(cs.heap +
+                             Addr(cs.rng.below(readLines)) *
+                                 lineBytes);
+          args.push_back(cs.scratch);
+          args.push_back(slotWord(core, 0));
+          return true;
+      }
+      case TenantRole::SequentialReader: {
+          fn = "tm_probe";
+          args.clear();
+          for (unsigned p = 0; p < probesPerTxn; ++p) {
+              args.push_back(cs.heap +
+                             Addr(seqPos_[core] % readLines) *
+                                 lineBytes);
+              ++seqPos_[core];
+          }
+          args.push_back(cs.scratch);
+          args.push_back(slotWord(core, 0));
+          return true;
+      }
+      case TenantRole::PageFlusher: {
+          const std::uint64_t page = cs.rng.below(flushPages);
+          fn = "tm_persist_page";
+          args = {cs.heap + page * pageLines * lineBytes,
+                  slotWord(core, page)};
+          return true;
+      }
+      case TenantRole::LogWriter: {
+          const std::uint64_t slot = seq % logSlots;
+          fn = "tm_persist_line";
+          args = {cs.heap + slot * lineBytes, slotWord(core, slot)};
+          return true;
+      }
+    }
+    return false;
+}
+
+void
+TenantMixWorkload::checkLine(const SparseMemory &mem, Addr line,
+                             unsigned core, std::uint64_t base,
+                             const char *what) const
+{
+    bool all_zero = true;
+    for (unsigned w = 0; w < lineBytes / 8; ++w)
+        if (mem.readWord(line + 8 * w) != 0)
+            all_zero = false;
+    if (all_zero)
+        return; // never persisted (shed / not yet reached): legal
+    for (unsigned w = 0; w < lineBytes / 8; ++w)
+        janus_assert(mem.readWord(line + 8 * w) == base + w,
+                     "tenant_mix core %u: %s line %#llx word %u "
+                     "corrupt",
+                     core, what,
+                     static_cast<unsigned long long>(line), w);
+}
+
+void
+TenantMixWorkload::validate(const SparseMemory &mem,
+                            unsigned core) const
+{
+    const CoreState &cs = cores_.at(core);
+    switch (tenantMixRole(core)) {
+      case TenantRole::RandomReader:
+      case TenantRole::SequentialReader: {
+          // Probe region must be exactly its initial contents.
+          for (unsigned l = 0; l < readLines; ++l)
+              for (unsigned w = 0; w < lineBytes / 8; ++w)
+                  janus_assert(
+                      mem.readWord(cs.heap + Addr(l) * lineBytes +
+                                   8 * w) ==
+                          slotWord(core, 0x8000u + l) + w,
+                      "tenant_mix core %u: reader clobbered its "
+                      "probe region (line %u word %u)",
+                      core, l, w);
+          checkLine(mem, cs.scratch, core, slotWord(core, 0),
+                    "cursor");
+          break;
+      }
+      case TenantRole::PageFlusher: {
+          for (unsigned p = 0; p < flushPages; ++p)
+              for (unsigned l = 0; l < pageLines; ++l)
+                  checkLine(mem,
+                            cs.heap +
+                                (Addr(p) * pageLines + l) * lineBytes,
+                            core,
+                            slotWord(core, p) +
+                                (std::uint64_t(l) << 8),
+                            "page");
+          break;
+      }
+      case TenantRole::LogWriter: {
+          for (unsigned s = 0; s < logSlots; ++s)
+              checkLine(mem, cs.heap + Addr(s) * lineBytes, core,
+                        slotWord(core, s), "log");
+          break;
+      }
+    }
+}
+
+void
+TenantMixWorkload::validateRecovered(const SparseMemory &mem,
+                                     unsigned core) const
+{
+    // Every persist is slot-idempotent, so any boundary image obeys
+    // the same lenient invariant the end-of-run check uses.
+    validate(mem, core);
+}
+
+} // namespace janus

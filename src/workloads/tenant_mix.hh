@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mixed-tenant service workload for the overload-robustness studies:
+ * four co-running traffic classes — a log writer (append-heavy,
+ * latency-tolerant), a page flusher (bulk multi-line persists), and
+ * random / sequential readers (latency-critical probes with a tiny
+ * cursor persist) — mapped onto cores round-robin (core % 4).
+ *
+ * Every transaction's persistent effect depends only on (core, slot),
+ * never on *when* or *whether* earlier transactions ran, so the
+ * workload is shed-tolerant by construction: under open-loop drive
+ * with admission control, any subset of the scheduled transactions
+ * may have been shed or rejected and validation still holds (each
+ * slot is either untouched or carries exactly its expected value).
+ */
+
+#ifndef JANUS_WORKLOADS_TENANT_MIX_HH
+#define JANUS_WORKLOADS_TENANT_MIX_HH
+
+#include "memctrl/qos.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+
+/** Traffic-class roles, assigned per core as core % 4. */
+enum class TenantRole : std::uint8_t
+{
+    RandomReader,     ///< tenant 0, priority 0 (most protected)
+    SequentialReader, ///< tenant 1, priority 0
+    PageFlusher,      ///< tenant 2, priority 1
+    LogWriter,        ///< tenant 3, priority 2 (shed first)
+};
+
+/** Role of a core under the fixed round-robin mapping. */
+inline TenantRole
+tenantMixRole(unsigned core)
+{
+    return static_cast<TenantRole>(core % 4);
+}
+
+/**
+ * The canonical QoS tenant table for this mix: four tenants named
+ * after the roles, tenantOfCore = core % 4, readers priority 0,
+ * flusher 1, logger 2. Shaping is configured by the caller
+ * (shapeIntervalTicks == 0 leaves a tenant unshaped).
+ */
+QosConfig tenantMixQos();
+
+/** See file comment. */
+class TenantMixWorkload : public Workload
+{
+  public:
+    explicit TenantMixWorkload(const WorkloadParams &params)
+        : Workload(params)
+    {}
+
+    std::string name() const override { return "tenant_mix"; }
+    void buildKernels(Module &module, bool manual) const override;
+    void setupCore(unsigned core, NvmSystem &system) override;
+    bool next(unsigned core, SparseMemory &mem, std::string &fn,
+              std::vector<std::uint64_t> &args) override;
+    void validate(const SparseMemory &mem,
+                  unsigned core) const override;
+    void validateRecovered(const SparseMemory &mem,
+                           unsigned core) const override;
+
+    /** Log-record line slots a writer core cycles through. */
+    static constexpr unsigned logSlots = 256;
+    /** Flusher pages per core and lines per page. */
+    static constexpr unsigned flushPages = 16;
+    static constexpr unsigned pageLines = 4;
+    /** Reader probe region in lines. */
+    static constexpr unsigned readLines = 64;
+    /** Probes per reader transaction. */
+    static constexpr unsigned probesPerTxn = 4;
+
+  private:
+    /** Expected first word of a persisted line slot. */
+    static std::uint64_t slotWord(unsigned core, std::uint64_t slot);
+
+    /** Check one line: all-zero (never persisted) or base+w words. */
+    void checkLine(const SparseMemory &mem, Addr line, unsigned core,
+                   std::uint64_t base, const char *what) const;
+
+    /** Per-core sequential-reader cursor (volatile bookkeeping). */
+    std::vector<std::uint64_t> seqPos_;
+    /** Per-core transaction sequence number (slot selection). */
+    std::vector<std::uint64_t> seq_;
+};
+
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_TENANT_MIX_HH

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Open-loop load generation and its end-to-end contracts: arrival
+ * schedules are pure functions of (config, seed, core); per-tenant
+ * books always balance (offered == completed + shed + rejected);
+ * results are invariant across shard and scheduler-thread counts;
+ * the QoS layer is tick-invisible when disabled (byte-identical
+ * stats dumps, zero qos_throttle critical-path share); and adaptive
+ * group commit is tick-identical while its trigger never fires.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/openloop.hh"
+#include "harness/system.hh"
+#include "sim/critpath.hh"
+#include "txn/undo_log.hh"
+#include "workloads/tenant_mix.hh"
+#include "workloads/workload.hh"
+
+namespace janus
+{
+namespace
+{
+
+// --- arrival schedules ----------------------------------------------
+
+OpenLoopConfig
+loadConfig(ArrivalProcess process, double rate = 2.0,
+           unsigned requests = 64)
+{
+    OpenLoopConfig cfg;
+    cfg.enabled = true;
+    cfg.process = process;
+    cfg.ratePerUsPerCore = rate;
+    cfg.requestsPerCore = requests;
+    return cfg;
+}
+
+TEST(ArrivalSchedule, StrictlyIncreasingFullLength)
+{
+    for (ArrivalProcess p :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty,
+          ArrivalProcess::DiurnalRamp}) {
+        std::vector<Tick> s =
+            makeArrivalSchedule(loadConfig(p), 1, 0);
+        ASSERT_EQ(s.size(), 64u);
+        for (std::size_t i = 1; i < s.size(); ++i)
+            EXPECT_LT(s[i - 1], s[i])
+                << "process " << static_cast<int>(p) << " idx " << i;
+    }
+}
+
+TEST(ArrivalSchedule, PureFunctionOfConfigSeedCore)
+{
+    OpenLoopConfig cfg = loadConfig(ArrivalProcess::Poisson);
+    EXPECT_EQ(makeArrivalSchedule(cfg, 7, 3),
+              makeArrivalSchedule(cfg, 7, 3));
+    EXPECT_NE(makeArrivalSchedule(cfg, 7, 3),
+              makeArrivalSchedule(cfg, 8, 3));
+    EXPECT_NE(makeArrivalSchedule(cfg, 7, 3),
+              makeArrivalSchedule(cfg, 7, 4));
+}
+
+TEST(ArrivalSchedule, MeanRateTracksTheConfiguredLoad)
+{
+    OpenLoopConfig cfg =
+        loadConfig(ArrivalProcess::Poisson, 2.0, 2000);
+    std::vector<Tick> s = makeArrivalSchedule(cfg, 1, 0);
+    double mean_inter =
+        static_cast<double>(s.back()) / static_cast<double>(s.size());
+    // 2 req/us -> 0.5 us between arrivals, within sampling noise.
+    EXPECT_NEAR(mean_inter, 0.5 * ticks::us, 0.05 * ticks::us);
+}
+
+TEST(ArrivalSchedule, PerCoreRateFactorScalesTheMeanRate)
+{
+    OpenLoopConfig cfg =
+        loadConfig(ArrivalProcess::Poisson, 2.0, 2000);
+    cfg.rateFactorOfCore = {1.0, 2.0};
+    std::vector<Tick> base = makeArrivalSchedule(cfg, 1, 0);
+    std::vector<Tick> fast = makeArrivalSchedule(cfg, 1, 1);
+    auto meanInter = [](const std::vector<Tick> &s) {
+        return static_cast<double>(s.back()) /
+               static_cast<double>(s.size());
+    };
+    // Core 1 offers 2x the rate: half the mean inter-arrival.
+    EXPECT_NEAR(meanInter(base), 0.5 * ticks::us,
+                0.05 * ticks::us);
+    EXPECT_NEAR(meanInter(fast), 0.25 * ticks::us,
+                0.025 * ticks::us);
+    // Cores past the vector default to factor 1.0, and a factor of
+    // exactly 1.0 leaves the schedule untouched.
+    EXPECT_EQ(makeArrivalSchedule(cfg, 1, 2),
+              [&] {
+                  OpenLoopConfig plain = cfg;
+                  plain.rateFactorOfCore.clear();
+                  return makeArrivalSchedule(plain, 1, 2);
+              }());
+    OpenLoopConfig plain = cfg;
+    plain.rateFactorOfCore.clear();
+    EXPECT_EQ(base, makeArrivalSchedule(plain, 1, 0));
+}
+
+TEST(ArrivalSchedule, RampStartsSlowEndsFast)
+{
+    OpenLoopConfig cfg =
+        loadConfig(ArrivalProcess::DiurnalRamp, 2.0, 1000);
+    cfg.rampStartFactor = 0.25;
+    cfg.rampEndFactor = 1.75;
+    std::vector<Tick> s = makeArrivalSchedule(cfg, 1, 0);
+    // First-quarter inter-arrival gaps are much wider than
+    // last-quarter gaps.
+    Tick head = s[250] - s[0];
+    Tick tail = s[999] - s[749];
+    EXPECT_GT(head, 2 * tail);
+}
+
+// --- end-to-end open-loop runs --------------------------------------
+
+ExperimentConfig
+openLoopExperiment(bool qos_on, unsigned shards = 1,
+                   unsigned threads = 1)
+{
+    ExperimentConfig config;
+    config.workloadName = "tenant_mix";
+    config.sys.mode = WritePathMode::Janus;
+    config.sys.cores = 4;
+    config.sys.shards = shards;
+    config.sys.shardThreads = threads;
+    config.instr = Instrumentation::None;
+    config.workload.txnsPerCore = 30;
+    config.openLoop = loadConfig(ArrivalProcess::Poisson, 1.0, 30);
+    if (qos_on) {
+        QosConfig qos = tenantMixQos();
+        qos.admissionQueueEntries = 16;
+        qos.retryBackoffTicks = 500;
+        qos.maxRetries = 3;
+        // Shape the log writer hard so shaping + deadlines fire.
+        qos.tenants[3].shapeIntervalTicks = 2 * ticks::us;
+        qos.tenants[3].shapeBurstLines = 2;
+        qos.tenants[3].deadlineTicks = 20 * ticks::us;
+        config.sys.qos = qos;
+    }
+    return config;
+}
+
+void
+expectBooksBalance(const ExperimentResult &r, std::uint64_t offered)
+{
+    std::uint64_t total = 0;
+    for (const OpenLoopTenantStats &t : r.tenants) {
+        EXPECT_EQ(t.offered, t.completed + t.shed + t.rejected)
+            << t.name;
+        total += t.offered;
+    }
+    EXPECT_EQ(total, offered);
+}
+
+std::string
+tenantDigest(const ExperimentResult &r)
+{
+    std::ostringstream os;
+    for (const OpenLoopTenantStats &t : r.tenants)
+        os << t.name << ":" << t.priority << ":" << t.offered << ":"
+           << t.completed << ":" << t.shed << ":" << t.rejected
+           << ":" << t.retries << ":" << t.maxBacklog << ":"
+           << t.diverged << ":" << t.meanNs << ":" << t.p50Ns << ":"
+           << t.p99Ns << ":" << t.p999Ns << "\n";
+    return os.str();
+}
+
+TEST(OpenLoop, QosOffCompletesEveryRequest)
+{
+    ExperimentResult r = runExperiment(openLoopExperiment(false));
+    ASSERT_FALSE(r.tenants.empty());
+    expectBooksBalance(r, 4 * 30);
+    for (const OpenLoopTenantStats &t : r.tenants) {
+        // No admission layer: nothing is ever shed or rejected.
+        EXPECT_EQ(t.completed, t.offered) << t.name;
+        EXPECT_EQ(t.shed, 0u) << t.name;
+        EXPECT_EQ(t.rejected, 0u) << t.name;
+        EXPECT_EQ(t.retries, 0u) << t.name;
+    }
+    // Response times were measured.
+    EXPECT_GT(r.tenants[0].meanNs, 0);
+    EXPECT_GE(r.tenants[0].p999Ns, r.tenants[0].p50Ns);
+}
+
+TEST(OpenLoop, QosOnBooksStillBalance)
+{
+    ExperimentResult r = runExperiment(openLoopExperiment(true));
+    ASSERT_EQ(r.tenants.size(), 4u);
+    expectBooksBalance(r, 4 * 30);
+    // The shaped log writer must have been throttled, shed or
+    // completed — never lost.
+    const OpenLoopTenantStats &logw = r.tenants[3];
+    EXPECT_EQ(logw.name, "log_writer");
+    EXPECT_EQ(logw.offered, 30u);
+}
+
+TEST(OpenLoop, DeterministicAcrossShardAndThreadCounts)
+{
+    for (bool qos_on : {false, true}) {
+        // Reference machine: serial, single shard.
+        ExperimentResult ref =
+            runExperiment(openLoopExperiment(qos_on, 1, 1));
+        const std::string ref_digest = tenantDigest(ref);
+        ASSERT_FALSE(ref_digest.empty());
+
+        for (unsigned shards : {1u, 2u, 4u}) {
+            ExperimentResult t1 =
+                runExperiment(openLoopExperiment(qos_on, shards, 1));
+            ExperimentResult t4 =
+                runExperiment(openLoopExperiment(qos_on, shards, 4));
+            // Scheduler threads may only change wall time.
+            EXPECT_EQ(t1.makespan, t4.makespan)
+                << "qos=" << qos_on << " shards=" << shards;
+            EXPECT_EQ(tenantDigest(t1), tenantDigest(t4))
+                << "qos=" << qos_on << " shards=" << shards;
+            // The offered schedule is shard-layout invariant.
+            for (std::size_t i = 0; i < ref.tenants.size(); ++i)
+                EXPECT_EQ(t1.tenants[i].offered,
+                          ref.tenants[i].offered)
+                    << "qos=" << qos_on << " shards=" << shards;
+        }
+    }
+}
+
+TEST(OpenLoop, QosThrottleEdgeIsZeroWhenQosOff)
+{
+    ExperimentResult r = runExperiment(openLoopExperiment(false));
+    ASSERT_GT(r.critPath.persists, 0u);
+    EXPECT_EQ(r.critPath.ticksOf(CritEdge::QosThrottle), 0u);
+    // The edge partition of persist latency still holds exactly.
+    EXPECT_NEAR(r.critPath.shareSum(), 1.0, 1e-9);
+}
+
+TEST(OpenLoop, QosThrottleEdgeAccountsShapingDelay)
+{
+    ExperimentConfig config = openLoopExperiment(true);
+    // Shape the readers too so the throttle edge cannot be dodged.
+    config.sys.qos.tenants[0].shapeIntervalTicks = ticks::us;
+    config.sys.qos.tenants[1].shapeIntervalTicks = ticks::us;
+    ExperimentResult r = runExperiment(config);
+    ASSERT_GT(r.critPath.persists, 0u);
+    EXPECT_GT(r.critPath.ticksOf(CritEdge::QosThrottle), 0u);
+    EXPECT_NEAR(r.critPath.shareSum(), 1.0, 1e-9);
+}
+
+// --- the QoS layer is invisible while disabled ----------------------
+
+struct ClosedLoopDigest
+{
+    Tick makespan = 0;
+    std::string statsJson;
+    std::uint64_t memHash = 0;
+};
+
+/** Classic closed-loop run via NvmSystem so the raw stats dump is
+ *  comparable byte for byte. */
+ClosedLoopDigest
+runClosedLoop(const SystemConfig &config)
+{
+    WorkloadParams params;
+    params.txnsPerCore = 25;
+    auto workload = makeWorkload("array_swap", params);
+    Module module;
+    buildTxnLibrary(module);
+    workload->buildKernels(module, true);
+
+    NvmSystem system(config, module);
+    std::vector<TxnSource> sources;
+    for (unsigned c = 0; c < config.cores; ++c) {
+        workload->setupCore(c, system);
+        sources.push_back(workload->source(c, system));
+    }
+    ClosedLoopDigest d;
+    d.makespan = system.run(std::move(sources));
+    for (unsigned c = 0; c < config.cores; ++c)
+        workload->validate(system.mem(), c);
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+    d.statsJson = os.str();
+    d.memHash = system.mem().contentHash();
+    return d;
+}
+
+TEST(OpenLoop, DisabledQosIsByteIdentical)
+{
+    SystemConfig plain;
+    plain.mode = WritePathMode::Janus;
+    plain.cores = 2;
+
+    // A fully populated but disabled QoS config must leave the
+    // machine untouched: same ticks, same memory, byte-identical
+    // stats (no "qos" group appears in the dump).
+    SystemConfig with_qos = plain;
+    with_qos.qos = tenantMixQos();
+    with_qos.qos.enabled = false;
+    with_qos.qos.admissionQueueEntries = 4;
+    with_qos.qos.tenants[0].shapeIntervalTicks = 100;
+
+    ClosedLoopDigest a = runClosedLoop(plain);
+    ClosedLoopDigest b = runClosedLoop(with_qos);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.memHash, b.memHash);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_EQ(a.statsJson.find("qos"), std::string::npos);
+}
+
+TEST(OpenLoop, AdaptiveGroupCommitOffIsTickIdentical)
+{
+    SystemConfig base;
+    base.mode = WritePathMode::Janus;
+    base.cores = 2;
+    base.groupCommitK = 8;
+
+    // Adaptive enabled but with a trigger depth the queue can never
+    // reach: tick-identical to adaptive-off (the knob is inert until
+    // it actually fires) apart from its own zero-valued counter.
+    SystemConfig inert = base;
+    inert.gcAdaptive = true;
+    inert.gcAdaptiveQueueDepth = 1u << 30;
+
+    ClosedLoopDigest a = runClosedLoop(base);
+    ClosedLoopDigest b = runClosedLoop(inert);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.memHash, b.memHash);
+    EXPECT_NE(b.statsJson.find("gcAdaptiveCloses"),
+              std::string::npos);
+
+    // A hair trigger closes batches early: the counter moves and
+    // the run still completes and validates.
+    SystemConfig eager = base;
+    eager.gcAdaptive = true;
+    eager.gcAdaptiveQueueDepth = 1;
+    ClosedLoopDigest c = runClosedLoop(eager);
+    EXPECT_GT(c.makespan, 0u);
+    EXPECT_EQ(c.memHash, a.memHash);
+    EXPECT_EQ(c.statsJson.find("\"gcAdaptiveCloses\": 0"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace janus

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the controller-side QoS state machine: GCRA
+ * token-bucket shaping, the bounded admission queue with retry-after
+ * backpressure, the per-request deadline shed path, the saturation
+ * watchdog's hysteresis + dwell contract, and per-tenant counter
+ * isolation. Everything here is pure integer-tick arithmetic — no
+ * simulator needed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memctrl/qos.hh"
+
+namespace janus
+{
+namespace
+{
+
+QosConfig
+twoTenantConfig()
+{
+    QosConfig cfg;
+    cfg.enabled = true;
+    cfg.admissionQueueEntries = 32;
+    cfg.lowPriorityAdmitPct = 75;
+    cfg.retryBackoffTicks = 1000;
+    cfg.maxRetries = 4;
+    cfg.watchdogEnterPct = 90;
+    cfg.watchdogExitPct = 50;
+    cfg.watchdogDwellTicks = 10000;
+    cfg.tenants.push_back({"reader", 0, 0, 1, 0});
+    cfg.tenants.push_back({"writer", 1, 0, 1, 0});
+    return cfg;
+}
+
+// --- disabled == identity -------------------------------------------
+
+TEST(Qos, DisabledIsIdentity)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.enabled = false;
+    cfg.tenants[0].shapeIntervalTicks = 500;
+    cfg.tenants[0].deadlineTicks = 1;
+    QosManager qos(cfg);
+
+    for (Tick now : {Tick(0), Tick(100), Tick(1000000)}) {
+        EXPECT_EQ(qos.shapeDelay(0, now), 0u);
+        AdmitDecision d = qos.admit(0, now, 0, 0, 1u << 20);
+        EXPECT_EQ(d.outcome, AdmitOutcome::Admit);
+        EXPECT_EQ(d.retryAfter, 0u);
+    }
+    qos.observeOccupancy(0, 1u << 20);
+    EXPECT_FALSE(qos.saturated());
+    EXPECT_EQ(qos.effectiveGroupCommitK(4), 4u);
+    // Nothing was counted either.
+    EXPECT_EQ(qos.counters(0).admitted, 0u);
+    EXPECT_EQ(qos.counters(0).shapedLines, 0u);
+}
+
+// --- GCRA shaping ---------------------------------------------------
+
+TEST(Qos, ShapingDelaysBackToBackLines)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants[0].shapeIntervalTicks = 100;
+    cfg.tenants[0].shapeBurstLines = 1;
+    QosManager qos(cfg);
+
+    // Burst of 1: first line free, then each successive line at the
+    // same instant waits one more interval.
+    EXPECT_EQ(qos.shapeDelay(0, 0), 0u);
+    EXPECT_EQ(qos.shapeDelay(0, 0), 100u);
+    EXPECT_EQ(qos.shapeDelay(0, 0), 200u);
+    // A line arriving exactly on schedule pays nothing.
+    EXPECT_EQ(qos.shapeDelay(0, 300), 0u);
+    // Idle time earns no credit beyond the burst depth.
+    EXPECT_EQ(qos.shapeDelay(0, 10000), 0u);
+    EXPECT_EQ(qos.shapeDelay(0, 10000), 100u);
+
+    EXPECT_EQ(qos.counters(0).shapedLines, 3u);
+    EXPECT_EQ(qos.counters(0).throttleTicks, 100u + 200u + 100u);
+}
+
+TEST(Qos, ShapingBurstToleranceAdmitsBursts)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants[0].shapeIntervalTicks = 100;
+    cfg.tenants[0].shapeBurstLines = 4;
+    QosManager qos(cfg);
+
+    // Burst depth 4: four lines pass untouched, the fifth waits.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(qos.shapeDelay(0, 0), 0u) << "line " << i;
+    EXPECT_EQ(qos.shapeDelay(0, 0), 100u);
+}
+
+TEST(Qos, ShapingIsPerTenant)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants[0].shapeIntervalTicks = 100;
+    cfg.tenants[1].shapeIntervalTicks = 100;
+    QosManager qos(cfg);
+
+    EXPECT_EQ(qos.shapeDelay(0, 0), 0u);
+    EXPECT_EQ(qos.shapeDelay(0, 0), 100u);
+    // Tenant 1's bucket is untouched by tenant 0's spend.
+    EXPECT_EQ(qos.shapeDelay(1, 0), 0u);
+    EXPECT_EQ(qos.counters(0).shapedLines, 1u);
+    EXPECT_EQ(qos.counters(1).shapedLines, 0u);
+}
+
+TEST(Qos, UnshapedTenantNeverWaits)
+{
+    QosConfig cfg = twoTenantConfig(); // shapeIntervalTicks == 0
+    QosManager qos(cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(qos.shapeDelay(0, 0), 0u);
+    EXPECT_EQ(qos.counters(0).shapedLines, 0u);
+}
+
+// --- bounded admission + retry-after --------------------------------
+
+TEST(Qos, QueueFullBouncesWithExponentialBackoff)
+{
+    QosConfig cfg = twoTenantConfig();
+    QosManager qos(cfg);
+
+    // Below the bound: admitted.
+    EXPECT_EQ(qos.admit(0, 0, 0, 0, 31).outcome,
+              AdmitOutcome::Admit);
+
+    // At the bound: retry-after, doubling per attempt.
+    Tick last = 0;
+    for (unsigned attempt = 0; attempt < cfg.maxRetries; ++attempt) {
+        AdmitDecision d = qos.admit(0, 0, 0, attempt, 32);
+        ASSERT_EQ(d.outcome, AdmitOutcome::Retry) << attempt;
+        EXPECT_EQ(d.retryAfter,
+                  cfg.retryBackoffTicks << attempt);
+        EXPECT_GT(d.retryAfter, last);
+        last = d.retryAfter;
+    }
+
+    // Retry budget exhausted: terminal rejection.
+    AdmitDecision d = qos.admit(0, 0, 0, cfg.maxRetries, 32);
+    EXPECT_EQ(d.outcome, AdmitOutcome::Reject);
+
+    EXPECT_EQ(qos.counters(0).admitted, 1u);
+    EXPECT_EQ(qos.counters(0).retries, cfg.maxRetries);
+    EXPECT_EQ(qos.counters(0).rejected, 1u);
+}
+
+TEST(Qos, LowPriorityHeadroomBitesFirst)
+{
+    QosConfig cfg = twoTenantConfig(); // bound 32, low-pri pct 75
+    QosManager qos(cfg);
+
+    // Occupancy 24 = 75% of 32: priority-1 tenant is bounced while
+    // priority-0 still gets the full queue.
+    EXPECT_EQ(qos.admit(1, 0, 0, 0, 24).outcome,
+              AdmitOutcome::Retry);
+    EXPECT_EQ(qos.admit(0, 0, 0, 0, 24).outcome,
+              AdmitOutcome::Admit);
+    EXPECT_EQ(qos.admit(1, 0, 0, 0, 23).outcome,
+              AdmitOutcome::Admit);
+}
+
+// --- deadline shed --------------------------------------------------
+
+TEST(Qos, DeadlinePassedShedsInsteadOfAdmitting)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants[1].deadlineTicks = 500;
+    QosManager qos(cfg);
+
+    // Within the deadline: normal admission.
+    EXPECT_EQ(qos.admit(1, 400, 0, 0, 0).outcome,
+              AdmitOutcome::Admit);
+    // Exactly at the deadline still admits (shed only when *past*).
+    EXPECT_EQ(qos.admit(1, 500, 0, 0, 0).outcome,
+              AdmitOutcome::Admit);
+    // Past the deadline: shed, accounted to the right bucket.
+    EXPECT_EQ(qos.admit(1, 501, 0, 0, 0).outcome, AdmitOutcome::Shed);
+    EXPECT_EQ(qos.counters(1).shedDeadline, 1u);
+    EXPECT_EQ(qos.counters(1).shedSaturation, 0u);
+    // A tenant without a deadline never sheds this way.
+    EXPECT_EQ(qos.admit(0, 1u << 30, 0, 0, 0).outcome,
+              AdmitOutcome::Admit);
+    EXPECT_EQ(qos.counters(0).shedDeadline, 0u);
+}
+
+// --- saturation watchdog --------------------------------------------
+
+TEST(Qos, WatchdogHysteresisAndDwell)
+{
+    QosConfig cfg = twoTenantConfig();
+    // bound 32: enter at >= 28 (90%), exit at <= 16 (50%).
+    QosManager qos(cfg);
+
+    EXPECT_FALSE(qos.saturated());
+    qos.observeOccupancy(0, 27);
+    EXPECT_FALSE(qos.saturated());
+    qos.observeOccupancy(100, 28);
+    EXPECT_TRUE(qos.saturated());
+    EXPECT_EQ(qos.watchdogEnters(), 1u);
+
+    // Inside the hysteresis band nothing changes, ever.
+    qos.observeOccupancy(200, 20);
+    EXPECT_TRUE(qos.saturated());
+
+    // Below the exit threshold but inside the dwell window: held.
+    qos.observeOccupancy(100 + cfg.watchdogDwellTicks - 1, 10);
+    EXPECT_TRUE(qos.saturated());
+    EXPECT_EQ(qos.watchdogExits(), 0u);
+
+    // Past the dwell window: transition allowed.
+    qos.observeOccupancy(100 + cfg.watchdogDwellTicks, 10);
+    EXPECT_FALSE(qos.saturated());
+    EXPECT_EQ(qos.watchdogExits(), 1u);
+
+    // Re-enter obeys the dwell window too.
+    qos.observeOccupancy(100 + cfg.watchdogDwellTicks + 1, 32);
+    EXPECT_FALSE(qos.saturated());
+    qos.observeOccupancy(100 + 2 * cfg.watchdogDwellTicks, 32);
+    EXPECT_TRUE(qos.saturated());
+    EXPECT_EQ(qos.watchdogEnters(), 2u);
+}
+
+TEST(Qos, SaturationShedsOnlyTheLowestPriorityTenant)
+{
+    QosConfig cfg = twoTenantConfig();
+    QosManager qos(cfg);
+    qos.observeOccupancy(0, 32); // force saturation
+    ASSERT_TRUE(qos.saturated());
+
+    EXPECT_EQ(qos.admit(1, 1, 1, 0, 0).outcome, AdmitOutcome::Shed);
+    EXPECT_EQ(qos.counters(1).shedSaturation, 1u);
+    // Priority 0 sails through (occupancy is below the bound here).
+    EXPECT_EQ(qos.admit(0, 1, 1, 0, 0).outcome, AdmitOutcome::Admit);
+    EXPECT_EQ(qos.counters(0).shedSaturation, 0u);
+}
+
+TEST(Qos, SingleTenantIsNeverSaturationShed)
+{
+    // With only priority-0 traffic there is nobody to sacrifice:
+    // degradation falls back to backpressure, not shedding.
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants.pop_back();
+    QosManager qos(cfg);
+    qos.observeOccupancy(0, 32);
+    ASSERT_TRUE(qos.saturated());
+    EXPECT_EQ(qos.admit(0, 1, 1, 0, 0).outcome, AdmitOutcome::Admit);
+    EXPECT_EQ(qos.counters(0).shedSaturation, 0u);
+}
+
+TEST(Qos, EffectiveGroupCommitWidensOnlyWhileSaturated)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.gcWidenFactor = 3;
+    QosManager qos(cfg);
+
+    EXPECT_EQ(qos.effectiveGroupCommitK(4), 4u);
+    qos.observeOccupancy(0, 32);
+    ASSERT_TRUE(qos.saturated());
+    EXPECT_EQ(qos.effectiveGroupCommitK(4), 12u);
+    // K <= 1 means group commit is off; saturation must not turn
+    // it on.
+    EXPECT_EQ(qos.effectiveGroupCommitK(0), 0u);
+    EXPECT_EQ(qos.effectiveGroupCommitK(1), 1u);
+}
+
+// --- tenant mapping + counter isolation -----------------------------
+
+TEST(Qos, TenantOfCoreMapsExplicitThenModulo)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenantOfCore = {1, 1};
+    QosManager qos(cfg);
+    EXPECT_EQ(qos.tenantOf(0), 1u);
+    EXPECT_EQ(qos.tenantOf(1), 1u);
+    // Cores beyond the vector fall back to core % tenants.
+    EXPECT_EQ(qos.tenantOf(2), 0u);
+    EXPECT_EQ(qos.tenantOf(3), 1u);
+}
+
+TEST(Qos, CountersAreIsolatedPerTenant)
+{
+    QosConfig cfg = twoTenantConfig();
+    cfg.tenants[1].deadlineTicks = 10;
+    // Park the watchdog far above the queue bound so the full-queue
+    // retry below doesn't flip the channel into saturation shedding.
+    cfg.watchdogEnterPct = 400;
+    cfg.watchdogExitPct = 200;
+    QosManager qos(cfg);
+
+    // Tenant 0: 2 admits + 1 retry; tenant 1: 1 admit + 1 shed.
+    qos.admit(0, 0, 0, 0, 0);
+    qos.admit(0, 0, 0, 0, 0);
+    qos.admit(0, 0, 0, 0, 32);
+    qos.admit(1, 5, 0, 0, 0);
+    qos.admit(1, 100, 0, 0, 0);
+
+    EXPECT_EQ(qos.counters(0).admitted, 2u);
+    EXPECT_EQ(qos.counters(0).retries, 1u);
+    EXPECT_EQ(qos.counters(0).shedDeadline, 0u);
+    EXPECT_EQ(qos.counters(1).admitted, 1u);
+    EXPECT_EQ(qos.counters(1).retries, 0u);
+    EXPECT_EQ(qos.counters(1).shedDeadline, 1u);
+}
+
+} // namespace
+} // namespace janus
